@@ -1,0 +1,71 @@
+//! Criterion bench behind the paper's Fig. 3: plain SpMV (both engines)
+//! vs the edge-proposition kernel for n = 1..4, wall-clock on the
+//! parallel-CPU device.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use lf_core::parallel::proposition_kernel_stats;
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_sparse::{gespmv, AxpyOps, Collection, SpmvEngine};
+
+const SCALE: usize = 50_000;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_spmv");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for m in [Collection::Thermal2, Collection::Curlcurl3] {
+        let a = prepare_undirected(&m.generate(SCALE));
+        let dev = Device::default();
+        let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.1).sin()).collect();
+        let d = vec![0.0f64; a.nrows()];
+        let mut out = vec![0.0f64; a.nrows()];
+        let bytes = (a.nnz() * 12 + a.nrows() * 24) as u64;
+        g.throughput(Throughput::Bytes(bytes));
+        for (name, engine) in [
+            ("row_parallel", SpmvEngine::RowParallel),
+            ("srcsr", SpmvEngine::SrCsr),
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, m.name()), &a, |b, a| {
+                b.iter(|| {
+                    gespmv(
+                        &dev,
+                        "bench_spmv",
+                        engine,
+                        a,
+                        &AxpyOps { x: &x, d: &d },
+                        &mut out,
+                    )
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_proposition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_proposition");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for m in [Collection::Thermal2, Collection::Atmosmodm] {
+        let a = prepare_undirected(&m.generate(SCALE));
+        let dev = Device::default();
+        for n in 1..=4usize {
+            let cfg = FactorConfig::config1(n);
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), m.name()),
+                &a,
+                |b, a| {
+                    b.iter(|| proposition_kernel_stats(&dev, a, &cfg, 1));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_proposition);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench behind the paper's Fig. 5: the two bidirectional scans
+//! (identify cycles, identify paths) against the sequential CPU reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_sparse::Collection;
+
+const SCALE: usize = 100_000;
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_scans");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for m in [Collection::Atmosmodm, Collection::Ecology1] {
+        let dev = Device::default();
+        let a = prepare_undirected(&m.generate(SCALE));
+        let factor = parallel_factor(&dev, &a, &FactorConfig::paper_default(2)).factor;
+
+        g.bench_with_input(
+            BenchmarkId::new("identify_cycles_parallel", m.name()),
+            &factor,
+            |b, f| {
+                b.iter_batched(
+                    || f.clone(),
+                    |mut f| break_cycles(&dev, &mut f),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("identify_cycles_sequential", m.name()),
+            &factor,
+            |b, f| {
+                b.iter_batched(
+                    || f.clone(),
+                    |mut f| break_cycles_sequential(&mut f),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+
+        let mut acyclic = factor.clone();
+        break_cycles_sequential(&mut acyclic);
+        g.bench_with_input(
+            BenchmarkId::new("identify_paths_parallel", m.name()),
+            &acyclic,
+            |b, f| b.iter(|| identify_paths(&dev, f).expect("acyclic")),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("identify_paths_sequential", m.name()),
+            &acyclic,
+            |b, f| b.iter(|| identify_paths_sequential(f).expect("acyclic")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scans);
+criterion_main!(benches);

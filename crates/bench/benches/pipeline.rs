@@ -1,0 +1,39 @@
+//! End-to-end setup benchmark (the paper's Fig. 6 totals): full
+//! tridiagonal-preconditioner construction per collection matrix, plus the
+//! greedy sequential baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_sparse::Collection;
+
+const SCALE: usize = 50_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_setup");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for m in [
+        Collection::Aniso2,
+        Collection::Atmosmodm,
+        Collection::Thermal2,
+        Collection::Stocf1465,
+    ] {
+        let a = m.generate(SCALE);
+        let cfg = FactorConfig::paper_default(2);
+        g.bench_with_input(BenchmarkId::new("alg_tri_scal_setup", m.name()), &a, |b, a| {
+            let dev = Device::default();
+            b.iter(|| tridiagonal_from_matrix(&dev, a, &cfg));
+        });
+        let ap = prepare_undirected(&a);
+        g.bench_with_input(BenchmarkId::new("greedy_factor_seq", m.name()), &ap, |b, ap| {
+            b.iter(|| greedy_factor(ap, 2));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Substrate primitive benchmarks: radix sort (the CUB substitute of
+//! Sec. 4.3), prefix scan, reduction, and the PCR tridiagonal solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::Duration;
+use lf_core::extract::Tridiag;
+use lf_kernel::{reduce, scan, sort, Device};
+use rand::{Rng, SeedableRng};
+
+fn bench_radix_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix_sort");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    for n in [100_000usize, 1_000_000] {
+        let keys: Vec<u64> = (0..n).map(|_| rng.random::<u64>() >> 16).collect();
+        let vals: Vec<u32> = (0..n as u32).collect();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("pairs_u64", n), &n, |b, _| {
+            let dev = Device::default();
+            b.iter_batched(
+                || (keys.clone(), vals.clone()),
+                |(mut k, mut v)| sort::sort_pairs_u64(&dev, &mut k, &mut v),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("std_sort_baseline", n), &n, |b, _| {
+            b.iter_batched(
+                || keys.clone(),
+                |mut k| k.sort_unstable(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_scan_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan_reduce");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    let n = 4_000_000usize;
+    let data: Vec<u64> = (0..n as u64).map(|i| i % 17).collect();
+    g.throughput(Throughput::Bytes((n * 8) as u64));
+    g.bench_function("exclusive_scan", |b| {
+        let dev = Device::default();
+        b.iter_batched(
+            || data.clone(),
+            |mut d| scan::exclusive_scan_in_place(&dev, "s", &mut d, 0u64, |a, b| a + b),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("reduce_sum", |b| {
+        let dev = Device::default();
+        b.iter(|| reduce::sum_u64(&dev, "r", &data))
+    });
+    g.finish();
+}
+
+fn bench_pcr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tridiag_solve");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for n in [100_000usize, 1_000_000] {
+        let mut t = Tridiag::<f64>::zeros(n);
+        for i in 0..n {
+            t.d[i] = 4.0;
+            if i > 0 {
+                t.dl[i] = -1.0;
+            }
+            if i + 1 < n {
+                t.du[i] = -1.0;
+            }
+        }
+        let b_rhs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.01).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("pcr_parallel", n), &n, |b, _| {
+            let dev = Device::default();
+            b.iter(|| lf_solver::pcr_solve(&dev, &t, &b_rhs))
+        });
+        let f = lf_solver::ThomasFactorization::new(&t);
+        g.bench_with_input(BenchmarkId::new("thomas_sequential", n), &n, |b, _| {
+            b.iter(|| f.solve(&b_rhs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_radix_sort, bench_scan_reduce, bench_pcr);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p lf-bench --bin repro -- [options] <exp>...
+//!
+//!   <exp>       table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 fig6
+//!               tables figures all
+//!   --scale N   stand-in matrix size (default 20000)
+//!   --full      paper-published sizes (hours of runtime!)
+//!   --out DIR   CSV output directory (default results/)
+//! ```
+
+use lf_bench::Opts;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale N] [--full] [--out DIR] \
+         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|tables|figures|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut opts = Opts::default();
+    let mut cmds: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--full" => opts.full = true,
+            "--out" => {
+                opts.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            c if !c.starts_with('-') => cmds.push(c.to_string()),
+            _ => usage(),
+        }
+    }
+    if cmds.is_empty() {
+        usage();
+    }
+    let expand = |c: &str| -> Vec<&'static str> {
+        match c {
+            "table2" => vec!["table2"],
+            "table3" => vec!["table3"],
+            "table4" => vec!["table4"],
+            "table5" => vec!["table5"],
+            "fig1" => vec!["fig1"],
+            "fig2" => vec!["fig2"],
+            "fig3" => vec!["fig3"],
+            "fig4" => vec!["fig4"],
+            "fig5" => vec!["fig5"],
+            "fig6" => vec!["fig6"],
+            "ablation" => vec!["ablation"],
+            "solvers" => vec!["solvers"],
+            "convergence" => vec!["convergence"],
+            "tables" => vec!["table2", "table3", "table4", "table5"],
+            "figures" => vec!["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"],
+            "all" => vec![
+                "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
+                "fig5", "fig6", "ablation", "solvers", "convergence",
+            ],
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        }
+    };
+    let list: Vec<&str> = cmds.iter().flat_map(|c| expand(c)).collect();
+    for (i, exp) in list.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(78));
+        }
+        let t0 = std::time::Instant::now();
+        match *exp {
+            "table2" => lf_bench::table2::run(&opts),
+            "table3" => lf_bench::table3::run(&opts),
+            "table4" => lf_bench::table4::run(&opts),
+            "table5" => lf_bench::table5::run(&opts),
+            "fig1" => lf_bench::fig1::run(&opts),
+            "fig2" => lf_bench::fig2::run(&opts),
+            "fig3" => lf_bench::fig3::run(&opts),
+            "fig4" => lf_bench::fig4::run(&opts),
+            "fig5" => lf_bench::fig5::run(&opts),
+            "fig6" => lf_bench::fig6::run(&opts),
+            "ablation" => lf_bench::ablation::run(&opts),
+            "solvers" => lf_bench::solvers::run(&opts),
+            "convergence" => lf_bench::convergence::run(&opts),
+            _ => unreachable!(),
+        }
+        eprintln!("[{exp} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,59 @@
+//! Extension experiment: weight-coverage **trajectories** c_π(k) over the
+//! proposition iterations — the continuum between Table 4's c_π(5) and
+//! c_π(M_max) snapshots. Makes the uncharged stall (ECOLOGY's wavefront)
+//! and the charged fast ramp directly visible.
+
+use crate::{Opts, Table};
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_sparse::Collection;
+use std::io::Write;
+
+/// Iteration checkpoints (runs are deterministic, so re-running with a
+/// larger cap reproduces every prefix exactly).
+const CHECKPOINTS: [usize; 8] = [1, 2, 3, 5, 10, 20, 50, 150];
+
+/// Run the coverage-trajectory experiment.
+pub fn run(opts: &Opts) {
+    println!(
+        "Extension — coverage trajectories c_π(k) for configs (1) and (2) \
+         (scale {}):\n",
+        opts.scale
+    );
+    let mut headers = vec!["MATRIX".to_string(), "cfg".to_string()];
+    headers.extend(CHECKPOINTS.iter().map(|k| format!("k={k}")));
+    let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&hrefs);
+    let mut csv = opts.csv("convergence.csv").expect("results dir");
+    writeln!(csv, "matrix,config,k,c_pi").unwrap();
+
+    for m in [
+        Collection::Ecology1,
+        Collection::Atmosmodd,
+        Collection::Aniso1,
+        Collection::Transport,
+    ] {
+        let dev = Device::default();
+        let a = m.generate(opts.target_n(m));
+        let ap = prepare_undirected(&a);
+        for (cfg_id, base) in [(1usize, FactorConfig::config1(2)), (2, FactorConfig::config2(2))] {
+            let mut cells = vec![m.name().to_string(), format!("({cfg_id})")];
+            for &k in &CHECKPOINTS {
+                // deterministic prefix: run the algorithm capped at k
+                let out = parallel_factor(&dev, &ap, &base.with_max_iters(k));
+                let c = weight_coverage(&out.factor, &a);
+                writeln!(csv, "{},{cfg_id},{k},{c:.4}", m.name()).unwrap();
+                cells.push(format!("{c:.2}"));
+            }
+            t.row(cells);
+        }
+    }
+    t.print();
+    println!(
+        "\n  config (1) = never charged, config (2) = paper default. On the \
+         tied-weight matrices config (1) crawls linearly (a confirmation \
+         wavefront from the boundary) while config (2) jumps to greedy \
+         coverage within ~3 iterations; on ANISO both are instant. CSV in {}",
+        opts.out_dir.join("convergence.csv").display()
+    );
+}

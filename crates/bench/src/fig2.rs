@@ -1,0 +1,107 @@
+//! Figure 2: the butterfly access pattern of the bidirectional scan on a
+//! 10-vertex linear forest with 4 paths — printed step by step.
+
+use crate::Opts;
+use lf_core::factor::Factor;
+use lf_core::scan::{bidirectional_scan, Link};
+use lf_kernel::Device;
+
+/// Print the per-step stride-q neighbor table of the scan.
+pub fn run(_opts: &Opts) {
+    println!("Figure 2 — bidirectional scan on N = 10, 4 paths\n");
+    // paths: {0,1,2}, {3}, {4,5,6,7}, {8,9}
+    let mut f = Factor::<f32>::new(10, 2);
+    for (u, v) in [(0u32, 1u32), (1, 2), (4, 5), (5, 6), (6, 7), (8, 9)] {
+        f.insert(u as usize, v, 1.0);
+        f.insert(v as usize, u, 1.0);
+    }
+
+    let fmt_link = |l: Link| {
+        if l.is_end() {
+            format!("E{}", l.id())
+        } else {
+            format!("{}", l.id())
+        }
+    };
+
+    // re-run the scan `steps` times, truncating to each prefix, to show
+    // the intermediate states (the production scan ping-pongs in place)
+    println!("  per-vertex stride-q neighbors (E = path-end marker) and positions:");
+    for show_steps in 0..=4usize {
+        // emulate by scanning a copy with a step limiter: rebuild from
+        // scratch and run the full scan but record after `show_steps`
+        // steps. We reuse the public API by scanning on a truncated factor
+        // state; simplest is to run the real scan and print only at the
+        // end, so instead we inline a mini-scan here.
+        let dev = Device::default();
+        let res = scan_prefix(&dev, &f, show_steps);
+        let cells: Vec<String> = (0..10)
+            .map(|v| {
+                format!(
+                    "{}:{}/{}",
+                    v,
+                    fmt_link(res.0[v][0]),
+                    fmt_link(res.0[v][1])
+                )
+            })
+            .collect();
+        println!("  step {show_steps}: {}", cells.join("  "));
+    }
+
+    let dev = Device::default();
+    let res = bidirectional_scan(&dev, &f, "fig2_scan", |_, _| 1u32, |a, b| a + b);
+    println!("\n  final (path-end, distance) pairs:");
+    for v in 0..10 {
+        println!(
+            "    vertex {v}: ends ({}, {}), distances ({}, {})",
+            res.links[v][0].id(),
+            res.links[v][1].id(),
+            res.values[v][0],
+            res.values[v][1]
+        );
+    }
+    println!(
+        "\n  {} kernel launches for N = 10 (⌈log₂ 10⌉ = 4, as in Sec. 4.2)",
+        res.steps
+    );
+}
+
+/// A prefix-limited clone of the scan for visualization.
+fn scan_prefix(
+    dev: &Device,
+    f: &Factor<f32>,
+    steps: usize,
+) -> (Vec<[Link; 2]>, Vec<[u32; 2]>) {
+    let nv = f.num_vertices();
+    let mut links: Vec<[Link; 2]> = (0..nv)
+        .map(|v| {
+            let mut l = [Link::end(v as u32); 2];
+            for (s, (w, _)) in f.partners(v).take(2).enumerate() {
+                l[s] = Link::vertex(w);
+            }
+            l
+        })
+        .collect();
+    let mut vals: Vec<[u32; 2]> = vec![[1, 1]; nv];
+    let _ = dev;
+    for _ in 0..steps {
+        let lsrc = links.clone();
+        let vsrc = vals.clone();
+        for v in 0..nv {
+            let me = Link::vertex(v as u32);
+            for i in 0..2 {
+                if links[v][i].is_end() {
+                    continue;
+                }
+                let nb = links[v][i].id() as usize;
+                for j in 0..2 {
+                    if lsrc[nb][j] != me {
+                        vals[v][i] += vsrc[nb][j];
+                        links[v][i] = lsrc[nb][j];
+                    }
+                }
+            }
+        }
+    }
+    (links, vals)
+}

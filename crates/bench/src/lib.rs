@@ -1,0 +1,147 @@
+//! # lf-bench — reproduction harness
+//!
+//! One module per table/figure of the paper; the `repro` binary dispatches
+//! to them. Each experiment prints a text table shaped like the paper's
+//! and (where useful) writes CSV series under `results/`.
+//!
+//! Absolute numbers come from the simulated device and synthetic stand-in
+//! matrices, so only the *shape* — orderings, ratios, crossovers — is
+//! expected to match the paper; see EXPERIMENTS.md for the side-by-side.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod convergence;
+pub mod solvers;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use std::path::PathBuf;
+
+/// Experiment options shared by all harness commands.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Approximate vertex count of generated stand-ins.
+    pub scale: usize,
+    /// Run at the paper's full published sizes (slow!).
+    pub full: bool,
+    /// Directory for CSV output.
+    pub out_dir: PathBuf,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            scale: 20_000,
+            full: false,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl Opts {
+    /// Target vertex count for a given collection matrix.
+    pub fn target_n(&self, m: lf_sparse::Collection) -> usize {
+        if self.full {
+            m.paper_stats().n
+        } else {
+            self.scale
+        }
+    }
+
+    /// Open a CSV writer under the output directory.
+    pub fn csv(&self, name: &str) -> std::io::Result<std::io::BufWriter<std::fs::File>> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let f = std::fs::File::create(self.out_dir.join(name))?;
+        Ok(std::io::BufWriter::new(f))
+    }
+}
+
+/// Minimal fixed-width text-table printer for paper-style output.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Format a float like the paper's two-decimal coverage columns.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_prints_without_panicking() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+
+    #[test]
+    fn opts_scaling() {
+        let o = Opts::default();
+        assert_eq!(o.target_n(lf_sparse::Collection::Ecology1), 20_000);
+        let full = Opts {
+            full: true,
+            ..Opts::default()
+        };
+        assert_eq!(full.target_n(lf_sparse::Collection::Ecology1), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn table_checks_columns() {
+        let mut t = Table::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

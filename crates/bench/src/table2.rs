@@ -1,0 +1,80 @@
+//! Table 2: global-memory buffers read and written by the edge-proposition
+//! kernel — verified against the traffic the simulated device actually
+//! recorded.
+
+use crate::{Opts, Table};
+use lf_core::parallel::proposition_kernel_stats;
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_sparse::Collection;
+
+/// Regenerate Table 2 and check the measured traffic against the formula.
+pub fn run(opts: &Opts) {
+    let n_factor = 2usize;
+    let m = Collection::Thermal2;
+    let a = m.generate(opts.target_n(m));
+    let ap = prepare_undirected(&a);
+    let (nv, nnz) = (ap.nrows(), ap.nnz());
+
+    println!(
+        "Table 2 — edge-proposition buffer traffic (n = {n_factor}, matrix {} \
+         with N = {nv}, nnz = {nnz}):\n",
+        m.name()
+    );
+    let mut t = Table::new(&["buffer", "when", "dir", "length", "type", "bytes"]);
+    let val = std::mem::size_of::<f64>();
+    let idx = std::mem::size_of::<u32>();
+    let rows: Vec<(&str, &str, &str, usize, &str, usize)> = vec![
+        ("CSR values", "k=0", "read", nnz, "value", nnz * val),
+        ("CSR col indices", "k=0", "read", nnz, "index", nnz * idx),
+        ("CSR row ptrs", "k=0", "read", nv + 1, "index", (nv + 1) * 8),
+        ("vertex charges", "k=0", "read", nv, "bool", nv),
+        ("proposed edges", "k=0", "write", n_factor * nv, "index", n_factor * nv * idx),
+        ("proposed edge weights", "k=0", "write", n_factor * nv, "value", n_factor * nv * val),
+        ("confirmed edges", "k>0", "read", n_factor * nv, "index", n_factor * nv * idx),
+    ];
+    for (label, when, dir, len, ty, bytes) in &rows {
+        t.row(vec![
+            label.to_string(),
+            when.to_string(),
+            dir.to_string(),
+            len.to_string(),
+            ty.to_string(),
+            bytes.to_string(),
+        ]);
+    }
+    t.print();
+
+    // measured: one isolated k > 0 proposition launch
+    let dev = Device::default();
+    let cfg = FactorConfig::config1(n_factor);
+    let stats = proposition_kernel_stats(&dev, &ap, &cfg, 1);
+    let prop: lf_kernel::KernelStats = stats
+        .kernels
+        .iter()
+        .filter(|(k, _)| k.starts_with("edge_proposition") || k.starts_with("srcsr"))
+        .fold(Default::default(), |mut acc: lf_kernel::KernelStats, (_, v)| {
+            acc.launches += v.launches;
+            acc.traffic += v.traffic;
+            acc.model_time_s += v.model_time_s;
+            acc.wall_time_s += v.wall_time_s;
+            acc
+        });
+    let formula_read = nnz * val + nnz * idx + (nv + 1) * 8 + nv + n_factor * nv * idx;
+    let formula_write = n_factor * nv * (val + idx);
+    println!(
+        "\n  measured (one k>0 launch): read {} B, written {} B",
+        prop.traffic.read, prop.traffic.written
+    );
+    println!(
+        "  Table-2 formula:           read {formula_read} B, written {formula_write} B"
+    );
+    let r_ratio = prop.traffic.read as f64 / formula_read as f64;
+    let w_ratio = prop.traffic.written as f64 / formula_write as f64;
+    println!(
+        "  ratio measured/formula:    read {r_ratio:.2}x, written {w_ratio:.2}x \
+         (≥ 1 expected: the simulator also counts per-row state and struct padding)"
+    );
+    assert!(r_ratio >= 0.9, "measured read traffic below the paper's formula");
+    assert!(w_ratio >= 0.9, "measured write traffic below the paper's formula");
+}

@@ -1,0 +1,36 @@
+//! Table 3: the test-matrix collection — paper statistics vs the
+//! generated synthetic stand-ins.
+
+use crate::{Opts, Table};
+use lf_sparse::Collection;
+
+/// Print generated-vs-paper statistics for every collection matrix.
+pub fn run(opts: &Opts) {
+    println!("Table 3 — test matrices (stand-ins at scale {}):\n", opts.scale);
+    let mut t = Table::new(&[
+        "MATRIX",
+        "sym",
+        "N(paper)",
+        "nnz(paper)",
+        "deg(paper)",
+        "N(gen)",
+        "nnz(gen)",
+        "deg(gen)",
+    ]);
+    for m in Collection::ALL {
+        let p = m.paper_stats();
+        let a = m.generate(opts.target_n(m));
+        t.row(vec![
+            p.name.to_string(),
+            if p.symmetric { "y" } else { "n" }.to_string(),
+            p.n.to_string(),
+            p.nnz.to_string(),
+            format!("{:.2}", p.mean_degree),
+            a.nrows().to_string(),
+            a.nnz().to_string(),
+            format!("{:.2}", a.mean_degree()),
+        ]);
+        assert_eq!(a.is_symmetric(), p.symmetric, "{} symmetry", p.name);
+    }
+    t.print();
+}

@@ -1,0 +1,122 @@
+//! Vertex charging (paper Sec. 3.2, Alg. 2 line 10).
+//!
+//! Before a charged proposition round, every vertex is assigned a charge —
+//! **positive** with probability `p`, **negative** with `1 − p` — and may
+//! only propose to vertices of the *opposite* charge. The randomness breaks
+//! structural weight ties (e.g. ECOLOGY's uniform weights) that would
+//! otherwise stall mutual confirmation. Charges depend on the vertex ID and
+//! the iteration index `k`, computed with a fragment of the MD5 round
+//! function, as in Fagginger Auer & Bisseling's GPU matching [16].
+
+/// MD5 round-1 constants (RFC 1321) used by the mixing fragment.
+const K: [u32; 8] = [
+    0xd76a_a478,
+    0xe8c7_b756,
+    0x2420_70db,
+    0xc1bd_ceee,
+    0xf57c_0faf,
+    0x4787_c62a,
+    0xa830_4613,
+    0xfd46_9501,
+];
+const S: [u32; 4] = [7, 12, 17, 22];
+
+/// The MD5 auxiliary function F of round 1.
+#[inline]
+fn f(b: u32, c: u32, d: u32) -> u32 {
+    (b & c) | (!b & d)
+}
+
+/// One MD5 round-1 step.
+#[inline]
+fn step(a: u32, b: u32, c: u32, d: u32, m: u32, k: u32, s: u32) -> u32 {
+    b.wrapping_add(
+        a.wrapping_add(f(b, c, d))
+            .wrapping_add(m)
+            .wrapping_add(k)
+            .rotate_left(s),
+    )
+}
+
+/// Mix `(vertex, iteration)` through eight MD5 round-1 steps and return a
+/// well-scrambled 32-bit hash.
+#[inline]
+pub fn md5_mix(v: u32, k_iter: u32) -> u32 {
+    // MD5 initial state (RFC 1321).
+    let (mut a, mut b, mut c, mut d) = (0x6745_2301u32, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476);
+    // message words alternate the two inputs
+    let m = [v, k_iter, v ^ 0x5bd1_e995, k_iter.wrapping_mul(0x9e37_79b9)];
+    for r in 0..8 {
+        let na = step(a, b, c, d, m[r % 4], K[r], S[r % 4]);
+        d = c;
+        c = b;
+        b = na;
+        std::mem::swap(&mut a, &mut d);
+    }
+    a ^ b ^ c ^ d
+}
+
+/// Charge of vertex `v` at iteration `k`: `true` = positive(+), drawn with
+/// probability `p` (the paper uses p = 0.5 throughout, the optimum found
+/// in [16]).
+#[inline]
+pub fn charge(v: u32, k_iter: u32, p: f64) -> bool {
+    (md5_mix(v, k_iter) as f64) < p * (u32::MAX as f64 + 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(md5_mix(42, 3), md5_mix(42, 3));
+        assert_eq!(charge(7, 0, 0.5), charge(7, 0, 0.5));
+    }
+
+    #[test]
+    fn varies_with_vertex_and_iteration() {
+        let h: Vec<u32> = (0..64).map(|v| md5_mix(v, 0)).collect();
+        let mut uniq = h.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 64, "hash collisions on tiny input set");
+        // iteration changes the charge pattern for many vertices
+        let flips = (0..1000)
+            .filter(|&v| charge(v, 0, 0.5) != charge(v, 1, 0.5))
+            .count();
+        assert!(flips > 300, "only {flips} flips between iterations");
+    }
+
+    #[test]
+    fn probability_close_to_p() {
+        for &p in &[0.25, 0.5, 0.75] {
+            let n = 20_000u32;
+            let pos = (0..n).filter(|&v| charge(v, 5, p)).count() as f64;
+            let frac = pos / n as f64;
+            assert!(
+                (frac - p).abs() < 0.02,
+                "p = {p}: measured {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_p() {
+        assert!((0..100).all(|v| charge(v, 0, 1.0)));
+        assert!((0..100).all(|v| !charge(v, 0, 0.0)));
+    }
+
+    #[test]
+    fn bit_balance() {
+        // each output bit should be roughly balanced over many inputs
+        let n = 8192u32;
+        for bit in 0..32 {
+            let ones = (0..n)
+                .filter(|&v| md5_mix(v, 9) >> bit & 1 == 1)
+                .count() as f64;
+            let frac = ones / n as f64;
+            assert!((frac - 0.5).abs() < 0.05, "bit {bit}: {frac}");
+        }
+    }
+}

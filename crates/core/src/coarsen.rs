@@ -1,0 +1,208 @@
+//! [0,1]-factor coarsening for the 2×2 block tridiagonal preconditioner
+//! (paper Sec. 6, `AlgTriBlockPrecond`).
+//!
+//! A [0,1]-factor (matching) pairs vertices; each matched pair — and each
+//! unmatched vertex — becomes one coarse vertex. Coarse edge weights sum
+//! the |fine weights| crossing between the two groups. A [0,2]-factor on
+//! the coarse graph then yields a linear forest of pairs, i.e. a 2×2 block
+//! tridiagonal structure on the fine level. Unmatched vertices get an
+//! uncoupled *ghost* partner (diagonal 1, rhs 1 in the solver) so the
+//! block structure stays uniform, exactly as the paper describes.
+
+use crate::factor::Factor;
+use lf_kernel::{Device, Traffic};
+use lf_sparse::{Coo, Csr, Scalar};
+
+/// The fine↔coarse correspondence induced by a matching.
+#[derive(Clone, Debug)]
+pub struct Coarsening {
+    /// Per coarse vertex: the fine pair `(v, Some(w))` with `v < w`, or
+    /// `(v, None)` for an unmatched vertex (paired with a ghost).
+    pub groups: Vec<(u32, Option<u32>)>,
+    /// Per fine vertex: its coarse vertex.
+    pub fine_to_coarse: Vec<u32>,
+}
+
+impl Coarsening {
+    /// Number of coarse vertices.
+    pub fn num_coarse(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of matched fine pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.groups.iter().filter(|(_, w)| w.is_some()).count()
+    }
+}
+
+/// Build the coarsening from a [0,1]-factor and assemble the coarse
+/// weighted graph (weights = summed |fine weights| between groups, no
+/// diagonal).
+pub fn coarsen_by_matching<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    matching: &Factor<T>,
+) -> (Coarsening, Csr<T>) {
+    assert_eq!(matching.degree_bound(), 1, "coarsening needs a [0,1]-factor");
+    let nv = aprime.nrows();
+    assert_eq!(matching.num_vertices(), nv);
+
+    // Enumerate groups by their smaller fine vertex, in fine order (a
+    // sequential pass; cheap relative to everything else).
+    let mut groups: Vec<(u32, Option<u32>)> = Vec::with_capacity(nv);
+    let mut fine_to_coarse = vec![u32::MAX; nv];
+    for v in 0..nv {
+        if fine_to_coarse[v] != u32::MAX {
+            continue;
+        }
+        let cid = groups.len() as u32;
+        match matching.partners(v).next() {
+            Some((w, _)) if (w as usize) != v => {
+                let w = w as usize;
+                debug_assert!(w > v, "first visit must be the smaller endpoint");
+                groups.push((v as u32, Some(w as u32)));
+                fine_to_coarse[v] = cid;
+                fine_to_coarse[w] = cid;
+            }
+            _ => {
+                groups.push((v as u32, None));
+                fine_to_coarse[v] = cid;
+            }
+        }
+    }
+
+    // Coarse edge assembly: every fine entry votes its |weight| to the
+    // coarse (group_i, group_j) edge; COO duplicate-combination sums them.
+    let nc = groups.len();
+    let nnz = aprime.nnz();
+    let triplets: Vec<(u32, u32, T)> = dev.launch(
+        "coarse_edge_assembly",
+        Traffic::new()
+            .reads::<T>(nnz)
+            .reads::<u32>(nnz + nv)
+            .writes::<T>(nnz),
+        || {
+            use rayon::prelude::*;
+            let fine_to_coarse = &fine_to_coarse;
+            (0..nv)
+                .into_par_iter()
+                .flat_map_iter(|i| {
+                    let ci = fine_to_coarse[i];
+                    aprime.row(i).filter_map(move |(j, w)| {
+                        let cj = fine_to_coarse[j as usize];
+                        (ci != cj && w != T::ZERO).then_some((ci, cj, w.abs()))
+                    })
+                })
+                .collect()
+        },
+    );
+    let mut coo = Coo::new(nc, nc);
+    for (r, c, v) in triplets {
+        coo.push(r, c, v);
+    }
+    let coarse = Csr::from_coo(coo);
+
+    (
+        Coarsening {
+            groups,
+            fine_to_coarse,
+        },
+        coarse,
+    )
+}
+
+/// Expand a coarse permutation (over coarse vertices, `perm_c[new] = old`)
+/// into the fine-level permutation that lays out each pair contiguously:
+/// coarse position k maps to fine rows 2k (pair's smaller vertex) and
+/// 2k + 1 (larger vertex or ghost). Ghost rows are marked with
+/// `u32::MAX` in the returned vector and must be materialized by the
+/// block-system builder.
+pub fn expand_block_permutation(coarsening: &Coarsening, perm_c: &[u32]) -> Vec<u32> {
+    assert_eq!(perm_c.len(), coarsening.num_coarse());
+    let mut fine = Vec::with_capacity(2 * perm_c.len());
+    for &c in perm_c {
+        let (v, w) = coarsening.groups[c as usize];
+        fine.push(v);
+        fine.push(w.unwrap_or(u32::MAX));
+    }
+    fine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::Coo;
+
+    fn chain4() -> Csr<f64> {
+        // 0 -5- 1 -1- 2 -5- 3
+        let mut coo = Coo::new(4, 4);
+        coo.push_sym(0, 1, 5.0);
+        coo.push_sym(1, 2, 1.0);
+        coo.push_sym(2, 3, 5.0);
+        Csr::from_coo(coo)
+    }
+
+    fn matching_of(a: &Csr<f64>) -> Factor<f64> {
+        crate::greedy::greedy_factor(a, 1)
+    }
+
+    #[test]
+    fn pairs_and_groups() {
+        let a = chain4();
+        let m = matching_of(&a); // matches (0,1) and (2,3)
+        let dev = Device::default();
+        let (c, coarse) = coarsen_by_matching(&dev, &a, &m);
+        assert_eq!(c.num_coarse(), 2);
+        assert_eq!(c.num_pairs(), 2);
+        assert_eq!(c.groups, vec![(0, Some(1)), (2, Some(3))]);
+        assert_eq!(c.fine_to_coarse, vec![0, 0, 1, 1]);
+        // coarse edge weight = |1.0| from edge (1,2), both directions stored
+        assert_eq!(coarse.nrows(), 2);
+        assert_eq!(coarse.get(0, 1), 1.0);
+        assert_eq!(coarse.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn unmatched_vertex_becomes_singleton() {
+        // triangle: matching leaves one vertex out
+        let mut coo = Coo::<f64>::new(3, 3);
+        coo.push_sym(0, 1, 3.0);
+        coo.push_sym(1, 2, 2.0);
+        coo.push_sym(0, 2, 1.0);
+        let a = Csr::from_coo(coo);
+        let m = matching_of(&a); // (0,1)
+        let dev = Device::default();
+        let (c, coarse) = coarsen_by_matching(&dev, &a, &m);
+        assert_eq!(c.num_coarse(), 2);
+        assert_eq!(c.num_pairs(), 1);
+        assert_eq!(c.groups[1], (2, None));
+        // crossing weight: |a_12| + |a_02| = 3
+        assert_eq!(coarse.get(0, 1), 3.0);
+    }
+
+    #[test]
+    fn coarse_weights_sum_crossings() {
+        // two pairs with two parallel crossing edges
+        let mut coo = Coo::<f64>::new(4, 4);
+        coo.push_sym(0, 1, 9.0); // pair A
+        coo.push_sym(2, 3, 9.0); // pair B
+        coo.push_sym(0, 2, 1.0);
+        coo.push_sym(1, 3, 2.5);
+        let a = Csr::from_coo(coo);
+        let m = matching_of(&a);
+        let dev = Device::default();
+        let (_, coarse) = coarsen_by_matching(&dev, &a, &m);
+        assert_eq!(coarse.get(0, 1), 3.5);
+        assert!(coarse.is_symmetric());
+    }
+
+    #[test]
+    fn expand_block_perm_layout() {
+        let c = Coarsening {
+            groups: vec![(0, Some(2)), (1, None)],
+            fine_to_coarse: vec![0, 1, 0],
+        };
+        let fine = expand_block_permutation(&c, &[1, 0]);
+        assert_eq!(fine, vec![1, u32::MAX, 0, 2]);
+    }
+}

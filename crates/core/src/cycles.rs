@@ -1,0 +1,339 @@
+//! Step (1) of the linear-forest extraction (paper Sec. 3.3): identify the
+//! cycles of a [0,2]-factor and break each by removing its **weakest
+//! edge**, keeping the forest weight ω_π large.
+//!
+//! The weakest edge is found with the bidirectional scan parameterized on
+//! a lexicographic minimum over `(|weight|, v_min, v_max)` — the weight
+//! plus the incident vertex IDs identify the edge uniquely (Sec. 3.3), so
+//! both endpoints of the weakest edge agree on which edge to drop and the
+//! removal needs no synchronization.
+
+use crate::factor::Factor;
+use crate::scan::{bidirectional_scan, BidirResult};
+use lf_kernel::{Device, Traffic};
+use lf_sparse::Scalar;
+use rayon::prelude::*;
+
+/// A candidate weakest edge: weight plus canonical (min, max) endpoints.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MinEdge<T> {
+    /// |weight| of the edge.
+    pub w: T,
+    /// Smaller endpoint.
+    pub u: u32,
+    /// Larger endpoint.
+    pub v: u32,
+}
+
+impl<T: Scalar> Default for MinEdge<T> {
+    fn default() -> Self {
+        Self::infinity()
+    }
+}
+
+impl<T: Scalar> MinEdge<T> {
+    /// The identity of the min-combine: an edge heavier than everything.
+    pub fn infinity() -> Self {
+        Self {
+            w: T::from_f64(f64::INFINITY),
+            u: u32::MAX,
+            v: u32::MAX,
+        }
+    }
+
+    /// Canonicalized edge.
+    pub fn new(w: T, a: u32, b: u32) -> Self {
+        Self {
+            w: w.abs(),
+            u: a.min(b),
+            v: a.max(b),
+        }
+    }
+
+    /// Lexicographic minimum on `(w, u, v)` — a total order on distinct
+    /// edges, hence an idempotent, associative, commutative combine.
+    pub fn min(self, other: Self) -> Self {
+        if (other.w, other.u, other.v) < (self.w, self.u, self.v) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Whether `x` is an endpoint.
+    pub fn touches(&self, x: u32) -> bool {
+        self.u == x || self.v == x
+    }
+}
+
+/// Outcome of cycle breaking.
+#[derive(Clone, Debug)]
+pub struct CycleReport {
+    /// Number of cycles found (= number of removed edges).
+    pub cycles: usize,
+    /// The removed edges, one per cycle, as `(u, v)` with `u < v`.
+    pub removed: Vec<(u32, u32)>,
+}
+
+/// Identify all cycles of the [0,2]-factor and remove each cycle's weakest
+/// edge in place. Returns which edges were removed.
+///
+/// Kernel structure matches the paper: one bidirectional min-scan
+/// (`identify_cycles` kernels, `⌈log₂ N⌉` launches) followed by one edge
+/// removal kernel.
+pub fn break_cycles<T: Scalar>(dev: &Device, factor: &mut Factor<T>) -> CycleReport {
+    let nv = factor.num_vertices();
+    let res: BidirResult<MinEdge<T>> = bidirectional_scan(
+        dev,
+        factor,
+        "identify_cycles",
+        |v, s| match factor.partners(v).nth(s) {
+            Some((w, x)) => MinEdge::new(x, v as u32, w),
+            None => MinEdge::infinity(),
+        },
+        |a, b| a.min(b),
+    );
+
+    // Collect the removed edges: the min edge of each cycle, reported by
+    // its smaller endpoint (each cycle has exactly one weakest edge).
+    let removed: Vec<(u32, u32)> = dev.launch(
+        "collect_cycle_edges",
+        Traffic::new()
+            .read_bytes((nv * std::mem::size_of::<[MinEdge<T>; 2]>()) as u64),
+        || {
+            (0..nv)
+                .into_par_iter()
+                .filter_map(|v| {
+                    if !res.in_cycle(v) {
+                        return None;
+                    }
+                    let e = res.values[v][0].min(res.values[v][1]);
+                    (e.u == v as u32).then_some((e.u, e.v))
+                })
+                .collect()
+        },
+    );
+
+    // Removal kernel: every cycle vertex checks whether it is incident to
+    // its cycle's weakest edge and clears the corresponding slot. Both
+    // endpoints see the same edge, so the removal is mutual without
+    // synchronization.
+    let n = factor.degree_bound();
+    let (cols, ws) = factor_slots_mut(factor);
+    let traffic = Traffic::new()
+        .read_bytes((nv * std::mem::size_of::<[MinEdge<T>; 2]>()) as u64)
+        .reads::<u32>(nv * n)
+        .writes::<u32>(nv * n)
+        .writes::<T>(nv * n);
+    dev.launch("remove_cycle_edges", traffic, || {
+        cols.par_chunks_mut(n)
+            .zip(ws.par_chunks_mut(n))
+            .enumerate()
+            .for_each(|(v, (vc, vw))| {
+                if !res.in_cycle(v) {
+                    return;
+                }
+                let e = res.values[v][0].min(res.values[v][1]);
+                if !e.touches(v as u32) {
+                    return;
+                }
+                let other = if e.u == v as u32 { e.v } else { e.u };
+                for s in 0..n {
+                    if vc[s] == other {
+                        vc[s] = crate::factor::INVALID;
+                        vw[s] = T::ZERO;
+                    }
+                }
+            });
+    });
+
+    CycleReport {
+        cycles: removed.len(),
+        removed,
+    }
+}
+
+/// Internal accessor splitting the factor's slot arrays for the removal
+/// kernel. Kept private to `lf-core`.
+fn factor_slots_mut<T: Scalar>(f: &mut Factor<T>) -> (&mut [u32], &mut [T]) {
+    f.slots_mut()
+}
+
+/// Sequential reference: find cycles by walking, remove weakest edges.
+/// Used for testing and the paper's Fig. 5 CPU-vs-GPU comparison.
+pub fn break_cycles_sequential<T: Scalar>(factor: &mut Factor<T>) -> CycleReport {
+    let nv = factor.num_vertices();
+    let mut visited = vec![false; nv];
+    let mut removed = Vec::new();
+    for start in 0..nv {
+        if visited[start] || factor.degree(start) == 0 {
+            continue;
+        }
+        // walk the component
+        let mut comp = vec![start as u32];
+        visited[start] = true;
+        let mut prev = start as u32;
+        let mut cur = match factor.partners(start).next() {
+            Some((w, _)) => w,
+            None => continue,
+        };
+        let mut is_cycle = false;
+        loop {
+            if cur == start as u32 {
+                is_cycle = true;
+                break;
+            }
+            visited[cur as usize] = true;
+            comp.push(cur);
+            let next = factor
+                .partners(cur as usize)
+                .map(|(w, _)| w)
+                .find(|&w| w != prev);
+            match next {
+                Some(n) => {
+                    prev = cur;
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        // For paths started mid-way, walk the other direction to mark all.
+        if !is_cycle {
+            let mut prev = start as u32;
+            let mut cur = factor.partners(start).map(|(w, _)| w).nth(1);
+            while let Some(c) = cur {
+                visited[c as usize] = true;
+                comp.push(c);
+                let next = factor
+                    .partners(c as usize)
+                    .map(|(w, _)| w)
+                    .find(|&w| w != prev);
+                prev = c;
+                cur = next;
+            }
+            continue;
+        }
+        // cycle: find weakest edge
+        let mut best = MinEdge::<T>::infinity();
+        for &v in &comp {
+            for (w, x) in factor.partners(v as usize) {
+                best = best.min(MinEdge::new(x, v, w));
+            }
+        }
+        factor.remove_edge(best.u as usize, best.v as usize);
+        removed.push((best.u, best.v));
+    }
+    CycleReport {
+        cycles: removed.len(),
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::factor_from_edges;
+
+    #[test]
+    fn minedge_order_and_identity() {
+        let a = MinEdge::new(0.5f32, 3, 1);
+        assert_eq!((a.u, a.v), (1, 3));
+        let b = MinEdge::new(0.5f32, 0, 2);
+        assert_eq!(a.min(b), b, "tie on weight → smaller u wins");
+        assert_eq!(a.min(MinEdge::infinity()), a);
+        assert!(a.touches(1) && a.touches(3) && !a.touches(2));
+    }
+
+    #[test]
+    fn breaks_triangle_at_weakest() {
+        let dev = Device::default();
+        let mut f = factor_from_edges(3, &[(0, 1, 0.5), (1, 2, 0.3), (2, 0, 0.9)]);
+        let rep = break_cycles(&dev, &mut f);
+        assert_eq!(rep.cycles, 1);
+        assert_eq!(rep.removed, vec![(1, 2)]);
+        assert!(!f.contains(1, 2));
+        assert!(!f.contains(2, 1));
+        assert!(f.contains(0, 1) && f.contains(2, 0));
+    }
+
+    #[test]
+    fn multiple_cycles_and_paths() {
+        let dev = Device::default();
+        // triangle {0,1,2}, square {3,4,5,6}, path {7,8}
+        let mut f = factor_from_edges(
+            9,
+            &[
+                (0, 1, 0.5),
+                (1, 2, 0.4),
+                (2, 0, 0.6),
+                (3, 4, 1.0),
+                (4, 5, 0.9),
+                (5, 6, 0.8),
+                (6, 3, 0.7),
+                (7, 8, 0.2),
+            ],
+        );
+        let rep = break_cycles(&dev, &mut f);
+        assert_eq!(rep.cycles, 2);
+        assert!(rep.removed.contains(&(1, 2)));
+        assert!(rep.removed.contains(&(3, 6)), "square weakest is (6,3)=0.7");
+        assert!(f.contains(7, 8), "path untouched");
+        // everything now acyclic: sequential pass finds nothing
+        let rep2 = break_cycles_sequential(&mut f.clone());
+        assert_eq!(rep2.cycles, 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_random_factors() {
+        use rand::{Rng, SeedableRng};
+        let dev = Device::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        for _ in 0..20 {
+            // random union of disjoint cycles and paths with unique weights
+            let nv = 60;
+            let mut perm: Vec<u32> = (0..nv as u32).collect();
+            for i in (1..nv).rev() {
+                let j = rng.random_range(0..=i);
+                perm.swap(i, j);
+            }
+            let mut edges = Vec::new();
+            let mut wsq = 0;
+            let mut i = 0;
+            while i < nv {
+                let len = rng.random_range(1..=8).min(nv - i);
+                let cyc = len >= 3 && rng.random::<bool>();
+                for t in 0..len - 1 {
+                    wsq += 1;
+                    edges.push((perm[i + t], perm[i + t + 1], wsq as f32 * 0.1));
+                }
+                if cyc {
+                    wsq += 1;
+                    edges.push((perm[i + len - 1], perm[i], wsq as f32 * 0.1));
+                }
+                i += len;
+            }
+            let f0 = factor_from_edges(nv, &edges);
+            let mut fp = f0.clone();
+            let mut fs = f0.clone();
+            let rp = break_cycles(&dev, &mut fp);
+            let rs = break_cycles_sequential(&mut fs);
+            assert_eq!(rp.cycles, rs.cycles);
+            let mut a = rp.removed.clone();
+            let mut b = rs.removed.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            assert_eq!(fp, fs);
+        }
+    }
+
+    #[test]
+    fn no_cycles_noop() {
+        let dev = Device::default();
+        let mut f = factor_from_edges(4, &[(0, 1, 1.0), (1, 2, 0.5)]);
+        let before = f.clone();
+        let rep = break_cycles(&dev, &mut f);
+        assert_eq!(rep.cycles, 0);
+        assert_eq!(f, before);
+    }
+}

@@ -1,0 +1,243 @@
+//! Step (4) of the linear-forest extraction (paper Sec. 3.3/4.3): with the
+//! permutation in hand, gather the tridiagonal coefficients **from the
+//! original input matrix A** into three length-N buffers.
+//!
+//! As in the paper, the matrix is walked in COO fashion with one logical
+//! thread per coefficient; each thread checks whether its edge belongs to
+//! the linear forest and scatters the value through the permutation into
+//! the sub-/superdiagonal buffer (diagonal entries always pass through).
+
+use crate::factor::Factor;
+use lf_kernel::{launch, Device, ScatterSlice, Traffic};
+use lf_sparse::{Csr, Scalar};
+
+/// A tridiagonal system stored in three buffers of length N
+/// (`dl[0]` and `du[N−1]` are zero).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tridiag<T> {
+    /// Subdiagonal: `dl[i] = t_{i, i−1}`.
+    pub dl: Vec<T>,
+    /// Diagonal: `d[i] = t_{i, i}`.
+    pub d: Vec<T>,
+    /// Superdiagonal: `du[i] = t_{i, i+1}`.
+    pub du: Vec<T>,
+}
+
+impl<T: Scalar> Tridiag<T> {
+    /// An all-zero system of order n.
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            dl: vec![T::ZERO; n],
+            d: vec![T::ZERO; n],
+            du: vec![T::ZERO; n],
+        }
+    }
+
+    /// Order of the system.
+    pub fn len(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.d.is_empty()
+    }
+
+    /// Dense `y = T·x` (reference helper for tests).
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        let n = self.len();
+        assert_eq!(x.len(), n);
+        (0..n)
+            .map(|i| {
+                let mut y = self.d[i] * x[i];
+                if i > 0 {
+                    y += self.dl[i] * x[i - 1];
+                }
+                if i + 1 < n {
+                    y += self.du[i] * x[i + 1];
+                }
+                y
+            })
+            .collect()
+    }
+
+    /// Sum of |off-diagonal| entries (diagnostic).
+    pub fn offdiag_weight(&self) -> f64 {
+        self.dl.iter().chain(self.du.iter()).map(|v| v.to_f64().abs()).sum()
+    }
+}
+
+/// Extract the tridiagonal coefficients of `QᵀAQ` restricted to the linear
+/// forest (plus the full diagonal), where `perm[new] = old`.
+///
+/// `factor` must be the acyclic [0,2]-factor whose edges, under `perm`,
+/// connect consecutive vertices (guaranteed by
+/// [`crate::permute::forest_permutation`]). Off-diagonal coefficients of A
+/// that are not forest edges are dropped — they belong to the residual, not
+/// the preconditioner.
+pub fn extract_tridiagonal<T: Scalar, U: Scalar>(
+    dev: &Device,
+    a: &Csr<U>,
+    factor: &Factor<T>,
+    perm: &[u32],
+) -> Tridiag<U> {
+    let n = a.nrows();
+    assert_eq!(perm.len(), n);
+    let inv = crate::permute::invert_permutation(dev, perm);
+
+    let mut out = Tridiag::zeros(n);
+    // COO walk: one logical thread per stored coefficient of A.
+    let coo = a.to_coo();
+    let nnz = coo.nnz();
+    {
+        let dl = ScatterSlice::new(&mut out.dl);
+        let d = ScatterSlice::new(&mut out.d);
+        let du = ScatterSlice::new(&mut out.du);
+        let traffic = Traffic::new()
+            .reads::<u32>(2 * nnz) // COO rows + cols
+            .reads::<U>(nnz)
+            .reads::<u32>(2 * n) // permutation + confirmed-edge lookups
+            .writes::<U>(3 * n);
+        launch::for_each_index(dev, "extract_coefficients", nnz, traffic, |e| {
+            let (i, j, v) = (coo.rows[e] as usize, coo.cols[e] as usize, coo.vals[e]);
+            let pi = inv[i] as usize;
+            if i == j {
+                // SAFETY: each diagonal (i, i) appears once in A; `inv` is
+                // a bijection, so targets are disjoint.
+                unsafe { d.write(pi, v) };
+                return;
+            }
+            if !factor.contains(i, j as u32) {
+                return;
+            }
+            let pj = inv[j] as usize;
+            debug_assert_eq!(
+                (pi as i64 - pj as i64).abs(),
+                1,
+                "forest edge not adjacent under permutation"
+            );
+            if pi == pj + 1 {
+                // SAFETY: at most one forest edge maps to each sub-/super-
+                // diagonal slot because positions are consecutive and unique.
+                unsafe { dl.write(pi, v) };
+            } else if pj == pi + 1 {
+                unsafe { du.write(pi, v) };
+            }
+        });
+    }
+    out
+}
+
+/// Reference extraction: dense walk over `QᵀAQ` keeping the tridiagonal
+/// part *restricted to forest edges* — for validating the scatter kernel.
+pub fn extract_tridiagonal_reference<T: Scalar, U: Scalar>(
+    a: &Csr<U>,
+    factor: &Factor<T>,
+    perm: &[u32],
+) -> Tridiag<U> {
+    let n = a.nrows();
+    let mut out = Tridiag::zeros(n);
+    for (k, &old) in perm.iter().enumerate() {
+        out.d[k] = a.get(old as usize, old as usize);
+        if k > 0 {
+            let prev = perm[k - 1];
+            if factor.contains(old as usize, prev) {
+                out.dl[k] = a.get(old as usize, prev as usize);
+            }
+        }
+        if k + 1 < n {
+            let next = perm[k + 1];
+            if factor.contains(old as usize, next) {
+                out.du[k] = a.get(old as usize, next as usize);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::identify_paths;
+    use crate::permute::forest_permutation;
+    use crate::testutil::factor_from_edges;
+    use lf_sparse::Coo;
+
+    #[test]
+    fn tridiag_matvec() {
+        let t = Tridiag {
+            dl: vec![0.0, 1.0, 2.0],
+            d: vec![4.0, 5.0, 6.0],
+            du: vec![7.0, 8.0, 0.0],
+        };
+        assert_eq!(t.matvec(&[1.0, 1.0, 1.0]), vec![11.0, 14.0, 8.0]);
+        assert_eq!(t.offdiag_weight(), 18.0);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn extracts_forest_edges_only() {
+        // graph: square 0-1-2-3-0 with a chord; forest keeps 0-1, 1-2, 2-3
+        let mut coo = Coo::<f64>::new(4, 4);
+        for i in 0..4u32 {
+            coo.push(i, i, 10.0 + i as f64);
+        }
+        coo.push_sym(0, 1, -1.0);
+        coo.push_sym(1, 2, -2.0);
+        coo.push_sym(2, 3, -3.0);
+        coo.push_sym(3, 0, -4.0); // not in forest
+        let a = lf_sparse::Csr::from_coo(coo);
+        let f = factor_from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        let perm = forest_permutation(&dev, &p);
+        assert_eq!(perm, vec![0, 1, 2, 3]);
+        let t = extract_tridiagonal(&dev, &a, &f, &perm);
+        assert_eq!(t.d, vec![10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(t.du, vec![-1.0, -2.0, -3.0, 0.0]);
+        assert_eq!(t.dl, vec![0.0, -1.0, -2.0, -3.0]);
+        assert_eq!(t, extract_tridiagonal_reference(&a, &f, &perm));
+    }
+
+    #[test]
+    fn nonsymmetric_values_kept_per_direction() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(0, 1, -5.0);
+        coo.push(1, 0, -7.0);
+        let a = lf_sparse::Csr::from_coo(coo);
+        let f = factor_from_edges(2, &[(0, 1, 6.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        let perm = forest_permutation(&dev, &p);
+        let t = extract_tridiagonal(&dev, &a, &f, &perm);
+        assert_eq!(t.du[0], -5.0);
+        assert_eq!(t.dl[1], -7.0);
+    }
+
+    #[test]
+    fn scatter_matches_reference_on_random_forest() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let dev = Device::default();
+        let nv = 300;
+        // random matrix with planted forest
+        let (a, _paths): (lf_sparse::Csr<f64>, _) =
+            lf_sparse::random::planted_linear_forest(nv, 10, 3.0, 99);
+        // build the factor from the planted strong edges (weight ≥ 0.5)
+        let mut f = crate::factor::Factor::<f64>::new(nv, 2);
+        for (r, c, v) in a.iter() {
+            if r < c && v >= 0.5 {
+                f.insert(r as usize, c, v);
+                f.insert(c as usize, r, v);
+            }
+        }
+        let _ = rng.random::<u8>();
+        let p = identify_paths(&dev, &f).unwrap();
+        let perm = forest_permutation(&dev, &p);
+        let got = extract_tridiagonal(&dev, &a, &f, &perm);
+        let want = extract_tridiagonal_reference(&a, &f, &perm);
+        assert_eq!(got, want);
+    }
+}

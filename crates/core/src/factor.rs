@@ -1,0 +1,376 @@
+//! The [0,n]-factor representation and its quality metrics.
+//!
+//! A [0,n]-factor π of a weighted graph G (paper Sec. 3.1, Eq. 1–2) is a
+//! spanning subgraph in which every vertex has degree ≤ n; π(v) returns the
+//! (at most n) partners of v. The paper's two invariants are checked by
+//! [`Factor::validate`]:
+//!
+//! 1. every vertex has at most n partners, and
+//! 2. partnership is mutual over existing edges: `v ∈ π(w) ⇔ w ∈ π(v)`,
+//!    `{v, w} ∈ E`.
+//!
+//! Quality is measured by the *relative weight coverage* `c_π` (Eq. 4) and
+//! compared against `c_id`, the coverage of the sub-/superdiagonal in the
+//! original ordering (Eq. 5).
+
+use lf_sparse::{Csr, Scalar};
+
+/// Sentinel for an empty factor slot.
+pub const INVALID: u32 = u32::MAX;
+
+/// A [0,n]-factor stored as `n` (column, weight) slots per vertex.
+///
+/// Weights are the `A'` weights of the partner edges (used later to break
+/// cycles by weakest edge); empty slots hold [`INVALID`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Factor<T> {
+    n: usize,
+    nv: usize,
+    cols: Vec<u32>,
+    ws: Vec<T>,
+}
+
+impl<T: Scalar> Factor<T> {
+    /// An empty factor over `nv` vertices with degree bound `n`.
+    pub fn new(nv: usize, n: usize) -> Self {
+        assert!(n >= 1, "degree bound must be at least 1");
+        Self {
+            n,
+            nv,
+            cols: vec![INVALID; nv * n],
+            ws: vec![T::ZERO; nv * n],
+        }
+    }
+
+    /// Build from per-vertex slot arrays (used by the parallel engine).
+    pub fn from_slots(nv: usize, n: usize, cols: Vec<u32>, ws: Vec<T>) -> Self {
+        assert_eq!(cols.len(), nv * n);
+        assert_eq!(ws.len(), nv * n);
+        Self { n, nv, cols, ws }
+    }
+
+    /// The degree bound n.
+    pub fn degree_bound(&self) -> usize {
+        self.n
+    }
+
+    /// Number of vertices N.
+    pub fn num_vertices(&self) -> usize {
+        self.nv
+    }
+
+    /// Raw slot columns (`nv · n`, slot-major per vertex).
+    pub fn slot_cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// Raw slot weights.
+    pub fn slot_weights(&self) -> &[T] {
+        &self.ws
+    }
+
+    /// Mutable access to the raw slot arrays (columns, weights) for
+    /// in-place kernels within the crate.
+    pub(crate) fn slots_mut(&mut self) -> (&mut [u32], &mut [T]) {
+        (&mut self.cols, &mut self.ws)
+    }
+
+    /// Partners of vertex `v` with their edge weights.
+    pub fn partners(&self, v: usize) -> impl Iterator<Item = (u32, T)> + '_ {
+        let base = v * self.n;
+        (0..self.n).filter_map(move |s| {
+            let c = self.cols[base + s];
+            (c != INVALID).then(|| (c, self.ws[base + s]))
+        })
+    }
+
+    /// Degree of vertex `v` in the factor.
+    pub fn degree(&self, v: usize) -> usize {
+        self.partners(v).count()
+    }
+
+    /// Whether edge `{v, w}` is in the factor (checks `w ∈ π(v)`).
+    pub fn contains(&self, v: usize, w: u32) -> bool {
+        self.partners(v).any(|(c, _)| c == w)
+    }
+
+    /// Insert partner `w` with weight into a free slot of `v`.
+    /// Returns false if `v` is already full or the partnership exists.
+    pub fn insert(&mut self, v: usize, w: u32, weight: T) -> bool {
+        if self.contains(v, w) {
+            return false;
+        }
+        let base = v * self.n;
+        for s in 0..self.n {
+            if self.cols[base + s] == INVALID {
+                self.cols[base + s] = w;
+                self.ws[base + s] = weight;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Remove the undirected edge `{u, v}` from both endpoints.
+    /// Returns whether anything was removed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let mut removed = false;
+        for (a, b) in [(u, v), (v, u)] {
+            let base = a * self.n;
+            for s in 0..self.n {
+                if self.cols[base + s] == b as u32 {
+                    self.cols[base + s] = INVALID;
+                    self.ws[base + s] = T::ZERO;
+                    removed = true;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Total number of filled slots, `|π(V)| = Σ_v |π(v)|` (twice the edge
+    /// count for a mutual factor) — the paper's maximality counter.
+    pub fn total_slots(&self) -> usize {
+        self.cols.iter().filter(|&&c| c != INVALID).count()
+    }
+
+    /// Undirected edge list `(v, w, weight)` with `v < w`.
+    ///
+    /// For a mutual factor each edge appears exactly once.
+    pub fn edges(&self) -> Vec<(u32, u32, T)> {
+        let mut out = Vec::new();
+        for v in 0..self.nv {
+            for (w, x) in self.partners(v) {
+                if (v as u32) < w {
+                    out.push((v as u32, w, x));
+                }
+            }
+        }
+        out
+    }
+
+    /// The factor weight ω_π (Eq. 3): Σ over factor edges of |ω(e)| using
+    /// the stored `A'` weights.
+    pub fn weight(&self) -> f64 {
+        self.edges().iter().map(|&(_, _, w)| w.to_f64().abs()).sum()
+    }
+
+    /// The factor as a symmetric adjacency matrix (slot weights as
+    /// values) — e.g. to inspect bandwidth under a permutation.
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut coo = lf_sparse::Coo::new(self.nv, self.nv);
+        for v in 0..self.nv {
+            for (w, x) in self.partners(v) {
+                coo.push(v as u32, w, x);
+            }
+        }
+        Csr::from_coo(coo)
+    }
+
+    /// Check the paper's factor invariants against graph `a` (the matrix π
+    /// was computed from). Returns a description of the first violation.
+    pub fn validate(&self, a: &Csr<T>) -> Result<(), String> {
+        if a.nrows() != self.nv {
+            return Err("vertex count mismatch".into());
+        }
+        for v in 0..self.nv {
+            let mut seen = Vec::new();
+            for (w, _) in self.partners(v) {
+                if w as usize >= self.nv {
+                    return Err(format!("vertex {v}: partner {w} out of range"));
+                }
+                if w as usize == v {
+                    return Err(format!("vertex {v}: self-loop"));
+                }
+                if seen.contains(&w) {
+                    return Err(format!("vertex {v}: duplicate partner {w}"));
+                }
+                seen.push(w);
+                // condition (2): mutuality and edge existence
+                if !self.contains(w as usize, v as u32) {
+                    return Err(format!("edge ({v},{w}) not mutual"));
+                }
+                if a.get(v, w as usize) == T::ZERO && a.get(w as usize, v) == T::ZERO {
+                    return Err(format!("edge ({v},{w}) not in E"));
+                }
+            }
+            // condition (1) holds by construction (n slots), but check size
+            if seen.len() > self.n {
+                return Err(format!("vertex {v}: degree {} > n", seen.len()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether π is *maximal*: no edge of `a` can be added without breaking
+    /// the degree bound. (O(nnz); for tests and the greedy baseline.)
+    pub fn is_maximal(&self, a: &Csr<T>) -> bool {
+        for v in 0..self.nv {
+            if self.degree(v) >= self.n {
+                continue;
+            }
+            for (w, x) in a.row(v) {
+                if w as usize == v || x == T::ZERO {
+                    continue;
+                }
+                if self.degree(w as usize) < self.n && !self.contains(v, w) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Total graph weight ω_G (Eq. 4 denominator): Σ over off-diagonal stored
+/// entries of |a_ij|. For symmetric matrices each undirected edge is thus
+/// counted twice — consistently in numerator and denominator of the
+/// coverage ratios below, matching the paper's convention.
+pub fn graph_weight<T: Scalar>(a: &Csr<T>) -> f64 {
+    a.iter()
+        .filter(|&(r, c, _)| r != c)
+        .map(|(_, _, v)| v.to_f64().abs())
+        .sum()
+}
+
+/// Relative weight coverage c_π (Eq. 4) of a factor, measured against the
+/// (possibly nonsymmetric) original matrix `a`: for every factor edge
+/// `{v, w}` both directed entries `|a_vw| + |a_wv|` count.
+pub fn weight_coverage<T: Scalar, U: Scalar>(factor: &Factor<T>, a: &Csr<U>) -> f64 {
+    let denom = graph_weight(a);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = factor
+        .edges()
+        .iter()
+        .map(|&(v, w, _)| {
+            a.get(v as usize, w as usize).to_f64().abs() + a.get(w as usize, v as usize).to_f64().abs()
+        })
+        .sum();
+    num / denom
+}
+
+/// Coverage of the sub-/superdiagonal in the original vertex order, c_id
+/// (Eq. 5): what a tridiagonal preconditioner built without reordering
+/// would capture.
+pub fn identity_coverage<T: Scalar>(a: &Csr<T>) -> f64 {
+    let denom = graph_weight(a);
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let n = a.nrows();
+    let mut num = 0.0;
+    for i in 0..n {
+        if i > 0 {
+            num += a.get(i, i - 1).to_f64().abs();
+        }
+        if i + 1 < n {
+            num += a.get(i, i + 1).to_f64().abs();
+        }
+    }
+    num / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::Coo;
+
+    fn path_graph(n: usize) -> Csr<f64> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n - 1 {
+            coo.push_sym(i as u32, i as u32 + 1, 1.0 + i as f64);
+        }
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn insert_degree_contains() {
+        let mut f = Factor::<f64>::new(4, 2);
+        assert!(f.insert(0, 1, 5.0));
+        assert!(f.insert(1, 0, 5.0));
+        assert!(!f.insert(0, 1, 5.0), "duplicate insert");
+        assert!(f.insert(0, 2, 3.0));
+        assert!(f.insert(2, 0, 3.0));
+        assert!(!f.insert(0, 3, 1.0), "degree bound");
+        assert_eq!(f.degree(0), 2);
+        assert!(f.contains(0, 1));
+        assert!(!f.contains(0, 3));
+        assert_eq!(f.total_slots(), 4);
+        assert_eq!(f.edges().len(), 2);
+    }
+
+    #[test]
+    fn remove_edge_both_sides() {
+        let mut f = Factor::<f64>::new(3, 2);
+        f.insert(0, 1, 2.0);
+        f.insert(1, 0, 2.0);
+        assert!(f.remove_edge(1, 0));
+        assert_eq!(f.degree(0), 0);
+        assert_eq!(f.degree(1), 0);
+        assert!(!f.remove_edge(0, 1));
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let a = path_graph(4);
+        let mut f = Factor::<f64>::new(4, 2);
+        f.insert(0, 1, 1.0);
+        assert!(f.validate(&a).unwrap_err().contains("not mutual"));
+        f.insert(1, 0, 1.0);
+        assert!(f.validate(&a).is_ok());
+        // non-existent edge 0-3
+        f.insert(0, 3, 1.0);
+        f.insert(3, 0, 1.0);
+        assert!(f.validate(&a).unwrap_err().contains("not in E"));
+    }
+
+    #[test]
+    fn maximality() {
+        let a = path_graph(3); // edges 0-1, 1-2
+        let mut f = Factor::<f64>::new(3, 1);
+        assert!(!f.is_maximal(&a));
+        f.insert(0, 1, 1.0);
+        f.insert(1, 0, 1.0);
+        // vertex 2 free but its only neighbor 1 is full for n = 1
+        assert!(f.is_maximal(&a));
+    }
+
+    #[test]
+    fn coverage_metrics() {
+        let a = path_graph(3); // weights 1, 2 (each stored twice)
+        assert_eq!(graph_weight(&a), 6.0);
+        let mut f = Factor::<f64>::new(3, 1);
+        f.insert(1, 2, 2.0);
+        f.insert(2, 1, 2.0);
+        // covers |a_12| + |a_21| = 4 of 6
+        assert!((weight_coverage(&f, &a) - 4.0 / 6.0).abs() < 1e-12);
+        // path graph in natural order: everything on the tridiagonal
+        assert!((identity_coverage(&a) - 1.0).abs() < 1e-12);
+        assert_eq!(f.weight(), 2.0);
+    }
+
+    #[test]
+    fn to_csr_is_symmetric_adjacency() {
+        let mut f = Factor::<f64>::new(4, 2);
+        f.insert(0, 1, 2.0);
+        f.insert(1, 0, 2.0);
+        f.insert(1, 2, 3.0);
+        f.insert(2, 1, 3.0);
+        let m = f.to_csr();
+        assert!(m.is_symmetric());
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.bandwidth(), 1);
+    }
+
+    #[test]
+    fn empty_graph_coverage_zero() {
+        let a = Csr::<f64>::zeros(3, 3);
+        let f = Factor::<f64>::new(3, 2);
+        assert_eq!(weight_coverage(&f, &a), 0.0);
+        assert_eq!(identity_coverage(&a), 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The end-to-end linear-forest pipeline (paper Sec. 3.3, Fig. 6):
+//!
+//! 1. parallel [0,2]-factor (Algorithm 2),
+//! 2. identify cycles and break them at their weakest edge,
+//! 3. identify paths (IDs and positions, Algorithm 3),
+//! 4. compute the tridiagonalizing permutation (radix sort),
+//! 5. extract coefficients from the original matrix.
+//!
+//! The per-phase device statistics are recorded for the Fig. 6 time
+//! breakdown.
+
+use crate::cycles::{break_cycles, CycleReport};
+use crate::extract::{extract_tridiagonal, Tridiag};
+use crate::factor::Factor;
+use crate::parallel::{parallel_factor, FactorConfig};
+use crate::paths::{identify_paths, PathInfo};
+use crate::permute::forest_permutation;
+use lf_kernel::{Device, DeviceStats};
+use lf_sparse::{Csr, Scalar};
+
+/// A maximum(-al) linear forest of a weighted graph with everything needed
+/// to build tridiagonal preconditioners: the acyclic [0,2]-factor, the
+/// per-vertex path IDs/positions, and the tridiagonalizing permutation.
+#[derive(Clone, Debug)]
+pub struct LinearForest<T> {
+    /// The acyclic [0,2]-factor (after cycle breaking).
+    pub factor: Factor<T>,
+    /// Path IDs and positions per vertex.
+    pub paths: PathInfo,
+    /// Permutation with `perm[new] = old`; under it the forest adjacency
+    /// is tridiagonal.
+    pub perm: Vec<u32>,
+    /// Cycle-breaking report of step (1).
+    pub cycles: CycleReport,
+    /// Iterations used by the factor computation.
+    pub factor_iterations: usize,
+}
+
+impl<T: Scalar> LinearForest<T> {
+    /// Number of disjoint paths in the forest (isolated vertices count as
+    /// length-1 paths).
+    pub fn num_paths(&self) -> usize {
+        self.paths.num_paths()
+    }
+
+    /// Total weight ω_π of the forest (Eq. 3, on `A'` weights).
+    pub fn weight(&self) -> f64 {
+        self.factor.weight()
+    }
+
+    /// One-stop quality report against the original matrix `a` (and,
+    /// optionally, a sequential-greedy reference factor for the PAR/SEQ
+    /// ratio of Table 5).
+    pub fn quality_report<U: lf_sparse::Scalar>(
+        &self,
+        a: &lf_sparse::Csr<U>,
+        greedy: Option<&Factor<T>>,
+    ) -> QualityReport {
+        let lengths = self.paths.path_lengths();
+        let coverage = crate::factor::weight_coverage(&self.factor, a);
+        QualityReport {
+            coverage,
+            identity_coverage: crate::factor::identity_coverage(a),
+            greedy_ratio: greedy.map(|g| {
+                let cg = crate::factor::weight_coverage(g, a);
+                if cg == 0.0 {
+                    1.0
+                } else {
+                    coverage / cg
+                }
+            }),
+            num_paths: lengths.len(),
+            mean_path_len: if lengths.is_empty() {
+                0.0
+            } else {
+                lengths.iter().sum::<usize>() as f64 / lengths.len() as f64
+            },
+            max_path_len: lengths.iter().copied().max().unwrap_or(0),
+            cycles_broken: self.cycles.cycles,
+        }
+    }
+}
+
+/// Summary of a linear forest's quality (see
+/// [`LinearForest::quality_report`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QualityReport {
+    /// Relative weight coverage c_π (Eq. 4).
+    pub coverage: f64,
+    /// Natural-order coverage c_id (Eq. 5) for comparison.
+    pub identity_coverage: f64,
+    /// `c_π / c_π(greedy)` when a greedy reference was supplied.
+    pub greedy_ratio: Option<f64>,
+    /// Number of disjoint paths (incl. isolated vertices).
+    pub num_paths: usize,
+    /// Mean path length in vertices.
+    pub mean_path_len: f64,
+    /// Longest path length.
+    pub max_path_len: usize,
+    /// Cycles broken during extraction.
+    pub cycles_broken: usize,
+}
+
+/// Device statistics per pipeline phase — the paper's Fig. 6 breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineTimings {
+    /// [0,2]-factor computation (Algorithm 2).
+    pub factor: DeviceStats,
+    /// Cycle identification + weakest-edge removal.
+    pub identify_cycles: DeviceStats,
+    /// Path ID/position scan (Algorithm 3).
+    pub identify_paths: DeviceStats,
+    /// Radix-sort permutation.
+    pub permutation: DeviceStats,
+    /// Coefficient extraction from A.
+    pub extraction: DeviceStats,
+}
+
+impl PipelineTimings {
+    /// Total wall time across phases (seconds).
+    pub fn total_wall_s(&self) -> f64 {
+        self.phases().iter().map(|(_, s)| s.wall_time_s).sum()
+    }
+
+    /// Total model time across phases (seconds).
+    pub fn total_model_s(&self) -> f64 {
+        self.phases().iter().map(|(_, s)| s.model_time_s).sum()
+    }
+
+    /// Named phase list in pipeline order.
+    pub fn phases(&self) -> [(&'static str, &DeviceStats); 5] {
+        [
+            ("factor", &self.factor),
+            ("identify_cycles", &self.identify_cycles),
+            ("identify_paths", &self.identify_paths),
+            ("permutation", &self.permutation),
+            ("extraction", &self.extraction),
+        ]
+    }
+}
+
+/// Extract a linear forest from the undirected weight matrix `aprime`
+/// (see [`crate::prepare_undirected`]) using a [0,2]-factor computed with
+/// `cfg` (whose `n` must be 2).
+pub fn extract_linear_forest<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+) -> (LinearForest<T>, PipelineTimings) {
+    assert_eq!(cfg.n, 2, "a linear forest requires a [0,2]-factor");
+    let mut timings = PipelineTimings::default();
+
+    let (outcome, t_factor) = dev.scoped(|| parallel_factor(dev, aprime, cfg));
+    timings.factor = t_factor;
+    let mut factor = outcome.factor;
+
+    let (cycles, t_cyc) = dev.scoped(|| break_cycles(dev, &mut factor));
+    timings.identify_cycles = t_cyc;
+
+    let (paths, t_paths) = dev.scoped(|| identify_paths(dev, &factor));
+    timings.identify_paths = t_paths;
+    let paths = paths.expect("factor is acyclic after cycle breaking");
+
+    let (perm, t_perm) = dev.scoped(|| forest_permutation(dev, &paths));
+    timings.permutation = t_perm;
+
+    (
+        LinearForest {
+            factor,
+            paths,
+            perm,
+            cycles,
+            factor_iterations: outcome.iterations,
+        },
+        timings,
+    )
+}
+
+/// Full setup of an algebraic scalar tridiagonal preconditioner
+/// (paper Sec. 6, `AlgTriScalPrecond`): linear forest + coefficient
+/// extraction from the **original** matrix `a`.
+pub fn tridiagonal_from_matrix<T: Scalar>(
+    dev: &Device,
+    a: &Csr<T>,
+    cfg: &FactorConfig,
+) -> (Tridiag<T>, LinearForest<T>, PipelineTimings) {
+    let aprime = crate::prepare_undirected(a);
+    let (forest, mut timings) = extract_linear_forest(dev, &aprime, cfg);
+    let (tri, t_ex) = dev.scoped(|| extract_tridiagonal(dev, a, &forest.factor, &forest.perm));
+    timings.extraction = t_ex;
+    (tri, forest, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::weight_coverage;
+    use crate::permute::is_tridiagonalizing;
+    use lf_sparse::stencil::{grid2d, ANISO1, ANISO2};
+    use lf_sparse::Collection;
+
+    #[test]
+    fn aniso1_forest_follows_strong_direction() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(16, 16, &ANISO1);
+        let ap = crate::prepare_undirected(&a);
+        let (forest, timings) =
+            extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        forest.factor.validate(&ap).unwrap();
+        assert!(is_tridiagonalizing(&forest.factor, &forest.perm));
+        // ANISO1's strong x-chains carry 2/3 of the weight (Table 4: 0.67)
+        let c = weight_coverage(&forest.factor, &a);
+        assert!(c > 0.60, "ANISO1 coverage {c:.3}");
+        assert!(timings.total_wall_s() > 0.0);
+        assert!(timings.factor.launches > 0);
+        assert!(timings.identify_paths.launches > 0);
+    }
+
+    #[test]
+    fn permuted_adjacency_is_tridiagonal_matrix() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(12, 12, &ANISO2);
+        let (tri, forest, _) =
+            tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+        // permute A and compare its forest-restricted tridiagonal part
+        let want = crate::extract::extract_tridiagonal_reference(&a, &forest.factor, &forest.perm);
+        assert_eq!(tri, want);
+        // bandwidth of the forest adjacency under perm is 1
+        assert!(is_tridiagonalizing(&forest.factor, &forest.perm));
+    }
+
+    #[test]
+    fn pipeline_runs_on_collection_samples() {
+        let dev = Device::default();
+        for m in [Collection::G3Circuit, Collection::Stocf1465, Collection::Atmosmodm] {
+            let a = m.generate(800);
+            let (tri, forest, _) =
+                tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+            assert_eq!(tri.len(), a.nrows());
+            assert!(forest.num_paths() >= 1);
+            // diagonal passes through
+            for i in 0..a.nrows() {
+                let k = forest.perm.iter().position(|&o| o as usize == i).unwrap();
+                assert_eq!(tri.d[k], a.get(i, i), "{} diag {i}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn stocf_forest_covers_almost_everything() {
+        // Table 5: STOCF-1465 has c_π = 1.00 for n = 2.
+        let dev = Device::default();
+        let a = Collection::Stocf1465.generate(2000);
+        let ap = crate::prepare_undirected(&a);
+        let (forest, _) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        let c = weight_coverage(&forest.factor, &a);
+        assert!(c > 0.95, "STOCF coverage {c:.3}");
+    }
+
+    #[test]
+    fn quality_report_fields() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(10, 10, &ANISO1);
+        let ap = crate::prepare_undirected(&a);
+        let (forest, _) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        let greedy = crate::greedy::greedy_factor(&ap, 2);
+        let q = forest.quality_report(&a, Some(&greedy));
+        assert!(q.coverage > 0.5);
+        assert!(q.greedy_ratio.unwrap() > 0.9);
+        assert!(q.mean_path_len >= 1.0);
+        assert!(q.max_path_len >= 10, "x-chains span the grid");
+        assert_eq!(
+            q.num_paths,
+            forest.num_paths(),
+        );
+        // forest adjacency becomes bandwidth-1 under the permutation
+        let adj = forest.factor.to_csr().permute_sym(&forest.perm);
+        assert!(adj.bandwidth() <= 1);
+    }
+
+    #[test]
+    fn timings_phase_list_is_complete() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(8, 8, &ANISO1);
+        let (_, _, t) = tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+        let names: Vec<&str> = t.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["factor", "identify_cycles", "identify_paths", "permutation", "extraction"]
+        );
+        for (name, s) in t.phases() {
+            assert!(s.launches > 0, "phase {name} launched nothing");
+        }
+        assert!(t.total_model_s() > 0.0);
+    }
+}

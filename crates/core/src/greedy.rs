@@ -1,0 +1,170 @@
+//! Sequential greedy [0,n]-factor (paper Algorithm 1) — the quality
+//! baseline the parallel algorithm is measured against in Tables 4 and 5.
+//!
+//! Edges are visited in order of decreasing |weight| (ties broken by
+//! vertex IDs for determinism) and added whenever both endpoints still
+//! have a free slot. For n = 1 this is the classic greedy matching with a
+//! 1/2-approximation guarantee on the maximum weight [16].
+
+use crate::factor::Factor;
+use lf_sparse::{Csr, Scalar};
+
+/// Compute a maximal [0,n]-factor greedily.
+///
+/// `a` should be the preprocessed undirected weight matrix `A'`
+/// (see [`crate::prepare_undirected`]); the diagonal is ignored and each
+/// undirected edge is considered once with weight `|a_vw|`.
+pub fn greedy_factor<T: Scalar>(a: &Csr<T>, n: usize) -> Factor<T> {
+    let nv = a.nrows();
+    let mut edges: Vec<(T, u32, u32)> = Vec::with_capacity(a.nnz() / 2);
+    for (r, c, v) in a.iter() {
+        if r < c && v != T::ZERO {
+            // take max of both directions for robustness on asymmetric input
+            let w = if a.get(c as usize, r as usize).abs() > v.abs() {
+                a.get(c as usize, r as usize).abs()
+            } else {
+                v.abs()
+            };
+            edges.push((w, r, c));
+        }
+    }
+    // decreasing |ω|, ties by (v, w) ascending — deterministic
+    edges.sort_by(|x, y| {
+        y.0.partial_cmp(&x.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(x.1.cmp(&y.1))
+            .then(x.2.cmp(&y.2))
+    });
+    let mut f = Factor::new(nv, n);
+    let mut deg = vec![0u32; nv];
+    for (w, u, v) in edges {
+        if deg[u as usize] < n as u32 && deg[v as usize] < n as u32 {
+            f.insert(u as usize, v, w);
+            f.insert(v as usize, u, w);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factor::weight_coverage;
+    use lf_sparse::random::random_symmetric;
+    use lf_sparse::Coo;
+
+    fn triangle() -> Csr<f64> {
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 1, 3.0);
+        coo.push_sym(1, 2, 2.0);
+        coo.push_sym(0, 2, 1.0);
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn matching_takes_heaviest_edge() {
+        let a = triangle();
+        let f = greedy_factor(&a, 1);
+        assert!(f.contains(0, 1));
+        assert_eq!(f.degree(2), 0);
+        assert_eq!(f.edges().len(), 1);
+        f.validate(&a).unwrap();
+        assert!(f.is_maximal(&a));
+    }
+
+    #[test]
+    fn two_factor_takes_whole_triangle() {
+        let a = triangle();
+        let f = greedy_factor(&a, 2);
+        assert_eq!(f.edges().len(), 3);
+        assert!((weight_coverage(&f, &a) - 1.0).abs() < 1e-12);
+        f.validate(&a).unwrap();
+    }
+
+    #[test]
+    fn respects_degree_bound_on_star() {
+        // star: center 0 with 5 leaves
+        let mut coo = Coo::<f64>::new(6, 6);
+        for l in 1..6u32 {
+            coo.push_sym(0, l, l as f64);
+        }
+        let a = Csr::from_coo(coo);
+        for n in 1..=4 {
+            let f = greedy_factor(&a, n);
+            assert_eq!(f.degree(0), n);
+            // takes the n heaviest leaves
+            for l in (6 - n as u32)..6 {
+                assert!(f.contains(0, l), "n={n} leaf {l}");
+            }
+            f.validate(&a).unwrap();
+            assert!(f.is_maximal(&a));
+        }
+    }
+
+    #[test]
+    fn maximal_on_random_graphs() {
+        for seed in 0..5 {
+            let a: Csr<f64> = random_symmetric(200, 8.0, 0.1, 1.0, seed);
+            for n in 1..=4 {
+                let f = greedy_factor(&a, n);
+                f.validate(&a).unwrap();
+                assert!(f.is_maximal(&a), "seed={seed} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn half_approximation_for_matching() {
+        // greedy matching achieves ≥ 1/2 of the maximum weight matching;
+        // verify against brute force on small graphs
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for _ in 0..20 {
+            let n = 8;
+            let mut coo = Coo::<f64>::new(n, n);
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if rng.random::<f64>() < 0.5 {
+                        coo.push_sym(u, v, rng.random_range(0.1..1.0));
+                    }
+                }
+            }
+            let a = Csr::from_coo(coo);
+            let f = greedy_factor(&a, 1);
+            let greedy_w = f.weight();
+            // brute-force max weight matching over edge subsets
+            let edges: Vec<(u32, u32, f64)> = a
+                .iter()
+                .filter(|&(r, c, _)| r < c)
+                .map(|(r, c, v)| (r, c, v))
+                .collect();
+            let mut best = 0.0f64;
+            let m = edges.len();
+            assert!(m <= 20, "keep brute force feasible");
+            for mask in 0u32..(1 << m) {
+                let mut used = 0u32;
+                let mut w = 0.0;
+                let mut ok = true;
+                for (i, &(u, v, x)) in edges.iter().enumerate() {
+                    if mask >> i & 1 == 1 {
+                        if used >> u & 1 == 1 || used >> v & 1 == 1 {
+                            ok = false;
+                            break;
+                        }
+                        used |= 1 << u | 1 << v;
+                        w += x;
+                    }
+                }
+                if ok && w > best {
+                    best = w;
+                }
+            }
+            assert!(
+                greedy_w * 2.0 + 1e-9 >= best,
+                "greedy {greedy_w} < half of optimal {best}"
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! # lf-core — highly parallel linear forest extraction
+//!
+//! The primary contribution of *"Highly Parallel Linear Forest Extraction
+//! from a Weighted Graph on GPUs"* (Klein & Strzodka, ICPP '22),
+//! implemented on the simulated device of `lf-kernel`:
+//!
+//! * **[0,n]-factors** (`n ≤ 4`): spanning subgraphs of maximum degree n,
+//!   computed sequentially ([`greedy::greedy_factor`], Alg. 1) or in
+//!   parallel ([`parallel::parallel_factor`], Alg. 2) via a generalized
+//!   SpMV with a Top-n accumulator and MD5 vertex charging;
+//! * the **bidirectional scan** ([`scan::bidirectional_scan`], Alg. 3) —
+//!   a parallel scan requiring only bidirectional connectivity, not a
+//!   random-access iterator;
+//! * the **linear-forest pipeline** ([`forest::extract_linear_forest`]):
+//!   break cycles at their weakest edge, compute path IDs/positions, sort
+//!   into a tridiagonalizing permutation, extract coefficients;
+//! * **[0,1]-factor coarsening** ([`coarsen`]) for the 2×2 block
+//!   tridiagonal preconditioner of the paper's application section.
+//!
+//! ```
+//! use lf_core::prelude::*;
+//! use lf_kernel::Device;
+//! use lf_sparse::prelude::*;
+//!
+//! let dev = Device::default();
+//! let a: Csr<f64> = grid2d(16, 16, &ANISO1);
+//! let (forest, timings) = extract_linear_forest(
+//!     &dev,
+//!     &prepare_undirected(&a),
+//!     &FactorConfig::paper_default(2),
+//! );
+//! assert!(forest.num_paths() > 0);
+//! assert!(timings.total_model_s() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alternatives;
+pub mod charge;
+pub mod coarsen;
+pub mod cycles;
+pub mod extract;
+pub mod factor;
+pub mod forest;
+pub mod greedy;
+pub mod merged;
+pub mod parallel;
+pub mod paths;
+pub mod permute;
+pub mod ranking;
+pub mod scan;
+pub mod topk;
+
+pub use factor::{graph_weight, identity_coverage, weight_coverage, Factor, INVALID};
+pub use forest::{
+    extract_linear_forest, tridiagonal_from_matrix, LinearForest, PipelineTimings, QualityReport,
+};
+pub use parallel::{parallel_factor, FactorConfig, FactorOutcome};
+
+use lf_sparse::{Csr, Scalar};
+
+/// The paper's preprocessing (Sec. 4 / 5.1): `A' = |A| − diag(|A|)`,
+/// symmetrized as `A' + A'ᵀ` when the input is not symmetric. The result
+/// is the undirected weight matrix all factor computations run on, while
+/// coverage metrics stay defined against the original `A`.
+pub fn prepare_undirected<T: Scalar>(a: &Csr<T>) -> Csr<T> {
+    let ap = a.abs_offdiag();
+    if ap.is_symmetric() {
+        ap
+    } else {
+        ap.plus_transpose()
+    }
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::coarsen::{coarsen_by_matching, expand_block_permutation};
+    pub use crate::cycles::{break_cycles, break_cycles_sequential};
+    pub use crate::extract::{extract_tridiagonal, Tridiag};
+    pub use crate::factor::{identity_coverage, weight_coverage, Factor};
+    pub use crate::forest::{
+        extract_linear_forest, tridiagonal_from_matrix, LinearForest, QualityReport,
+    };
+    pub use crate::greedy::greedy_factor;
+    pub use crate::merged::break_cycles_and_identify_paths;
+    pub use crate::parallel::{parallel_factor, FactorConfig};
+    pub use crate::paths::{identify_paths, identify_paths_sequential, PathInfo};
+    pub use crate::permute::forest_permutation;
+    pub use crate::ranking::identify_paths_workefficient;
+    pub use crate::prepare_undirected;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::factor::Factor;
+
+    /// Build a [0,2]-factor from explicit undirected edges.
+    pub fn factor_from_edges(nv: usize, edges: &[(u32, u32, f32)]) -> Factor<f32> {
+        let mut f = Factor::new(nv, 2);
+        for &(u, v, w) in edges {
+            assert!(f.insert(u as usize, v, w));
+            assert!(f.insert(v as usize, u, w));
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::Coo;
+
+    #[test]
+    fn prepare_undirected_symmetric_input() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 0, 5.0);
+        coo.push_sym(0, 1, -2.0);
+        let ap = prepare_undirected(&Csr::from_coo(coo));
+        assert_eq!(ap.get(0, 0), 0.0, "diagonal removed");
+        assert_eq!(ap.get(0, 1), 2.0, "absolute value");
+        assert!(ap.is_symmetric());
+    }
+
+    #[test]
+    fn prepare_undirected_nonsymmetric_sums_directions() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 1, -3.0);
+        coo.push(1, 0, 1.0);
+        let ap = prepare_undirected(&Csr::from_coo(coo));
+        assert_eq!(ap.get(0, 1), 4.0, "|A'| + |A'|ᵀ");
+        assert!(ap.is_symmetric());
+    }
+}

@@ -1,0 +1,284 @@
+//! Step (2) of the linear-forest extraction (paper Sec. 3.3, Algorithm 3):
+//! compute, for every vertex of an **acyclic** [0,2]-factor, the ID of its
+//! path and its position within the path.
+//!
+//! The bidirectional scan with the `+` operator and initial value 1
+//! determines the distance to both path ends; the **path ID is the smaller
+//! end vertex's ID**, which also fixes the orientation: the smaller end is
+//! at position 1 (paper Sec. 3.3).
+
+use crate::factor::Factor;
+use crate::scan::{bidirectional_scan, BidirResult};
+use lf_kernel::{launch, reduce, Device};
+use lf_sparse::Scalar;
+
+/// Path IDs and positions of a linear forest, as produced by Algorithm 3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathInfo {
+    /// `l(v)`: the path ID — the smaller of the two path-end vertex IDs.
+    pub path_id: Vec<u32>,
+    /// `p(v)`: 1-based position of `v` within its path, counted from the
+    /// end vertex `l(v)`.
+    pub position: Vec<u32>,
+}
+
+impl PathInfo {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.path_id.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.path_id.is_empty()
+    }
+
+    /// Number of distinct paths (vertices that are their own path ID at
+    /// position 1 — i.e. the chosen path ends).
+    pub fn num_paths(&self) -> usize {
+        self.path_id
+            .iter()
+            .zip(&self.position)
+            .enumerate()
+            .filter(|&(v, (&l, &p))| l as usize == v && p == 1)
+            .count()
+    }
+
+    /// Length of each path (indexed by path ID order of appearance in
+    /// [`PathInfo::to_paths`]); the mean/max are quality diagnostics —
+    /// longer paths mean better tridiagonal coverage.
+    pub fn path_lengths(&self) -> Vec<usize> {
+        self.to_paths().iter().map(|p| p.len()).collect()
+    }
+
+    /// Histogram of path lengths as (length, count), ascending by length.
+    pub fn length_histogram(&self) -> Vec<(usize, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for l in self.path_lengths() {
+            *counts.entry(l).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Group vertices into explicit paths, each ordered by position.
+    /// O(N log N); for inspection, tests and examples.
+    pub fn to_paths(&self) -> Vec<Vec<u32>> {
+        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
+        idx.sort_unstable_by_key(|&v| {
+            ((self.path_id[v as usize] as u64) << 32) | self.position[v as usize] as u64
+        });
+        let mut out: Vec<Vec<u32>> = Vec::new();
+        let mut cur_id = u32::MAX;
+        for v in idx {
+            let l = self.path_id[v as usize];
+            if l != cur_id {
+                out.push(Vec::new());
+                cur_id = l;
+            }
+            out.last_mut().expect("pushed above").push(v);
+        }
+        out
+    }
+}
+
+/// Errors from path identification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathError {
+    /// The factor still contains a cycle (vertex given); run
+    /// [`crate::cycles::break_cycles`] first.
+    CycleDetected(u32),
+}
+
+impl std::fmt::Display for PathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathError::CycleDetected(v) => {
+                write!(f, "vertex {v} lies on a cycle; break cycles first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Compute path IDs and positions for an acyclic [0,2]-factor
+/// (Algorithm 3). Returns an error naming a vertex on a cycle if the
+/// factor is not acyclic.
+pub fn identify_paths<T: Scalar>(
+    dev: &Device,
+    factor: &Factor<T>,
+) -> Result<PathInfo, PathError> {
+    let nv = factor.num_vertices();
+    let res: BidirResult<u32> =
+        bidirectional_scan(dev, factor, "identify_paths", |_, _| 1u32, |a, b| a + b);
+
+    // Cycle check: a positive (non-end) stride-q_max link after all steps
+    // means the vertex never reached a path end (Sec. 4.2).
+    let cyc = reduce::max_by_key(dev, "cycle_check", &res.links, |l| {
+        u32::from(!l[0].is_end() || !l[1].is_end())
+    });
+    if let Some(v) = cyc {
+        if res.in_cycle(v) {
+            return Err(PathError::CycleDetected(v as u32));
+        }
+    }
+
+    let mut path_id = vec![0u32; nv];
+    let mut position = vec![0u32; nv];
+    let links = &res.links;
+    let values = &res.values;
+    launch::map2(
+        dev,
+        "assign_path_ids",
+        &mut path_id,
+        &mut position,
+        nv * (std::mem::size_of::<[crate::scan::Link; 2]>() + 8),
+        |v| {
+            // l(v) ← min end ID; p(v) ← distance toward that end
+            // (Alg. 3 lines 27–33)
+            let (e0, e1) = (links[v][0].id(), links[v][1].id());
+            if e0 <= e1 {
+                (e0, values[v][0])
+            } else {
+                (e1, values[v][1])
+            }
+        },
+    );
+    Ok(PathInfo { path_id, position })
+}
+
+/// Sequential reference implementation: walk every path from its smaller
+/// end. Used for testing and for the paper's Fig. 5 CPU/GPU comparison —
+/// note it does strictly less work than the scan (no log factor), exactly
+/// as the paper describes for its sequential version.
+pub fn identify_paths_sequential<T: Scalar>(factor: &Factor<T>) -> Result<PathInfo, PathError> {
+    let nv = factor.num_vertices();
+    let mut path_id = vec![u32::MAX; nv];
+    let mut position = vec![0u32; nv];
+    // find path ends: degree ≤ 1
+    for start in 0..nv {
+        if factor.degree(start) > 1 || path_id[start] != u32::MAX {
+            continue;
+        }
+        // walk to the other end, collecting vertices
+        let mut verts = vec![start as u32];
+        let mut prev = u32::MAX;
+        let mut cur = start as u32;
+        while let Some(next) = factor
+            .partners(cur as usize)
+            .map(|(w, _)| w)
+            .find(|&w| w != prev)
+        {
+            prev = cur;
+            cur = next;
+            verts.push(cur);
+        }
+        let id = (*verts.first().expect("nonempty")).min(*verts.last().expect("nonempty"));
+        if id != verts[0] {
+            verts.reverse();
+        }
+        for (i, &v) in verts.iter().enumerate() {
+            path_id[v as usize] = id;
+            position[v as usize] = i as u32 + 1;
+        }
+    }
+    // all remaining vertices (degree 2 everywhere) are on cycles
+    if let Some(v) = path_id.iter().position(|&l| l == u32::MAX) {
+        return Err(PathError::CycleDetected(v as u32));
+    }
+    Ok(PathInfo { path_id, position })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::factor_from_edges;
+
+    #[test]
+    fn three_path_positions() {
+        let f = factor_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        assert_eq!(p.path_id, vec![0, 0, 0]);
+        assert_eq!(p.position, vec![1, 2, 3]);
+        assert_eq!(p.num_paths(), 1);
+    }
+
+    #[test]
+    fn orientation_from_smaller_end() {
+        // path 5-2-7: ends {5, 7}, so path id 5, positions 5→1, 2→2, 7→3
+        let f = factor_from_edges(8, &[(5, 2, 1.0), (2, 7, 1.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        assert_eq!(p.path_id[5], 5);
+        assert_eq!(p.path_id[2], 5);
+        assert_eq!(p.path_id[7], 5);
+        assert_eq!(p.position[5], 1);
+        assert_eq!(p.position[2], 2);
+        assert_eq!(p.position[7], 3);
+        // isolated vertices are their own paths
+        assert_eq!(p.path_id[0], 0);
+        assert_eq!(p.position[0], 1);
+        assert_eq!(p.num_paths(), 6);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let f = factor_from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let dev = Device::default();
+        match identify_paths(&dev, &f) {
+            Err(PathError::CycleDetected(v)) => assert!(v < 3),
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+        assert!(identify_paths_sequential(&f).is_err());
+    }
+
+    #[test]
+    fn matches_sequential_on_random_forests() {
+        use rand::{Rng, SeedableRng};
+        let dev = Device::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(33);
+        for trial in 0..20 {
+            let nv = 200;
+            let mut perm: Vec<u32> = (0..nv as u32).collect();
+            for i in (1..nv).rev() {
+                let j = rng.random_range(0..=i);
+                perm.swap(i, j);
+            }
+            let mut edges = Vec::new();
+            let mut i = 0;
+            while i < nv {
+                let len = rng.random_range(1..=17).min(nv - i);
+                for t in 0..len - 1 {
+                    edges.push((perm[i + t], perm[i + t + 1], 1.0f32));
+                }
+                i += len;
+            }
+            let f = factor_from_edges(nv, &edges);
+            let par = identify_paths(&dev, &f).unwrap();
+            let seq = identify_paths_sequential(&f).unwrap();
+            assert_eq!(par, seq, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn length_histogram_counts() {
+        let f = factor_from_edges(6, &[(0, 3, 1.0), (3, 1, 1.0), (2, 4, 1.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        // paths: {0,3,1}, {2,4}, {5} → lengths 3, 2, 1
+        assert_eq!(p.length_histogram(), vec![(1, 1), (2, 1), (3, 1)]);
+        assert_eq!(p.path_lengths().iter().sum::<usize>(), 6);
+    }
+
+    #[test]
+    fn to_paths_groups_in_order() {
+        let f = factor_from_edges(5, &[(0, 3, 1.0), (3, 1, 1.0), (2, 4, 1.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        let paths = p.to_paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![0, 3, 1]));
+        assert!(paths.contains(&vec![2, 4]));
+    }
+}

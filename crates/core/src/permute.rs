@@ -1,0 +1,135 @@
+//! Step (3) of the linear-forest extraction (paper Sec. 3.3/4.3): sort the
+//! vertex IDs by the key (path ID, position) to obtain the permutation `Q`
+//! under which the forest's adjacency matrix is tridiagonal.
+//!
+//! The paper uses CUB's radix sort; we use the from-scratch parallel LSD
+//! radix sort of `lf-kernel`.
+
+use crate::factor::Factor;
+use crate::paths::PathInfo;
+use lf_kernel::{launch, sort, Device};
+use lf_sparse::Scalar;
+
+/// Compute the tridiagonalizing permutation from path IDs and positions.
+/// Returns `perm` with `perm[new] = old`: row/column `perm[k]` of the
+/// original matrix becomes row/column `k` of `QᵀAQ`.
+pub fn forest_permutation(dev: &Device, paths: &PathInfo) -> Vec<u32> {
+    let nv = paths.len();
+    let mut keys = vec![0u64; nv];
+    {
+        let (pid, pos) = (&paths.path_id, &paths.position);
+        launch::map1(dev, "build_sort_keys", &mut keys, nv * 8, |v| {
+            ((pid[v] as u64) << 32) | pos[v] as u64
+        });
+    }
+    sort::sort_permutation_u64(dev, &keys)
+}
+
+/// Invert a permutation: `inv[old] = new`.
+pub fn invert_permutation(dev: &Device, perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![0u32; perm.len()];
+    {
+        let view = lf_kernel::ScatterSlice::new(&mut inv);
+        launch::for_each_index(
+            dev,
+            "invert_permutation",
+            perm.len(),
+            lf_kernel::Traffic::new()
+                .reads::<u32>(perm.len())
+                .writes::<u32>(perm.len()),
+            |new| {
+                // SAFETY: perm is a bijection, so targets are disjoint.
+                unsafe { view.write(perm[new] as usize, new as u32) };
+            },
+        );
+    }
+    inv
+}
+
+/// Check that `perm` makes the forest adjacency tridiagonal: every factor
+/// edge must connect consecutively permuted vertices. (Test/diagnostic
+/// helper; O(N·n).)
+pub fn is_tridiagonalizing<T: Scalar>(factor: &Factor<T>, perm: &[u32]) -> bool {
+    let mut inv = vec![0u32; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        inv[old as usize] = new as u32;
+    }
+    for v in 0..factor.num_vertices() {
+        for (w, _) in factor.partners(v) {
+            let (a, b) = (inv[v] as i64, inv[w as usize] as i64);
+            if (a - b).abs() != 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::identify_paths;
+    use crate::testutil::factor_from_edges;
+
+    #[test]
+    fn permutation_orders_by_path_then_position() {
+        // paths: {2,4} (id 2) and {0,3,1} (id 0)
+        let f = factor_from_edges(5, &[(0, 3, 1.0), (3, 1, 1.0), (2, 4, 1.0)]);
+        let dev = Device::default();
+        let p = identify_paths(&dev, &f).unwrap();
+        let perm = forest_permutation(&dev, &p);
+        assert_eq!(perm, vec![0, 3, 1, 2, 4]);
+        assert!(is_tridiagonalizing(&f, &perm));
+    }
+
+    #[test]
+    fn invert_roundtrip() {
+        let dev = Device::default();
+        let perm = vec![3u32, 1, 0, 2];
+        let inv = invert_permutation(&dev, &perm);
+        assert_eq!(inv, vec![2, 1, 3, 0]);
+        for (new, &old) in perm.iter().enumerate() {
+            assert_eq!(inv[old as usize] as usize, new);
+        }
+    }
+
+    #[test]
+    fn detects_non_tridiagonalizing() {
+        let f = factor_from_edges(3, &[(0, 2, 1.0)]);
+        // identity permutation leaves 0 and 2 two apart
+        assert!(!is_tridiagonalizing(&f, &[0, 1, 2]));
+        assert!(is_tridiagonalizing(&f, &[0, 2, 1]));
+    }
+
+    #[test]
+    fn large_random_forest_tridiagonalizes() {
+        use rand::{Rng, SeedableRng};
+        let dev = Device::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+        let nv = 5000;
+        let mut perm0: Vec<u32> = (0..nv as u32).collect();
+        for i in (1..nv).rev() {
+            let j = rng.random_range(0..=i);
+            perm0.swap(i, j);
+        }
+        let mut edges = Vec::new();
+        let mut i = 0;
+        while i < nv {
+            let len = rng.random_range(1..=40).min(nv - i);
+            for t in 0..len - 1 {
+                edges.push((perm0[i + t], perm0[i + t + 1], 1.0f32));
+            }
+            i += len;
+        }
+        let f = factor_from_edges(nv, &edges);
+        let p = identify_paths(&dev, &f).unwrap();
+        let q = forest_permutation(&dev, &p);
+        assert!(is_tridiagonalizing(&f, &q));
+        // q is a bijection
+        let mut seen = vec![false; nv];
+        for &v in &q {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Work-efficient path identification by randomized list contraction —
+//! the O(N)-work alternative the paper contrasts its scan against
+//! (Sec. 4.2: "Overall work is N log₂(N), whereas a work-efficient scan
+//! is O(N)").
+//!
+//! Classic parallel list ranking (Anderson–Miller style) adapted to the
+//! orientation-free [0,2]-factor:
+//!
+//! 1. **Contract**: repeatedly select an *independent set* of interior
+//!    (degree-2) vertices — a vertex is selected when its per-round hash
+//!    is a strict local maximum among its neighbors — and splice each out,
+//!    its neighbors linking to each other with an accumulated *gap* count.
+//!    An expected constant fraction contracts per round, so O(log N)
+//!    rounds and **O(N) total work**.
+//! 2. **Base case**: only path ends remain; each surviving pair (or
+//!    isolated vertex) is ranked directly.
+//! 3. **Expand**: replay the contraction log backwards; every spliced
+//!    vertex interpolates its position between its two (already ranked)
+//!    neighbors.
+//!
+//! The price relative to the paper's step-efficient scan is irregularity:
+//! ~4× more kernel launches, data-dependent compaction every round, and
+//! a sequential reverse replay structure — the trade-off the paper's
+//! design deliberately avoids. `repro ablation` measures both.
+
+use crate::charge::md5_mix;
+use crate::factor::{Factor, INVALID};
+use crate::paths::{PathError, PathInfo};
+use lf_kernel::{compact, launch, reduce, Device, Traffic};
+use lf_sparse::Scalar;
+
+/// One spliced-out vertex: who it was, its two neighbors at contraction
+/// time, and the gap (contracted vertices) between it and each neighbor.
+#[derive(Clone, Copy, Debug)]
+struct Splice {
+    v: u32,
+    a: u32,
+    b: u32,
+    gap_a: u32,
+    gap_b: u32,
+}
+
+/// Working adjacency: up to two neighbor links per vertex plus the gap
+/// (number of already-contracted vertices) hidden inside each link.
+struct Links {
+    nb: Vec<[u32; 2]>,
+    gap: Vec<[u32; 2]>,
+}
+
+impl Links {
+    fn degree(&self, v: usize) -> usize {
+        self.nb[v].iter().filter(|&&x| x != INVALID).count()
+    }
+    fn slot_of(&self, v: usize, to: u32) -> usize {
+        if self.nb[v][0] == to {
+            0
+        } else {
+            debug_assert_eq!(self.nb[v][1], to);
+            1
+        }
+    }
+}
+
+/// Work-efficient equivalent of [`crate::paths::identify_paths`]: same
+/// `PathInfo` output, O(N) work, O(log N) contraction rounds.
+pub fn identify_paths_workefficient<T: Scalar>(
+    dev: &Device,
+    factor: &Factor<T>,
+) -> Result<PathInfo, PathError> {
+    let nv = factor.num_vertices();
+    let mut links = Links {
+        nb: vec![[INVALID; 2]; nv],
+        gap: vec![[0; 2]; nv],
+    };
+    {
+        let nb = &mut links.nb;
+        launch::map1(dev, "rank_init", nb, nv * 8, |v| {
+            let mut l = [INVALID; 2];
+            for (s, (w, _)) in factor.partners(v).take(2).enumerate() {
+                l[s] = w;
+            }
+            l
+        });
+    }
+
+    let mut alive: Vec<u32> = compact::compact_indices(dev, "rank_live", &links.nb, |_| true);
+    let mut log: Vec<Vec<Splice>> = Vec::new();
+    let max_rounds = 4 * (usize::BITS - nv.max(2).leading_zeros()) as usize + 32;
+
+    for round in 0..max_rounds as u32 {
+        // interior vertices remaining?
+        let interiors = reduce::count(dev, "rank_count_interior", &alive, |&v| {
+            links.degree(v as usize) == 2
+        });
+        if interiors == 0 {
+            break;
+        }
+        // Select: degree-2 vertices whose hash is a strict local max.
+        let hash = |v: u32| md5_mix(v, round ^ 0xbeef);
+        let selected: Vec<u32> = compact::compact(dev, "rank_select", &alive, |&v| {
+            let vi = v as usize;
+            if links.degree(vi) != 2 {
+                return false;
+            }
+            let h = hash(v);
+            links.nb[vi].iter().all(|&w| {
+                let hw = hash(w);
+                h > hw || (h == hw && v > w)
+            })
+        });
+        if selected.is_empty() {
+            continue; // unlucky hashes this round; next round re-rolls
+        }
+        // Record splices and patch the neighbors (slot-disjoint scatter:
+        // the selected set is independent, so each neighbor slot is
+        // rewritten by exactly one splice).
+        let splices: Vec<Splice> = selected
+            .iter()
+            .map(|&v| {
+                let vi = v as usize;
+                let (a, b) = (links.nb[vi][0], links.nb[vi][1]);
+                Splice {
+                    v,
+                    a,
+                    b,
+                    gap_a: links.gap[vi][0],
+                    gap_b: links.gap[vi][1],
+                }
+            })
+            .collect();
+        {
+            let slot_a: Vec<(usize, usize)> = splices
+                .iter()
+                .map(|s| (s.a as usize, links.slot_of(s.a as usize, s.v)))
+                .collect();
+            let slot_b: Vec<(usize, usize)> = splices
+                .iter()
+                .map(|s| (s.b as usize, links.slot_of(s.b as usize, s.v)))
+                .collect();
+            let traffic = Traffic::new()
+                .reads::<Splice>(splices.len())
+                .writes::<[u32; 2]>(2 * splices.len());
+            // The selected set is independent, so each (vertex, slot) pair
+            // is rewritten by exactly one splice; on a GPU this is a
+            // disjoint scatter. The simulated launch applies the updates
+            // directly (slot-granular writes).
+            let (nb, gap) = (&mut links.nb, &mut links.gap);
+            dev.launch("rank_splice", traffic, || {
+                for (i, s) in splices.iter().enumerate() {
+                    let (av, aslot) = slot_a[i];
+                    let (bv, bslot) = slot_b[i];
+                    let joined = s.gap_a + 1 + s.gap_b;
+                    nb[av][aslot] = s.b;
+                    gap[av][aslot] = joined;
+                    nb[bv][bslot] = s.a;
+                    gap[bv][bslot] = joined;
+                }
+            });
+        }
+        // Remove the contracted vertices from the live set.
+        let selected_set: std::collections::HashSet<u32> = splices.iter().map(|s| s.v).collect();
+        alive = compact::compact(dev, "rank_compact", &alive, |v| !selected_set.contains(v));
+        log.push(splices);
+    }
+
+    // A cycle never loses its interior vertices' degree-2 status and the
+    // round cap fires; report it like the scan does.
+    if reduce::count(dev, "rank_check", &alive, |&v| links.degree(v as usize) == 2) > 0 {
+        let v = alive
+            .iter()
+            .find(|&&v| links.degree(v as usize) == 2)
+            .copied()
+            .unwrap_or(0);
+        return Err(PathError::CycleDetected(v));
+    }
+
+    // Base case: every live component is an isolated vertex or an end
+    // pair (a, b) with a known gap.
+    let mut path_id = vec![0u32; nv];
+    let mut position = vec![0u32; nv];
+    for &v in &alive {
+        let vi = v as usize;
+        match links.degree(vi) {
+            0 => {
+                path_id[vi] = v;
+                position[vi] = 1;
+            }
+            1 => {
+                let slot = if links.nb[vi][0] != INVALID { 0 } else { 1 };
+                let other = links.nb[vi][slot];
+                let gap = links.gap[vi][slot];
+                let id = v.min(other);
+                path_id[vi] = id;
+                position[vi] = if v == id { 1 } else { gap + 2 };
+            }
+            _ => unreachable!("interior vertices were all contracted"),
+        }
+    }
+    // Expand in reverse order.
+    for round in log.iter().rev() {
+        for s in round {
+            let (pa, pb) = (position[s.a as usize] as i64, position[s.b as usize] as i64);
+            let id = path_id[s.a as usize];
+            debug_assert_eq!(id, path_id[s.b as usize]);
+            let dir = if pb > pa { 1 } else { -1 };
+            position[s.v as usize] = (pa + dir * (s.gap_a as i64 + 1)) as u32;
+            path_id[s.v as usize] = id;
+        }
+    }
+    Ok(PathInfo { path_id, position })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::identify_paths_sequential;
+    use crate::testutil::factor_from_edges;
+
+    #[test]
+    fn simple_path() {
+        let f = factor_from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let dev = Device::default();
+        let got = identify_paths_workefficient(&dev, &f).unwrap();
+        let want = identify_paths_sequential(&f).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn isolated_and_pairs() {
+        let f = factor_from_edges(5, &[(1, 3, 1.0)]);
+        let dev = Device::default();
+        let got = identify_paths_workefficient(&dev, &f).unwrap();
+        assert_eq!(got.path_id, vec![0, 1, 2, 1, 4]);
+        assert_eq!(got.position, vec![1, 1, 1, 2, 1]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let f = factor_from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        let dev = Device::default();
+        assert!(matches!(
+            identify_paths_workefficient(&dev, &f),
+            Err(PathError::CycleDetected(_))
+        ));
+    }
+
+    #[test]
+    fn matches_sequential_on_random_forests() {
+        use rand::{Rng, SeedableRng};
+        let dev = Device::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(55);
+        for trial in 0..15 {
+            let nv = 300;
+            let mut perm: Vec<u32> = (0..nv as u32).collect();
+            for i in (1..nv).rev() {
+                let j = rng.random_range(0..=i);
+                perm.swap(i, j);
+            }
+            let mut edges = Vec::new();
+            let mut i = 0;
+            while i < nv {
+                let len = rng.random_range(1..=25).min(nv - i);
+                for t in 0..len - 1 {
+                    edges.push((perm[i + t], perm[i + t + 1], 1.0f32));
+                }
+                i += len;
+            }
+            let f = factor_from_edges(nv, &edges);
+            let got = identify_paths_workefficient(&dev, &f).unwrap();
+            let want = identify_paths_sequential(&f).unwrap();
+            assert_eq!(got, want, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn long_single_path_is_linear_work() {
+        // total traffic must be O(N) — well below the scan's N·log N
+        let n = 4096;
+        let edges: Vec<(u32, u32, f32)> =
+            (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1.0)).collect();
+        let f = factor_from_edges(n, &edges);
+        let dev = Device::default();
+        let (got, rank_stats) = dev.scoped(|| identify_paths_workefficient(&dev, &f).unwrap());
+        let want = identify_paths_sequential(&f).unwrap();
+        assert_eq!(got, want);
+        let (_, scan_stats) =
+            dev.scoped(|| crate::paths::identify_paths(&dev, &f).unwrap());
+        assert!(
+            rank_stats.traffic.total() < scan_stats.traffic.total(),
+            "ranking {} B should undercut the scan's {} B at N = {n}",
+            rank_stats.traffic.total(),
+            scan_stats.traffic.total()
+        );
+        assert!(
+            rank_stats.launches > scan_stats.launches,
+            "ranking pays with more, smaller launches"
+        );
+    }
+}

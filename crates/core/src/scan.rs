@@ -1,0 +1,357 @@
+//! The bidirectional scan over [0,2]-factor connectivity
+//! (paper Algorithm 3 / Sec. 4.2) — the paper's novel parallel primitive.
+//!
+//! A [0,2]-factor is structured like a doubly linked list **with unknown
+//! orientation**: each vertex knows up to two neighbors but not which is
+//! "forward". Classic GPU scans (Thrust, CUB) require random-access
+//! iterators and cannot run here. This scan only needs *bidirectional
+//! connectivity*: it performs pointer-doubling in both directions
+//! simultaneously with a butterfly access pattern (paper Fig. 2), in
+//! exactly `⌈log₂ N⌉` kernel launches regardless of path lengths
+//! (overall work `N log₂ N` versus O(N) for a work-efficient scan — the
+//! step-efficient trade-off the paper chooses).
+//!
+//! The scan is parameterized on the combine operator, like
+//! `thrust::inclusive_scan`: `+` computes path positions
+//! ([`crate::paths`]), lexicographic `min` finds the weakest edge of each
+//! cycle ([`crate::cycles`]).
+
+use crate::factor::Factor;
+use lf_kernel::{launch, Device, PingPong};
+use lf_sparse::Scalar;
+
+/// A stride-q neighbor entry: either a real vertex or a **path-end
+/// marker** carrying the end vertex's ID. The paper encodes ends as
+/// "negative 1-based indices"; we tag the top bit, which is equivalent
+/// and keeps the type a `u32`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Link(u32);
+
+const END_BIT: u32 = 0x8000_0000;
+
+impl Link {
+    /// A link to a real vertex.
+    #[inline]
+    pub fn vertex(v: u32) -> Self {
+        debug_assert!(v < END_BIT, "vertex id overflows link encoding");
+        Link(v)
+    }
+
+    /// An end marker remembering path-end vertex `v`.
+    #[inline]
+    pub fn end(v: u32) -> Self {
+        Link(v | END_BIT)
+    }
+
+    /// Whether this is a path-end marker.
+    #[inline]
+    pub fn is_end(self) -> bool {
+        self.0 & END_BIT != 0
+    }
+
+    /// The vertex ID carried by the link (end vertex for markers).
+    #[inline]
+    pub fn id(self) -> u32 {
+        self.0 & !END_BIT
+    }
+}
+
+/// Result of a bidirectional scan: per vertex, the final stride-q links
+/// (both path ends, for acyclic components) and the two directional
+/// accumulator values.
+#[derive(Clone, Debug)]
+pub struct BidirResult<V> {
+    /// Final links per vertex; `links[v][i].is_end()` for acyclic
+    /// components, still a vertex for cycle members (the paper's cycle
+    /// detection criterion).
+    pub links: Vec<[Link; 2]>,
+    /// Directional accumulators per vertex.
+    pub values: Vec<[V; 2]>,
+    /// Number of scan steps (kernel launches of the butterfly).
+    pub steps: usize,
+}
+
+impl<V> BidirResult<V> {
+    /// Whether vertex `v` lies on a cycle (positive stride-q_max neighbor
+    /// after all steps, Sec. 4.2).
+    pub fn in_cycle(&self, v: usize) -> bool {
+        !self.links[v][0].is_end() || !self.links[v][1].is_end()
+    }
+}
+
+/// *Stride aliasing*: in a cycle whose length divides twice the current
+/// stride, both of a neighbor's stride-q links point back at the scanning
+/// vertex and the paper's Algorithm 3 (line 16) absorbs nothing. That is
+/// fine for cycle detection and the global cycle minimum (the union of
+/// both directions still covers every edge), but the fused scan of
+/// [`crate::merged`] needs per-direction coverage; the `alias` hook of
+/// [`bidirectional_scan_with`] lets the operator handle that case.
+///
+/// Run the bidirectional scan on the connectivity of a [0,2]-factor.
+///
+/// * `init(v, slot)` produces the initial directional value of vertex `v`
+///   for `slot ∈ {0, 1}`, where slot `s` corresponds to the `s`-th partner
+///   in `factor.partners(v)` (or the self-end filler if the vertex has
+///   fewer than two partners).
+/// * `combine` must be associative; for cyclic components it must also be
+///   idempotent (`combine(a, a) = a`, e.g. `min`) for the result to be
+///   meaningful, as strides alias once they exceed the cycle length.
+///
+/// `kernel_name` labels the per-step launches in the device statistics
+/// (the paper's Fig. 5 reports the two scans separately).
+pub fn bidirectional_scan<T, V>(
+    dev: &Device,
+    factor: &Factor<T>,
+    kernel_name: &str,
+    init: impl Fn(usize, usize) -> V + Sync,
+    combine: impl Fn(V, V) -> V + Sync,
+) -> BidirResult<V>
+where
+    T: Scalar,
+    V: Copy + Send + Sync + Default,
+{
+    bidirectional_scan_with(dev, factor, kernel_name, init, combine, |cur, _, _| cur)
+}
+
+/// [`bidirectional_scan`] with an explicit alias hook: at a stride alias
+/// (see [`AliasPolicy`]), `alias(current, vt0, vt1)` receives the
+/// direction's current value and the aliased neighbor\'s **both**
+/// directional values and returns the updated value. The paper\'s rule is
+/// `|cur, _, _| cur`; the fused scan picks the better of two clean
+/// combines so its distance bookkeeping stays exact.
+pub fn bidirectional_scan_with<T, V>(
+    dev: &Device,
+    factor: &Factor<T>,
+    kernel_name: &str,
+    init: impl Fn(usize, usize) -> V + Sync,
+    combine: impl Fn(V, V) -> V + Sync,
+    alias: impl Fn(V, V, V) -> V + Sync,
+) -> BidirResult<V>
+where
+    T: Scalar,
+    V: Copy + Send + Sync + Default,
+{
+    assert!(
+        factor.degree_bound() <= 2,
+        "bidirectional scan requires a [0,2]-factor"
+    );
+    let nv = factor.num_vertices();
+    let mut links = PingPong::new(nv, [Link::default(); 2]);
+    let mut values = PingPong::new(nv, [V::default(); 2]);
+
+    // Init kernel (Alg. 3 lines 1–4): stride-1 neighbors from π, padded
+    // with self end markers; initial directional values from `init`.
+    {
+        let (ldst, vdst) = (links.dst_mut(), values.dst_mut());
+        let state_bytes = factor.num_vertices()
+            * (factor.degree_bound() * (4 + std::mem::size_of::<T>()));
+        launch::map2(dev, "bidir_init", ldst, vdst, state_bytes, |v| {
+            let mut l = [Link::end(v as u32); 2];
+            for (s, (w, _)) in factor.partners(v).take(2).enumerate() {
+                l[s] = Link::vertex(w);
+            }
+            (l, [init(v, 0), init(v, 1)])
+        });
+    }
+    links.swap();
+    values.swap();
+
+    let steps = nv.max(2).next_power_of_two().trailing_zeros() as usize;
+    let read_bytes = 3 * nv * (std::mem::size_of::<[Link; 2]>() + std::mem::size_of::<[V; 2]>());
+
+    for _ in 0..steps {
+        let (lsrc, ldst) = links.src_dst_mut();
+        let (vsrc, vdst) = values.src_dst_mut();
+        launch::map2(dev, kernel_name, ldst, vdst, read_bytes, |v| {
+            let mut w = lsrc[v];
+            let mut r = vsrc[v];
+            let me = Link::vertex(v as u32);
+            for i in 0..2 {
+                if w[i].is_end() {
+                    continue;
+                }
+                let nb = w[i].id() as usize;
+                let vq = lsrc[nb];
+                let vt = vsrc[nb];
+                // follow the neighbor's slot that does not point back at us
+                // (Alg. 3 lines 13–20)
+                let mut absorbed = false;
+                for j in 0..2 {
+                    if vq[j] != me {
+                        r[i] = combine(r[i], vt[j]);
+                        w[i] = vq[j];
+                        absorbed = true;
+                    }
+                }
+                if !absorbed {
+                    // stride alias in a power-of-two cycle: delegate to
+                    // the alias hook; the link stays put.
+                    r[i] = alias(r[i], vt[0], vt[1]);
+                }
+            }
+            (w, r)
+        });
+        links.swap();
+        values.swap();
+    }
+
+    BidirResult {
+        links: links.into_src(),
+        values: values.into_src(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a [0,2]-factor from explicit undirected edges.
+    pub(crate) fn factor_from_edges(nv: usize, edges: &[(u32, u32, f32)]) -> Factor<f32> {
+        let mut f = Factor::new(nv, 2);
+        for &(u, v, w) in edges {
+            assert!(f.insert(u as usize, v, w));
+            assert!(f.insert(v as usize, u, w));
+        }
+        f
+    }
+
+    #[test]
+    fn link_encoding() {
+        let v = Link::vertex(42);
+        assert!(!v.is_end());
+        assert_eq!(v.id(), 42);
+        let e = Link::end(42);
+        assert!(e.is_end());
+        assert_eq!(e.id(), 42);
+        assert_ne!(v, e);
+    }
+
+    #[test]
+    fn single_path_positions() {
+        // path 0-1-2-3-4
+        let f = factor_from_edges(
+            5,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
+        );
+        let dev = Device::default();
+        let res = bidirectional_scan(&dev, &f, "scan", |_, _| 1u32, |a, b| a + b);
+        for v in 0..5 {
+            assert!(!res.in_cycle(v), "path vertex {v} flagged as cycle");
+            let ends: Vec<u32> = res.links[v].iter().map(|l| l.id()).collect();
+            let mut se = ends.clone();
+            se.sort();
+            assert_eq!(se, vec![0, 4], "vertex {v} ends {ends:?}");
+            // distance to each end (inclusive vertex count)
+            for i in 0..2 {
+                let e = res.links[v][i].id() as i64;
+                let want = (v as i64 - e).abs() + 1;
+                assert_eq!(res.values[v][i] as i64, want, "v={v} end={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure2_example_four_paths() {
+        // Paper Fig. 2: N = 10 with 4 paths; we use paths
+        // {0,1,2}, {3}, {4,5,6,7}, {8,9}
+        let f = factor_from_edges(
+            10,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (4, 5, 1.0),
+                (5, 6, 1.0),
+                (6, 7, 1.0),
+                (8, 9, 1.0),
+            ],
+        );
+        let dev = Device::default();
+        let res = bidirectional_scan(&dev, &f, "scan", |_, _| 1u32, |a, b| a + b);
+        assert_eq!(res.steps, 4, "log2(16) steps for N = 10");
+        // isolated vertex 3: both its own end, value 1
+        assert_eq!(res.links[3], [Link::end(3), Link::end(3)]);
+        assert_eq!(res.values[3], [1, 1]);
+        // vertex 6 in path 4..=7: ends {4, 7}, distances {3, 2}
+        let mut got: Vec<(u32, u32)> = (0..2)
+            .map(|i| (res.links[6][i].id(), res.values[6][i]))
+            .collect();
+        got.sort();
+        assert_eq!(got, vec![(4, 3), (7, 2)]);
+    }
+
+    #[test]
+    fn cycle_detected_and_min_found() {
+        // triangle 0-1-2 plus a path 3-4
+        let f = factor_from_edges(
+            5,
+            &[(0, 1, 0.5), (1, 2, 0.3), (2, 0, 0.9), (3, 4, 0.1)],
+        );
+        let dev = Device::default();
+        // min-scan over edge weights: init slot s of v with weight of that edge
+        let res = bidirectional_scan(
+            &dev,
+            &f,
+            "minscan",
+            |v, s| {
+                f.partners(v)
+                    .nth(s)
+                    .map(|(_, w)| w)
+                    .unwrap_or(f32::INFINITY)
+            },
+            |a: f32, b: f32| a.min(b),
+        );
+        for v in 0..3 {
+            assert!(res.in_cycle(v), "triangle vertex {v}");
+            let m = res.values[v][0].min(res.values[v][1]);
+            assert_eq!(m, 0.3, "cycle min at vertex {v}");
+        }
+        assert!(!res.in_cycle(3));
+        assert!(!res.in_cycle(4));
+    }
+
+    #[test]
+    fn even_cycle_aliasing_min_still_correct() {
+        // 4-cycle: strides alias at q = 2; idempotent min must survive
+        let f = factor_from_edges(
+            4,
+            &[(0, 1, 0.9), (1, 2, 0.8), (2, 3, 0.2), (3, 0, 0.7)],
+        );
+        let dev = Device::default();
+        let res = bidirectional_scan(
+            &dev,
+            &f,
+            "minscan",
+            |v, s| {
+                f.partners(v)
+                    .nth(s)
+                    .map(|(_, w)| w)
+                    .unwrap_or(f32::INFINITY)
+            },
+            |a: f32, b: f32| a.min(b),
+        );
+        for v in 0..4 {
+            assert!(res.in_cycle(v));
+            assert_eq!(res.values[v][0].min(res.values[v][1]), 0.2, "v={v}");
+        }
+    }
+
+    #[test]
+    fn long_path_log_steps() {
+        let n = 1000;
+        let edges: Vec<(u32, u32, f32)> =
+            (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1.0)).collect();
+        let f = factor_from_edges(n, &edges);
+        let dev = Device::default();
+        let res = bidirectional_scan(&dev, &f, "scan", |_, _| 1u32, |a, b| a + b);
+        assert_eq!(res.steps, 10);
+        // kernel launch count: init + steps
+        let s = dev.stats();
+        assert_eq!(s.kernels["scan"].launches, 10);
+        assert_eq!(s.kernels["bidir_init"].launches, 1);
+        // middle vertex
+        let v = n / 2;
+        let total: u32 = res.values[v].iter().sum();
+        assert_eq!(total as usize, n + 1, "d_left + d_right counts v twice");
+    }
+}

@@ -1,0 +1,217 @@
+//! The Top-K accumulator of the generalized SpMV (paper Sec. 4.1, Table 1).
+//!
+//! The edge-proposition kernel reduces each matrix row to the `n` largest
+//! (weight, column) pairs. [`TopK`] is the accumulator: `K` slots sorted by
+//! descending weight, ties broken toward the smaller column index (so the
+//! reduction is deterministic and, on all-equal weights, picks the first
+//! columns in row order — Table 1's worked example).
+//!
+//! `insert` is the `⊕` with a singleton; `merge` combines two accumulators,
+//! which makes the type a commutative monoid as required by the segmented
+//! SRCSR engine.
+
+use crate::factor::INVALID;
+use lf_sparse::Scalar;
+
+/// K sorted (weight, column) slots; empty slots have `col == INVALID`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopK<T, const K: usize> {
+    /// Slot weights, descending.
+    pub w: [T; K],
+    /// Slot columns; `INVALID` marks an empty slot.
+    pub col: [u32; K],
+}
+
+impl<T: Scalar, const K: usize> Default for TopK<T, K> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T: Scalar, const K: usize> TopK<T, K> {
+    /// The empty accumulator (monoid identity).
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            w: [T::ZERO; K],
+            col: [INVALID; K],
+        }
+    }
+
+    /// A singleton accumulator.
+    #[inline]
+    pub fn singleton(w: T, col: u32) -> Self {
+        let mut s = Self::empty();
+        s.w[0] = w;
+        s.col[0] = col;
+        s
+    }
+
+    /// Number of filled slots.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.col.iter().filter(|&&c| c != INVALID).count()
+    }
+
+    /// Whether no slot is filled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.col[0] == INVALID
+    }
+
+    /// Whether `col` occupies a slot.
+    #[inline]
+    pub fn contains(&self, col: u32) -> bool {
+        self.col.contains(&col)
+    }
+
+    /// Iterate filled `(weight, col)` slots in descending order.
+    pub fn iter(&self) -> impl Iterator<Item = (T, u32)> + '_ {
+        (0..K)
+            .filter(|&i| self.col[i] != INVALID)
+            .map(move |i| (self.w[i], self.col[i]))
+    }
+
+    /// Does candidate `(w, col)` rank higher than slot `i`?
+    /// Empty slots rank lowest; ties go to the smaller column.
+    #[inline]
+    fn beats(&self, i: usize, w: T, col: u32) -> bool {
+        if self.col[i] == INVALID {
+            return true;
+        }
+        if w != self.w[i] {
+            return w > self.w[i];
+        }
+        col < self.col[i]
+    }
+
+    /// Insert a candidate, keeping the K best (the `⊕` with a singleton).
+    #[inline]
+    pub fn insert(&mut self, w: T, col: u32) {
+        debug_assert_ne!(col, INVALID);
+        let mut i = 0;
+        while i < K && !self.beats(i, w, col) {
+            i += 1;
+        }
+        if i == K {
+            return;
+        }
+        // shift down and place
+        let mut carry_w = w;
+        let mut carry_c = col;
+        for j in i..K {
+            std::mem::swap(&mut carry_w, &mut self.w[j]);
+            std::mem::swap(&mut carry_c, &mut self.col[j]);
+        }
+    }
+
+    /// Merge two accumulators (associative, commutative; identity = empty).
+    #[inline]
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = *self;
+        for (w, c) in other.iter() {
+            out.insert(w, c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_descending_topk() {
+        let mut t = TopK::<f32, 2>::empty();
+        assert!(t.is_empty());
+        t.insert(0.2, 3);
+        t.insert(0.3, 5);
+        assert_eq!((t.w, t.col), ([0.3, 0.2], [5, 3]));
+        t.insert(0.9, 6);
+        assert_eq!((t.w, t.col), ([0.9, 0.3], [6, 5]));
+        t.insert(0.1, 9);
+        assert_eq!((t.w, t.col), ([0.9, 0.3], [6, 5]));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table1_worked_example() {
+        // Paper Table 1: row 4 of A' with entries
+        // (0.2,3) (0.3,5) (0.9,6) (0.4,7) (0.5,9), n = 2, no charging:
+        // accumulator ends as (0.9,6),(0.5,9).
+        let entries = [(0.2f32, 3u32), (0.3, 5), (0.9, 6), (0.4, 7), (0.5, 9)];
+        let mut acc = TopK::<f32, 2>::empty();
+        for (w, c) in entries {
+            acc.insert(w, c);
+        }
+        assert_eq!(acc.col, [6, 9]);
+        assert_eq!(acc.w, [0.9, 0.5]);
+        // With charging (vertex 4 negative; columns 5, 6 negative are
+        // excluded): proposes to 9 and 7.
+        let charges = [(3u32, true), (5, false), (6, false), (7, true), (9, true)];
+        let mut acc = TopK::<f32, 2>::empty();
+        for (w, c) in entries {
+            let pos = charges.iter().find(|&&(x, _)| x == c).unwrap().1;
+            if pos {
+                // row 4 is negative: only propose to positive columns
+                acc.insert(w, c);
+            }
+        }
+        assert_eq!(acc.col, [9, 7]);
+        assert_eq!(acc.w, [0.5, 0.4]);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_column() {
+        let mut t = TopK::<f64, 2>::empty();
+        t.insert(1.0, 7);
+        t.insert(1.0, 2);
+        t.insert(1.0, 5);
+        assert_eq!(t.col, [2, 5]);
+    }
+
+    #[test]
+    fn merge_is_monoid() {
+        let mut a = TopK::<f64, 3>::empty();
+        a.insert(5.0, 1);
+        a.insert(3.0, 2);
+        let mut b = TopK::<f64, 3>::empty();
+        b.insert(4.0, 3);
+        b.insert(6.0, 4);
+        let m = a.merge(&b);
+        assert_eq!(m.col, [4, 1, 3]);
+        assert_eq!(m, b.merge(&a), "commutative");
+        assert_eq!(a.merge(&TopK::empty()), a, "identity");
+    }
+
+    #[test]
+    fn merge_associative_random() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let mk = |rng: &mut rand::rngs::SmallRng| {
+                let mut t = TopK::<f64, 4>::empty();
+                for _ in 0..rng.random_range(0..6) {
+                    t.insert(
+                        (rng.random_range(0..20) as f64) * 0.5,
+                        rng.random_range(0..50u32),
+                    );
+                }
+                t
+            };
+            let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+            assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        }
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let mut t = TopK::<f32, 4>::empty();
+        t.insert(2.0, 10);
+        t.insert(1.0, 20);
+        assert!(t.contains(10));
+        assert!(!t.contains(30));
+        let v: Vec<_> = t.iter().collect();
+        assert_eq!(v, vec![(2.0, 10), (1.0, 20)]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Device buffers: ping-pong pairs and disjoint-write scatter views.
+//!
+//! The paper's bidirectional scan (Sec. 4.2) allocates every buffer twice
+//! and alternates between them so that a thread never reads a neighbor's
+//! value after it has been overwritten in the same step. [`PingPong`]
+//! captures exactly that idiom. [`ScatterSlice`] is the moral equivalent of
+//! a CUDA kernel writing to arbitrary (but disjoint) global-memory
+//! locations, used by the permutation/extraction kernels (Sec. 4.3).
+
+use std::cell::UnsafeCell;
+
+/// A pair of equally sized buffers used in ping-pong fashion.
+///
+/// `src()` is the buffer holding the current values, `dst()` the buffer the
+/// next kernel writes into; [`PingPong::swap`] flips the roles. This mirrors
+/// the double allocation in the paper's scan implementation.
+///
+/// ```
+/// let mut pp = lf_kernel::PingPong::from_vec(vec![1u32, 2, 3]);
+/// let (src, dst) = pp.src_dst_mut();
+/// for (d, s) in dst.iter_mut().zip(src) { *d = s + 1; }
+/// pp.swap();
+/// assert_eq!(pp.src(), &[2, 3, 4]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PingPong<T> {
+    a: Vec<T>,
+    b: Vec<T>,
+    /// If true, `a` is the source; otherwise `b` is.
+    a_is_src: bool,
+}
+
+impl<T: Clone> PingPong<T> {
+    /// Create a ping-pong pair with both buffers filled with `init`.
+    pub fn new(len: usize, init: T) -> Self {
+        Self {
+            a: vec![init.clone(); len],
+            b: vec![init; len],
+            a_is_src: true,
+        }
+    }
+
+    /// Create a ping-pong pair whose source is `v` (destination is a clone).
+    pub fn from_vec(v: Vec<T>) -> Self {
+        let b = v.clone();
+        Self {
+            a: v,
+            b,
+            a_is_src: true,
+        }
+    }
+}
+
+impl<T> PingPong<T> {
+    /// Length of each buffer.
+    pub fn len(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Whether the buffers are empty.
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty()
+    }
+
+    /// The current source buffer.
+    pub fn src(&self) -> &[T] {
+        if self.a_is_src {
+            &self.a
+        } else {
+            &self.b
+        }
+    }
+
+    /// The current destination buffer (mutable).
+    pub fn dst_mut(&mut self) -> &mut [T] {
+        if self.a_is_src {
+            &mut self.b
+        } else {
+            &mut self.a
+        }
+    }
+
+    /// Borrow source (shared) and destination (mutable) simultaneously —
+    /// the shape every ping-pong kernel needs.
+    pub fn src_dst_mut(&mut self) -> (&[T], &mut [T]) {
+        if self.a_is_src {
+            (&self.a, &mut self.b)
+        } else {
+            (&self.b, &mut self.a)
+        }
+    }
+
+    /// Flip source and destination.
+    pub fn swap(&mut self) {
+        self.a_is_src = !self.a_is_src;
+    }
+
+    /// Consume and return the current source buffer.
+    pub fn into_src(self) -> Vec<T> {
+        if self.a_is_src {
+            self.a
+        } else {
+            self.b
+        }
+    }
+}
+
+/// A shared view over a mutable slice that permits concurrent writes to
+/// *disjoint* indices from multiple threads — the CPU analog of a CUDA
+/// scatter kernel writing to global memory.
+///
+/// # Safety contract
+///
+/// [`ScatterSlice::write`] is `unsafe`: the caller must guarantee that no
+/// index is written by more than one thread during the lifetime of the view
+/// and that nothing reads the slice concurrently. Bounds are always
+/// checked. This is exactly the guarantee a correct GPU scatter kernel
+/// provides (each thread owns its output element, e.g. because indices come
+/// from a permutation).
+pub struct ScatterSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: `ScatterSlice` only allows writes through `unsafe fn write`,
+// whose contract requires disjoint indices across threads; under that
+// contract no data race can occur.
+unsafe impl<'a, T: Send + Sync> Sync for ScatterSlice<'a, T> {}
+unsafe impl<'a, T: Send + Sync> Send for ScatterSlice<'a, T> {}
+
+impl<'a, T> ScatterSlice<'a, T> {
+    /// Wrap a mutable slice. The `&mut` borrow guarantees exclusivity for
+    /// the view's lifetime; race freedom *between* `write` calls is the
+    /// caller's obligation (see type-level docs).
+    pub fn new(slice: &'a mut [T]) -> Self {
+        // SAFETY: `&mut [T]` and `&[UnsafeCell<T>]` have identical layout
+        // and the original unique borrow is consumed by this view.
+        let data = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Write `value` at `index`.
+    ///
+    /// # Safety
+    ///
+    /// No other thread may write the same `index` during this view's
+    /// lifetime, and the underlying slice must not be read concurrently.
+    #[inline]
+    pub unsafe fn write(&self, index: usize, value: T) {
+        assert!(index < self.data.len(), "ScatterSlice index out of bounds");
+        *self.data[index].get() = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn pingpong_roundtrip() {
+        let mut pp = PingPong::new(4, 0u32);
+        assert_eq!(pp.len(), 4);
+        assert!(!pp.is_empty());
+        {
+            let (src, dst) = pp.src_dst_mut();
+            for (i, d) in dst.iter_mut().enumerate() {
+                *d = src[i] + i as u32;
+            }
+        }
+        pp.swap();
+        assert_eq!(pp.src(), &[0, 1, 2, 3]);
+        pp.dst_mut()[0] = 99;
+        pp.swap();
+        assert_eq!(pp.src()[0], 99);
+        assert_eq!(pp.into_src()[0], 99);
+    }
+
+    #[test]
+    fn pingpong_from_vec() {
+        let pp = PingPong::from_vec(vec![7u8; 3]);
+        assert_eq!(pp.src(), &[7, 7, 7]);
+    }
+
+    #[test]
+    fn scatter_parallel_permutation() {
+        let n = 10_000usize;
+        // permutation: reverse
+        let mut out = vec![0u64; n];
+        {
+            let view = ScatterSlice::new(&mut out);
+            (0..n).into_par_iter().for_each(|i| {
+                // SAFETY: `n - 1 - i` is a bijection of i; indices disjoint.
+                unsafe { view.write(n - 1 - i, i as u64) };
+            });
+        }
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (n - 1 - i) as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn scatter_bounds_checked() {
+        let mut v = vec![0u8; 2];
+        let s = ScatterSlice::new(&mut v);
+        unsafe { s.write(2, 1) };
+    }
+}

@@ -1,0 +1,157 @@
+//! Stream compaction and histograms — the `DeviceSelect` / `DeviceHistogram`
+//! equivalents of CUB, built on the blocked scan from [`crate::scan`].
+
+use crate::buffer::ScatterSlice;
+use crate::device::{Device, Traffic};
+use rayon::prelude::*;
+
+const SEQ_THRESHOLD: usize = 8192;
+
+/// Keep the elements satisfying `pred`, preserving order.
+pub fn compact<T: Copy + Send + Sync>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> Vec<T> {
+    let n = data.len();
+    let traffic = Traffic::new().reads::<T>(n).writes::<T>(n);
+    dev.launch(name, traffic, || {
+        if n < SEQ_THRESHOLD {
+            return data.iter().copied().filter(|x| pred(x)).collect();
+        }
+        let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
+        let chunk = n.div_ceil(nchunks);
+        let mut counts: Vec<usize> = data
+            .par_chunks(chunk)
+            .map(|ch| ch.iter().filter(|x| pred(x)).count())
+            .collect();
+        let mut acc = 0usize;
+        for c in counts.iter_mut() {
+            let x = *c;
+            *c = acc;
+            acc += x;
+        }
+        let total = acc;
+        let mut out: Vec<T> = Vec::with_capacity(total);
+        // SAFETY: every slot in 0..total is written exactly once below.
+        #[allow(clippy::uninit_vec)]
+        unsafe {
+            out.set_len(total)
+        };
+        {
+            let view = ScatterSlice::new(&mut out);
+            data.par_chunks(chunk)
+                .zip(counts.par_iter())
+                .for_each(|(ch, &start)| {
+                    let mut pos = start;
+                    for x in ch {
+                        if pred(x) {
+                            // SAFETY: disjoint ranges per chunk; `pos` walks
+                            // [start, start+count) without overlap.
+                            unsafe { view.write(pos, *x) };
+                            pos += 1;
+                        }
+                    }
+                });
+        }
+        out
+    })
+}
+
+/// Indices of the elements satisfying `pred`, ascending.
+pub fn compact_indices<T: Sync>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> Vec<u32> {
+    let idx: Vec<u32> = (0..data.len() as u32).collect();
+    compact(dev, name, &idx, |&i| pred(&data[i as usize]))
+}
+
+/// Histogram of `nbins` bins; `key` must return a bin index `< nbins`.
+pub fn histogram<T: Sync>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    nbins: usize,
+    key: impl Fn(&T) -> usize + Sync,
+) -> Vec<u64> {
+    let traffic = Traffic::new()
+        .reads::<T>(data.len())
+        .writes::<u64>(nbins);
+    dev.launch(name, traffic, || {
+        if data.len() < SEQ_THRESHOLD {
+            let mut h = vec![0u64; nbins];
+            for x in data {
+                h[key(x)] += 1;
+            }
+            return h;
+        }
+        data.par_chunks(data.len().div_ceil(rayon::current_num_threads().max(1) * 4))
+            .map(|ch| {
+                let mut h = vec![0u64; nbins];
+                for x in ch {
+                    h[key(x)] += 1;
+                }
+                h
+            })
+            .reduce(
+                || vec![0u64; nbins],
+                |mut a, b| {
+                    for (ai, bi) in a.iter_mut().zip(b) {
+                        *ai += bi;
+                    }
+                    a
+                },
+            )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_preserves_order() {
+        let dev = Device::default();
+        for n in [100usize, 100_000] {
+            let v: Vec<u32> = (0..n as u32).collect();
+            let got = compact(&dev, "c", &v, |&x| x % 3 == 0);
+            let want: Vec<u32> = v.iter().copied().filter(|&x| x % 3 == 0).collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn compact_empty_and_none_match() {
+        let dev = Device::default();
+        let v: Vec<u32> = vec![];
+        assert!(compact(&dev, "c", &v, |_| true).is_empty());
+        let v: Vec<u32> = (0..20_000).collect();
+        assert!(compact(&dev, "c", &v, |_| false).is_empty());
+    }
+
+    #[test]
+    fn compact_indices_works() {
+        let dev = Device::default();
+        let v = vec![5u32, 0, 7, 0, 9];
+        assert_eq!(compact_indices(&dev, "ci", &v, |&x| x > 0), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let dev = Device::default();
+        for n in [500usize, 60_000] {
+            let v: Vec<u32> = (0..n as u32).collect();
+            let h = histogram(&dev, "h", &v, 4, |&x| (x % 4) as usize);
+            let total: u64 = h.iter().sum();
+            assert_eq!(total, n as u64);
+            for (b, c) in h.iter().enumerate() {
+                let want = v.iter().filter(|&&x| x % 4 == b as u32).count() as u64;
+                assert_eq!(*c, want);
+            }
+        }
+    }
+}

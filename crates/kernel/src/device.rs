@@ -1,0 +1,473 @@
+//! The simulated device: launch bookkeeping, traffic accounting, and the
+//! bandwidth model that converts traffic into *model time*.
+//!
+//! Every parallel operation in this workspace goes through
+//! [`Device::launch`] (usually via the typed wrappers in [`crate::launch`]).
+//! A launch records:
+//!
+//! * the number of kernel launches (the paper's Alg. 2/3 count launches
+//!   explicitly — e.g. the bidirectional scan is exactly `log2(N)` launches),
+//! * declared global-memory traffic ([`Traffic`]), mirroring the paper's
+//!   Table 2 "read/written buffers" analysis,
+//! * wall-clock time of the parallel CPU execution, and
+//! * *model time*: `launch_overhead + bytes / bandwidth`, i.e. the time the
+//!   kernel would take on a memory-bound GPU with the configured bandwidth.
+//!
+//! Model time is what we use to reproduce the *shape* of the paper's GPU
+//! throughput figures (Fig. 3, Fig. 5, Fig. 6); wall time gives the real
+//! parallel-CPU numbers.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bytes read and written from/to simulated global memory by one kernel.
+///
+/// Construct with the builder-style helpers so element counts and types
+/// stay readable at the call site:
+///
+/// ```
+/// use lf_kernel::Traffic;
+/// let t = Traffic::new().reads::<f32>(1000).writes::<u32>(500);
+/// assert_eq!(t.read, 4000);
+/// assert_eq!(t.written, 2000);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes read from global memory.
+    pub read: u64,
+    /// Bytes written to global memory.
+    pub written: u64,
+}
+
+impl Traffic {
+    /// An empty traffic record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Construct from raw byte counts.
+    pub fn bytes(read: u64, written: u64) -> Self {
+        Self { read, written }
+    }
+
+    /// Add `n` elements of type `T` to the read side.
+    pub fn reads<T>(mut self, n: usize) -> Self {
+        self.read += (n * std::mem::size_of::<T>()) as u64;
+        self
+    }
+
+    /// Add `n` elements of type `T` to the written side.
+    pub fn writes<T>(mut self, n: usize) -> Self {
+        self.written += (n * std::mem::size_of::<T>()) as u64;
+        self
+    }
+
+    /// Add raw bytes to the read side.
+    pub fn read_bytes(mut self, bytes: u64) -> Self {
+        self.read += bytes;
+        self
+    }
+
+    /// Add raw bytes to the written side.
+    pub fn written_bytes(mut self, bytes: u64) -> Self {
+        self.written += bytes;
+        self
+    }
+
+    /// Total bytes moved.
+    pub fn total(&self) -> u64 {
+        self.read + self.written
+    }
+}
+
+impl std::ops::Add for Traffic {
+    type Output = Traffic;
+    fn add(self, rhs: Traffic) -> Traffic {
+        Traffic {
+            read: self.read + rhs.read,
+            written: self.written + rhs.written,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Traffic {
+    fn add_assign(&mut self, rhs: Traffic) {
+        self.read += rhs.read;
+        self.written += rhs.written;
+    }
+}
+
+/// Static configuration of the simulated device.
+#[derive(Clone, Debug)]
+pub struct DeviceConfig {
+    /// Human-readable device name (appears in reports).
+    pub name: String,
+    /// Peak global-memory bandwidth in GB/s used by the model.
+    ///
+    /// The default is parameterized like the paper's GeForce RTX 2080 Ti
+    /// (616 GB/s theoretical).
+    pub bandwidth_gbps: f64,
+    /// Fixed per-launch overhead in microseconds (CUDA launch latency).
+    pub launch_overhead_us: f64,
+    /// Record an individual [`LaunchSample`] per kernel launch (capped at
+    /// [`DeviceConfig::max_samples`]) — needed for distribution statistics
+    /// like the paper\'s Fig. 5 throughput boxplots. Off by default.
+    pub record_samples: bool,
+    /// Sample-buffer cap when `record_samples` is on.
+    pub max_samples: usize,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self {
+            name: "sim-rtx2080ti".to_string(),
+            bandwidth_gbps: 616.0,
+            launch_overhead_us: 3.0,
+            record_samples: false,
+            max_samples: 1 << 20,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Same configuration with per-launch sampling enabled.
+    pub fn with_sampling(mut self) -> Self {
+        self.record_samples = true;
+        self
+    }
+}
+
+/// One recorded kernel launch (when sampling is enabled).
+#[derive(Clone, Debug)]
+pub struct LaunchSample {
+    /// Kernel name.
+    pub name: String,
+    /// Declared traffic of this launch.
+    pub traffic: Traffic,
+    /// Model time of this launch (seconds).
+    pub model_time_s: f64,
+    /// Wall time of this launch (seconds).
+    pub wall_time_s: f64,
+}
+
+impl LaunchSample {
+    /// Model throughput of this single launch (GB/s).
+    pub fn model_throughput_gbps(&self) -> f64 {
+        if self.model_time_s == 0.0 {
+            0.0
+        } else {
+            self.traffic.total() as f64 / 1e9 / self.model_time_s
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// Model time in seconds for a kernel moving `traffic` bytes.
+    pub fn model_time(&self, traffic: Traffic) -> f64 {
+        self.launch_overhead_us * 1e-6 + traffic.total() as f64 / (self.bandwidth_gbps * 1e9)
+    }
+}
+
+/// Accumulated statistics for a single kernel name.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Number of launches of this kernel.
+    pub launches: u64,
+    /// Total declared traffic.
+    pub traffic: Traffic,
+    /// Total model time (seconds).
+    pub model_time_s: f64,
+    /// Total measured wall-clock time of the parallel CPU execution (s).
+    pub wall_time_s: f64,
+}
+
+impl KernelStats {
+    /// Effective model throughput (GB/s) over all launches of this kernel.
+    pub fn model_throughput_gbps(&self) -> f64 {
+        if self.model_time_s == 0.0 {
+            0.0
+        } else {
+            self.traffic.total() as f64 / 1e9 / self.model_time_s
+        }
+    }
+
+    /// Effective wall-clock throughput (GB/s) over all launches.
+    pub fn wall_throughput_gbps(&self) -> f64 {
+        if self.wall_time_s == 0.0 {
+            0.0
+        } else {
+            self.traffic.total() as f64 / 1e9 / self.wall_time_s
+        }
+    }
+}
+
+/// Aggregate statistics for a device, plus a per-kernel-name breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceStats {
+    /// Individual launches (only populated when the device records
+    /// samples; excluded from `scoped` diffs).
+    pub samples: Vec<LaunchSample>,
+    /// Total number of kernel launches.
+    pub launches: u64,
+    /// Total declared traffic.
+    pub traffic: Traffic,
+    /// Total model time (seconds).
+    pub model_time_s: f64,
+    /// Total wall-clock time spent inside kernels (seconds).
+    pub wall_time_s: f64,
+    /// Per-kernel-name breakdown (ordered by name).
+    pub kernels: BTreeMap<String, KernelStats>,
+}
+
+impl DeviceStats {
+    fn record(&mut self, name: &str, traffic: Traffic, model_s: f64, wall_s: f64, sample: bool, cap: usize) {
+        if sample && self.samples.len() < cap {
+            self.samples.push(LaunchSample {
+                name: name.to_string(),
+                traffic,
+                model_time_s: model_s,
+                wall_time_s: wall_s,
+            });
+        }
+        self.launches += 1;
+        self.traffic += traffic;
+        self.model_time_s += model_s;
+        self.wall_time_s += wall_s;
+        let k = self.kernels.entry(name.to_string()).or_default();
+        k.launches += 1;
+        k.traffic += traffic;
+        k.model_time_s += model_s;
+        k.wall_time_s += wall_s;
+    }
+}
+
+/// The simulated GPU device.
+///
+/// Cheap to clone (shared stats). All kernels in this workspace take a
+/// `&Device` and record their launches here.
+#[derive(Clone)]
+pub struct Device {
+    config: Arc<DeviceConfig>,
+    stats: Arc<Mutex<DeviceStats>>,
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Self::new(DeviceConfig::default())
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("config", &*self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Self {
+            config: Arc::new(config),
+            stats: Arc::new(Mutex::new(DeviceStats::default())),
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset all accumulated statistics (e.g. between benchmark phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = DeviceStats::default();
+    }
+
+    /// Run `body` as one kernel launch named `name` with the declared
+    /// `traffic`, recording launch count, model time and wall time.
+    ///
+    /// `body` is expected to perform the actual (rayon-)parallel work; the
+    /// typed wrappers in [`crate::launch`] do this for the common shapes.
+    pub fn launch<R>(&self, name: &str, traffic: Traffic, body: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let out = body();
+        let wall = t0.elapsed().as_secs_f64();
+        let model = self.config.model_time(traffic);
+        self.stats.lock().record(
+            name,
+            traffic,
+            model,
+            wall,
+            self.config.record_samples,
+            self.config.max_samples,
+        );
+        out
+    }
+
+    /// Run a sub-computation and return the *difference* in stats it caused,
+    /// i.e. a scoped measurement. Useful for per-phase breakdowns (Fig. 6).
+    pub fn scoped<R>(&self, body: impl FnOnce() -> R) -> (R, DeviceStats) {
+        let before = self.stats();
+        let out = body();
+        let after = self.stats();
+        let mut diff = DeviceStats {
+            samples: Vec::new(),
+            launches: after.launches - before.launches,
+            traffic: Traffic::bytes(
+                after.traffic.read - before.traffic.read,
+                after.traffic.written - before.traffic.written,
+            ),
+            model_time_s: after.model_time_s - before.model_time_s,
+            wall_time_s: after.wall_time_s - before.wall_time_s,
+            kernels: BTreeMap::new(),
+        };
+        for (name, ka) in &after.kernels {
+            let kb = before.kernels.get(name).copied().unwrap_or_default();
+            if ka.launches > kb.launches {
+                diff.kernels.insert(
+                    name.clone(),
+                    KernelStats {
+                        launches: ka.launches - kb.launches,
+                        traffic: Traffic::bytes(
+                            ka.traffic.read - kb.traffic.read,
+                            ka.traffic.written - kb.traffic.written,
+                        ),
+                        model_time_s: ka.model_time_s - kb.model_time_s,
+                        wall_time_s: ka.wall_time_s - kb.wall_time_s,
+                    },
+                );
+            }
+        }
+        (out, diff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_builder_counts_bytes() {
+        let t = Traffic::new().reads::<u64>(10).writes::<u8>(3);
+        assert_eq!(t.read, 80);
+        assert_eq!(t.written, 3);
+        assert_eq!(t.total(), 83);
+    }
+
+    #[test]
+    fn traffic_add() {
+        let t = Traffic::bytes(1, 2) + Traffic::bytes(10, 20);
+        assert_eq!(t, Traffic::bytes(11, 22));
+    }
+
+    #[test]
+    fn model_time_includes_overhead_and_bandwidth() {
+        let cfg = DeviceConfig {
+            name: "t".into(),
+            bandwidth_gbps: 1.0, // 1 GB/s
+            launch_overhead_us: 1.0,
+            ..DeviceConfig::default()
+        };
+        let t = cfg.model_time(Traffic::bytes(500_000_000, 500_000_000));
+        // 1e-6 overhead + 1 GB / 1 GB/s = 1.000001 s
+        assert!((t - 1.000001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_records_stats() {
+        let dev = Device::default();
+        let r = dev.launch("k1", Traffic::bytes(100, 50), || 42);
+        assert_eq!(r, 42);
+        dev.launch("k1", Traffic::bytes(1, 1), || ());
+        dev.launch("k2", Traffic::bytes(0, 0), || ());
+        let s = dev.stats();
+        assert_eq!(s.launches, 3);
+        assert_eq!(s.traffic.read, 101);
+        assert_eq!(s.traffic.written, 51);
+        assert_eq!(s.kernels["k1"].launches, 2);
+        assert_eq!(s.kernels["k2"].launches, 1);
+        assert!(s.model_time_s > 0.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let dev = Device::default();
+        dev.launch("k", Traffic::bytes(5, 5), || ());
+        dev.reset_stats();
+        assert_eq!(dev.stats().launches, 0);
+    }
+
+    #[test]
+    fn scoped_reports_difference() {
+        let dev = Device::default();
+        dev.launch("a", Traffic::bytes(10, 0), || ());
+        let (_, d) = dev.scoped(|| {
+            dev.launch("a", Traffic::bytes(5, 0), || ());
+            dev.launch("b", Traffic::bytes(0, 7), || ());
+        });
+        assert_eq!(d.launches, 2);
+        assert_eq!(d.traffic.read, 5);
+        assert_eq!(d.traffic.written, 7);
+        assert_eq!(d.kernels["a"].launches, 1);
+        assert_eq!(d.kernels["b"].launches, 1);
+        assert!(!d.kernels.contains_key("c"));
+    }
+
+    #[test]
+    fn kernel_stats_throughput() {
+        let k = KernelStats {
+            launches: 1,
+            traffic: Traffic::bytes(1_000_000_000, 1_000_000_000),
+            model_time_s: 2.0,
+            wall_time_s: 4.0,
+        };
+        assert!((k.model_throughput_gbps() - 1.0).abs() < 1e-12);
+        assert!((k.wall_throughput_gbps() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_records_individual_launches() {
+        let dev = Device::new(DeviceConfig::default().with_sampling());
+        dev.launch("a", Traffic::bytes(100, 0), || ());
+        dev.launch("b", Traffic::bytes(0, 200), || ());
+        let s = dev.stats();
+        assert_eq!(s.samples.len(), 2);
+        assert_eq!(s.samples[0].name, "a");
+        assert_eq!(s.samples[1].traffic.written, 200);
+        assert!(s.samples[0].model_throughput_gbps() > 0.0);
+        // off by default
+        let dev = Device::default();
+        dev.launch("a", Traffic::bytes(1, 1), || ());
+        assert!(dev.stats().samples.is_empty());
+    }
+
+    #[test]
+    fn sample_cap_respected() {
+        let dev = Device::new(DeviceConfig {
+            record_samples: true,
+            max_samples: 3,
+            ..DeviceConfig::default()
+        });
+        for _ in 0..10 {
+            dev.launch("k", Traffic::new(), || ());
+        }
+        assert_eq!(dev.stats().samples.len(), 3);
+        assert_eq!(dev.stats().launches, 10);
+    }
+
+    #[test]
+    fn device_is_cloneable_and_shares_stats() {
+        let dev = Device::default();
+        let dev2 = dev.clone();
+        dev2.launch("k", Traffic::new(), || ());
+        assert_eq!(dev.stats().launches, 1);
+    }
+}

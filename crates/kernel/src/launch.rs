@@ -1,0 +1,318 @@
+//! Typed kernel-launch wrappers.
+//!
+//! CUDA kernels in the paper have the shape "for v ∈ V do in parallel:
+//! write out(v) := f(inputs)". These wrappers express that shape safely:
+//! each output element is owned by exactly one logical thread, inputs are
+//! captured immutably by the closure. Traffic for the *outputs* is derived
+//! from the element types automatically; traffic for the *inputs* is
+//! declared by the caller in bytes (kernels know what they read — exactly
+//! like the paper's Table 2 enumerates read buffers).
+
+use crate::device::{Device, Traffic};
+use rayon::prelude::*;
+
+/// Sequential fallback threshold: below this many elements the rayon
+/// fork-join overhead dominates, so run the body serially. The launch is
+/// still recorded. (GPU analog: tiny grids don't fill the device either.)
+const PAR_THRESHOLD: usize = 2048;
+
+#[inline]
+fn run_indexed<O: Send + Sync>(out: &mut [O], f: impl Fn(usize) -> O + Sync) {
+    if out.len() < PAR_THRESHOLD {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = f(i);
+        }
+    } else {
+        out.par_iter_mut().enumerate().for_each(|(i, o)| *o = f(i));
+    }
+}
+
+/// Launch a kernel writing one output slice: `out[i] = f(i)`.
+///
+/// `read_bytes` declares the input traffic; output traffic is derived from
+/// `out`'s length and element size.
+pub fn map1<O: Send + Sync>(
+    dev: &Device,
+    name: &str,
+    out: &mut [O],
+    read_bytes: usize,
+    f: impl Fn(usize) -> O + Sync,
+) {
+    let traffic = Traffic::new()
+        .read_bytes(read_bytes as u64)
+        .writes::<O>(out.len());
+    dev.launch(name, traffic, || run_indexed(out, f));
+}
+
+/// Launch a kernel writing two output slices of equal length:
+/// `(a[i], b[i]) = f(i)`.
+pub fn map2<A: Send + Sync, B: Send + Sync>(
+    dev: &Device,
+    name: &str,
+    a: &mut [A],
+    b: &mut [B],
+    read_bytes: usize,
+    f: impl Fn(usize) -> (A, B) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "map2 output length mismatch");
+    let traffic = Traffic::new()
+        .read_bytes(read_bytes as u64)
+        .writes::<A>(a.len())
+        .writes::<B>(b.len());
+    dev.launch(name, traffic, || {
+        if a.len() < PAR_THRESHOLD {
+            for (i, (ai, bi)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+                let (x, y) = f(i);
+                *ai = x;
+                *bi = y;
+            }
+        } else {
+            a.par_iter_mut()
+                .zip_eq(b.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, (ai, bi))| {
+                    let (x, y) = f(i);
+                    *ai = x;
+                    *bi = y;
+                });
+        }
+    });
+}
+
+/// Launch a kernel writing three output slices of equal length.
+pub fn map3<A: Send + Sync, B: Send + Sync, C: Send + Sync>(
+    dev: &Device,
+    name: &str,
+    a: &mut [A],
+    b: &mut [B],
+    c: &mut [C],
+    read_bytes: usize,
+    f: impl Fn(usize) -> (A, B, C) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "map3 output length mismatch");
+    assert_eq!(a.len(), c.len(), "map3 output length mismatch");
+    let traffic = Traffic::new()
+        .read_bytes(read_bytes as u64)
+        .writes::<A>(a.len())
+        .writes::<B>(b.len())
+        .writes::<C>(c.len());
+    dev.launch(name, traffic, || {
+        if a.len() < PAR_THRESHOLD {
+            for i in 0..a.len() {
+                let (x, y, z) = f(i);
+                a[i] = x;
+                b[i] = y;
+                c[i] = z;
+            }
+        } else {
+            a.par_iter_mut()
+                .zip_eq(b.par_iter_mut())
+                .zip_eq(c.par_iter_mut())
+                .enumerate()
+                .for_each(|(i, ((ai, bi), ci))| {
+                    let (x, y, z) = f(i);
+                    *ai = x;
+                    *bi = y;
+                    *ci = z;
+                });
+        }
+    });
+}
+
+/// Launch an *in-place update* kernel: `inout[i] = f(i, inout[i])`.
+/// Counts the slice both as read and written.
+pub fn update1<T: Send + Sync + Copy>(
+    dev: &Device,
+    name: &str,
+    inout: &mut [T],
+    extra_read_bytes: usize,
+    f: impl Fn(usize, T) -> T + Sync,
+) {
+    let traffic = Traffic::new()
+        .reads::<T>(inout.len())
+        .read_bytes(extra_read_bytes as u64)
+        .writes::<T>(inout.len());
+    dev.launch(name, traffic, || {
+        if inout.len() < PAR_THRESHOLD {
+            for (i, v) in inout.iter_mut().enumerate() {
+                *v = f(i, *v);
+            }
+        } else {
+            inout
+                .par_iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| *v = f(i, *v));
+        }
+    });
+}
+
+/// Launch a side-effect-only kernel over an index space. The closure must
+/// be race free by construction (e.g. writes through [`crate::ScatterSlice`]
+/// at disjoint indices, or atomics). All traffic is declared explicitly.
+pub fn for_each_index(
+    dev: &Device,
+    name: &str,
+    n: usize,
+    traffic: Traffic,
+    f: impl Fn(usize) + Sync + Send,
+) {
+    dev.launch(name, traffic, || {
+        if n < PAR_THRESHOLD {
+            for i in 0..n {
+                f(i);
+            }
+        } else {
+            (0..n).into_par_iter().for_each(f);
+        }
+    });
+}
+
+/// Fill kernel: `out[i] = value`.
+pub fn fill<T: Send + Sync + Clone>(dev: &Device, name: &str, out: &mut [T], value: T) {
+    let traffic = Traffic::new().writes::<T>(out.len());
+    dev.launch(name, traffic, || {
+        if out.len() < PAR_THRESHOLD {
+            out.fill(value);
+        } else {
+            out.par_iter_mut().for_each(|o| *o = value.clone());
+        }
+    });
+}
+
+/// Device-to-device copy kernel (the paper's `π' ← π` copies).
+pub fn copy<T: Send + Sync + Copy>(dev: &Device, name: &str, dst: &mut [T], src: &[T]) {
+    assert_eq!(dst.len(), src.len(), "copy length mismatch");
+    let traffic = Traffic::new().reads::<T>(src.len()).writes::<T>(dst.len());
+    dev.launch(name, traffic, || {
+        if dst.len() < PAR_THRESHOLD {
+            dst.copy_from_slice(src);
+        } else {
+            dst.par_iter_mut()
+                .zip_eq(src.par_iter())
+                .for_each(|(d, s)| *d = *s);
+        }
+    });
+}
+
+/// Gather kernel: `out[i] = src[idx[i]]`.
+pub fn gather<T: Send + Sync + Copy>(
+    dev: &Device,
+    name: &str,
+    out: &mut [T],
+    idx: &[u32],
+    src: &[T],
+) {
+    assert_eq!(out.len(), idx.len(), "gather length mismatch");
+    let traffic = Traffic::new()
+        .reads::<u32>(idx.len())
+        .reads::<T>(out.len())
+        .writes::<T>(out.len());
+    dev.launch(name, traffic, || {
+        if out.len() < PAR_THRESHOLD {
+            for (o, &j) in out.iter_mut().zip(idx) {
+                *o = src[j as usize];
+            }
+        } else {
+            out.par_iter_mut()
+                .zip_eq(idx.par_iter())
+                .for_each(|(o, &j)| *o = src[j as usize]);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map1_small_and_large() {
+        let dev = Device::default();
+        for n in [5usize, 10_000] {
+            let mut out = vec![0u64; n];
+            map1(&dev, "sq", &mut out, 0, |i| (i * i) as u64);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+        }
+        assert_eq!(dev.stats().launches, 2);
+    }
+
+    #[test]
+    fn map2_zips() {
+        let dev = Device::default();
+        let mut a = vec![0u32; 100];
+        let mut b = vec![0.0f32; 100];
+        map2(&dev, "k", &mut a, &mut b, 0, |i| (i as u32, i as f32 * 0.5));
+        assert_eq!(a[10], 10);
+        assert_eq!(b[10], 5.0);
+    }
+
+    #[test]
+    fn map3_zips() {
+        let dev = Device::default();
+        let n = 5000;
+        let mut a = vec![0u32; n];
+        let mut b = vec![0u32; n];
+        let mut c = vec![0u8; n];
+        map3(&dev, "k", &mut a, &mut b, &mut c, 0, |i| {
+            (i as u32, 2 * i as u32, (i % 251) as u8)
+        });
+        assert_eq!(a[4999], 4999);
+        assert_eq!(b[4999], 9998);
+        assert_eq!(c[4999], (4999 % 251) as u8);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let dev = Device::default();
+        let mut v: Vec<u32> = (0..4096).collect();
+        update1(&dev, "inc", &mut v, 0, |_, x| x + 1);
+        assert_eq!(v[0], 1);
+        assert_eq!(v[4095], 4096);
+        let s = dev.stats();
+        // read + write of 4096 u32 each
+        assert_eq!(s.traffic.read, 4096 * 4);
+        assert_eq!(s.traffic.written, 4096 * 4);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let dev = Device::default();
+        let mut a = vec![0u16; 3000];
+        fill(&dev, "f", &mut a, 7);
+        assert!(a.iter().all(|&x| x == 7));
+        let mut b = vec![0u16; 3000];
+        copy(&dev, "c", &mut b, &a);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gather_indexes() {
+        let dev = Device::default();
+        let src: Vec<u64> = (0..100).map(|i| i * 10).collect();
+        let idx: Vec<u32> = (0..50).map(|i| 99 - i).collect();
+        let mut out = vec![0u64; 50];
+        gather(&dev, "g", &mut out, &idx, &src);
+        assert_eq!(out[0], 990);
+        assert_eq!(out[49], 500);
+    }
+
+    #[test]
+    fn for_each_scatter() {
+        use crate::buffer::ScatterSlice;
+        let dev = Device::default();
+        let n = 10_000;
+        let mut out = vec![0u32; n];
+        {
+            let view = ScatterSlice::new(&mut out);
+            for_each_index(&dev, "scatter", n, Traffic::new().writes::<u32>(n), |i| {
+                // SAFETY: bijective index mapping.
+                unsafe { view.write((i * 7919) % n, i as u32) };
+            });
+        }
+        let mut seen = vec![false; n];
+        for (j, &v) in out.iter().enumerate() {
+            assert_eq!((v as usize * 7919) % n, j);
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # lf-kernel — simulated GPU device substrate
+//!
+//! The paper ("Highly Parallel Linear Forest Extraction from a Weighted
+//! Graph on GPUs", ICPP '22) implements everything as CUDA kernels on an
+//! RTX 2080 Ti. This reproduction has no GPU, so this crate provides the
+//! closest faithful substitute: a **device execution model** in which
+//! algorithms are expressed as *kernel launches* over an index space, with
+//!
+//! * data-parallel execution on CPU threads (via rayon, playing the role of
+//!   the CUDA thread grid),
+//! * per-launch **global-memory traffic accounting** (bytes read/written),
+//!   which reproduces the paper's Table 2 analysis, and
+//! * a configurable **bandwidth + launch-overhead model** that converts the
+//!   recorded traffic into a *model time*, so throughput figures
+//!   (paper Fig. 3 and Fig. 5) can be reproduced in shape.
+//!
+//! On top of the raw launch API the crate implements the parallel
+//! primitives the paper takes from CUB/Thrust (which we must build from
+//! scratch, just as the paper had to build its scan from scratch):
+//! reductions, prefix scans, LSD radix sort, stream compaction, and
+//! histograms.
+//!
+//! ## Example
+//!
+//! ```
+//! use lf_kernel::{Device, launch};
+//!
+//! let dev = Device::default();
+//! let xs: Vec<f64> = (0..1024).map(|i| i as f64).collect();
+//! let mut ys = vec![0.0f64; 1024];
+//! launch::map1(&dev, "saxpy", &mut ys, xs.len() * 8, |i| 2.0 * xs[i] + 1.0);
+//! assert_eq!(ys[3], 7.0);
+//! assert_eq!(dev.stats().launches, 1);
+//! ```
+
+pub mod buffer;
+pub mod compact;
+pub mod device;
+pub mod launch;
+pub mod reduce;
+pub mod scan;
+pub mod segmented;
+pub mod sort;
+
+pub use buffer::{PingPong, ScatterSlice};
+pub use device::{Device, DeviceConfig, DeviceStats, KernelStats, LaunchSample, Traffic};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::buffer::{PingPong, ScatterSlice};
+    pub use crate::device::{Device, DeviceConfig, Traffic};
+    pub use crate::{compact, launch, reduce, scan, segmented, sort};
+}

@@ -1,0 +1,179 @@
+//! Parallel reductions over device buffers.
+//!
+//! A reduction is a single kernel launch that reads its input once and
+//! writes O(1) output; we account traffic accordingly. Operators must be
+//! associative and commutative monoids with an explicit identity (the same
+//! contract CUB's `DeviceReduce` imposes).
+
+use crate::device::{Device, Traffic};
+use rayon::prelude::*;
+
+const PAR_THRESHOLD: usize = 4096;
+
+/// Generic monoid reduction: `identity ⊕ data[0] ⊕ ... ⊕ data[n-1]`.
+pub fn reduce<T, A>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    identity: A,
+    map: impl Fn(&T) -> A + Sync,
+    combine: impl Fn(A, A) -> A + Sync,
+) -> A
+where
+    T: Sync,
+    A: Send + Sync + Clone,
+{
+    let traffic = Traffic::new().reads::<T>(data.len());
+    dev.launch(name, traffic, || {
+        if data.len() < PAR_THRESHOLD {
+            data.iter()
+                .fold(identity.clone(), |acc, x| combine(acc, map(x)))
+        } else {
+            data.par_iter()
+                .fold(
+                    || identity.clone(),
+                    |acc, x| combine(acc, map(x)),
+                )
+                .reduce(|| identity.clone(), &combine)
+        }
+    })
+}
+
+/// Sum of an `f64`-convertible slice. Deterministic only up to floating
+/// point reassociation, like any parallel GPU reduction.
+pub fn sum_f64(dev: &Device, name: &str, data: &[f64]) -> f64 {
+    reduce(dev, name, data, 0.0f64, |&x| x, |a, b| a + b)
+}
+
+/// Sum of a `u64` slice.
+pub fn sum_u64(dev: &Device, name: &str, data: &[u64]) -> u64 {
+    reduce(dev, name, data, 0u64, |&x| x, |a, b| a + b)
+}
+
+/// Count elements satisfying a predicate.
+pub fn count<T: Sync>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> usize {
+    reduce(
+        dev,
+        name,
+        data,
+        0usize,
+        |x| usize::from(pred(x)),
+        |a, b| a + b,
+    )
+}
+
+/// Whether any element satisfies a predicate.
+///
+/// (No early exit — a GPU reduction reads everything anyway.)
+pub fn any<T: Sync>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+) -> bool {
+    reduce(
+        dev,
+        name,
+        data,
+        false,
+        |x| pred(x),
+        |a, b| a || b,
+    )
+}
+
+/// Index of the maximum element by a key function (first occurrence on the
+/// sequential path; any argmax on the parallel path, as on a GPU).
+/// Returns `None` for empty input.
+pub fn max_by_key<T, K>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    key: impl Fn(&T) -> K + Sync,
+) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Send + Clone,
+{
+    if data.is_empty() {
+        return None;
+    }
+    let traffic = Traffic::new().reads::<T>(data.len());
+    Some(dev.launch(name, traffic, || {
+        if data.len() < PAR_THRESHOLD {
+            let mut bi = 0usize;
+            let mut bk = key(&data[0]);
+            for (i, x) in data.iter().enumerate().skip(1) {
+                let k = key(x);
+                if k > bk {
+                    bk = k;
+                    bi = i;
+                }
+            }
+            bi
+        } else {
+            data.par_iter()
+                .enumerate()
+                .map(|(i, x)| (i, key(x)))
+                .reduce_with(|a, b| if b.1 > a.1 { b } else { a })
+                .map(|(i, _)| i)
+                .unwrap()
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums() {
+        let dev = Device::default();
+        let v: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let s = sum_f64(&dev, "sum", &v);
+        assert!((s - (9999.0 * 10000.0 / 2.0)).abs() < 1e-6);
+        let u: Vec<u64> = (0..100).collect();
+        assert_eq!(sum_u64(&dev, "sumu", &u), 4950);
+    }
+
+    #[test]
+    fn counting_and_any() {
+        let dev = Device::default();
+        let v: Vec<u32> = (0..50_000).collect();
+        assert_eq!(count(&dev, "c", &v, |&x| x % 10 == 0), 5000);
+        assert!(any(&dev, "a", &v, |&x| x == 49_999));
+        assert!(!any(&dev, "a", &v, |&x| x == 50_000));
+    }
+
+    #[test]
+    fn empty_reduce_is_identity() {
+        let dev = Device::default();
+        let v: Vec<f64> = vec![];
+        assert_eq!(sum_f64(&dev, "s", &v), 0.0);
+        assert_eq!(max_by_key(&dev, "m", &v, |&x| x), None);
+    }
+
+    #[test]
+    fn max_by_key_finds_argmax() {
+        let dev = Device::default();
+        let mut v: Vec<i64> = (0..9000).map(|i| (i * 37) % 1000).collect();
+        v[7777] = 100_000;
+        assert_eq!(max_by_key(&dev, "m", &v, |&x| x), Some(7777));
+        // small path
+        let w = vec![3i64, 9, 1];
+        assert_eq!(max_by_key(&dev, "m", &w, |&x| x), Some(1));
+    }
+
+    #[test]
+    fn generic_reduce_custom_monoid() {
+        let dev = Device::default();
+        let v: Vec<u32> = (1..=6000).collect();
+        // min-monoid
+        let m = reduce(&dev, "min", &v, u32::MAX, |&x| x, |a, b| a.min(b));
+        assert_eq!(m, 1);
+    }
+}

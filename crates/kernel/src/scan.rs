@@ -1,0 +1,207 @@
+//! Parallel prefix scans over *random-access* buffers.
+//!
+//! These are the ordinary scans (as in Thrust/CUB) used by the substrate —
+//! CSR row-pointer construction, stream compaction, radix-sort digit
+//! offsets. They are distinct from the paper's *bidirectional* scan over
+//! linked [0,2]-factor connectivity, which lives in `lf-core::scan` and is
+//! precisely the thing Thrust/CUB *cannot* express (Sec. 4.2).
+//!
+//! Implementation: classic three-phase blocked scan (per-block sequential
+//! scan in parallel, sequential scan of block totals, parallel add-offsets),
+//! i.e. work-efficient O(N), matching a single-pass GPU scan in traffic:
+//! one read + one write of the data.
+
+use crate::device::{Device, Traffic};
+use rayon::prelude::*;
+
+const SEQ_THRESHOLD: usize = 8192;
+
+/// In-place **exclusive** scan with a custom associative operator and
+/// identity. Returns the total (the "carry-out").
+///
+/// `out[i] = identity ⊕ in[0] ⊕ ... ⊕ in[i-1]`
+pub fn exclusive_scan_in_place<T>(
+    dev: &Device,
+    name: &str,
+    data: &mut [T],
+    identity: T,
+    op: impl Fn(T, T) -> T + Sync,
+) -> T
+where
+    T: Copy + Send + Sync,
+{
+    let n = data.len();
+    let traffic = Traffic::new().reads::<T>(n).writes::<T>(n);
+    dev.launch(name, traffic, || {
+        if n == 0 {
+            return identity;
+        }
+        if n < SEQ_THRESHOLD {
+            let mut acc = identity;
+            for v in data.iter_mut() {
+                let x = *v;
+                *v = acc;
+                acc = op(acc, x);
+            }
+            return acc;
+        }
+        let nblocks = rayon::current_num_threads().max(1) * 4;
+        let block = n.div_ceil(nblocks);
+        // Phase 1: per-block inclusive totals (scan each block exclusively,
+        // remember the block total).
+        let mut totals: Vec<T> = data
+            .par_chunks_mut(block)
+            .map(|chunk| {
+                let mut acc = identity;
+                for v in chunk.iter_mut() {
+                    let x = *v;
+                    *v = acc;
+                    acc = op(acc, x);
+                }
+                acc
+            })
+            .collect();
+        // Phase 2: exclusive scan of block totals (sequential; few blocks).
+        let mut acc = identity;
+        for t in totals.iter_mut() {
+            let x = *t;
+            *t = acc;
+            acc = op(acc, x);
+        }
+        let grand_total = acc;
+        // Phase 3: add block offsets.
+        data.par_chunks_mut(block)
+            .zip(totals.par_iter())
+            .for_each(|(chunk, &off)| {
+                for v in chunk.iter_mut() {
+                    *v = op(off, *v);
+                }
+            });
+        grand_total
+    })
+}
+
+/// In-place **inclusive** scan. `out[i] = in[0] ⊕ ... ⊕ in[i]`.
+pub fn inclusive_scan_in_place<T>(
+    dev: &Device,
+    name: &str,
+    data: &mut [T],
+    identity: T,
+    op: impl Fn(T, T) -> T + Sync,
+) where
+    T: Copy + Send + Sync,
+{
+    let n = data.len();
+    let traffic = Traffic::new().reads::<T>(n).writes::<T>(n);
+    dev.launch(name, traffic, || {
+        if n == 0 {
+            return;
+        }
+        if n < SEQ_THRESHOLD {
+            let mut acc = identity;
+            for v in data.iter_mut() {
+                acc = op(acc, *v);
+                *v = acc;
+            }
+            return;
+        }
+        let nblocks = rayon::current_num_threads().max(1) * 4;
+        let block = n.div_ceil(nblocks);
+        let mut totals: Vec<T> = data
+            .par_chunks_mut(block)
+            .map(|chunk| {
+                let mut acc = identity;
+                for v in chunk.iter_mut() {
+                    acc = op(acc, *v);
+                    *v = acc;
+                }
+                acc
+            })
+            .collect();
+        let mut acc = identity;
+        for t in totals.iter_mut() {
+            let x = *t;
+            *t = acc;
+            acc = op(acc, x);
+        }
+        data.par_chunks_mut(block)
+            .zip(totals.par_iter())
+            .for_each(|(chunk, &off)| {
+                for v in chunk.iter_mut() {
+                    *v = op(off, *v);
+                }
+            });
+    });
+}
+
+/// Exclusive prefix-sum of `u32` counts into `u32` offsets; the common
+/// CSR-building shape. Returns the total.
+pub fn exclusive_sum_u32(dev: &Device, name: &str, data: &mut [u32]) -> u32 {
+    exclusive_scan_in_place(dev, name, data, 0u32, |a, b| a + b)
+}
+
+/// Exclusive prefix-sum of `usize` counts. Returns the total.
+pub fn exclusive_sum_usize(dev: &Device, name: &str, data: &mut [usize]) -> usize {
+    exclusive_scan_in_place(dev, name, data, 0usize, |a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ref_exclusive(v: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(v.len());
+        let mut acc = 0u64;
+        for &x in v {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn exclusive_matches_reference_small_and_large() {
+        let dev = Device::default();
+        for n in [0usize, 1, 2, 100, 8192, 100_003] {
+            let v: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 97).collect();
+            let (want, want_total) = ref_exclusive(&v);
+            let mut got = v.clone();
+            let total =
+                exclusive_scan_in_place(&dev, "scan", &mut got, 0u64, |a, b| a + b);
+            assert_eq!(got, want, "n={n}");
+            assert_eq!(total, want_total, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inclusive_matches_reference() {
+        let dev = Device::default();
+        for n in [0usize, 3, 50_000] {
+            let v: Vec<u64> = (0..n as u64).map(|i| i % 7 + 1).collect();
+            let mut got = v.clone();
+            inclusive_scan_in_place(&dev, "scan", &mut got, 0u64, |a, b| a + b);
+            let mut acc = 0;
+            for (i, &x) in v.iter().enumerate() {
+                acc += x;
+                assert_eq!(got[i], acc);
+            }
+        }
+    }
+
+    #[test]
+    fn max_scan_operator() {
+        let dev = Device::default();
+        let mut v: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        inclusive_scan_in_place(&dev, "maxscan", &mut v, 0u32, |a, b| a.max(b));
+        assert_eq!(v, vec![3, 3, 4, 4, 5, 9, 9, 9]);
+    }
+
+    #[test]
+    fn u32_offsets() {
+        let dev = Device::default();
+        let mut counts = vec![2u32, 0, 5, 1];
+        let total = exclusive_sum_u32(&dev, "off", &mut counts);
+        assert_eq!(counts, vec![0, 2, 2, 7]);
+        assert_eq!(total, 8);
+    }
+}

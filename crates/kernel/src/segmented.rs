@@ -1,0 +1,205 @@
+//! Segmented primitives — the `DeviceSegmentedReduce` / `DeviceSegmentedSort`
+//! equivalents of CUB that the paper benchmarks against (Sec. 5.2.1).
+//! Segments are given CSR-style as an offsets array of length
+//! `num_segments + 1`.
+
+use crate::device::{Device, Traffic};
+use rayon::prelude::*;
+
+const PAR_THRESHOLD: usize = 2048;
+
+/// Reduce every segment independently:
+/// `out[s] = identity ⊕ data[offsets[s]] ⊕ … ⊕ data[offsets[s+1]−1]`.
+pub fn segmented_reduce<T, A>(
+    dev: &Device,
+    name: &str,
+    offsets: &[usize],
+    data: &[T],
+    identity: A,
+    map: impl Fn(&T) -> A + Sync,
+    combine: impl Fn(A, A) -> A + Sync,
+) -> Vec<A>
+where
+    T: Sync,
+    A: Send + Sync + Clone,
+{
+    assert!(!offsets.is_empty(), "offsets needs num_segments + 1 entries");
+    assert_eq!(*offsets.last().unwrap(), data.len(), "offsets must cover data");
+    let nseg = offsets.len() - 1;
+    let traffic = Traffic::new()
+        .reads::<T>(data.len())
+        .reads::<usize>(offsets.len())
+        .read_bytes(0)
+        .writes::<A>(nseg);
+    dev.launch(name, traffic, || {
+        let body = |s: usize| {
+            data[offsets[s]..offsets[s + 1]]
+                .iter()
+                .fold(identity.clone(), |acc, x| combine(acc, map(x)))
+        };
+        if nseg < PAR_THRESHOLD {
+            (0..nseg).map(body).collect()
+        } else {
+            (0..nseg).into_par_iter().map(body).collect()
+        }
+    })
+}
+
+/// Sort the `u64` keys of every segment ascending, in place.
+pub fn segmented_sort_u64(dev: &Device, name: &str, offsets: &[usize], keys: &mut [u64]) {
+    segmented_sort_pairs_u64(dev, name, offsets, keys, &mut []);
+}
+
+/// Sort `(key, value)` pairs within every segment by key ascending, in
+/// place (stable). `vals` may be empty for key-only sorting; otherwise it
+/// must match `keys` in length.
+pub fn segmented_sort_pairs_u64(
+    dev: &Device,
+    name: &str,
+    offsets: &[usize],
+    keys: &mut [u64],
+    vals: &mut [u32],
+) {
+    assert!(!offsets.is_empty(), "offsets needs num_segments + 1 entries");
+    assert_eq!(*offsets.last().unwrap(), keys.len(), "offsets must cover keys");
+    let with_vals = !vals.is_empty();
+    if with_vals {
+        assert_eq!(vals.len(), keys.len(), "key/value length mismatch");
+    }
+    let nseg = offsets.len() - 1;
+    let traffic = Traffic::new()
+        .reads::<u64>(keys.len())
+        .reads::<usize>(offsets.len())
+        .writes::<u64>(keys.len())
+        .read_bytes(if with_vals { (vals.len() * 4) as u64 } else { 0 })
+        .written_bytes(if with_vals { (vals.len() * 4) as u64 } else { 0 });
+    dev.launch(name, traffic, || {
+        // Parallelize across segments; within a segment sort sequentially
+        // (the CUB scheme assigns segments to blocks the same way). Slices
+        // are produced by repeated split_at_mut so rayon can own them.
+        let mut key_slices: Vec<&mut [u64]> = Vec::with_capacity(nseg);
+        let mut val_slices: Vec<&mut [u32]> = Vec::with_capacity(nseg);
+        {
+            let mut krest: &mut [u64] = keys;
+            let mut vrest: &mut [u32] = vals;
+            for s in 0..nseg {
+                let len = offsets[s + 1] - offsets[s];
+                let (k, kr) = krest.split_at_mut(len);
+                krest = kr;
+                key_slices.push(k);
+                if with_vals {
+                    let (v, vr) = vrest.split_at_mut(len);
+                    vrest = vr;
+                    val_slices.push(v);
+                }
+            }
+        }
+        let sort_one = |k: &mut [u64], v: Option<&mut [u32]>| match v {
+            None => k.sort_unstable(),
+            Some(v) => {
+                let mut idx: Vec<u32> = (0..k.len() as u32).collect();
+                idx.sort_by_key(|&i| k[i as usize]);
+                let ks: Vec<u64> = idx.iter().map(|&i| k[i as usize]).collect();
+                let vs: Vec<u32> = idx.iter().map(|&i| v[i as usize]).collect();
+                k.copy_from_slice(&ks);
+                v.copy_from_slice(&vs);
+            }
+        };
+        if with_vals {
+            if nseg < PAR_THRESHOLD {
+                for (k, v) in key_slices.into_iter().zip(val_slices) {
+                    sort_one(k, Some(v));
+                }
+            } else {
+                key_slices
+                    .into_par_iter()
+                    .zip(val_slices.into_par_iter())
+                    .for_each(|(k, v)| sort_one(k, Some(v)));
+            }
+        } else if nseg < PAR_THRESHOLD {
+            for k in key_slices {
+                sort_one(k, None);
+            }
+        } else {
+            key_slices.into_par_iter().for_each(|k| sort_one(k, None));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_segments(n: usize, seed: u64) -> (Vec<usize>, Vec<u64>) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut offsets = vec![0usize];
+        while *offsets.last().unwrap() < n {
+            let next = (offsets.last().unwrap() + rng.random_range(0..20)).min(n);
+            offsets.push(next);
+        }
+        let data: Vec<u64> = (0..n).map(|_| rng.random_range(0..1_000_000)).collect();
+        (offsets, data)
+    }
+
+    #[test]
+    fn segmented_reduce_sums() {
+        let dev = Device::default();
+        let offsets = vec![0usize, 3, 3, 7];
+        let data = vec![1u64, 2, 3, 10, 20, 30, 40];
+        let out = segmented_reduce(&dev, "sr", &offsets, &data, 0u64, |&x| x, |a, b| a + b);
+        assert_eq!(out, vec![6, 0, 100]);
+    }
+
+    #[test]
+    fn segmented_reduce_min_random() {
+        let dev = Device::default();
+        let (offsets, data) = random_segments(5000, 3);
+        let out = segmented_reduce(&dev, "sr", &offsets, &data, u64::MAX, |&x| x, |a, b| {
+            a.min(b)
+        });
+        for s in 0..offsets.len() - 1 {
+            let want = data[offsets[s]..offsets[s + 1]]
+                .iter()
+                .copied()
+                .min()
+                .unwrap_or(u64::MAX);
+            assert_eq!(out[s], want, "segment {s}");
+        }
+    }
+
+    #[test]
+    fn segmented_sort_sorts_each_segment_only() {
+        let dev = Device::default();
+        let (offsets, mut keys) = random_segments(4000, 7);
+        let orig = keys.clone();
+        segmented_sort_u64(&dev, "ss", &offsets, &mut keys);
+        for s in 0..offsets.len() - 1 {
+            let seg = &keys[offsets[s]..offsets[s + 1]];
+            assert!(seg.windows(2).all(|w| w[0] <= w[1]), "segment {s} unsorted");
+            let mut want = orig[offsets[s]..offsets[s + 1]].to_vec();
+            want.sort_unstable();
+            assert_eq!(seg, &want[..], "segment {s} not a permutation");
+        }
+    }
+
+    #[test]
+    fn segmented_sort_pairs_stable() {
+        let dev = Device::default();
+        let offsets = vec![0usize, 4, 6];
+        let mut keys = vec![2u64, 1, 2, 1, 9, 3];
+        let mut vals = vec![0u32, 1, 2, 3, 4, 5];
+        segmented_sort_pairs_u64(&dev, "sp", &offsets, &mut keys, &mut vals);
+        assert_eq!(keys, vec![1, 1, 2, 2, 3, 9]);
+        assert_eq!(vals, vec![1, 3, 0, 2, 5, 4]);
+    }
+
+    #[test]
+    fn empty_segments_and_data() {
+        let dev = Device::default();
+        let out = segmented_reduce(&dev, "sr", &[0usize], &[] as &[u64], 0u64, |&x| x, |a, b| a + b);
+        assert!(out.is_empty());
+        let mut keys: Vec<u64> = vec![];
+        segmented_sort_u64(&dev, "ss", &[0usize, 0, 0], &mut keys);
+    }
+}

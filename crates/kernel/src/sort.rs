@@ -1,0 +1,267 @@
+//! Parallel LSD radix sort.
+//!
+//! The paper sorts vertex IDs by a key composed of (path ID, position)
+//! using CUB's radix sort (Sec. 4.3). CUB is unavailable here, so this is
+//! the from-scratch substitute: a stable least-significant-digit radix sort
+//! with 8-bit digits, per-chunk histograms, a digit-major offset scan, and
+//! a disjoint scatter — the standard GPU formulation executed on the
+//! simulated device.
+
+use crate::buffer::ScatterSlice;
+use crate::device::{Device, Traffic};
+use rayon::prelude::*;
+
+const RADIX_BITS: u32 = 8;
+const RADIX: usize = 1 << RADIX_BITS;
+const SEQ_THRESHOLD: usize = 1 << 14;
+
+/// Number of 8-bit digit passes needed to cover `max_key`.
+fn passes_for(max_key: u64) -> u32 {
+    if max_key == 0 {
+        1
+    } else {
+        (64 - max_key.leading_zeros()).div_ceil(RADIX_BITS)
+    }
+}
+
+/// Stable sort of `(key, value)` pairs by `u64` key, ascending.
+///
+/// Sorts in place (ping-pongs through internal scratch buffers). One kernel
+/// launch is recorded per digit pass (histogram + scatter are fused into
+/// the launch's traffic declaration, as a GPU onesweep pass would be).
+pub fn sort_pairs_u64(dev: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
+    assert_eq!(keys.len(), vals.len(), "key/value length mismatch");
+    let n = keys.len();
+    if n <= 1 {
+        return;
+    }
+    if n < SEQ_THRESHOLD {
+        // Small problems: one launch, sequential stable sort by key.
+        let traffic = Traffic::new()
+            .reads::<u64>(n)
+            .reads::<u32>(n)
+            .writes::<u64>(n)
+            .writes::<u32>(n);
+        dev.launch("radix_sort_small", traffic, || {
+            let mut idx: Vec<u32> = (0..n as u32).collect();
+            idx.sort_by_key(|&i| keys[i as usize]);
+            let ks: Vec<u64> = idx.iter().map(|&i| keys[i as usize]).collect();
+            let vs: Vec<u32> = idx.iter().map(|&i| vals[i as usize]).collect();
+            keys.copy_from_slice(&ks);
+            vals.copy_from_slice(&vs);
+        });
+        return;
+    }
+
+    let max_key = keys.par_iter().copied().max().unwrap_or(0);
+    let passes = passes_for(max_key);
+
+    let mut kin = std::mem::take(keys);
+    let mut vin = std::mem::take(vals);
+    let mut kout = vec![0u64; n];
+    let mut vout = vec![0u32; n];
+
+    let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
+    let chunk = n.div_ceil(nchunks);
+
+    for pass in 0..passes {
+        let shift = pass * RADIX_BITS;
+        let traffic = Traffic::new()
+            .reads::<u64>(n)
+            .reads::<u32>(n)
+            .writes::<u64>(n)
+            .writes::<u32>(n);
+        dev.launch("radix_sort_pass", traffic, || {
+            // Per-chunk histograms.
+            let hists: Vec<[u32; RADIX]> = kin
+                .par_chunks(chunk)
+                .map(|ch| {
+                    let mut h = [0u32; RADIX];
+                    for &k in ch {
+                        h[((k >> shift) as usize) & (RADIX - 1)] += 1;
+                    }
+                    h
+                })
+                .collect();
+            // Digit-major exclusive scan: offset[digit][chunk].
+            let nch = hists.len();
+            let mut offsets = vec![0u32; RADIX * nch];
+            let mut acc = 0u32;
+            for d in 0..RADIX {
+                for (c, h) in hists.iter().enumerate() {
+                    offsets[d * nch + c] = acc;
+                    acc += h[d];
+                }
+            }
+            debug_assert_eq!(acc as usize, n);
+            // Scatter: each chunk owns disjoint output slots per digit.
+            let kview = ScatterSlice::new(&mut kout);
+            let vview = ScatterSlice::new(&mut vout);
+            kin.par_chunks(chunk)
+                .zip(vin.par_chunks(chunk))
+                .enumerate()
+                .for_each(|(c, (kch, vch))| {
+                    let mut cursor = [0u32; RADIX];
+                    for d in 0..RADIX {
+                        cursor[d] = offsets[d * nch + c];
+                    }
+                    for (&k, &v) in kch.iter().zip(vch) {
+                        let d = ((k >> shift) as usize) & (RADIX - 1);
+                        let pos = cursor[d] as usize;
+                        cursor[d] += 1;
+                        // SAFETY: positions are disjoint — each (digit,
+                        // chunk) range is exclusive by the offset scan and
+                        // `cursor` walks it without overlap.
+                        unsafe {
+                            kview.write(pos, k);
+                            vview.write(pos, v);
+                        }
+                    }
+                });
+        });
+        std::mem::swap(&mut kin, &mut kout);
+        std::mem::swap(&mut vin, &mut vout);
+    }
+    *keys = kin;
+    *vals = vin;
+}
+
+/// Stable ascending sort of bare `u32` keys.
+pub fn sort_u32(dev: &Device, keys: &mut [u32]) {
+    let mut wide: Vec<u64> = keys.iter().map(|&k| k as u64).collect();
+    let mut vals: Vec<u32> = vec![0; keys.len()];
+    sort_pairs_u64(dev, &mut wide, &mut vals);
+    for (k, w) in keys.iter_mut().zip(&wide) {
+        *k = *w as u32;
+    }
+}
+
+/// Produce the permutation that sorts `keys` ascending (stable):
+/// `perm[rank] = original_index`.
+pub fn sort_permutation_u64(dev: &Device, keys: &[u64]) -> Vec<u32> {
+    let mut k = keys.to_vec();
+    let mut idx: Vec<u32> = (0..keys.len() as u32).collect();
+    sort_pairs_u64(dev, &mut k, &mut idx);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn check_sorted_stable(orig_k: &[u64], orig_v: &[u32], k: &[u64], v: &[u32]) {
+        assert!(k.windows(2).all(|w| w[0] <= w[1]), "keys not sorted");
+        // Same multiset.
+        let mut a: Vec<(u64, u32)> = orig_k.iter().copied().zip(orig_v.iter().copied()).collect();
+        let mut b: Vec<(u64, u32)> = k.iter().copied().zip(v.iter().copied()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "not a permutation of the input");
+        // Stability: equal keys keep input order of their values (here
+        // values encode original index).
+        for w in k.windows(2).zip(v.windows(2)) {
+            let (kw, vw) = w;
+            if kw[0] == kw[1] {
+                assert!(vw[0] < vw[1], "instability at equal keys");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_large() {
+        let dev = Device::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let n = 200_000;
+        let ko: Vec<u64> = (0..n).map(|_| rng.random_range(0..5000u64)).collect();
+        let vo: Vec<u32> = (0..n as u32).collect();
+        let (mut k, mut v) = (ko.clone(), vo.clone());
+        sort_pairs_u64(&dev, &mut k, &mut v);
+        check_sorted_stable(&ko, &vo, &k, &v);
+    }
+
+    #[test]
+    fn sorts_small_path() {
+        let dev = Device::default();
+        let ko = vec![9u64, 3, 3, 7, 0];
+        let vo = vec![0u32, 1, 2, 3, 4];
+        let (mut k, mut v) = (ko.clone(), vo.clone());
+        sort_pairs_u64(&dev, &mut k, &mut v);
+        assert_eq!(k, vec![0, 3, 3, 7, 9]);
+        assert_eq!(v, vec![4, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn sorts_full_64bit_keys() {
+        let dev = Device::default();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = 50_000;
+        let ko: Vec<u64> = (0..n).map(|_| rng.random::<u64>()).collect();
+        let vo: Vec<u32> = (0..n as u32).collect();
+        let (mut k, mut v) = (ko.clone(), vo.clone());
+        sort_pairs_u64(&dev, &mut k, &mut v);
+        check_sorted_stable(&ko, &vo, &k, &v);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let dev = Device::default();
+        let mut k: Vec<u64> = vec![];
+        let mut v: Vec<u32> = vec![];
+        sort_pairs_u64(&dev, &mut k, &mut v);
+        assert!(k.is_empty());
+        let mut k = vec![5u64];
+        let mut v = vec![1u32];
+        sort_pairs_u64(&dev, &mut k, &mut v);
+        assert_eq!(k, vec![5]);
+    }
+
+    #[test]
+    fn all_equal_keys_stable() {
+        let dev = Device::default();
+        let n = 100_000;
+        let mut k = vec![7u64; n];
+        let mut v: Vec<u32> = (0..n as u32).collect();
+        sort_pairs_u64(&dev, &mut k, &mut v);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn sort_u32_works() {
+        let dev = Device::default();
+        let mut k = vec![3u32, 1, 2];
+        sort_u32(&dev, &mut k);
+        assert_eq!(k, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn permutation_output() {
+        let dev = Device::default();
+        let keys = vec![30u64, 10, 20];
+        let perm = sort_permutation_u64(&dev, &keys);
+        assert_eq!(perm, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn passes_counted() {
+        assert_eq!(passes_for(0), 1);
+        assert_eq!(passes_for(255), 1);
+        assert_eq!(passes_for(256), 2);
+        assert_eq!(passes_for(u64::MAX), 8);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_matches_std_sort(mut keys in proptest::collection::vec(0u64..1_000_000, 0..3000)) {
+            let dev = Device::default();
+            let vals: Vec<u32> = (0..keys.len() as u32).collect();
+            let mut want: Vec<(u64, u32)> =
+                keys.iter().copied().zip(vals.iter().copied()).collect();
+            want.sort(); // stable by (key, original index)
+            let mut v = vals.clone();
+            sort_pairs_u64(&dev, &mut keys, &mut v);
+            let got: Vec<(u64, u32)> = keys.into_iter().zip(v).collect();
+            proptest::prop_assert_eq!(got, want);
+        }
+    }
+}

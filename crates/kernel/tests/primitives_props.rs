@@ -1,0 +1,71 @@
+//! Property tests for the device primitives against sequential references.
+
+use lf_kernel::{compact, reduce, scan, sort, Device};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exclusive_scan_matches_reference(v in proptest::collection::vec(0u64..1000, 0..20_000)) {
+        let dev = Device::default();
+        let mut got = v.clone();
+        let total = scan::exclusive_scan_in_place(&dev, "s", &mut got, 0u64, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, &x) in v.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn inclusive_max_scan_matches_reference(v in proptest::collection::vec(0u32..1_000_000, 0..20_000)) {
+        let dev = Device::default();
+        let mut got = v.clone();
+        scan::inclusive_scan_in_place(&dev, "s", &mut got, 0u32, |a, b| a.max(b));
+        let mut acc = 0u32;
+        for (i, &x) in v.iter().enumerate() {
+            acc = acc.max(x);
+            prop_assert_eq!(got[i], acc);
+        }
+    }
+
+    #[test]
+    fn compact_matches_filter(v in proptest::collection::vec(0i64..100, 0..20_000), m in 1i64..10) {
+        let dev = Device::default();
+        let got = compact::compact(&dev, "c", &v, |&x| x % m == 0);
+        let want: Vec<i64> = v.iter().copied().filter(|&x| x % m == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn histogram_matches_counts(v in proptest::collection::vec(0usize..17, 0..20_000)) {
+        let dev = Device::default();
+        let h = compact::histogram(&dev, "h", &v, 17, |&x| x);
+        for (b, &c) in h.iter().enumerate() {
+            let want = v.iter().filter(|&&x| x == b).count() as u64;
+            prop_assert_eq!(c, want);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches(v in proptest::collection::vec(0u64..1000, 0..20_000)) {
+        let dev = Device::default();
+        prop_assert_eq!(reduce::sum_u64(&dev, "r", &v), v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn sort_permutation_is_sorting(v in proptest::collection::vec(0u64..1_000_000, 0..20_000)) {
+        let dev = Device::default();
+        let perm = sort::sort_permutation_u64(&dev, &v);
+        prop_assert_eq!(perm.len(), v.len());
+        let mut seen = vec![false; v.len()];
+        for w in perm.windows(2) {
+            prop_assert!(v[w[0] as usize] <= v[w[1] as usize]);
+        }
+        for &p in &perm {
+            prop_assert!(!std::mem::replace(&mut seen[p as usize], true));
+        }
+    }
+}

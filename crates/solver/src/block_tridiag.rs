@@ -1,0 +1,335 @@
+//! 2×2 block tridiagonal systems and their block-Thomas solver — the
+//! numerical core of the paper's `AlgTriBlockPrecond` (Sec. 6).
+
+use lf_sparse::Scalar;
+
+/// A dense 2×2 matrix in row-major order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mat2<T> {
+    /// Entries `[[a, b], [c, d]]`.
+    pub m: [[T; 2]; 2],
+}
+
+impl<T: Scalar> Default for Mat2<T> {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl<T: Scalar> Mat2<T> {
+    /// The zero matrix.
+    pub fn zero() -> Self {
+        Self {
+            m: [[T::ZERO; 2]; 2],
+        }
+    }
+
+    /// The identity.
+    pub fn identity() -> Self {
+        Self {
+            m: [[T::ONE, T::ZERO], [T::ZERO, T::ONE]],
+        }
+    }
+
+    /// Construct from entries.
+    pub fn new(a: T, b: T, c: T, d: T) -> Self {
+        Self { m: [[a, b], [c, d]] }
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> T {
+        self.m[0][0] * self.m[1][1] - self.m[0][1] * self.m[1][0]
+    }
+
+    /// Inverse; `None` when singular.
+    pub fn inverse(&self) -> Option<Self> {
+        let det = self.det();
+        if det == T::ZERO || !det.is_finite() {
+            return None;
+        }
+        let inv = T::ONE / det;
+        Some(Self::new(
+            self.m[1][1] * inv,
+            -self.m[0][1] * inv,
+            -self.m[1][0] * inv,
+            self.m[0][0] * inv,
+        ))
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: [T; 2]) -> [T; 2] {
+        [
+            self.m[0][0] * v[0] + self.m[0][1] * v[1],
+            self.m[1][0] * v[0] + self.m[1][1] * v[1],
+        ]
+    }
+
+    /// Matrix–matrix product.
+    pub fn mul(&self, o: &Self) -> Self {
+        let mut r = Self::zero();
+        for i in 0..2 {
+            for j in 0..2 {
+                r.m[i][j] = self.m[i][0] * o.m[0][j] + self.m[i][1] * o.m[1][j];
+            }
+        }
+        r
+    }
+
+    /// Matrix subtraction.
+    pub fn sub(&self, o: &Self) -> Self {
+        let mut r = *self;
+        for i in 0..2 {
+            for j in 0..2 {
+                r.m[i][j] -= o.m[i][j];
+            }
+        }
+        r
+    }
+}
+
+/// A 2×2 block tridiagonal system of `nb` block rows: diagonal blocks
+/// `d[i]`, subdiagonal coupling `l[i]` (to block `i−1`) and superdiagonal
+/// coupling `u[i]` (to block `i+1`).
+#[derive(Clone, Debug)]
+pub struct BlockTridiag<T> {
+    /// Subdiagonal blocks (`l[0]` unused).
+    pub l: Vec<Mat2<T>>,
+    /// Diagonal blocks.
+    pub d: Vec<Mat2<T>>,
+    /// Superdiagonal blocks (`u[nb−1]` unused).
+    pub u: Vec<Mat2<T>>,
+}
+
+impl<T: Scalar> BlockTridiag<T> {
+    /// All-zero system of `nb` block rows.
+    pub fn zeros(nb: usize) -> Self {
+        Self {
+            l: vec![Mat2::zero(); nb],
+            d: vec![Mat2::zero(); nb],
+            u: vec![Mat2::zero(); nb],
+        }
+    }
+
+    /// Number of block rows.
+    pub fn num_blocks(&self) -> usize {
+        self.d.len()
+    }
+
+    /// Dense reference `y = B x` on the interleaved fine vector
+    /// (`x.len() == 2 · nb`).
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        let nb = self.num_blocks();
+        assert_eq!(x.len(), 2 * nb);
+        let mut y = vec![T::ZERO; 2 * nb];
+        for i in 0..nb {
+            let xi = [x[2 * i], x[2 * i + 1]];
+            let mut yi = self.d[i].mul_vec(xi);
+            if i > 0 {
+                let xm = [x[2 * i - 2], x[2 * i - 1]];
+                let t = self.l[i].mul_vec(xm);
+                yi[0] += t[0];
+                yi[1] += t[1];
+            }
+            if i + 1 < nb {
+                let xp = [x[2 * i + 2], x[2 * i + 3]];
+                let t = self.u[i].mul_vec(xp);
+                yi[0] += t[0];
+                yi[1] += t[1];
+            }
+            y[2 * i] = yi[0];
+            y[2 * i + 1] = yi[1];
+        }
+        y
+    }
+}
+
+/// Block-Thomas LU factorization: `S_i = D_i − L_i S_{i−1}⁻¹ U_{i−1}`,
+/// with the `S_i⁻¹` stored for the solve sweeps.
+#[derive(Clone, Debug)]
+pub struct BlockThomasFactorization<T> {
+    s_inv: Vec<Mat2<T>>,
+    l: Vec<Mat2<T>>,
+    u: Vec<Mat2<T>>,
+}
+
+impl<T: Scalar> BlockThomasFactorization<T> {
+    /// Factor; singular pivot blocks (e.g. fully-zero ghost blocks) fall
+    /// back to the identity, making those block equations pass-throughs.
+    pub fn new(b: &BlockTridiag<T>) -> Self {
+        let nb = b.num_blocks();
+        let mut s_inv = Vec::with_capacity(nb);
+        for i in 0..nb {
+            let s = if i == 0 {
+                b.d[0]
+            } else {
+                let prev: Mat2<T> = s_inv[i - 1];
+                b.d[i].sub(&b.l[i].mul(&prev).mul(&b.u[i - 1]))
+            };
+            s_inv.push(s.inverse().unwrap_or_else(Mat2::identity));
+        }
+        Self {
+            s_inv,
+            l: b.l.clone(),
+            u: b.u.clone(),
+        }
+    }
+
+    /// Number of block rows.
+    pub fn num_blocks(&self) -> usize {
+        self.s_inv.len()
+    }
+
+    /// Solve `B x = rhs` in place on the interleaved vector.
+    pub fn solve_in_place(&self, rhs: &mut [T]) {
+        let nb = self.num_blocks();
+        assert_eq!(rhs.len(), 2 * nb);
+        if nb == 0 {
+            return;
+        }
+        // forward: y_i = b_i − L_i S_{i−1}⁻¹ y_{i−1}
+        for i in 1..nb {
+            let ym = [rhs[2 * i - 2], rhs[2 * i - 1]];
+            let t = self.l[i].mul(&self.s_inv[i - 1]).mul_vec(ym);
+            rhs[2 * i] -= t[0];
+            rhs[2 * i + 1] -= t[1];
+        }
+        // backward: x_i = S_i⁻¹ (y_i − U_i x_{i+1})
+        let last = self.s_inv[nb - 1].mul_vec([rhs[2 * nb - 2], rhs[2 * nb - 1]]);
+        rhs[2 * nb - 2] = last[0];
+        rhs[2 * nb - 1] = last[1];
+        for i in (0..nb - 1).rev() {
+            let xp = [rhs[2 * i + 2], rhs[2 * i + 3]];
+            let t = self.u[i].mul_vec(xp);
+            let yi = [rhs[2 * i] - t[0], rhs[2 * i + 1] - t[1]];
+            let xi = self.s_inv[i].mul_vec(yi);
+            rhs[2 * i] = xi[0];
+            rhs[2 * i + 1] = xi[1];
+        }
+    }
+
+    /// Solve into a fresh vector.
+    pub fn solve(&self, rhs: &[T]) -> Vec<T> {
+        let mut x = rhs.to_vec();
+        self.solve_in_place(&mut x);
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat2_algebra() {
+        let a = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.det(), -2.0);
+        let inv = a.inverse().unwrap();
+        let id = a.mul(&inv);
+        for i in 0..2 {
+            for j in 0..2 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((id.m[i][j] - want).abs() < 1e-12);
+            }
+        }
+        assert_eq!(a.mul_vec([1.0, 1.0]), [3.0, 7.0]);
+        assert!(Mat2::<f64>::zero().inverse().is_none());
+    }
+
+    fn random_dominant_block(nb: usize, seed: u64) -> BlockTridiag<f64> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut b = BlockTridiag::zeros(nb);
+        for i in 0..nb {
+            let mut off = 0.0;
+            if i > 0 {
+                for r in 0..2 {
+                    for c in 0..2 {
+                        let v = rng.random_range(-1.0..1.0);
+                        b.l[i].m[r][c] = v;
+                        off += v.abs();
+                    }
+                }
+            }
+            if i + 1 < nb {
+                for r in 0..2 {
+                    for c in 0..2 {
+                        let v = rng.random_range(-1.0..1.0);
+                        b.u[i].m[r][c] = v;
+                        off += v.abs();
+                    }
+                }
+            }
+            let coupling = rng.random_range(-0.5..0.5);
+            b.d[i] = Mat2::new(off + 2.0, coupling, coupling, off + 2.0);
+        }
+        b
+    }
+
+    #[test]
+    fn block_thomas_solves_manufactured() {
+        for nb in [1usize, 2, 3, 50] {
+            let b = random_dominant_block(nb, nb as u64);
+            let xt: Vec<f64> = (0..2 * nb).map(|i| (0.21 * i as f64).sin()).collect();
+            let rhs = b.matvec(&xt);
+            let f = BlockThomasFactorization::new(&b);
+            let x = f.solve(&rhs);
+            for i in 0..2 * nb {
+                assert!((x[i] - xt[i]).abs() < 1e-8, "nb={nb} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_blocks_pass_through() {
+        let mut b = random_dominant_block(3, 7);
+        // block 1 becomes a ghost: identity diagonal, no coupling
+        b.d[1] = Mat2::identity();
+        b.l[1] = Mat2::zero();
+        b.u[1] = Mat2::zero();
+        b.u[0] = Mat2::zero();
+        b.l[2] = Mat2::zero();
+        let f = BlockThomasFactorization::new(&b);
+        let rhs = vec![1.0, 2.0, 5.0, 6.0, 3.0, 4.0];
+        let x = f.solve(&rhs);
+        assert!((x[2] - 5.0).abs() < 1e-12);
+        assert!((x[3] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_tridiag_embeds_as_blocks() {
+        // a scalar tridiagonal system embedded in 2×2 blocks must give the
+        // same solution as the scalar Thomas solver
+        use lf_core::extract::Tridiag;
+        let n = 10;
+        let mut t = Tridiag::<f64>::zeros(n);
+        for i in 0..n {
+            t.d[i] = 4.0;
+            if i > 0 {
+                t.dl[i] = -1.0;
+            }
+            if i + 1 < n {
+                t.du[i] = -1.0;
+            }
+        }
+        let nb = n / 2;
+        let mut b = BlockTridiag::zeros(nb);
+        for k in 0..nb {
+            let (i, j) = (2 * k, 2 * k + 1);
+            b.d[k] = Mat2::new(t.d[i], t.du[i], t.dl[j], t.d[j]);
+            if k > 0 {
+                b.l[k] = Mat2::new(0.0, t.dl[i], 0.0, 0.0);
+            }
+            if k + 1 < nb {
+                b.u[k] = Mat2::new(0.0, 0.0, t.du[j], 0.0);
+            }
+        }
+        let xt: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let rhs = t.matvec(&xt);
+        let xb = BlockThomasFactorization::new(&b).solve(&rhs);
+        let xs = crate::tridiag::ThomasFactorization::new(&t).solve(&rhs);
+        for i in 0..n {
+            assert!((xb[i] - xs[i]).abs() < 1e-9);
+            assert!((xb[i] - xt[i]).abs() < 1e-9);
+        }
+    }
+}

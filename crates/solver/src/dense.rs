@@ -1,0 +1,157 @@
+//! Small dense LU with partial pivoting — the coarsest-level solver of
+//! the AMG preconditioner (and a reference solver for tests).
+
+use lf_sparse::{Csr, Scalar};
+
+/// LU factorization with partial pivoting of a small dense matrix.
+#[derive(Clone, Debug)]
+pub struct DenseLu<T> {
+    n: usize,
+    /// Combined L (unit lower) and U factors, row-major.
+    lu: Vec<T>,
+    /// Row permutation: `piv[k]` is the original row in position k.
+    piv: Vec<u32>,
+}
+
+/// Error for singular systems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is numerically singular")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+impl<T: Scalar> DenseLu<T> {
+    /// Factor a dense row-major matrix.
+    pub fn new(n: usize, mut lu: Vec<T>) -> Result<Self, SingularMatrix> {
+        assert_eq!(lu.len(), n * n);
+        let mut piv: Vec<u32> = (0..n as u32).collect();
+        for k in 0..n {
+            // partial pivot
+            let mut p = k;
+            let mut best = lu[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = lu[r * n + k].abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best == T::ZERO || !best.is_finite() {
+                return Err(SingularMatrix);
+            }
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+                piv.swap(k, p);
+            }
+            let pivot = lu[k * n + k];
+            for r in (k + 1)..n {
+                let m = lu[r * n + k] / pivot;
+                lu[r * n + k] = m;
+                for j in (k + 1)..n {
+                    let sub = m * lu[k * n + j];
+                    lu[r * n + j] -= sub;
+                }
+            }
+        }
+        Ok(Self { n, lu, piv })
+    }
+
+    /// Factor from a sparse matrix (densified).
+    pub fn from_csr(a: &Csr<T>) -> Result<Self, SingularMatrix> {
+        let n = a.nrows();
+        assert_eq!(n, a.ncols());
+        let mut dense = vec![T::ZERO; n * n];
+        for (r, c, v) in a.iter() {
+            dense[r as usize * n + c as usize] = v;
+        }
+        Self::new(n, dense)
+    }
+
+    /// System order.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the system is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Solve `A x = b`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        // apply permutation
+        let mut x: Vec<T> = self.piv.iter().map(|&p| b[p as usize]).collect();
+        // forward: L y = Pb
+        for r in 1..n {
+            for k in 0..r {
+                let sub = self.lu[r * n + k] * x[k];
+                x[r] -= sub;
+            }
+        }
+        // backward: U x = y
+        for r in (0..n).rev() {
+            for k in (r + 1)..n {
+                let sub = self.lu[r * n + k] * x[k];
+                x[r] -= sub;
+            }
+            x[r] /= self.lu[r * n + r];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::random::random_spd;
+
+    #[test]
+    fn solves_small_system() {
+        // [[2, 1], [1, 3]] x = [3, 5] → x = [0.8, 1.4]
+        let lu = DenseLu::new(2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x = lu.solve(&[3.0, 5.0]);
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // [[0, 1], [1, 0]]: needs the row swap
+        let lu = DenseLu::new(2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = lu.solve(&[7.0, 9.0]);
+        assert_eq!(x, vec![9.0, 7.0]);
+    }
+
+    #[test]
+    fn detects_singular() {
+        assert!(DenseLu::new(2, vec![1.0, 2.0, 2.0, 4.0]).is_err());
+        assert!(DenseLu::new(1, vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn from_csr_random_spd_roundtrip() {
+        let a: Csr<f64> = random_spd(40, 6.0, 0.5, 3);
+        let lu = DenseLu::from_csr(&a).unwrap();
+        let xt: Vec<f64> = (0..40).map(|i| (0.17 * i as f64).sin()).collect();
+        let b = a.spmv_ref(&xt);
+        let x = lu.solve(&b);
+        for i in 0..40 {
+            assert!((x[i] - xt[i]).abs() < 1e-9, "i={i}");
+        }
+    }
+
+    #[test]
+    fn f32_generic() {
+        let lu = DenseLu::<f32>::new(2, vec![4.0, 0.0, 0.0, 2.0]).unwrap();
+        assert_eq!(lu.solve(&[8.0, 8.0]), vec![2.0, 4.0]);
+    }
+}

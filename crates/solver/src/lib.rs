@@ -1,0 +1,58 @@
+//! # lf-solver — iterative-solver substrate
+//!
+//! BiCGStab (the paper's outer Krylov solver, Fig. 4) and CG, tridiagonal
+//! solves (sequential Thomas and device-parallel cyclic reduction), 2×2
+//! block tridiagonal solves, and the paper's four preconditioners:
+//! Jacobi, `TriScalPrecond` (natural-order tridiagonal part),
+//! `AlgTriScalPrecond` (linear-forest tridiagonal) and
+//! `AlgTriBlockPrecond` ([0,1]-coarsened 2×2 block tridiagonal).
+//!
+//! ```
+//! use lf_kernel::Device;
+//! use lf_solver::prelude::*;
+//! use lf_sparse::prelude::*;
+//!
+//! let dev = Device::default();
+//! let a: Csr<f64> = grid2d(8, 8, &FIVE_POINT);
+//! let (b, xt) = manufactured_problem(&dev, &a);
+//! let (x, stats) = bicgstab(&dev, &a, &b, &JacobiPrecond::new(&a),
+//!                           &SolveOpts::default(), Some(&xt));
+//! assert!(stats.converged);
+//! assert!((x[5] - xt[5]).abs() < 1e-5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod amg;
+pub mod bicgstab;
+pub mod block_tridiag;
+pub mod cg;
+pub mod dense;
+pub mod gmres;
+pub mod precond;
+pub mod tridiag;
+pub mod vec_ops;
+
+pub use bicgstab::{bicgstab, manufactured_problem, SolveOpts, SolveStats, StopReason};
+pub use amg::{AmgConfig, AmgPrecond};
+pub use cg::pcg;
+pub use dense::DenseLu;
+pub use gmres::gmres;
+pub use precond::{
+    AlgTriBlockPrecond, AlgTriScalPrecond, BlockJacobiPrecond, IdentityPrecond, JacobiPrecond,
+    Preconditioner, TriScalPrecond,
+};
+pub use tridiag::{pcr_solve, ThomasFactorization};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::bicgstab::{bicgstab, manufactured_problem, SolveOpts, SolveStats};
+    pub use crate::amg::{AmgConfig, AmgPrecond};
+    pub use crate::cg::pcg;
+    pub use crate::gmres::gmres;
+    pub use crate::precond::{
+        AlgTriBlockPrecond, AlgTriScalPrecond, BlockJacobiPrecond, IdentityPrecond,
+        JacobiPrecond, Preconditioner, TriScalPrecond,
+    };
+    pub use crate::tridiag::{pcr_solve, ThomasFactorization};
+}

@@ -1,0 +1,555 @@
+//! The paper's preconditioners (Sec. 6):
+//!
+//! * [`IdentityPrecond`] — no preconditioning (baseline);
+//! * [`JacobiPrecond`] — diagonal scaling (taken from MAGMA in the paper);
+//! * [`TriScalPrecond`] — the tridiagonal part of A **in the original
+//!   vertex order** (what you get without the linear forest);
+//! * [`AlgTriScalPrecond`] — the *algebraically constructed* scalar
+//!   tridiagonal preconditioner: [0,2]-factor → linear forest →
+//!   permutation → tridiagonal coefficients;
+//! * [`AlgTriBlockPrecond`] — the 2×2 block version: [0,1]-factor pairing,
+//!   coarse [0,2]-factor, block tridiagonal system with ghost equations
+//!   for unmatched vertices.
+//!
+//! All preconditioners report the *weight coverage* of the coefficients
+//! they capture, which Table 5 and Fig. 4 correlate with convergence.
+
+use crate::block_tridiag::{BlockThomasFactorization, BlockTridiag, Mat2};
+use crate::tridiag::ThomasFactorization;
+use lf_core::coarsen::{coarsen_by_matching, expand_block_permutation};
+use lf_core::extract::Tridiag;
+use lf_core::factor::graph_weight;
+use lf_core::parallel::FactorConfig;
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_sparse::{Csr, Scalar};
+
+/// `z = M⁻¹ r` application interface for the Krylov solvers.
+pub trait Preconditioner<T: Scalar>: Sync {
+    /// Short display name (as in the paper's Fig. 4 legend).
+    fn name(&self) -> &'static str;
+    /// Apply the preconditioner: `z ← M⁻¹ r`.
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]);
+    /// Relative weight coverage of the captured off-diagonal coefficients,
+    /// when meaningful.
+    fn coverage(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// No preconditioning.
+pub struct IdentityPrecond;
+
+impl<T: Scalar> Preconditioner<T> for IdentityPrecond {
+    fn name(&self) -> &'static str {
+        "None"
+    }
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]) {
+        crate::vec_ops::copy(dev, r, z);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner.
+pub struct JacobiPrecond<T> {
+    inv_diag: Vec<T>,
+}
+
+impl<T: Scalar> JacobiPrecond<T> {
+    /// Build from the matrix diagonal; zero diagonal entries become 1.
+    pub fn new(a: &Csr<T>) -> Self {
+        let inv_diag = a
+            .diagonal()
+            .into_iter()
+            .map(|d| if d == T::ZERO { T::ONE } else { T::ONE / d })
+            .collect();
+        Self { inv_diag }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for JacobiPrecond<T> {
+    fn name(&self) -> &'static str {
+        "Jacobi"
+    }
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]) {
+        let inv = &self.inv_diag;
+        lf_kernel::launch::map1(dev, "jacobi_apply", z, 2 * r.len() * std::mem::size_of::<T>(), |i| {
+            inv[i] * r[i]
+        });
+    }
+}
+
+/// Tridiagonal part of A in the **original** ordering — the baseline the
+/// algebraic preconditioners are compared against.
+pub struct TriScalPrecond<T> {
+    thomas: ThomasFactorization<T>,
+    coverage: f64,
+}
+
+impl<T: Scalar> TriScalPrecond<T> {
+    /// Extract `(dl, d, du)` from A as stored and factor.
+    pub fn new(a: &Csr<T>) -> Self {
+        let n = a.nrows();
+        let mut t = Tridiag::zeros(n);
+        for i in 0..n {
+            t.d[i] = a.get(i, i);
+            if i > 0 {
+                t.dl[i] = a.get(i, i - 1);
+            }
+            if i + 1 < n {
+                t.du[i] = a.get(i, i + 1);
+            }
+        }
+        Self {
+            thomas: ThomasFactorization::new(&t),
+            coverage: identity_coverage(a),
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for TriScalPrecond<T> {
+    fn name(&self) -> &'static str {
+        "TriScalPrecond"
+    }
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]) {
+        let traffic = lf_kernel::Traffic::new()
+            .reads::<T>(4 * r.len())
+            .writes::<T>(r.len());
+        dev.launch("triscal_apply", traffic, || {
+            z.copy_from_slice(r);
+            self.thomas.solve_in_place(z);
+        });
+    }
+    fn coverage(&self) -> Option<f64> {
+        Some(self.coverage)
+    }
+}
+
+/// The paper's algebraic scalar tridiagonal preconditioner: solve the
+/// forest tridiagonal system in the permuted order,
+/// `z = Q T⁻¹ Qᵀ r`.
+pub struct AlgTriScalPrecond<T> {
+    thomas: ThomasFactorization<T>,
+    /// `perm[new] = old`.
+    perm: Vec<u32>,
+    coverage: f64,
+}
+
+impl<T: Scalar> AlgTriScalPrecond<T> {
+    /// Run the full linear-forest pipeline on `a` and factor the resulting
+    /// tridiagonal system.
+    pub fn new(dev: &Device, a: &Csr<T>, cfg: &FactorConfig) -> Self {
+        assert_eq!(cfg.n, 2);
+        let (tri, forest, _) = tridiagonal_from_matrix(dev, a, cfg);
+        Self {
+            thomas: ThomasFactorization::new(&tri),
+            perm: forest.perm.clone(),
+            coverage: weight_coverage(&forest.factor, a),
+        }
+    }
+
+    /// The permutation used (for inspection).
+    pub fn permutation(&self) -> &[u32] {
+        &self.perm
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for AlgTriScalPrecond<T> {
+    fn name(&self) -> &'static str {
+        "AlgTriScalPrecond"
+    }
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]) {
+        let traffic = lf_kernel::Traffic::new()
+            .reads::<T>(5 * r.len())
+            .reads::<u32>(2 * r.len())
+            .writes::<T>(r.len());
+        dev.launch("algtriscal_apply", traffic, || {
+            let mut rp: Vec<T> = self.perm.iter().map(|&o| r[o as usize]).collect();
+            self.thomas.solve_in_place(&mut rp);
+            for (k, &o) in self.perm.iter().enumerate() {
+                z[o as usize] = rp[k];
+            }
+        });
+    }
+    fn coverage(&self) -> Option<f64> {
+        Some(self.coverage)
+    }
+}
+
+/// The paper's algebraic 2×2 block tridiagonal preconditioner
+/// (`AlgTriBlockPrecond`): a [0,1]-factor pairs vertices, a [0,2]-factor
+/// on the pair graph orders the pairs into chains, and unmatched vertices
+/// get uncoupled ghost equations (unit diagonal) so the block structure
+/// stays uniform.
+pub struct AlgTriBlockPrecond<T> {
+    thomas: BlockThomasFactorization<T>,
+    /// Fine vertex for each extended row (u32::MAX = ghost).
+    layout: Vec<u32>,
+    coverage: f64,
+}
+
+impl<T: Scalar> AlgTriBlockPrecond<T> {
+    /// Build from the matrix; `cfg2` configures both factor computations
+    /// (its `n` is overridden per stage; Table 5 varies `m` between 1 and
+    /// 5 for this preconditioner).
+    pub fn new(dev: &Device, a: &Csr<T>, cfg: &FactorConfig) -> Self {
+        let ap = prepare_undirected(a);
+        // stage 1: [0,1]-factor pairing on the fine graph
+        let m_cfg = FactorConfig { n: 1, ..*cfg };
+        let matching = parallel_factor(dev, &ap, &m_cfg).factor;
+        let (coarsening, coarse) = coarsen_by_matching(dev, &ap, &matching);
+        // stage 2: [0,2]-factor + linear forest on the coarse graph
+        let c_cfg = FactorConfig { n: 2, ..*cfg };
+        let (forest, _) = extract_linear_forest(dev, &coarse, &c_cfg);
+        let layout = expand_block_permutation(&coarsening, &forest.perm);
+
+        // assemble the extended 2×2 block tridiagonal system from A
+        let nb = forest.perm.len();
+        let mut sys = BlockTridiag::zeros(nb);
+        let entry = |i: u32, j: u32| -> T {
+            if i == u32::MAX || j == u32::MAX {
+                T::ZERO
+            } else {
+                a.get(i as usize, j as usize)
+            }
+        };
+        let mut captured = 0.0f64;
+        for k in 0..nb {
+            let (f0, f1) = (layout[2 * k], layout[2 * k + 1]);
+            let mut d = Mat2::new(entry(f0, f0), entry(f0, f1), entry(f1, f0), entry(f1, f1));
+            if f1 == u32::MAX {
+                // ghost equation: diagonal 1 (paper Sec. 6)
+                d.m[1][1] = T::ONE;
+            }
+            captured += d.m[0][1].to_f64().abs() + d.m[1][0].to_f64().abs();
+            sys.d[k] = d;
+            if k + 1 < nb {
+                // couple only consecutive pairs on the same coarse path
+                let (c_here, c_next) = (forest.perm[k], forest.perm[k + 1]);
+                if forest.factor.contains(c_here as usize, c_next) {
+                    let (g0, g1) = (layout[2 * k + 2], layout[2 * k + 3]);
+                    let u = Mat2::new(entry(f0, g0), entry(f0, g1), entry(f1, g0), entry(f1, g1));
+                    let l = Mat2::new(entry(g0, f0), entry(g0, f1), entry(g1, f0), entry(g1, f1));
+                    for r in 0..2 {
+                        for c in 0..2 {
+                            captured += u.m[r][c].to_f64().abs() + l.m[r][c].to_f64().abs();
+                        }
+                    }
+                    sys.u[k] = u;
+                    sys.l[k + 1] = l;
+                }
+            }
+        }
+        let denom = graph_weight(a);
+        Self {
+            thomas: BlockThomasFactorization::new(&sys),
+            layout,
+            coverage: if denom == 0.0 { 0.0 } else { captured / denom },
+        }
+    }
+
+    /// Number of 2×2 blocks (including ghost-padded singletons).
+    pub fn num_blocks(&self) -> usize {
+        self.layout.len() / 2
+    }
+
+    /// Automatic charging-period selection — the "automatic parameter
+    /// control in nested factor computations" the paper explicitly defers
+    /// (Sec. 6). Builds the preconditioner for every `m` in `candidates`
+    /// (Table 5 uses {1, 5}) and keeps the one with the highest weight
+    /// coverage, returning it together with the winning `m`.
+    pub fn new_auto(
+        dev: &Device,
+        a: &Csr<T>,
+        base: &FactorConfig,
+        candidates: &[usize],
+    ) -> (Self, usize) {
+        assert!(!candidates.is_empty(), "need at least one candidate m");
+        let mut best: Option<(Self, usize)> = None;
+        for &m in candidates {
+            let cfg = FactorConfig { m, ..*base };
+            let p = Self::new(dev, a, &cfg);
+            if best
+                .as_ref()
+                .map(|(b, _)| p.coverage > b.coverage)
+                .unwrap_or(true)
+            {
+                best = Some((p, m));
+            }
+        }
+        best.expect("candidates nonempty")
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for AlgTriBlockPrecond<T> {
+    fn name(&self) -> &'static str {
+        "AlgTriBlockPrecond"
+    }
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]) {
+        let traffic = lf_kernel::Traffic::new()
+            .reads::<T>(r.len() + 14 * self.num_blocks())
+            .reads::<u32>(self.layout.len())
+            .writes::<T>(r.len());
+        dev.launch("algtriblock_apply", traffic, || {
+            let mut ext: Vec<T> = self
+                .layout
+                .iter()
+                .map(|&f| if f == u32::MAX { T::ZERO } else { r[f as usize] })
+                .collect();
+            self.thomas.solve_in_place(&mut ext);
+            for (row, &f) in self.layout.iter().enumerate() {
+                if f != u32::MAX {
+                    z[f as usize] = ext[row];
+                }
+            }
+        });
+    }
+    fn coverage(&self) -> Option<f64> {
+        Some(self.coverage)
+    }
+}
+
+/// 2×2 block-Jacobi preconditioner: the diagonal blocks of the
+/// [0,1]-factor pairing, inverted — the block analog of [`JacobiPrecond`]
+/// and the "no chaining" ablation point between Jacobi and
+/// [`AlgTriBlockPrecond`].
+pub struct BlockJacobiPrecond<T> {
+    /// Fine vertex per extended row (u32::MAX = ghost singleton pad).
+    layout: Vec<u32>,
+    inv_blocks: Vec<Mat2<T>>,
+    coverage: f64,
+}
+
+impl<T: Scalar> BlockJacobiPrecond<T> {
+    /// Pair vertices with a parallel [0,1]-factor and invert each pair's
+    /// 2×2 diagonal block.
+    pub fn new(dev: &Device, a: &Csr<T>, cfg: &FactorConfig) -> Self {
+        let ap = prepare_undirected(a);
+        let m_cfg = FactorConfig { n: 1, ..*cfg };
+        let matching = parallel_factor(dev, &ap, &m_cfg).factor;
+        let (coarsening, _) = coarsen_by_matching(dev, &ap, &matching);
+        let mut layout = Vec::with_capacity(2 * coarsening.num_coarse());
+        let mut inv_blocks = Vec::with_capacity(coarsening.num_coarse());
+        let mut captured = 0.0f64;
+        for &(v, w) in &coarsening.groups {
+            layout.push(v);
+            layout.push(w.unwrap_or(u32::MAX));
+            let block = match w {
+                Some(w) => {
+                    let (vu, wu) = (v as usize, w as usize);
+                    captured += a.get(vu, wu).to_f64().abs() + a.get(wu, vu).to_f64().abs();
+                    Mat2::new(a.get(vu, vu), a.get(vu, wu), a.get(wu, vu), a.get(wu, wu))
+                }
+                None => {
+                    let d = a.get(v as usize, v as usize);
+                    Mat2::new(d, T::ZERO, T::ZERO, T::ONE)
+                }
+            };
+            inv_blocks.push(block.inverse().unwrap_or_else(Mat2::identity));
+        }
+        let denom = graph_weight(a);
+        Self {
+            layout,
+            inv_blocks,
+            coverage: if denom == 0.0 { 0.0 } else { captured / denom },
+        }
+    }
+}
+
+impl<T: Scalar> Preconditioner<T> for BlockJacobiPrecond<T> {
+    fn name(&self) -> &'static str {
+        "BlockJacobiPrecond"
+    }
+    fn apply(&self, dev: &Device, r: &[T], z: &mut [T]) {
+        let traffic = lf_kernel::Traffic::new()
+            .reads::<T>(r.len())
+            .reads::<Mat2<T>>(self.inv_blocks.len())
+            .writes::<T>(r.len());
+        dev.launch("blockjacobi_apply", traffic, || {
+            for (k, inv) in self.inv_blocks.iter().enumerate() {
+                let (f0, f1) = (self.layout[2 * k], self.layout[2 * k + 1]);
+                let r0 = if f0 == u32::MAX { T::ZERO } else { r[f0 as usize] };
+                let r1 = if f1 == u32::MAX { T::ZERO } else { r[f1 as usize] };
+                let x = inv.mul_vec([r0, r1]);
+                if f0 != u32::MAX {
+                    z[f0 as usize] = x[0];
+                }
+                if f1 != u32::MAX {
+                    z[f1 as usize] = x[1];
+                }
+            }
+        });
+    }
+    fn coverage(&self) -> Option<f64> {
+        Some(self.coverage)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::stencil::{grid2d, ANISO1, ANISO2, FIVE_POINT};
+
+    fn apply_dense<T: Scalar, P: Preconditioner<T>>(p: &P, n: usize, dev: &Device) -> Vec<Vec<T>> {
+        // build M⁻¹ column by column to verify linear-operator behaviour
+        (0..n)
+            .map(|j| {
+                let mut e = vec![T::ZERO; n];
+                e[j] = T::ONE;
+                let mut z = vec![T::ZERO; n];
+                p.apply(dev, &e, &mut z);
+                z
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_and_jacobi() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(4, 4, &FIVE_POINT);
+        let r: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let mut z = vec![0.0; 16];
+        IdentityPrecond.apply(&dev, &r, &mut z);
+        assert_eq!(z, r);
+        let j = JacobiPrecond::new(&a);
+        j.apply(&dev, &r, &mut z);
+        for i in 0..16 {
+            assert!((z[i] - r[i] / a.get(i, i)).abs() < 1e-12);
+        }
+        assert_eq!(Preconditioner::<f64>::name(&j), "Jacobi");
+    }
+
+    #[test]
+    fn triscal_solves_its_tridiagonal() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(5, 3, &FIVE_POINT);
+        let p = TriScalPrecond::new(&a);
+        // applying M then M⁻¹ must round-trip for tridiagonal vectors:
+        // M z = r where M is the tridiagonal part of A
+        let n = a.nrows();
+        let mut t = Tridiag::zeros(n);
+        for i in 0..n {
+            t.d[i] = a.get(i, i);
+            if i > 0 {
+                t.dl[i] = a.get(i, i - 1);
+            }
+            if i + 1 < n {
+                t.du[i] = a.get(i, i + 1);
+            }
+        }
+        let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let r = t.matvec(&xt);
+        let mut z = vec![0.0; n];
+        p.apply(&dev, &r, &mut z);
+        for i in 0..n {
+            assert!((z[i] - xt[i]).abs() < 1e-9);
+        }
+        assert!(p.coverage().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn algtriscal_is_spd_preserving_permuted_solve() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(8, 8, &ANISO1);
+        let cfg = FactorConfig::paper_default(2);
+        let p = AlgTriScalPrecond::new(&dev, &a, &cfg);
+        // coverage must beat the natural ordering on ANISO1 (Table 5:
+        // 0.67 vs c_id = 0.68 — comparable; but must be well over half)
+        assert!(p.coverage().unwrap() > 0.5, "{}", p.coverage().unwrap());
+        // M⁻¹ is a linear operator: apply to e_j columns, check symmetry
+        // (A and the forest system are symmetric here)
+        let minv = apply_dense(&p, 64, &dev);
+        for i in 0..64 {
+            for j in (i + 1)..64 {
+                assert!(
+                    (minv[i][j] - minv[j][i]).abs() < 1e-9,
+                    "M⁻¹ not symmetric at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algtriblock_builds_and_applies() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(6, 6, &ANISO2);
+        let cfg = FactorConfig::paper_default(2);
+        let p = AlgTriBlockPrecond::new(&dev, &a, &cfg);
+        assert!(p.num_blocks() >= 18, "36 vertices → ≥ 18 blocks");
+        let r: Vec<f64> = (0..36).map(|i| 1.0 + (i % 5) as f64).collect();
+        let mut z = vec![0.0; 36];
+        p.apply(&dev, &r, &mut z);
+        assert!(z.iter().all(|v| v.is_finite()));
+        assert!(z.iter().any(|&v| v != 0.0));
+        // block coverage should capture at least the matching weight
+        assert!(p.coverage().unwrap() > 0.3, "{}", p.coverage().unwrap());
+    }
+
+    #[test]
+    fn block_jacobi_sits_between_jacobi_and_block_tridiag() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(12, 12, &ANISO1);
+        let cfg = FactorConfig::paper_default(2);
+        let bj = BlockJacobiPrecond::new(&dev, &a, &cfg);
+        let bt = AlgTriBlockPrecond::new(&dev, &a, &cfg);
+        let c_bj = Preconditioner::<f64>::coverage(&bj).unwrap();
+        let c_bt = Preconditioner::<f64>::coverage(&bt).unwrap();
+        assert!(c_bj > 0.0);
+        assert!(c_bt > c_bj, "chaining pairs must add coverage: {c_bt} vs {c_bj}");
+        // exactness on a pure pair matrix: block-Jacobi is a direct solve
+        let mut coo = lf_sparse::Coo::<f64>::new(4, 4);
+        coo.push(0, 0, 3.0);
+        coo.push(1, 1, 3.0);
+        coo.push(2, 2, 4.0);
+        coo.push(3, 3, 4.0);
+        coo.push_sym(0, 1, -1.0);
+        coo.push_sym(2, 3, -2.0);
+        let pairs = Csr::from_coo(coo);
+        let p = BlockJacobiPrecond::new(&dev, &pairs, &cfg);
+        let xt = vec![1.0, -2.0, 0.5, 3.0];
+        let b = pairs.spmv_ref(&xt);
+        let mut z = vec![0.0; 4];
+        p.apply(&dev, &b, &mut z);
+        for i in 0..4 {
+            assert!((z[i] - xt[i]).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn new_auto_picks_the_better_m() {
+        let dev = Device::default();
+        let base = FactorConfig::paper_default(2);
+        // uniform weights (ECOLOGY class): m = 5 required
+        let uni: Csr<f64> = grid2d(14, 14, &FIVE_POINT);
+        let (auto, m) = AlgTriBlockPrecond::new_auto(&dev, &uni, &base, &[1, 5]);
+        assert_eq!(m, 5, "tied weights need charging");
+        let c_auto = Preconditioner::<f64>::coverage(&auto).unwrap();
+        let c1 = Preconditioner::<f64>::coverage(&AlgTriBlockPrecond::new(
+            &dev,
+            &uni,
+            &FactorConfig { m: 1, ..base },
+        ))
+        .unwrap();
+        assert!(c_auto >= c1);
+        // distinct anisotropic weights: m = 1 wins (no charging at all)
+        let aniso: Csr<f64> = grid2d(14, 14, &ANISO1);
+        let (_, m) = AlgTriBlockPrecond::new_auto(&dev, &aniso, &base, &[1, 5]);
+        assert_eq!(m, 1, "distinct weights prefer uncharged propositions");
+    }
+
+    #[test]
+    fn coverage_ordering_matches_paper_expectations() {
+        // On ANISO2 the natural tridiagonal is weak (c_id = 0.13) while the
+        // algebraic preconditioners capture the strong anti-diagonal chains.
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(10, 10, &ANISO2);
+        let cfg = FactorConfig::paper_default(2);
+        let tri = TriScalPrecond::new(&a);
+        let alg = AlgTriScalPrecond::new(&dev, &a, &cfg);
+        assert!(
+            alg.coverage().unwrap() > tri.coverage().unwrap() + 0.3,
+            "alg {:?} vs tri {:?}",
+            alg.coverage(),
+            tri.coverage()
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Device BLAS-1 vector kernels used by the Krylov solvers.
+
+use lf_kernel::{launch, reduce, Device};
+use lf_sparse::Scalar;
+
+/// `out = a · x` (sparse matrix–vector product via the row-parallel
+/// generalized SpMV).
+pub fn spmv<T: Scalar>(dev: &Device, a: &lf_sparse::Csr<T>, x: &[T], out: &mut [T]) {
+    let zero = vec![T::ZERO; a.nrows()];
+    lf_sparse::gespmv_rowpar(dev, "spmv", a, &lf_sparse::AxpyOps { x, d: &zero }, out);
+}
+
+/// Dot product `xᵀ y` (accumulated in f64 for stability, as a GPU
+/// tree-reduction would effectively do).
+pub fn dot<T: Scalar>(dev: &Device, x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let traffic = lf_kernel::Traffic::new().reads::<T>(2 * x.len());
+    dev.launch("dot", traffic, || {
+        use rayon::prelude::*;
+        if x.len() < 4096 {
+            x.iter()
+                .zip(y)
+                .map(|(a, b)| a.to_f64() * b.to_f64())
+                .sum()
+        } else {
+            x.par_iter()
+                .zip_eq(y.par_iter())
+                .map(|(a, b)| a.to_f64() * b.to_f64())
+                .sum()
+        }
+    })
+}
+
+/// Euclidean norm ‖x‖₂.
+pub fn norm2<T: Scalar>(dev: &Device, x: &[T]) -> f64 {
+    reduce::reduce(
+        dev,
+        "norm2",
+        x,
+        0.0f64,
+        |v| v.to_f64() * v.to_f64(),
+        |a, b| a + b,
+    )
+    .sqrt()
+}
+
+/// `y ← y + alpha · x`.
+pub fn axpy<T: Scalar>(dev: &Device, alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    launch::update1(dev, "axpy", y, std::mem::size_of_val(x), |i, yi| {
+        yi + alpha * x[i]
+    });
+}
+
+/// `y ← x + beta · y` (the "xpby" shape used by BiCGStab's p-update).
+pub fn xpby<T: Scalar>(dev: &Device, x: &[T], beta: T, y: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    launch::update1(dev, "xpby", y, std::mem::size_of_val(x), |i, yi| {
+        x[i] + beta * yi
+    });
+}
+
+/// `out ← x − alpha · y`.
+pub fn sub_scaled<T: Scalar>(dev: &Device, x: &[T], alpha: T, y: &[T], out: &mut [T]) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), out.len());
+    launch::map1(
+        dev,
+        "sub_scaled",
+        out,
+        2 * x.len() * std::mem::size_of::<T>(),
+        |i| x[i] - alpha * y[i],
+    );
+}
+
+/// Elementwise copy.
+pub fn copy<T: Scalar>(dev: &Device, src: &[T], dst: &mut [T]) {
+    launch::copy(dev, "veccopy", dst, src);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_products() {
+        let dev = Device::default();
+        let x: Vec<f64> = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let y: Vec<f64> = (0..10_000).map(|i| (i % 3) as f64).collect();
+        let want: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((dot(&dev, &x, &y) - want).abs() < 1e-9);
+        let s: Vec<f32> = vec![1.5, 2.0];
+        assert_eq!(dot(&dev, &s, &s), 1.5 * 1.5 + 4.0);
+    }
+
+    #[test]
+    fn norms_and_axpy() {
+        let dev = Device::default();
+        let x = vec![3.0f64, 4.0];
+        assert!((norm2(&dev, &x) - 5.0).abs() < 1e-12);
+        let mut y = vec![1.0f64, 1.0];
+        axpy(&dev, 2.0, &x, &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+        xpby(&dev, &x, 0.5, &mut y);
+        assert_eq!(y, vec![6.5, 8.5]);
+        let mut out = vec![0.0f64; 2];
+        sub_scaled(&dev, &x, 1.0, &[1.0, 1.0], &mut out);
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn spmv_matches_reference() {
+        let dev = Device::default();
+        let a: lf_sparse::Csr<f64> =
+            lf_sparse::stencil::grid2d(9, 7, &lf_sparse::stencil::FIVE_POINT);
+        let x: Vec<f64> = (0..63).map(|i| (i as f64).cos()).collect();
+        let mut out = vec![0.0; 63];
+        spmv(&dev, &a, &x, &mut out);
+        let want = a.spmv_ref(&x);
+        for (g, w) in out.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+}

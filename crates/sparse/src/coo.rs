@@ -1,0 +1,176 @@
+//! Coordinate (COO) sparse matrix format.
+//!
+//! COO is the assembly/interchange format: generators and the
+//! MatrixMarket reader produce COO, and the coefficient-extraction kernel
+//! of the paper (Sec. 4.3) walks the input matrix in COO with one thread
+//! per nonzero.
+
+use crate::scalar::Scalar;
+
+/// A sparse matrix in coordinate format. Triplets may be unsorted and may
+/// contain duplicates until [`Coo::sort_and_combine`] is called;
+/// [`crate::csr::Csr::from_coo`] performs that normalization itself.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Coo<T> {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Row indices (0-based).
+    pub rows: Vec<u32>,
+    /// Column indices (0-based).
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<T>,
+}
+
+impl<T: Scalar> Coo<T> {
+    /// An empty `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        assert!(nrows <= u32::MAX as usize && ncols <= u32::MAX as usize);
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Build from triplet vectors.
+    pub fn from_triplets(
+        nrows: usize,
+        ncols: usize,
+        rows: Vec<u32>,
+        cols: Vec<u32>,
+        vals: Vec<T>,
+    ) -> Self {
+        assert_eq!(rows.len(), cols.len());
+        assert_eq!(rows.len(), vals.len());
+        debug_assert!(rows.iter().all(|&r| (r as usize) < nrows));
+        debug_assert!(cols.iter().all(|&c| (c as usize) < ncols));
+        Self {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of stored entries (including duplicates, if any).
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, row: u32, col: u32, val: T) {
+        debug_assert!((row as usize) < self.nrows && (col as usize) < self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Append `val` at `(row, col)` and `(col, row)`; for `row == col`
+    /// pushes a single diagonal entry.
+    pub fn push_sym(&mut self, row: u32, col: u32, val: T) {
+        self.push(row, col, val);
+        if row != col {
+            self.push(col, row, val);
+        }
+    }
+
+    /// Sort entries by (row, col) and sum duplicates in place.
+    pub fn sort_and_combine(&mut self) {
+        let mut idx: Vec<u32> = (0..self.nnz() as u32).collect();
+        idx.sort_unstable_by_key(|&i| {
+            ((self.rows[i as usize] as u64) << 32) | self.cols[i as usize] as u64
+        });
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals: Vec<T> = Vec::with_capacity(self.nnz());
+        for &i in &idx {
+            let (r, c, v) = (
+                self.rows[i as usize],
+                self.cols[i as usize],
+                self.vals[i as usize],
+            );
+            if let (Some(&lr), Some(&lc)) = (rows.last(), cols.last()) {
+                if lr == r && lc == c {
+                    *vals.last_mut().expect("parallel to rows/cols") += v;
+                    continue;
+                }
+            }
+            rows.push(r);
+            cols.push(c);
+            vals.push(v);
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// Iterate over `(row, col, value)` triplets.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Transpose (swaps row/col indices; O(nnz)).
+    pub fn transpose(&self) -> Self {
+        Self {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            rows: self.cols.clone(),
+            cols: self.rows.clone(),
+            vals: self.vals.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter() {
+        let mut m = Coo::<f64>::new(3, 3);
+        m.push(0, 1, 2.0);
+        m.push_sym(1, 2, -1.0);
+        m.push_sym(2, 2, 5.0);
+        assert_eq!(m.nnz(), 4);
+        let trips: Vec<_> = m.iter().collect();
+        assert_eq!(trips[0], (0, 1, 2.0));
+        assert_eq!(trips[1], (1, 2, -1.0));
+        assert_eq!(trips[2], (2, 1, -1.0));
+        assert_eq!(trips[3], (2, 2, 5.0));
+    }
+
+    #[test]
+    fn sort_and_combine_sums_duplicates() {
+        let mut m = Coo::<f32>::from_triplets(
+            2,
+            2,
+            vec![1, 0, 1, 0],
+            vec![0, 1, 0, 0],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        m.sort_and_combine();
+        assert_eq!(m.rows, vec![0, 0, 1]);
+        assert_eq!(m.cols, vec![0, 1, 0]);
+        assert_eq!(m.vals, vec![4.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let m = Coo::<f64>::from_triplets(2, 3, vec![0, 1], vec![2, 0], vec![1.0, 2.0]);
+        let t = m.transpose();
+        assert_eq!(t.nrows, 3);
+        assert_eq!(t.ncols, 2);
+        assert_eq!(t.rows, vec![2, 0]);
+        assert_eq!(t.cols, vec![0, 1]);
+    }
+}

@@ -1,0 +1,481 @@
+//! Compressed sparse row (CSR) format — the working format of all kernels,
+//! as in the paper (Table 2 reads "CSR values / col indices / row ptrs").
+//!
+//! A `Csr` doubles as the adjacency matrix of a weighted graph: entry
+//! `a_ij ≠ 0` is the weight of edge `{i, j}`. The preprocessing the paper
+//! applies before factor computation (`A' = |A| − diag(|A|)`, Sec. 4) and
+//! the symmetrization `A' + A'ᵀ` (Sec. 5.1) are provided as methods.
+
+use crate::coo::Coo;
+use crate::scalar::Scalar;
+
+/// Sparse matrix in CSR format with 0-based `u32` column indices.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes row `i`'s entries; length `nrows+1`.
+    row_ptr: Vec<usize>,
+    /// Column index per entry, ascending within a row.
+    col_idx: Vec<u32>,
+    /// Value per entry.
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> Csr<T> {
+    /// Build from COO; sorts and sums duplicate entries.
+    pub fn from_coo(mut coo: Coo<T>) -> Self {
+        coo.sort_and_combine();
+        let mut row_ptr = vec![0usize; coo.nrows + 1];
+        for &r in &coo.rows {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..coo.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Self {
+            nrows: coo.nrows,
+            ncols: coo.ncols,
+            row_ptr,
+            col_idx: coo.cols,
+            vals: coo.vals,
+        }
+    }
+
+    /// Build directly from raw CSR arrays (validated).
+    pub fn from_raw(nrows: usize, ncols: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>, vals: Vec<T>) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
+        assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len(), "row_ptr total");
+        assert_eq!(col_idx.len(), vals.len(), "col/val length");
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
+        assert!(col_idx.iter().all(|&c| (c as usize) < ncols), "col bounds");
+        Self { nrows, ncols, row_ptr, col_idx, vals }
+    }
+
+    /// An empty (all-zero) matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Values.
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable values (pattern is fixed).
+    pub fn vals_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// The `(col, val)` entries of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, T)> + '_ {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[r.clone()]
+            .iter()
+            .zip(&self.vals[r])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Number of entries in row `i`.
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Mean number of entries per row (the paper's mean degree Δ̄(G)).
+    pub fn mean_degree(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.nrows as f64
+        }
+    }
+
+    /// Value at `(i, j)`, or zero if not stored. O(log row length).
+    pub fn get(&self, i: usize, j: usize) -> T {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        match self.col_idx[r.clone()].binary_search(&(j as u32)) {
+            Ok(k) => self.vals[r.start + k],
+            Err(_) => T::ZERO,
+        }
+    }
+
+    /// Iterate all `(row, col, val)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, T)> + '_ {
+        (0..self.nrows).flat_map(move |i| self.row(i).map(move |(c, v)| (i as u32, c, v)))
+    }
+
+    /// Convert back to COO (sorted, duplicate-free).
+    pub fn to_coo(&self) -> Coo<T> {
+        let mut rows = Vec::with_capacity(self.nnz());
+        for i in 0..self.nrows {
+            rows.extend(std::iter::repeat_n(i as u32, self.row_len(i)));
+        }
+        Coo::from_triplets(
+            self.nrows,
+            self.ncols,
+            rows,
+            self.col_idx.clone(),
+            self.vals.clone(),
+        )
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_coo(self.to_coo().transpose())
+    }
+
+    /// Whether the matrix equals its transpose (pattern and values).
+    pub fn is_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.row_ptr == t.row_ptr && self.col_idx == t.col_idx && self.vals == t.vals
+    }
+
+    /// Whether the sparsity pattern is symmetric (ignoring values).
+    pub fn is_pattern_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        self.row_ptr == t.row_ptr && self.col_idx == t.col_idx
+    }
+
+    /// The diagonal as a dense vector.
+    pub fn diagonal(&self) -> Vec<T> {
+        (0..self.nrows.min(self.ncols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// The paper's preprocessing `A' = |A| − diag(|A|)`: absolute values,
+    /// diagonal removed (Sec. 4). Self-loops never participate in factors.
+    pub fn abs_offdiag(&self) -> Self {
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            if r != c && v != T::ZERO {
+                coo.push(r, c, v.abs());
+            }
+        }
+        Self::from_coo(coo)
+    }
+
+    /// `A + Aᵀ` with values summed — the paper's symmetrization of
+    /// non-pattern-symmetric inputs before factor computation (Sec. 5.1).
+    pub fn plus_transpose(&self) -> Self {
+        assert_eq!(self.nrows, self.ncols, "plus_transpose needs square");
+        let mut coo = self.to_coo();
+        for (r, c, v) in self.iter() {
+            coo.push(c, r, v);
+        }
+        Self::from_coo(coo)
+    }
+
+    /// `max(A, Aᵀ)` entrywise on absolute values — alternative undirected
+    /// weight model (keeps each undirected edge's strongest direction).
+    pub fn max_transpose_abs(&self) -> Self {
+        assert_eq!(self.nrows, self.ncols);
+        let a = self.abs_offdiag();
+        let t = a.transpose();
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        for i in 0..self.nrows {
+            // merge rows of a and t
+            let mut it_a = a.row(i).peekable();
+            let mut it_t = t.row(i).peekable();
+            loop {
+                match (it_a.peek().copied(), it_t.peek().copied()) {
+                    (None, None) => break,
+                    (Some((c, v)), None) => {
+                        coo.push(i as u32, c, v);
+                        it_a.next();
+                    }
+                    (None, Some((c, v))) => {
+                        coo.push(i as u32, c, v);
+                        it_t.next();
+                    }
+                    (Some((ca, va)), Some((ct, vt))) => {
+                        if ca < ct {
+                            coo.push(i as u32, ca, va);
+                            it_a.next();
+                        } else if ct < ca {
+                            coo.push(i as u32, ct, vt);
+                            it_t.next();
+                        } else {
+                            coo.push(i as u32, ca, if va > vt { va } else { vt });
+                            it_a.next();
+                            it_t.next();
+                        }
+                    }
+                }
+            }
+        }
+        Self::from_coo(coo)
+    }
+
+    /// Dense `y = A x` (reference implementation for tests; the parallel
+    /// engines live in [`crate::gespmv`]).
+    pub fn spmv_ref(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.ncols);
+        (0..self.nrows)
+            .map(|i| {
+                self.row(i)
+                    .map(|(c, v)| v * x[c as usize])
+                    .fold(T::ZERO, |a, b| a + b)
+            })
+            .collect()
+    }
+
+    /// Symmetric permutation `QᵀAQ` where `perm[new] = old` (i.e. row/col
+    /// `perm[k]` of `A` becomes row/col `k` of the result) — used to verify
+    /// the linear-forest permutation produces a tridiagonal pattern.
+    pub fn permute_sym(&self, perm: &[u32]) -> Self {
+        assert_eq!(self.nrows, self.ncols);
+        assert_eq!(perm.len(), self.nrows);
+        let mut inv = vec![0u32; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        let mut coo = Coo::new(self.nrows, self.ncols);
+        for (r, c, v) in self.iter() {
+            coo.push(inv[r as usize], inv[c as usize], v);
+        }
+        Self::from_coo(coo)
+    }
+
+    /// Maximum `|i − j|` over stored entries — the bandwidth of the pattern.
+    pub fn bandwidth(&self) -> usize {
+        self.iter()
+            .map(|(r, c, _)| (r as i64 - c as i64).unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Symmetric diagonal scaling `D^{-1/2} A D^{-1/2}` (unit diagonal for
+    /// SPD input) — the standard normalization before comparing weight
+    /// structures across matrices.
+    pub fn symmetric_diagonal_scaling(&self) -> Self {
+        assert_eq!(self.nrows, self.ncols);
+        let d: Vec<T> = self
+            .diagonal()
+            .into_iter()
+            .map(|x| {
+                let a = x.abs();
+                if a == T::ZERO {
+                    T::ONE
+                } else {
+                    T::ONE / a.sqrt()
+                }
+            })
+            .collect();
+        let mut out = self.clone();
+        let mut k = 0usize;
+        for i in 0..self.nrows {
+            for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[e] as usize;
+                out.vals[k] = self.vals[e] * d[i] * d[j];
+                k += 1;
+            }
+        }
+        out
+    }
+
+    /// Principal submatrix on the given (sorted, unique) row/column subset.
+    /// Returned indices are renumbered 0..keep.len().
+    pub fn principal_submatrix(&self, keep: &[u32]) -> Self {
+        assert_eq!(self.nrows, self.ncols);
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        let mut renum = vec![u32::MAX; self.ncols];
+        for (new, &old) in keep.iter().enumerate() {
+            renum[old as usize] = new as u32;
+        }
+        let mut coo = Coo::new(keep.len(), keep.len());
+        for &old in keep {
+            for (c, v) in self.row(old as usize) {
+                let nc = renum[c as usize];
+                if nc != u32::MAX {
+                    coo.push(renum[old as usize], nc, v);
+                }
+            }
+        }
+        Self::from_coo(coo)
+    }
+
+    /// Convert values to another scalar type.
+    pub fn cast<U: Scalar>(&self) -> Csr<U> {
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            vals: self.vals.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr<f64> {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut coo = Coo::new(3, 3);
+        for i in 0..3u32 {
+            coo.push(i, i, 2.0);
+        }
+        coo.push_sym(0, 1, -1.0);
+        coo.push_sym(1, 2, -1.0);
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn from_coo_layout() {
+        let m = small();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.row_ptr(), &[0, 2, 5, 7]);
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.row_len(1), 3);
+        assert!((m.mean_degree() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let m = small();
+        let back = Csr::from_coo(m.to_coo());
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn symmetry_checks() {
+        let m = small();
+        assert!(m.is_symmetric());
+        assert!(m.is_pattern_symmetric());
+        let mut coo = m.to_coo();
+        coo.push(0, 2, 9.0);
+        let m2 = Csr::from_coo(coo);
+        assert!(!m2.is_symmetric());
+        assert!(!m2.is_pattern_symmetric());
+    }
+
+    #[test]
+    fn abs_offdiag_removes_diag() {
+        let m = small().abs_offdiag();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn plus_transpose_symmetrizes() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 1, 3.0);
+        let m = Csr::from_coo(coo).plus_transpose();
+        assert!(m.is_symmetric());
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn max_transpose_takes_stronger_direction() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 1, -3.0);
+        coo.push(1, 0, 1.0);
+        let m = Csr::from_coo(coo).max_transpose_abs();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn spmv_reference() {
+        let m = small();
+        let y = m.spmv_ref(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn permutation_reverses() {
+        let m = small();
+        let p = m.permute_sym(&[2, 1, 0]);
+        assert_eq!(p.get(0, 0), 2.0);
+        assert_eq!(p.get(0, 1), -1.0);
+        assert_eq!(p.get(0, 2), 0.0);
+        assert!(p.is_symmetric());
+    }
+
+    #[test]
+    fn bandwidth_and_diag() {
+        let m = small();
+        assert_eq!(m.bandwidth(), 1);
+        assert_eq!(m.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn diagonal_scaling_normalizes() {
+        let m = small().symmetric_diagonal_scaling();
+        for i in 0..3 {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+        }
+        assert!((m.get(0, 1) + 0.5).abs() < 1e-12, "{}", m.get(0, 1));
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn principal_submatrix_renumbers() {
+        let m = small();
+        let sub = m.principal_submatrix(&[0, 2]);
+        assert_eq!(sub.nrows(), 2);
+        assert_eq!(sub.get(0, 0), 2.0);
+        assert_eq!(sub.get(1, 1), 2.0);
+        assert_eq!(sub.get(0, 1), 0.0, "0-2 not connected in the path");
+        let sub2 = m.principal_submatrix(&[1, 2]);
+        assert_eq!(sub2.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn cast_f64_f32() {
+        let m = small().cast::<f32>();
+        assert_eq!(m.get(0, 1), -1.0f32);
+    }
+
+    #[test]
+    fn zeros_empty() {
+        let m = Csr::<f64>::zeros(4, 4);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.row_len(3), 0);
+        assert_eq!(m.bandwidth(), 0);
+    }
+}

@@ -1,0 +1,439 @@
+//! Generalized sparse matrix–vector product (Sec. 4.1 of the paper).
+//!
+//! The paper expresses the edge-proposition kernel of the parallel
+//! [0,n]-factor algorithm as an SpMV in which the multiplication `⊗` and
+//! reduction `⊕` are replaced by arbitrary operations, with *different
+//! types* for matrix values, the per-column state vector, the accumulator
+//! and the output — flexibility GraphBLAS lacks (Sec. 2, "GraphBLAS").
+//!
+//! [`GeSpmvOps`] captures that parameterization. Two execution engines are
+//! provided:
+//!
+//! * [`gespmv_rowpar`] — one logical thread per row (the natural CSR
+//!   kernel; efficient for the bounded-degree matrices of Table 3);
+//! * [`gespmv_srcsr`] — the paper's **SRCSR** segmented-reduction engine:
+//!   the nonzero range is split evenly across workers, each worker reduces
+//!   its segment with a sequential reduction-by-key along the rows it
+//!   touches, and partial accumulators of rows that straddle segment
+//!   boundaries are combined in a fixup pass. This is load-balanced even
+//!   for wildly skewed row lengths, which is why the paper uses it.
+//!
+//! Ordinary `d = Ax + d` is recovered by [`AxpyOps`]; the proposition
+//! functor lives in `lf-core`.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use lf_kernel::{launch, Device, ScatterSlice, Traffic};
+use rayon::prelude::*;
+
+/// Operations parameterizing a generalized SpMV over a `Csr<T>`.
+///
+/// For each row `i`: `out[i] = finalize(i, ⊕_{j ∈ row(i)} multiply(i, j, a_ij))`,
+/// where `⊕` = [`GeSpmvOps::combine`] starting from [`GeSpmvOps::identity`].
+/// `combine` must be associative with `identity` as neutral element —
+/// required for the segmented engine to split rows across workers.
+pub trait GeSpmvOps<T: Scalar>: Sync {
+    /// Accumulator type (`⊕`-monoid carrier).
+    type Acc: Copy + Send + Sync;
+    /// Per-row output type.
+    type Out: Copy + Send + Sync + Default;
+
+    /// Neutral element of `combine`.
+    fn identity(&self) -> Self::Acc;
+    /// The `⊗` operation, with access to row and column indices so that
+    /// functors can perform indirect lookups into captured state vectors
+    /// (confirmed-edge counts, charges, ...), as the paper requires.
+    fn multiply(&self, row: u32, col: u32, val: T) -> Self::Acc;
+    /// The `⊕` reduction.
+    fn combine(&self, a: Self::Acc, b: Self::Acc) -> Self::Acc;
+    /// Produce the row output from the reduced accumulator.
+    fn finalize(&self, row: u32, acc: Self::Acc) -> Self::Out;
+    /// Bytes of captured state read per matrix entry + per row, used only
+    /// for traffic accounting (Table 2). Default: nothing extra.
+    fn extra_read_bytes(&self, _nrows: usize, _nnz: usize) -> u64 {
+        0
+    }
+}
+
+/// Ordinary `out = A·x + d` on a semiring of scalars.
+pub struct AxpyOps<'a, T> {
+    /// Input vector `x` (length = ncols).
+    pub x: &'a [T],
+    /// Additive input `d` (length = nrows).
+    pub d: &'a [T],
+}
+
+impl<'a, T: Scalar> GeSpmvOps<T> for AxpyOps<'a, T> {
+    type Acc = T;
+    type Out = T;
+
+    #[inline]
+    fn identity(&self) -> T {
+        T::ZERO
+    }
+    #[inline]
+    fn multiply(&self, _row: u32, col: u32, val: T) -> T {
+        val * self.x[col as usize]
+    }
+    #[inline]
+    fn combine(&self, a: T, b: T) -> T {
+        a + b
+    }
+    #[inline]
+    fn finalize(&self, row: u32, acc: T) -> T {
+        acc + self.d[row as usize]
+    }
+    fn extra_read_bytes(&self, nrows: usize, nnz: usize) -> u64 {
+        // x gathered per entry, d read per row.
+        (nnz * std::mem::size_of::<T>() + nrows * std::mem::size_of::<T>()) as u64
+    }
+}
+
+fn base_traffic<T: Scalar, O: GeSpmvOps<T>>(a: &Csr<T>, ops: &O) -> Traffic {
+    Traffic::new()
+        .reads::<T>(a.nnz()) // CSR values
+        .reads::<u32>(a.nnz()) // CSR col indices
+        .reads::<usize>(a.nrows() + 1) // CSR row ptrs
+        .read_bytes(ops.extra_read_bytes(a.nrows(), a.nnz()))
+        .writes::<O::Out>(a.nrows())
+}
+
+/// Row-parallel generalized SpMV: one logical thread per row.
+pub fn gespmv_rowpar<T: Scalar, O: GeSpmvOps<T>>(
+    dev: &Device,
+    name: &str,
+    a: &Csr<T>,
+    ops: &O,
+    out: &mut [O::Out],
+) {
+    assert_eq!(out.len(), a.nrows(), "output length mismatch");
+    let traffic = base_traffic(a, ops);
+    dev.launch(name, traffic, || {
+        let body = |i: usize, o: &mut O::Out| {
+            let mut acc = ops.identity();
+            for (c, v) in a.row(i) {
+                acc = ops.combine(acc, ops.multiply(i as u32, c, v));
+            }
+            *o = ops.finalize(i as u32, acc);
+        };
+        if a.nrows() < 2048 {
+            for (i, o) in out.iter_mut().enumerate() {
+                body(i, o);
+            }
+        } else {
+            out.par_iter_mut().enumerate().for_each(|(i, o)| body(i, o));
+        }
+    });
+}
+
+/// Segmented-reduction generalized SpMV (the paper's SRCSR scheme): the
+/// nonzero range is split into equal segments processed in parallel;
+/// rows crossing segment boundaries are finished in a sequential fixup.
+pub fn gespmv_srcsr<T: Scalar, O: GeSpmvOps<T>>(
+    dev: &Device,
+    name: &str,
+    a: &Csr<T>,
+    ops: &O,
+    out: &mut [O::Out],
+) {
+    assert_eq!(out.len(), a.nrows(), "output length mismatch");
+    let nnz = a.nnz();
+    let nrows = a.nrows();
+    if nnz == 0 {
+        launch::map1(dev, name, out, 0, |i| ops.finalize(i as u32, ops.identity()));
+        return;
+    }
+    let traffic = base_traffic(a, ops);
+    // Partial accumulator of a boundary-crossing row: (row, acc).
+    let mut partials: Vec<Vec<(u32, O::Acc)>> = Vec::new();
+    dev.launch(name, traffic, || {
+        let nseg = (rayon::current_num_threads().max(1) * 4).min(nnz);
+        let seg_len = nnz.div_ceil(nseg);
+        let row_ptr = a.row_ptr();
+        let col_idx = a.col_idx();
+        let vals = a.vals();
+        // Rows with no entries are untouched by segments: pre-fill every
+        // row with finalize(identity); covered rows are overwritten.
+        let fill = |o: &mut [O::Out]| {
+            o.par_iter_mut()
+                .enumerate()
+                .for_each(|(i, o)| *o = ops.finalize(i as u32, ops.identity()));
+        };
+        fill(out);
+        let view = ScatterSlice::new(out);
+        partials = (0..nseg)
+            .into_par_iter()
+            .map(|s| {
+                let seg_start = s * seg_len;
+                let seg_end = ((s + 1) * seg_len).min(nnz);
+                if seg_start >= seg_end {
+                    return Vec::new();
+                }
+                let mut local: Vec<(u32, O::Acc)> = Vec::new();
+                // Binary search for the row containing seg_start — the
+                // "setup kernel" the paper observes cuSPARSE also runs.
+                let mut row = row_ptr.partition_point(|&p| p <= seg_start) - 1;
+                let mut k = seg_start;
+                while k < seg_end {
+                    let row_end = row_ptr[row + 1].min(seg_end);
+                    let mut acc = ops.identity();
+                    for e in k..row_end {
+                        acc = ops.combine(acc, ops.multiply(row as u32, col_idx[e], vals[e]));
+                    }
+                    let full = row_ptr[row] >= seg_start && row_ptr[row + 1] <= seg_end;
+                    if full {
+                        // SAFETY: this row's entry range lies entirely in
+                        // this segment, so no other segment writes it; the
+                        // pre-fill pass completed before this scatter began.
+                        unsafe { view.write(row, ops.finalize(row as u32, acc)) };
+                    } else {
+                        local.push((row as u32, acc));
+                    }
+                    k = row_end;
+                    row += 1;
+                }
+                local
+            })
+            .collect();
+    });
+    // Sequential fixup: combine partials by row (few — at most 2·nseg).
+    let fixup_count: usize = partials.iter().map(|p| p.len()).sum();
+    if fixup_count > 0 {
+        let traffic = Traffic::new()
+            .read_bytes((fixup_count * std::mem::size_of::<(u32, O::Acc)>()) as u64)
+            .writes::<O::Out>(fixup_count);
+        dev.launch("srcsr_fixup", traffic, || {
+            let mut flat: Vec<(u32, O::Acc)> = partials.into_iter().flatten().collect();
+            flat.sort_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < flat.len() {
+                let row = flat[i].0;
+                let mut acc = flat[i].1;
+                let mut j = i + 1;
+                while j < flat.len() && flat[j].0 == row {
+                    acc = ops.combine(acc, flat[j].1);
+                    j += 1;
+                }
+                out[row as usize] = ops.finalize(row, acc);
+                i = j;
+            }
+        });
+    }
+    let _ = nrows;
+}
+
+/// Which generalized-SpMV engine to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpmvEngine {
+    /// One logical thread per row.
+    RowParallel,
+    /// Segmented reduction over the nonzero range (paper's SRCSR).
+    SrCsr,
+}
+
+/// Dispatch on [`SpmvEngine`].
+pub fn gespmv<T: Scalar, O: GeSpmvOps<T>>(
+    dev: &Device,
+    name: &str,
+    engine: SpmvEngine,
+    a: &Csr<T>,
+    ops: &O,
+    out: &mut [O::Out],
+) {
+    match engine {
+        SpmvEngine::RowParallel => gespmv_rowpar(dev, name, a, ops, out),
+        SpmvEngine::SrCsr => gespmv_srcsr(dev, name, a, ops, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::random_symmetric;
+    use crate::stencil::{grid2d, FIVE_POINT};
+
+    fn check_axpy(a: &Csr<f64>, engine: SpmvEngine) {
+        let dev = Device::default();
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let d: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+        let mut out = vec![0.0; n];
+        gespmv(&dev, "axpy", engine, a, &AxpyOps { x: &x, d: &d }, &mut out);
+        let mut want = a.spmv_ref(&x);
+        for (w, dd) in want.iter_mut().zip(&d) {
+            *w += dd;
+        }
+        for i in 0..n {
+            assert!(
+                (out[i] - want[i]).abs() <= 1e-9 * (1.0 + want[i].abs()),
+                "row {i}: {} vs {}",
+                out[i],
+                want[i]
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_rowpar_matches_reference() {
+        let a: Csr<f64> = grid2d(37, 21, &FIVE_POINT);
+        check_axpy(&a, SpmvEngine::RowParallel);
+    }
+
+    #[test]
+    fn axpy_srcsr_matches_reference() {
+        let a: Csr<f64> = grid2d(37, 21, &FIVE_POINT);
+        check_axpy(&a, SpmvEngine::SrCsr);
+        let a: Csr<f64> = random_symmetric(5000, 9.0, 0.1, 1.0, 7);
+        check_axpy(&a, SpmvEngine::SrCsr);
+    }
+
+    #[test]
+    fn srcsr_handles_empty_rows_and_skew() {
+        // matrix with empty rows and one huge row
+        let mut coo = crate::coo::Coo::<f64>::new(1000, 1000);
+        for j in 0..999u32 {
+            coo.push(500, j, 1.0); // dense row
+        }
+        coo.push(3, 4, 2.0);
+        let a = Csr::from_coo(coo);
+        check_axpy(&a, SpmvEngine::SrCsr);
+        check_axpy(&a, SpmvEngine::RowParallel);
+    }
+
+    #[test]
+    fn srcsr_empty_matrix() {
+        let a = Csr::<f64>::zeros(10, 10);
+        check_axpy(&a, SpmvEngine::SrCsr);
+    }
+
+    #[test]
+    fn traffic_matches_table2_shape() {
+        // Table 2 (k=0 part): reads nnz values + nnz col indices + (N+1)
+        // row ptrs (+ functor extras); writes N outputs.
+        let a: Csr<f64> = grid2d(64, 64, &FIVE_POINT);
+        let dev = Device::default();
+        let x = vec![1.0; a.nrows()];
+        let d = vec![0.0; a.nrows()];
+        let ops = AxpyOps { x: &x, d: &d };
+        let mut out = vec![0.0; a.nrows()];
+        gespmv_rowpar(&dev, "axpy", &a, &ops, &mut out);
+        let s = dev.stats();
+        let expect_read = (a.nnz() * 8 + a.nnz() * 4 + (a.nrows() + 1) * 8) as u64
+            + ops.extra_read_bytes(a.nrows(), a.nnz());
+        assert_eq!(s.traffic.read, expect_read);
+        assert_eq!(s.traffic.written, (a.nrows() * 8) as u64);
+    }
+
+    #[test]
+    fn max_semiring() {
+        // out[i] = max_j (a_ij + x_j), the (max, +) tropical semiring —
+        // shows the engine is genuinely generic.
+        struct MaxPlus<'a> {
+            x: &'a [f64],
+        }
+        impl<'a> GeSpmvOps<f64> for MaxPlus<'a> {
+            type Acc = f64;
+            type Out = f64;
+            fn identity(&self) -> f64 {
+                f64::NEG_INFINITY
+            }
+            fn multiply(&self, _r: u32, c: u32, v: f64) -> f64 {
+                v + self.x[c as usize]
+            }
+            fn combine(&self, a: f64, b: f64) -> f64 {
+                a.max(b)
+            }
+            fn finalize(&self, _r: u32, acc: f64) -> f64 {
+                acc
+            }
+        }
+        let a: Csr<f64> = random_symmetric(800, 6.0, 0.0, 1.0, 3);
+        let x: Vec<f64> = (0..800).map(|i| i as f64 * 0.001).collect();
+        let dev = Device::default();
+        let mut o1 = vec![0.0; 800];
+        let mut o2 = vec![0.0; 800];
+        gespmv_rowpar(&dev, "mp", &a, &MaxPlus { x: &x }, &mut o1);
+        gespmv_srcsr(&dev, "mp", &a, &MaxPlus { x: &x }, &mut o2);
+        assert_eq!(o1, o2);
+        for i in 0..800 {
+            let want = a
+                .row(i)
+                .map(|(c, v)| v + x[c as usize])
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert_eq!(o1[i], want);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::coo::Coo;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// The two engines must agree on arbitrary sparse matrices for the
+        /// ordinary semiring (floating sums reassociate, so compare with a
+        /// tolerance).
+        #[test]
+        fn engines_agree_on_random_matrices(
+            n in 1usize..80,
+            edges in proptest::collection::vec((0u32..80, 0u32..80, -5.0f64..5.0), 0..600),
+        ) {
+            let mut coo = Coo::new(n, n);
+            for &(r, c, v) in &edges {
+                if (r as usize) < n && (c as usize) < n {
+                    coo.push(r, c, v);
+                }
+            }
+            let a = Csr::from_coo(coo);
+            let dev = Device::default();
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+            let d: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+            let mut o1 = vec![0.0; n];
+            let mut o2 = vec![0.0; n];
+            gespmv_rowpar(&dev, "p", &a, &AxpyOps { x: &x, d: &d }, &mut o1);
+            gespmv_srcsr(&dev, "p", &a, &AxpyOps { x: &x, d: &d }, &mut o2);
+            for i in 0..n {
+                prop_assert!((o1[i] - o2[i]).abs() < 1e-9 * (1.0 + o1[i].abs()));
+            }
+        }
+
+        /// With an exactly-associative integer-like semiring the engines
+        /// must agree bit-for-bit.
+        #[test]
+        fn engines_bitwise_equal_on_min_semiring(
+            n in 1usize..60,
+            edges in proptest::collection::vec((0u32..60, 0u32..60, 0u32..1000), 0..400),
+        ) {
+            struct MinOps;
+            impl GeSpmvOps<f64> for MinOps {
+                type Acc = u64;
+                type Out = u64;
+                fn identity(&self) -> u64 { u64::MAX }
+                fn multiply(&self, _r: u32, c: u32, v: f64) -> u64 {
+                    (v as u64) << 8 | c as u64 % 251
+                }
+                fn combine(&self, a: u64, b: u64) -> u64 { a.min(b) }
+                fn finalize(&self, r: u32, acc: u64) -> u64 {
+                    acc.wrapping_add(r as u64)
+                }
+            }
+            let mut coo = Coo::new(n, n);
+            for &(r, c, v) in &edges {
+                if (r as usize) < n && (c as usize) < n {
+                    coo.push(r, c, v as f64);
+                }
+            }
+            let a = Csr::from_coo(coo);
+            let dev = Device::default();
+            let mut o1 = vec![0u64; n];
+            let mut o2 = vec![0u64; n];
+            gespmv_rowpar(&dev, "p", &a, &MinOps, &mut o1);
+            gespmv_srcsr(&dev, "p", &a, &MinOps, &mut o2);
+            prop_assert_eq!(o1, o2);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # lf-sparse — sparse-matrix substrate
+//!
+//! Sparse matrix formats (COO/CSR), MatrixMarket I/O, stencil and
+//! collection generators, and the paper's **generalized sparse
+//! matrix–vector product** (Sec. 4.1) with row-parallel and
+//! segmented-reduction (SRCSR) engines.
+//!
+//! A `Csr<T>` doubles as the adjacency matrix of a weighted graph
+//! `G = (V, E)` with `ω({i, j}) = a_ij` (paper Sec. 1); the factor and
+//! forest algorithms in `lf-core` consume it directly.
+//!
+//! ```
+//! use lf_sparse::prelude::*;
+//!
+//! // ANISO1 model problem on a 32×32 grid (paper Sec. 5)
+//! let a: Csr<f64> = grid2d(32, 32, &ANISO1);
+//! assert!(a.is_symmetric());
+//! assert_eq!(a.nrows(), 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod coo;
+pub mod csr;
+pub mod gespmv;
+pub mod mm;
+pub mod random;
+pub mod scalar;
+pub mod stats;
+pub mod stencil;
+
+pub use collection::{Collection, PaperStats};
+pub use coo::Coo;
+pub use csr::Csr;
+pub use gespmv::{gespmv, gespmv_rowpar, gespmv_srcsr, AxpyOps, GeSpmvOps, SpmvEngine};
+pub use scalar::Scalar;
+pub use stats::{degree_histogram, graph_stats, GraphStats};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::collection::Collection;
+    pub use crate::coo::Coo;
+    pub use crate::csr::Csr;
+    pub use crate::gespmv::{gespmv, AxpyOps, GeSpmvOps, SpmvEngine};
+    pub use crate::scalar::Scalar;
+    pub use crate::stencil::{aniso3, grid2d, grid3d, Stencil7, ANISO1, ANISO2, FIVE_POINT};
+}

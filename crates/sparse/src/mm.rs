@@ -1,0 +1,220 @@
+//! MatrixMarket (`.mtx`) I/O — the interchange format of the SuiteSparse
+//! Matrix Collection the paper draws its test matrices from (Table 3).
+//!
+//! Supports `matrix coordinate {real,integer,pattern} {general,symmetric}`.
+//! Symmetric files store the lower triangle only; reading expands it.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors produced by the MatrixMarket reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O error.
+    Io(std::io::Error),
+    /// Structural problem with the file (message describes it).
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "MatrixMarket parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a MatrixMarket coordinate matrix from a reader.
+pub fn read_coo<T: Scalar>(reader: impl Read) -> Result<Coo<T>, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??
+        .to_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if fields[2] != "coordinate" {
+        return Err(parse_err("only coordinate format supported"));
+    }
+    let value_type = fields[3];
+    if !matches!(value_type, "real" | "integer" | "pattern") {
+        return Err(parse_err(format!("unsupported value type {value_type}")));
+    }
+    let symmetry = fields[4];
+    let symmetric = match symmetry {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry {other}"))),
+    };
+
+    // Skip comments, read size line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = Some(t.to_string());
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|s| s.parse().map_err(|_| parse_err("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be 'nrows ncols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::new(nrows, ncols);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| parse_err("short entry line"))?
+            .parse()
+            .map_err(|_| parse_err("bad col index"))?;
+        let v: f64 = if value_type == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err("bad value"))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(parse_err(format!("index out of range: {i} {j}")));
+        }
+        let (r, c) = ((i - 1) as u32, (j - 1) as u32);
+        let val = T::from_f64(v);
+        if symmetric {
+            coo.push_sym(r, c, val);
+        } else {
+            coo.push(r, c, val);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo)
+}
+
+/// Read a MatrixMarket file into CSR.
+pub fn read_csr_path<T: Scalar>(path: impl AsRef<Path>) -> Result<Csr<T>, MmError> {
+    let f = std::fs::File::open(path)?;
+    Ok(Csr::from_coo(read_coo(f)?))
+}
+
+/// Write a matrix as `matrix coordinate real general`.
+pub fn write_csr<T: Scalar>(mut w: impl Write, m: &Csr<T>) -> Result<(), std::io::Error> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by linear-forest")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+/// Write a matrix to a `.mtx` file.
+pub fn write_csr_path<T: Scalar>(
+    path: impl AsRef<Path>,
+    m: &Csr<T>,
+) -> Result<(), std::io::Error> {
+    let f = std::fs::File::create(path)?;
+    write_csr(std::io::BufWriter::new(f), m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GENERAL: &str = "%%MatrixMarket matrix coordinate real general\n\
+        % a comment\n\
+        3 3 4\n\
+        1 1 2.0\n\
+        1 2 -1.0\n\
+        2 1 -1.5\n\
+        3 3 4.0\n";
+
+    #[test]
+    fn reads_general() {
+        let coo: Coo<f64> = read_coo(GENERAL.as_bytes()).unwrap();
+        let m = Csr::from_coo(coo);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), -1.0);
+        assert_eq!(m.get(1, 0), -1.5);
+    }
+
+    #[test]
+    fn reads_symmetric_expands() {
+        let s = "%%MatrixMarket matrix coordinate real symmetric\n\
+                 2 2 2\n\
+                 1 1 5.0\n\
+                 2 1 -3.0\n";
+        let m: Csr<f64> = Csr::from_coo(read_coo(s.as_bytes()).unwrap());
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), -3.0);
+        assert_eq!(m.get(1, 0), -3.0);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let s = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2\n";
+        let m: Csr<f32> = Csr::from_coo(read_coo(s.as_bytes()).unwrap());
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m: Csr<f64> = Csr::from_coo(read_coo(GENERAL.as_bytes()).unwrap());
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &m).unwrap();
+        let m2: Csr<f64> = Csr::from_coo(read_coo(buf.as_slice()).unwrap());
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_coo::<f64>("hello\n".as_bytes()).is_err());
+        assert!(read_coo::<f64>("%%MatrixMarket matrix array real general\n".as_bytes()).is_err());
+        let bad_count = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_coo::<f64>(bad_count.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_coo::<f64>(oob.as_bytes()).is_err());
+    }
+}

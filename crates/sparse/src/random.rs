@@ -1,0 +1,178 @@
+//! Random graph and matrix generators used by tests, property tests, and
+//! the synthetic collection stand-ins.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Random undirected weighted graph as a symmetric matrix (no diagonal):
+/// roughly `n · avg_degree / 2` distinct edges with weights uniform in
+/// `(w_lo, w_hi]`.
+pub fn random_symmetric<T: Scalar>(
+    n: usize,
+    avg_degree: f64,
+    w_lo: f64,
+    w_hi: f64,
+    seed: u64,
+) -> Csr<T> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let m = ((n as f64 * avg_degree) / 2.0).round() as usize;
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut tries = 0usize;
+    while seen.len() < m && tries < m * 20 {
+        tries += 1;
+        if n < 2 {
+            break;
+        }
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if !seen.insert(key) {
+            continue;
+        }
+        let w = rng.random_range(w_lo..=w_hi);
+        coo.push_sym(key.0, key.1, T::from_f64(w));
+    }
+    Csr::from_coo(coo)
+}
+
+/// Random symmetric diagonally dominant matrix (hence SPD for positive
+/// diagonal): off-diagonals negative random, diagonal = Σ|off| + shift.
+pub fn random_spd<T: Scalar>(n: usize, avg_degree: f64, shift: f64, seed: u64) -> Csr<T> {
+    let off = random_symmetric::<T>(n, avg_degree, 0.1, 1.0, seed);
+    let mut coo = Coo::new(n, n);
+    for (r, c, v) in off.iter() {
+        coo.push(r, c, -v.abs());
+    }
+    for i in 0..n {
+        let rowsum: T = off.row(i).map(|(_, v)| v.abs()).sum();
+        coo.push(i as u32, i as u32, rowsum + T::from_f64(shift));
+    }
+    Csr::from_coo(coo)
+}
+
+/// A uniformly random permutation (`perm[new] = old`).
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    // Fisher–Yates
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// A random *linear forest* embedded as a symmetric matrix: the vertex set
+/// is split into random paths of length ≥ 1 (in a random vertex order) with
+/// strong weights `~1`, plus `noise_degree` weak random edges (`~1e-3`) per
+/// vertex. Returns the matrix and the ground-truth list of paths (each a
+/// sequence of vertex IDs). Useful for testing that extraction recovers
+/// planted structure.
+pub fn planted_linear_forest<T: Scalar>(
+    n: usize,
+    mean_path_len: usize,
+    noise_degree: f64,
+    seed: u64,
+) -> (Csr<T>, Vec<Vec<u32>>) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let order = random_permutation(n, seed ^ 0x9e37_79b9);
+    let mut paths: Vec<Vec<u32>> = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        let len = rng.random_range(1..=(2 * mean_path_len).max(2)).min(n - i);
+        paths.push(order[i..i + len].to_vec());
+        i += len;
+    }
+    let mut coo = Coo::new(n, n);
+    for p in &paths {
+        for w in p.windows(2) {
+            let strong = rng.random_range(0.5..1.5);
+            coo.push_sym(w[0], w[1], T::from_f64(strong));
+        }
+    }
+    let extra = (n as f64 * noise_degree / 2.0).round() as usize;
+    let mut seen = std::collections::HashSet::new();
+    for p in &paths {
+        for w in p.windows(2) {
+            seen.insert((w[0].min(w[1]), w[0].max(w[1])));
+        }
+    }
+    let mut added = 0usize;
+    let mut tries = 0usize;
+    while added < extra && tries < extra * 30 && n >= 2 {
+        tries += 1;
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if !seen.insert(key) {
+            continue;
+        }
+        let weak = rng.random_range(1e-4..2e-3);
+        coo.push_sym(key.0, key.1, T::from_f64(weak));
+        added += 1;
+    }
+    (Csr::from_coo(coo), paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_symmetric_props() {
+        let m: Csr<f64> = random_symmetric(500, 6.0, 0.0, 1.0, 1);
+        assert!(m.is_symmetric());
+        assert_eq!(m.diagonal().iter().filter(|&&d| d != 0.0).count(), 0);
+        let deg = m.mean_degree();
+        assert!((deg - 6.0).abs() < 1.0, "mean degree {deg}");
+    }
+
+    #[test]
+    fn random_spd_is_diag_dominant() {
+        let m: Csr<f64> = random_spd(300, 5.0, 0.5, 2);
+        assert!(m.is_symmetric());
+        for i in 0..m.nrows() {
+            let d = m.get(i, i);
+            let off: f64 = m.row(i).filter(|&(c, _)| c as usize != i).map(|(_, v)| v.abs()).sum();
+            assert!(d >= off + 0.49, "row {i} not dominant: {d} vs {off}");
+        }
+    }
+
+    #[test]
+    fn permutation_is_bijection() {
+        let p = random_permutation(1000, 3);
+        let mut seen = vec![false; 1000];
+        for &v in &p {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        // Deterministic for a fixed seed.
+        assert_eq!(p, random_permutation(1000, 3));
+        assert_ne!(p, random_permutation(1000, 4));
+    }
+
+    #[test]
+    fn planted_forest_structure() {
+        let (m, paths): (Csr<f64>, _) = planted_linear_forest(400, 8, 2.0, 5);
+        assert!(m.is_symmetric());
+        let total: usize = paths.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 400);
+        // every planted strong edge present and strong
+        for p in &paths {
+            for w in p.windows(2) {
+                let v = m.get(w[0] as usize, w[1] as usize);
+                assert!(v >= 0.5, "planted edge lost");
+            }
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Floating-point scalar abstraction.
+//!
+//! The paper runs factor extraction in single precision (the RTX 2080 Ti
+//! has few double units) and the solver experiments in double precision.
+//! All matrix/graph code here is generic over [`Scalar`], implemented for
+//! `f32` and `f64`.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Minimal real-scalar trait for the workspace (avoids an external
+/// num-traits dependency).
+pub trait Scalar:
+    Copy
+    + Send
+    + Sync
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Sum
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Lossy conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Whether the value is finite.
+    fn is_finite(self) -> bool;
+    /// Machine epsilon.
+    fn epsilon() -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn epsilon() -> Self {
+                <$t>::EPSILON
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_ops<T: Scalar>() -> T {
+        let a = T::from_f64(3.0);
+        let b = T::from_f64(-4.0);
+        (a * a + b.abs() * b.abs()).sqrt()
+    }
+
+    #[test]
+    fn scalar_generic_arithmetic() {
+        assert_eq!(generic_ops::<f32>(), 5.0f32);
+        assert_eq!(generic_ops::<f64>(), 5.0f64);
+    }
+
+    #[test]
+    fn constants_and_conversion() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0);
+        assert_eq!(f64::from_f64(2.5).to_f64(), 2.5);
+        assert!(f64::ONE.is_finite());
+        assert!(!(f64::ONE / f64::ZERO).is_finite());
+        assert!(f32::epsilon() > 0.0);
+    }
+}

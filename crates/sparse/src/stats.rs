@@ -1,0 +1,152 @@
+//! Matrix/graph statistics — degree and weight distributions used by the
+//! `lf stats` CLI, the Table-3 harness, and when characterizing new
+//! inputs against the collection classes.
+
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+
+/// Summary statistics of a weighted graph/matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Order N.
+    pub n: usize,
+    /// Stored entries.
+    pub nnz: usize,
+    /// Minimum row length (including diagonal entries).
+    pub min_degree: usize,
+    /// Maximum row length.
+    pub max_degree: usize,
+    /// Mean row length (= nnz / N).
+    pub mean_degree: f64,
+    /// Numerically symmetric?
+    pub symmetric: bool,
+    /// Pattern-symmetric?
+    pub pattern_symmetric: bool,
+    /// Smallest |off-diagonal weight| (0 if none).
+    pub min_weight: f64,
+    /// Largest |off-diagonal weight|.
+    pub max_weight: f64,
+    /// Fraction of total |off-diagonal| weight carried by the heaviest
+    /// 2N directed entries — an upper bound on any [0,2]-factor coverage
+    /// and a cheap predictor of how well a linear forest can do.
+    pub top_2n_weight_fraction: f64,
+    /// Number of distinct |off-diagonal weight| values, capped at 1000 —
+    /// small counts signal the tied-weight classes that need charging.
+    pub distinct_weights: usize,
+}
+
+/// Compute [`GraphStats`] (O(nnz log nnz) for the top-2N fraction).
+pub fn graph_stats<T: Scalar>(a: &Csr<T>) -> GraphStats {
+    let n = a.nrows();
+    let mut min_degree = usize::MAX;
+    let mut max_degree = 0usize;
+    for i in 0..n {
+        let d = a.row_len(i);
+        min_degree = min_degree.min(d);
+        max_degree = max_degree.max(d);
+    }
+    if n == 0 {
+        min_degree = 0;
+    }
+    let mut weights: Vec<f64> = a
+        .iter()
+        .filter(|&(r, c, _)| r != c)
+        .map(|(_, _, v)| v.to_f64().abs())
+        .collect();
+    weights.sort_unstable_by(|x, y| y.partial_cmp(x).expect("finite weights"));
+    let total: f64 = weights.iter().sum();
+    let top: f64 = weights.iter().take(2 * n).sum();
+    let mut distinct = 0usize;
+    let mut last = f64::NAN;
+    for &w in &weights {
+        if w != last {
+            distinct += 1;
+            last = w;
+            if distinct >= 1000 {
+                break;
+            }
+        }
+    }
+    GraphStats {
+        n,
+        nnz: a.nnz(),
+        min_degree,
+        max_degree,
+        mean_degree: a.mean_degree(),
+        symmetric: a.is_symmetric(),
+        pattern_symmetric: a.is_pattern_symmetric(),
+        min_weight: weights.last().copied().unwrap_or(0.0),
+        max_weight: weights.first().copied().unwrap_or(0.0),
+        top_2n_weight_fraction: if total == 0.0 { 0.0 } else { top / total },
+        distinct_weights: distinct,
+    }
+}
+
+/// Histogram of row lengths as (degree, count), ascending.
+pub fn degree_histogram<T: Scalar>(a: &Csr<T>) -> Vec<(usize, usize)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for i in 0..a.nrows() {
+        *counts.entry(a.row_len(i)).or_insert(0usize) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::Collection;
+    use crate::stencil::{grid2d, FIVE_POINT};
+
+    #[test]
+    fn laplacian_stats() {
+        let a: Csr<f64> = grid2d(5, 5, &FIVE_POINT);
+        let s = graph_stats(&a);
+        assert_eq!(s.n, 25);
+        assert_eq!(s.min_degree, 3); // corner: diag + 2 neighbors
+        assert_eq!(s.max_degree, 5);
+        assert!(s.symmetric && s.pattern_symmetric);
+        assert_eq!(s.min_weight, 1.0);
+        assert_eq!(s.max_weight, 1.0);
+        assert_eq!(s.distinct_weights, 1, "all off-diagonals tie");
+        // 2N = 50 entries of 80 off-diagonals → 50/80
+        assert!((s.top_2n_weight_fraction - 50.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let a: Csr<f64> = grid2d(6, 4, &FIVE_POINT);
+        let h = degree_histogram(&a);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 24);
+        assert_eq!(h.first().unwrap().0, 3);
+    }
+
+    #[test]
+    fn tied_weight_classes_have_few_distinct_weights() {
+        let eco = Collection::Ecology1.generate(500);
+        let s = graph_stats(&eco);
+        assert!(s.distinct_weights <= 2, "{}", s.distinct_weights);
+        let g3 = Collection::G3Circuit.generate(500);
+        let s2 = graph_stats(&g3);
+        assert!(s2.distinct_weights > 100);
+    }
+
+    #[test]
+    fn top2n_fraction_predicts_coverage_class() {
+        // ATMOSMODM's top-2N fraction is near 1 (dominant axis);
+        // CUBE_COUP's is small (uniform high degree)
+        let hi = graph_stats(&Collection::Atmosmodm.generate(800));
+        let lo = graph_stats(&Collection::CubeCoupDt0.generate(800));
+        assert!(hi.top_2n_weight_fraction > 0.9);
+        assert!(lo.top_2n_weight_fraction < 0.45);
+        assert!(!hi.symmetric && hi.pattern_symmetric);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a = Csr::<f64>::zeros(0, 0);
+        let s = graph_stats(&a);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.max_weight, 0.0);
+        assert_eq!(s.top_2n_weight_fraction, 0.0);
+    }
+}

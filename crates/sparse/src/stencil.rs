@@ -1,0 +1,242 @@
+//! Stencil-based matrix assembly on regular grids.
+//!
+//! The paper's ANISO1/2/3 matrices are 9-point stencils on an equidistant
+//! 2D grid (Sec. 5); the ATMOSMOD family is structurally a 7-point 3D
+//! stencil. This module assembles such matrices (plus generalizations used
+//! by the collection stand-ins).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::scalar::Scalar;
+
+/// A 3×3 stencil; `w[dy + 1][dx + 1]` is the coefficient of neighbor
+/// `(x + dx, y + dy)`, `w[1][1]` the diagonal.
+pub type Stencil3x3 = [[f64; 3]; 3];
+
+/// The paper's ANISO1 stencil: strong `-1.0` coupling along the x axis.
+pub const ANISO1: Stencil3x3 = [
+    [-0.2, -0.1, -0.2],
+    [-1.0, 3.0, -1.0],
+    [-0.2, -0.1, -0.2],
+];
+
+/// The paper's ANISO2 stencil: strong `-1.0` coupling along the grid
+/// anti-diagonal (top-right / bottom-left corners).
+pub const ANISO2: Stencil3x3 = [
+    [-0.1, -0.2, -1.0],
+    [-0.2, 3.0, -0.2],
+    [-1.0, -0.2, -0.1],
+];
+
+/// Classic isotropic 5-point Laplacian.
+pub const FIVE_POINT: Stencil3x3 = [
+    [0.0, -1.0, 0.0],
+    [-1.0, 4.0, -1.0],
+    [0.0, -1.0, 0.0],
+];
+
+/// Assemble a 9-point stencil matrix on an `nx × ny` grid with natural
+/// (row-major: `id = y·nx + x`) vertex ordering.
+pub fn grid2d<T: Scalar>(nx: usize, ny: usize, stencil: &Stencil3x3) -> Csr<T> {
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    for y in 0..ny {
+        for x in 0..nx {
+            let v = (y * nx + x) as u32;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let w = stencil[(dy + 1) as usize][(dx + 1) as usize];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let (xx, yy) = (x as i64 + dx, y as i64 + dy);
+                    if xx < 0 || yy < 0 || xx >= nx as i64 || yy >= ny as i64 {
+                        continue;
+                    }
+                    let u = (yy as usize * nx + xx as usize) as u32;
+                    coo.push(v, u, T::from_f64(w));
+                }
+            }
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+/// The anti-diagonal vertex ordering that turns ANISO2 into ANISO3:
+/// vertices are enumerated by anti-diagonals `s = x + y` and, within each
+/// anti-diagonal, by ascending `x`. Under this ordering, the strong `-1.0`
+/// neighbors `(x+1, y−1)` / `(x−1, y+1)` of ANISO2 become the sub- and
+/// superdiagonal. Returns `perm` with `perm[new] = old_id`.
+pub fn antidiagonal_permutation(nx: usize, ny: usize) -> Vec<u32> {
+    let mut perm = Vec::with_capacity(nx * ny);
+    for s in 0..(nx + ny - 1) {
+        let x_lo = s.saturating_sub(ny - 1);
+        let x_hi = s.min(nx - 1);
+        for x in x_lo..=x_hi {
+            let y = s - x;
+            perm.push((y * nx + x) as u32);
+        }
+    }
+    perm
+}
+
+/// The paper's ANISO3: ANISO2 permuted so the `-1.0` coefficients lie on
+/// the sub-/superdiagonal.
+pub fn aniso3<T: Scalar>(nx: usize, ny: usize) -> Csr<T> {
+    grid2d::<T>(nx, ny, &ANISO2).permute_sym(&antidiagonal_permutation(nx, ny))
+}
+
+/// Per-axis coefficients of a 7-point 3D stencil. `diag` is the center;
+/// `x/y/z` apply to the ∓1 neighbors in the respective axis. `lo`/`hi`
+/// distinguish the backward/forward neighbor so mild nonsymmetry (upwind
+/// discretizations like ATMOSMOD or TRANSPORT) can be expressed.
+#[derive(Clone, Copy, Debug)]
+pub struct Stencil7 {
+    /// Center coefficient.
+    pub diag: f64,
+    /// (backward, forward) coefficient along x.
+    pub x: (f64, f64),
+    /// (backward, forward) coefficient along y.
+    pub y: (f64, f64),
+    /// (backward, forward) coefficient along z.
+    pub z: (f64, f64),
+}
+
+impl Stencil7 {
+    /// Symmetric 7-point stencil with one coefficient per axis.
+    pub fn symmetric(diag: f64, wx: f64, wy: f64, wz: f64) -> Self {
+        Self {
+            diag,
+            x: (wx, wx),
+            y: (wy, wy),
+            z: (wz, wz),
+        }
+    }
+}
+
+/// Assemble a 7-point stencil matrix on an `nx × ny × nz` grid
+/// (`id = (z·ny + y)·nx + x`).
+pub fn grid3d<T: Scalar>(nx: usize, ny: usize, nz: usize, s: &Stencil7) -> Csr<T> {
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as u32;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = id(x, y, z);
+                coo.push(v, v, T::from_f64(s.diag));
+                if x > 0 {
+                    coo.push(v, id(x - 1, y, z), T::from_f64(s.x.0));
+                }
+                if x + 1 < nx {
+                    coo.push(v, id(x + 1, y, z), T::from_f64(s.x.1));
+                }
+                if y > 0 {
+                    coo.push(v, id(x, y - 1, z), T::from_f64(s.y.0));
+                }
+                if y + 1 < ny {
+                    coo.push(v, id(x, y + 1, z), T::from_f64(s.y.1));
+                }
+                if z > 0 {
+                    coo.push(v, id(x, y, z - 1), T::from_f64(s.z.0));
+                }
+                if z + 1 < nz {
+                    coo.push(v, id(x, y, z + 1), T::from_f64(s.z.1));
+                }
+            }
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid2d_five_point_interior_degree() {
+        let m: Csr<f64> = grid2d(4, 4, &FIVE_POINT);
+        assert_eq!(m.nrows(), 16);
+        // interior vertex 5 = (1,1): 4 neighbors + diagonal
+        assert_eq!(m.row_len(5), 5);
+        // corner vertex 0: 2 neighbors + diagonal
+        assert_eq!(m.row_len(0), 3);
+        assert!(m.is_symmetric());
+        assert_eq!(m.get(5, 6), -1.0);
+        assert_eq!(m.get(5, 5), 4.0);
+    }
+
+    #[test]
+    fn aniso_stencils_match_paper() {
+        let m: Csr<f64> = grid2d(5, 5, &ANISO1);
+        // interior (2,2) = id 12: strong x neighbors
+        assert_eq!(m.get(12, 11), -1.0);
+        assert_eq!(m.get(12, 13), -1.0);
+        assert_eq!(m.get(12, 7), -0.1); // (2,1): dy=-1, dx=0
+        assert_eq!(m.get(12, 6), -0.2); // (1,1) corner
+        assert!(m.is_symmetric());
+
+        let m2: Csr<f64> = grid2d(5, 5, &ANISO2);
+        // strong anti-diagonal: (3,1) = id 8 from (2,2)=12: dx=+1, dy=-1
+        assert_eq!(m2.get(12, 8), -1.0);
+        assert_eq!(m2.get(12, 16), -1.0); // dx=-1, dy=+1
+        assert_eq!(m2.get(12, 13), -0.2);
+        assert!(m2.is_symmetric());
+    }
+
+    #[test]
+    fn antidiag_perm_is_bijection() {
+        let p = antidiagonal_permutation(4, 3);
+        assert_eq!(p.len(), 12);
+        let mut seen = vec![false; 12];
+        for &v in &p {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn aniso3_strong_entries_on_tridiagonal() {
+        let m: Csr<f64> = aniso3(6, 6);
+        // every -1.0 entry must sit on the sub-/superdiagonal
+        for (r, c, v) in m.iter() {
+            if v == -1.0 {
+                assert_eq!((r as i64 - c as i64).abs(), 1, "strong entry off tridiagonal");
+            }
+        }
+        assert!(m.is_symmetric());
+        // total weight preserved by permutation
+        let m2: Csr<f64> = grid2d(6, 6, &ANISO2);
+        let s1: f64 = m.vals().iter().sum();
+        let s2: f64 = m2.vals().iter().sum();
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid3d_seven_point() {
+        let s = Stencil7::symmetric(6.0, -1.0, -2.0, -3.0);
+        let m: Csr<f64> = grid3d(3, 3, 3, &s);
+        assert_eq!(m.nrows(), 27);
+        // center vertex 13 = (1,1,1)
+        assert_eq!(m.row_len(13), 7);
+        assert_eq!(m.get(13, 12), -1.0);
+        assert_eq!(m.get(13, 10), -2.0);
+        assert_eq!(m.get(13, 4), -3.0);
+        assert!(m.is_symmetric());
+    }
+
+    #[test]
+    fn grid3d_nonsymmetric_upwind() {
+        let s = Stencil7 {
+            diag: 6.0,
+            x: (-1.0, -0.5),
+            y: (-1.0, -1.0),
+            z: (-1.0, -1.0),
+        };
+        let m: Csr<f64> = grid3d(4, 2, 2, &s);
+        assert!(!m.is_symmetric());
+        assert!(m.is_pattern_symmetric());
+        assert_eq!(m.get(1, 0), -1.0);
+        assert_eq!(m.get(1, 2), -0.5);
+    }
+}

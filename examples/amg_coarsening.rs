@@ -1,0 +1,107 @@
+//! Directional coarsening for algebraic multigrid — one of the paper's
+//! motivating applications (Sec. 1 cites linear forests with many strong
+//! edges for directional AMG coarsening [24] and adaptive smoothers [30]).
+//!
+//! We build an unsmoothed-aggregation multigrid hierarchy by repeatedly
+//! pairing vertices with a parallel [0,1]-factor (strongest-edge
+//! matching) and forming the Galerkin coarse operator over the
+//! aggregates. On an anisotropic problem the matching follows the strong
+//! direction, which is exactly what a semicoarsening heuristic wants.
+//!
+//! ```text
+//! cargo run --release --example amg_coarsening [grid_side]
+//! ```
+
+use linear_forest::prelude::*;
+use linear_forest::sparse::Coo;
+
+/// Galerkin coarse operator for piecewise-constant aggregation:
+/// `A_c[ci][cj] = Σ_{i ∈ ci, j ∈ cj} a_ij`.
+fn galerkin(a: &Csr<f64>, fine_to_coarse: &[u32], nc: usize) -> Csr<f64> {
+    let mut coo = Coo::new(nc, nc);
+    for (i, j, v) in a.iter() {
+        coo.push(
+            fine_to_coarse[i as usize],
+            fine_to_coarse[j as usize],
+            v,
+        );
+    }
+    Csr::from_coo(coo)
+}
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let dev = Device::default();
+    let mut a: Csr<f64> = grid2d(side, side, &ANISO1);
+    println!(
+        "ANISO1 {side}x{side}: strong x-coupling (-1.0) vs weak y-coupling (-0.1)\n"
+    );
+    println!(
+        "{:>5} {:>10} {:>12} {:>10} {:>12} {:>14}",
+        "level", "N", "nnz", "pairs", "matched%", "x-aligned%"
+    );
+
+    let mut level = 0usize;
+    let mut total_nnz = 0usize;
+    let fine_nnz = a.nnz();
+    while a.nrows() > 32 && level < 12 {
+        total_nnz += a.nnz();
+        let ap = prepare_undirected(&a);
+        let matching = parallel_factor(
+            &dev,
+            &ap,
+            &FactorConfig::paper_default(1).with_max_iters(20),
+        )
+        .factor;
+        let (coarsening, _) = coarsen_by_matching(&dev, &ap, &matching);
+
+        // on level 0 we can check the matching direction against geometry
+        let x_aligned = if level == 0 {
+            let pairs: Vec<(u32, u32)> = coarsening
+                .groups
+                .iter()
+                .filter_map(|&(v, w)| w.map(|w| (v, w)))
+                .collect();
+            let aligned = pairs
+                .iter()
+                .filter(|&&(v, w)| (w as usize) == (v as usize) + 1) // x-neighbor
+                .count();
+            format!("{:.1}%", 100.0 * aligned as f64 / pairs.len().max(1) as f64)
+        } else {
+            "-".to_string()
+        };
+
+        let matched = 2 * coarsening.num_pairs();
+        println!(
+            "{:>5} {:>10} {:>12} {:>10} {:>9.1}% {:>14}",
+            level,
+            a.nrows(),
+            a.nnz(),
+            coarsening.num_pairs(),
+            100.0 * matched as f64 / a.nrows() as f64,
+            x_aligned
+        );
+
+        a = galerkin(&a, &coarsening.fine_to_coarse, coarsening.num_coarse());
+        level += 1;
+    }
+    total_nnz += a.nnz();
+    println!(
+        "{:>5} {:>10} {:>12}",
+        level,
+        a.nrows(),
+        a.nnz()
+    );
+    println!(
+        "\noperator complexity Σ nnz(level) / nnz(fine) = {:.2} \
+         (pairwise aggregation targets ≤ 2)",
+        total_nnz as f64 / fine_nnz as f64
+    );
+    println!(
+        "level-0 pairs overwhelmingly follow the strong x direction — the \
+         matching implements semicoarsening without being told the grid."
+    );
+}

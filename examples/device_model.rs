@@ -1,0 +1,86 @@
+//! The simulated-device cost model in isolation: how kernel traffic,
+//! bandwidth, and launch overhead compose into the model times used to
+//! reproduce the paper's GPU figures — and how to parameterize other
+//! devices.
+//!
+//! ```text
+//! cargo run --release --example device_model
+//! ```
+
+use linear_forest::prelude::*;
+
+fn main() {
+    // Three device parameterizations: the paper's RTX 2080 Ti, a V100
+    // (what the paper suggests for double precision), and a slow PCIe-
+    // bound configuration for contrast.
+    let devices = [
+        ("rtx2080ti", 616.0, 3.0),
+        ("v100", 900.0, 3.0),
+        ("pcie-bound", 16.0, 8.0),
+    ];
+    let a = Collection::Atmosmodm.generate(30_000);
+    println!(
+        "ATMOSMODM stand-in, N = {}, nnz = {} — full preconditioner setup\n",
+        a.nrows(),
+        a.nnz()
+    );
+    println!(
+        "{:>12} {:>10} {:>12} {:>10} {:>12} {:>14}",
+        "device", "GB/s", "launches", "MB moved", "model ms", "ms / launch"
+    );
+    for (name, gbps, overhead_us) in devices {
+        let dev = Device::new(DeviceConfig {
+            name: name.into(),
+            bandwidth_gbps: gbps,
+            launch_overhead_us: overhead_us,
+            ..DeviceConfig::default()
+        });
+        let cfg = FactorConfig::paper_default(2);
+        let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg);
+        let launches: u64 = timings.phases().iter().map(|(_, s)| s.launches).sum();
+        let bytes: u64 = timings
+            .phases()
+            .iter()
+            .map(|(_, s)| s.traffic.total())
+            .sum();
+        let model_ms = timings.total_model_s() * 1e3;
+        println!(
+            "{:>12} {:>10.0} {:>12} {:>10.1} {:>12.3} {:>14.4}",
+            name,
+            gbps,
+            launches,
+            bytes as f64 / 1e6,
+            model_ms,
+            model_ms / launches as f64
+        );
+    }
+
+    println!(
+        "\nThe same computation (identical launches and traffic) maps to \
+         different model times purely through the bandwidth/overhead \
+         parameters — this is how EXPERIMENTS.md extrapolates the measured \
+         shapes to the paper's hardware."
+    );
+
+    // Per-kernel breakdown on the default device.
+    let dev = Device::default();
+    let cfg = FactorConfig::paper_default(2);
+    let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    println!("\ntop kernels by model time (default device):");
+    let mut kernels: Vec<(String, lf_kernel::KernelStats)> = timings
+        .phases()
+        .iter()
+        .flat_map(|(_, s)| s.kernels.iter().map(|(k, v)| (k.clone(), *v)))
+        .collect();
+    kernels.sort_by(|a, b| b.1.model_time_s.partial_cmp(&a.1.model_time_s).unwrap());
+    for (name, k) in kernels.iter().take(8) {
+        println!(
+            "  {:>22}: {:>3} launches, {:>7.1} MB, {:>8.4} ms model, {:>6.0} GB/s",
+            name,
+            k.launches,
+            k.traffic.total() as f64 / 1e6,
+            k.model_time_s * 1e3,
+            k.model_throughput_gbps()
+        );
+    }
+}

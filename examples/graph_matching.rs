@@ -1,0 +1,57 @@
+//! Classic weighted graph matching as the n = 1 special case of the
+//! [0,n]-factor machinery (paper Sec. 1–2): compare the parallel matcher
+//! against the greedy sequential baseline on random graphs.
+//!
+//! ```text
+//! cargo run --release --example graph_matching [num_vertices]
+//! ```
+
+use linear_forest::prelude::*;
+use linear_forest::sparse::random::random_symmetric;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let dev = Device::default();
+
+    println!("random graphs with {n} vertices\n");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>8} {:>9}",
+        "degree", "par c_π", "seq c_π", "ratio", "iters", "matched%"
+    );
+    for avg_degree in [4.0, 8.0, 16.0] {
+        let a: Csr<f64> = random_symmetric(n, avg_degree, 0.1, 1.0, 42);
+        let ap = prepare_undirected(&a);
+
+        // parallel matching: [0,1]-factor, run to maximality
+        let cfg = FactorConfig::paper_default(1).with_max_iters(100);
+        let out = parallel_factor(&dev, &ap, &cfg);
+        out.factor
+            .validate(&ap)
+            .expect("matching invariants violated");
+        let c_par = weight_coverage(&out.factor, &a);
+
+        // sequential greedy baseline (Alg. 1; ≥ 1/2 of the optimum)
+        let seq = greedy_factor(&ap, 1);
+        let c_seq = weight_coverage(&seq, &a);
+
+        let matched = (0..n).filter(|&v| out.factor.degree(v) == 1).count();
+        println!(
+            "{:>8.1} {:>12.4} {:>12.4} {:>12.3} {:>8} {:>8.1}%",
+            avg_degree,
+            c_par,
+            c_seq,
+            c_par / c_seq,
+            out.iterations,
+            100.0 * matched as f64 / n as f64
+        );
+    }
+
+    println!(
+        "\nAs in the paper's Table 5, the parallel matcher reaches the \
+         sequential greedy coverage to within a few percent, in a handful \
+         of proposition rounds."
+    );
+}

@@ -1,0 +1,94 @@
+//! ASCII "spy plot" of a matrix before and after the linear-forest
+//! permutation — makes the tridiagonalization visible: the strong
+//! coefficients migrate onto the sub-/superdiagonal band.
+//!
+//! ```text
+//! cargo run --release --example spy [grid_side]
+//! ```
+
+use linear_forest::prelude::*;
+
+/// Render an ASCII density plot of |A| on a `cells × cells` raster:
+/// ' ' empty, '.' weak weight, 'o' medium, '#' strong.
+fn spy(a: &Csr<f64>, cells: usize) -> Vec<String> {
+    let n = a.nrows();
+    let mut grid = vec![0.0f64; cells * cells];
+    let scale = cells as f64 / n as f64;
+    for (r, c, v) in a.iter() {
+        if r == c {
+            continue;
+        }
+        let (i, j) = (
+            ((r as f64 * scale) as usize).min(cells - 1),
+            ((c as f64 * scale) as usize).min(cells - 1),
+        );
+        grid[i * cells + j] += v.abs();
+    }
+    let max = grid.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    grid.chunks(cells)
+        .map(|row| {
+            row.iter()
+                .map(|&w| {
+                    let f = w / max;
+                    if f == 0.0 {
+                        ' '
+                    } else if f < 0.15 {
+                        '.'
+                    } else if f < 0.5 {
+                        'o'
+                    } else {
+                        '#'
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn band_weight_fraction(a: &Csr<f64>, band: usize) -> f64 {
+    let total: f64 = a
+        .iter()
+        .filter(|&(r, c, _)| r != c)
+        .map(|(_, _, v)| v.abs())
+        .sum();
+    let near: f64 = a
+        .iter()
+        .filter(|&(r, c, _)| r != c && (r as i64 - c as i64).unsigned_abs() as usize <= band)
+        .map(|(_, _, v)| v.abs())
+        .sum();
+    near / total.max(f64::MIN_POSITIVE)
+}
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24);
+    let dev = Device::default();
+    // ANISO2: strong couplings on the grid anti-diagonal — far off-band in
+    // the natural ordering.
+    let a: Csr<f64> = grid2d(side, side, &ANISO2);
+    let (_, forest, _) = tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+    let permuted = a.permute_sym(&forest.perm);
+
+    let cells = 36;
+    let left = spy(&a, cells);
+    let right = spy(&permuted, cells);
+    println!(
+        "ANISO2 {side}x{side}: |A| natural order (left) vs forest-permuted QᵀAQ (right)\n"
+    );
+    for (l, r) in left.iter().zip(&right) {
+        println!("  {l}   |   {r}");
+    }
+    println!(
+        "\nweight within the tridiagonal band: natural {:.1}% → permuted {:.1}%",
+        100.0 * band_weight_fraction(&a, 1),
+        100.0 * band_weight_fraction(&permuted, 1),
+    );
+    println!(
+        "forest coverage c_pi = {:.3} (c_id was {:.3}) — the '#' mass \
+         collapses onto the diagonal band",
+        weight_coverage(&forest.factor, &a),
+        identity_coverage(&a),
+    );
+}

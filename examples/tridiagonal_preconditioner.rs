@@ -1,0 +1,81 @@
+//! The paper's application (Sec. 6): build the four preconditioners on an
+//! anisotropic model problem and compare BiCGStab convergence — a small-
+//! scale rendition of Fig. 4.
+//!
+//! ```text
+//! cargo run --release --example tridiagonal_preconditioner [grid_side]
+//! ```
+
+use linear_forest::prelude::*;
+
+fn main() {
+    let side: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let dev = Device::default();
+
+    // ANISO2: the strong couplings run along the grid anti-diagonal, so
+    // the natural-order tridiagonal part is nearly useless — the paper's
+    // motivating case for algebraic construction.
+    let a: Csr<f64> = grid2d(side, side, &ANISO2);
+    println!(
+        "ANISO2 {side}x{side}: N = {}, nnz = {}",
+        a.nrows(),
+        a.nnz()
+    );
+
+    let (b, xt) = manufactured_problem(&dev, &a);
+    let opts = SolveOpts {
+        tol: 1e-10,
+        max_iters: 5000,
+    };
+    let cfg = FactorConfig::paper_default(2);
+
+    let jacobi = JacobiPrecond::new(&a);
+    let triscal = TriScalPrecond::new(&a);
+    let algscal = AlgTriScalPrecond::new(&dev, &a, &cfg);
+    let algblock = AlgTriBlockPrecond::new(&dev, &a, &cfg);
+
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>12} {:>10}",
+        "preconditioner", "coverage", "iterations", "rel.res.", "FRE"
+    );
+    let mut run = |name: &str, cov: Option<f64>, p: &dyn Preconditioner<f64>| {
+        let (_, st) = bicgstab(&dev, &a, &b, p, &opts, Some(&xt));
+        println!(
+            "{:<22} {:>10} {:>12} {:>12.2e} {:>10.2e}",
+            name,
+            cov.map(|c| format!("{c:.3}")).unwrap_or_else(|| "-".into()),
+            if st.converged {
+                st.iterations.to_string()
+            } else {
+                format!(">{}", st.iterations)
+            },
+            st.rel_residual.last().copied().unwrap_or(f64::NAN),
+            st.fre.last().copied().unwrap_or(f64::NAN),
+        );
+    };
+    run("Jacobi", None, &jacobi);
+    run(
+        "TriScalPrecond",
+        Preconditioner::<f64>::coverage(&triscal),
+        &triscal,
+    );
+    run(
+        "AlgTriScalPrecond",
+        Preconditioner::<f64>::coverage(&algscal),
+        &algscal,
+    );
+    run(
+        "AlgTriBlockPrecond",
+        Preconditioner::<f64>::coverage(&algblock),
+        &algblock,
+    );
+
+    println!(
+        "\nThe algebraic preconditioners capture the strong anti-diagonal \
+         chains that the natural ordering misses — same matrix, same \
+         tridiagonal solve cost, far better convergence."
+    );
+}

@@ -1,0 +1,207 @@
+//! `lf` — command-line front end for the linear-forest library.
+//!
+//! ```text
+//! lf stats      <input.mtx | gen:NAME[:N]>
+//! lf factor     <input> [-n N] [-M ITERS] [--config 1|2|3]
+//! lf forest     <input> [--perm out.txt] [--paths]
+//! lf tridiag    <input> [--out prefix]       # writes prefix.{dl,d,du}.txt
+//! lf solve      <input> [--precond jacobi|triscal|algtriscal|algtriblock|amg|none]
+//!               [--solver bicgstab|gmres|cg] [--tol T] [--max-iters K]
+//! ```
+//!
+//! Inputs are MatrixMarket files, or `gen:NAME[:N]` for a collection
+//! stand-in (e.g. `gen:atmosmodm:50000`).
+
+use linear_forest::prelude::*;
+use linear_forest::sparse::mm;
+use std::io::Write;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lf <stats|factor|forest|tridiag|solve> <input.mtx|gen:NAME[:N]> [options]\n\
+         run `lf help` for details"
+    );
+    exit(2);
+}
+
+fn load(input: &str) -> Csr<f64> {
+    if let Some(spec) = input.strip_prefix("gen:") {
+        let mut it = spec.split(':');
+        let name = it.next().unwrap_or_default();
+        let n: usize = it.next().and_then(|s| s.parse().ok()).unwrap_or(20_000);
+        let m = Collection::from_name(name).unwrap_or_else(|| {
+            eprintln!("unknown collection matrix '{name}'; available:");
+            for c in Collection::ALL {
+                eprintln!("  {}", c.name());
+            }
+            exit(2);
+        });
+        m.generate(n)
+    } else {
+        mm::read_csr_path(input).unwrap_or_else(|e| {
+            eprintln!("failed to read {input}: {e}");
+            exit(1);
+        })
+    }
+}
+
+fn flag_val<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn parse_cfg(args: &[String], n: usize) -> FactorConfig {
+    let mut cfg = match flag_val(args, "--config") {
+        Some("1") => FactorConfig::config1(n),
+        Some("3") => FactorConfig::config3(n),
+        _ => FactorConfig::config2(n),
+    };
+    if let Some(m) = flag_val(args, "-M").and_then(|s| s.parse().ok()) {
+        cfg = cfg.with_max_iters(m);
+    }
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        usage();
+    }
+    let input = args.get(1).unwrap_or_else(|| usage());
+    let a = load(input);
+    let dev = Device::default();
+    let rest = &args[2..];
+
+    match cmd {
+        "stats" => {
+            let s = linear_forest::sparse::graph_stats(&a);
+            println!("matrix: {input}");
+            println!("  N               = {}", s.n);
+            println!("  nnz             = {}", s.nnz);
+            println!("  degree          = {} .. {} (mean {:.2})", s.min_degree, s.max_degree, s.mean_degree);
+            println!("  symmetric       = {} (pattern: {})", s.symmetric, s.pattern_symmetric);
+            println!("  bandwidth       = {}", a.bandwidth());
+            println!("  |w| range       = {:.3e} .. {:.3e}", s.min_weight, s.max_weight);
+            println!("  distinct |w|    = {}{}", s.distinct_weights, if s.distinct_weights >= 1000 { "+" } else { "" });
+            println!("  top-2N weight   = {:.3} (upper bound on c_pi, n=2)", s.top_2n_weight_fraction);
+            println!("  c_id            = {:.4}", identity_coverage(&a));
+            if s.distinct_weights < 10 {
+                println!("  note: heavily tied weights — expect charging (config 2) to matter");
+            }
+        }
+        "factor" => {
+            let n: usize = flag_val(rest, "-n").and_then(|s| s.parse().ok()).unwrap_or(2);
+            let cfg = parse_cfg(rest, n);
+            let ap = prepare_undirected(&a);
+            let out = parallel_factor(&dev, &ap, &cfg);
+            out.factor.validate(&ap).expect("factor invariants");
+            println!(
+                "[0,{n}]-factor: {} edges, coverage c_pi = {:.4}, \
+                 {} iterations, maximal = {}",
+                out.factor.edges().len(),
+                weight_coverage(&out.factor, &a),
+                out.iterations,
+                out.maximal
+            );
+        }
+        "forest" => {
+            let cfg = parse_cfg(rest, 2);
+            let ap = prepare_undirected(&a);
+            let (forest, timings) = extract_linear_forest(&dev, &ap, &cfg);
+            let q = forest.quality_report(&a, None);
+            println!(
+                "linear forest: {} paths (mean len {:.1}, max {}), {} cycles \
+                 broken, coverage {:.4} (c_id {:.4}), setup {:.3} ms model / \
+                 {:.3} ms wall",
+                q.num_paths,
+                q.mean_path_len,
+                q.max_path_len,
+                q.cycles_broken,
+                q.coverage,
+                q.identity_coverage,
+                timings.total_model_s() * 1e3,
+                timings.total_wall_s() * 1e3,
+            );
+            if has_flag(rest, "--paths") {
+                for p in forest.paths.to_paths().iter().take(50) {
+                    let ids: Vec<String> = p.iter().map(|v| v.to_string()).collect();
+                    println!("  {}", ids.join("-"));
+                }
+            }
+            if let Some(path) = flag_val(rest, "--perm") {
+                let mut f = std::io::BufWriter::new(
+                    std::fs::File::create(path).expect("create perm file"),
+                );
+                for &v in &forest.perm {
+                    writeln!(f, "{v}").unwrap();
+                }
+                println!("permutation written to {path}");
+            }
+        }
+        "tridiag" => {
+            let cfg = parse_cfg(rest, 2);
+            let (tri, forest, _) = tridiagonal_from_matrix(&dev, &a, &cfg);
+            let prefix = flag_val(rest, "--out").unwrap_or("tridiag");
+            for (name, data) in [("dl", &tri.dl), ("d", &tri.d), ("du", &tri.du)] {
+                let path = format!("{prefix}.{name}.txt");
+                let mut f =
+                    std::io::BufWriter::new(std::fs::File::create(&path).expect("create"));
+                for v in data {
+                    writeln!(f, "{v:e}").unwrap();
+                }
+            }
+            println!(
+                "tridiagonal system ({} rows, coverage {:.4}) written to \
+                 {prefix}.{{dl,d,du}}.txt",
+                tri.len(),
+                weight_coverage(&forest.factor, &a)
+            );
+        }
+        "solve" => {
+            let tol: f64 = flag_val(rest, "--tol").and_then(|s| s.parse().ok()).unwrap_or(1e-10);
+            let max_iters: usize = flag_val(rest, "--max-iters")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(5000);
+            let opts = SolveOpts { tol, max_iters };
+            let cfg = FactorConfig::paper_default(2);
+            let which = flag_val(rest, "--precond").unwrap_or("algtriscal");
+            let precond: Box<dyn Preconditioner<f64>> = match which {
+                "none" => Box::new(IdentityPrecond),
+                "jacobi" => Box::new(JacobiPrecond::new(&a)),
+                "triscal" => Box::new(TriScalPrecond::new(&a)),
+                "algtriscal" => Box::new(AlgTriScalPrecond::new(&dev, &a, &cfg)),
+                "algtriblock" => Box::new(AlgTriBlockPrecond::new(&dev, &a, &cfg)),
+                "amg" => Box::new(AmgPrecond::new(&dev, &a, AmgConfig::default())),
+                other => {
+                    eprintln!("unknown preconditioner '{other}'");
+                    exit(2);
+                }
+            };
+            let (b, xt) = manufactured_problem(&dev, &a);
+            let solver = flag_val(rest, "--solver").unwrap_or("bicgstab");
+            let (_, st) = match solver {
+                "gmres" => gmres(&dev, &a, &b, precond.as_ref(), 50, &opts, Some(&xt)),
+                "cg" => pcg(&dev, &a, &b, precond.as_ref(), &opts, Some(&xt)),
+                _ => bicgstab(&dev, &a, &b, precond.as_ref(), &opts, Some(&xt)),
+            };
+            println!(
+                "{solver} + {}: {} iterations, converged = {}, \
+                 rel.res = {:.2e}, FRE = {:.2e}",
+                precond.name(),
+                st.iterations,
+                st.converged,
+                st.rel_residual.last().copied().unwrap_or(f64::NAN),
+                st.fre.last().copied().unwrap_or(f64::NAN),
+            );
+        }
+        _ => usage(),
+    }
+}

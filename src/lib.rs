@@ -1,0 +1,67 @@
+//! # linear-forest
+//!
+//! A Rust reproduction of *"Highly Parallel Linear Forest Extraction from
+//! a Weighted Graph on GPUs"* (Christoph Klein & Robert Strzodka,
+//! ICPP '22, DOI 10.1145/3545008.3545035), built on a simulated GPU
+//! device (kernel launches + memory-traffic model running data-parallel
+//! on CPU threads).
+//!
+//! The library computes **[0,n]-factors** — spanning subgraphs of maximum
+//! degree n — of large weighted graphs in parallel, turns [0,2]-factors
+//! into **maximum linear forests** (unions of disjoint paths) via a novel
+//! bidirectional scan that needs no random-access iterator, and applies
+//! them to build **algebraic tridiagonal preconditioners** whose
+//! coefficients cover far more matrix weight than the natural-order
+//! tridiagonal part.
+//!
+//! ## Crates
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`kernel`] | simulated device, launches, traffic model, sort/scan/reduce |
+//! | [`sparse`] | COO/CSR, MatrixMarket I/O, generators, generalized SpMV |
+//! | [`core`] | [0,n]-factors, bidirectional scan, linear-forest pipeline |
+//! | [`solver`] | BiCGStab/CG, tridiagonal & 2×2 block solves, preconditioners |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use linear_forest::prelude::*;
+//!
+//! // A weighted graph = a sparse symmetric matrix (here: the anisotropic
+//! // ANISO1 model problem of the paper on a 32×32 grid).
+//! let dev = Device::default();
+//! let a: Csr<f64> = grid2d(32, 32, &ANISO1);
+//!
+//! // Extract a maximum linear forest through a parallel [0,2]-factor.
+//! let (forest, timings) = extract_linear_forest(
+//!     &dev,
+//!     &prepare_undirected(&a),
+//!     &FactorConfig::paper_default(2),
+//! );
+//! println!(
+//!     "{} paths, coverage {:.2}, {} kernel launches",
+//!     forest.num_paths(),
+//!     weight_coverage(&forest.factor, &a),
+//!     timings.factor.launches,
+//! );
+//!
+//! // Use it to precondition BiCGStab.
+//! let (b, xt) = manufactured_problem(&dev, &a);
+//! let precond = AlgTriScalPrecond::new(&dev, &a, &FactorConfig::paper_default(2));
+//! let (_, stats) = bicgstab(&dev, &a, &b, &precond, &SolveOpts::default(), Some(&xt));
+//! assert!(stats.converged);
+//! ```
+
+pub use lf_core as core;
+pub use lf_kernel as kernel;
+pub use lf_solver as solver;
+pub use lf_sparse as sparse;
+
+/// One-stop prelude re-exporting the common API of all four crates.
+pub mod prelude {
+    pub use lf_core::prelude::*;
+    pub use lf_kernel::prelude::*;
+    pub use lf_solver::prelude::*;
+    pub use lf_sparse::prelude::*;
+}

@@ -1,0 +1,122 @@
+//! Kernel-launch and traffic accounting across the pipeline: the paper's
+//! structural claims — log₂(N) scan launches, Table 2 buffer traffic —
+//! are checked on the simulated device.
+
+use linear_forest::prelude::*;
+
+#[test]
+fn scan_launch_count_is_log2_n() {
+    let dev = Device::default();
+    for n in [100usize, 1000, 5000] {
+        let a = Collection::Thermal2.generate(n);
+        let ap = prepare_undirected(&a);
+        dev.reset_stats();
+        let (_, timings) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        let steps = a.nrows().max(2).next_power_of_two().trailing_zeros() as u64;
+        let cyc = timings.identify_cycles.kernels["identify_cycles"].launches;
+        let pth = timings.identify_paths.kernels["identify_paths"].launches;
+        assert_eq!(cyc, steps, "identify_cycles launches for N={}", a.nrows());
+        assert_eq!(pth, steps, "identify_paths launches for N={}", a.nrows());
+    }
+}
+
+#[test]
+fn proposition_traffic_matches_table2() {
+    // Table 2, k = 0: reads = CSR values (nnz) + col indices (nnz) +
+    // row ptrs (N+1) + charges (N) + functor extras; writes = proposed
+    // edges + weights (nN each, packed in the TopK output).
+    let dev = Device::default();
+    let a = Collection::Ecology1.generate(2500);
+    let ap = prepare_undirected(&a);
+    dev.reset_stats();
+    let _ = parallel_factor(&dev, &ap, &FactorConfig::config1(2).with_max_iters(1));
+    let s = dev.stats();
+    let prop = &s.kernels["edge_proposition"];
+    assert_eq!(prop.launches, 1);
+    let n = ap.nrows();
+    let nnz = ap.nnz();
+    // writes: N TopK<f64, 2> outputs = N · 2 · (8 + 4 + pad) bytes —
+    // at least the paper's 2·N·(value + index)
+    assert!(
+        prop.traffic.written >= (n * 2 * 12) as u64,
+        "proposition writes {} < paper's nN(value+index)",
+        prop.traffic.written
+    );
+    // reads cover at least values + col indices + row ptrs
+    assert!(
+        prop.traffic.read >= (nnz * 12 + (n + 1) * 8) as u64,
+        "proposition reads {} too small",
+        prop.traffic.read
+    );
+}
+
+#[test]
+fn pipeline_phase_launch_structure() {
+    let dev = Device::default();
+    let a = Collection::G3Circuit.generate(2000);
+    let (_, _, timings) = {
+        let cfg = FactorConfig::paper_default(2);
+        tridiagonal_from_matrix(&dev, &a, &cfg)
+    };
+    // factor phase: 5 iterations → 5 propositions + copies/confirms
+    let prop = timings.factor.kernels["edge_proposition"].launches;
+    assert_eq!(prop, 5, "M = 5 proposition launches");
+    assert!(timings.factor.kernels.contains_key("confirm"));
+    // extraction: invert permutation + coefficient scatter
+    assert!(timings.extraction.kernels.contains_key("extract_coefficients"));
+    // permutation phase uses the radix sort
+    let radix: u64 = timings
+        .permutation
+        .kernels
+        .iter()
+        .filter(|(k, _)| k.starts_with("radix_sort"))
+        .map(|(_, v)| v.launches)
+        .sum();
+    assert!(radix >= 1, "no radix sort launches recorded");
+}
+
+#[test]
+fn model_time_scales_with_bandwidth() {
+    // same work on a device with half the bandwidth takes ~2x model time
+    let fast = Device::new(DeviceConfig {
+        name: "fast".into(),
+        bandwidth_gbps: 600.0,
+        launch_overhead_us: 0.0,
+        ..DeviceConfig::default()
+    });
+    let slow = Device::new(DeviceConfig {
+        name: "slow".into(),
+        bandwidth_gbps: 300.0,
+        launch_overhead_us: 0.0,
+        ..DeviceConfig::default()
+    });
+    let a = Collection::Thermal2.generate(2000);
+    let ap = prepare_undirected(&a);
+    let (_, t_fast) = extract_linear_forest(&fast, &ap, &FactorConfig::paper_default(2));
+    let (_, t_slow) = extract_linear_forest(&slow, &ap, &FactorConfig::paper_default(2));
+    let ratio = t_slow.total_model_s() / t_fast.total_model_s();
+    assert!(
+        (ratio - 2.0).abs() < 1e-6,
+        "bandwidth halved → model time x{ratio:.3}"
+    );
+}
+
+#[test]
+fn fig6_extraction_is_small_fraction() {
+    // Fig. 6: coefficient extraction ≤ ~10 % of total setup model time.
+    let dev = Device::default();
+    let a = Collection::Atmosmodl.generate(8000);
+    let cfg = FactorConfig::paper_default(2);
+    let (_, _, t) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    let frac = t.extraction.model_time_s / t.total_model_s();
+    assert!(
+        frac < 0.25,
+        "extraction fraction {frac:.2} (paper: ≤ 0.10)"
+    );
+    // factor + scans dominate
+    let heavy = (t.factor.model_time_s
+        + t.identify_cycles.model_time_s
+        + t.identify_paths.model_time_s)
+        / t.total_model_s();
+    assert!(heavy > 0.6, "factor+scans fraction {heavy:.2}");
+}

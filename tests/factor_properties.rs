@@ -1,0 +1,112 @@
+//! Property-based tests over the whole factor → forest → permutation
+//! pipeline on random weighted graphs.
+
+use linear_forest::core::permute::is_tridiagonalizing;
+use linear_forest::prelude::*;
+use linear_forest::sparse::Coo;
+use proptest::prelude::*;
+
+/// Random undirected weighted graph strategy: (n, edge list).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 0.01f64..10.0),
+            0..(n * 3),
+        );
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for &(u, v, w) in edges {
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            coo.push_sym(u, v, w);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_factor_invariants((n, edges) in graph_strategy(), nb in 1usize..=4) {
+        let a = build(n, &edges);
+        let dev = Device::default();
+        let out = parallel_factor(&dev, &a, &FactorConfig::paper_default(nb).with_max_iters(40));
+        prop_assert!(out.factor.validate(&a).is_ok());
+        for v in 0..n {
+            prop_assert!(out.factor.degree(v) <= nb);
+        }
+        // coverage bounded by 1
+        let c = weight_coverage(&out.factor, &a);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&c));
+    }
+
+    #[test]
+    fn greedy_factor_is_maximal((n, edges) in graph_strategy(), nb in 1usize..=3) {
+        let a = build(n, &edges);
+        let f = greedy_factor(&a, nb);
+        prop_assert!(f.validate(&a).is_ok());
+        prop_assert!(f.is_maximal(&a));
+    }
+
+    #[test]
+    fn forest_pipeline_invariants((n, edges) in graph_strategy()) {
+        let a = build(n, &edges);
+        let dev = Device::default();
+        let (forest, _) = extract_linear_forest(&dev, &a, &FactorConfig::paper_default(2).with_max_iters(20));
+        // acyclic with degree ≤ 2
+        prop_assert!(identify_paths_sequential(&forest.factor).is_ok());
+        // permutation is a bijection that tridiagonalizes the forest
+        let mut seen = vec![false; n];
+        for &v in &forest.perm {
+            prop_assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        prop_assert!(is_tridiagonalizing(&forest.factor, &forest.perm));
+        // path positions: within each path, positions are 1..=len
+        for path in forest.paths.to_paths() {
+            for (i, &v) in path.iter().enumerate() {
+                prop_assert_eq!(forest.paths.position[v as usize] as usize, i + 1);
+            }
+            // consecutive path vertices are factor partners
+            for w in path.windows(2) {
+                prop_assert!(forest.factor.contains(w[0] as usize, w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_breaking_removes_weakest((n, edges) in graph_strategy()) {
+        let a = build(n, &edges);
+        let dev = Device::default();
+        let out = parallel_factor(&dev, &a, &FactorConfig::paper_default(2).with_max_iters(20));
+        let mut fp = out.factor.clone();
+        let mut fs = out.factor.clone();
+        let rp = break_cycles(&dev, &mut fp);
+        let rs = break_cycles_sequential(&mut fs);
+        let mut ep = rp.removed.clone();
+        let mut es = rs.removed.clone();
+        ep.sort();
+        es.sort();
+        prop_assert_eq!(ep, es, "parallel and sequential disagree");
+        prop_assert_eq!(fp, fs);
+    }
+
+    #[test]
+    fn coverage_parallel_close_to_greedy((n, edges) in graph_strategy()) {
+        // the paper's Table 5 finding: within ~0.05 of sequential greedy
+        let a = build(n, &edges);
+        let dev = Device::default();
+        let out = parallel_factor(&dev, &a, &FactorConfig::paper_default(2).with_max_iters(60));
+        let seq = greedy_factor(&a, 2);
+        let cp = weight_coverage(&out.factor, &a);
+        let cs = weight_coverage(&seq, &a);
+        // random small graphs can differ more than the paper's large ones;
+        // allow slack but catch gross regressions
+        prop_assert!(cp >= cs - 0.25, "parallel {cp:.3} vs greedy {cs:.3}");
+    }
+}

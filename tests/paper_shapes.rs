@@ -1,0 +1,167 @@
+//! Qualitative reproduction checks: the *shapes* of the paper's Tables 4
+//! and 5 and Fig. 4 on the collection stand-ins — who needs charging, who
+//! covers how much, which preconditioner wins.
+
+use linear_forest::prelude::*;
+
+const SCALE: usize = 2500;
+
+fn coverage_with(m: Collection, cfg: &FactorConfig) -> (f64, usize, bool) {
+    let dev = Device::default();
+    let a = m.generate(SCALE);
+    let ap = prepare_undirected(&a);
+    let out = parallel_factor(&dev, &ap, cfg);
+    (weight_coverage(&out.factor, &a), out.iterations, out.maximal)
+}
+
+#[test]
+fn table4_ecology_stalls_without_charging() {
+    // Table 4, ECOLOGY rows: c_π(5) = 0.00 for config (1); 0.46 for (2).
+    let (c1, _, _) = coverage_with(Collection::Ecology1, &FactorConfig::config1(2));
+    let (c2, _, _) = coverage_with(Collection::Ecology1, &FactorConfig::config2(2));
+    assert!(c1 < 0.10, "uncharged ECOLOGY c_π(5) = {c1:.3}, paper: 0.00");
+    assert!(c2 > 0.35, "charged ECOLOGY c_π(5) = {c2:.3}, paper: 0.46");
+    // ... and the uncharged one needs many iterations to become maximal
+    let cfg = FactorConfig::config1(2).with_max_iters(4000);
+    let (c_max, iters, maximal) = coverage_with(Collection::Ecology1, &cfg);
+    assert!(maximal, "should eventually be maximal");
+    assert!(
+        iters > 25,
+        "uncharged maximality took only {iters} iterations; paper: ~N"
+    );
+    assert!(c_max > 0.40, "maximal coverage {c_max:.3}, paper: 0.50");
+}
+
+#[test]
+fn table4_aniso_works_without_charging() {
+    // Table 4, ANISO rows: c_π(5) = 0.67 for all of (1) and (2); config (3)
+    // (charging in the first iteration) is worse (0.54–0.57).
+    let (c1, _, _) = coverage_with(Collection::Aniso1, &FactorConfig::config1(2));
+    let (c2, _, _) = coverage_with(Collection::Aniso1, &FactorConfig::config2(2));
+    let (c3, _, _) = coverage_with(Collection::Aniso1, &FactorConfig::config3(2));
+    assert!(c1 > 0.60, "ANISO1 config1 {c1:.3}, paper 0.67");
+    assert!(c2 > 0.60, "ANISO1 config2 {c2:.3}, paper 0.67");
+    assert!(
+        c3 < c2 - 0.03,
+        "config3 ({c3:.3}) should trail config2 ({c2:.3}) as in the paper"
+    );
+}
+
+#[test]
+fn table5_coverage_orderings() {
+    // ATMOSMODM: c_π(5) ≈ 0.95 for n = 2 vs c_id = 0.03.
+    let a = Collection::Atmosmodm.generate(SCALE);
+    let c_id = identity_coverage(&a);
+    let (c2, _, _) = coverage_with(Collection::Atmosmodm, &FactorConfig::config2(2));
+    assert!(c_id < 0.10, "ATMOSMODM c_id = {c_id:.3}, paper 0.03");
+    assert!(c2 > 0.85, "ATMOSMODM c_π = {c2:.3}, paper 0.95");
+
+    // STOCF-1465: c_π = 1.00 for n ≥ 2.
+    let (cs, _, _) = coverage_with(Collection::Stocf1465, &FactorConfig::config2(2));
+    assert!(cs > 0.95, "STOCF c_π = {cs:.3}, paper 1.00");
+
+    // ECOLOGY: c_π grows ~linearly with n toward 1.0 at n = 4 (grid degree 4).
+    let (e4, _, _) = coverage_with(Collection::Ecology1, &FactorConfig::config2(4));
+    assert!(e4 > 0.9, "ECOLOGY n=4 coverage {e4:.3}, paper 1.00");
+}
+
+#[test]
+fn table5_parallel_close_to_sequential() {
+    // PAR vs SEQ columns agree within ~0.05 for these matrices.
+    for m in [
+        Collection::Aniso2,
+        Collection::Atmosmodl,
+        Collection::Thermal2,
+        Collection::G3Circuit,
+    ] {
+        let a = m.generate(SCALE);
+        let ap = prepare_undirected(&a);
+        for n in [1usize, 2] {
+            let dev = Device::default();
+            let par = parallel_factor(&dev, &ap, &FactorConfig::config2(n));
+            let seq = greedy_factor(&ap, n);
+            let cp = weight_coverage(&par.factor, &a);
+            let cs = weight_coverage(&seq, &a);
+            assert!(
+                (cp - cs).abs() < 0.08,
+                "{} n={n}: PAR {cp:.3} vs SEQ {cs:.3} (paper: ≤ 0.04 apart)",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn transport_needs_charging() {
+    // Table 4 TRANSPORT: c_π(5) = 0.24 uncharged vs 0.45 charged.
+    let (c1, _, _) = coverage_with(Collection::Transport, &FactorConfig::config1(2));
+    let (c2, _, _) = coverage_with(Collection::Transport, &FactorConfig::config2(2));
+    assert!(
+        c2 > c1 + 0.10,
+        "charged ({c2:.3}) must clearly beat uncharged ({c1:.3}) on TRANSPORT"
+    );
+}
+
+#[test]
+fn fig4_preconditioner_ranking_on_atmosmodm() {
+    // Fig. 4 ATMOSMODM panel: AlgTriScal ≫ TriScal ≈ Jacobi because the
+    // forest captures 95 % of the weight vs 3 % on the tridiagonal.
+    let dev = Device::default();
+    let a = Collection::Atmosmodm.generate(2000);
+    let (b, xt) = manufactured_problem(&dev, &a);
+    let opts = SolveOpts {
+        tol: 1e-10,
+        max_iters: 4000,
+    };
+    let cfg = FactorConfig::paper_default(2);
+    let (_, jac) = bicgstab(&dev, &a, &b, &JacobiPrecond::new(&a), &opts, Some(&xt));
+    let (_, tri) = bicgstab(&dev, &a, &b, &TriScalPrecond::new(&a), &opts, Some(&xt));
+    let alg = AlgTriScalPrecond::new(&dev, &a, &cfg);
+    let (_, als) = bicgstab(&dev, &a, &b, &alg, &opts, Some(&xt));
+    assert!(als.converged);
+    assert!(
+        als.iterations * 2 <= jac.iterations,
+        "AlgTriScal {} vs Jacobi {}",
+        als.iterations,
+        jac.iterations
+    );
+    assert!(
+        als.iterations < tri.iterations,
+        "AlgTriScal {} vs TriScal {}",
+        als.iterations,
+        tri.iterations
+    );
+    // FRE improves alongside the residual
+    assert!(als.fre.last().unwrap() < &1e-6);
+}
+
+#[test]
+fn fig4_block_precond_competitive_on_af_shell() {
+    // Fig. 4 AF_SHELL8 panel: AlgTriBlock stabilizes convergence where the
+    // scalar preconditioners have low coverage.
+    let dev = Device::default();
+    let a = Collection::AfShell8.generate(1200);
+    let (b, xt) = manufactured_problem(&dev, &a);
+    let opts = SolveOpts {
+        tol: 1e-9,
+        max_iters: 4000,
+    };
+    let cfg = FactorConfig::paper_default(2);
+    let blk = AlgTriBlockPrecond::new(&dev, &a, &cfg);
+    let scal = AlgTriScalPrecond::new(&dev, &a, &cfg);
+    assert!(
+        blk.coverage().unwrap() > scal.coverage().unwrap(),
+        "block coverage {:.3} must exceed scalar {:.3} (Table 5: 0.38+ vs 0.23)",
+        blk.coverage().unwrap(),
+        scal.coverage().unwrap()
+    );
+    let (_, st_blk) = bicgstab(&dev, &a, &b, &blk, &opts, Some(&xt));
+    let (_, st_scal) = bicgstab(&dev, &a, &b, &scal, &opts, Some(&xt));
+    assert!(st_blk.converged);
+    assert!(
+        st_blk.iterations <= st_scal.iterations + 10,
+        "block {} should not trail scalar {} by much",
+        st_blk.iterations,
+        st_scal.iterations
+    );
+}

@@ -1,0 +1,114 @@
+//! Solver-level integration: preconditioner correctness as linear
+//! operators, BiCGStab/PCG agreement, and MatrixMarket round trips of
+//! solver inputs.
+
+use linear_forest::prelude::*;
+use linear_forest::sparse::mm;
+
+#[test]
+fn all_preconditioners_are_consistent_linear_operators() {
+    let dev = Device::default();
+    let a = Collection::Curlcurl3.generate(343);
+    let n = a.nrows();
+    let cfg = FactorConfig::paper_default(2);
+    let preconds: Vec<Box<dyn Preconditioner<f64>>> = vec![
+        Box::new(IdentityPrecond),
+        Box::new(JacobiPrecond::new(&a)),
+        Box::new(TriScalPrecond::new(&a)),
+        Box::new(AlgTriScalPrecond::new(&dev, &a, &cfg)),
+        Box::new(AlgTriBlockPrecond::new(&dev, &a, &cfg)),
+    ];
+    for p in &preconds {
+        // linearity: M⁻¹(αx + y) = α M⁻¹x + M⁻¹y
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let alpha = 2.5;
+        let mut zx = vec![0.0; n];
+        let mut zy = vec![0.0; n];
+        let mut zc = vec![0.0; n];
+        p.apply(&dev, &x, &mut zx);
+        p.apply(&dev, &y, &mut zy);
+        let comb: Vec<f64> = x.iter().zip(&y).map(|(a, b)| alpha * a + b).collect();
+        p.apply(&dev, &comb, &mut zc);
+        for i in 0..n {
+            let want = alpha * zx[i] + zy[i];
+            assert!(
+                (zc[i] - want).abs() < 1e-8 * (1.0 + want.abs()),
+                "{}: nonlinear at {i}",
+                p.name()
+            );
+        }
+        // determinism
+        let mut z2 = vec![0.0; n];
+        p.apply(&dev, &x, &mut z2);
+        assert_eq!(zx, z2, "{}: nondeterministic", p.name());
+    }
+}
+
+#[test]
+fn bicgstab_and_pcg_agree_on_spd() {
+    let dev = Device::default();
+    let a = Collection::Thermal2.generate(900);
+    let (b, xt) = manufactured_problem(&dev, &a);
+    let opts = SolveOpts {
+        tol: 1e-10,
+        max_iters: 4000,
+    };
+    let p = JacobiPrecond::new(&a);
+    let (x1, s1) = bicgstab(&dev, &a, &b, &p, &opts, Some(&xt));
+    let (x2, s2) = pcg(&dev, &a, &b, &p, &opts, Some(&xt));
+    assert!(s1.converged && s2.converged);
+    for i in 0..a.nrows() {
+        assert!((x1[i] - x2[i]).abs() < 1e-6, "solutions differ at {i}");
+        assert!((x1[i] - xt[i]).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn solve_after_mtx_roundtrip() {
+    let dev = Device::default();
+    let a = Collection::Aniso2.generate(400);
+    let mut buf = Vec::new();
+    mm::write_csr(&mut buf, &a).unwrap();
+    let a2: Csr<f64> = Csr::from_coo(mm::read_coo(buf.as_slice()).unwrap());
+    assert_eq!(a, a2);
+    let (b, xt) = manufactured_problem(&dev, &a2);
+    let cfg = FactorConfig::paper_default(2);
+    let p = AlgTriScalPrecond::new(&dev, &a2, &cfg);
+    let (_, st) = bicgstab(&dev, &a2, &b, &p, &SolveOpts::default(), Some(&xt));
+    assert!(st.converged);
+}
+
+#[test]
+fn pcr_preconditioner_path_equivalent_to_thomas() {
+    // pcr_solve and the Thomas factorization must produce the same
+    // preconditioner action (the GPU-vs-CPU solve paths of the paper).
+    let dev = Device::default();
+    let a = Collection::Atmosmodm.generate(1000);
+    let cfg = FactorConfig::paper_default(2);
+    let (tri, _, _) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    let thomas = ThomasFactorization::new(&tri);
+    let r: Vec<f64> = (0..tri.len()).map(|i| (0.3 * i as f64).sin()).collect();
+    let x1 = thomas.solve(&r);
+    let x2 = pcr_solve(&dev, &tri, &r);
+    for i in 0..tri.len() {
+        assert!(
+            (x1[i] - x2[i]).abs() < 1e-6 * (1.0 + x1[i].abs()),
+            "PCR vs Thomas at {i}: {} vs {}",
+            x2[i],
+            x1[i]
+        );
+    }
+}
+
+#[test]
+fn breakdown_reported_not_panicked() {
+    // a singular system should surface as non-convergence, never a panic
+    let dev = Device::default();
+    let mut coo = linear_forest::sparse::Coo::<f64>::new(4, 4);
+    coo.push_sym(0, 1, 1.0); // rank-deficient, zero diagonal
+    let a = Csr::from_coo(coo);
+    let b = vec![1.0, 1.0, 1.0, 1.0];
+    let (_, st) = bicgstab(&dev, &a, &b, &IdentityPrecond, &SolveOpts::default(), None);
+    assert!(!st.converged);
+}
