@@ -54,14 +54,16 @@ fn bench_proposition(c: &mut Criterion) {
         let a = prepare_undirected(&m.generate(SCALE));
         let dev = Device::default();
         for n in 1..=4usize {
-            let cfg = FactorConfig::config1(n);
-            g.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), m.name()),
-                &a,
-                |b, a| {
-                    b.iter(|| proposition_kernel_stats(&dev, a, &cfg, 1));
-                },
-            );
+            for (tag, frontier) in [("", false), ("_frontier", true)] {
+                let cfg = FactorConfig::config1(n).with_frontier(frontier);
+                g.bench_with_input(
+                    BenchmarkId::new(format!("n{n}{tag}"), m.name()),
+                    &a,
+                    |b, a| {
+                        b.iter(|| proposition_kernel_stats(&dev, a, &cfg, 1));
+                    },
+                );
+            }
         }
     }
     g.finish();

@@ -1,10 +1,13 @@
 //! End-to-end setup benchmark (the paper's Fig. 6 totals): full
 //! tridiagonal-preconditioner construction per collection matrix, plus the
-//! greedy sequential baseline.
+//! greedy sequential baseline and the factor loop in dense vs
+//! frontier-compacted mode (the latter with a caller-owned workspace
+//! reused across iterations, as a hot solver-setup loop would run it).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use lf_core::prelude::*;
+use lf_core::FactorWorkspace;
 use lf_kernel::Device;
 use lf_sparse::Collection;
 
@@ -28,6 +31,24 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| tridiagonal_from_matrix(&dev, a, &cfg));
         });
         let ap = prepare_undirected(&a);
+        g.bench_with_input(
+            BenchmarkId::new("parallel_factor_dense", m.name()),
+            &ap,
+            |b, ap| {
+                let dev = Device::default();
+                b.iter(|| parallel_factor(&dev, ap, &cfg));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("parallel_factor_frontier_ws", m.name()),
+            &ap,
+            |b, ap| {
+                let dev = Device::default();
+                let fcfg = cfg.with_frontier(true);
+                let mut ws = FactorWorkspace::<f64, 2>::default();
+                b.iter(|| parallel_factor_with_workspace(&dev, ap, &fcfg, &mut ws));
+            },
+        );
         g.bench_with_input(BenchmarkId::new("greedy_factor_seq", m.name()), &ap, |b, ap| {
             b.iter(|| greedy_factor(ap, 2));
         });

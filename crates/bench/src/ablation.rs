@@ -12,11 +12,16 @@
 //!    fused Top-K SpMV);
 //! 6. **step-efficient scan vs work-efficient list ranking** (Sec. 4.2:
 //!    the scan does N·log N work where O(N) is possible — measured
-//!    against a contraction-based list ranker).
+//!    against a contraction-based list ranker);
+//! 7. **frontier-compacted proposition** (our extension beyond the
+//!    paper's dense kernels: stream-compact the non-full vertices and run
+//!    the proposition on a row-subset view — bit-identical factors, less
+//!    traffic once the frontier shrinks).
 
 use crate::{f2, Opts, Table};
 use lf_core::alternatives::{top_n_fused, top_n_repeated_reduce, top_n_segmented_sort};
 use lf_core::merged::break_cycles_and_identify_paths;
+use lf_core::parallel::proposition_kernel_stats;
 use lf_core::ranking::identify_paths_workefficient;
 use lf_core::prelude::*;
 use lf_kernel::Device;
@@ -38,6 +43,92 @@ pub fn run(opts: &Opts) {
     topn_strategies(opts);
     println!();
     scan_vs_ranking(opts);
+    println!();
+    frontier_mode(opts);
+}
+
+fn frontier_mode(opts: &Opts) {
+    println!(
+        "Ablation 7 — dense vs frontier-compacted proposition, n = 2 \
+         (our extension; scale {}):\n",
+        opts.scale
+    );
+    let mut t = Table::new(&[
+        "MATRIX",
+        "dense model ms",
+        "frnt model ms",
+        "dense MB",
+        "frnt MB",
+        "warm prop rd",
+        "identical factor",
+    ]);
+    let mut csv = opts.csv("ablation_frontier.csv").expect("results dir");
+    writeln!(
+        csv,
+        "matrix,engine,variant,iterations,model_ms,bytes,warm_prop_read_bytes"
+    )
+    .unwrap();
+    for m in [Collection::Aniso1, Collection::Ecology1, Collection::Stocf1465] {
+        let dev = Device::default();
+        let a = prepare_undirected(&m.generate(opts.target_n(m)));
+        let mut cells: Option<Vec<String>> = None;
+        for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+            let base = FactorConfig::paper_default(2).with_engine(engine);
+            let (dense_out, dense) = dev.scoped(|| parallel_factor(&dev, &a, &base));
+            let (front_out, front) =
+                dev.scoped(|| parallel_factor(&dev, &a, &base.with_frontier(true)));
+            let same = dense_out.factor == front_out.factor
+                && dense_out.iterations == front_out.iterations;
+            assert!(same, "{}: frontier must match dense bit-for-bit", m.name());
+            // single warm-state proposition: the savings isolated from the
+            // dense early iterations both modes share
+            let warm_dense = proposition_kernel_stats(&dev, &a, &base, 1);
+            let warm_front =
+                proposition_kernel_stats(&dev, &a, &base.with_frontier(true), 1);
+            for (variant, out, s, w) in [
+                ("dense", &dense_out, &dense, &warm_dense),
+                ("frontier", &front_out, &front, &warm_front),
+            ] {
+                writeln!(
+                    csv,
+                    "{},{engine:?},{variant},{},{:.4},{},{}",
+                    m.name(),
+                    out.iterations,
+                    s.model_time_s * 1e3,
+                    s.traffic.total(),
+                    w.traffic.read
+                )
+                .unwrap();
+            }
+            if engine == SpmvEngine::RowParallel {
+                cells = Some(vec![
+                    m.name().to_string(),
+                    format!("{:.3}", dense.model_time_s * 1e3),
+                    format!("{:.3}", front.model_time_s * 1e3),
+                    format!("{:.2}", dense.traffic.total() as f64 / 1e6),
+                    format!("{:.2}", front.traffic.total() as f64 / 1e6),
+                    format!(
+                        "{:.0}%",
+                        warm_front.traffic.read as f64 / warm_dense.traffic.read as f64
+                            * 100.0
+                    ),
+                    same.to_string(),
+                ]);
+            }
+        }
+        t.row(cells.expect("row-parallel engine ran"));
+    }
+    t.print();
+    println!(
+        "\n  'warm prop rd' = bytes read by one frontier proposition on warm \
+         state relative to dense — far below 100% when the factor is \
+         near-maximal, above it when most vertices stay non-full (the \
+         gather indices and scatter then cost more than the skipped rows \
+         save). Frontier mode also adds three launches per iteration \
+         (compact, row view, scatter), so at small scale launch overhead \
+         can outweigh the byte savings; the byte columns are what \
+         transfers to a real GPU."
+    );
 }
 
 fn scan_vs_ranking(opts: &Opts) {

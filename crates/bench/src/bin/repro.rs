@@ -8,13 +8,14 @@
 //!   --scale N   stand-in matrix size (default 20000)
 //!   --full      paper-published sizes (hours of runtime!)
 //!   --out DIR   CSV output directory (default results/)
+//!   --json      also emit machine-readable BENCH_<exp>.json files
 //! ```
 
 use lf_bench::Opts;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale N] [--full] [--out DIR] \
+        "usage: repro [--scale N] [--full] [--out DIR] [--json] \
          <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|tables|figures|all>..."
     );
     std::process::exit(2);
@@ -33,6 +34,7 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--full" => opts.full = true,
+            "--json" => opts.json = true,
             "--out" => {
                 opts.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage());
             }

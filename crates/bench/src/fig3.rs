@@ -5,6 +5,15 @@
 //! `d = Ax + d`, and the far more complex proposition functor still
 //! reaches 30–50 % of that roofline. We reproduce both engines and report
 //! model throughput (bandwidth-model GB/s) and wall time.
+//!
+//! On top of the paper's dense kernels we also measure the
+//! frontier-compacted proposition (`FactorConfig::with_frontier`): after a
+//! warm-up factor run most vertices are full, so the compacted row view
+//! reads only the remaining rows. The `prop_n*_frontier` rows quantify the
+//! traffic reduction against the dense `prop_n*` rows on identical warm
+//! state. With `--json`, a machine-readable `BENCH_fig3.json` (factor
+//! iterations, proposition model/wall time, bytes moved per kernel) is
+//! written next to the CSV.
 
 use crate::{Opts, Table};
 use lf_core::parallel::proposition_kernel_stats;
@@ -44,6 +53,19 @@ fn gbps(s: &DeviceStats) -> f64 {
     }
 }
 
+/// One kernel entry of `BENCH_fig3.json`.
+fn json_kernel(name: &str, s: &DeviceStats) -> String {
+    format!(
+        "{{\"kernel\":\"{name}\",\"model_ms\":{:.6},\"wall_ms\":{:.6},\
+         \"bytes_read\":{},\"bytes_written\":{},\"bytes_total\":{}}}",
+        s.model_time_s * 1e3,
+        s.wall_time_s * 1e3,
+        s.traffic.read,
+        s.traffic.written,
+        s.traffic.total()
+    )
+}
+
 /// Regenerate Fig. 3 as a table + CSV.
 pub fn run(opts: &Opts) {
     println!(
@@ -60,15 +82,17 @@ pub fn run(opts: &Opts) {
         "n=3",
         "n=4",
         "n=2 %roof",
+        "frnt n=2 rd",
         "wall SpMV ms",
         "wall n=2 ms",
     ]);
     let mut csv = opts.csv("fig3.csv").expect("results dir");
     writeln!(
         csv,
-        "matrix,kernel,model_gbps,model_ms,wall_ms,bytes"
+        "matrix,kernel,model_gbps,model_ms,wall_ms,bytes,bytes_read"
     )
     .unwrap();
+    let mut json_matrices: Vec<String> = Vec::new();
     for m in MATRICES {
         let a = m.generate(opts.target_n(m));
         let ap = prepare_undirected(&a);
@@ -76,34 +100,66 @@ pub fn run(opts: &Opts) {
         let row = spmv_stats(&dev, &ap, SpmvEngine::RowParallel);
         let srcsr = spmv_stats(&dev, &ap, SpmvEngine::SrCsr);
         let mut props = Vec::new();
+        let mut props_frontier = Vec::new();
         for n in 1..=4usize {
             let cfg = FactorConfig::config1(n);
-            let s = proposition_kernel_stats(&dev, &ap, &cfg, 1);
-            props.push(s);
+            props.push(proposition_kernel_stats(&dev, &ap, &cfg, 1));
+            props_frontier.push(proposition_kernel_stats(
+                &dev,
+                &ap,
+                &cfg.with_frontier(true),
+                1,
+            ));
         }
-        for (name, s) in [("row_spmv", &row), ("srcsr_spmv", &srcsr)]
+        const PROP: [&str; 4] = ["prop_n1", "prop_n2", "prop_n3", "prop_n4"];
+        const PROP_F: [&str; 4] = [
+            "prop_n1_frontier",
+            "prop_n2_frontier",
+            "prop_n3_frontier",
+            "prop_n4_frontier",
+        ];
+        let kernels: Vec<(&str, &DeviceStats)> = [("row_spmv", &row), ("srcsr_spmv", &srcsr)]
             .into_iter()
-            .chain(
-                props
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| (["prop_n1", "prop_n2", "prop_n3", "prop_n4"][i], s)),
-            )
-        {
+            .chain(props.iter().enumerate().map(|(i, s)| (PROP[i], s)))
+            .chain(props_frontier.iter().enumerate().map(|(i, s)| (PROP_F[i], s)))
+            .collect();
+        for (name, s) in &kernels {
             writeln!(
                 csv,
-                "{},{},{:.2},{:.4},{:.4},{}",
+                "{},{},{:.2},{:.4},{:.4},{},{}",
                 m.name(),
                 name,
                 gbps(s),
                 s.model_time_s * 1e3,
                 s.wall_time_s * 1e3,
-                s.traffic.total()
+                s.traffic.total(),
+                s.traffic.read
             )
             .unwrap();
         }
+        if opts.json {
+            let warm = parallel_factor(&dev, &ap, &FactorConfig::paper_default(2));
+            let entries: Vec<String> = kernels
+                .iter()
+                .map(|(name, s)| json_kernel(name, s))
+                .collect();
+            json_matrices.push(format!(
+                "{{\"matrix\":\"{}\",\"n\":{},\"nnz\":{},\
+                 \"factor_iterations\":{},\"factor_maximal\":{},\
+                 \"kernels\":[{}]}}",
+                m.name(),
+                ap.nrows(),
+                ap.nnz(),
+                warm.iterations,
+                warm.maximal,
+                entries.join(",")
+            ));
+        }
         // roofline fraction: proposition model *time* vs plain SpMV time
         let roof = row.model_time_s / props[1].model_time_s;
+        // frontier read traffic relative to the dense proposition on the
+        // same warm (near-maximal) state — the tentpole's savings metric
+        let frnt = props_frontier[1].traffic.read as f64 / props[1].traffic.read as f64;
         t.row(vec![
             m.name().to_string(),
             format!("{:.0}", gbps(&row)),
@@ -113,6 +169,7 @@ pub fn run(opts: &Opts) {
             format!("{:.0}", gbps(&props[2])),
             format!("{:.0}", gbps(&props[3])),
             format!("{:.0}%", roof * 100.0),
+            format!("{:.0}%", frnt * 100.0),
             format!("{:.3}", row.wall_time_s * 1e3),
             format!("{:.3}", props[1].wall_time_s * 1e3),
         ]);
@@ -120,7 +177,19 @@ pub fn run(opts: &Opts) {
     t.print();
     println!(
         "\n  'n=2 %roof' = model-time of plain SpMV / model-time of the n=2 \
-         proposition (the paper reports 30–50 %); CSV in {}",
+         proposition (the paper reports 30–50 %); 'frnt n=2 rd' = bytes \
+         read by the frontier-compacted n=2 proposition relative to the \
+         dense one on warm state; CSV in {}",
         opts.out_dir.join("fig3.csv").display()
     );
+    opts.write_json(
+        "BENCH_fig3.json",
+        &format!(
+            "{{\"figure\":\"fig3\",\"scale\":{},\"full\":{},\"matrices\":[{}]}}\n",
+            opts.scale,
+            opts.full,
+            json_matrices.join(",")
+        ),
+    )
+    .expect("results dir");
 }

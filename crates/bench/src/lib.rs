@@ -35,6 +35,8 @@ pub struct Opts {
     pub full: bool,
     /// Directory for CSV output.
     pub out_dir: PathBuf,
+    /// Also emit machine-readable `BENCH_<exp>.json` files.
+    pub json: bool,
 }
 
 impl Default for Opts {
@@ -43,6 +45,7 @@ impl Default for Opts {
             scale: 20_000,
             full: false,
             out_dir: PathBuf::from("results"),
+            json: false,
         }
     }
 }
@@ -62,6 +65,18 @@ impl Opts {
         std::fs::create_dir_all(&self.out_dir)?;
         let f = std::fs::File::create(self.out_dir.join(name))?;
         Ok(std::io::BufWriter::new(f))
+    }
+
+    /// Write a pre-rendered JSON document under the output directory
+    /// (only when `--json` was requested).
+    pub fn write_json(&self, name: &str, body: &str) -> std::io::Result<()> {
+        if !self.json {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.out_dir)?;
+        std::fs::write(self.out_dir.join(name), body)?;
+        println!("  JSON written to {}", self.out_dir.join(name).display());
+        Ok(())
     }
 }
 
@@ -136,6 +151,25 @@ mod tests {
             ..Opts::default()
         };
         assert_eq!(full.target_n(lf_sparse::Collection::Ecology1), 1_000_000);
+    }
+
+    #[test]
+    fn json_emission_is_gated_behind_flag() {
+        let dir = std::env::temp_dir().join("lf_bench_json_gate_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let off = Opts {
+            out_dir: dir.clone(),
+            ..Opts::default()
+        };
+        off.write_json("BENCH_t.json", "{}").unwrap();
+        assert!(!dir.join("BENCH_t.json").exists(), "no file without --json");
+        let on = Opts { json: true, ..off };
+        on.write_json("BENCH_t.json", "{}").unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("BENCH_t.json")).unwrap(),
+            "{}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub use factor::{graph_weight, identity_coverage, weight_coverage, Factor, INVAL
 pub use forest::{
     extract_linear_forest, tridiagonal_from_matrix, LinearForest, PipelineTimings, QualityReport,
 };
-pub use parallel::{parallel_factor, FactorConfig, FactorOutcome};
+pub use parallel::{
+    parallel_factor, parallel_factor_with_workspace, FactorConfig, FactorOutcome, FactorWorkspace,
+};
 
 use lf_sparse::{Csr, Scalar};
 
@@ -83,7 +85,7 @@ pub mod prelude {
     };
     pub use crate::greedy::greedy_factor;
     pub use crate::merged::break_cycles_and_identify_paths;
-    pub use crate::parallel::{parallel_factor, FactorConfig};
+    pub use crate::parallel::{parallel_factor, parallel_factor_with_workspace, FactorConfig};
     pub use crate::paths::{identify_paths, identify_paths_sequential, PathInfo};
     pub use crate::permute::forest_permutation;
     pub use crate::ranking::identify_paths_workefficient;

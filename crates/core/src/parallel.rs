@@ -19,8 +19,11 @@
 use crate::charge::charge;
 use crate::factor::Factor;
 use crate::topk::TopK;
-use lf_kernel::{launch, reduce, Device};
-use lf_sparse::{gespmv, Csr, GeSpmvOps, Scalar, SpmvEngine};
+use lf_kernel::{compact, launch, reduce, Device, Reusable, ScatterSlice, Traffic, PAR_THRESHOLD};
+use lf_sparse::{
+    gespmv_with, subset_row_ptr, Csr, CsrRowView, GeSpmvOps, Scalar, SpmvEngine, SrcsrScratch,
+};
+use rayon::prelude::*;
 
 /// Parameters of Algorithm 2. The paper's default (Sec. 5.1) is
 /// configuration (2): `M = 5`, `m = 5`, `k_m = 0`, `p = 0.5`.
@@ -40,6 +43,12 @@ pub struct FactorConfig {
     pub p: f64,
     /// Which generalized-SpMV engine runs the proposition kernel.
     pub engine: SpmvEngine,
+    /// Active-frontier execution: after each confirmation, stream-compact
+    /// the non-full vertices and run the proposition kernel only over that
+    /// row subset (scattering the finalized rows back). Bit-identical to
+    /// the dense mode — confirmed rows cannot change — but the proposition
+    /// traffic shrinks with the frontier. Orthogonal to [`Self::engine`].
+    pub frontier: bool,
 }
 
 impl FactorConfig {
@@ -53,6 +62,7 @@ impl FactorConfig {
             k_m: 0,
             p: 0.5,
             engine: SpmvEngine::SrCsr,
+            frontier: false,
         }
     }
 
@@ -87,6 +97,12 @@ impl FactorConfig {
     /// Same configuration with a different SpMV engine.
     pub fn with_engine(mut self, engine: SpmvEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Same configuration with active-frontier execution on or off.
+    pub fn with_frontier(mut self, frontier: bool) -> Self {
+        self.frontier = frontier;
         self
     }
 }
@@ -161,90 +177,304 @@ impl<'a, T: Scalar, const K: usize> GeSpmvOps<T> for PropOps<'a, T, K> {
     }
 }
 
+/// Reusable working memory for [`parallel_factor_with_workspace`]: every
+/// per-iteration buffer of Algorithm 2 (proposal/confirmed slot tables,
+/// full flags, charges, the frontier gather list and its virtual row
+/// pointer, and the SRCSR partial-accumulator scratch). The paper allocates
+/// all device buffers once up front; holding one of these across calls —
+/// e.g. across the factor levels of the preconditioner pipeline — gives
+/// host loops the same allocation-free steady state.
+pub struct FactorWorkspace<T: Scalar, const K: usize> {
+    confirmed: Reusable<TopK<T, K>>,
+    proposals: Reusable<TopK<T, K>>,
+    fout: Reusable<TopK<T, K>>,
+    full: Reusable<bool>,
+    charges: Reusable<bool>,
+    frontier: Reusable<u32>,
+    vrow_ptr: Reusable<usize>,
+    scratch: SrcsrScratch<TopK<T, K>>,
+}
+
+impl<T: Scalar, const K: usize> FactorWorkspace<T, K> {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            confirmed: Reusable::new(),
+            proposals: Reusable::new(),
+            fout: Reusable::new(),
+            full: Reusable::new(),
+            charges: Reusable::new(),
+            frontier: Reusable::new(),
+            vrow_ptr: Reusable::new(),
+            scratch: SrcsrScratch::new(),
+        }
+    }
+}
+
+impl<T: Scalar, const K: usize> Default for FactorWorkspace<T, K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The proposition phase, shared by [`run`] and the Fig. 3 benchmark hook.
+///
+/// Dense mode runs the generalized SpMV over the full matrix. Frontier mode
+/// stream-compacts the non-full rows, builds a row-subset view of the CSR,
+/// multiplies only that subset, and scatters the finalized rows back into
+/// `proposals` through the gather list; full rows keep their stale
+/// `proposals` entry, which (by confirmed-edge persistence) is a superset
+/// of the row's confirmed set and is the only part ever consulted again.
+/// Returns the number of refreshed rows (`nv` in dense mode).
+#[allow(clippy::too_many_arguments)]
+fn propose_into<T: Scalar, const K: usize>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    engine: SpmvEngine,
+    use_frontier: bool,
+    ops: &PropOps<'_, T, K>,
+    full: &[bool],
+    proposals: &mut [TopK<T, K>],
+    frontier: &mut Reusable<u32>,
+    vrow_ptr: &mut Reusable<usize>,
+    fout: &mut Reusable<TopK<T, K>>,
+    scratch: &mut SrcsrScratch<TopK<T, K>>,
+) -> usize {
+    if !use_frontier {
+        gespmv_with(dev, "edge_proposition", engine, aprime, ops, proposals, scratch);
+        return proposals.len();
+    }
+    compact::compact_indices_into(
+        dev,
+        "frontier_compact",
+        full,
+        |f| !*f,
+        frontier.cleared(full.len()),
+    );
+    let flen = frontier.len();
+    let rows = frontier.as_slice();
+    {
+        // Virtual row pointer of the subset (a row-length gather plus an
+        // exclusive scan on the device).
+        let vp = vrow_ptr.cleared(flen + 1);
+        let traffic = Traffic::new()
+            .reads::<u32>(flen)
+            .reads::<usize>(2 * flen)
+            .writes::<usize>(flen + 1);
+        dev.launch("frontier_view", traffic, || subset_row_ptr(aprime, rows, vp));
+    }
+    let view = CsrRowView::new(aprime, rows, vrow_ptr.as_slice());
+    let fo = fout.filled(flen, TopK::empty());
+    gespmv_with(dev, "edge_proposition", engine, &view, ops, fo, scratch);
+    {
+        let fo: &[TopK<T, K>] = fo;
+        let sc = ScatterSlice::new(proposals);
+        let traffic = Traffic::new()
+            .reads::<u32>(flen)
+            .reads::<TopK<T, K>>(flen)
+            .writes::<TopK<T, K>>(flen);
+        launch::for_each_index(dev, "frontier_scatter", flen, traffic, |k| {
+            // SAFETY: frontier indices are strictly ascending, so disjoint.
+            unsafe { sc.write(rows[k] as usize, fo[k]) };
+        });
+    }
+    flen
+}
+
+/// Mutual-proposal confirmation over every row (Alg. 2 line 26), fused with
+/// the confirmed-slot count so the maximality check needs no separate
+/// `before` reduce. Returns the new Σ_v |π(v)|.
+fn confirm_dense<T: Scalar, const K: usize>(
+    dev: &Device,
+    confirmed: &mut [TopK<T, K>],
+    proposals: &[TopK<T, K>],
+) -> usize {
+    let nv = confirmed.len();
+    let traffic = Traffic::new()
+        .read_bytes((2 * nv * std::mem::size_of::<TopK<T, K>>()) as u64)
+        .writes::<TopK<T, K>>(nv)
+        .writes::<usize>(1); // the fused slot counter (atomicAdd analog)
+    dev.launch("confirm", traffic, || {
+        let body = |v: usize, slot: &mut TopK<T, K>| {
+            let mut out = TopK::empty();
+            for (w, c) in proposals[v].iter() {
+                if proposals[c as usize].contains(v as u32) {
+                    out.insert(w, c);
+                }
+            }
+            let n = out.len();
+            *slot = out;
+            n
+        };
+        if nv < PAR_THRESHOLD {
+            confirmed
+                .iter_mut()
+                .enumerate()
+                .map(|(v, s)| body(v, s))
+                .sum()
+        } else {
+            confirmed
+                .par_iter_mut()
+                .enumerate()
+                .map(|(v, s)| body(v, s))
+                .sum()
+        }
+    })
+}
+
+/// Frontier-restricted confirmation: only non-full rows can change, so only
+/// they are recomputed (full rows keep their `K` confirmed slots — their
+/// partners keep proposing back by confirmed-edge persistence). Returns the
+/// new slot count over the *frontier rows only*.
+fn confirm_frontier<T: Scalar, const K: usize>(
+    dev: &Device,
+    confirmed: &mut [TopK<T, K>],
+    proposals: &[TopK<T, K>],
+    frontier: &[u32],
+) -> usize {
+    let flen = frontier.len();
+    let traffic = Traffic::new()
+        .reads::<u32>(flen)
+        .read_bytes((2 * flen * std::mem::size_of::<TopK<T, K>>()) as u64)
+        .writes::<TopK<T, K>>(flen)
+        .writes::<usize>(1);
+    dev.launch("confirm", traffic, || {
+        let sc = ScatterSlice::new(confirmed);
+        let body = |&v: &u32| {
+            let v = v as usize;
+            let mut out = TopK::empty();
+            for (w, c) in proposals[v].iter() {
+                if proposals[c as usize].contains(v as u32) {
+                    out.insert(w, c);
+                }
+            }
+            let n = out.len();
+            // SAFETY: frontier indices are strictly ascending, so disjoint.
+            unsafe { sc.write(v, out) };
+            n
+        };
+        if flen < PAR_THRESHOLD {
+            frontier.iter().map(body).sum()
+        } else {
+            frontier.par_iter().map(body).sum()
+        }
+    })
+}
+
 fn run<T: Scalar, const K: usize>(
     dev: &Device,
     aprime: &Csr<T>,
     cfg: &FactorConfig,
+    ws: &mut FactorWorkspace<T, K>,
 ) -> FactorOutcome<T> {
     let nv = aprime.nrows();
-    let mut confirmed: Vec<TopK<T, K>> = vec![TopK::empty(); nv];
-    let mut proposals: Vec<TopK<T, K>> = vec![TopK::empty(); nv];
-    let mut full = vec![false; nv];
-    let mut charges = vec![false; nv];
+    let FactorWorkspace {
+        confirmed,
+        proposals,
+        fout,
+        full,
+        charges,
+        frontier,
+        vrow_ptr,
+        scratch,
+    } = ws;
+    let confirmed = confirmed.filled(nv, TopK::empty());
+    let proposals = proposals.filled(nv, TopK::empty());
+    let full = full.filled(nv, false);
+    let charges = charges.filled(nv, false);
 
     let mut iterations = cfg.max_iters;
     let mut maximal = false;
+    // Σ_v |π(v)|, maintained incrementally by the confirm kernel — the
+    // maximality check's `before` count without its own reduce pass.
+    let mut slots = 0usize;
 
     for k in 0..cfg.max_iters {
         let charging = k % cfg.m != cfg.k_m;
         if charging {
             let p = cfg.p;
-            launch::map1(dev, "charge", &mut charges, 0, |v| {
-                charge(v as u32, k as u32, p)
-            });
+            launch::map1(dev, "charge", charges, 0, |v| charge(v as u32, k as u32, p));
         }
         {
             // |π'(w)| = n lookup table (line 15)
-            let c = &confirmed;
+            let c: &[TopK<T, K>] = confirmed;
             launch::map1(
                 dev,
                 "full_flags",
-                &mut full,
+                full,
                 nv * std::mem::size_of::<TopK<T, K>>(),
                 |v| c[v].len() == K,
             );
         }
-        let ops = PropOps::<T, K> {
-            confirmed: &confirmed,
-            full: &full,
-            charges: &charges,
-            charging,
+        let flen = {
+            let ops = PropOps::<T, K> {
+                confirmed: &*confirmed,
+                full: &*full,
+                charges: &*charges,
+                charging,
+            };
+            propose_into(
+                dev,
+                aprime,
+                cfg.engine,
+                cfg.frontier,
+                &ops,
+                full,
+                proposals,
+                frontier,
+                vrow_ptr,
+                fout,
+                scratch,
+            )
         };
-        gespmv(dev, "edge_proposition", cfg.engine, aprime, &ops, &mut proposals);
 
         if !charging {
-            // |π(V)| = |π'(V)| on an uncharged iteration ⇒ maximal (line 23)
-            let before = reduce::reduce(dev, "count_slots", &confirmed, 0usize, |t| t.len(), |a, b| a + b);
-            let after = reduce::reduce(dev, "count_slots", &proposals, 0usize, |t| t.len(), |a, b| a + b);
-            if before == after {
+            // |π(V)| = |π'(V)| on an uncharged iteration ⇒ maximal
+            // (line 23). Full rows contribute exactly K slots to both
+            // sides, so in frontier mode the count runs over the frontier
+            // outputs only and the full rows are added back in closed form.
+            let after = if cfg.frontier {
+                let af = reduce::reduce(
+                    dev,
+                    "count_slots",
+                    fout.as_slice(),
+                    0usize,
+                    |t| t.len(),
+                    |a, b| a + b,
+                );
+                af + (nv - flen) * K
+            } else {
+                reduce::reduce(dev, "count_slots", proposals, 0usize, |t| t.len(), |a, b| {
+                    a + b
+                })
+            };
+            if slots == after {
                 iterations = k + 1;
                 maximal = true;
                 break;
             }
         }
 
-        {
-            // Remove non-mutual propositions (line 26).
-            let props = &proposals;
-            launch::map1(
-                dev,
-                "confirm",
-                &mut confirmed,
-                2 * nv * std::mem::size_of::<TopK<T, K>>(),
-                |v| {
-                    let mut out = TopK::empty();
-                    for (w, c) in props[v].iter() {
-                        if props[c as usize].contains(v as u32) {
-                            out.insert(w, c);
-                        }
-                    }
-                    out
-                },
-            );
-        }
+        // Remove non-mutual propositions (line 26), counting the surviving
+        // slots in the same launch.
+        slots = if cfg.frontier {
+            confirm_frontier(dev, confirmed, proposals, frontier.as_slice()) + (nv - flen) * K
+        } else {
+            confirm_dense(dev, confirmed, proposals)
+        };
     }
 
     // flatten confirmed slots into the Factor representation
     let mut cols = vec![crate::factor::INVALID; nv * K];
-    let mut ws = vec![T::ZERO; nv * K];
+    let mut wvals = vec![T::ZERO; nv * K];
     for (v, t) in confirmed.iter().enumerate() {
         for (s, (w, c)) in t.iter().enumerate() {
             cols[v * K + s] = c;
-            ws[v * K + s] = w;
+            wvals[v * K + s] = w;
         }
     }
     FactorOutcome {
-        factor: Factor::from_slots(nv, K, cols, ws),
+        factor: Factor::from_slots(nv, K, cols, wvals),
         iterations,
         maximal,
     }
@@ -258,7 +488,8 @@ fn proposition_stats_impl<T: Scalar, const K: usize>(
 ) -> lf_kernel::DeviceStats {
     let nv = aprime.nrows();
     // Warm-up iterations produce the k > 0 confirmed-edge state.
-    let warm = run::<T, K>(dev, aprime, &cfg.with_max_iters(warmup));
+    let mut ws = FactorWorkspace::<T, K>::new();
+    let warm = run::<T, K>(dev, aprime, &cfg.with_max_iters(warmup), &mut ws);
     let mut confirmed: Vec<TopK<T, K>> = vec![TopK::empty(); nv];
     for (v, slot) in confirmed.iter_mut().enumerate() {
         for (c, w) in warm.factor.partners(v) {
@@ -274,14 +505,26 @@ fn proposition_stats_impl<T: Scalar, const K: usize>(
         charging: false,
     };
     let mut proposals: Vec<TopK<T, K>> = vec![TopK::empty(); nv];
+    let mut frontier = Reusable::new();
+    let mut vrow_ptr = Reusable::new();
+    let mut fout = Reusable::new();
+    let mut scratch = SrcsrScratch::new();
+    // The scoped region covers the whole per-iteration proposition phase:
+    // in frontier mode that includes the compaction, view build and
+    // scatter-back, so the stats reflect the real cost of the mode.
     let (_, stats) = dev.scoped(|| {
-        gespmv(
+        propose_into(
             dev,
-            "edge_proposition",
-            cfg.engine,
             aprime,
+            cfg.engine,
+            cfg.frontier,
             &ops,
+            &full,
             &mut proposals,
+            &mut frontier,
+            &mut vrow_ptr,
+            &mut fout,
+            &mut scratch,
         )
     });
     stats
@@ -321,16 +564,35 @@ pub fn parallel_factor<T: Scalar>(
 ) -> FactorOutcome<T> {
     assert_eq!(aprime.nrows(), aprime.ncols(), "graph matrix must be square");
     match cfg.n {
-        1 => run::<T, 1>(dev, aprime, cfg),
-        2 => run::<T, 2>(dev, aprime, cfg),
-        3 => run::<T, 3>(dev, aprime, cfg),
-        4 => run::<T, 4>(dev, aprime, cfg),
-        5 => run::<T, 5>(dev, aprime, cfg),
-        6 => run::<T, 6>(dev, aprime, cfg),
-        7 => run::<T, 7>(dev, aprime, cfg),
-        8 => run::<T, 8>(dev, aprime, cfg),
+        1 => run::<T, 1>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        2 => run::<T, 2>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        3 => run::<T, 3>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        4 => run::<T, 4>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        5 => run::<T, 5>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        6 => run::<T, 6>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        7 => run::<T, 7>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        8 => run::<T, 8>(dev, aprime, cfg, &mut FactorWorkspace::new()),
         n => panic!("degree bound n = {n} unsupported (1..=8; the paper implements n ≤ 4)"),
     }
+}
+
+/// [`parallel_factor`] with a caller-owned [`FactorWorkspace`], for loops
+/// that compute many factors (the preconditioner pipeline, benchmarks): all
+/// per-iteration buffers are reused across calls instead of reallocated.
+/// The workspace degree bound `K` must equal `cfg.n`.
+pub fn parallel_factor_with_workspace<T: Scalar, const K: usize>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+    ws: &mut FactorWorkspace<T, K>,
+) -> FactorOutcome<T> {
+    assert_eq!(aprime.nrows(), aprime.ncols(), "graph matrix must be square");
+    assert_eq!(
+        cfg.n, K,
+        "workspace degree bound K = {K} must equal cfg.n = {}",
+        cfg.n
+    );
+    run::<T, K>(dev, aprime, cfg, ws)
 }
 
 #[cfg(test)]
@@ -457,6 +719,100 @@ mod tests {
             &FactorConfig::paper_default(2).with_engine(SpmvEngine::SrCsr),
         );
         assert_eq!(r1.factor, r2.factor, "engines must be bit-identical");
+    }
+
+    #[test]
+    fn frontier_identical_to_dense_both_engines() {
+        let dev = Device::default();
+        for seed in [1u64, 42] {
+            let a: Csr<f64> = random_symmetric(600, 8.0, 0.1, 1.0, seed);
+            let ap = prepare_undirected(&a);
+            for n in [1usize, 2, 4] {
+                for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+                    let cfg = FactorConfig::paper_default(n)
+                        .with_max_iters(40)
+                        .with_engine(engine);
+                    let dense = parallel_factor(&dev, &ap, &cfg);
+                    let front = parallel_factor(&dev, &ap, &cfg.with_frontier(true));
+                    assert_eq!(
+                        dense.factor, front.factor,
+                        "seed={seed} n={n} engine={engine:?}: factors must be bit-identical"
+                    );
+                    assert_eq!(dense.iterations, front.iterations);
+                    assert_eq!(dense.maximal, front.maximal);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_reduces_proposition_reads_when_half_full() {
+        // Acceptance bound: once the frontier holds < half the vertices,
+        // the proposition phase must read ≥ 25% fewer bytes than dense.
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(48, 48, &ANISO1);
+        let ap = prepare_undirected(&a);
+        let cfg = FactorConfig::paper_default(2).with_max_iters(40);
+        // Find a warmup depth with frontier < nv/2 (confirmed slots say
+        // how many vertices are full; warmup until most are).
+        let warm = parallel_factor(&dev, &ap, &cfg.with_max_iters(40));
+        assert!(warm.maximal, "grid should reach maximality");
+        let warmup = warm.iterations; // maximal state: frontier is smallest
+        let nv = ap.nrows();
+        let full_now = (0..nv)
+            .filter(|&v| warm.factor.degree(v) == 2)
+            .count();
+        assert!(
+            nv - full_now < nv / 2,
+            "test premise: frontier ({}) must be under half of {nv}",
+            nv - full_now
+        );
+        for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+            let cfg = cfg.with_engine(engine);
+            let dense = proposition_kernel_stats(&dev, &ap, &cfg, warmup);
+            let front =
+                proposition_kernel_stats(&dev, &ap, &cfg.with_frontier(true), warmup);
+            assert!(
+                (front.traffic.read as f64) <= 0.75 * dense.traffic.read as f64,
+                "engine {engine:?}: frontier read {} vs dense {} (< 25% saved)",
+                front.traffic.read,
+                dense.traffic.read
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_runs() {
+        let dev = Device::default();
+        let mut ws = FactorWorkspace::<f64, 2>::new();
+        // Different graphs and sizes through one workspace, interleaved
+        // with fresh-allocation runs.
+        for (i, nv) in [300usize, 120, 500].iter().enumerate() {
+            let a: Csr<f64> = random_symmetric(*nv, 6.0, 0.1, 1.0, i as u64 + 10);
+            let ap = prepare_undirected(&a);
+            for frontier in [false, true] {
+                let cfg = FactorConfig::paper_default(2)
+                    .with_max_iters(25)
+                    .with_frontier(frontier);
+                let fresh = parallel_factor(&dev, &ap, &cfg);
+                let reused = parallel_factor_with_workspace(&dev, &ap, &cfg, &mut ws);
+                assert_eq!(fresh.factor, reused.factor, "nv={nv} frontier={frontier}");
+                assert_eq!(fresh.iterations, reused.iterations);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal cfg.n")]
+    fn workspace_wrong_k_rejected() {
+        let a: Csr<f64> = random_symmetric(10, 2.0, 0.1, 1.0, 1);
+        let mut ws = FactorWorkspace::<f64, 3>::new();
+        parallel_factor_with_workspace(
+            &Device::default(),
+            &a,
+            &FactorConfig::paper_default(2),
+            &mut ws,
+        );
     }
 
     #[test]

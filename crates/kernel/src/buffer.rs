@@ -105,6 +105,79 @@ impl<T> PingPong<T> {
     }
 }
 
+/// A reusable device buffer: keeps its allocation alive across kernel
+/// iterations so per-iteration `Vec` churn (a `cudaMalloc`/`cudaFree` pair
+/// per loop trip, in GPU terms) is replaced by a one-time allocation that
+/// only grows. The paper's pipeline allocates every working buffer once up
+/// front; `Reusable` is how host-side loops get the same behavior.
+///
+/// ```
+/// let mut buf = lf_kernel::Reusable::<u32>::new();
+/// let s = buf.filled(4, 7);
+/// s[0] = 1;
+/// assert_eq!(buf.as_slice(), &[1, 7, 7, 7]);
+/// let v = buf.cleared(16);
+/// v.push(3);
+/// assert_eq!(buf.as_slice(), &[3]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Reusable<T> {
+    buf: Vec<T>,
+}
+
+impl<T> Reusable<T> {
+    /// An empty buffer; allocates lazily on first use.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` elements pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Resize to exactly `len` elements, every one set to `fill`
+    /// (stale contents are overwritten), and return the slice.
+    pub fn filled(&mut self, len: usize, fill: T) -> &mut [T]
+    where
+        T: Clone,
+    {
+        self.buf.clear();
+        self.buf.resize(len, fill);
+        &mut self.buf
+    }
+
+    /// Clear, reserve room for `cap` elements, and return the `Vec` for
+    /// push-style filling (e.g. as a compaction output).
+    pub fn cleared(&mut self, cap: usize) -> &mut Vec<T> {
+        self.buf.clear();
+        self.buf.reserve(cap);
+        &mut self.buf
+    }
+
+    /// The current contents.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf
+    }
+
+    /// The current contents, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether there are no live elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
 /// A shared view over a mutable slice that permits concurrent writes to
 /// *disjoint* indices from multiple threads — the CPU analog of a CUDA
 /// scatter kernel writing to global memory.
@@ -183,6 +256,26 @@ mod tests {
         pp.swap();
         assert_eq!(pp.src()[0], 99);
         assert_eq!(pp.into_src()[0], 99);
+    }
+
+    #[test]
+    fn reusable_keeps_capacity() {
+        let mut buf = Reusable::<u32>::with_capacity(8);
+        assert!(buf.is_empty());
+        let s = buf.filled(100, 9);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|&x| x == 9));
+        let cap = buf.buf.capacity();
+        let v = buf.cleared(50);
+        v.extend(0..50u32);
+        assert_eq!(buf.len(), 50);
+        assert_eq!(buf.as_slice()[49], 49);
+        assert!(buf.buf.capacity() >= cap, "cleared() must not shrink");
+        // filled() after a larger use overwrites stale contents entirely.
+        let s = buf.filled(3, 0);
+        assert_eq!(s, &[0, 0, 0]);
+        buf.as_mut_slice()[1] = 5;
+        assert_eq!(buf.as_slice(), &[0, 5, 0]);
     }
 
     #[test]

@@ -66,8 +66,63 @@ pub fn compact_indices<T: Sync>(
     data: &[T],
     pred: impl Fn(&T) -> bool + Sync,
 ) -> Vec<u32> {
-    let idx: Vec<u32> = (0..data.len() as u32).collect();
-    compact(dev, name, &idx, |&i| pred(&data[i as usize]))
+    let mut out = Vec::new();
+    compact_indices_into(dev, name, data, pred, &mut out);
+    out
+}
+
+/// Like [`compact_indices`], but writes into a caller-owned vector so hot
+/// loops can reuse one allocation across iterations. `out` is cleared
+/// first; on return it holds the ascending indices of elements satisfying
+/// `pred`. No identity-index buffer is materialized: the flag scan runs
+/// directly over the index space.
+pub fn compact_indices_into<T: Sync>(
+    dev: &Device,
+    name: &str,
+    data: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+    out: &mut Vec<u32>,
+) {
+    let n = data.len();
+    let traffic = Traffic::new().reads::<T>(n).writes::<u32>(n);
+    dev.launch(name, traffic, || {
+        out.clear();
+        if n < SEQ_THRESHOLD {
+            out.extend((0..n as u32).filter(|&i| pred(&data[i as usize])));
+            return;
+        }
+        let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
+        let chunk = n.div_ceil(nchunks);
+        let mut counts: Vec<usize> = (0..nchunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * chunk;
+                let hi = ((c + 1) * chunk).min(n);
+                data[lo..hi].iter().filter(|x| pred(x)).count()
+            })
+            .collect();
+        let mut acc = 0usize;
+        for c in counts.iter_mut() {
+            let x = *c;
+            *c = acc;
+            acc += x;
+        }
+        out.resize(acc, 0);
+        let view = ScatterSlice::new(out);
+        counts.par_iter().enumerate().for_each(|(c, &start)| {
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            let mut pos = start;
+            for (i, x) in data.iter().enumerate().take(hi).skip(lo) {
+                if pred(x) {
+                    // SAFETY: disjoint ranges per chunk; `pos` walks
+                    // [start, start+count) without overlap.
+                    unsafe { view.write(pos, i as u32) };
+                    pos += 1;
+                }
+            }
+        });
+    });
 }
 
 /// Histogram of `nbins` bins; `key` must return a bin index `< nbins`.
@@ -138,6 +193,20 @@ mod tests {
         let dev = Device::default();
         let v = vec![5u32, 0, 7, 0, 9];
         assert_eq!(compact_indices(&dev, "ci", &v, |&x| x > 0), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn compact_indices_into_reuses_buffer() {
+        let dev = Device::default();
+        let mut out = vec![99u32; 7]; // stale contents must be discarded
+        for n in [100usize, 50_000] {
+            let v: Vec<u32> = (0..n as u32).collect();
+            compact_indices_into(&dev, "ci", &v, |&x| x % 5 == 0, &mut out);
+            let want: Vec<u32> = (0..n as u32).filter(|&x| x % 5 == 0).collect();
+            assert_eq!(out, want, "n={n}");
+        }
+        compact_indices_into(&dev, "ci", &[] as &[u32], |_| true, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -9,12 +9,8 @@
 //! like the paper's Table 2 enumerates read buffers).
 
 use crate::device::{Device, Traffic};
+use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
-
-/// Sequential fallback threshold: below this many elements the rayon
-/// fork-join overhead dominates, so run the body serially. The launch is
-/// still recorded. (GPU analog: tiny grids don't fill the device either.)
-const PAR_THRESHOLD: usize = 2048;
 
 #[inline]
 fn run_indexed<O: Send + Sync>(out: &mut [O], f: impl Fn(usize) -> O + Sync) {

@@ -42,8 +42,14 @@ pub mod scan;
 pub mod segmented;
 pub mod sort;
 
-pub use buffer::{PingPong, ScatterSlice};
+pub use buffer::{PingPong, Reusable, ScatterSlice};
 pub use device::{Device, DeviceConfig, DeviceStats, KernelStats, LaunchSample, Traffic};
+
+/// Sequential fallback threshold shared by the data-parallel primitives:
+/// below this many elements the rayon fork-join overhead dominates, so
+/// kernel bodies run serially. The launch is still recorded. (GPU analog:
+/// tiny grids don't fill the device either.)
+pub const PAR_THRESHOLD: usize = 2048;
 
 /// Commonly used items.
 pub mod prelude {

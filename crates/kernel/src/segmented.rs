@@ -4,9 +4,8 @@
 //! `num_segments + 1`.
 
 use crate::device::{Device, Traffic};
+use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
-
-const PAR_THRESHOLD: usize = 2048;
 
 /// Reduce every segment independently:
 /// `out[s] = identity ⊕ data[offsets[s]] ⊕ … ⊕ data[offsets[s+1]−1]`.

@@ -107,6 +107,12 @@ impl<T: Scalar> Csr<T> {
             .map(|(&c, &v)| (c, v))
     }
 
+    /// The column-index and value slices of row `i`.
+    pub fn row_slices(&self, i: usize) -> (&[u32], &[T]) {
+        let r = self.row_ptr[i]..self.row_ptr[i + 1];
+        (&self.col_idx[r.clone()], &self.vals[r])
+    }
+
     /// Number of entries in row `i`.
     pub fn row_len(&self, i: usize) -> usize {
         self.row_ptr[i + 1] - self.row_ptr[i]
@@ -344,6 +350,83 @@ impl<T: Scalar> Csr<T> {
     }
 }
 
+/// Borrowed row-subset view of a [`Csr`]: the rows named by a gather list,
+/// presented as a compact matrix of `rows.len()` local rows over a
+/// *virtual* nonzero range — the concatenation of the selected rows' entry
+/// ranges. Built per iteration by the frontier-compacted factor loop so the
+/// generalized-SpMV engines touch only active rows; finalized outputs are
+/// scattered back through the gather list by the caller.
+///
+/// `vrow_ptr` plays the role of `row_ptr` in the virtual range:
+/// `vrow_ptr[k+1] - vrow_ptr[k]` is the entry count of global row
+/// `rows[k]`, and `vrow_ptr[rows.len()]` is the view's nnz. It is borrowed
+/// (not owned) so the factor workspace can reuse its allocation across
+/// iterations; build it with [`subset_row_ptr`].
+#[derive(Clone, Copy)]
+pub struct CsrRowView<'a, T> {
+    base: &'a Csr<T>,
+    rows: &'a [u32],
+    vrow_ptr: &'a [usize],
+}
+
+impl<'a, T: Scalar> CsrRowView<'a, T> {
+    /// Assemble a view from a gather list and its virtual row pointers
+    /// (from [`subset_row_ptr`] over the same `base` and `rows`).
+    pub fn new(base: &'a Csr<T>, rows: &'a [u32], vrow_ptr: &'a [usize]) -> Self {
+        assert_eq!(vrow_ptr.len(), rows.len() + 1, "vrow_ptr length");
+        debug_assert!(rows.iter().all(|&r| (r as usize) < base.nrows()));
+        debug_assert!(rows
+            .iter()
+            .zip(vrow_ptr.windows(2))
+            .all(|(&r, w)| w[1] - w[0] == base.row_len(r as usize)));
+        Self { base, rows, vrow_ptr }
+    }
+
+    /// Number of selected rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Entries covered by the selected rows.
+    pub fn nnz(&self) -> usize {
+        *self.vrow_ptr.last().unwrap()
+    }
+
+    /// The gather list: `rows()[k]` is the global row behind local row `k`.
+    pub fn rows(&self) -> &'a [u32] {
+        self.rows
+    }
+
+    /// Virtual row-pointer array (length `nrows() + 1`).
+    pub fn vrow_ptr(&self) -> &'a [usize] {
+        self.vrow_ptr
+    }
+
+    /// The matrix this view selects rows of.
+    pub fn base(&self) -> &'a Csr<T> {
+        self.base
+    }
+
+    /// Column/value slices of local row `k` (i.e. global row `rows()[k]`).
+    pub fn row_slices(&self, k: usize) -> (&'a [u32], &'a [T]) {
+        self.base.row_slices(self.rows[k] as usize)
+    }
+}
+
+/// Build the virtual row-pointer array of a row subset into `out`
+/// (cleared first; allocation reused across calls): an exclusive scan of
+/// the selected rows' entry counts, with the total appended.
+pub fn subset_row_ptr<T: Scalar>(base: &Csr<T>, rows: &[u32], out: &mut Vec<usize>) {
+    out.clear();
+    out.reserve(rows.len() + 1);
+    let mut acc = 0usize;
+    out.push(0);
+    for &r in rows {
+        acc += base.row_len(r as usize);
+        out.push(acc);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,5 +560,33 @@ mod tests {
         assert_eq!(m.nnz(), 0);
         assert_eq!(m.row_len(3), 0);
         assert_eq!(m.bandwidth(), 0);
+    }
+
+    #[test]
+    fn row_view_selects_rows() {
+        let m = small();
+        let rows = [0u32, 2];
+        let mut vp = Vec::new();
+        subset_row_ptr(&m, &rows, &mut vp);
+        assert_eq!(vp, vec![0, 2, 4]);
+        let v = CsrRowView::new(&m, &rows, &vp);
+        assert_eq!(v.nrows(), 2);
+        assert_eq!(v.nnz(), 4);
+        let (c0, w0) = v.row_slices(0);
+        assert_eq!(c0, m.row_slices(0).0);
+        assert_eq!(w0, m.row_slices(0).1);
+        let (c1, _) = v.row_slices(1);
+        assert_eq!(c1, m.row_slices(2).0);
+    }
+
+    #[test]
+    fn row_view_empty_subset() {
+        let m = small();
+        let rows: [u32; 0] = [];
+        let mut vp = Vec::new();
+        subset_row_ptr(&m, &rows, &mut vp);
+        let v = CsrRowView::new(&m, &rows, &vp);
+        assert_eq!(v.nrows(), 0);
+        assert_eq!(v.nnz(), 0);
     }
 }

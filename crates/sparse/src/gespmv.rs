@@ -18,12 +18,21 @@
 //!   boundaries are combined in a fixup pass. This is load-balanced even
 //!   for wildly skewed row lengths, which is why the paper uses it.
 //!
+//! Both engines run over any [`GeSpmvMatrix`] source — the full [`Csr`] or
+//! a [`CsrRowView`] row subset. The latter is what the frontier-compacted
+//! factor loop uses: only non-full rows are multiplied, and the engine
+//! writes one output per *view* row, which the caller scatters back through
+//! the view's gather list. Because `⊕` is associative and commutative for
+//! every functor used here, the per-row result is independent of how the
+//! row set is partitioned, so view and full-matrix runs agree bit for bit
+//! on the shared rows.
+//!
 //! Ordinary `d = Ax + d` is recovered by [`AxpyOps`]; the proposition
 //! functor lives in `lf-core`.
 
-use crate::csr::Csr;
+use crate::csr::{Csr, CsrRowView};
 use crate::scalar::Scalar;
-use lf_kernel::{launch, Device, ScatterSlice, Traffic};
+use lf_kernel::{launch, Device, ScatterSlice, Traffic, PAR_THRESHOLD};
 use rayon::prelude::*;
 
 /// Operations parameterizing a generalized SpMV over a `Csr<T>`.
@@ -89,112 +98,246 @@ impl<'a, T: Scalar> GeSpmvOps<T> for AxpyOps<'a, T> {
     }
 }
 
-fn base_traffic<T: Scalar, O: GeSpmvOps<T>>(a: &Csr<T>, ops: &O) -> Traffic {
-    Traffic::new()
-        .reads::<T>(a.nnz()) // CSR values
-        .reads::<u32>(a.nnz()) // CSR col indices
-        .reads::<usize>(a.nrows() + 1) // CSR row ptrs
-        .read_bytes(ops.extra_read_bytes(a.nrows(), a.nnz()))
-        .writes::<O::Out>(a.nrows())
+/// A matrix source the generalized-SpMV engines can run over: either the
+/// full [`Csr`] or a [`CsrRowView`] row subset. Rows are addressed by a
+/// *local* index `0..num_rows()`; [`GeSpmvMatrix::global_row`] maps a local
+/// row to the global row id handed to the functor (so indirect lookups into
+/// captured state vectors keep working under compaction).
+pub trait GeSpmvMatrix<T: Scalar>: Sync {
+    /// Number of (local) rows; engines write one output per local row.
+    fn num_rows(&self) -> usize;
+    /// Number of nonzeros covered by this source.
+    fn nnz(&self) -> usize;
+    /// Global row id of local row `local`.
+    fn global_row(&self, local: usize) -> u32;
+    /// CSR-style offsets over the local rows (length `num_rows() + 1`);
+    /// virtual for a row view, the real row pointer for the full matrix.
+    fn vrow_ptr(&self) -> &[usize];
+    /// Column indices and values of local row `local`.
+    fn row_data(&self, local: usize) -> (&[u32], &[T]);
+    /// Extra index bytes read per launch beyond values / column indices /
+    /// `vrow_ptr` (a row view reads its gather list too). Traffic only.
+    fn index_read_bytes(&self) -> u64 {
+        0
+    }
 }
 
-/// Row-parallel generalized SpMV: one logical thread per row.
-pub fn gespmv_rowpar<T: Scalar, O: GeSpmvOps<T>>(
+impl<T: Scalar> GeSpmvMatrix<T> for Csr<T> {
+    #[inline]
+    fn num_rows(&self) -> usize {
+        self.nrows()
+    }
+    #[inline]
+    fn nnz(&self) -> usize {
+        Csr::nnz(self)
+    }
+    #[inline]
+    fn global_row(&self, local: usize) -> u32 {
+        local as u32
+    }
+    #[inline]
+    fn vrow_ptr(&self) -> &[usize] {
+        self.row_ptr()
+    }
+    #[inline]
+    fn row_data(&self, local: usize) -> (&[u32], &[T]) {
+        self.row_slices(local)
+    }
+}
+
+impl<'a, T: Scalar> GeSpmvMatrix<T> for CsrRowView<'a, T> {
+    #[inline]
+    fn num_rows(&self) -> usize {
+        CsrRowView::nrows(self)
+    }
+    #[inline]
+    fn nnz(&self) -> usize {
+        CsrRowView::nnz(self)
+    }
+    #[inline]
+    fn global_row(&self, local: usize) -> u32 {
+        self.rows()[local]
+    }
+    #[inline]
+    fn vrow_ptr(&self) -> &[usize] {
+        CsrRowView::vrow_ptr(self)
+    }
+    #[inline]
+    fn row_data(&self, local: usize) -> (&[u32], &[T]) {
+        self.row_slices(local)
+    }
+    fn index_read_bytes(&self) -> u64 {
+        // The gather list mapping local rows to global rows.
+        std::mem::size_of_val(self.rows()) as u64
+    }
+}
+
+fn base_traffic<T: Scalar, M: GeSpmvMatrix<T>, O: GeSpmvOps<T>>(a: &M, ops: &O) -> Traffic {
+    Traffic::new()
+        .reads::<T>(a.nnz()) // covered values
+        .reads::<u32>(a.nnz()) // covered col indices
+        .reads::<usize>(a.num_rows() + 1) // (virtual) row ptrs
+        .read_bytes(a.index_read_bytes())
+        .read_bytes(ops.extra_read_bytes(a.num_rows(), a.nnz()))
+        .writes::<O::Out>(a.num_rows())
+}
+
+/// Row-parallel generalized SpMV: one logical thread per (local) row.
+pub fn gespmv_rowpar<T: Scalar, M: GeSpmvMatrix<T>, O: GeSpmvOps<T>>(
     dev: &Device,
     name: &str,
-    a: &Csr<T>,
+    a: &M,
     ops: &O,
     out: &mut [O::Out],
 ) {
-    assert_eq!(out.len(), a.nrows(), "output length mismatch");
+    assert_eq!(out.len(), a.num_rows(), "output length mismatch");
     let traffic = base_traffic(a, ops);
     dev.launch(name, traffic, || {
-        let body = |i: usize, o: &mut O::Out| {
+        let body = |k: usize, o: &mut O::Out| {
+            let g = a.global_row(k);
+            let (cols, vals) = a.row_data(k);
             let mut acc = ops.identity();
-            for (c, v) in a.row(i) {
-                acc = ops.combine(acc, ops.multiply(i as u32, c, v));
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc = ops.combine(acc, ops.multiply(g, c, v));
             }
-            *o = ops.finalize(i as u32, acc);
+            *o = ops.finalize(g, acc);
         };
-        if a.nrows() < 2048 {
-            for (i, o) in out.iter_mut().enumerate() {
-                body(i, o);
+        if a.num_rows() < PAR_THRESHOLD {
+            for (k, o) in out.iter_mut().enumerate() {
+                body(k, o);
             }
         } else {
-            out.par_iter_mut().enumerate().for_each(|(i, o)| body(i, o));
+            out.par_iter_mut().enumerate().for_each(|(k, o)| body(k, o));
         }
     });
+}
+
+/// Reusable working memory for [`gespmv_srcsr_with`]: the per-segment
+/// partial-accumulator vectors and the fixup staging buffer. Holding one of
+/// these across factor iterations removes the per-launch allocation churn
+/// (the GPU analog: the paper allocates all working buffers once up front).
+#[derive(Debug)]
+pub struct SrcsrScratch<A> {
+    partials: Vec<Vec<(u32, A)>>,
+    flat: Vec<(u32, A)>,
+}
+
+impl<A> SrcsrScratch<A> {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self {
+            partials: Vec::new(),
+            flat: Vec::new(),
+        }
+    }
+}
+
+impl<A> Default for SrcsrScratch<A> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Segmented-reduction generalized SpMV (the paper's SRCSR scheme): the
 /// nonzero range is split into equal segments processed in parallel;
 /// rows crossing segment boundaries are finished in a sequential fixup.
-pub fn gespmv_srcsr<T: Scalar, O: GeSpmvOps<T>>(
+///
+/// Every output row is written exactly once: a row fully inside a segment
+/// is written by that segment, an empty row is written by the unique
+/// segment whose nonzero range contains the row's (virtual) start offset
+/// (trailing empty rows belong to the last segment), and a row straddling
+/// segment boundaries is written by the fixup pass. There is no full-output
+/// pre-fill pass.
+pub fn gespmv_srcsr<T: Scalar, M: GeSpmvMatrix<T>, O: GeSpmvOps<T>>(
     dev: &Device,
     name: &str,
-    a: &Csr<T>,
+    a: &M,
     ops: &O,
     out: &mut [O::Out],
 ) {
-    assert_eq!(out.len(), a.nrows(), "output length mismatch");
+    let mut scratch = SrcsrScratch::new();
+    gespmv_srcsr_with(dev, name, a, ops, out, &mut scratch);
+}
+
+/// [`gespmv_srcsr`] with caller-owned [`SrcsrScratch`], for hot loops.
+pub fn gespmv_srcsr_with<T: Scalar, M: GeSpmvMatrix<T>, O: GeSpmvOps<T>>(
+    dev: &Device,
+    name: &str,
+    a: &M,
+    ops: &O,
+    out: &mut [O::Out],
+    scratch: &mut SrcsrScratch<O::Acc>,
+) {
+    assert_eq!(out.len(), a.num_rows(), "output length mismatch");
     let nnz = a.nnz();
-    let nrows = a.nrows();
+    let nrows = a.num_rows();
     if nnz == 0 {
-        launch::map1(dev, name, out, 0, |i| ops.finalize(i as u32, ops.identity()));
+        launch::map1(dev, name, out, 0, |k| {
+            ops.finalize(a.global_row(k), ops.identity())
+        });
         return;
     }
     let traffic = base_traffic(a, ops);
-    // Partial accumulator of a boundary-crossing row: (row, acc).
-    let mut partials: Vec<Vec<(u32, O::Acc)>> = Vec::new();
+    let SrcsrScratch { partials, flat } = scratch;
     dev.launch(name, traffic, || {
         let nseg = (rayon::current_num_threads().max(1) * 4).min(nnz);
         let seg_len = nnz.div_ceil(nseg);
-        let row_ptr = a.row_ptr();
-        let col_idx = a.col_idx();
-        let vals = a.vals();
-        // Rows with no entries are untouched by segments: pre-fill every
-        // row with finalize(identity); covered rows are overwritten.
-        let fill = |o: &mut [O::Out]| {
-            o.par_iter_mut()
-                .enumerate()
-                .for_each(|(i, o)| *o = ops.finalize(i as u32, ops.identity()));
-        };
-        fill(out);
+        let vrp = a.vrow_ptr();
+        partials.resize_with(nseg, Vec::new);
         let view = ScatterSlice::new(out);
-        partials = (0..nseg)
-            .into_par_iter()
-            .map(|s| {
-                let seg_start = s * seg_len;
-                let seg_end = ((s + 1) * seg_len).min(nnz);
-                if seg_start >= seg_end {
-                    return Vec::new();
+        partials.par_iter_mut().enumerate().for_each(|(s, local)| {
+            local.clear();
+            let seg_start = s * seg_len;
+            let seg_end = ((s + 1) * seg_len).min(nnz);
+            if seg_start >= seg_end {
+                return;
+            }
+            // Does this segment end the nonzero range? Then it also owns
+            // any trailing empty rows (virtual start offset == nnz).
+            let last = seg_end == nnz;
+            // Binary search for the first owned row — the "setup kernel"
+            // the paper observes cuSPARSE also runs. `row` is the first
+            // row starting at or after seg_start; if that row starts
+            // strictly after seg_start, the previous row straddles the
+            // boundary and this segment reduces its right part.
+            let mut row = vrp.partition_point(|&p| p < seg_start);
+            if row == vrp.len() || vrp[row] > seg_start {
+                row -= 1;
+            }
+            while row < nrows {
+                let rs = vrp[row];
+                let re = vrp[row + 1];
+                if rs >= seg_end && !(last && rs == nnz) {
+                    break;
                 }
-                let mut local: Vec<(u32, O::Acc)> = Vec::new();
-                // Binary search for the row containing seg_start — the
-                // "setup kernel" the paper observes cuSPARSE also runs.
-                let mut row = row_ptr.partition_point(|&p| p <= seg_start) - 1;
-                let mut k = seg_start;
-                while k < seg_end {
-                    let row_end = row_ptr[row + 1].min(seg_end);
-                    let mut acc = ops.identity();
-                    for e in k..row_end {
-                        acc = ops.combine(acc, ops.multiply(row as u32, col_idx[e], vals[e]));
-                    }
-                    let full = row_ptr[row] >= seg_start && row_ptr[row + 1] <= seg_end;
-                    if full {
-                        // SAFETY: this row's entry range lies entirely in
-                        // this segment, so no other segment writes it; the
-                        // pre-fill pass completed before this scatter began.
-                        unsafe { view.write(row, ops.finalize(row as u32, acc)) };
-                    } else {
-                        local.push((row as u32, acc));
-                    }
-                    k = row_end;
+                let g = a.global_row(row);
+                if rs == re {
+                    // Empty row owned by this segment (seg_start <= rs <
+                    // seg_end, or rs == nnz on the last segment).
+                    // SAFETY: exactly one segment owns each empty row;
+                    // nothing else writes it.
+                    unsafe { view.write(row, ops.finalize(g, ops.identity())) };
                     row += 1;
+                    continue;
                 }
-                local
-            })
-            .collect();
+                let lo = rs.max(seg_start);
+                let hi = re.min(seg_end);
+                let (cols, vals) = a.row_data(row);
+                let mut acc = ops.identity();
+                for e in lo..hi {
+                    acc = ops.combine(acc, ops.multiply(g, cols[e - rs], vals[e - rs]));
+                }
+                if rs >= seg_start && re <= seg_end {
+                    // SAFETY: this row's entry range lies entirely in this
+                    // segment, so no other segment writes it.
+                    unsafe { view.write(row, ops.finalize(g, acc)) };
+                } else {
+                    // Straddling row: emit a partial keyed by *local* row.
+                    local.push((row as u32, acc));
+                }
+                row += 1;
+            }
+        });
     });
     // Sequential fixup: combine partials by row (few — at most 2·nseg).
     let fixup_count: usize = partials.iter().map(|p| p.len()).sum();
@@ -203,7 +346,10 @@ pub fn gespmv_srcsr<T: Scalar, O: GeSpmvOps<T>>(
             .read_bytes((fixup_count * std::mem::size_of::<(u32, O::Acc)>()) as u64)
             .writes::<O::Out>(fixup_count);
         dev.launch("srcsr_fixup", traffic, || {
-            let mut flat: Vec<(u32, O::Acc)> = partials.into_iter().flatten().collect();
+            flat.clear();
+            for p in partials.iter_mut() {
+                flat.append(p);
+            }
             flat.sort_by_key(|&(r, _)| r);
             let mut i = 0;
             while i < flat.len() {
@@ -214,12 +360,11 @@ pub fn gespmv_srcsr<T: Scalar, O: GeSpmvOps<T>>(
                     acc = ops.combine(acc, flat[j].1);
                     j += 1;
                 }
-                out[row as usize] = ops.finalize(row, acc);
+                out[row as usize] = ops.finalize(a.global_row(row as usize), acc);
                 i = j;
             }
         });
     }
-    let _ = nrows;
 }
 
 /// Which generalized-SpMV engine to run.
@@ -232,11 +377,11 @@ pub enum SpmvEngine {
 }
 
 /// Dispatch on [`SpmvEngine`].
-pub fn gespmv<T: Scalar, O: GeSpmvOps<T>>(
+pub fn gespmv<T: Scalar, M: GeSpmvMatrix<T>, O: GeSpmvOps<T>>(
     dev: &Device,
     name: &str,
     engine: SpmvEngine,
-    a: &Csr<T>,
+    a: &M,
     ops: &O,
     out: &mut [O::Out],
 ) {
@@ -246,9 +391,27 @@ pub fn gespmv<T: Scalar, O: GeSpmvOps<T>>(
     }
 }
 
+/// [`gespmv`] with caller-owned [`SrcsrScratch`] (ignored by the
+/// row-parallel engine), for hot loops.
+pub fn gespmv_with<T: Scalar, M: GeSpmvMatrix<T>, O: GeSpmvOps<T>>(
+    dev: &Device,
+    name: &str,
+    engine: SpmvEngine,
+    a: &M,
+    ops: &O,
+    out: &mut [O::Out],
+    scratch: &mut SrcsrScratch<O::Acc>,
+) {
+    match engine {
+        SpmvEngine::RowParallel => gespmv_rowpar(dev, name, a, ops, out),
+        SpmvEngine::SrCsr => gespmv_srcsr_with(dev, name, a, ops, out, scratch),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::subset_row_ptr;
     use crate::random::random_symmetric;
     use crate::stencil::{grid2d, FIVE_POINT};
 
@@ -307,6 +470,89 @@ mod tests {
     }
 
     #[test]
+    fn srcsr_scratch_reuse_across_calls() {
+        let dev = Device::default();
+        let mut scratch = SrcsrScratch::new();
+        // Different shapes through the same scratch, interleaved.
+        for n in [50usize, 3000, 120] {
+            let a: Csr<f64> = random_symmetric(n, 6.0, 0.1, 1.0, n as u64);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let d: Vec<f64> = (0..n).map(|i| i as f64 * 0.01).collect();
+            let ops = AxpyOps { x: &x, d: &d };
+            let mut o1 = vec![0.0; n];
+            let mut o2 = vec![0.0; n];
+            gespmv_srcsr_with(&dev, "s", &a, &ops, &mut o1, &mut scratch);
+            gespmv_srcsr(&dev, "s", &a, &ops, &mut o2);
+            assert_eq!(o1, o2, "n={n}");
+        }
+    }
+
+    /// Both engines over a row view must produce, per selected row, exactly
+    /// what the full-matrix run produces for that row.
+    #[test]
+    fn engines_on_row_view_match_full_rows() {
+        let a: Csr<f64> = random_symmetric(2000, 7.0, 0.1, 1.0, 11);
+        let n = a.nrows();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+        let d: Vec<f64> = (0..n).map(|i| i as f64 * 0.02).collect();
+        let ops = AxpyOps { x: &x, d: &d };
+        let dev = Device::default();
+        let mut full = vec![0.0; n];
+        gespmv_rowpar(&dev, "full", &a, &ops, &mut full);
+        // Every third row plus the last (exercises trailing boundary).
+        let rows: Vec<u32> = (0..n as u32).filter(|r| r % 3 == 0 || *r == n as u32 - 1).collect();
+        let mut vp = Vec::new();
+        subset_row_ptr(&a, &rows, &mut vp);
+        let view = CsrRowView::new(&a, &rows, &vp);
+        for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+            let mut out = vec![0.0; rows.len()];
+            gespmv(&dev, "view", engine, &view, &ops, &mut out);
+            for (k, &r) in rows.iter().enumerate() {
+                assert_eq!(
+                    out[k].to_bits(),
+                    full[r as usize].to_bits(),
+                    "engine {engine:?}, view row {k} (global {r})"
+                );
+            }
+        }
+    }
+
+    /// Row views with empty rows and empty subsets behave like the full run.
+    #[test]
+    fn srcsr_row_view_with_empty_rows() {
+        let mut coo = crate::coo::Coo::<f64>::new(400, 400);
+        for j in 0..399u32 {
+            coo.push(200, j, 0.5); // skewed row
+        }
+        coo.push(7, 9, 2.0);
+        let a = Csr::from_coo(coo);
+        let x = vec![1.0; 400];
+        let d = vec![0.25; 400];
+        let ops = AxpyOps { x: &x, d: &d };
+        let dev = Device::default();
+        let mut full = vec![0.0; 400];
+        gespmv_rowpar(&dev, "full", &a, &ops, &mut full);
+        // Subset containing empty rows around the dense one.
+        let rows: Vec<u32> = vec![0, 7, 199, 200, 201, 399];
+        let mut vp = Vec::new();
+        subset_row_ptr(&a, &rows, &mut vp);
+        let view = CsrRowView::new(&a, &rows, &vp);
+        let mut out = vec![0.0; rows.len()];
+        gespmv_srcsr(&dev, "view", &view, &ops, &mut out);
+        for (k, &r) in rows.iter().enumerate() {
+            assert_eq!(out[k], full[r as usize], "view row {k} (global {r})");
+        }
+        // Empty subset: no launches should panic, nothing written.
+        let rows: Vec<u32> = vec![];
+        let mut vp = Vec::new();
+        subset_row_ptr(&a, &rows, &mut vp);
+        let view = CsrRowView::new(&a, &rows, &vp);
+        let mut out: Vec<f64> = vec![];
+        gespmv_srcsr(&dev, "view", &view, &ops, &mut out);
+        gespmv_rowpar(&dev, "view", &view, &ops, &mut out);
+    }
+
+    #[test]
     fn traffic_matches_table2_shape() {
         // Table 2 (k=0 part): reads nnz values + nnz col indices + (N+1)
         // row ptrs (+ functor extras); writes N outputs.
@@ -322,6 +568,33 @@ mod tests {
             + ops.extra_read_bytes(a.nrows(), a.nnz());
         assert_eq!(s.traffic.read, expect_read);
         assert_eq!(s.traffic.written, (a.nrows() * 8) as u64);
+    }
+
+    #[test]
+    fn row_view_traffic_scales_with_subset() {
+        // A view over f rows covering z nonzeros reads z values + z col
+        // indices + (f+1) virtual row ptrs + f gather entries (+ extras
+        // computed over the view shape) and writes f outputs.
+        let a: Csr<f64> = grid2d(64, 64, &FIVE_POINT);
+        let n = a.nrows();
+        let rows: Vec<u32> = (0..n as u32).step_by(4).collect();
+        let mut vp = Vec::new();
+        subset_row_ptr(&a, &rows, &mut vp);
+        let view = CsrRowView::new(&a, &rows, &vp);
+        let x = vec![1.0; n];
+        let d = vec![0.0; n];
+        let ops = AxpyOps { x: &x, d: &d };
+        let dev = Device::default();
+        let mut out = vec![0.0; rows.len()];
+        gespmv_rowpar(&dev, "axpy", &view, &ops, &mut out);
+        let s = dev.stats();
+        let f = rows.len();
+        let z = view.nnz();
+        let expect_read = (z * 8 + z * 4 + (f + 1) * 8 + f * 4) as u64
+            + ops.extra_read_bytes(f, z);
+        assert_eq!(s.traffic.read, expect_read);
+        assert_eq!(s.traffic.written, (f * 8) as u64);
+        assert!(s.traffic.read < (a.nnz() * 12) as u64, "view must read less");
     }
 
     #[test]
@@ -369,6 +642,7 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::coo::Coo;
+    use crate::csr::subset_row_ptr;
     use proptest::prelude::*;
 
     proptest! {
@@ -433,6 +707,56 @@ mod proptests {
             let mut o2 = vec![0u64; n];
             gespmv_rowpar(&dev, "p", &a, &MinOps, &mut o1);
             gespmv_srcsr(&dev, "p", &a, &MinOps, &mut o2);
+            prop_assert_eq!(o1, o2);
+        }
+
+        /// Row-view runs (both engines) must agree bit-for-bit with the
+        /// full-matrix run on every selected row, for arbitrary matrices
+        /// and arbitrary strictly-ascending row subsets.
+        #[test]
+        fn row_views_bitwise_match_full(
+            n in 1usize..60,
+            edges in proptest::collection::vec((0u32..60, 0u32..60, 0u32..1000), 0..400),
+            picks in proptest::collection::vec(0u32..60, 0..40),
+        ) {
+            struct MinOps;
+            impl GeSpmvOps<f64> for MinOps {
+                type Acc = u64;
+                type Out = u64;
+                fn identity(&self) -> u64 { u64::MAX }
+                fn multiply(&self, _r: u32, c: u32, v: f64) -> u64 {
+                    (v as u64) << 8 | c as u64 % 251
+                }
+                fn combine(&self, a: u64, b: u64) -> u64 { a.min(b) }
+                fn finalize(&self, r: u32, acc: u64) -> u64 {
+                    acc.wrapping_add(r as u64)
+                }
+            }
+            let mut coo = Coo::new(n, n);
+            for &(r, c, v) in &edges {
+                if (r as usize) < n && (c as usize) < n {
+                    coo.push(r, c, v as f64);
+                }
+            }
+            let a = Csr::from_coo(coo);
+            let dev = Device::default();
+            let mut full = vec![0u64; n];
+            gespmv_rowpar(&dev, "p", &a, &MinOps, &mut full);
+            let mut rows: Vec<u32> =
+                picks.iter().copied().filter(|&r| (r as usize) < n).collect();
+            rows.sort_unstable();
+            rows.dedup();
+            let mut vp = Vec::new();
+            subset_row_ptr(&a, &rows, &mut vp);
+            let view = CsrRowView::new(&a, &rows, &vp);
+            let mut o1 = vec![0u64; rows.len()];
+            let mut o2 = vec![0u64; rows.len()];
+            gespmv_rowpar(&dev, "v", &view, &MinOps, &mut o1);
+            gespmv_srcsr(&dev, "v", &view, &MinOps, &mut o2);
+            for (k, &r) in rows.iter().enumerate() {
+                prop_assert_eq!(o1[k], full[r as usize]);
+                prop_assert_eq!(o2[k], full[r as usize]);
+            }
             prop_assert_eq!(o1, o2);
         }
     }

@@ -32,8 +32,11 @@ pub mod stencil;
 
 pub use collection::{Collection, PaperStats};
 pub use coo::Coo;
-pub use csr::Csr;
-pub use gespmv::{gespmv, gespmv_rowpar, gespmv_srcsr, AxpyOps, GeSpmvOps, SpmvEngine};
+pub use csr::{subset_row_ptr, Csr, CsrRowView};
+pub use gespmv::{
+    gespmv, gespmv_rowpar, gespmv_srcsr, gespmv_srcsr_with, gespmv_with, AxpyOps, GeSpmvMatrix,
+    GeSpmvOps, SpmvEngine, SrcsrScratch,
+};
 pub use scalar::Scalar;
 pub use stats::{degree_histogram, graph_stats, GraphStats};
 
@@ -41,8 +44,8 @@ pub use stats::{degree_histogram, graph_stats, GraphStats};
 pub mod prelude {
     pub use crate::collection::Collection;
     pub use crate::coo::Coo;
-    pub use crate::csr::Csr;
-    pub use crate::gespmv::{gespmv, AxpyOps, GeSpmvOps, SpmvEngine};
+    pub use crate::csr::{Csr, CsrRowView};
+    pub use crate::gespmv::{gespmv, AxpyOps, GeSpmvMatrix, GeSpmvOps, SpmvEngine};
     pub use crate::scalar::Scalar;
     pub use crate::stencil::{aniso3, grid2d, grid3d, Stencil7, ANISO1, ANISO2, FIVE_POINT};
 }

@@ -41,7 +41,7 @@ fn main() {
         "\n{:<22} {:>10} {:>12} {:>12} {:>10}",
         "preconditioner", "coverage", "iterations", "rel.res.", "FRE"
     );
-    let mut run = |name: &str, cov: Option<f64>, p: &dyn Preconditioner<f64>| {
+    let run = |name: &str, cov: Option<f64>, p: &dyn Preconditioner<f64>| {
         let (_, st) = bicgstab(&dev, &a, &b, p, &opts, Some(&xt));
         println!(
             "{:<22} {:>10} {:>12} {:>12.2e} {:>10.2e}",

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, clippy with warnings denied.
+#
+#   scripts/tier1.sh [--offline]
+#
+# With --offline (or when crates.io is unreachable and OFFLINE=1 is set),
+# every cargo invocation is routed through scripts/offline_check.sh, which
+# overlays the vendored dependency stubs in a scratch copy of the tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+    if [ "${OFFLINE:-0}" = "1" ]; then
+        scripts/offline_check.sh "$@"
+    else
+        cargo "$@"
+    fi
+}
+
+if [ "${1:-}" = "--offline" ]; then
+    export OFFLINE=1
+    shift
+fi
+
+# --workspace matters: the root manifest is itself a package that does not
+# depend on lf-bench, so a bare `cargo build` would skip the bench crate.
+run build --release --workspace
+run test --workspace -q
+run clippy --workspace --all-targets -- -D warnings

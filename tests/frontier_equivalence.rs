@@ -1,0 +1,116 @@
+//! Frontier-compacted proposition must be indistinguishable from the dense
+//! mode: bit-identical `Factor`s, iteration counts and maximality flags,
+//! for both SpMV engines, on random graphs including isolated vertices and
+//! duplicate edge weights (the tie-heavy case where any ordering slip in
+//! the Top-K accumulator would surface).
+
+use linear_forest::prelude::*;
+use linear_forest::sparse::Coo;
+use proptest::prelude::*;
+
+/// Random undirected weighted graph with deliberate degenerate structure:
+/// vertex count can exceed every endpoint (isolated vertices), and weights
+/// are quantized to one decimal (many exact duplicates).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..70).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..20),
+            0..(n * 3),
+        )
+        .prop_map(|es| {
+            es.into_iter()
+                .map(|(u, v, w)| (u, v, w as f64 * 0.1))
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for &(u, v, w) in edges {
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            coo.push_sym(u, v, w);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn frontier_factor_bit_identical_to_dense(
+        (n, edges) in graph_strategy(),
+        nb in 1usize..=4,
+        iters in 1usize..30,
+    ) {
+        let a = build(n, &edges);
+        let dev = Device::default();
+        for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+            let cfg = FactorConfig::paper_default(nb)
+                .with_max_iters(iters)
+                .with_engine(engine);
+            let dense = parallel_factor(&dev, &a, &cfg);
+            let front = parallel_factor(&dev, &a, &cfg.with_frontier(true));
+            prop_assert_eq!(
+                &dense.factor, &front.factor,
+                "engine {:?}: factors diverged", engine
+            );
+            prop_assert_eq!(dense.iterations, front.iterations);
+            prop_assert_eq!(dense.maximal, front.maximal);
+        }
+    }
+
+    #[test]
+    fn frontier_modes_agree_across_engines(
+        (n, edges) in graph_strategy(),
+        nb in 1usize..=3,
+    ) {
+        // All four (engine × frontier) combinations must land on one factor.
+        let a = build(n, &edges);
+        let dev = Device::default();
+        let base = FactorConfig::paper_default(nb).with_max_iters(25);
+        let reference = parallel_factor(&dev, &a, &base);
+        for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+            for frontier in [false, true] {
+                let cfg = base.with_engine(engine).with_frontier(frontier);
+                let out = parallel_factor(&dev, &a, &cfg);
+                prop_assert_eq!(
+                    &reference.factor, &out.factor,
+                    "engine {:?} frontier {}", engine, frontier
+                );
+                prop_assert!(out.factor.validate(&a).is_ok());
+            }
+        }
+    }
+}
+
+#[test]
+fn frontier_on_collection_matrices() {
+    // Full-size collection models, both engines, frontier vs dense.
+    let dev = Device::default();
+    for m in [Collection::Aniso1, Collection::Ecology1, Collection::Transport] {
+        let a = prepare_undirected(&m.generate(1100));
+        for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+            let cfg = FactorConfig::paper_default(2).with_engine(engine);
+            let dense = parallel_factor(&dev, &a, &cfg);
+            let front = parallel_factor(&dev, &a, &cfg.with_frontier(true));
+            assert_eq!(dense.factor, front.factor, "{} {engine:?}", m.name());
+        }
+    }
+}
+
+#[test]
+fn frontier_all_isolated_vertices() {
+    // Edgeless graph: every vertex is frontier forever, maximality on the
+    // first uncharged iteration, empty factor.
+    let dev = Device::default();
+    let a = Csr::<f64>::from_coo(Coo::new(40, 40));
+    let cfg = FactorConfig::paper_default(2).with_frontier(true);
+    let out = parallel_factor(&dev, &a, &cfg);
+    assert!(out.maximal);
+    assert_eq!(out.iterations, 1);
+    assert_eq!(out.factor.edges().len(), 0);
+}

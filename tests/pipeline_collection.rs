@@ -49,8 +49,8 @@ fn extraction_preserves_diagonal_and_forest_weights() {
             }
             inv
         };
-        for i in 0..n {
-            assert_eq!(tri.d[inv[i]], a.get(i, i), "{} diag {i}", m.name());
+        for (i, &pi) in inv.iter().enumerate() {
+            assert_eq!(tri.d[pi], a.get(i, i), "{} diag {i}", m.name());
         }
         // each forest edge appears in the extracted system (both directions)
         for (u, v, _) in forest.factor.edges() {

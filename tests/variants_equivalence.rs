@@ -56,13 +56,13 @@ fn topn_strategies_agree_on_collection() {
         assert_eq!(fused, top_n_repeated_reduce::<f64, 2>(&dev, &a), "{}", m.name());
         // the fused selection equals the factor proposition's first round
         // on an empty state: heaviest candidates per vertex
-        for v in 0..a.nrows() {
+        for (v, fv) in fused.iter().enumerate() {
             let best = a
                 .row(v)
                 .filter(|&(c, _)| c as usize != v)
                 .map(|(_, w)| w)
                 .fold(0.0f64, f64::max);
-            if let Some((w, _)) = fused[v].iter().next() {
+            if let Some((w, _)) = fv.iter().next() {
                 assert_eq!(w, best, "{} row {v}", m.name());
             }
         }

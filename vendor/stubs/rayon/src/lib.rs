@@ -1,0 +1,175 @@
+//! Sequential stand-in for the subset of rayon used by this workspace.
+//!
+//! The real `rayon` crate is not vendored in the offline build container, so
+//! `scripts/offline_check.sh` patches it with this crate. Every `par_*`
+//! entry point runs sequentially on the calling thread; the combinator
+//! surface mirrors rayon's names so call sites compile unchanged. This stub
+//! is **only** wired in by the offline check script — the shipped
+//! `Cargo.toml` still depends on the real crate.
+
+use std::ops::Range;
+
+/// Number of worker threads; the sequential stub always reports one.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Wrapper marking an iterator as "parallel". All combinators are inherent
+/// methods so they never collide with `std::iter::Iterator` adaptors.
+pub struct Par<I>(pub I);
+
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Iter = Range<u32>;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self)
+    }
+}
+
+pub trait ParallelSlice {
+    type Item;
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, Self::Item>>;
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, Self::Item>>;
+}
+
+pub trait ParallelSliceMut {
+    type Item;
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, Self::Item>>;
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, Self::Item>>;
+}
+
+impl<T> ParallelSlice for [T] {
+    type Item = T;
+    fn par_iter(&self) -> Par<std::slice::Iter<'_, T>> {
+        Par(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> Par<std::slice::Chunks<'_, T>> {
+        Par(self.chunks(size))
+    }
+}
+
+impl<T> ParallelSliceMut for [T] {
+    type Item = T;
+    fn par_iter_mut(&mut self) -> Par<std::slice::IterMut<'_, T>> {
+        Par(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> Par<std::slice::ChunksMut<'_, T>> {
+        Par(self.chunks_mut(size))
+    }
+}
+
+impl<I: Iterator> Par<I> {
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FilterMap<I, F>> {
+        Par(self.0.filter_map(f))
+    }
+
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> Par<std::iter::FlatMap<I, U, F>> {
+        Par(self.0.flat_map(f))
+    }
+
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    pub fn zip_eq<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// rayon's two-level fold: sequentially there is exactly one "thread
+    /// partial", so this yields a single folded value.
+    pub fn fold<A, ID: Fn() -> A, F: FnMut(A, I::Item) -> A>(
+        self,
+        identity: ID,
+        fold_op: F,
+    ) -> Par<std::iter::Once<A>> {
+        Par(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    pub fn reduce<ID: Fn() -> I::Item, OP: FnMut(I::Item, I::Item) -> I::Item>(
+        self,
+        identity: ID,
+        op: OP,
+    ) -> I::Item {
+        let mut op = op;
+        self.0.fold(identity(), |a, b| op(a, b))
+    }
+
+    pub fn reduce_with<OP: FnMut(I::Item, I::Item) -> I::Item>(self, op: OP) -> Option<I::Item> {
+        self.0.reduce(op)
+    }
+}
+
+impl<'a, I, T: Copy + 'a> Par<I>
+where
+    I: Iterator<Item = &'a T>,
+{
+    pub fn copied(self) -> Par<std::iter::Copied<I>> {
+        Par(self.0.copied())
+    }
+}
