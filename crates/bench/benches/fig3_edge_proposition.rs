@@ -2,7 +2,7 @@
 //! vs the edge-proposition kernel for n = 1..4, wall-clock on the
 //! parallel-CPU device.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use std::time::Duration;
 use lf_core::parallel::proposition_kernel_stats;
 use lf_core::prelude::*;
@@ -29,16 +29,22 @@ fn bench_spmv(c: &mut Criterion) {
             ("srcsr", SpmvEngine::SrCsr),
         ] {
             g.bench_with_input(BenchmarkId::new(name, m.name()), &a, |b, a| {
-                b.iter(|| {
-                    gespmv(
-                        &dev,
-                        "bench_spmv",
-                        engine,
-                        a,
-                        &AxpyOps { x: &x, d: &d },
-                        &mut out,
-                    )
-                });
+                // fresh aggregate counters for every timed repetition so
+                // warm-up launches don't pollute the device stats
+                b.iter_batched(
+                    || dev.reset_stats(),
+                    |()| {
+                        gespmv(
+                            &dev,
+                            "bench_spmv",
+                            engine,
+                            a,
+                            &AxpyOps { x: &x, d: &d },
+                            &mut out,
+                        )
+                    },
+                    BatchSize::PerIteration,
+                );
             });
         }
     }
@@ -60,7 +66,11 @@ fn bench_proposition(c: &mut Criterion) {
                     BenchmarkId::new(format!("n{n}{tag}"), m.name()),
                     &a,
                     |b, a| {
-                        b.iter(|| proposition_kernel_stats(&dev, a, &cfg, 1));
+                        b.iter_batched(
+                            || dev.reset_stats(),
+                            |()| proposition_kernel_stats(&dev, a, &cfg, 1),
+                            BatchSize::PerIteration,
+                        );
                     },
                 );
             }

@@ -4,7 +4,7 @@
 //! frontier-compacted mode (the latter with a caller-owned workspace
 //! reused across iterations, as a hot solver-setup loop would run it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use std::time::Duration;
 use lf_core::prelude::*;
 use lf_core::FactorWorkspace;
@@ -26,9 +26,16 @@ fn bench_pipeline(c: &mut Criterion) {
     ] {
         let a = m.generate(SCALE);
         let cfg = FactorConfig::paper_default(2);
+        // reset_stats() in the setup closure keeps the device's aggregate
+        // counters scoped to the timed body — warm-up launches don't bleed
+        // into what a --trace or stats dump of the same device would report
         g.bench_with_input(BenchmarkId::new("alg_tri_scal_setup", m.name()), &a, |b, a| {
             let dev = Device::default();
-            b.iter(|| tridiagonal_from_matrix(&dev, a, &cfg));
+            b.iter_batched(
+                || dev.reset_stats(),
+                |()| tridiagonal_from_matrix(&dev, a, &cfg),
+                BatchSize::PerIteration,
+            );
         });
         let ap = prepare_undirected(&a);
         g.bench_with_input(
@@ -36,7 +43,11 @@ fn bench_pipeline(c: &mut Criterion) {
             &ap,
             |b, ap| {
                 let dev = Device::default();
-                b.iter(|| parallel_factor(&dev, ap, &cfg));
+                b.iter_batched(
+                    || dev.reset_stats(),
+                    |()| parallel_factor(&dev, ap, &cfg),
+                    BatchSize::PerIteration,
+                );
             },
         );
         g.bench_with_input(
@@ -46,7 +57,11 @@ fn bench_pipeline(c: &mut Criterion) {
                 let dev = Device::default();
                 let fcfg = cfg.with_frontier(true);
                 let mut ws = FactorWorkspace::<f64, 2>::default();
-                b.iter(|| parallel_factor_with_workspace(&dev, ap, &fcfg, &mut ws));
+                b.iter_batched(
+                    || dev.reset_stats(),
+                    |()| parallel_factor_with_workspace(&dev, ap, &fcfg, &mut ws),
+                    BatchSize::PerIteration,
+                );
             },
         );
         g.bench_with_input(BenchmarkId::new("greedy_factor_seq", m.name()), &ap, |b, ap| {

@@ -24,7 +24,6 @@ use lf_core::merged::break_cycles_and_identify_paths;
 use lf_core::parallel::proposition_kernel_stats;
 use lf_core::ranking::identify_paths_workefficient;
 use lf_core::prelude::*;
-use lf_kernel::Device;
 use lf_solver::precond::Preconditioner;
 use lf_solver::AlgTriBlockPrecond;
 use lf_sparse::{Collection, SpmvEngine};
@@ -69,7 +68,7 @@ fn frontier_mode(opts: &Opts) {
     )
     .unwrap();
     for m in [Collection::Aniso1, Collection::Ecology1, Collection::Stocf1465] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = prepare_undirected(&m.generate(opts.target_n(m)));
         let mut cells: Option<Vec<String>> = None;
         for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
@@ -147,7 +146,7 @@ fn scan_vs_ranking(opts: &Opts) {
         "rank model ms",
     ]);
     for m in [Collection::Aniso1, Collection::Stocf1465, Collection::Thermal2] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = prepare_undirected(&m.generate(opts.target_n(m)));
         let mut factor = parallel_factor(&dev, &a, &FactorConfig::paper_default(2)).factor;
         break_cycles(&dev, &mut factor);
@@ -190,7 +189,7 @@ fn topn_strategies(opts: &Opts) {
         "reduce/fused",
     ]);
     for m in [Collection::Thermal2, Collection::AfShell8, Collection::Curlcurl3] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = prepare_undirected(&m.generate(opts.target_n(m)));
         let (r_fused, s_fused) = dev.scoped(|| top_n_fused::<f64, 2>(&dev, &a));
         let (r_sort, s_sort) = dev.scoped(|| top_n_segmented_sort::<f64, 2>(&dev, &a));
@@ -243,7 +242,7 @@ fn fused_vs_two_pass(opts: &Opts) {
         Collection::Stocf1465,
         Collection::Thermal2,
     ] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = prepare_undirected(&m.generate(opts.target_n(m)));
         let factor = parallel_factor(&dev, &a, &FactorConfig::paper_default(2)).factor;
 
@@ -301,7 +300,7 @@ fn charge_probability(opts: &Opts) {
     let mut csv = opts.csv("ablation_p.csv").expect("results dir");
     writeln!(csv, "matrix,p,c_pi_5").unwrap();
     for m in [Collection::Ecology1, Collection::Atmosmodd, Collection::Transport] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = m.generate(opts.target_n(m));
         let ap = prepare_undirected(&a);
         let mut cells = vec![m.name().to_string()];
@@ -334,7 +333,7 @@ fn engine_choice(opts: &Opts) {
         "identical factor",
     ]);
     for m in [Collection::Ecology1, Collection::MlGeer, Collection::Stocf1465] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = prepare_undirected(&m.generate(opts.target_n(m)));
         let (row_out, srow) = dev.scoped(|| {
             parallel_factor(
@@ -376,7 +375,7 @@ fn auto_block_m(opts: &Opts) {
         Collection::AfShell8,
         Collection::Transport,
     ] {
-        let dev = Device::default();
+        let dev = opts.device();
         let a = m.generate(opts.target_n(m));
         let base = FactorConfig::paper_default(2);
         let c1 = Preconditioner::<f64>::coverage(&AlgTriBlockPrecond::new(

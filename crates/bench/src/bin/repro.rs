@@ -9,13 +9,17 @@
 //!   --full      paper-published sizes (hours of runtime!)
 //!   --out DIR   CSV output directory (default results/)
 //!   --json      also emit machine-readable BENCH_<exp>.json files
+//!   --trace F   record all experiments into Chrome trace F
+//!               (+ per-phase rollup F with .summary.json suffix)
 //! ```
 
 use lf_bench::Opts;
+use lf_kernel::trace::{chrome_trace, summary, RecordingSink};
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale N] [--full] [--out DIR] [--json] \
+        "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] \
          <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|tables|figures|all>..."
     );
     std::process::exit(2);
@@ -24,6 +28,7 @@ fn usage() -> ! {
 fn main() {
     let mut opts = Opts::default();
     let mut cmds: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -38,6 +43,9 @@ fn main() {
             "--out" => {
                 opts.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage());
             }
+            "--trace" => {
+                trace_path = Some(args.next().unwrap_or_else(|| usage()));
+            }
             "--help" | "-h" => usage(),
             c if !c.starts_with('-') => cmds.push(c.to_string()),
             _ => usage(),
@@ -46,6 +54,11 @@ fn main() {
     if cmds.is_empty() {
         usage();
     }
+    let trace_sink = trace_path.as_deref().map(|_| {
+        let sink = Arc::new(RecordingSink::new());
+        opts.tracer.install(sink.clone());
+        sink
+    });
     let expand = |c: &str| -> Vec<&'static str> {
         match c {
             "table2" => vec!["table2"],
@@ -79,6 +92,7 @@ fn main() {
             println!("\n{}\n", "=".repeat(78));
         }
         let t0 = std::time::Instant::now();
+        let _exp_span = opts.tracer.span(exp);
         match *exp {
             "table2" => lf_bench::table2::run(&opts),
             "table3" => lf_bench::table3::run(&opts),
@@ -96,5 +110,25 @@ fn main() {
             _ => unreachable!(),
         }
         eprintln!("[{exp} done in {:.1}s]", t0.elapsed().as_secs_f64());
+    }
+
+    if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+        let data = sink.snapshot();
+        std::fs::write(path, chrome_trace(&data)).unwrap_or_else(|e| {
+            eprintln!("failed to write trace {path}: {e}");
+            std::process::exit(1);
+        });
+        let spath = match path.strip_suffix(".json") {
+            Some(stem) => format!("{stem}.summary.json"),
+            None => format!("{path}.summary.json"),
+        };
+        std::fs::write(&spath, summary(&data).to_json()).unwrap_or_else(|e| {
+            eprintln!("failed to write trace summary {spath}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "trace written to {path} (summary: {spath}); open the trace in \
+             https://ui.perfetto.dev"
+        );
     }
 }

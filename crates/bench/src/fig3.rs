@@ -96,7 +96,12 @@ pub fn run(opts: &Opts) {
     for m in MATRICES {
         let a = m.generate(opts.target_n(m));
         let ap = prepare_undirected(&a);
-        let dev = Device::default();
+        let dev = opts.device();
+        // Warm-up run first (its confirmed-edge state is what the JSON
+        // factor fields describe), then reset the device stats so the
+        // aggregate counters cover exactly the timed kernels below.
+        let warm = parallel_factor(&dev, &ap, &FactorConfig::paper_default(2));
+        dev.reset_stats();
         let row = spmv_stats(&dev, &ap, SpmvEngine::RowParallel);
         let srcsr = spmv_stats(&dev, &ap, SpmvEngine::SrCsr);
         let mut props = Vec::new();
@@ -138,7 +143,6 @@ pub fn run(opts: &Opts) {
             .unwrap();
         }
         if opts.json {
-            let warm = parallel_factor(&dev, &ap, &FactorConfig::paper_default(2));
             let entries: Vec<String> = kernels
                 .iter()
                 .map(|(name, s)| json_kernel(name, s))

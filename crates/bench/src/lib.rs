@@ -24,6 +24,8 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 
+use lf_kernel::trace::Tracer;
+use lf_kernel::{Device, DeviceConfig};
 use std::path::PathBuf;
 
 /// Experiment options shared by all harness commands.
@@ -37,6 +39,11 @@ pub struct Opts {
     pub out_dir: PathBuf,
     /// Also emit machine-readable `BENCH_<exp>.json` files.
     pub json: bool,
+    /// Shared tracing handle: every device the harness creates via
+    /// [`Opts::device`] reports into it, so `repro --trace` captures all
+    /// experiments in one trace. Inactive (free) unless a sink is
+    /// installed.
+    pub tracer: Tracer,
 }
 
 impl Default for Opts {
@@ -46,11 +53,19 @@ impl Default for Opts {
             full: false,
             out_dir: PathBuf::from("results"),
             json: false,
+            tracer: Tracer::new(),
         }
     }
 }
 
 impl Opts {
+    /// A fresh default-configured simulated device wired to the harness
+    /// tracer. Experiments create one per matrix so stats don't bleed
+    /// across measurements, while all of them share one trace timeline.
+    pub fn device(&self) -> Device {
+        Device::with_tracer(DeviceConfig::default(), self.tracer.clone())
+    }
+
     /// Target vertex count for a given collection matrix.
     pub fn target_n(&self, m: lf_sparse::Collection) -> usize {
         if self.full {

@@ -225,7 +225,7 @@ mod tests {
         let a: Csr<f64> = random_symmetric(200, 7.0, 0.1, 1.0, 11);
         let dev = Device::default();
         let got = top_n_fused::<f64, 2>(&dev, &a);
-        for i in 0..200 {
+        for (i, g) in got.iter().enumerate() {
             let mut want: Vec<(f64, u32)> = a
                 .row(i)
                 .filter(|&(c, _)| c as usize != i)
@@ -233,7 +233,7 @@ mod tests {
                 .collect();
             want.sort_by(|x, y| y.partial_cmp(x).unwrap());
             want.truncate(2);
-            let have: Vec<(f64, u32)> = got[i].iter().collect();
+            let have: Vec<(f64, u32)> = g.iter().collect();
             assert_eq!(have.len(), want.len());
             for (h, w) in have.iter().zip(&want) {
                 assert_eq!(h.0, w.0, "row {i} weight");

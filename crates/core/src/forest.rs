@@ -149,20 +149,40 @@ pub fn extract_linear_forest<T: Scalar>(
 ) -> (LinearForest<T>, PipelineTimings) {
     assert_eq!(cfg.n, 2, "a linear forest requires a [0,2]-factor");
     let mut timings = PipelineTimings::default();
+    let tracer = dev.tracer().clone();
+    let _forest_span = tracer.span("forest");
 
+    // The factor stage opens its own "factor" span inside Algorithm 2 (so
+    // standalone factor runs are traced too); the remaining stages get
+    // their spans here.
     let (outcome, t_factor) = dev.scoped(|| parallel_factor(dev, aprime, cfg));
     timings.factor = t_factor;
     let mut factor = outcome.factor;
 
-    let (cycles, t_cyc) = dev.scoped(|| break_cycles(dev, &mut factor));
+    let (cycles, t_cyc) = dev.scoped(|| {
+        let _s = tracer.span("identify_cycles");
+        break_cycles(dev, &mut factor)
+    });
     timings.identify_cycles = t_cyc;
 
-    let (paths, t_paths) = dev.scoped(|| identify_paths(dev, &factor));
+    let (paths, t_paths) = dev.scoped(|| {
+        let _s = tracer.span("identify_paths");
+        identify_paths(dev, &factor)
+    });
     timings.identify_paths = t_paths;
     let paths = paths.expect("factor is acyclic after cycle breaking");
 
-    let (perm, t_perm) = dev.scoped(|| forest_permutation(dev, &paths));
+    let (perm, t_perm) = dev.scoped(|| {
+        let _s = tracer.span("permutation");
+        forest_permutation(dev, &paths)
+    });
     timings.permutation = t_perm;
+
+    if tracer.is_active() {
+        tracer.metric("cycles_broken", cycles.cycles as f64);
+        tracer.metric("num_paths", paths.num_paths() as f64);
+        tracer.metric("forest_weight", factor.weight());
+    }
 
     (
         LinearForest {
@@ -186,7 +206,10 @@ pub fn tridiagonal_from_matrix<T: Scalar>(
 ) -> (Tridiag<T>, LinearForest<T>, PipelineTimings) {
     let aprime = crate::prepare_undirected(a);
     let (forest, mut timings) = extract_linear_forest(dev, &aprime, cfg);
-    let (tri, t_ex) = dev.scoped(|| extract_tridiagonal(dev, a, &forest.factor, &forest.perm));
+    let (tri, t_ex) = dev.scoped(|| {
+        let _s = dev.tracer().span("extraction");
+        extract_tridiagonal(dev, a, &forest.factor, &forest.perm)
+    });
     timings.extraction = t_ex;
     (tri, forest, timings)
 }

@@ -138,7 +138,6 @@ mod tests {
             let edges: Vec<(u32, u32, f64)> = a
                 .iter()
                 .filter(|&(r, c, _)| r < c)
-                .map(|(r, c, v)| (r, c, v))
                 .collect();
             let mut best = 0.0f64;
             let m = edges.len();

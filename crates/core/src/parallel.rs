@@ -389,7 +389,15 @@ fn run<T: Scalar, const K: usize>(
     // maximality check's `before` count without its own reduce pass.
     let mut slots = 0usize;
 
+    // Tracing: one span for the whole factor phase, one child span per
+    // Alg. 2 iteration. Inactive tracers make all of this free; the
+    // per-iteration metrics below are computed host-side only when a sink
+    // is installed, so the device traffic model is unperturbed.
+    let tracer = dev.tracer().clone();
+    let _factor_span = tracer.span("factor");
+
     for k in 0..cfg.max_iters {
+        let _iter_span = tracer.span_dyn(|| format!("iter_{k}"));
         let charging = k % cfg.m != cfg.k_m;
         if charging {
             let p = cfg.p;
@@ -427,6 +435,15 @@ fn run<T: Scalar, const K: usize>(
                 scratch,
             )
         };
+        if tracer.is_active() {
+            tracer.metric("frontier", flen as f64);
+            let proposed: usize = if cfg.frontier {
+                fout.as_slice().iter().map(|t| t.len()).sum::<usize>() + (nv - flen) * K
+            } else {
+                proposals.iter().map(|t| t.len()).sum()
+            };
+            tracer.metric("proposed_slots", proposed as f64);
+        }
 
         if !charging {
             // |π(V)| = |π'(V)| on an uncharged iteration ⇒ maximal
@@ -462,6 +479,17 @@ fn run<T: Scalar, const K: usize>(
         } else {
             confirm_dense(dev, confirmed, proposals)
         };
+        if tracer.is_active() {
+            tracer.metric("confirmed_slots", slots as f64);
+            tracer.metric("edges_confirmed", (slots / 2) as f64);
+            // Σ over confirmed slots of |a_vw|, halved because each edge
+            // appears in both endpoints' slots.
+            let covered: f64 = confirmed
+                .iter()
+                .flat_map(|t| t.iter().map(|(w, _)| w.to_f64()))
+                .sum();
+            tracer.metric("covered_weight", covered / 2.0);
+        }
     }
 
     // flatten confirmed slots into the Factor representation

@@ -17,6 +17,7 @@
 //! throughput figures (Fig. 3, Fig. 5, Fig. 6); wall time gives the real
 //! parallel-CPU numbers.
 
+use lf_trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -251,6 +252,7 @@ impl DeviceStats {
 pub struct Device {
     config: Arc<DeviceConfig>,
     stats: Arc<Mutex<DeviceStats>>,
+    tracer: Tracer,
 }
 
 impl Default for Device {
@@ -270,15 +272,32 @@ impl std::fmt::Debug for Device {
 impl Device {
     /// Create a device with the given configuration.
     pub fn new(config: DeviceConfig) -> Self {
+        Self::with_tracer(config, Tracer::new())
+    }
+
+    /// Create a device with the given configuration and tracing handle.
+    /// The tracer starts inactive unless a sink was already installed;
+    /// either way it can be (de)activated later via [`Device::tracer`]
+    /// (tracers use interior mutability and clones share state).
+    pub fn with_tracer(config: DeviceConfig, tracer: Tracer) -> Self {
         Self {
             config: Arc::new(config),
             stats: Arc::new(Mutex::new(DeviceStats::default())),
+            tracer,
         }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// The device's tracing handle. Inactive (zero overhead) until a sink
+    /// is installed with [`Tracer::install`]; pipeline code uses it to open
+    /// phase spans and sample metrics, and every [`Device::launch`] reports
+    /// itself here, attributed to the innermost open span.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Snapshot of the accumulated statistics.
@@ -309,6 +328,10 @@ impl Device {
             self.config.record_samples,
             self.config.max_samples,
         );
+        if self.tracer.is_active() {
+            self.tracer
+                .launch(name, traffic.read, traffic.written, model, wall);
+        }
         out
     }
 
@@ -461,6 +484,32 @@ mod tests {
         }
         assert_eq!(dev.stats().samples.len(), 3);
         assert_eq!(dev.stats().launches, 10);
+    }
+
+    #[test]
+    fn launch_reports_to_installed_tracer() {
+        use lf_trace::RecordingSink;
+        let dev = Device::default();
+        assert!(!dev.tracer().is_active());
+        dev.launch("before_install", Traffic::bytes(1, 1), || ());
+        let sink = Arc::new(RecordingSink::new());
+        dev.tracer().install(sink.clone());
+        {
+            let _phase = dev.tracer().span("phase");
+            dev.launch("traced", Traffic::bytes(100, 50), || ());
+        }
+        dev.launch("untraced", Traffic::bytes(7, 0), || ());
+        let data = sink.snapshot();
+        assert_eq!(data.launches.len(), 2, "pre-install launch not reported");
+        assert_eq!(data.launches[0].name, "traced");
+        assert_eq!(data.launches[0].span, Some(data.spans[0].id));
+        assert_eq!(data.launches[0].read, 100);
+        assert_eq!(data.launches[1].span, None);
+        // device stats see all three launches regardless of tracing
+        assert_eq!(dev.stats().launches, 3);
+        // tracer-reported model time matches the device model
+        let model = dev.config().model_time(Traffic::bytes(100, 50));
+        assert!((data.launches[0].model_s - model).abs() < 1e-15);
     }
 
     #[test]

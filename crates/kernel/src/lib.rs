@@ -45,6 +45,11 @@ pub mod sort;
 pub use buffer::{PingPong, Reusable, ScatterSlice};
 pub use device::{Device, DeviceConfig, DeviceStats, KernelStats, LaunchSample, Traffic};
 
+/// Re-export of the [`lf_trace`] telemetry crate, so downstream crates can
+/// open spans and install sinks (`dev.tracer()`, `lf_kernel::trace::…`)
+/// without a manifest dependency of their own.
+pub use lf_trace as trace;
+
 /// Sequential fallback threshold shared by the data-parallel primitives:
 /// below this many elements the rayon fork-join overhead dominates, so
 /// kernel bodies run serially. The launch is still recorded. (GPU analog:

@@ -90,6 +90,8 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T> + ?Sized>(
 ) -> (Vec<T>, SolveStats) {
     let n = a.nrows();
     assert_eq!(b.len(), n);
+    let tracer = dev.tracer().clone();
+    let _solve_span = tracer.span("bicgstab");
     let bnorm = norm2(dev, b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![T::ZERO; n];
@@ -116,6 +118,9 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T> + ?Sized>(
     };
     if let Some(xt) = x_true {
         stats.fre.push(fre(dev, &x, xt));
+    }
+    if tracer.is_active() {
+        tracer.metric("rel_residual", stats.rel_residual[0]);
     }
     if stats.rel_residual[0] <= opts.tol {
         stats.converged = true;
@@ -149,6 +154,11 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T> + ?Sized>(
             axpy(dev, T::from_f64(alpha), &phat, &mut x);
             stats.iterations = it + 1;
             stats.rel_residual.push(snorm / bnorm);
+            if tracer.is_active() {
+                tracer.metric("rho", rho);
+                tracer.metric("omega", omega);
+                tracer.metric("rel_residual", snorm / bnorm);
+            }
             if let Some(xt) = x_true {
                 stats.fre.push(fre(dev, &x, xt));
             }
@@ -174,6 +184,11 @@ pub fn bicgstab<T: Scalar, P: Preconditioner<T> + ?Sized>(
         let relres = norm2(dev, &r) / bnorm;
         stats.iterations = it + 1;
         stats.rel_residual.push(relres);
+        if tracer.is_active() {
+            tracer.metric("rho", rho);
+            tracer.metric("omega", omega);
+            tracer.metric("rel_residual", relres);
+        }
         if let Some(xt) = x_true {
             stats.fre.push(fre(dev, &x, xt));
         }

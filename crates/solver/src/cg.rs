@@ -18,6 +18,8 @@ pub fn pcg<T: Scalar, P: Preconditioner<T> + ?Sized>(
     x_true: Option<&[T]>,
 ) -> (Vec<T>, SolveStats) {
     let n = a.nrows();
+    let tracer = dev.tracer().clone();
+    let _solve_span = tracer.span("pcg");
     let bnorm = norm2(dev, b).max(f64::MIN_POSITIVE);
     let mut x = vec![T::ZERO; n];
     let mut r = b.to_vec();
@@ -45,6 +47,9 @@ pub fn pcg<T: Scalar, P: Preconditioner<T> + ?Sized>(
         }
     };
     record_fre(&x, &mut stats, dev);
+    if tracer.is_active() {
+        tracer.metric("rel_residual", stats.rel_residual[0]);
+    }
     if stats.rel_residual[0] <= opts.tol {
         stats.converged = true;
         stats.stop_reason = StopReason::Converged;
@@ -65,6 +70,10 @@ pub fn pcg<T: Scalar, P: Preconditioner<T> + ?Sized>(
         stats.iterations = it + 1;
         stats.rel_residual.push(relres);
         record_fre(&x, &mut stats, dev);
+        if tracer.is_active() {
+            tracer.metric("alpha", alpha);
+            tracer.metric("rel_residual", relres);
+        }
         if relres <= opts.tol {
             stats.converged = true;
             stats.stop_reason = StopReason::Converged;

@@ -23,6 +23,8 @@ pub fn gmres<T: Scalar, P: Preconditioner<T> + ?Sized>(
     let n = a.nrows();
     assert_eq!(b.len(), n);
     assert!(restart >= 1);
+    let tracer = dev.tracer().clone();
+    let _solve_span = tracer.span("gmres");
     let bnorm = norm2(dev, b).max(f64::MIN_POSITIVE);
 
     let mut x = vec![T::ZERO; n];
@@ -49,6 +51,9 @@ pub fn gmres<T: Scalar, P: Preconditioner<T> + ?Sized>(
     let mut r = b.to_vec();
     let mut beta = norm2(dev, &r);
     record(&x, beta / bnorm, &mut stats, dev);
+    if tracer.is_active() {
+        tracer.metric("rel_residual", beta / bnorm);
+    }
     if beta / bnorm <= opts.tol {
         stats.converged = true;
         stats.stop_reason = StopReason::Converged;
@@ -124,6 +129,9 @@ pub fn gmres<T: Scalar, P: Preconditioner<T> + ?Sized>(
             // now and FRE only at restart/convergence
             stats.iterations = total_iters;
             stats.rel_residual.push(relres);
+            if tracer.is_active() {
+                tracer.metric("rel_residual", relres);
+            }
             if let Some(_xt) = x_true {
                 // placeholder; corrected below when x is formed
                 stats.fre.push(f64::NAN);
@@ -288,7 +296,7 @@ mod tests {
         let (x, st) = gmres(
             &dev,
             &a,
-            &vec![0.0; 16],
+            &[0.0; 16],
             &IdentityPrecond,
             10,
             &SolveOpts::default(),

@@ -458,10 +458,10 @@ mod tests {
         // M⁻¹ is a linear operator: apply to e_j columns, check symmetry
         // (A and the forest system are symmetric here)
         let minv = apply_dense(&p, 64, &dev);
-        for i in 0..64 {
-            for j in (i + 1)..64 {
+        for (i, row) in minv.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate().skip(i + 1) {
                 assert!(
-                    (minv[i][j] - minv[j][i]).abs() < 1e-9,
+                    (v - minv[j][i]).abs() < 1e-9,
                     "M⁻¹ not symmetric at ({i},{j})"
                 );
             }

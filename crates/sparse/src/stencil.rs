@@ -188,7 +188,7 @@ mod tests {
     fn antidiag_perm_is_bijection() {
         let p = antidiagonal_permutation(4, 3);
         assert_eq!(p.len(), 12);
-        let mut seen = vec![false; 12];
+        let mut seen = [false; 12];
         for &v in &p {
             assert!(!seen[v as usize]);
             seen[v as usize] = true;

@@ -1,0 +1,431 @@
+//! Trace exporters: Chrome Trace Event JSON (for `chrome://tracing` /
+//! Perfetto) and the flat per-phase summary rollup.
+//!
+//! The summary partitions every recorded launch exactly once: a launch
+//! counts toward the *direct* totals of the innermost span it attributed
+//! to (or toward the `untraced` bucket), so the direct totals of all
+//! phases plus `untraced` always sum to the grand totals — which in turn
+//! equal the device's aggregate `DeviceStats` for the traced run. Each
+//! phase additionally reports *rolled-up* totals including all descendant
+//! spans (`total = self + Σ child totals`).
+
+use crate::json::{escape, number};
+use crate::sink::TraceData;
+use std::collections::HashMap;
+
+/// Launch/traffic/time totals of one phase (or of the whole trace).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Number of kernel launches.
+    pub launches: u64,
+    /// Bytes read from simulated global memory.
+    pub read: u64,
+    /// Bytes written to simulated global memory.
+    pub written: u64,
+    /// Total model time (seconds).
+    pub model_s: f64,
+    /// Total wall time (seconds).
+    pub wall_s: f64,
+}
+
+impl PhaseTotals {
+    fn add_launch(&mut self, read: u64, written: u64, model_s: f64, wall_s: f64) {
+        self.launches += 1;
+        self.read += read;
+        self.written += written;
+        self.model_s += model_s;
+        self.wall_s += wall_s;
+    }
+
+    fn merge(&mut self, other: &PhaseTotals) {
+        self.launches += other.launches;
+        self.read += other.read;
+        self.written += other.written;
+        self.model_s += other.model_s;
+        self.wall_s += other.wall_s;
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"launches\":{},\"read_bytes\":{},\"written_bytes\":{},\
+             \"model_s\":{},\"wall_s\":{}}}",
+            self.launches,
+            self.read,
+            self.written,
+            number(self.model_s),
+            number(self.wall_s)
+        )
+    }
+}
+
+/// Per-span rollup entry of a [`Summary`].
+#[derive(Clone, Debug)]
+pub struct PhaseRollup {
+    /// Span id this entry describes.
+    pub id: u64,
+    /// `/`-joined name path from the root span (e.g. `forest/factor/iter_0`).
+    pub path: String,
+    /// Span name.
+    pub name: String,
+    /// Nesting depth (0 = root span).
+    pub depth: usize,
+    /// Wall-clock duration of the span itself (seconds).
+    pub duration_s: f64,
+    /// Totals of launches attributed *directly* to this span.
+    pub direct: PhaseTotals,
+    /// Totals including all descendant spans.
+    pub total: PhaseTotals,
+    /// Metric series sampled on this span, grouped by key in
+    /// first-appearance order.
+    pub metrics: Vec<(String, Vec<f64>)>,
+}
+
+/// Flat per-phase rollup of a trace; see the module docs for the
+/// partitioning invariant.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// One entry per span, in begin order.
+    pub phases: Vec<PhaseRollup>,
+    /// Launches recorded while no span was open.
+    pub untraced: PhaseTotals,
+    /// Grand totals over every recorded launch
+    /// (= Σ direct over phases + untraced).
+    pub totals: PhaseTotals,
+}
+
+impl Summary {
+    /// Serialize as a JSON document. The flat per-phase fields are the
+    /// *direct* attribution; the nested `"total"` object includes
+    /// descendants.
+    pub fn to_json(&self) -> String {
+        let mut phases = Vec::with_capacity(self.phases.len());
+        for p in &self.phases {
+            let metrics: Vec<String> = p
+                .metrics
+                .iter()
+                .map(|(k, vs)| {
+                    let vals: Vec<String> = vs.iter().map(|&v| number(v)).collect();
+                    format!("\"{}\":[{}]", escape(k), vals.join(","))
+                })
+                .collect();
+            phases.push(format!(
+                "{{\"path\":\"{}\",\"name\":\"{}\",\"depth\":{},\
+                 \"duration_s\":{},\
+                 \"launches\":{},\"read_bytes\":{},\"written_bytes\":{},\
+                 \"model_s\":{},\"wall_s\":{},\
+                 \"total\":{},\"metrics\":{{{}}}}}",
+                escape(&p.path),
+                escape(&p.name),
+                p.depth,
+                number(p.duration_s),
+                p.direct.launches,
+                p.direct.read,
+                p.direct.written,
+                number(p.direct.model_s),
+                number(p.direct.wall_s),
+                p.total.to_json(),
+                metrics.join(",")
+            ));
+        }
+        format!(
+            "{{\"phases\":[{}],\"untraced\":{},\"totals\":{}}}\n",
+            phases.join(","),
+            self.untraced.to_json(),
+            self.totals.to_json()
+        )
+    }
+}
+
+fn span_paths(data: &TraceData) -> HashMap<u64, (String, usize)> {
+    // Spans arrive in begin order, so a parent's path is computed before
+    // any of its children's.
+    let mut paths: HashMap<u64, (String, usize)> = HashMap::new();
+    for s in &data.spans {
+        let (path, depth) = match s.parent.and_then(|p| paths.get(&p)) {
+            Some((ppath, pdepth)) => (format!("{ppath}/{}", s.name), pdepth + 1),
+            None => (s.name.clone(), 0),
+        };
+        paths.insert(s.id, (path, depth));
+    }
+    paths
+}
+
+/// Compute the flat per-phase rollup of `data`.
+pub fn summary(data: &TraceData) -> Summary {
+    let index: HashMap<u64, usize> = data.spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let paths = span_paths(data);
+
+    let mut direct = vec![PhaseTotals::default(); data.spans.len()];
+    let mut untraced = PhaseTotals::default();
+    let mut totals = PhaseTotals::default();
+    for l in &data.launches {
+        totals.add_launch(l.read, l.written, l.model_s, l.wall_s);
+        match l.span.and_then(|id| index.get(&id)) {
+            Some(&i) => direct[i].add_launch(l.read, l.written, l.model_s, l.wall_s),
+            None => untraced.add_launch(l.read, l.written, l.model_s, l.wall_s),
+        }
+    }
+
+    // Roll direct totals up the tree: children-before-parents post-order.
+    let mut rolled = direct.clone();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); data.spans.len()];
+    let mut roots = Vec::new();
+    for (i, s) in data.spans.iter().enumerate() {
+        match s.parent.and_then(|p| index.get(&p)) {
+            Some(&pi) => children[pi].push(i),
+            None => roots.push(i),
+        }
+    }
+    // Iterative post-order over every root.
+    let mut stack: Vec<(usize, bool)> = roots.iter().rev().map(|&r| (r, false)).collect();
+    while let Some((i, expanded)) = stack.pop() {
+        if expanded {
+            for &c in &children[i] {
+                let child_total = rolled[c];
+                rolled[i].merge(&child_total);
+            }
+        } else {
+            stack.push((i, true));
+            for &c in children[i].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+
+    // Metric series per span, grouped by key in first-appearance order.
+    let mut metrics: Vec<Vec<(String, Vec<f64>)>> = vec![Vec::new(); data.spans.len()];
+    for m in &data.metrics {
+        if let Some(&i) = m.span.and_then(|id| index.get(&id)) {
+            match metrics[i].iter_mut().find(|(k, _)| *k == m.key) {
+                Some((_, vs)) => vs.push(m.value),
+                None => metrics[i].push((m.key.clone(), vec![m.value])),
+            }
+        }
+    }
+
+    let phases = data
+        .spans
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (path, depth) = paths[&s.id].clone();
+            PhaseRollup {
+                id: s.id,
+                path,
+                name: s.name.clone(),
+                depth,
+                duration_s: s.duration_s(),
+                direct: direct[i],
+                total: rolled[i],
+                metrics: std::mem::take(&mut metrics[i]),
+            }
+        })
+        .collect();
+
+    Summary {
+        phases,
+        untraced,
+        totals,
+    }
+}
+
+/// Export `data` in the Chrome Trace Event JSON format. Spans and launches
+/// become complete (`"ph":"X"`) slices on one track — launches nest under
+/// their span by timestamp containment — and metrics become counter
+/// (`"ph":"C"`) events, which Perfetto renders as time series (residual
+/// curves, frontier shrinkage, ...).
+pub fn chrome_trace(data: &TraceData) -> String {
+    let paths = span_paths(data);
+    let us = |s: f64| s * 1e6;
+    let mut events = Vec::with_capacity(1 + data.spans.len() + data.launches.len());
+    events.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"lf simulated device\"}}"
+            .to_string(),
+    );
+    for s in &data.spans {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":1,\"args\":{{\"path\":\"{}\"}}}}",
+            escape(&s.name),
+            number(us(s.start_s)),
+            number(us(s.duration_s())),
+            escape(&paths[&s.id].0)
+        ));
+    }
+    for l in &data.launches {
+        let span_path = l
+            .span
+            .and_then(|id| paths.get(&id))
+            .map(|(p, _)| p.as_str())
+            .unwrap_or("(untraced)");
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"launch\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":2,\"args\":{{\"span\":\"{}\",\"read_bytes\":{},\
+             \"written_bytes\":{},\"model_us\":{}}}}}",
+            escape(&l.name),
+            number(us(l.start_s)),
+            number(us(l.wall_s)),
+            escape(span_path),
+            l.read,
+            l.written,
+            number(us(l.model_s))
+        ));
+    }
+    for m in &data.metrics {
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"metric\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\
+             \"args\":{{\"{}\":{}}}}}",
+            escape(&m.key),
+            number(us(m.t_s)),
+            escape(&m.key),
+            number(m.value)
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+        events.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::sink::RecordingSink;
+    use crate::tracer::Tracer;
+    use std::sync::Arc;
+
+    fn sample_trace() -> TraceData {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        t.launch("setup", 5, 5, 1e-6, 1e-6);
+        {
+            let _forest = t.span("forest");
+            {
+                let _factor = t.span("factor");
+                for k in 0..3u64 {
+                    let _iter = t.span_dyn(|| format!("iter_{k}"));
+                    t.launch("edge_proposition", 100 * (k + 1), 50, 2e-6, 3e-6);
+                    t.launch("confirm", 40, 40, 1e-6, 1e-6);
+                    t.metric("frontier", (10 - k) as f64);
+                }
+            }
+            {
+                let _paths = t.span("identify_paths");
+                t.launch("identify_paths", 300, 200, 4e-6, 5e-6);
+            }
+        }
+        sink.snapshot()
+    }
+
+    #[test]
+    fn summary_partitions_launches_exactly_once() {
+        let data = sample_trace();
+        let sum = summary(&data);
+        let direct_read: u64 = sum.phases.iter().map(|p| p.direct.read).sum();
+        let direct_written: u64 = sum.phases.iter().map(|p| p.direct.written).sum();
+        assert_eq!(direct_read + sum.untraced.read, sum.totals.read);
+        assert_eq!(direct_written + sum.untraced.written, sum.totals.written);
+        assert_eq!(
+            sum.phases.iter().map(|p| p.direct.launches).sum::<u64>()
+                + sum.untraced.launches,
+            sum.totals.launches
+        );
+        assert_eq!(sum.untraced.launches, 1, "the setup launch");
+        assert_eq!(sum.totals.read, 5 + 100 + 200 + 300 + 3 * 40 + 300);
+    }
+
+    #[test]
+    fn rollup_totals_are_self_plus_children() {
+        let data = sample_trace();
+        let sum = summary(&data);
+        for p in &sum.phases {
+            let child_sum: u64 = sum
+                .phases
+                .iter()
+                .filter(|c| {
+                    data.span(c.id).unwrap().parent == Some(p.id)
+                })
+                .map(|c| c.total.read)
+                .sum();
+            assert_eq!(
+                p.total.read,
+                p.direct.read + child_sum,
+                "phase {}",
+                p.path
+            );
+        }
+        let forest = sum.phases.iter().find(|p| p.name == "forest").unwrap();
+        assert_eq!(forest.total.read, sum.totals.read - sum.untraced.read);
+        assert_eq!(forest.direct.launches, 0, "all launches are in children");
+    }
+
+    #[test]
+    fn paths_and_depths() {
+        let data = sample_trace();
+        let sum = summary(&data);
+        let iter0 = sum.phases.iter().find(|p| p.name == "iter_0").unwrap();
+        assert_eq!(iter0.path, "forest/factor/iter_0");
+        assert_eq!(iter0.depth, 2);
+        assert_eq!(iter0.metrics, vec![("frontier".to_string(), vec![10.0])]);
+    }
+
+    #[test]
+    fn exports_are_valid_json() {
+        let data = sample_trace();
+        validate(&chrome_trace(&data)).unwrap();
+        validate(&summary(&data).to_json()).unwrap();
+        // empty trace too
+        let empty = TraceData::default();
+        validate(&chrome_trace(&empty)).unwrap();
+        validate(&summary(&empty).to_json()).unwrap();
+    }
+
+    #[test]
+    fn chrome_trace_contains_span_launch_and_metric_events() {
+        let data = sample_trace();
+        let ct = chrome_trace(&data);
+        assert!(ct.contains("\"cat\":\"span\""));
+        assert!(ct.contains("\"cat\":\"launch\""));
+        assert!(ct.contains("\"cat\":\"metric\""));
+        assert!(ct.contains("\"span\":\"forest/factor/iter_1\""));
+        assert!(ct.contains("\"span\":\"(untraced)\""));
+    }
+
+    #[test]
+    fn metric_series_accumulate_in_order() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        {
+            let _solve = t.span("bicgstab");
+            for r in [1.0, 0.1, 0.01] {
+                t.metric("rel_residual", r);
+                t.metric("omega", r * 2.0);
+            }
+        }
+        let sum = summary(&sink.snapshot());
+        assert_eq!(
+            sum.phases[0].metrics,
+            vec![
+                ("rel_residual".to_string(), vec![1.0, 0.1, 0.01]),
+                ("omega".to_string(), vec![2.0, 0.2, 0.02]),
+            ]
+        );
+        validate(&sum.to_json()).unwrap();
+    }
+
+    #[test]
+    fn nan_times_serialize_as_null() {
+        // An open (never closed) span has NaN end — exporters must still
+        // emit valid JSON.
+        let sink = RecordingSink::new();
+        use crate::sink::TraceSink;
+        sink.begin_span(1, None, "open", 0.0);
+        let data = sink.snapshot();
+        validate(&chrome_trace(&data)).unwrap();
+        validate(&summary(&data).to_json()).unwrap();
+    }
+}

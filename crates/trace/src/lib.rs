@@ -1,0 +1,65 @@
+//! # lf-trace — hierarchical pipeline tracing and telemetry export
+//!
+//! The paper's evaluation attributes time and memory traffic to
+//! *algorithmic phases*: per-iteration proposition/confirmation progress of
+//! Alg. 2, traffic per pipeline phase (Table 2), preconditioned-solver
+//! convergence (Sec. 6). This crate is the substrate that makes those
+//! quantities observable from the outside:
+//!
+//! * a [`Tracer`] handle with RAII [`SpanGuard`]s forming a parent/child
+//!   span tree (one span per pipeline phase, per factor iteration, per
+//!   solve);
+//! * a [`TraceSink`] trait receiving span begin/end, kernel-launch, and
+//!   metric events — [`NoopSink`] discards everything, [`RecordingSink`]
+//!   records a [`TraceData`] behind a mutex;
+//! * two exporters: [`chrome_trace`] (Chrome Trace Event JSON, loadable in
+//!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)) and
+//!   [`summary`] (a flat per-phase rollup of launches, read/written bytes,
+//!   model/wall time, and metrics).
+//!
+//! ## Overhead budget
+//!
+//! With no sink installed a tracer is a single relaxed atomic load per
+//! call: span guards are inert, no strings are formatted (dynamic span
+//! names go through [`Tracer::span_dyn`] which only runs its closure when
+//! active), and no locks are taken. The simulated device's per-launch cost
+//! is dominated by its stats mutex, so the inactive-tracer fast path is
+//! well under the 2 % noise floor of the factor pipeline benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use lf_trace::{chrome_trace, summary, RecordingSink, Tracer};
+//! use std::sync::Arc;
+//!
+//! let tracer = Tracer::new();
+//! let sink = Arc::new(RecordingSink::new());
+//! tracer.install(sink.clone());
+//!
+//! {
+//!     let _phase = tracer.span("factor");
+//!     for k in 0..3 {
+//!         let _iter = tracer.span_dyn(|| format!("iter_{k}"));
+//!         tracer.launch("edge_proposition", 1000, 500, 1e-5, 2e-5);
+//!         tracer.metric("frontier", (100 - k) as f64);
+//!     }
+//! }
+//!
+//! let data = sink.snapshot();
+//! assert_eq!(data.spans.len(), 4); // factor + 3 iterations
+//! let sum = summary(&data);
+//! assert_eq!(sum.totals.read, 3000);
+//! lf_trace::json::validate(&chrome_trace(&data)).unwrap();
+//! lf_trace::json::validate(&sum.to_json()).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod sink;
+pub mod tracer;
+
+pub use export::{chrome_trace, summary, PhaseRollup, PhaseTotals, Summary};
+pub use sink::{LaunchEvent, MetricEvent, NoopSink, RecordingSink, SpanNode, TraceData, TraceSink};
+pub use tracer::{SpanGuard, Tracer};

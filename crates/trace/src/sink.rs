@@ -1,0 +1,267 @@
+//! Trace sinks: the event-consumer side of the telemetry subsystem.
+//!
+//! A [`TraceSink`] receives the raw event stream produced by a
+//! [`crate::Tracer`]: span begin/end pairs, kernel launches, and scalar
+//! metrics. [`NoopSink`] discards everything (the zero-overhead default —
+//! though an inactive tracer never even calls it); [`RecordingSink`]
+//! appends to a [`TraceData`] behind a mutex, from which the exporters in
+//! [`crate::export`] build Chrome-trace and summary documents.
+
+use parking_lot::Mutex;
+
+/// One kernel launch attributed to the innermost open span.
+///
+/// `start_s` is seconds since the tracer's epoch at which the launch body
+/// *began* (the tracer back-dates it by `wall_s`, since launches report on
+/// completion).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaunchEvent {
+    /// Id of the innermost span open at launch time (`None` = untraced).
+    pub span: Option<u64>,
+    /// Kernel name.
+    pub name: String,
+    /// Bytes read from simulated global memory.
+    pub read: u64,
+    /// Bytes written to simulated global memory.
+    pub written: u64,
+    /// Model time of the launch (seconds).
+    pub model_s: f64,
+    /// Wall time of the launch (seconds).
+    pub wall_s: f64,
+    /// Start time in seconds since the tracer epoch.
+    pub start_s: f64,
+}
+
+/// One scalar metric sample attributed to the innermost open span
+/// (e.g. per-iteration frontier size, solver residual).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricEvent {
+    /// Id of the innermost span open at sample time (`None` = untraced).
+    pub span: Option<u64>,
+    /// Metric key.
+    pub key: String,
+    /// Sampled value.
+    pub value: f64,
+    /// Sample time in seconds since the tracer epoch.
+    pub t_s: f64,
+}
+
+/// One span of the hierarchical trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanNode {
+    /// Unique id (monotonically assigned by the tracer).
+    pub id: u64,
+    /// Parent span id (`None` for a root span).
+    pub parent: Option<u64>,
+    /// Span name (phase, iteration, solve, ...).
+    pub name: String,
+    /// Begin time in seconds since the tracer epoch.
+    pub start_s: f64,
+    /// End time in seconds since the tracer epoch (`NAN` while open).
+    pub end_s: f64,
+}
+
+impl SpanNode {
+    /// Span duration in seconds (0 if still open).
+    pub fn duration_s(&self) -> f64 {
+        if self.end_s.is_nan() {
+            0.0
+        } else {
+            self.end_s - self.start_s
+        }
+    }
+}
+
+/// Everything a [`RecordingSink`] captured: the span tree plus the flat
+/// launch and metric event streams referencing it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceData {
+    /// Spans in begin order.
+    pub spans: Vec<SpanNode>,
+    /// Kernel launches in completion order.
+    pub launches: Vec<LaunchEvent>,
+    /// Metric samples in emission order.
+    pub metrics: Vec<MetricEvent>,
+}
+
+impl TraceData {
+    /// Look up a span by id.
+    pub fn span(&self, id: u64) -> Option<&SpanNode> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Ids of the direct children of `id` (in begin order).
+    pub fn children(&self, id: u64) -> Vec<u64> {
+        self.spans
+            .iter()
+            .filter(|s| s.parent == Some(id))
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+/// Consumer of trace events. All methods are called from the control
+/// thread that drives kernel launches; implementations must still be
+/// `Send + Sync` because tracers (and the devices holding them) are
+/// shareable across threads.
+pub trait TraceSink: Send + Sync {
+    /// A span was opened. `parent` is the enclosing span, if any.
+    fn begin_span(&self, id: u64, parent: Option<u64>, name: &str, start_s: f64);
+    /// The span `id` was closed at `end_s` seconds since the epoch.
+    fn end_span(&self, id: u64, end_s: f64);
+    /// A kernel launch completed.
+    fn launch(&self, ev: &LaunchEvent);
+    /// A scalar metric was sampled.
+    fn metric(&self, ev: &MetricEvent);
+}
+
+/// A sink that discards every event. Installing it exercises the full
+/// event-production path (useful for overhead measurements); *not*
+/// installing any sink is cheaper still, since the tracer then skips event
+/// production entirely.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn begin_span(&self, _id: u64, _parent: Option<u64>, _name: &str, _start_s: f64) {}
+    fn end_span(&self, _id: u64, _end_s: f64) {}
+    fn launch(&self, _ev: &LaunchEvent) {}
+    fn metric(&self, _ev: &MetricEvent) {}
+}
+
+/// A sink that records every event into a [`TraceData`] behind a mutex.
+#[derive(Default)]
+pub struct RecordingSink {
+    data: Mutex<TraceData>,
+}
+
+impl std::fmt::Debug for RecordingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingSink").finish_non_exhaustive()
+    }
+}
+
+impl RecordingSink {
+    /// An empty recording sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clone of everything recorded so far.
+    pub fn snapshot(&self) -> TraceData {
+        self.data.lock().clone()
+    }
+
+    /// Move the recorded data out, leaving the sink empty.
+    pub fn take(&self) -> TraceData {
+        std::mem::take(&mut *self.data.lock())
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn begin_span(&self, id: u64, parent: Option<u64>, name: &str, start_s: f64) {
+        self.data.lock().spans.push(SpanNode {
+            id,
+            parent,
+            name: name.to_string(),
+            start_s,
+            end_s: f64::NAN,
+        });
+    }
+
+    fn end_span(&self, id: u64, end_s: f64) {
+        let mut data = self.data.lock();
+        // Reverse search: spans close innermost-first, so the match is
+        // almost always near the end.
+        if let Some(s) = data.spans.iter_mut().rev().find(|s| s.id == id) {
+            s.end_s = end_s;
+        }
+    }
+
+    fn launch(&self, ev: &LaunchEvent) {
+        self.data.lock().launches.push(ev.clone());
+    }
+
+    fn metric(&self, ev: &MetricEvent) {
+        self.data.lock().metrics.push(ev.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_captures_span_tree() {
+        let sink = RecordingSink::new();
+        sink.begin_span(1, None, "root", 0.0);
+        sink.begin_span(2, Some(1), "child", 0.5);
+        sink.launch(&LaunchEvent {
+            span: Some(2),
+            name: "k".into(),
+            read: 10,
+            written: 20,
+            model_s: 1e-6,
+            wall_s: 2e-6,
+            start_s: 0.6,
+        });
+        sink.metric(&MetricEvent {
+            span: Some(2),
+            key: "m".into(),
+            value: 3.0,
+            t_s: 0.7,
+        });
+        sink.end_span(2, 1.0);
+        sink.end_span(1, 2.0);
+        let d = sink.snapshot();
+        assert_eq!(d.spans.len(), 2);
+        assert_eq!(d.span(2).unwrap().parent, Some(1));
+        assert_eq!(d.span(1).unwrap().end_s, 2.0);
+        assert!((d.span(2).unwrap().duration_s() - 0.5).abs() < 1e-12);
+        assert_eq!(d.children(1), vec![2]);
+        assert_eq!(d.launches.len(), 1);
+        assert_eq!(d.metrics[0].value, 3.0);
+    }
+
+    #[test]
+    fn take_drains() {
+        let sink = RecordingSink::new();
+        sink.begin_span(1, None, "s", 0.0);
+        assert_eq!(sink.take().spans.len(), 1);
+        assert!(sink.snapshot().spans.is_empty());
+    }
+
+    #[test]
+    fn open_span_duration_is_zero() {
+        let s = SpanNode {
+            id: 1,
+            parent: None,
+            name: "open".into(),
+            start_s: 1.0,
+            end_s: f64::NAN,
+        };
+        assert_eq!(s.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn noop_sink_accepts_everything() {
+        let s = NoopSink;
+        s.begin_span(1, None, "x", 0.0);
+        s.end_span(1, 1.0);
+        s.launch(&LaunchEvent {
+            span: None,
+            name: "k".into(),
+            read: 0,
+            written: 0,
+            model_s: 0.0,
+            wall_s: 0.0,
+            start_s: 0.0,
+        });
+        s.metric(&MetricEvent {
+            span: None,
+            key: "m".into(),
+            value: 0.0,
+            t_s: 0.0,
+        });
+    }
+}

@@ -1,0 +1,294 @@
+//! The [`Tracer`] handle: span guards, launch and metric event production.
+//!
+//! A tracer starts *inactive* — every call is a single relaxed atomic load
+//! and an immediate return. [`Tracer::install`] attaches a
+//! [`crate::TraceSink`] and activates it; from then on span guards push
+//! onto a shared span stack (so kernel launches attribute to the innermost
+//! open span) and forward events to the sink.
+//!
+//! The span stack is shared per tracer and assumes the usual device
+//! execution model of this workspace: kernel launches and span open/close
+//! happen on one control thread (the rayon-parallel work happens *inside*
+//! a launch body, which never opens spans). Guards tolerate out-of-order
+//! drops by removing their exact id from wherever it sits in the stack.
+
+use crate::sink::{LaunchEvent, MetricEvent, TraceSink};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Shared {
+    sink: Arc<dyn TraceSink>,
+    epoch: Instant,
+    next_id: AtomicU64,
+    stack: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    fn now_s(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// A cloneable tracing handle; clones share the sink, span stack and epoch.
+///
+/// The default state is inactive (no sink): all operations are effectively
+/// free. See the crate docs for the overhead budget.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    active: Arc<AtomicBool>,
+    shared: Arc<Mutex<Option<Arc<Shared>>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("active", &self.is_active())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A new, inactive tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a sink is installed (one relaxed atomic load).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Install `sink` and activate the tracer. The epoch (t = 0 of all
+    /// reported times) is the moment of installation. Replaces any
+    /// previously installed sink and clears the span stack.
+    pub fn install(&self, sink: Arc<dyn TraceSink>) {
+        *self.shared.lock() = Some(Arc::new(Shared {
+            sink,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            stack: Mutex::new(Vec::new()),
+        }));
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Remove the sink and deactivate the tracer.
+    pub fn uninstall(&self) {
+        self.active.store(false, Ordering::Relaxed);
+        *self.shared.lock() = None;
+    }
+
+    fn current(&self) -> Option<Arc<Shared>> {
+        if !self.is_active() {
+            return None;
+        }
+        self.shared.lock().clone()
+    }
+
+    /// Open a span named `name`; it closes when the returned guard drops.
+    /// Spans nest: a span opened while another is open becomes its child,
+    /// and kernel launches attribute to the innermost open span.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        match self.current() {
+            None => SpanGuard { shared: None, id: 0 },
+            Some(shared) => Self::open(shared, name),
+        }
+    }
+
+    /// [`Tracer::span`] with a lazily built name: the closure only runs
+    /// when the tracer is active, so dynamic span names (`iter_{k}`) cost
+    /// nothing in the inactive fast path.
+    pub fn span_dyn<F: FnOnce() -> String>(&self, name: F) -> SpanGuard {
+        match self.current() {
+            None => SpanGuard { shared: None, id: 0 },
+            Some(shared) => Self::open(shared, &name()),
+        }
+    }
+
+    fn open(shared: Arc<Shared>, name: &str) -> SpanGuard {
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let t = shared.now_s();
+        let parent = {
+            let mut stack = shared.stack.lock();
+            let parent = stack.last().copied();
+            stack.push(id);
+            parent
+        };
+        shared.sink.begin_span(id, parent, name, t);
+        SpanGuard {
+            shared: Some(shared),
+            id,
+        }
+    }
+
+    /// Report a completed kernel launch: `read`/`written` bytes of traffic,
+    /// model and wall time in seconds. The launch attributes to the
+    /// innermost open span and is back-dated by `wall_s` (launches report
+    /// on completion).
+    pub fn launch(&self, name: &str, read: u64, written: u64, model_s: f64, wall_s: f64) {
+        let Some(shared) = self.current() else {
+            return;
+        };
+        let span = shared.stack.lock().last().copied();
+        let t = shared.now_s();
+        shared.sink.launch(&LaunchEvent {
+            span,
+            name: name.to_string(),
+            read,
+            written,
+            model_s,
+            wall_s,
+            start_s: (t - wall_s).max(0.0),
+        });
+    }
+
+    /// Sample a scalar metric on the innermost open span (per-iteration
+    /// frontier size, solver residual, ...). Repeated samples of the same
+    /// key accumulate as a series in span order.
+    pub fn metric(&self, key: &str, value: f64) {
+        let Some(shared) = self.current() else {
+            return;
+        };
+        let span = shared.stack.lock().last().copied();
+        let t = shared.now_s();
+        shared.sink.metric(&MetricEvent {
+            span,
+            key: key.to_string(),
+            value,
+            t_s: t,
+        });
+    }
+}
+
+/// RAII guard returned by [`Tracer::span`]; closes the span on drop.
+#[must_use = "a span closes when its guard drops — bind it to a variable"]
+pub struct SpanGuard {
+    shared: Option<Arc<Shared>>,
+    id: u64,
+}
+
+impl SpanGuard {
+    /// An inert guard (what an inactive tracer returns).
+    pub fn inert() -> Self {
+        Self {
+            shared: None,
+            id: 0,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.take() else {
+            return;
+        };
+        {
+            let mut stack = shared.stack.lock();
+            // Innermost-first drops pop the top; be lenient about
+            // out-of-order drops by removing the exact id wherever it is.
+            if let Some(pos) = stack.iter().rposition(|&s| s == self.id) {
+                stack.remove(pos);
+            }
+        }
+        shared.sink.end_span(self.id, shared.now_s());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::RecordingSink;
+
+    #[test]
+    fn inactive_tracer_produces_nothing() {
+        let t = Tracer::new();
+        assert!(!t.is_active());
+        let _g = t.span("x");
+        let _h = t.span_dyn(|| unreachable!("closure must not run when inactive"));
+        t.launch("k", 1, 2, 0.0, 0.0);
+        t.metric("m", 1.0);
+    }
+
+    #[test]
+    fn spans_nest_and_attribute_launches() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        t.launch("orphan", 1, 0, 0.0, 0.0);
+        {
+            let _root = t.span("root");
+            t.launch("in_root", 2, 0, 0.0, 0.0);
+            {
+                let _child = t.span_dyn(|| "child".to_string());
+                t.launch("in_child", 3, 0, 0.0, 0.0);
+                t.metric("depth", 2.0);
+            }
+            t.launch("in_root_again", 4, 0, 0.0, 0.0);
+        }
+        let d = sink.snapshot();
+        assert_eq!(d.spans.len(), 2);
+        let root = &d.spans[0];
+        let child = &d.spans[1];
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root.id));
+        assert!(!root.end_s.is_nan() && !child.end_s.is_nan());
+        let spans: Vec<Option<u64>> = d.launches.iter().map(|l| l.span).collect();
+        assert_eq!(
+            spans,
+            vec![None, Some(root.id), Some(child.id), Some(root.id)]
+        );
+        assert_eq!(d.metrics[0].span, Some(child.id));
+    }
+
+    #[test]
+    fn uninstall_stops_recording() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        t.launch("a", 1, 0, 0.0, 0.0);
+        t.uninstall();
+        assert!(!t.is_active());
+        t.launch("b", 1, 0, 0.0, 0.0);
+        assert_eq!(sink.snapshot().launches.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Tracer::new();
+        let t2 = t.clone();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        assert!(t2.is_active());
+        let _g = t2.span("from_clone");
+        t.launch("k", 1, 0, 0.0, 0.0);
+        let d = sink.snapshot();
+        assert_eq!(d.launches[0].span, Some(d.spans[0].id));
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_is_tolerated() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        let a = t.span("a");
+        let b = t.span("b");
+        drop(a); // out of order
+        t.launch("k", 1, 0, 0.0, 0.0);
+        drop(b);
+        let d = sink.snapshot();
+        // launch still attributes to the surviving open span b
+        assert_eq!(d.launches[0].span, Some(d.spans[1].id));
+    }
+
+    #[test]
+    fn launch_is_backdated_by_wall_time() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        t.launch("k", 0, 0, 0.0, 1e-3);
+        let l = &sink.snapshot().launches[0];
+        assert!(l.start_s >= 0.0);
+    }
+}

@@ -1,7 +1,7 @@
 //! `lf` — command-line front end for the linear-forest library.
 //!
 //! ```text
-//! lf stats      <input.mtx | gen:NAME[:N]>
+//! lf stats      <input.mtx | gen:NAME[:N]> [--json]
 //! lf factor     <input> [-n N] [-M ITERS] [--config 1|2|3]
 //! lf forest     <input> [--perm out.txt] [--paths]
 //! lf tridiag    <input> [--out prefix]       # writes prefix.{dl,d,du}.txt
@@ -9,13 +9,20 @@
 //!               [--solver bicgstab|gmres|cg] [--tol T] [--max-iters K]
 //! ```
 //!
+//! Every subcommand additionally accepts the global `--trace <out.json>`
+//! flag: the run is recorded through the device's tracer and exported as
+//! Chrome Trace Event JSON (load `out.json` in <https://ui.perfetto.dev>)
+//! plus a flat per-phase rollup next to it (`out.summary.json`).
+//!
 //! Inputs are MatrixMarket files, or `gen:NAME[:N]` for a collection
 //! stand-in (e.g. `gen:atmosmodm:50000`).
 
 use linear_forest::prelude::*;
 use linear_forest::sparse::mm;
+use linear_forest::trace::{chrome_trace, json, summary, RecordingSink};
 use std::io::Write;
 use std::process::exit;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -59,14 +66,44 @@ fn has_flag(args: &[String], name: &str) -> bool {
 
 fn parse_cfg(args: &[String], n: usize) -> FactorConfig {
     let mut cfg = match flag_val(args, "--config") {
+        None | Some("2") => FactorConfig::config2(n),
         Some("1") => FactorConfig::config1(n),
         Some("3") => FactorConfig::config3(n),
-        _ => FactorConfig::config2(n),
+        Some(other) => {
+            eprintln!("unknown --config value '{other}' (valid values: 1, 2, 3)");
+            exit(2);
+        }
     };
     if let Some(m) = flag_val(args, "-M").and_then(|s| s.parse().ok()) {
         cfg = cfg.with_max_iters(m);
     }
     cfg
+}
+
+/// Path of the flat summary written next to a Chrome trace:
+/// `out.json → out.summary.json`, anything else gets `.summary.json`
+/// appended.
+fn summary_path(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.summary.json"),
+        None => format!("{trace_path}.summary.json"),
+    }
+}
+
+/// Export the recorded trace: Chrome Trace Event JSON at `path`, the
+/// per-phase rollup at [`summary_path`].
+fn write_trace(path: &str, sink: &RecordingSink) {
+    let data = sink.snapshot();
+    std::fs::write(path, chrome_trace(&data)).unwrap_or_else(|e| {
+        eprintln!("failed to write trace {path}: {e}");
+        exit(1);
+    });
+    let spath = summary_path(path);
+    std::fs::write(&spath, summary(&data).to_json()).unwrap_or_else(|e| {
+        eprintln!("failed to write trace summary {spath}: {e}");
+        exit(1);
+    });
+    eprintln!("trace written to {path} (summary: {spath}); open the trace in https://ui.perfetto.dev");
 }
 
 fn main() {
@@ -80,21 +117,54 @@ fn main() {
     let dev = Device::default();
     let rest = &args[2..];
 
+    // Global --trace flag: record the whole run through the device tracer.
+    let trace_path = flag_val(&args, "--trace").map(str::to_string);
+    let trace_sink = trace_path.as_deref().map(|_| {
+        let sink = Arc::new(RecordingSink::new());
+        dev.tracer().install(sink.clone());
+        sink
+    });
+
     match cmd {
         "stats" => {
             let s = linear_forest::sparse::graph_stats(&a);
-            println!("matrix: {input}");
-            println!("  N               = {}", s.n);
-            println!("  nnz             = {}", s.nnz);
-            println!("  degree          = {} .. {} (mean {:.2})", s.min_degree, s.max_degree, s.mean_degree);
-            println!("  symmetric       = {} (pattern: {})", s.symmetric, s.pattern_symmetric);
-            println!("  bandwidth       = {}", a.bandwidth());
-            println!("  |w| range       = {:.3e} .. {:.3e}", s.min_weight, s.max_weight);
-            println!("  distinct |w|    = {}{}", s.distinct_weights, if s.distinct_weights >= 1000 { "+" } else { "" });
-            println!("  top-2N weight   = {:.3} (upper bound on c_pi, n=2)", s.top_2n_weight_fraction);
-            println!("  c_id            = {:.4}", identity_coverage(&a));
-            if s.distinct_weights < 10 {
-                println!("  note: heavily tied weights — expect charging (config 2) to matter");
+            if has_flag(rest, "--json") {
+                println!(
+                    "{{\"input\":\"{}\",\"n\":{},\"nnz\":{},\"min_degree\":{},\
+                     \"max_degree\":{},\"mean_degree\":{},\"symmetric\":{},\
+                     \"pattern_symmetric\":{},\"bandwidth\":{},\
+                     \"min_weight\":{},\"max_weight\":{},\
+                     \"distinct_weights\":{},\"top_2n_weight_fraction\":{},\
+                     \"identity_coverage\":{}}}",
+                    json::escape(input),
+                    s.n,
+                    s.nnz,
+                    s.min_degree,
+                    s.max_degree,
+                    json::number(s.mean_degree),
+                    s.symmetric,
+                    s.pattern_symmetric,
+                    a.bandwidth(),
+                    json::number(s.min_weight),
+                    json::number(s.max_weight),
+                    s.distinct_weights,
+                    json::number(s.top_2n_weight_fraction),
+                    json::number(identity_coverage(&a)),
+                );
+            } else {
+                println!("matrix: {input}");
+                println!("  N               = {}", s.n);
+                println!("  nnz             = {}", s.nnz);
+                println!("  degree          = {} .. {} (mean {:.2})", s.min_degree, s.max_degree, s.mean_degree);
+                println!("  symmetric       = {} (pattern: {})", s.symmetric, s.pattern_symmetric);
+                println!("  bandwidth       = {}", a.bandwidth());
+                println!("  |w| range       = {:.3e} .. {:.3e}", s.min_weight, s.max_weight);
+                println!("  distinct |w|    = {}{}", s.distinct_weights, if s.distinct_weights >= 1000 { "+" } else { "" });
+                println!("  top-2N weight   = {:.3} (upper bound on c_pi, n=2)", s.top_2n_weight_fraction);
+                println!("  c_id            = {:.4}", identity_coverage(&a));
+                if s.distinct_weights < 10 {
+                    println!("  note: heavily tied weights — expect charging (config 2) to matter");
+                }
             }
         }
         "factor" => {
@@ -203,5 +273,9 @@ fn main() {
             );
         }
         _ => usage(),
+    }
+
+    if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+        write_trace(path, sink);
     }
 }

@@ -55,6 +55,7 @@
 
 pub use lf_core as core;
 pub use lf_kernel as kernel;
+pub use lf_kernel::trace;
 pub use lf_solver as solver;
 pub use lf_sparse as sparse;
 

@@ -1,0 +1,217 @@
+//! Telemetry attribution invariants across the stack:
+//!
+//! * a generalized SpMV over a [`CsrRowView`] frontier subset must report
+//!   strictly less read traffic than the same operation over the full
+//!   matrix (the point of frontier compaction);
+//! * the summary exporter's rollup invariants — `total = direct + Σ child
+//!   totals` per span and `Σ direct + untraced = grand totals` — hold on
+//!   random span trees, not just the shapes the pipeline happens to emit;
+//! * recording a full `extract_linear_forest` run yields a valid Chrome
+//!   trace with per-iteration spans nested under the factor phase, and a
+//!   summary whose byte totals equal the device's own aggregate stats.
+
+use linear_forest::prelude::*;
+use linear_forest::sparse::{gespmv, subset_row_ptr, AxpyOps, CsrRowView, SpmvEngine};
+use linear_forest::trace::{
+    chrome_trace, json, summary, LaunchEvent, RecordingSink, TraceSink,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn spmv_read_bytes<M: linear_forest::sparse::GeSpmvMatrix<f64>>(
+    dev: &Device,
+    engine: SpmvEngine,
+    a: &M,
+    x: &[f64],
+    d: &[f64],
+) -> u64 {
+    let mut out = vec![0.0f64; a.num_rows()];
+    let (_, stats) = dev.scoped(|| gespmv(dev, "traffic_probe", engine, a, &AxpyOps { x, d }, &mut out));
+    stats.traffic.read
+}
+
+#[test]
+fn row_view_reads_strictly_less_than_full_matrix() {
+    let dev = Device::default();
+    let a = prepare_undirected(&Collection::Ecology1.generate(4000));
+    let x: Vec<f64> = (0..a.nrows()).map(|i| (i as f64 * 0.3).cos()).collect();
+    let d = vec![1.0f64; a.nrows()];
+
+    // Half the rows form the frontier subset.
+    let rows: Vec<u32> = (0..a.nrows() as u32).step_by(2).collect();
+    let mut vp = Vec::new();
+    subset_row_ptr(&a, &rows, &mut vp);
+    let view = CsrRowView::new(&a, &rows, &vp);
+
+    for engine in [SpmvEngine::RowParallel, SpmvEngine::SrCsr] {
+        let full = spmv_read_bytes(&dev, engine, &a, &x, &d);
+        let sub = spmv_read_bytes(&dev, engine, &view, &x, &d);
+        assert!(
+            sub < full,
+            "{engine:?}: row-view read {sub} B not below full-matrix {full} B"
+        );
+    }
+}
+
+/// Random span forest, integer-encoded: span `i > 0` takes
+/// `parent_seeds[i] % (i + 1)` as its parent (the value `i` meaning
+/// "root"), and each launch attaches to `seed % (nspans + 1)` (the value
+/// `nspans` meaning "untraced").
+fn span_tree_strategy() -> impl Strategy<Value = (usize, Vec<u64>, Vec<(u64, u64, u64)>)> {
+    (1usize..12).prop_flat_map(|nspans| {
+        (
+            Just(nspans),
+            proptest::collection::vec(0u64..1_000_000, nspans..nspans + 1),
+            proptest::collection::vec((0u64..1_000_000, 0u64..10_000, 0u64..10_000), 0..30),
+        )
+    })
+}
+
+fn decode_parent(i: usize, seed: u64) -> Option<u64> {
+    let r = seed % (i as u64 + 1);
+    (r < i as u64).then_some(r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn summary_rollup_invariants_on_random_span_trees(
+        (nspans, parent_seeds, launches) in span_tree_strategy(),
+    ) {
+        let sink = RecordingSink::new();
+        for (i, &seed) in parent_seeds.iter().enumerate() {
+            sink.begin_span(i as u64, decode_parent(i, seed), &format!("s{i}"), i as f64);
+        }
+        for (j, &(attach, read, written)) in launches.iter().enumerate() {
+            let span = attach % (nspans as u64 + 1);
+            sink.launch(&LaunchEvent {
+                span: (span < nspans as u64).then_some(span),
+                name: format!("k{j}"),
+                read,
+                written,
+                model_s: read as f64 * 1e-9,
+                wall_s: written as f64 * 1e-9,
+                start_s: j as f64,
+            });
+        }
+        for i in (0..nspans).rev() {
+            sink.end_span(i as u64, 100.0 + i as f64);
+        }
+        let data = sink.snapshot();
+        let sum = summary(&data);
+
+        // Partition: every launch counts once, toward exactly one direct
+        // bucket.
+        let direct_read: u64 = sum.phases.iter().map(|p| p.direct.read).sum();
+        let direct_written: u64 = sum.phases.iter().map(|p| p.direct.written).sum();
+        let direct_launches: u64 = sum.phases.iter().map(|p| p.direct.launches).sum();
+        prop_assert_eq!(direct_read + sum.untraced.read, sum.totals.read);
+        prop_assert_eq!(direct_written + sum.untraced.written, sum.totals.written);
+        prop_assert_eq!(direct_launches + sum.untraced.launches, sum.totals.launches);
+        prop_assert_eq!(sum.totals.launches as usize, launches.len());
+
+        // Rollup: every span's total is its direct plus its direct
+        // children's totals (and hence, transitively, all descendants).
+        for p in &sum.phases {
+            let children_read: u64 = sum
+                .phases
+                .iter()
+                .filter(|c| data.span(c.id).unwrap().parent == Some(p.id))
+                .map(|c| c.total.read)
+                .sum();
+            let children_launches: u64 = sum
+                .phases
+                .iter()
+                .filter(|c| data.span(c.id).unwrap().parent == Some(p.id))
+                .map(|c| c.total.launches)
+                .sum();
+            prop_assert_eq!(p.total.read, p.direct.read + children_read, "span {}", &p.path);
+            prop_assert_eq!(p.total.launches, p.direct.launches + children_launches);
+        }
+
+        // Both exporters stay valid JSON on arbitrary tree shapes.
+        json::validate(&sum.to_json()).unwrap();
+        json::validate(&chrome_trace(&data)).unwrap();
+    }
+}
+
+#[test]
+fn traced_pipeline_matches_device_aggregate() {
+    let dev = Device::default();
+    let sink = Arc::new(RecordingSink::new());
+    dev.tracer().install(sink.clone());
+
+    let a = prepare_undirected(&Collection::Aniso1.generate(3000));
+    let (forest, _) = extract_linear_forest(&dev, &a, &FactorConfig::paper_default(2));
+    assert!(forest.num_paths() > 0);
+
+    let data = sink.snapshot();
+    let sum = summary(&data);
+    let stats = dev.stats();
+
+    // Acceptance criterion (b): the summary's grand totals equal the
+    // device's own aggregate accounting for the run.
+    assert_eq!(sum.totals.launches, stats.launches);
+    assert_eq!(sum.totals.read, stats.traffic.read);
+    assert_eq!(sum.totals.written, stats.traffic.written);
+    assert!((sum.totals.model_s - stats.model_time_s).abs() <= 1e-9 * stats.launches as f64);
+
+    // Acceptance criterion (a): factor iterations nest under the factor
+    // phase, which nests under the forest root.
+    let iter0 = sum
+        .phases
+        .iter()
+        .find(|p| p.name == "iter_0")
+        .expect("per-iteration span");
+    assert_eq!(iter0.path, "forest/factor/iter_0");
+    assert_eq!(iter0.depth, 2);
+    assert!(iter0.direct.launches > 0, "iteration spans own the kernel launches");
+    for stage in ["factor", "identify_cycles", "identify_paths", "permutation"] {
+        let p = sum
+            .phases
+            .iter()
+            .find(|p| p.name == stage)
+            .unwrap_or_else(|| panic!("missing {stage} span"));
+        assert_eq!(p.path, format!("forest/{stage}"));
+    }
+
+    // Per-iteration factor metrics made it through.
+    let factor = sum.phases.iter().find(|p| p.name == "iter_0").unwrap();
+    let keys: Vec<&str> = factor.metrics.iter().map(|(k, _)| k.as_str()).collect();
+    for key in ["frontier", "proposed_slots", "confirmed_slots", "edges_confirmed", "covered_weight"] {
+        assert!(keys.contains(&key), "iter_0 missing metric {key}, has {keys:?}");
+    }
+
+    // The Chrome export of the same run is valid JSON and mentions the
+    // nested path.
+    let ct = chrome_trace(&data);
+    json::validate(&ct).unwrap();
+    assert!(ct.contains("\"path\":\"forest/factor/iter_0\""));
+}
+
+#[test]
+fn traced_solver_records_residual_series() {
+    let dev = Device::default();
+    let sink = Arc::new(RecordingSink::new());
+    dev.tracer().install(sink.clone());
+
+    let a = Collection::Aniso1.generate(900);
+    let (b, xt) = manufactured_problem(&dev, &a);
+    let precond = JacobiPrecond::new(&a);
+    let (_, st) = bicgstab(&dev, &a, &b, &precond, &SolveOpts::default(), Some(&xt));
+
+    let sum = summary(&sink.snapshot());
+    let solve = sum
+        .phases
+        .iter()
+        .find(|p| p.name == "bicgstab")
+        .expect("solver span");
+    let res = solve
+        .metrics
+        .iter()
+        .find(|(k, _)| k == "rel_residual")
+        .map(|(_, v)| v.clone())
+        .expect("residual series");
+    assert_eq!(res, st.rel_residual, "traced series mirrors SolveStats");
+}
