@@ -33,7 +33,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let dev = Device::default();
             b.iter_batched(
                 || dev.reset_stats(),
-                |()| tridiagonal_from_matrix(&dev, a, &cfg),
+                |()| tridiagonal_from_matrix(&dev, a, &cfg).unwrap(),
                 BatchSize::PerIteration,
             );
         });

@@ -11,6 +11,8 @@
 //!   --json      also emit machine-readable BENCH_<exp>.json files
 //!   --trace F   record all experiments into Chrome trace F
 //!               (+ per-phase rollup F with .summary.json suffix)
+//!   --check     audited preflight: run the checked pipeline on
+//!               representative matrices before any experiment
 //! ```
 
 use lf_bench::Opts;
@@ -19,7 +21,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] \
+        "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--check] \
          <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|tables|figures|all>..."
     );
     std::process::exit(2);
@@ -40,6 +42,7 @@ fn main() {
             }
             "--full" => opts.full = true,
             "--json" => opts.json = true,
+            "--check" => opts.check = true,
             "--out" => {
                 opts.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage());
             }
@@ -87,6 +90,12 @@ fn main() {
         }
     };
     let list: Vec<&str> = cmds.iter().flat_map(|c| expand(c)).collect();
+    if opts.check {
+        if let Err(e) = opts.preflight_check() {
+            eprintln!("error: checked-mode preflight failed:\n{e}");
+            std::process::exit(1);
+        }
+    }
     for (i, exp) in list.iter().enumerate() {
         if i > 0 {
             println!("\n{}\n", "=".repeat(78));

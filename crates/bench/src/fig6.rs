@@ -31,7 +31,7 @@ pub fn run(opts: &Opts) {
         let dev = Device::default();
         let a = m.generate(opts.target_n(m));
         let cfg = FactorConfig::paper_default(2);
-        let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg);
+        let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
         let total = timings.total_model_s().max(1e-30);
         let mut cells = vec![m.name().to_string()];
         for (phase, s) in timings.phases() {

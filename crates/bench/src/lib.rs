@@ -39,6 +39,9 @@ pub struct Opts {
     pub out_dir: PathBuf,
     /// Also emit machine-readable `BENCH_<exp>.json` files.
     pub json: bool,
+    /// Run a checked-mode preflight (stage invariant audits on
+    /// representative matrices) before any experiment.
+    pub check: bool,
     /// Shared tracing handle: every device the harness creates via
     /// [`Opts::device`] reports into it, so `repro --trace` captures all
     /// experiments in one trace. Inactive (free) unless a sink is
@@ -53,6 +56,7 @@ impl Default for Opts {
             full: false,
             out_dir: PathBuf::from("results"),
             json: false,
+            check: false,
             tracer: Tracer::new(),
         }
     }
@@ -64,6 +68,33 @@ impl Opts {
     /// across measurements, while all of them share one trace timeline.
     pub fn device(&self) -> Device {
         Device::with_tracer(DeviceConfig::default(), self.tracer.clone())
+    }
+
+    /// Checked-mode preflight (`repro --check`): run the fully audited
+    /// pipeline on a few representative collection matrices before any
+    /// experiment, so a corrupted stage fails fast with a structured
+    /// error instead of quietly skewing every measurement.
+    pub fn preflight_check(&self) -> Result<(), lf_check::CheckError> {
+        use lf_check::CheckOptions;
+        use lf_core::FactorConfig;
+        let n = self.scale.min(2_000);
+        let cfg = FactorConfig::paper_default(2);
+        for m in [
+            lf_sparse::Collection::Thermal2,
+            lf_sparse::Collection::Stocf1465,
+            lf_sparse::Collection::G3Circuit,
+        ] {
+            let dev = self.device();
+            let a = m.generate(n);
+            let (_, _, _, report) = lf_check::tridiagonal_from_matrix_checked(
+                &dev,
+                &a,
+                &cfg,
+                &CheckOptions::default(),
+            )?;
+            eprintln!("[check] {} (N = {}): {report}", m.name(), a.nrows());
+        }
+        Ok(())
     }
 
     /// Target vertex count for a given collection matrix.

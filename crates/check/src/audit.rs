@@ -1,0 +1,524 @@
+//! Per-stage invariant validators.
+//!
+//! Each `audit_*` function checks the structural invariants one pipeline
+//! stage is supposed to establish (paper Sec. 2–3) and returns the
+//! violations it found as structured values. The auditors never panic and
+//! never mutate their inputs; the checked pipeline in [`crate::pipeline`]
+//! wires them between stages.
+//!
+//! To keep checked runs readable on badly corrupted state, each auditor
+//! stops collecting after [`MAX_VIOLATIONS`] findings.
+
+use lf_core::cycles::CycleReport;
+use lf_core::extract::{extract_tridiagonal_reference, Tridiag};
+use lf_core::paths::{identify_paths_sequential, PathInfo};
+use lf_core::permute::is_tridiagonalizing;
+use lf_core::Factor;
+use lf_sparse::{Csr, Scalar};
+use std::fmt;
+
+/// Cap on violations collected per stage — enough to diagnose, not enough
+/// to flood the report when an entire buffer is corrupted.
+pub const MAX_VIOLATIONS: usize = 16;
+
+/// The pipeline stage an audit (or a [`Violation`]) belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// The undirected weight matrix `A'` fed into the factor stage.
+    Input,
+    /// The parallel [0,2]-factor (Algorithm 2).
+    Factor,
+    /// Cycle identification + weakest-edge removal.
+    CycleBreak,
+    /// Path ID/position assignment (Algorithm 3).
+    Paths,
+    /// The tridiagonalizing permutation.
+    Permutation,
+    /// Coefficient extraction from the original matrix.
+    Extraction,
+}
+
+impl Stage {
+    /// Stable lowercase name (used in trace metrics and CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Input => "input",
+            Stage::Factor => "factor",
+            Stage::CycleBreak => "cycle_break",
+            Stage::Paths => "paths",
+            Stage::Permutation => "permutation",
+            Stage::Extraction => "extraction",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One violated invariant, attributed to a pipeline stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Stage whose postcondition failed.
+    pub stage: Stage,
+    /// Human-readable description of the failed invariant.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(stage: Stage, detail: impl Into<String>) -> Self {
+        Self { stage, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.stage, self.detail)
+    }
+}
+
+/// Collects violations for one stage with the [`MAX_VIOLATIONS`] cap.
+struct Auditor {
+    stage: Stage,
+    out: Vec<Violation>,
+}
+
+impl Auditor {
+    fn new(stage: Stage) -> Self {
+        Self { stage, out: Vec::new() }
+    }
+
+    fn full(&self) -> bool {
+        self.out.len() >= MAX_VIOLATIONS
+    }
+
+    fn report(&mut self, detail: impl Into<String>) {
+        if !self.full() {
+            self.out.push(Violation::new(self.stage, detail));
+        }
+    }
+
+    fn finish(self) -> Vec<Violation> {
+        self.out
+    }
+}
+
+/// Audit the undirected weight matrix `A'` the pipeline runs on: square,
+/// all-finite non-negative weights, empty diagonal, symmetric (the output
+/// contract of [`lf_core::prepare_undirected`]).
+pub fn audit_input<T: Scalar>(aprime: &Csr<T>) -> Vec<Violation> {
+    let mut a = Auditor::new(Stage::Input);
+    if aprime.nrows() != aprime.ncols() {
+        a.report(format!(
+            "matrix is not square: {}x{}",
+            aprime.nrows(),
+            aprime.ncols()
+        ));
+        return a.finish();
+    }
+    for (i, j, v) in aprime.iter() {
+        if a.full() {
+            break;
+        }
+        let w = v.to_f64();
+        if !w.is_finite() {
+            a.report(format!("non-finite weight {w:e} at ({i}, {j})"));
+        } else if w < 0.0 {
+            a.report(format!("negative weight {w:e} at ({i}, {j}) in A'"));
+        }
+        if i == j {
+            a.report(format!("diagonal entry at ({i}, {i}) — A' must be hollow"));
+        }
+    }
+    if !a.full() && !aprime.is_symmetric() {
+        a.report("A' is not symmetric");
+    }
+    a.finish()
+}
+
+/// Audit a [0,n]-factor against the graph it was computed from:
+/// mutual partnerships, degree bound, every factor weight present in `A'`
+/// with the exact stored value, and (when the factor computation reported
+/// convergence) maximality.
+pub fn audit_factor<T: Scalar>(
+    factor: &Factor<T>,
+    aprime: &Csr<T>,
+    n: usize,
+    expect_maximal: bool,
+) -> Vec<Violation> {
+    let mut a = Auditor::new(Stage::Factor);
+    if factor.degree_bound() != n {
+        a.report(format!(
+            "degree bound {} does not match configured n = {n}",
+            factor.degree_bound()
+        ));
+    }
+    if factor.num_vertices() != aprime.nrows() {
+        a.report(format!(
+            "factor has {} vertices, graph has {}",
+            factor.num_vertices(),
+            aprime.nrows()
+        ));
+        return a.finish();
+    }
+    // Mutuality, self-loops, duplicates, degree, edge existence.
+    if let Err(msg) = factor.validate(aprime) {
+        a.report(msg);
+    }
+    // Weight provenance: every stored slot weight must equal the A' entry
+    // of its edge bit-for-bit (the pipeline only ever copies weights).
+    'rows: for v in 0..factor.num_vertices() {
+        for (w, x) in factor.partners(v) {
+            if a.full() {
+                break 'rows;
+            }
+            if (w as usize) < aprime.nrows() && w as usize != v {
+                let aw = aprime.get(v, w as usize);
+                if x.total_cmp(aw) != std::cmp::Ordering::Equal {
+                    a.report(format!(
+                        "edge ({v}, {w}) stores weight {:e} but A' has {:e}",
+                        x.to_f64(),
+                        aw.to_f64()
+                    ));
+                }
+            }
+        }
+    }
+    if expect_maximal && !a.full() && !factor.is_maximal(aprime) {
+        a.report("factor reported maximal but an edge can still be added");
+    }
+    a.finish()
+}
+
+/// Audit cycle breaking: the post-break factor must be acyclic, each
+/// removed edge must have existed before and be gone after, exactly one
+/// edge is removed per reported cycle, and all surviving edges are
+/// untouched.
+pub fn audit_cycle_break<T: Scalar>(
+    pre: &Factor<T>,
+    post: &Factor<T>,
+    report: &CycleReport,
+) -> Vec<Violation> {
+    let mut a = Auditor::new(Stage::CycleBreak);
+    if report.removed.len() != report.cycles {
+        a.report(format!(
+            "{} cycles reported but {} edges removed — one removal per cycle",
+            report.cycles,
+            report.removed.len()
+        ));
+    }
+    for &(u, v) in &report.removed {
+        if a.full() {
+            break;
+        }
+        if !pre.contains(u as usize, v) || !pre.contains(v as usize, u) {
+            a.report(format!("removed edge ({u}, {v}) was not in the factor"));
+        }
+        if post.contains(u as usize, v) || post.contains(v as usize, u) {
+            a.report(format!("removed edge ({u}, {v}) still present after breaking"));
+        }
+    }
+    let pre_edges = pre.edges().len();
+    let post_edges = post.edges().len();
+    if pre_edges != post_edges + report.removed.len() {
+        a.report(format!(
+            "edge count {pre_edges} -> {post_edges} but {} removals reported",
+            report.removed.len()
+        ));
+    }
+    // Surviving edges must be byte-identical to the pre-break factor.
+    'edges: for (u, v, w) in post.edges() {
+        if a.full() {
+            break 'edges;
+        }
+        match pre.partners(u as usize).find(|&(p, _)| p == v) {
+            None => a.report(format!("edge ({u}, {v}) appeared during cycle breaking")),
+            Some((_, pw)) if pw.total_cmp(w) != std::cmp::Ordering::Equal => {
+                a.report(format!("edge ({u}, {v}) changed weight during cycle breaking"))
+            }
+            _ => {}
+        }
+    }
+    if !a.full() {
+        if let Err(e) = identify_paths_sequential(post) {
+            a.report(format!("factor still cyclic after breaking: {e}"));
+        }
+    }
+    a.finish()
+}
+
+/// Audit path identification: IDs and positions must describe the
+/// connected components of the (acyclic) factor — canonical self-ID
+/// endpoints at position 1, adjacent vertices at adjacent positions on
+/// the same path, and per-path positions forming a contiguous `1..=len`.
+pub fn audit_paths<T: Scalar>(factor: &Factor<T>, paths: &PathInfo) -> Vec<Violation> {
+    let mut a = Auditor::new(Stage::Paths);
+    let nv = factor.num_vertices();
+    if paths.len() != nv {
+        a.report(format!("path info covers {} vertices, factor has {nv}", paths.len()));
+        return a.finish();
+    }
+    for v in 0..nv {
+        if a.full() {
+            break;
+        }
+        let id = paths.path_id[v] as usize;
+        let pos = paths.position[v];
+        if id >= nv {
+            a.report(format!("vertex {v}: path ID {id} out of range"));
+            continue;
+        }
+        if pos < 1 {
+            a.report(format!("vertex {v}: position {pos} < 1"));
+        }
+        if paths.path_id[id] as usize != id || paths.position[id] != 1 {
+            a.report(format!(
+                "vertex {v}: path ID {id} is not a canonical endpoint \
+                 (its id = {}, position = {})",
+                paths.path_id[id], paths.position[id]
+            ));
+        }
+    }
+    // Factor edges connect consecutive positions on the same path.
+    'edges: for (u, v, _) in factor.edges() {
+        if a.full() {
+            break 'edges;
+        }
+        let (u, v) = (u as usize, v as usize);
+        if paths.path_id[u] != paths.path_id[v] {
+            a.report(format!(
+                "edge ({u}, {v}) spans paths {} and {}",
+                paths.path_id[u], paths.path_id[v]
+            ));
+        }
+        let (pu, pv) = (paths.position[u], paths.position[v]);
+        if pu.abs_diff(pv) != 1 {
+            a.report(format!(
+                "edge ({u}, {v}) positions {pu} and {pv} are not adjacent"
+            ));
+        }
+    }
+    // Per path, positions are exactly 1..=len (each exactly once).
+    if !a.full() {
+        let mut len = vec![0u32; nv];
+        let mut pos_sum = vec![0u64; nv];
+        for v in 0..nv {
+            let id = paths.path_id[v] as usize;
+            if id < nv {
+                len[id] += 1;
+                pos_sum[id] += paths.position[v] as u64;
+            }
+        }
+        for id in 0..nv {
+            if a.full() {
+                break;
+            }
+            let l = len[id] as u64;
+            if l > 0 && pos_sum[id] != l * (l + 1) / 2 {
+                a.report(format!(
+                    "path {id}: positions of its {l} vertices are not 1..={l}"
+                ));
+            }
+        }
+    }
+    a.finish()
+}
+
+/// Audit the tridiagonalizing permutation: a valid bijection, sorted by
+/// `(path ID, position)`, under which the factor adjacency has bandwidth
+/// one.
+pub fn audit_permutation<T: Scalar>(
+    factor: &Factor<T>,
+    paths: &PathInfo,
+    perm: &[u32],
+) -> Vec<Violation> {
+    let mut a = Auditor::new(Stage::Permutation);
+    let nv = factor.num_vertices();
+    if perm.len() != nv {
+        a.report(format!("permutation length {} != {nv}", perm.len()));
+        return a.finish();
+    }
+    let mut seen = vec![false; nv];
+    for (k, &old) in perm.iter().enumerate() {
+        if a.full() {
+            break;
+        }
+        if (old as usize) >= nv {
+            a.report(format!("perm[{k}] = {old} out of range"));
+        } else if std::mem::replace(&mut seen[old as usize], true) {
+            a.report(format!("perm[{k}] = {old} duplicated — not a bijection"));
+        }
+    }
+    if paths.len() == nv {
+        for k in 1..perm.len() {
+            if a.full() {
+                break;
+            }
+            let (p, q) = (perm[k - 1] as usize, perm[k] as usize);
+            if p >= nv || q >= nv {
+                continue;
+            }
+            let kp = (paths.path_id[p], paths.position[p]);
+            let kq = (paths.path_id[q], paths.position[q]);
+            if kp >= kq {
+                a.report(format!(
+                    "perm not sorted by (path, position): \
+                     slot {} holds {:?}, slot {k} holds {:?}",
+                    k - 1,
+                    kp,
+                    kq
+                ));
+            }
+        }
+    }
+    if !a.full() && !is_tridiagonalizing(factor, perm) {
+        a.report("factor adjacency is not tridiagonal under the permutation");
+    }
+    a.finish()
+}
+
+/// Audit extracted coefficients against the sequential reference
+/// extractor on the **original** matrix.
+pub fn audit_extraction<T: Scalar, U: Scalar>(
+    a_orig: &Csr<U>,
+    factor: &Factor<T>,
+    perm: &[u32],
+    tri: &Tridiag<U>,
+) -> Vec<Violation> {
+    let mut a = Auditor::new(Stage::Extraction);
+    let want = extract_tridiagonal_reference(a_orig, factor, perm);
+    if tri.len() != want.len() {
+        a.report(format!(
+            "tridiagonal length {} != reference {}",
+            tri.len(),
+            want.len()
+        ));
+        return a.finish();
+    }
+    for k in 0..tri.len() {
+        if a.full() {
+            break;
+        }
+        if tri.d[k].total_cmp(want.d[k]) != std::cmp::Ordering::Equal {
+            a.report(format!(
+                "d[{k}] = {:e}, reference {:e}",
+                tri.d[k].to_f64(),
+                want.d[k].to_f64()
+            ));
+        }
+        if k + 1 < tri.len() {
+            if tri.dl[k].total_cmp(want.dl[k]) != std::cmp::Ordering::Equal {
+                a.report(format!(
+                    "dl[{k}] = {:e}, reference {:e}",
+                    tri.dl[k].to_f64(),
+                    want.dl[k].to_f64()
+                ));
+            }
+            if tri.du[k].total_cmp(want.du[k]) != std::cmp::Ordering::Equal {
+                a.report(format!(
+                    "du[{k}] = {:e}, reference {:e}",
+                    tri.du[k].to_f64(),
+                    want.du[k].to_f64()
+                ));
+            }
+        }
+    }
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_core::cycles::break_cycles_sequential;
+    use lf_core::greedy::greedy_factor;
+    use lf_core::prepare_undirected;
+    use lf_sparse::stencil::{grid2d, ANISO1};
+
+    fn clean_pipeline() -> (Csr<f64>, Factor<f64>, PathInfo) {
+        let a: Csr<f64> = grid2d(8, 8, &ANISO1);
+        let ap = prepare_undirected(&a);
+        let mut f = greedy_factor(&ap, 2);
+        break_cycles_sequential(&mut f);
+        let p = identify_paths_sequential(&f).unwrap();
+        (ap, f, p)
+    }
+
+    #[test]
+    fn clean_stages_have_no_violations() {
+        let (ap, f, p) = clean_pipeline();
+        assert!(audit_input(&ap).is_empty());
+        // the broken factor is no longer maximal — audit without the flag
+        assert!(audit_factor(&f, &ap, 2, false).is_empty());
+        assert!(audit_paths(&f, &p).is_empty());
+        // maximality holds on the factor before cycle breaking
+        let pre = greedy_factor(&prepare_undirected(&grid2d::<f64>(8, 8, &ANISO1)), 2);
+        assert!(audit_factor(&pre, &ap, 2, true).is_empty());
+    }
+
+    #[test]
+    fn broken_mutuality_is_caught() {
+        let (ap, f, _) = clean_pipeline();
+        // drop one direction of the first edge via the raw-slot constructor
+        let mut cols = f.slot_cols().to_vec();
+        let ws = f.slot_weights().to_vec();
+        let hit = cols.iter().position(|&c| c != lf_core::INVALID).unwrap();
+        cols[hit] = lf_core::INVALID;
+        let bad = Factor::from_slots(f.num_vertices(), 2, cols, ws);
+        let v = audit_factor(&bad, &ap, 2, false);
+        assert!(!v.is_empty(), "one-sided edge must violate mutuality");
+        assert!(v.iter().all(|x| x.stage == Stage::Factor));
+    }
+
+    #[test]
+    fn wrong_weight_is_caught() {
+        let (ap, f, _) = clean_pipeline();
+        let cols = f.slot_cols().to_vec();
+        let mut ws = f.slot_weights().to_vec();
+        let hit = cols.iter().position(|&c| c != lf_core::INVALID).unwrap();
+        ws[hit] += 1.0;
+        let bad = Factor::from_slots(f.num_vertices(), 2, cols, ws);
+        let v = audit_factor(&bad, &ap, 2, false);
+        assert!(v.iter().any(|x| x.detail.contains("stores weight")));
+    }
+
+    #[test]
+    fn phantom_removal_is_caught() {
+        let (_, f, _) = clean_pipeline();
+        let report = CycleReport { cycles: 1, removed: vec![(0, 1)] };
+        let v = audit_cycle_break(&f, &f, &report);
+        assert!(
+            v.iter().any(|x| x.detail.contains("still present"))
+                || v.iter().any(|x| x.detail.contains("edge count")),
+            "removal that never happened must be flagged: {v:?}"
+        );
+    }
+
+    #[test]
+    fn scrambled_positions_are_caught() {
+        let (_, f, mut p) = clean_pipeline();
+        // swap two positions on some length>=2 path
+        let (u, v, _) = f.edges()[0];
+        p.position.swap(u as usize, v as usize);
+        let viol = audit_paths(&f, &p);
+        assert!(!viol.is_empty());
+    }
+
+    #[test]
+    fn bad_permutation_is_caught() {
+        let (_, f, p) = clean_pipeline();
+        let mut perm: Vec<u32> = (0..p.len() as u32).collect();
+        perm.sort_by_key(|&v| (p.path_id[v as usize], p.position[v as usize]));
+        assert!(audit_permutation(&f, &p, &perm).is_empty());
+        perm.swap(0, p.len() - 1);
+        let v = audit_permutation(&f, &p, &perm);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn violation_display_names_stage() {
+        let v = Violation::new(Stage::CycleBreak, "boom");
+        assert_eq!(v.to_string(), "[cycle_break] boom");
+    }
+}

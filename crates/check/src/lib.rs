@@ -1,0 +1,66 @@
+//! # lf-check — correctness subsystem for the linear-forest pipeline
+//!
+//! Three layers of defense against silent corruption in the parallel
+//! pipeline of `lf-core`:
+//!
+//! 1. **Invariant audits** ([`audit`]): per-stage validators that check
+//!    the paper's structural invariants after every pipeline stage —
+//!    factor mutuality/degree-bound/maximality and weight provenance,
+//!    post-break acyclicity with exactly one removal per cycle, path
+//!    ID/position consistency, permutation validity and tridiagonality,
+//!    and extracted coefficients against the sequential reference
+//!    extractor. Violations are reported as structured
+//!    [`audit::Violation`] values, never panics.
+//! 2. **Checked pipeline** ([`pipeline`]): drop-in fallible variants of
+//!    [`lf_core::extract_linear_forest`] /
+//!    [`lf_core::tridiagonal_from_matrix`] that install the auditors
+//!    between stages (`lf --check`, `repro --check`). A [`pipeline::Fault`]
+//!    injection hook lets tests corrupt intermediate state and assert the
+//!    audits catch it.
+//! 3. **Differential oracles** ([`oracle`]): harness running the parallel
+//!    pipeline against the sequential references (`greedy_factor`,
+//!    `break_cycles_sequential`, `identify_paths_sequential`,
+//!    `extract_tridiagonal_reference`) on seeded random graphs, stencils
+//!    and the synthetic collection, comparing invariant-level properties
+//!    (coverage, removed-edge sets, path structure, coefficients).
+//!
+//! ```
+//! use lf_check::prelude::*;
+//! use lf_core::prelude::*;
+//! use lf_kernel::Device;
+//! use lf_sparse::prelude::*;
+//!
+//! let dev = Device::default();
+//! let a: Csr<f64> = grid2d(12, 12, &ANISO1);
+//! let (forest, _timings, report) = extract_linear_forest_checked(
+//!     &dev,
+//!     &prepare_undirected(&a),
+//!     &FactorConfig::paper_default(2),
+//!     &CheckOptions::default(),
+//! ).expect("audited pipeline is clean on a stencil");
+//! assert!(forest.num_paths() > 0);
+//! assert_eq!(report.stages.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod oracle;
+pub mod pipeline;
+
+pub use audit::{Stage, Violation};
+pub use oracle::{differential_case, differential_suite, OracleCase, OracleReport};
+pub use pipeline::{
+    extract_linear_forest_checked, tridiagonal_from_matrix_checked, CheckError, CheckOptions,
+    CheckReport, Fault,
+};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::audit::{Stage, Violation};
+    pub use crate::oracle::{differential_suite, OracleReport};
+    pub use crate::pipeline::{
+        extract_linear_forest_checked, tridiagonal_from_matrix_checked, CheckError, CheckOptions,
+        CheckReport,
+    };
+}

@@ -1,0 +1,221 @@
+//! Differential oracles: the parallel pipeline vs its sequential
+//! references.
+//!
+//! Each stage of the parallel pipeline has an independent sequential
+//! implementation in `lf-core` (`greedy_factor`,
+//! `break_cycles_sequential`, `identify_paths_sequential`,
+//! `extract_tridiagonal_reference`). The oracle runs both sides on the
+//! same input and compares **invariant-level** properties:
+//!
+//! * the factor stage by validity, maximality and weight coverage
+//!   (parallel and greedy factors legitimately differ edge-by-edge —
+//!   Table 5 compares their coverage, so does the oracle);
+//! * cycle breaking, path identification and extraction by exact
+//!   equality — both sides remove the weakest edge per cycle with the
+//!   same deterministic tie-break, so their outputs must agree
+//!   bit-for-bit.
+
+use crate::audit;
+use lf_core::cycles::{break_cycles, break_cycles_sequential};
+use lf_core::extract::{extract_tridiagonal, extract_tridiagonal_reference};
+use lf_core::greedy::greedy_factor;
+use lf_core::parallel::{try_parallel_factor, FactorConfig};
+use lf_core::paths::{identify_paths, identify_paths_sequential};
+use lf_core::permute::forest_permutation;
+use lf_core::weight_coverage;
+use lf_kernel::Device;
+use lf_sparse::random::random_symmetric;
+use lf_sparse::stencil::{aniso3, grid2d, grid3d, Stencil7, ANISO1, ANISO2, FIVE_POINT};
+use lf_sparse::{Csr, Scalar};
+use std::fmt;
+
+/// Minimum acceptable ratio of parallel to greedy weight coverage.
+/// Table 5 reports PAR/SEQ ≥ 0.97 on the paper's collection; the bound
+/// here is loose enough for small random graphs where a handful of edges
+/// decide the ratio, and tight enough to catch a broken factor stage.
+pub const MIN_COVERAGE_RATIO: f64 = 0.85;
+
+/// One differential comparison (one input graph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OracleCase {
+    /// Input label, e.g. `random(seed=3, n=200, deg=6)`.
+    pub label: String,
+    /// Disagreements found; empty means the case passed.
+    pub failures: Vec<String>,
+}
+
+impl OracleCase {
+    /// Whether parallel and sequential sides agreed.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Outcome of a differential suite run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OracleReport {
+    /// All cases, in execution order.
+    pub cases: Vec<OracleCase>,
+}
+
+impl OracleReport {
+    /// Whether every case passed.
+    pub fn passed(&self) -> bool {
+        self.cases.iter().all(OracleCase::passed)
+    }
+
+    /// Number of failing cases.
+    pub fn num_failed(&self) -> usize {
+        self.cases.iter().filter(|c| !c.passed()).count()
+    }
+}
+
+impl fmt::Display for OracleReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "differential oracle: {}/{} cases agree",
+            self.cases.len() - self.num_failed(),
+            self.cases.len()
+        )?;
+        for c in self.cases.iter().filter(|c| !c.passed()) {
+            writeln!(f, "  FAIL {}", c.label)?;
+            for msg in &c.failures {
+                writeln!(f, "    {msg}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run the full parallel-vs-sequential comparison on one undirected
+/// weight matrix `aprime` (as produced by [`lf_core::prepare_undirected`]).
+pub fn differential_case<T: Scalar>(dev: &Device, aprime: &Csr<T>, label: &str) -> OracleCase {
+    let mut failures = Vec::new();
+    let cfg = FactorConfig::paper_default(2);
+
+    // Stage 1: parallel factor vs greedy reference — invariant-level.
+    let outcome = match try_parallel_factor(dev, aprime, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            return OracleCase {
+                label: label.into(),
+                failures: vec![format!("parallel factor failed: {e}")],
+            }
+        }
+    };
+    let par = outcome.factor;
+    for v in audit::audit_factor(&par, aprime, 2, outcome.maximal) {
+        failures.push(format!("parallel factor: {v}"));
+    }
+    let seq = greedy_factor(aprime, 2);
+    if let Err(msg) = seq.validate(aprime) {
+        failures.push(format!("greedy reference factor invalid: {msg}"));
+    }
+    let (cp, cs) = (weight_coverage(&par, aprime), weight_coverage(&seq, aprime));
+    if cs > 0.0 && cp / cs < MIN_COVERAGE_RATIO {
+        failures.push(format!(
+            "parallel coverage {cp:.4} below {MIN_COVERAGE_RATIO} × greedy {cs:.4}"
+        ));
+    }
+
+    // Stage 2: parallel vs sequential cycle breaking on the same factor —
+    // identical removed-edge sets and identical surviving factors.
+    let mut broken_par = par.clone();
+    let rep_par = break_cycles(dev, &mut broken_par);
+    let mut broken_seq = par.clone();
+    let rep_seq = break_cycles_sequential(&mut broken_seq);
+    let (mut rm_par, mut rm_seq) = (rep_par.removed.clone(), rep_seq.removed.clone());
+    rm_par.sort_unstable();
+    rm_seq.sort_unstable();
+    if rm_par != rm_seq {
+        failures.push(format!(
+            "cycle breaking removed different edges: parallel {rm_par:?}, sequential {rm_seq:?}"
+        ));
+    }
+    if broken_par != broken_seq {
+        failures.push("post-break factors differ between parallel and sequential".into());
+    }
+
+    // Stage 3: parallel vs sequential path identification — exact equality.
+    match (identify_paths(dev, &broken_par), identify_paths_sequential(&broken_seq)) {
+        (Ok(pp), Ok(ps)) => {
+            if pp != ps {
+                failures.push("path IDs/positions differ between parallel and sequential".into());
+            }
+            // Stage 4/5: permutation + extraction vs reference extractor.
+            let perm = forest_permutation(dev, &pp);
+            for v in audit::audit_permutation(&broken_par, &pp, &perm) {
+                failures.push(format!("permutation: {v}"));
+            }
+            let tri = extract_tridiagonal(dev, aprime, &broken_par, &perm);
+            let want = extract_tridiagonal_reference(aprime, &broken_par, &perm);
+            if tri != want {
+                failures.push("extracted coefficients differ from sequential reference".into());
+            }
+        }
+        (Err(e), _) => failures.push(format!("parallel path identification failed: {e}")),
+        (_, Err(e)) => failures.push(format!("sequential path identification failed: {e}")),
+    }
+
+    OracleCase { label: label.into(), failures }
+}
+
+/// Run the differential suite: `random_cases` seeded random graphs of
+/// `n` vertices (varying density), plus the paper's 2D/3D model-problem
+/// stencils. Returns one [`OracleCase`] per input.
+pub fn differential_suite(dev: &Device, random_cases: usize, n: usize) -> OracleReport {
+    let mut cases = Vec::new();
+    for seed in 0..random_cases as u64 {
+        let deg = 3 + (seed % 6) as usize;
+        let a: Csr<f64> = random_symmetric(n, deg as f64, 0.1, 10.0, seed);
+        let ap = lf_core::prepare_undirected(&a);
+        cases.push(differential_case(
+            dev,
+            &ap,
+            &format!("random(seed={seed}, n={n}, deg={deg})"),
+        ));
+    }
+    let side = (n as f64).sqrt().ceil().max(4.0) as usize;
+    let stencils: [(&str, Csr<f64>); 4] = [
+        ("grid2d/ANISO1", grid2d(side, side, &ANISO1)),
+        ("grid2d/ANISO2", grid2d(side, side, &ANISO2)),
+        ("grid2d/FIVE_POINT", grid2d(side, side, &FIVE_POINT)),
+        ("aniso3", aniso3(side, side)),
+    ];
+    for (name, a) in stencils {
+        let ap = lf_core::prepare_undirected(&a);
+        cases.push(differential_case(dev, &ap, name));
+    }
+    let s3 = (n as f64).cbrt().ceil().max(3.0) as usize;
+    let a3: Csr<f64> = grid3d(s3, s3, s3, &Stencil7::symmetric(6.0, -1.0, -1.0, -1.0));
+    let ap3 = lf_core::prepare_undirected(&a3);
+    cases.push(differential_case(dev, &ap3, "grid3d/poisson"));
+    OracleReport { cases }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_agrees() {
+        let dev = Device::default();
+        let report = differential_suite(&dev, 4, 120);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.cases.len(), 9);
+        assert!(report.to_string().contains("9/9 cases agree"));
+    }
+
+    #[test]
+    fn pathological_inputs_do_not_panic() {
+        let dev = Device::default();
+        // empty graph, single vertex, single edge
+        for nv in [0usize, 1, 2] {
+            let a: Csr<f64> = random_symmetric(nv, 1.0, 0.5, 1.0, 9);
+            let ap = lf_core::prepare_undirected(&a);
+            let case = differential_case(&dev, &ap, &format!("tiny(n={nv})"));
+            assert!(case.passed(), "{:?}", case.failures);
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The checked pipeline: `extract_linear_forest` /
+//! `tridiagonal_from_matrix` with the stage auditors of [`crate::audit`]
+//! installed between stages.
+//!
+//! The checked variants mirror the phase structure (and device-stats
+//! accounting) of the unchecked pipeline; every audit runs in its own
+//! tracer span and the total violation count is emitted as an
+//! `audit_violations` trace metric, so checked runs remain analyzable
+//! with `lf-trace` tooling.
+
+use crate::audit::{self, Stage, Violation};
+use lf_core::cycles::break_cycles;
+use lf_core::extract::{extract_tridiagonal, Tridiag};
+use lf_core::parallel::{try_parallel_factor, FactorConfig};
+use lf_core::paths::identify_paths;
+use lf_core::permute::forest_permutation;
+use lf_core::{prepare_undirected, Factor, LinearForest, PipelineError, PipelineTimings};
+use lf_kernel::Device;
+use lf_sparse::{Csr, Scalar};
+use std::fmt;
+
+/// A deliberate corruption injected into intermediate pipeline state —
+/// the test hook behind the audit layer's own regression tests. Faults
+/// only exist to prove the auditors catch real corruption; production
+/// callers use [`CheckOptions::default`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop one direction of the first factor edge (breaks mutuality).
+    BreakMutuality,
+    /// Perturb one stored factor weight (breaks weight provenance).
+    CorruptWeight,
+    /// Swap two entries of the tridiagonalizing permutation.
+    SwapPermutation,
+}
+
+/// Options for a checked pipeline run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Corruption to inject after the named stage (tests only).
+    pub fault: Option<Fault>,
+}
+
+/// Summary of a clean checked run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Stages audited, in pipeline order.
+    pub stages: Vec<Stage>,
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} stages audited, 0 violations (", self.stages.len())?;
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A checked pipeline failure: either the pipeline itself reported a
+/// typed error, or an auditor found invariant violations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckError {
+    /// The underlying pipeline failed before any invariant was violated.
+    Pipeline(PipelineError),
+    /// A stage auditor found violations; the pipeline was stopped there.
+    Audit {
+        /// Stage whose postcondition failed.
+        stage: Stage,
+        /// The violations found (capped per stage).
+        violations: Vec<Violation>,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            CheckError::Audit { stage, violations } => {
+                writeln!(
+                    f,
+                    "invariant audit failed after stage '{stage}' \
+                     ({} violation{}):",
+                    violations.len(),
+                    if violations.len() == 1 { "" } else { "s" }
+                )?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::Pipeline(e) => Some(e),
+            CheckError::Audit { .. } => None,
+        }
+    }
+}
+
+impl From<PipelineError> for CheckError {
+    fn from(e: PipelineError) -> Self {
+        CheckError::Pipeline(e)
+    }
+}
+
+/// Runs one auditor inside a tracer span and turns its findings into a
+/// [`CheckError::Audit`].
+fn gate(
+    dev: &Device,
+    report: &mut CheckReport,
+    stage: Stage,
+    violations: Vec<Violation>,
+) -> Result<(), CheckError> {
+    let tracer = dev.tracer();
+    if tracer.is_active() {
+        tracer.metric("audit_violations", violations.len() as f64);
+    }
+    if violations.is_empty() {
+        report.stages.push(stage);
+        Ok(())
+    } else {
+        Err(CheckError::Audit { stage, violations })
+    }
+}
+
+fn inject_factor_fault<T: Scalar>(factor: &mut Factor<T>, fault: Fault) {
+    let mut cols = factor.slot_cols().to_vec();
+    let mut ws = factor.slot_weights().to_vec();
+    let Some(hit) = cols.iter().position(|&c| c != lf_core::INVALID) else {
+        return;
+    };
+    match fault {
+        Fault::BreakMutuality => cols[hit] = lf_core::INVALID,
+        Fault::CorruptWeight => ws[hit] += T::from_f64(1.0),
+        Fault::SwapPermutation => return,
+    }
+    *factor = Factor::from_slots(factor.num_vertices(), factor.degree_bound(), cols, ws);
+}
+
+/// [`lf_core::extract_linear_forest`] with stage audits: every pipeline
+/// stage's postconditions are validated before the next stage runs.
+///
+/// # Errors
+///
+/// [`CheckError::Pipeline`] for the typed errors of the unchecked
+/// pipeline; [`CheckError::Audit`] with the violating stage and findings
+/// when an invariant audit fails.
+pub fn extract_linear_forest_checked<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+    opts: &CheckOptions,
+) -> Result<(LinearForest<T>, PipelineTimings, CheckReport), CheckError> {
+    if cfg.n != 2 {
+        return Err(PipelineError::NotPathFactor { n: cfg.n }.into());
+    }
+    let mut report = CheckReport::default();
+    let mut timings = PipelineTimings::default();
+    let tracer = dev.tracer().clone();
+    let _forest_span = tracer.span("forest_checked");
+
+    {
+        let _s = tracer.span("audit_input");
+        let v = audit::audit_input(aprime);
+        gate(dev, &mut report, Stage::Input, v)?;
+    }
+
+    let (outcome, t_factor) = dev.scoped(|| try_parallel_factor(dev, aprime, cfg));
+    let outcome = outcome?;
+    timings.factor = t_factor;
+    let mut factor = outcome.factor;
+    if matches!(opts.fault, Some(Fault::BreakMutuality | Fault::CorruptWeight)) {
+        inject_factor_fault(&mut factor, opts.fault.unwrap());
+    }
+    {
+        let _s = tracer.span("audit_factor");
+        let v = audit::audit_factor(&factor, aprime, cfg.n, outcome.maximal);
+        gate(dev, &mut report, Stage::Factor, v)?;
+    }
+
+    let pre_break = factor.clone();
+    let (cycles, t_cyc) = dev.scoped(|| {
+        let _s = tracer.span("identify_cycles");
+        break_cycles(dev, &mut factor)
+    });
+    timings.identify_cycles = t_cyc;
+    {
+        let _s = tracer.span("audit_cycle_break");
+        let v = audit::audit_cycle_break(&pre_break, &factor, &cycles);
+        gate(dev, &mut report, Stage::CycleBreak, v)?;
+    }
+
+    let (paths, t_paths) = dev.scoped(|| {
+        let _s = tracer.span("identify_paths");
+        identify_paths(dev, &factor)
+    });
+    timings.identify_paths = t_paths;
+    let paths = paths.map_err(PipelineError::from)?;
+    {
+        let _s = tracer.span("audit_paths");
+        let v = audit::audit_paths(&factor, &paths);
+        gate(dev, &mut report, Stage::Paths, v)?;
+    }
+
+    let (mut perm, t_perm) = dev.scoped(|| {
+        let _s = tracer.span("permutation");
+        forest_permutation(dev, &paths)
+    });
+    timings.permutation = t_perm;
+    if opts.fault == Some(Fault::SwapPermutation) && perm.len() >= 2 {
+        let last = perm.len() - 1;
+        perm.swap(0, last);
+    }
+    {
+        let _s = tracer.span("audit_permutation");
+        let v = audit::audit_permutation(&factor, &paths, &perm);
+        gate(dev, &mut report, Stage::Permutation, v)?;
+    }
+
+    if tracer.is_active() {
+        tracer.metric("cycles_broken", cycles.cycles as f64);
+        tracer.metric("num_paths", paths.num_paths() as f64);
+        tracer.metric("audit_stages", report.stages.len() as f64);
+    }
+
+    Ok((
+        LinearForest {
+            factor,
+            paths,
+            perm,
+            cycles,
+            factor_iterations: outcome.iterations,
+        },
+        timings,
+        report,
+    ))
+}
+
+/// [`lf_core::tridiagonal_from_matrix`] with stage audits, including the
+/// final extraction-vs-reference comparison on the original matrix.
+///
+/// # Errors
+///
+/// Same as [`extract_linear_forest_checked`].
+pub fn tridiagonal_from_matrix_checked<T: Scalar>(
+    dev: &Device,
+    a: &Csr<T>,
+    cfg: &FactorConfig,
+    opts: &CheckOptions,
+) -> Result<(Tridiag<T>, LinearForest<T>, PipelineTimings, CheckReport), CheckError> {
+    let aprime = prepare_undirected(a);
+    let (forest, mut timings, mut report) =
+        extract_linear_forest_checked(dev, &aprime, cfg, opts)?;
+    let (tri, t_ex) = dev.scoped(|| {
+        let _s = dev.tracer().span("extraction");
+        extract_tridiagonal(dev, a, &forest.factor, &forest.perm)
+    });
+    timings.extraction = t_ex;
+    {
+        let _s = dev.tracer().span("audit_extraction");
+        let v = audit::audit_extraction(a, &forest.factor, &forest.perm, &tri);
+        gate(dev, &mut report, Stage::Extraction, v)?;
+    }
+    Ok((tri, forest, timings, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::stencil::{grid2d, ANISO1, ANISO2};
+
+    #[test]
+    fn clean_run_audits_every_stage() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(10, 10, &ANISO2);
+        let (tri, forest, timings, report) =
+            tridiagonal_from_matrix_checked(&dev, &a, &FactorConfig::paper_default(2), &CheckOptions::default())
+                .unwrap();
+        assert_eq!(tri.len(), a.nrows());
+        assert!(forest.num_paths() > 0);
+        assert!(timings.total_model_s() > 0.0);
+        assert_eq!(
+            report.stages,
+            vec![
+                Stage::Input,
+                Stage::Factor,
+                Stage::CycleBreak,
+                Stage::Paths,
+                Stage::Permutation,
+                Stage::Extraction
+            ]
+        );
+        assert!(report.to_string().contains("0 violations"));
+    }
+
+    #[test]
+    fn injected_faults_are_caught_as_structured_errors() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(10, 10, &ANISO1);
+        let ap = prepare_undirected(&a);
+        for (fault, want_stage) in [
+            (Fault::BreakMutuality, Stage::Factor),
+            (Fault::CorruptWeight, Stage::Factor),
+            (Fault::SwapPermutation, Stage::Permutation),
+        ] {
+            let opts = CheckOptions { fault: Some(fault) };
+            let err = extract_linear_forest_checked(
+                &dev,
+                &ap,
+                &FactorConfig::paper_default(2),
+                &opts,
+            )
+            .unwrap_err();
+            match err {
+                CheckError::Audit { stage, violations } => {
+                    assert_eq!(stage, want_stage, "{fault:?}");
+                    assert!(!violations.is_empty());
+                }
+                other => panic!("{fault:?}: expected audit error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_degree_bound_is_a_pipeline_error() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(6, 6, &ANISO1);
+        let err = extract_linear_forest_checked(
+            &dev,
+            &prepare_undirected(&a),
+            &FactorConfig::paper_default(3),
+            &CheckOptions::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CheckError::Pipeline(PipelineError::NotPathFactor { n: 3 })
+        );
+        // display carries the inner message, no panic anywhere
+        assert!(err.to_string().contains("[0,2]") || err.to_string().contains("n = 3"));
+    }
+}

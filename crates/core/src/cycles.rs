@@ -52,8 +52,22 @@ impl<T: Scalar> MinEdge<T> {
 
     /// Lexicographic minimum on `(w, u, v)` — a total order on distinct
     /// edges, hence an idempotent, associative, commutative combine.
+    ///
+    /// The weight comparison uses [`Scalar::total_cmp`] (IEEE 754
+    /// `totalOrder`), not `PartialOrd`: a NaN weight under tuple
+    /// `PartialOrd` compares as neither smaller nor greater, which
+    /// silently destroys associativity and makes the scan result depend
+    /// on combine order. Under `total_cmp`, NaN sorts above +∞, so a NaN
+    /// edge simply never wins the minimum. (Non-finite weights are
+    /// rejected at input by `lf-sparse`; this keeps the combine lawful
+    /// even if one sneaks in through an unchecked path.)
     pub fn min(self, other: Self) -> Self {
-        if (other.w, other.u, other.v) < (self.w, self.u, self.v) {
+        let cmp = other
+            .w
+            .total_cmp(self.w)
+            .then(other.u.cmp(&self.u))
+            .then(other.v.cmp(&self.v));
+        if cmp == std::cmp::Ordering::Less {
             other
         } else {
             self
@@ -242,6 +256,30 @@ mod tests {
         assert_eq!(a.min(b), b, "tie on weight → smaller u wins");
         assert_eq!(a.min(MinEdge::infinity()), a);
         assert!(a.touches(1) && a.touches(3) && !a.touches(2));
+    }
+
+    #[test]
+    fn minedge_min_total_even_with_nan() {
+        // Regression: under tuple PartialOrd a NaN weight made `min`
+        // non-associative (NaN compares as neither less nor greater, so
+        // whichever operand sat on the left always "won"). total_cmp
+        // places NaN above +∞: a NaN edge loses to any finite edge from
+        // either side, and two NaNs tie-break on vertex IDs.
+        let nan = MinEdge::new(f32::NAN, 0, 1);
+        let fin = MinEdge::new(0.5f32, 2, 3);
+        assert_eq!(nan.min(fin), fin, "finite beats NaN from the right");
+        assert_eq!(fin.min(nan), fin, "finite beats NaN from the left");
+        // NaN-weighted edges can't be compared with PartialEq (NaN != NaN),
+        // so check endpoints and NaN-ness field-wise.
+        let nan2 = MinEdge::new(f32::NAN, 0, 2);
+        let m = nan.min(nan2);
+        assert!((m.u, m.v) == (0, 1) && m.w.is_nan(), "NaN ties break on (u, v)");
+        let m = nan2.min(nan);
+        assert!((m.u, m.v) == (0, 1) && m.w.is_nan(), "…commutatively");
+        // NaN sorts above +∞ in totalOrder, so even the combine identity
+        // beats it: a NaN edge can never be selected for removal.
+        assert!(nan.min(MinEdge::infinity()).w.is_infinite());
+        assert!(MinEdge::infinity().min(nan).w.is_infinite());
     }
 
     #[test]

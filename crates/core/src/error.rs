@@ -1,0 +1,113 @@
+//! Typed pipeline errors.
+//!
+//! The ROADMAP's production north-star demands that bad input produce
+//! *errors*, not panics: a serving layer must be able to reject one
+//! request and keep running. Every fallible entry point of the pipeline
+//! ([`crate::parallel::try_parallel_factor`],
+//! [`crate::forest::extract_linear_forest`],
+//! [`crate::forest::tridiagonal_from_matrix`]) reports one of these
+//! variants instead of asserting.
+
+/// Why a linear-forest pipeline run could not produce a result.
+///
+/// Everything user-controllable (degree bound, matrix shape, weights)
+/// maps to a dedicated variant; [`PipelineError::ResidualCycle`] is the
+/// one internal-invariant variant, raised if path identification still
+/// finds a cycle after cycle breaking (which indicates a bug or a
+/// corrupted factor, never bad user input).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The degree bound n is outside the supported range 1..=8
+    /// (the paper implements n ≤ 4; this reproduction extends to 8).
+    UnsupportedDegreeBound {
+        /// The requested degree bound.
+        n: usize,
+    },
+    /// A linear forest requires a [0,2]-factor, but `cfg.n ≠ 2`.
+    NotPathFactor {
+        /// The requested degree bound.
+        n: usize,
+    },
+    /// The graph matrix is not square.
+    NonSquareMatrix {
+        /// Row count.
+        nrows: usize,
+        /// Column count.
+        ncols: usize,
+    },
+    /// A graph weight is NaN or infinite, which breaks every weight
+    /// comparison downstream (top-n selection, weakest-edge minimum).
+    NonFiniteWeight {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// Path identification found a cycle after cycle breaking — an
+    /// internal invariant violation (corrupted factor or a bug).
+    ResidualCycle {
+        /// A vertex on the residual cycle.
+        vertex: u32,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnsupportedDegreeBound { n } => {
+                write!(f, "degree bound n = {n} unsupported (supported: 1..=8)")
+            }
+            PipelineError::NotPathFactor { n } => {
+                write!(f, "a linear forest requires a [0,2]-factor, got n = {n}")
+            }
+            PipelineError::NonSquareMatrix { nrows, ncols } => {
+                write!(f, "graph matrix must be square, got {nrows}×{ncols}")
+            }
+            PipelineError::NonFiniteWeight { row, col } => {
+                write!(f, "non-finite weight at ({row}, {col})")
+            }
+            PipelineError::ResidualCycle { vertex } => {
+                write!(
+                    f,
+                    "internal invariant violated: vertex {vertex} still lies on a \
+                     cycle after cycle breaking"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<crate::paths::PathError> for PipelineError {
+    fn from(e: crate::paths::PathError) -> Self {
+        match e {
+            crate::paths::PathError::CycleDetected(v) => PipelineError::ResidualCycle { vertex: v },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        let e = PipelineError::UnsupportedDegreeBound { n: 9 };
+        assert!(e.to_string().contains("n = 9"));
+        let e = PipelineError::NotPathFactor { n: 3 };
+        assert!(e.to_string().contains("[0,2]-factor"));
+        let e = PipelineError::NonSquareMatrix { nrows: 2, ncols: 3 };
+        assert!(e.to_string().contains("2×3"));
+        let e = PipelineError::NonFiniteWeight { row: 1, col: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let e = PipelineError::ResidualCycle { vertex: 7 };
+        assert!(e.to_string().contains("vertex 7"));
+    }
+
+    #[test]
+    fn path_error_converts() {
+        let e: PipelineError = crate::paths::PathError::CycleDetected(4).into();
+        assert_eq!(e, PipelineError::ResidualCycle { vertex: 4 });
+    }
+}

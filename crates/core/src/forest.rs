@@ -10,9 +10,10 @@
 //! breakdown.
 
 use crate::cycles::{break_cycles, CycleReport};
+use crate::error::PipelineError;
 use crate::extract::{extract_tridiagonal, Tridiag};
 use crate::factor::Factor;
-use crate::parallel::{parallel_factor, FactorConfig};
+use crate::parallel::{try_parallel_factor, FactorConfig};
 use crate::paths::{identify_paths, PathInfo};
 use crate::permute::forest_permutation;
 use lf_kernel::{Device, DeviceStats};
@@ -142,12 +143,21 @@ impl PipelineTimings {
 /// Extract a linear forest from the undirected weight matrix `aprime`
 /// (see [`crate::prepare_undirected`]) using a [0,2]-factor computed with
 /// `cfg` (whose `n` must be 2).
+///
+/// # Errors
+///
+/// [`PipelineError::NotPathFactor`] if `cfg.n != 2`, plus any error of
+/// [`try_parallel_factor`]; [`PipelineError::ResidualCycle`] if path
+/// identification still finds a cycle after cycle breaking (an internal
+/// invariant violation, not bad input).
 pub fn extract_linear_forest<T: Scalar>(
     dev: &Device,
     aprime: &Csr<T>,
     cfg: &FactorConfig,
-) -> (LinearForest<T>, PipelineTimings) {
-    assert_eq!(cfg.n, 2, "a linear forest requires a [0,2]-factor");
+) -> Result<(LinearForest<T>, PipelineTimings), PipelineError> {
+    if cfg.n != 2 {
+        return Err(PipelineError::NotPathFactor { n: cfg.n });
+    }
     let mut timings = PipelineTimings::default();
     let tracer = dev.tracer().clone();
     let _forest_span = tracer.span("forest");
@@ -155,7 +165,8 @@ pub fn extract_linear_forest<T: Scalar>(
     // The factor stage opens its own "factor" span inside Algorithm 2 (so
     // standalone factor runs are traced too); the remaining stages get
     // their spans here.
-    let (outcome, t_factor) = dev.scoped(|| parallel_factor(dev, aprime, cfg));
+    let (outcome, t_factor) = dev.scoped(|| try_parallel_factor(dev, aprime, cfg));
+    let outcome = outcome?;
     timings.factor = t_factor;
     let mut factor = outcome.factor;
 
@@ -170,7 +181,7 @@ pub fn extract_linear_forest<T: Scalar>(
         identify_paths(dev, &factor)
     });
     timings.identify_paths = t_paths;
-    let paths = paths.expect("factor is acyclic after cycle breaking");
+    let paths = paths?;
 
     let (perm, t_perm) = dev.scoped(|| {
         let _s = tracer.span("permutation");
@@ -184,7 +195,7 @@ pub fn extract_linear_forest<T: Scalar>(
         tracer.metric("forest_weight", factor.weight());
     }
 
-    (
+    Ok((
         LinearForest {
             factor,
             paths,
@@ -193,25 +204,29 @@ pub fn extract_linear_forest<T: Scalar>(
             factor_iterations: outcome.iterations,
         },
         timings,
-    )
+    ))
 }
 
 /// Full setup of an algebraic scalar tridiagonal preconditioner
 /// (paper Sec. 6, `AlgTriScalPrecond`): linear forest + coefficient
 /// extraction from the **original** matrix `a`.
+///
+/// # Errors
+///
+/// Everything [`extract_linear_forest`] can report.
 pub fn tridiagonal_from_matrix<T: Scalar>(
     dev: &Device,
     a: &Csr<T>,
     cfg: &FactorConfig,
-) -> (Tridiag<T>, LinearForest<T>, PipelineTimings) {
+) -> Result<(Tridiag<T>, LinearForest<T>, PipelineTimings), PipelineError> {
     let aprime = crate::prepare_undirected(a);
-    let (forest, mut timings) = extract_linear_forest(dev, &aprime, cfg);
+    let (forest, mut timings) = extract_linear_forest(dev, &aprime, cfg)?;
     let (tri, t_ex) = dev.scoped(|| {
         let _s = dev.tracer().span("extraction");
         extract_tridiagonal(dev, a, &forest.factor, &forest.perm)
     });
     timings.extraction = t_ex;
-    (tri, forest, timings)
+    Ok((tri, forest, timings))
 }
 
 #[cfg(test)]
@@ -228,7 +243,7 @@ mod tests {
         let a: Csr<f64> = grid2d(16, 16, &ANISO1);
         let ap = crate::prepare_undirected(&a);
         let (forest, timings) =
-            extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+            extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2)).unwrap();
         forest.factor.validate(&ap).unwrap();
         assert!(is_tridiagonalizing(&forest.factor, &forest.perm));
         // ANISO1's strong x-chains carry 2/3 of the weight (Table 4: 0.67)
@@ -244,7 +259,7 @@ mod tests {
         let dev = Device::default();
         let a: Csr<f64> = grid2d(12, 12, &ANISO2);
         let (tri, forest, _) =
-            tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+            tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2)).unwrap();
         // permute A and compare its forest-restricted tridiagonal part
         let want = crate::extract::extract_tridiagonal_reference(&a, &forest.factor, &forest.perm);
         assert_eq!(tri, want);
@@ -258,7 +273,7 @@ mod tests {
         for m in [Collection::G3Circuit, Collection::Stocf1465, Collection::Atmosmodm] {
             let a = m.generate(800);
             let (tri, forest, _) =
-                tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+                tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2)).unwrap();
             assert_eq!(tri.len(), a.nrows());
             assert!(forest.num_paths() >= 1);
             // diagonal passes through
@@ -275,7 +290,8 @@ mod tests {
         let dev = Device::default();
         let a = Collection::Stocf1465.generate(2000);
         let ap = crate::prepare_undirected(&a);
-        let (forest, _) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        let (forest, _) =
+            extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2)).unwrap();
         let c = weight_coverage(&forest.factor, &a);
         assert!(c > 0.95, "STOCF coverage {c:.3}");
     }
@@ -285,7 +301,8 @@ mod tests {
         let dev = Device::default();
         let a: Csr<f64> = grid2d(10, 10, &ANISO1);
         let ap = crate::prepare_undirected(&a);
-        let (forest, _) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        let (forest, _) =
+            extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2)).unwrap();
         let greedy = crate::greedy::greedy_factor(&ap, 2);
         let q = forest.quality_report(&a, Some(&greedy));
         assert!(q.coverage > 0.5);
@@ -302,10 +319,22 @@ mod tests {
     }
 
     #[test]
+    fn wrong_degree_bound_is_an_error_not_a_panic() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(6, 6, &ANISO1);
+        let ap = crate::prepare_undirected(&a);
+        let err = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(4)).unwrap_err();
+        assert_eq!(err, crate::error::PipelineError::NotPathFactor { n: 4 });
+        let err = tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(1)).unwrap_err();
+        assert_eq!(err, crate::error::PipelineError::NotPathFactor { n: 1 });
+    }
+
+    #[test]
     fn timings_phase_list_is_complete() {
         let dev = Device::default();
         let a: Csr<f64> = grid2d(8, 8, &ANISO1);
-        let (_, _, t) = tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+        let (_, _, t) =
+            tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2)).unwrap();
         let names: Vec<&str> = t.phases().iter().map(|(n, _)| *n).collect();
         assert_eq!(
             names,

@@ -28,7 +28,7 @@
 //!     &dev,
 //!     &prepare_undirected(&a),
 //!     &FactorConfig::paper_default(2),
-//! );
+//! ).expect("valid [0,2]-factor configuration");
 //! assert!(forest.num_paths() > 0);
 //! assert!(timings.total_model_s() > 0.0);
 //! ```
@@ -39,6 +39,7 @@ pub mod alternatives;
 pub mod charge;
 pub mod coarsen;
 pub mod cycles;
+pub mod error;
 pub mod extract;
 pub mod factor;
 pub mod forest;
@@ -51,12 +52,14 @@ pub mod ranking;
 pub mod scan;
 pub mod topk;
 
+pub use error::PipelineError;
 pub use factor::{graph_weight, identity_coverage, weight_coverage, Factor, INVALID};
 pub use forest::{
     extract_linear_forest, tridiagonal_from_matrix, LinearForest, PipelineTimings, QualityReport,
 };
 pub use parallel::{
-    parallel_factor, parallel_factor_with_workspace, FactorConfig, FactorOutcome, FactorWorkspace,
+    parallel_factor, parallel_factor_with_workspace, try_parallel_factor, FactorConfig,
+    FactorOutcome, FactorWorkspace,
 };
 
 use lf_sparse::{Csr, Scalar};
@@ -78,6 +81,7 @@ pub fn prepare_undirected<T: Scalar>(a: &Csr<T>) -> Csr<T> {
 pub mod prelude {
     pub use crate::coarsen::{coarsen_by_matching, expand_block_permutation};
     pub use crate::cycles::{break_cycles, break_cycles_sequential};
+    pub use crate::error::PipelineError;
     pub use crate::extract::{extract_tridiagonal, Tridiag};
     pub use crate::factor::{identity_coverage, weight_coverage, Factor};
     pub use crate::forest::{
@@ -85,7 +89,9 @@ pub mod prelude {
     };
     pub use crate::greedy::greedy_factor;
     pub use crate::merged::break_cycles_and_identify_paths;
-    pub use crate::parallel::{parallel_factor, parallel_factor_with_workspace, FactorConfig};
+    pub use crate::parallel::{
+        parallel_factor, parallel_factor_with_workspace, try_parallel_factor, FactorConfig,
+    };
     pub use crate::paths::{identify_paths, identify_paths_sequential, PathInfo};
     pub use crate::permute::forest_permutation;
     pub use crate::ranking::identify_paths_workefficient;

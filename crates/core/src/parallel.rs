@@ -17,6 +17,7 @@
 //! monotonically toward a maximal factor.
 
 use crate::charge::charge;
+use crate::error::PipelineError;
 use crate::factor::Factor;
 use crate::topk::TopK;
 use lf_kernel::{compact, launch, reduce, Device, Reusable, ScatterSlice, Traffic, PAR_THRESHOLD};
@@ -585,13 +586,24 @@ pub fn proposition_kernel_stats<T: Scalar>(
 /// Compute a [0,n]-factor of the undirected weighted graph `aprime` in
 /// parallel (Algorithm 2). `aprime` must be a symmetric nonnegative matrix
 /// with empty diagonal — see [`crate::prepare_undirected`].
-pub fn parallel_factor<T: Scalar>(
+///
+/// # Errors
+///
+/// [`PipelineError::NonSquareMatrix`] when `aprime` is not square, and
+/// [`PipelineError::UnsupportedDegreeBound`] when `cfg.n` is outside
+/// `1..=8`.
+pub fn try_parallel_factor<T: Scalar>(
     dev: &Device,
     aprime: &Csr<T>,
     cfg: &FactorConfig,
-) -> FactorOutcome<T> {
-    assert_eq!(aprime.nrows(), aprime.ncols(), "graph matrix must be square");
-    match cfg.n {
+) -> Result<FactorOutcome<T>, PipelineError> {
+    if aprime.nrows() != aprime.ncols() {
+        return Err(PipelineError::NonSquareMatrix {
+            nrows: aprime.nrows(),
+            ncols: aprime.ncols(),
+        });
+    }
+    Ok(match cfg.n {
         1 => run::<T, 1>(dev, aprime, cfg, &mut FactorWorkspace::new()),
         2 => run::<T, 2>(dev, aprime, cfg, &mut FactorWorkspace::new()),
         3 => run::<T, 3>(dev, aprime, cfg, &mut FactorWorkspace::new()),
@@ -600,7 +612,20 @@ pub fn parallel_factor<T: Scalar>(
         6 => run::<T, 6>(dev, aprime, cfg, &mut FactorWorkspace::new()),
         7 => run::<T, 7>(dev, aprime, cfg, &mut FactorWorkspace::new()),
         8 => run::<T, 8>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        n => panic!("degree bound n = {n} unsupported (1..=8; the paper implements n ≤ 4)"),
+        n => return Err(PipelineError::UnsupportedDegreeBound { n }),
+    })
+}
+
+/// [`try_parallel_factor`] for call sites with statically valid
+/// configurations: panics on the errors the checked variant reports.
+pub fn parallel_factor<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+) -> FactorOutcome<T> {
+    match try_parallel_factor(dev, aprime, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e} (unsupported input; use try_parallel_factor to handle)"),
     }
 }
 
@@ -860,6 +885,19 @@ mod tests {
     fn n_nine_rejected() {
         let a: Csr<f64> = random_symmetric(10, 2.0, 0.1, 1.0, 1);
         parallel_factor(&Device::default(), &a, &FactorConfig::paper_default(9));
+    }
+
+    #[test]
+    fn try_variant_reports_typed_errors() {
+        let dev = Device::default();
+        let a: Csr<f64> = random_symmetric(10, 2.0, 0.1, 1.0, 1);
+        let err = try_parallel_factor(&dev, &a, &FactorConfig::paper_default(9)).unwrap_err();
+        assert_eq!(err, PipelineError::UnsupportedDegreeBound { n: 9 });
+        let mut coo = Coo::<f64>::new(2, 3);
+        coo.push(0, 2, 1.0);
+        let rect = Csr::from_coo(coo);
+        let err = try_parallel_factor(&dev, &rect, &FactorConfig::paper_default(2)).unwrap_err();
+        assert_eq!(err, PipelineError::NonSquareMatrix { nrows: 2, ncols: 3 });
     }
 
     #[test]

@@ -74,15 +74,22 @@ impl<T: Scalar, const K: usize> TopK<T, K> {
 
     /// Does candidate `(w, col)` rank higher than slot `i`?
     /// Empty slots rank lowest; ties go to the smaller column.
+    ///
+    /// Weights compare through [`Scalar::total_cmp`]: under `PartialOrd`
+    /// a NaN weight neither wins nor loses, which made `merge` order-
+    /// dependent. totalOrder ranks NaN above +∞ deterministically, so the
+    /// accumulator stays a lawful commutative monoid on any input
+    /// (non-finite weights are additionally rejected at matrix load).
     #[inline]
     fn beats(&self, i: usize, w: T, col: u32) -> bool {
         if self.col[i] == INVALID {
             return true;
         }
-        if w != self.w[i] {
-            return w > self.w[i];
+        match w.total_cmp(self.w[i]) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => col < self.col[i],
         }
-        col < self.col[i]
     }
 
     /// Insert a candidate, keeping the K best (the `⊕` with a singleton).

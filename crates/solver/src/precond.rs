@@ -136,15 +136,24 @@ pub struct AlgTriScalPrecond<T> {
 
 impl<T: Scalar> AlgTriScalPrecond<T> {
     /// Run the full linear-forest pipeline on `a` and factor the resulting
-    /// tridiagonal system.
+    /// tridiagonal system. Panics where [`Self::try_new`] errors.
     pub fn new(dev: &Device, a: &Csr<T>, cfg: &FactorConfig) -> Self {
-        assert_eq!(cfg.n, 2);
-        let (tri, forest, _) = tridiagonal_from_matrix(dev, a, cfg);
-        Self {
+        Self::try_new(dev, a, cfg).expect("linear-forest pipeline failed")
+    }
+
+    /// Fallible [`Self::new`]: reports pipeline failures (wrong degree
+    /// bound, non-square matrix) instead of panicking.
+    pub fn try_new(
+        dev: &Device,
+        a: &Csr<T>,
+        cfg: &FactorConfig,
+    ) -> Result<Self, lf_core::PipelineError> {
+        let (tri, forest, _) = tridiagonal_from_matrix(dev, a, cfg)?;
+        Ok(Self {
             thomas: ThomasFactorization::new(&tri),
             perm: forest.perm.clone(),
             coverage: weight_coverage(&forest.factor, a),
-        }
+        })
     }
 
     /// The permutation used (for inspection).
@@ -192,14 +201,24 @@ impl<T: Scalar> AlgTriBlockPrecond<T> {
     /// (its `n` is overridden per stage; Table 5 varies `m` between 1 and
     /// 5 for this preconditioner).
     pub fn new(dev: &Device, a: &Csr<T>, cfg: &FactorConfig) -> Self {
+        Self::try_new(dev, a, cfg).expect("linear-forest pipeline failed")
+    }
+
+    /// Fallible [`Self::new`]: reports pipeline failures instead of
+    /// panicking.
+    pub fn try_new(
+        dev: &Device,
+        a: &Csr<T>,
+        cfg: &FactorConfig,
+    ) -> Result<Self, lf_core::PipelineError> {
         let ap = prepare_undirected(a);
         // stage 1: [0,1]-factor pairing on the fine graph
         let m_cfg = FactorConfig { n: 1, ..*cfg };
-        let matching = parallel_factor(dev, &ap, &m_cfg).factor;
+        let matching = try_parallel_factor(dev, &ap, &m_cfg)?.factor;
         let (coarsening, coarse) = coarsen_by_matching(dev, &ap, &matching);
         // stage 2: [0,2]-factor + linear forest on the coarse graph
         let c_cfg = FactorConfig { n: 2, ..*cfg };
-        let (forest, _) = extract_linear_forest(dev, &coarse, &c_cfg);
+        let (forest, _) = extract_linear_forest(dev, &coarse, &c_cfg)?;
         let layout = expand_block_permutation(&coarsening, &forest.perm);
 
         // assemble the extended 2×2 block tridiagonal system from A
@@ -240,11 +259,11 @@ impl<T: Scalar> AlgTriBlockPrecond<T> {
             }
         }
         let denom = graph_weight(a);
-        Self {
+        Ok(Self {
             thomas: BlockThomasFactorization::new(&sys),
             layout,
             coverage: if denom == 0.0 { 0.0 } else { captured / denom },
-        }
+        })
     }
 
     /// Number of 2×2 blocks (including ghost-padded singletons).

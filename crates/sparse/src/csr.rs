@@ -9,6 +9,31 @@
 use crate::coo::Coo;
 use crate::scalar::Scalar;
 
+/// Why a CSR matrix could not be constructed from COO input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CsrError {
+    /// A stored value is NaN or infinite — poison for every weight
+    /// comparison downstream (top-n selection, weakest-edge minimum).
+    NonFinite {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::NonFinite { row, col } => {
+                write!(f, "non-finite matrix entry at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// Sparse matrix in CSR format with 0-based `u32` column indices.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Csr<T> {
@@ -40,6 +65,23 @@ impl<T: Scalar> Csr<T> {
             col_idx: coo.cols,
             vals: coo.vals,
         }
+    }
+
+    /// [`Csr::from_coo`] that rejects non-finite values with a typed
+    /// error instead of letting NaN/inf poison downstream comparisons.
+    /// The check runs *after* duplicates are summed, so additions that
+    /// overflow to infinity are caught too.
+    pub fn try_from_coo(coo: Coo<T>) -> Result<Self, CsrError> {
+        let m = Self::from_coo(coo);
+        for (r, c, v) in m.iter() {
+            if !v.is_finite() {
+                return Err(CsrError::NonFinite {
+                    row: r as usize,
+                    col: c as usize,
+                });
+            }
+        }
+        Ok(m)
     }
 
     /// Build directly from raw CSR arrays (validated).
@@ -454,6 +496,28 @@ mod tests {
         assert_eq!(m.get(0, 2), 0.0);
         assert_eq!(m.row_len(1), 3);
         assert!((m.mean_degree() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_from_coo_rejects_non_finite() {
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 1, f64::NAN);
+        assert_eq!(
+            Csr::try_from_coo(coo).unwrap_err(),
+            CsrError::NonFinite { row: 0, col: 1 }
+        );
+        // overflow created by duplicate summation is caught too
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(1, 0, f64::MAX);
+        coo.push(1, 0, f64::MAX);
+        assert_eq!(
+            Csr::try_from_coo(coo).unwrap_err(),
+            CsrError::NonFinite { row: 1, col: 0 }
+        );
+        let mut coo = Coo::<f64>::new(2, 2);
+        coo.push(0, 1, 2.5);
+        let m = Csr::try_from_coo(coo).unwrap();
+        assert_eq!(m.get(0, 1), 2.5);
     }
 
     #[test]

@@ -15,15 +15,24 @@ use std::path::Path;
 pub enum MmError {
     /// Underlying I/O error.
     Io(std::io::Error),
-    /// Structural problem with the file (message describes it).
-    Parse(String),
+    /// Structural problem with the file at a specific line.
+    Parse {
+        /// 1-based line number the problem was found on (0 when the file
+        /// ended before the expected content, e.g. a missing size line).
+        line: usize,
+        /// What is wrong with that line.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for MmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MmError::Io(e) => write!(f, "I/O error: {e}"),
-            MmError::Parse(m) => write!(f, "MatrixMarket parse error: {m}"),
+            MmError::Parse { line: 0, msg } => write!(f, "MatrixMarket parse error: {msg}"),
+            MmError::Parse { line, msg } => {
+                write!(f, "MatrixMarket parse error at line {line}: {msg}")
+            }
         }
     }
 }
@@ -36,59 +45,73 @@ impl From<std::io::Error> for MmError {
     }
 }
 
-fn parse_err(msg: impl Into<String>) -> MmError {
-    MmError::Parse(msg.into())
+fn parse_err(line: usize, msg: impl Into<String>) -> MmError {
+    MmError::Parse {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Read a MatrixMarket coordinate matrix from a reader.
+///
+/// Strict by design: every parse error reports its 1-based line number,
+/// entry lines with trailing tokens are rejected (they indicate a file
+/// whose header lies about its format), and non-finite values (NaN, ±inf)
+/// are rejected because every weight comparison downstream assumes finite
+/// weights.
 pub fn read_coo<T: Scalar>(reader: impl Read) -> Result<Coo<T>, MmError> {
+    // `lineno` is the 1-based number of the line currently processed.
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??
-        .to_lowercase();
+    let mut lineno = 0usize;
+
+    lineno += 1;
+    let header = match lines.next() {
+        None => return Err(parse_err(0, "empty file")),
+        Some(l) => l?.to_lowercase(),
+    };
     let fields: Vec<&str> = header.split_whitespace().collect();
-    if fields.len() < 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
-        return Err(parse_err(format!("bad header: {header}")));
+    if fields.len() != 5 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(parse_err(lineno, format!("bad header: {header}")));
     }
     if fields[2] != "coordinate" {
-        return Err(parse_err("only coordinate format supported"));
+        return Err(parse_err(lineno, "only coordinate format supported"));
     }
-    let value_type = fields[3];
-    if !matches!(value_type, "real" | "integer" | "pattern") {
-        return Err(parse_err(format!("unsupported value type {value_type}")));
+    let value_type = fields[3].to_string();
+    if !matches!(value_type.as_str(), "real" | "integer" | "pattern") {
+        return Err(parse_err(lineno, format!("unsupported value type {value_type}")));
     }
-    let symmetry = fields[4];
-    let symmetric = match symmetry {
+    let symmetric = match fields[4] {
         "general" => false,
         "symmetric" => true,
-        other => return Err(parse_err(format!("unsupported symmetry {other}"))),
+        other => return Err(parse_err(lineno, format!("unsupported symmetry {other}"))),
     };
 
     // Skip comments, read size line.
-    let mut size_line = None;
+    let mut size = None;
     for line in lines.by_ref() {
+        lineno += 1;
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
-        size_line = Some(t.to_string());
+        size = Some(t.to_string());
         break;
     }
-    let size_line = size_line.ok_or_else(|| parse_err("missing size line"))?;
+    let size_line = size.ok_or_else(|| parse_err(0, "missing size line"))?;
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|s| s.parse().map_err(|_| parse_err("bad size line")))
+        .map(|s| s.parse().map_err(|_| parse_err(lineno, "bad size line")))
         .collect::<Result<_, _>>()?;
     if dims.len() != 3 {
-        return Err(parse_err("size line must be 'nrows ncols nnz'"));
+        return Err(parse_err(lineno, "size line must be 'nrows ncols nnz'"));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
     let mut coo = Coo::new(nrows, ncols);
     let mut seen = 0usize;
     for line in lines {
+        lineno += 1;
         let line = line?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
@@ -97,27 +120,39 @@ pub fn read_coo<T: Scalar>(reader: impl Read) -> Result<Coo<T>, MmError> {
         let mut it = t.split_whitespace();
         let i: usize = it
             .next()
-            .ok_or_else(|| parse_err("short entry line"))?
+            .ok_or_else(|| parse_err(lineno, "short entry line"))?
             .parse()
-            .map_err(|_| parse_err("bad row index"))?;
+            .map_err(|_| parse_err(lineno, "bad row index"))?;
         let j: usize = it
             .next()
-            .ok_or_else(|| parse_err("short entry line"))?
+            .ok_or_else(|| parse_err(lineno, "short entry line"))?
             .parse()
-            .map_err(|_| parse_err("bad col index"))?;
+            .map_err(|_| parse_err(lineno, "bad col index"))?;
         let v: f64 = if value_type == "pattern" {
             1.0
         } else {
             it.next()
-                .ok_or_else(|| parse_err("missing value"))?
+                .ok_or_else(|| parse_err(lineno, "missing value"))?
                 .parse()
-                .map_err(|_| parse_err("bad value"))?
+                .map_err(|_| parse_err(lineno, "bad value"))?
         };
+        if let Some(extra) = it.next() {
+            return Err(parse_err(
+                lineno,
+                format!("trailing token '{extra}' on entry line"),
+            ));
+        }
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(parse_err(format!("index out of range: {i} {j}")));
+            return Err(parse_err(lineno, format!("index out of range: {i} {j}")));
         }
         let (r, c) = ((i - 1) as u32, (j - 1) as u32);
         let val = T::from_f64(v);
+        if !val.is_finite() {
+            return Err(parse_err(
+                lineno,
+                format!("non-finite value {v:e} at entry ({i}, {j})"),
+            ));
+        }
         if symmetric {
             coo.push_sym(r, c, val);
         } else {
@@ -126,7 +161,10 @@ pub fn read_coo<T: Scalar>(reader: impl Read) -> Result<Coo<T>, MmError> {
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            lineno,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
     }
     Ok(coo)
 }
@@ -134,7 +172,13 @@ pub fn read_coo<T: Scalar>(reader: impl Read) -> Result<Coo<T>, MmError> {
 /// Read a MatrixMarket file into CSR.
 pub fn read_csr_path<T: Scalar>(path: impl AsRef<Path>) -> Result<Csr<T>, MmError> {
     let f = std::fs::File::open(path)?;
-    Ok(Csr::from_coo(read_coo(f)?))
+    let coo = read_coo(f)?;
+    // `try_from_coo` re-scans after duplicate summation: two finite
+    // entries can still overflow to infinity when combined.
+    crate::csr::Csr::try_from_coo(coo).map_err(|e| MmError::Parse {
+        line: 0,
+        msg: e.to_string(),
+    })
 }
 
 /// Write a matrix as `matrix coordinate real general`.
@@ -216,5 +260,74 @@ mod tests {
         assert!(read_coo::<f64>(bad_count.as_bytes()).is_err());
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_coo::<f64>(oob.as_bytes()).is_err());
+    }
+
+    /// The 1-based line number of a parse failure, panicking on Ok/Io.
+    fn fail_line(s: &str) -> (usize, String) {
+        match read_coo::<f64>(s.as_bytes()).unwrap_err() {
+            MmError::Parse { line, msg } => (line, msg),
+            MmError::Io(e) => panic!("expected parse error, got I/O: {e}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let (line, msg) = fail_line("%%MatrixMarket matrix coordinate real general\nnot a size\n");
+        assert_eq!(line, 2, "{msg}");
+
+        // Comments and blank lines count toward the line number.
+        let bad_value = "%%MatrixMarket matrix coordinate real general\n\
+                         % comment\n\
+                         \n\
+                         2 2 2\n\
+                         1 1 1.0\n\
+                         2 2 oops\n";
+        let (line, msg) = fail_line(bad_value);
+        assert_eq!(line, 6);
+        assert!(msg.contains("bad value"), "{msg}");
+
+        let err = read_coo::<f64>(bad_value.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 6"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens_on_entry_lines() {
+        // A general file with a symmetric-looking 4-token entry line:
+        // silently ignoring the 4th token would hide a malformed file.
+        let s = "%%MatrixMarket matrix coordinate real general\n\
+                 2 2 1\n\
+                 1 2 1.0 9.0\n";
+        let (line, msg) = fail_line(s);
+        assert_eq!(line, 3);
+        assert!(msg.contains("trailing token '9.0'"), "{msg}");
+
+        // Pattern files carry no value at all — a third token is trailing.
+        let s = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 2 1.0\n";
+        let (line, msg) = fail_line(s);
+        assert_eq!(line, 3);
+        assert!(msg.contains("trailing"), "{msg}");
+    }
+
+    #[test]
+    fn rejects_non_finite_values() {
+        for bad in ["nan", "NaN", "inf", "-inf"] {
+            let s = format!(
+                "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 {bad}\n"
+            );
+            let (line, msg) = fail_line(&s);
+            assert_eq!(line, 3, "value {bad}");
+            assert!(msg.contains("non-finite"), "value {bad}: {msg}");
+        }
+        // f64 values that overflow f32 during conversion are equally fatal.
+        let s = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 1e300\n";
+        match read_coo::<f32>(s.as_bytes()).unwrap_err() {
+            MmError::Parse { line, msg } => {
+                assert_eq!(line, 3);
+                assert!(msg.contains("non-finite"), "{msg}");
+            }
+            MmError::Io(e) => panic!("expected parse error, got I/O: {e}"),
+        }
+        // ... but stays finite (and fine) as f64
+        assert!(read_coo::<f64>(s.as_bytes()).is_ok());
     }
 }

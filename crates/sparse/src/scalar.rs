@@ -49,6 +49,12 @@ pub trait Scalar:
     fn is_finite(self) -> bool;
     /// Machine epsilon.
     fn epsilon() -> Self;
+    /// IEEE 754 `totalOrder` comparison — a *total* order even over NaNs
+    /// and signed zeros, unlike `PartialOrd`. Combines that must be
+    /// associative/commutative regardless of input (the weakest-edge
+    /// minimum, top-n selection) must compare through this, never through
+    /// `partial_cmp`.
+    fn total_cmp(self, other: Self) -> std::cmp::Ordering;
 }
 
 macro_rules! impl_scalar {
@@ -81,6 +87,10 @@ macro_rules! impl_scalar {
             fn epsilon() -> Self {
                 <$t>::EPSILON
             }
+            #[inline]
+            fn total_cmp(self, other: Self) -> std::cmp::Ordering {
+                <$t>::total_cmp(&self, &other)
+            }
         }
     };
 }
@@ -102,6 +112,16 @@ mod tests {
     fn scalar_generic_arithmetic() {
         assert_eq!(generic_ops::<f32>(), 5.0f32);
         assert_eq!(generic_ops::<f64>(), 5.0f64);
+    }
+
+    #[test]
+    fn total_cmp_orders_nan() {
+        use std::cmp::Ordering;
+        assert_eq!(1.0f64.total_cmp(2.0), Ordering::Less);
+        assert_eq!(f64::NAN.total_cmp(f64::INFINITY), Ordering::Greater);
+        assert_eq!(f32::NAN.total_cmp(f32::NAN), Ordering::Equal);
+        // antisymmetric: a total order even where PartialOrd gives None
+        assert_eq!(f64::INFINITY.total_cmp(f64::NAN), Ordering::Less);
     }
 
     #[test]

@@ -36,7 +36,7 @@ fn main() {
             ..DeviceConfig::default()
         });
         let cfg = FactorConfig::paper_default(2);
-        let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg);
+        let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
         let launches: u64 = timings.phases().iter().map(|(_, s)| s.launches).sum();
         let bytes: u64 = timings
             .phases()
@@ -65,7 +65,7 @@ fn main() {
     // Per-kernel breakdown on the default device.
     let dev = Device::default();
     let cfg = FactorConfig::paper_default(2);
-    let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    let (_, _, timings) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
     println!("\ntop kernels by model time (default device):");
     let mut kernels: Vec<(String, lf_kernel::KernelStats)> = timings
         .phases()

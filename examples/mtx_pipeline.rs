@@ -40,7 +40,7 @@ fn main() {
 
     let dev = Device::default();
     let cfg = FactorConfig::paper_default(2);
-    let (tri, forest, timings) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    let (tri, forest, timings) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
 
     println!(
         "c_id = {:.3}   c_π(5) = {:.3}   paths = {}   cycles broken = {}",

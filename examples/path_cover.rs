@@ -66,7 +66,7 @@ fn main() {
         &dev,
         &prepare_undirected(&a),
         &FactorConfig::paper_default(2).with_max_iters(25),
-    );
+    ).unwrap();
     let paths = forest.paths.to_paths();
     let chained: usize = paths.iter().filter(|p| p.len() > 1).count();
     let longest = paths.iter().map(|p| p.len()).max().unwrap_or(0);

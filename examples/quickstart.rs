@@ -27,7 +27,7 @@ fn main() {
     // Step 2: parallel [0,2]-factor + cycle breaking + path identification
     // + permutation, all in one call.
     let cfg = FactorConfig::paper_default(2);
-    let (forest, timings) = extract_linear_forest(&dev, &aprime, &cfg);
+    let (forest, timings) = extract_linear_forest(&dev, &aprime, &cfg).unwrap();
 
     println!(
         "linear forest: {} paths, {} cycles broken, weight coverage {:.3} \

@@ -68,7 +68,7 @@ fn main() {
     // ANISO2: strong couplings on the grid anti-diagonal — far off-band in
     // the natural ordering.
     let a: Csr<f64> = grid2d(side, side, &ANISO2);
-    let (_, forest, _) = tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2));
+    let (_, forest, _) = tridiagonal_from_matrix(&dev, &a, &FactorConfig::paper_default(2)).unwrap();
     let permuted = a.permute_sym(&forest.perm);
 
     let cells = 36;

@@ -7,12 +7,17 @@
 //! lf tridiag    <input> [--out prefix]       # writes prefix.{dl,d,du}.txt
 //! lf solve      <input> [--precond jacobi|triscal|algtriscal|algtriblock|amg|none]
 //!               [--solver bicgstab|gmres|cg] [--tol T] [--max-iters K]
+//! lf check      <input>                      # checked end-to-end extraction
+//! lf check      --suite [--cases N] [--size N]   # differential oracle suite
 //! ```
 //!
 //! Every subcommand additionally accepts the global `--trace <out.json>`
 //! flag: the run is recorded through the device's tracer and exported as
 //! Chrome Trace Event JSON (load `out.json` in <https://ui.perfetto.dev>)
-//! plus a flat per-phase rollup next to it (`out.summary.json`).
+//! plus a flat per-phase rollup next to it (`out.summary.json`) — and the
+//! global `--check` flag, which installs the invariant auditors of
+//! `lf-check` between pipeline stages and fails (exit code 1, structured
+//! message, no backtrace) on the first violated invariant.
 //!
 //! Inputs are MatrixMarket files, or `gen:NAME[:N]` for a collection
 //! stand-in (e.g. `gen:atmosmodm:50000`).
@@ -26,10 +31,19 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf <stats|factor|forest|tridiag|solve> <input.mtx|gen:NAME[:N]> [options]\n\
+        "usage: lf <stats|factor|forest|tridiag|solve|check> <input.mtx|gen:NAME[:N]> [options]\n\
+         global flags: --trace <out.json>, --check\n\
          run `lf help` for details"
     );
     exit(2);
+}
+
+/// Graceful failure: one structured message on stderr, exit code 1, no
+/// panic and no backtrace.
+fn fail(e: impl std::fmt::Display) -> ! {
+    let msg = e.to_string();
+    eprintln!("error: {}", msg.trim_end());
+    exit(1);
 }
 
 fn load(input: &str) -> Csr<f64> {
@@ -113,7 +127,6 @@ fn main() {
         usage();
     }
     let input = args.get(1).unwrap_or_else(|| usage());
-    let a = load(input);
     let dev = Device::default();
     let rest = &args[2..];
 
@@ -124,9 +137,38 @@ fn main() {
         dev.tracer().install(sink.clone());
         sink
     });
+    // Global --check flag: audit pipeline invariants between stages.
+    let checked = has_flag(&args, "--check");
+
+    // `lf check --suite` runs on generated inputs, no file to load.
+    if cmd == "check" && input == "--suite" {
+        let cases: usize = flag_val(rest, "--cases").and_then(|s| s.parse().ok()).unwrap_or(20);
+        let size: usize = flag_val(rest, "--size").and_then(|s| s.parse().ok()).unwrap_or(300);
+        let report = differential_suite(&dev, cases, size);
+        print!("{report}");
+        if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+            write_trace(path, sink);
+        }
+        if !report.passed() {
+            exit(1);
+        }
+        return;
+    }
+
+    let a = load(input);
 
     match cmd {
         "stats" => {
+            if checked {
+                let v = linear_forest::check::audit::audit_input(&prepare_undirected(&a));
+                if !v.is_empty() {
+                    for x in &v {
+                        eprintln!("  {x}");
+                    }
+                    fail(format!("{} input invariant violation(s)", v.len()));
+                }
+                eprintln!("check: prepared A' passes the input audit");
+            }
             let s = linear_forest::sparse::graph_stats(&a);
             if has_flag(rest, "--json") {
                 println!(
@@ -171,8 +213,20 @@ fn main() {
             let n: usize = flag_val(rest, "-n").and_then(|s| s.parse().ok()).unwrap_or(2);
             let cfg = parse_cfg(rest, n);
             let ap = prepare_undirected(&a);
-            let out = parallel_factor(&dev, &ap, &cfg);
-            out.factor.validate(&ap).expect("factor invariants");
+            let out = try_parallel_factor(&dev, &ap, &cfg).unwrap_or_else(|e| fail(e));
+            if let Err(msg) = out.factor.validate(&ap) {
+                fail(format!("factor invariants violated: {msg}"));
+            }
+            if checked {
+                let v = linear_forest::check::audit::audit_factor(&out.factor, &ap, n, out.maximal);
+                if !v.is_empty() {
+                    for x in &v {
+                        eprintln!("  {x}");
+                    }
+                    fail(format!("{} factor invariant violation(s)", v.len()));
+                }
+                eprintln!("check: factor passes mutuality/degree/weight/maximality audits");
+            }
             println!(
                 "[0,{n}]-factor: {} edges, coverage c_pi = {:.4}, \
                  {} iterations, maximal = {}",
@@ -185,7 +239,15 @@ fn main() {
         "forest" => {
             let cfg = parse_cfg(rest, 2);
             let ap = prepare_undirected(&a);
-            let (forest, timings) = extract_linear_forest(&dev, &ap, &cfg);
+            let (forest, timings) = if checked {
+                let (forest, timings, report) =
+                    extract_linear_forest_checked(&dev, &ap, &cfg, &CheckOptions::default())
+                        .unwrap_or_else(|e| fail(e));
+                eprintln!("check: {report}");
+                (forest, timings)
+            } else {
+                extract_linear_forest(&dev, &ap, &cfg).unwrap_or_else(|e| fail(e))
+            };
             let q = forest.quality_report(&a, None);
             println!(
                 "linear forest: {} paths (mean len {:.1}, max {}), {} cycles \
@@ -208,7 +270,8 @@ fn main() {
             }
             if let Some(path) = flag_val(rest, "--perm") {
                 let mut f = std::io::BufWriter::new(
-                    std::fs::File::create(path).expect("create perm file"),
+                    std::fs::File::create(path)
+                        .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}"))),
                 );
                 for &v in &forest.perm {
                     writeln!(f, "{v}").unwrap();
@@ -218,12 +281,24 @@ fn main() {
         }
         "tridiag" => {
             let cfg = parse_cfg(rest, 2);
-            let (tri, forest, _) = tridiagonal_from_matrix(&dev, &a, &cfg);
+            let (tri, forest) = if checked {
+                let (tri, forest, _, report) =
+                    tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
+                        .unwrap_or_else(|e| fail(e));
+                eprintln!("check: {report}");
+                (tri, forest)
+            } else {
+                let (tri, forest, _) =
+                    tridiagonal_from_matrix(&dev, &a, &cfg).unwrap_or_else(|e| fail(e));
+                (tri, forest)
+            };
             let prefix = flag_val(rest, "--out").unwrap_or("tridiag");
             for (name, data) in [("dl", &tri.dl), ("d", &tri.d), ("du", &tri.du)] {
                 let path = format!("{prefix}.{name}.txt");
-                let mut f =
-                    std::io::BufWriter::new(std::fs::File::create(&path).expect("create"));
+                let mut f = std::io::BufWriter::new(
+                    std::fs::File::create(&path)
+                        .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}"))),
+                );
                 for v in data {
                     writeln!(f, "{v:e}").unwrap();
                 }
@@ -243,12 +318,24 @@ fn main() {
             let opts = SolveOpts { tol, max_iters };
             let cfg = FactorConfig::paper_default(2);
             let which = flag_val(rest, "--precond").unwrap_or("algtriscal");
+            if checked && matches!(which, "algtriscal" | "algtriblock") {
+                // Preflight: audit the forest pipeline the preconditioner
+                // is about to run on this matrix.
+                let (_, _, _, report) =
+                    tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
+                        .unwrap_or_else(|e| fail(e));
+                eprintln!("check (preflight): {report}");
+            }
             let precond: Box<dyn Preconditioner<f64>> = match which {
                 "none" => Box::new(IdentityPrecond),
                 "jacobi" => Box::new(JacobiPrecond::new(&a)),
                 "triscal" => Box::new(TriScalPrecond::new(&a)),
-                "algtriscal" => Box::new(AlgTriScalPrecond::new(&dev, &a, &cfg)),
-                "algtriblock" => Box::new(AlgTriBlockPrecond::new(&dev, &a, &cfg)),
+                "algtriscal" => {
+                    Box::new(AlgTriScalPrecond::try_new(&dev, &a, &cfg).unwrap_or_else(|e| fail(e)))
+                }
+                "algtriblock" => {
+                    Box::new(AlgTriBlockPrecond::try_new(&dev, &a, &cfg).unwrap_or_else(|e| fail(e)))
+                }
                 "amg" => Box::new(AmgPrecond::new(&dev, &a, AmgConfig::default())),
                 other => {
                     eprintln!("unknown preconditioner '{other}'");
@@ -270,6 +357,22 @@ fn main() {
                 st.converged,
                 st.rel_residual.last().copied().unwrap_or(f64::NAN),
                 st.fre.last().copied().unwrap_or(f64::NAN),
+            );
+        }
+        "check" => {
+            let cfg = parse_cfg(rest, 2);
+            let (tri, forest, timings, report) =
+                tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
+                    .unwrap_or_else(|e| fail(e));
+            println!("check passed: {report}");
+            println!(
+                "  {} rows, {} paths, {} cycles broken, coverage {:.4}, \
+                 setup {:.3} ms model",
+                tri.len(),
+                forest.num_paths(),
+                forest.cycles.cycles,
+                weight_coverage(&forest.factor, &a),
+                timings.total_model_s() * 1e3,
             );
         }
         _ => usage(),

@@ -22,6 +22,7 @@
 //! | [`sparse`] | COO/CSR, MatrixMarket I/O, generators, generalized SpMV |
 //! | [`core`] | [0,n]-factors, bidirectional scan, linear-forest pipeline |
 //! | [`solver`] | BiCGStab/CG, tridiagonal & 2×2 block solves, preconditioners |
+//! | [`check`] | stage invariant audits, checked pipeline, differential oracles |
 //!
 //! ## Quickstart
 //!
@@ -38,7 +39,7 @@
 //!     &dev,
 //!     &prepare_undirected(&a),
 //!     &FactorConfig::paper_default(2),
-//! );
+//! ).expect("valid [0,2]-factor configuration");
 //! println!(
 //!     "{} paths, coverage {:.2}, {} kernel launches",
 //!     forest.num_paths(),
@@ -53,14 +54,16 @@
 //! assert!(stats.converged);
 //! ```
 
+pub use lf_check as check;
 pub use lf_core as core;
 pub use lf_kernel as kernel;
 pub use lf_kernel::trace;
 pub use lf_solver as solver;
 pub use lf_sparse as sparse;
 
-/// One-stop prelude re-exporting the common API of all four crates.
+/// One-stop prelude re-exporting the common API of all five crates.
 pub mod prelude {
+    pub use lf_check::prelude::*;
     pub use lf_core::prelude::*;
     pub use lf_kernel::prelude::*;
     pub use lf_solver::prelude::*;

@@ -1,0 +1,89 @@
+//! Checked-mode end-to-end runs: zero invariant violations across the
+//! synthetic collection and the paper's stencils, differential-oracle
+//! agreement on seeded random graphs, and structured (non-panicking)
+//! detection of deliberately corrupted intermediate state.
+
+use linear_forest::check::{CheckError, Fault, Stage};
+use linear_forest::prelude::*;
+
+#[test]
+fn collection_suite_has_zero_violations() {
+    let dev = Device::default();
+    let cfg = FactorConfig::paper_default(2);
+    for m in Collection::ALL {
+        let a = m.generate(300);
+        match tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default()) {
+            Ok((tri, forest, _, report)) => {
+                assert_eq!(tri.len(), a.nrows(), "{}", m.name());
+                assert!(forest.num_paths() >= 1, "{}", m.name());
+                assert_eq!(report.stages.len(), 6, "{}: {report}", m.name());
+            }
+            Err(e) => panic!("{}: checked pipeline failed: {e}", m.name()),
+        }
+    }
+}
+
+#[test]
+fn stencil_suite_has_zero_violations() {
+    let dev = Device::default();
+    let cfg = FactorConfig::paper_default(2);
+    let cases: Vec<(&str, Csr<f64>)> = vec![
+        ("grid2d/ANISO1", grid2d(20, 20, &ANISO1)),
+        ("grid2d/ANISO2", grid2d(20, 20, &ANISO2)),
+        ("grid2d/FIVE_POINT", grid2d(20, 20, &FIVE_POINT)),
+        ("aniso3", aniso3(16, 16)),
+        ("grid3d", grid3d(8, 8, 8, &Stencil7::symmetric(6.0, -1.0, -2.0, -0.5))),
+    ];
+    for (name, a) in cases {
+        let (_, _, _, report) =
+            tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.stages.len(), 6, "{name}");
+    }
+}
+
+#[test]
+fn differential_oracle_agrees_on_twenty_seeded_graphs() {
+    let dev = Device::default();
+    let report = differential_suite(&dev, 20, 200);
+    // 20 random graphs + the stencil cases
+    assert!(report.cases.len() >= 25, "only {} cases ran", report.cases.len());
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn corrupted_factor_is_caught_with_structured_error() {
+    let dev = Device::default();
+    let a: Csr<f64> = grid2d(12, 12, &ANISO1);
+    let ap = prepare_undirected(&a);
+    let opts = CheckOptions { fault: Some(Fault::BreakMutuality) };
+    let err = extract_linear_forest_checked(&dev, &ap, &FactorConfig::paper_default(2), &opts)
+        .unwrap_err();
+    match &err {
+        CheckError::Audit { stage, violations } => {
+            assert_eq!(*stage, Stage::Factor);
+            assert!(!violations.is_empty());
+            assert!(
+                violations.iter().any(|v| v.detail.contains("mutual")),
+                "violations: {violations:?}"
+            );
+        }
+        other => panic!("expected audit error, got {other:?}"),
+    }
+    // the error is a std::error::Error with a readable report, no panic
+    let msg = err.to_string();
+    assert!(msg.contains("invariant audit failed after stage 'factor'"), "{msg}");
+}
+
+#[test]
+fn checked_and_unchecked_pipelines_agree() {
+    let dev = Device::default();
+    let a = Collection::Thermal2.generate(500);
+    let cfg = FactorConfig::paper_default(2);
+    let (tri_u, forest_u, _) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
+    let (tri_c, forest_c, _, _) =
+        tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default()).unwrap();
+    assert_eq!(tri_u, tri_c);
+    assert_eq!(forest_u.perm, forest_c.perm);
+    assert_eq!(forest_u.factor, forest_c.factor);
+}

@@ -11,7 +11,7 @@ fn scan_launch_count_is_log2_n() {
         let a = Collection::Thermal2.generate(n);
         let ap = prepare_undirected(&a);
         dev.reset_stats();
-        let (_, timings) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2));
+        let (_, timings) = extract_linear_forest(&dev, &ap, &FactorConfig::paper_default(2)).unwrap();
         let steps = a.nrows().max(2).next_power_of_two().trailing_zeros() as u64;
         let cyc = timings.identify_cycles.kernels["identify_cycles"].launches;
         let pth = timings.identify_paths.kernels["identify_paths"].launches;
@@ -56,7 +56,7 @@ fn pipeline_phase_launch_structure() {
     let a = Collection::G3Circuit.generate(2000);
     let (_, _, timings) = {
         let cfg = FactorConfig::paper_default(2);
-        tridiagonal_from_matrix(&dev, &a, &cfg)
+        tridiagonal_from_matrix(&dev, &a, &cfg).unwrap()
     };
     // factor phase: 5 iterations → 5 propositions + copies/confirms
     let prop = timings.factor.kernels["edge_proposition"].launches;
@@ -92,8 +92,8 @@ fn model_time_scales_with_bandwidth() {
     });
     let a = Collection::Thermal2.generate(2000);
     let ap = prepare_undirected(&a);
-    let (_, t_fast) = extract_linear_forest(&fast, &ap, &FactorConfig::paper_default(2));
-    let (_, t_slow) = extract_linear_forest(&slow, &ap, &FactorConfig::paper_default(2));
+    let (_, t_fast) = extract_linear_forest(&fast, &ap, &FactorConfig::paper_default(2)).unwrap();
+    let (_, t_slow) = extract_linear_forest(&slow, &ap, &FactorConfig::paper_default(2)).unwrap();
     let ratio = t_slow.total_model_s() / t_fast.total_model_s();
     assert!(
         (ratio - 2.0).abs() < 1e-6,
@@ -107,7 +107,7 @@ fn fig6_extraction_is_small_fraction() {
     let dev = Device::default();
     let a = Collection::Atmosmodl.generate(8000);
     let cfg = FactorConfig::paper_default(2);
-    let (_, _, t) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    let (_, _, t) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
     let frac = t.extraction.model_time_s / t.total_model_s();
     assert!(
         frac < 0.25,

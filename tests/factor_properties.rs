@@ -57,7 +57,7 @@ proptest! {
     fn forest_pipeline_invariants((n, edges) in graph_strategy()) {
         let a = build(n, &edges);
         let dev = Device::default();
-        let (forest, _) = extract_linear_forest(&dev, &a, &FactorConfig::paper_default(2).with_max_iters(20));
+        let (forest, _) = extract_linear_forest(&dev, &a, &FactorConfig::paper_default(2).with_max_iters(20)).unwrap();
         // acyclic with degree ≤ 2
         prop_assert!(identify_paths_sequential(&forest.factor).is_ok());
         // permutation is a bijection that tridiagonalizes the forest

@@ -12,7 +12,7 @@ fn full_pipeline_on_every_collection_matrix() {
         let a = m.generate(600);
         let ap = prepare_undirected(&a);
         let cfg = FactorConfig::paper_default(2);
-        let (forest, _) = extract_linear_forest(&dev, &ap, &cfg);
+        let (forest, _) = extract_linear_forest(&dev, &ap, &cfg).unwrap();
 
         forest
             .factor
@@ -40,7 +40,7 @@ fn extraction_preserves_diagonal_and_forest_weights() {
     for m in [Collection::Thermal2, Collection::Transport, Collection::G3Circuit] {
         let a = m.generate(500);
         let cfg = FactorConfig::paper_default(2);
-        let (tri, forest, _) = tridiagonal_from_matrix(&dev, &a, &cfg);
+        let (tri, forest, _) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
         let n = a.nrows();
         let inv: Vec<usize> = {
             let mut inv = vec![0usize; n];
@@ -132,8 +132,8 @@ fn f32_pipeline_matches_f64_structure() {
     let a64 = Collection::Aniso2.generate(900);
     let a32: Csr<f32> = a64.cast::<f32>();
     let cfg = FactorConfig::paper_default(2);
-    let (f64out, _) = extract_linear_forest(&dev, &prepare_undirected(&a64), &cfg);
-    let (f32out, _) = extract_linear_forest(&dev, &prepare_undirected(&a32), &cfg);
+    let (f64out, _) = extract_linear_forest(&dev, &prepare_undirected(&a64), &cfg).unwrap();
+    let (f32out, _) = extract_linear_forest(&dev, &prepare_undirected(&a32), &cfg).unwrap();
     // same structural outcome (weights differ only in rounding)
     assert_eq!(f64out.num_paths(), f32out.num_paths());
     assert_eq!(f64out.perm, f32out.perm);
@@ -149,12 +149,12 @@ fn path_length_stats_reflect_anisotropy() {
     let dev = Device::default();
     let cfg = FactorConfig::paper_default(2);
     let aniso = Collection::Aniso1.generate(900);
-    let (fa, _) = extract_linear_forest(&dev, &prepare_undirected(&aniso), &cfg);
+    let (fa, _) = extract_linear_forest(&dev, &prepare_undirected(&aniso), &cfg).unwrap();
     let la = fa.paths.path_lengths();
     let mean_a = la.iter().sum::<usize>() as f64 / la.len() as f64;
     assert!(mean_a > 8.0, "ANISO mean path length {mean_a:.1}");
     let eco = Collection::Ecology1.generate(900);
-    let (fe, _) = extract_linear_forest(&dev, &prepare_undirected(&eco), &cfg);
+    let (fe, _) = extract_linear_forest(&dev, &prepare_undirected(&eco), &cfg).unwrap();
     let le = fe.paths.path_lengths();
     let mean_e = le.iter().sum::<usize>() as f64 / le.len() as f64;
     assert!(mean_a > mean_e, "aniso {mean_a:.1} vs ecology {mean_e:.1}");

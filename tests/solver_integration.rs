@@ -86,7 +86,7 @@ fn pcr_preconditioner_path_equivalent_to_thomas() {
     let dev = Device::default();
     let a = Collection::Atmosmodm.generate(1000);
     let cfg = FactorConfig::paper_default(2);
-    let (tri, _, _) = tridiagonal_from_matrix(&dev, &a, &cfg);
+    let (tri, _, _) = tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
     let thomas = ThomasFactorization::new(&tri);
     let r: Vec<f64> = (0..tri.len()).map(|i| (0.3 * i as f64).sin()).collect();
     let x1 = thomas.solve(&r);

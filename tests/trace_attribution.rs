@@ -143,7 +143,7 @@ fn traced_pipeline_matches_device_aggregate() {
     dev.tracer().install(sink.clone());
 
     let a = prepare_undirected(&Collection::Aniso1.generate(3000));
-    let (forest, _) = extract_linear_forest(&dev, &a, &FactorConfig::paper_default(2));
+    let (forest, _) = extract_linear_forest(&dev, &a, &FactorConfig::paper_default(2)).unwrap();
     assert!(forest.num_paths() > 0);
 
     let data = sink.snapshot();

@@ -76,8 +76,8 @@ fn pipeline_deterministic_across_runs() {
     let dev = Device::default();
     let a = prepare_undirected(&Collection::Transport.generate(1000));
     let cfg = FactorConfig::paper_default(2);
-    let (f1, _) = extract_linear_forest(&dev, &a, &cfg);
-    let (f2, _) = extract_linear_forest(&dev, &a, &cfg);
+    let (f1, _) = extract_linear_forest(&dev, &a, &cfg).unwrap();
+    let (f2, _) = extract_linear_forest(&dev, &a, &cfg).unwrap();
     assert_eq!(f1.factor, f2.factor);
     assert_eq!(f1.paths, f2.paths);
     assert_eq!(f1.perm, f2.perm);
