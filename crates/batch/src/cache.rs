@@ -1,0 +1,115 @@
+//! LRU cache of prepared graphs, keyed by content hash.
+//!
+//! Preparation (`A' = |A| − diag(|A|)`, symmetrized) is `O(nnz)` host work
+//! per submission; services that re-extract the same graphs — parameter
+//! sweeps, periodic re-optimization — pay it once. Entries are shared as
+//! `Arc`s so a cached graph can sit in several in-flight batches at once.
+
+use lf_sparse::Csr;
+use std::sync::Arc;
+
+/// A small LRU map `content hash → prepared graph`.
+pub struct CsrCache {
+    capacity: usize,
+    /// Most-recently-used last; tiny capacities make a Vec the right
+    /// structure (no hashing, no pointer chasing).
+    entries: Vec<(u64, Arc<Csr<f64>>)>,
+}
+
+impl CsrCache {
+    /// An empty cache holding at most `capacity` graphs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up a prepared graph, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<Arc<Csr<f64>>> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                let e = self.entries.remove(i);
+                let v = e.1.clone();
+                self.entries.push(e);
+                crate::stats::cache_hit();
+                Some(v)
+            }
+            None => {
+                crate::stats::cache_miss();
+                None
+            }
+        }
+    }
+
+    /// Insert a prepared graph, evicting the least-recently-used entry if
+    /// the cache is full. Inserting an existing key refreshes its value
+    /// and recency.
+    pub fn insert(&mut self, key: u64, value: Arc<Csr<f64>>) {
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        } else if self.entries.len() >= self.capacity {
+            if self.capacity == 0 {
+                return;
+            }
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value));
+    }
+
+    /// Number of cached graphs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize) -> Arc<Csr<f64>> {
+        Arc::new(Csr::zeros(n, n))
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let _g = crate::stats::test_guard();
+        let mut c = CsrCache::new(2);
+        c.insert(1, g(1));
+        c.insert(2, g(2));
+        assert!(c.get(1).is_some()); // 1 is now most recent
+        c.insert(3, g(3)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes() {
+        let _g = crate::stats::test_guard();
+        let mut c = CsrCache::new(2);
+        c.insert(1, g(1));
+        c.insert(2, g(2));
+        c.insert(1, g(8)); // refresh, not duplicate
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1).unwrap().nrows(), 8);
+        c.insert(3, g(3)); // evicts 2 (least recent), not 1
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let _g = crate::stats::test_guard();
+        let mut c = CsrCache::new(0);
+        c.insert(1, g(1));
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none());
+    }
+}

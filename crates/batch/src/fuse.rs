@@ -1,0 +1,261 @@
+//! Block-diagonal fusion and scatter-back.
+//!
+//! # Determinism argument
+//!
+//! Fusing K graphs as a disjoint union and extracting once is **bit-
+//! identical** to K solo extractions (each solo run salted with its
+//! graph's salt) because every stage of the pipeline decomposes over
+//! connected components and every tie-break is invariant under the
+//! constant vertex offset a block receives:
+//!
+//! * **Charges** — the fused run charges global vertex `off_i + v` with
+//!   the key `salted_key(v, salt_i)`, exactly the key the solo run of
+//!   graph `i` derives from `FactorConfig::with_charge_salt(salt_i)`.
+//!   Identical keys, identical MD5 stream, identical charges.
+//! * **Proposition/confirmation** — the disjoint union has no cross-block
+//!   edges, so a vertex only ever sees proposals from its own block. The
+//!   Top-K accumulator breaks weight ties toward the *smaller column*;
+//!   adding the same offset to every candidate column preserves that
+//!   order. Once a block is maximal its confirmed slots are frozen (no
+//!   addable edge exists), so extra fused iterations driven by slower
+//!   blocks cannot perturb it.
+//! * **Cycle breaking** — each cycle lies inside one block, and the
+//!   weakest-edge choice minimizes lexicographically on `(w, u, v)`,
+//!   again offset-invariant.
+//! * **Path identification** — a path's ID is its smaller end vertex, so
+//!   fused IDs are solo IDs plus the block offset; positions are offsets
+//!   into the path and unchanged.
+//! * **Permutation** — the radix sort orders by `(path_id, position)`.
+//!   Block `i`'s keys all lie in `[off_i, off_{i+1})`, so the fused
+//!   permutation is the blocks' solo permutations concatenated in block
+//!   order with the offset added.
+//!
+//! The one quantity that is *not* preserved is `factor_iterations`: the
+//! fused run detects maximality globally (all blocks at once), a solo run
+//! per graph. [`scatter_forests`] therefore reports the fused iteration
+//! count for every graph, and equivalence tests compare everything else.
+
+use crate::hash::{content_hash, salt_from_hash};
+use lf_core::charge::salted_key;
+use lf_core::cycles::CycleReport;
+use lf_core::paths::PathInfo;
+use lf_core::{Factor, LinearForest, INVALID};
+use lf_sparse::{Csr, Scalar, UnionError};
+
+/// A block-diagonal disjoint union of prepared graphs, plus the index
+/// needed to run it as one extraction and scatter the results back.
+#[derive(Clone, Debug)]
+pub struct FusedBatch<T> {
+    /// The fused prepared graph (`A'` of the disjoint union).
+    pub graph: Csr<T>,
+    /// Vertex offsets per block, length `K + 1`: block `i` owns global
+    /// vertices `offsets[i]..offsets[i+1]`.
+    pub offsets: Vec<u32>,
+    /// Per-block charge salts (content-derived, never zero).
+    pub salts: Vec<u32>,
+    /// Per-vertex charge keys of the fused graph:
+    /// `keys[offsets[i] + v] = salted_key(v, salts[i])`.
+    pub charge_keys: Vec<u32>,
+}
+
+impl<T: Scalar> FusedBatch<T> {
+    /// Fuse prepared graphs into one block-diagonal extraction input.
+    /// `salts[i]` is block `i`'s charge salt — derive it with
+    /// [`FusedBatch::content_salts`] for reproducible batching-invariant
+    /// results, or pass custom salts for experiments.
+    ///
+    /// # Errors
+    ///
+    /// [`UnionError`] when the fused index arithmetic would overflow; no
+    /// partial fusion is returned.
+    ///
+    /// # Panics
+    ///
+    /// When `salts.len() != parts.len()` or a part is not square — both
+    /// programming errors of the caller, not data-dependent conditions
+    /// (the scheduler validates jobs before fusing).
+    pub fn fuse(parts: &[&Csr<T>], salts: &[u32]) -> Result<Self, UnionError> {
+        Self::fuse_reusing(parts, salts, Vec::new())
+    }
+
+    /// [`FusedBatch::fuse`] reusing a caller-owned charge-key buffer (the
+    /// workspace pool hands the previous batch's buffer back in, so the
+    /// steady state allocates nothing). The buffer is cleared first; take
+    /// it back from [`FusedBatch::charge_keys`] after the run.
+    pub fn fuse_reusing(
+        parts: &[&Csr<T>],
+        salts: &[u32],
+        mut charge_keys: Vec<u32>,
+    ) -> Result<Self, UnionError> {
+        assert_eq!(salts.len(), parts.len(), "one salt per part");
+        let graph = Csr::disjoint_union(parts)?;
+        let mut offsets = Vec::with_capacity(parts.len() + 1);
+        charge_keys.clear();
+        charge_keys.reserve(graph.nrows());
+        let mut off = 0u32;
+        offsets.push(0);
+        for (p, &salt) in parts.iter().zip(salts) {
+            assert_eq!(p.nrows(), p.ncols(), "parts must be square");
+            // disjoint_union checked the fused column count fits u32, and
+            // for square parts rows == columns.
+            off += p.nrows() as u32;
+            offsets.push(off);
+            charge_keys.extend((0..p.nrows() as u32).map(|v| salted_key(v, salt)));
+        }
+        Ok(Self {
+            graph,
+            offsets,
+            salts: salts.to_vec(),
+            charge_keys,
+        })
+    }
+
+    /// Content-derived charge salts for a set of graphs: hash each graph
+    /// ([`content_hash`]) and fold ([`salt_from_hash`]). Equal graphs get
+    /// equal salts, so results are independent of batch composition and
+    /// submission order.
+    pub fn content_salts(parts: &[&Csr<T>]) -> Vec<u32> {
+        parts
+            .iter()
+            .map(|p| salt_from_hash(content_hash(*p)))
+            .collect()
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.salts.len()
+    }
+
+    /// Global vertex range of block `i`.
+    pub fn block_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.offsets[i] as usize..self.offsets[i + 1] as usize
+    }
+}
+
+/// Scatter a fused extraction result back into one [`LinearForest`] per
+/// block, undoing the vertex offsets. The factor slots, path IDs and
+/// positions, permutation, and removed cycle edges are all exact — equal
+/// to the blocks' solo results — while `factor_iterations` carries the
+/// fused iteration count (see the module docs for why it cannot match).
+pub fn scatter_forests<T: Scalar>(
+    fused: &LinearForest<T>,
+    offsets: &[u32],
+) -> Vec<LinearForest<T>> {
+    let blocks = offsets.len().saturating_sub(1);
+    let n = fused.factor.degree_bound();
+    let cols = fused.factor.slot_cols();
+    let ws = fused.factor.slot_weights();
+
+    // The fused permutation is block-contiguous (see module docs), but
+    // scattering by *value* rather than by slicing keeps this correct even
+    // for exotic inputs: each entry is routed to the block owning it,
+    // preserving fused order within the block.
+    let mut perms: Vec<Vec<u32>> = (0..blocks)
+        .map(|i| Vec::with_capacity((offsets[i + 1] - offsets[i]) as usize))
+        .collect();
+    for &old in &fused.perm {
+        let b = offsets.partition_point(|&o| o <= old) - 1;
+        perms[b].push(old - offsets[b]);
+    }
+    let mut perms = perms.into_iter();
+
+    // Removed cycle edges, partitioned by the block owning their endpoints
+    // (cycles never cross blocks).
+    let mut removed: Vec<Vec<(u32, u32)>> = vec![Vec::new(); blocks];
+    for &(u, v) in &fused.cycles.removed {
+        let b = offsets.partition_point(|&o| o <= u) - 1;
+        removed[b].push((u - offsets[b], v - offsets[b]));
+    }
+    let mut removed = removed.into_iter();
+
+    (0..blocks)
+        .map(|i| {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            let off = offsets[i];
+            let bcols: Vec<u32> = cols[lo * n..hi * n]
+                .iter()
+                .map(|&c| if c == INVALID { INVALID } else { c - off })
+                .collect();
+            let bws = ws[lo * n..hi * n].to_vec();
+            let removed = removed.next().unwrap();
+            (
+                Factor::from_slots(hi - lo, n, bcols, bws),
+                PathInfo {
+                    path_id: fused.paths.path_id[lo..hi].iter().map(|&p| p - off).collect(),
+                    position: fused.paths.position[lo..hi].to_vec(),
+                },
+                CycleReport {
+                    cycles: removed.len(),
+                    removed,
+                },
+            )
+        })
+        .map(|(factor, paths, cycles)| LinearForest {
+            factor,
+            paths,
+            perm: perms.next().unwrap(),
+            cycles,
+            factor_iterations: fused.factor_iterations,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_core::{extract_linear_forest, extract_linear_forest_with, FactorConfig, FactorWorkspace};
+    use lf_kernel::Device;
+    use lf_sparse::random::random_symmetric;
+
+    fn graphs() -> Vec<Csr<f64>> {
+        vec![
+            random_symmetric(60, 3.0, 0.1, 1.0, 1),
+            random_symmetric(45, 4.0, 0.1, 1.0, 2),
+            random_symmetric(70, 2.5, 0.1, 1.0, 3),
+        ]
+    }
+
+    #[test]
+    fn fuse_builds_offsets_and_keys() {
+        let gs = graphs();
+        let parts: Vec<&Csr<f64>> = gs.iter().collect();
+        let salts = FusedBatch::content_salts(&parts);
+        assert!(salts.iter().all(|&s| s != 0));
+        let fused = FusedBatch::fuse(&parts, &salts).unwrap();
+        assert_eq!(fused.offsets, vec![0, 60, 105, 175]);
+        assert_eq!(fused.graph.nrows(), 175);
+        assert_eq!(fused.charge_keys.len(), 175);
+        assert_eq!(fused.charge_keys[60], salted_key(0, salts[1]));
+        assert_eq!(fused.num_blocks(), 3);
+        assert_eq!(fused.block_range(2), 105..175);
+    }
+
+    #[test]
+    fn fused_extraction_matches_solo() {
+        let dev = Device::default();
+        let cfg = FactorConfig::paper_default(2);
+        let gs = graphs();
+        let parts: Vec<&Csr<f64>> = gs.iter().collect();
+        let salts = FusedBatch::content_salts(&parts);
+        let fused = FusedBatch::fuse(&parts, &salts).unwrap();
+        let (forest, _) = extract_linear_forest_with(
+            &dev,
+            &fused.graph,
+            &cfg,
+            Some(&fused.charge_keys),
+            &mut FactorWorkspace::new(),
+        )
+        .unwrap();
+        let scattered = scatter_forests(&forest, &fused.offsets);
+        assert_eq!(scattered.len(), 3);
+        for ((g, part), salt) in scattered.iter().zip(&gs).zip(&salts) {
+            let solo_cfg = cfg.with_charge_salt(*salt);
+            let (solo, _) = extract_linear_forest(&dev, part, &solo_cfg).unwrap();
+            assert_eq!(g.factor, solo.factor);
+            assert_eq!(g.paths, solo.paths);
+            assert_eq!(g.perm, solo.perm);
+            assert_eq!(g.cycles.removed, solo.cycles.removed);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Content hashing of CSR graphs.
+//!
+//! One FNV-1a hash serves two purposes: it keys the prepared-graph LRU
+//! cache ([`crate::cache`]), and it derives each job's charge salt. Salting
+//! by *content* rather than by submission order is what makes results
+//! reproducible: a graph factors identically whether it arrives first or
+//! tenth, alone or in a batch, today or tomorrow.
+
+use lf_sparse::{Csr, Scalar};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// FNV-1a hash of a CSR matrix's full content: shape, sparsity structure,
+/// and the exact bit patterns of the values (so `0.0` and `-0.0` hash
+/// differently, matching the bit-exactness contract of the pipeline).
+pub fn content_hash<T: Scalar>(a: &Csr<T>) -> u64 {
+    let mut h = FNV_OFFSET;
+    mix(&mut h, &(a.nrows() as u64).to_le_bytes());
+    mix(&mut h, &(a.ncols() as u64).to_le_bytes());
+    for &r in a.row_ptr() {
+        mix(&mut h, &(r as u64).to_le_bytes());
+    }
+    for &c in a.col_idx() {
+        mix(&mut h, &c.to_le_bytes());
+    }
+    for v in a.vals() {
+        mix(&mut h, &v.to_f64().to_bits().to_le_bytes());
+    }
+    h
+}
+
+/// Fold a content hash into a per-graph charge salt. Forced nonzero:
+/// salt `0` means "unsalted" ([`lf_core::charge::salted_key`]), which
+/// would silently correlate a graph's charge stream with every other
+/// unsalted graph in its batch.
+pub fn salt_from_hash(hash: u64) -> u32 {
+    let folded = (hash ^ (hash >> 32)) as u32;
+    if folded == 0 {
+        1
+    } else {
+        folded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::Coo;
+
+    fn graph(w: f64) -> Csr<f64> {
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 1, w);
+        coo.push_sym(1, 2, 2.0 * w);
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn equal_content_equal_hash() {
+        assert_eq!(content_hash(&graph(1.5)), content_hash(&graph(1.5)));
+    }
+
+    #[test]
+    fn values_structure_and_shape_matter() {
+        let base = content_hash(&graph(1.5));
+        assert_ne!(base, content_hash(&graph(1.25)), "value change");
+        let mut coo = Coo::new(3, 3);
+        coo.push_sym(0, 2, 1.5);
+        coo.push_sym(1, 2, 3.0);
+        assert_ne!(
+            base,
+            content_hash(&Csr::from_coo(coo)),
+            "structure change"
+        );
+        assert_ne!(
+            content_hash(&Csr::<f64>::zeros(2, 2)),
+            content_hash(&Csr::<f64>::zeros(3, 3)),
+            "shape change"
+        );
+    }
+
+    #[test]
+    fn signed_zero_distinguished() {
+        let mut a = Coo::new(2, 2);
+        a.push(0, 1, 0.0);
+        let mut b = Coo::new(2, 2);
+        b.push(0, 1, -0.0);
+        assert_ne!(
+            content_hash(&Csr::from_coo(a)),
+            content_hash(&Csr::from_coo(b))
+        );
+    }
+
+    #[test]
+    fn salt_never_zero() {
+        assert_eq!(salt_from_hash(0), 1);
+        assert_eq!(salt_from_hash(0xffff_ffff_0000_0000 ^ 0x0000_0000_ffff_ffff), 1);
+        assert_ne!(salt_from_hash(content_hash(&graph(1.0))), 0);
+    }
+}

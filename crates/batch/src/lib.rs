@@ -1,0 +1,42 @@
+//! # lf-batch — a multi-tenant extraction service
+//!
+//! The pipeline of the paper is per-vertex/per-edge parallel, so a small
+//! graph leaves most of the device idle: launch overhead and `O(log n)`
+//! scan depth dominate once `n` falls below the device's parallel width.
+//! This crate batches many small extractions into one device-sized run:
+//!
+//! 1. **Block-diagonal fusion** ([`fuse`]): pack N independent graphs into
+//!    one disjoint-union CSR ([`lf_sparse::Csr::disjoint_union`]), run the
+//!    factor/forest pipeline *once* over the fused graph, and scatter the
+//!    per-graph [`lf_core::LinearForest`] results back out. Charges are
+//!    salted per graph, which makes the fused run bit-identical to N solo
+//!    runs — see [`fuse`] for the argument.
+//! 2. **Job scheduling** ([`scheduler`]): a bounded submission queue and a
+//!    size-aware batch former that closes a batch on an nnz budget, a job
+//!    count, or a deadline. Every job gets its own [`JobOutcome`] with
+//!    typed errors, so one poisoned graph fails alone, not its batch.
+//! 3. **Pooling** ([`pool`], [`cache`]): factor workspaces are checked in
+//!    and out across batches (extending the `Reusable` machinery), and
+//!    prepared graphs are kept in an LRU cache keyed by content hash for
+//!    repeated submissions.
+//!
+//! Service-wide counters live in [`stats`] and surface through
+//! `lf stats --json` / `lf batch --json`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fuse;
+pub mod hash;
+pub mod pool;
+pub mod scheduler;
+pub mod stats;
+
+pub use cache::CsrCache;
+pub use fuse::{scatter_forests, FusedBatch};
+pub use hash::{content_hash, salt_from_hash};
+pub use pool::{BatchWorkspace, WorkspacePool};
+pub use scheduler::{
+    BatchConfig, ExtractionService, JobError, JobOutcome, JobResult, SubmitError,
+};
+pub use stats::{counters, reset_stats, ServiceCounters};

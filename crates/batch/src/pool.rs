@@ -1,0 +1,101 @@
+//! Workspace pooling across batches.
+//!
+//! PR 1 made the factor pipeline's scratch buffers reusable within a loop
+//! ([`lf_core::FactorWorkspace`], built on the device `Reusable` buffers);
+//! the pool extends that across the service's lifetime: workspaces are
+//! checked out for a batch, checked back in afterwards, and keep their
+//! grown capacity, so steady-state batches allocate nothing.
+
+use lf_core::FactorWorkspace;
+
+/// Everything one batch run needs in scratch space: the factor workspace
+/// (confirmed/proposal slots, frontier, …) and the fused charge-key buffer.
+#[derive(Default)]
+pub struct BatchWorkspace {
+    /// Factor-stage scratch, reused by [`lf_core::extract_linear_forest_with`].
+    pub factor: FactorWorkspace<f64, 2>,
+    /// Fused per-vertex charge keys, rebuilt (but not reallocated) per batch.
+    pub keys: Vec<u32>,
+}
+
+/// A bounded free-list of [`BatchWorkspace`]s. `acquire` pops a pooled
+/// workspace (hit) or creates a fresh one (miss); `release` returns it,
+/// dropping the workspace instead when the pool is full.
+pub struct WorkspacePool {
+    capacity: usize,
+    free: Vec<BatchWorkspace>,
+}
+
+impl WorkspacePool {
+    /// An empty pool retaining at most `capacity` idle workspaces.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            free: Vec::new(),
+        }
+    }
+
+    /// Check a workspace out, preferring a pooled one.
+    pub fn acquire(&mut self) -> BatchWorkspace {
+        match self.free.pop() {
+            Some(ws) => {
+                crate::stats::pool_hit();
+                ws
+            }
+            None => {
+                crate::stats::pool_miss();
+                BatchWorkspace::default()
+            }
+        }
+    }
+
+    /// Check a workspace back in; dropped if the pool is at capacity.
+    pub fn release(&mut self, ws: BatchWorkspace) {
+        if self.free.len() < self.capacity {
+            self.free.push(ws);
+        }
+    }
+
+    /// Number of idle workspaces currently pooled.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let _g = crate::stats::test_guard();
+        let mut pool = WorkspacePool::new(2);
+        assert_eq!(pool.idle(), 0);
+        let a = pool.acquire();
+        let b = pool.acquire();
+        let c = pool.acquire();
+        pool.release(a);
+        pool.release(b);
+        pool.release(c); // beyond capacity: dropped
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.capacity(), 2);
+        let _ = pool.acquire();
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn pooled_workspace_keeps_buffers() {
+        let _g = crate::stats::test_guard();
+        let mut pool = WorkspacePool::new(1);
+        let mut ws = pool.acquire();
+        ws.keys.resize(1000, 7);
+        pool.release(ws);
+        let ws = pool.acquire();
+        assert!(ws.keys.capacity() >= 1000, "grown capacity retained");
+    }
+}

@@ -1,0 +1,673 @@
+//! The extraction service: bounded submission queue, size-aware batch
+//! formation, fused execution with per-job fault isolation.
+//!
+//! The scheduler is a deterministic synchronous state machine — no
+//! threads, no clocks of its own. Callers submit jobs, then drive it with
+//! [`ExtractionService::poll`] (passing the current time, so tests control
+//! the deadline) or flush it with [`ExtractionService::drain`]. A batch
+//! closes when its nnz budget fills, its job count caps, or the oldest
+//! queued job exceeds the deadline.
+//!
+//! Fault isolation is per job: validation errors (non-square, non-finite)
+//! are attached to the offending job at submit time and never enter a
+//! fused graph; a part that would overflow the fused index space fails
+//! alone with its [`UnionError`]; and if the fused extraction itself
+//! reports an error, the batch re-runs each member solo so only the
+//! culpable graph carries the error.
+
+use crate::cache::CsrCache;
+use crate::fuse::{scatter_forests, FusedBatch};
+use crate::hash::{content_hash, salt_from_hash};
+use crate::pool::WorkspacePool;
+use crate::stats;
+use lf_check::audit::{audit_factor, audit_input, audit_paths, audit_permutation};
+use lf_check::Violation;
+use lf_core::{
+    extract_linear_forest_with, prepare_undirected, FactorConfig, LinearForest, PipelineError,
+    QualityReport,
+};
+use lf_kernel::Device;
+use lf_sparse::{Csr, UnionError};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Maximum number of queued jobs; submissions beyond it are rejected
+    /// with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// A batch closes once it holds this many jobs.
+    pub max_batch_jobs: usize,
+    /// A batch closes once its fused prepared-graph nnz reaches this
+    /// budget (a single oversized job still forms its own batch).
+    pub nnz_budget: usize,
+    /// A batch closes when the oldest queued job has waited this long,
+    /// even if the budget is not met.
+    pub deadline: Duration,
+    /// Factor configuration for every extraction; `n` must be 2. The
+    /// per-graph charge salt is managed by the service (content-derived),
+    /// so `charge_salt` here is ignored.
+    pub factor: FactorConfig,
+    /// Audit every scattered result with lf-check stage audits; failures
+    /// become [`JobError::Audit`] on the affected job.
+    pub check: bool,
+    /// Idle workspaces retained by the pool.
+    pub pool_capacity: usize,
+    /// Prepared graphs retained by the LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            max_batch_jobs: 32,
+            nnz_budget: 1 << 20,
+            deadline: Duration::from_millis(10),
+            // Frontier mode matters for fused runs: blocks that finish
+            // early drop out of the proposition traffic instead of being
+            // re-scanned until the slowest block converges.
+            factor: FactorConfig::paper_default(2).with_frontier(true),
+            check: false,
+            pool_capacity: 4,
+            cache_capacity: 64,
+        }
+    }
+}
+
+/// Why a submission was rejected (the job never entered the queue).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry after a poll/drain.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Why one job failed (its batch peers are unaffected).
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// The pipeline rejected the job's graph (validation or extraction).
+    Pipeline(PipelineError),
+    /// The job could not join a fused graph without index overflow.
+    Union(UnionError),
+    /// `--check` audits found violations in the scattered result.
+    Audit {
+        /// The violated invariants, capped at `lf_check::MAX_VIOLATIONS`
+        /// per stage.
+        violations: Vec<Violation>,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Pipeline(e) => write!(f, "{e}"),
+            JobError::Union(e) => write!(f, "{e}"),
+            JobError::Audit { violations } => {
+                write!(f, "{} audit violation(s)", violations.len())?;
+                for v in violations {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A successful extraction, scattered back to the job's own vertex space.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The extracted linear forest (solo-equivalent; see [`crate::fuse`]).
+    pub forest: LinearForest<f64>,
+    /// Quality statistics against the originally submitted matrix.
+    pub quality: QualityReport,
+}
+
+/// Per-job outcome: every submitted job produces exactly one, success or
+/// failure, in submission order within its batch.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Job ID assigned at submission.
+    pub id: u64,
+    /// Caller-supplied job name.
+    pub name: String,
+    /// Content-derived charge salt the extraction ran under.
+    pub salt: u32,
+    /// Whether the prepared graph came from the LRU cache.
+    pub cache_hit: bool,
+    /// Sequence number of the batch that executed the job.
+    pub batch: u64,
+    /// nnz of the prepared graph (0 if preparation failed).
+    pub nnz: usize,
+    /// The extraction result or the job's own error.
+    pub result: Result<JobResult, JobError>,
+}
+
+struct Job {
+    id: u64,
+    name: String,
+    a: Arc<Csr<f64>>,
+    prepared: Result<Arc<Csr<f64>>, PipelineError>,
+    salt: u32,
+    cache_hit: bool,
+    submitted_at: Instant,
+}
+
+impl Job {
+    fn nnz(&self) -> usize {
+        self.prepared.as_ref().map_or(0, |p| p.nnz())
+    }
+}
+
+/// The multi-tenant extraction service. See the module docs for the
+/// scheduling model and [`crate::fuse`] for the determinism argument.
+pub struct ExtractionService {
+    cfg: BatchConfig,
+    queue: VecDeque<Job>,
+    pool: WorkspacePool,
+    cache: CsrCache,
+    next_id: u64,
+    batch_seq: u64,
+}
+
+impl ExtractionService {
+    /// Create a service.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NotPathFactor`] when `cfg.factor.n != 2`: linear
+    /// forests are [0,2]-factors, and rejecting the configuration here is
+    /// cheaper than failing every job.
+    pub fn new(cfg: BatchConfig) -> Result<Self, PipelineError> {
+        if cfg.factor.n != 2 {
+            return Err(PipelineError::NotPathFactor { n: cfg.factor.n });
+        }
+        Ok(Self {
+            queue: VecDeque::new(),
+            pool: WorkspacePool::new(cfg.pool_capacity),
+            cache: CsrCache::new(cfg.cache_capacity),
+            next_id: 0,
+            batch_seq: 0,
+            cfg,
+        })
+    }
+
+    /// Service configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.cfg
+    }
+
+    /// Number of queued jobs.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submit a graph for extraction at time `now`; returns the job ID.
+    /// Preparation (`A' = |A| − diag|A|`, symmetrized) happens here,
+    /// served from the content-hash cache when possible; validation
+    /// errors are recorded on the job and surface in its outcome, never
+    /// poisoning a batch.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity;
+    /// the job is not enqueued.
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        a: Csr<f64>,
+        now: Instant,
+    ) -> Result<u64, SubmitError> {
+        if self.queue.len() >= self.cfg.queue_capacity {
+            return Err(SubmitError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let hash = content_hash(&a);
+        let salt = salt_from_hash(hash);
+        let a = Arc::new(a);
+        let mut cache_hit = false;
+        let prepared = if a.nrows() != a.ncols() {
+            Err(PipelineError::NonSquareMatrix {
+                nrows: a.nrows(),
+                ncols: a.ncols(),
+            })
+        } else if let Some(p) = self.cache.get(hash) {
+            cache_hit = true;
+            Ok(p)
+        } else {
+            match validate_finite(prepare_undirected(&a)) {
+                Ok(p) => {
+                    let p = Arc::new(p);
+                    self.cache.insert(hash, p.clone());
+                    Ok(p)
+                }
+                Err(e) => Err(e),
+            }
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Job {
+            id,
+            name: name.into(),
+            a,
+            prepared,
+            salt,
+            cache_hit,
+            submitted_at: now,
+        });
+        stats::submitted(self.queue.len());
+        Ok(id)
+    }
+
+    /// Whether a batch would close right now (budget, count, or deadline).
+    pub fn batch_ready(&self, now: Instant) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        if self.queue.len() >= self.cfg.max_batch_jobs {
+            return true;
+        }
+        let nnz: usize = self.queue.iter().map(Job::nnz).sum();
+        if nnz >= self.cfg.nnz_budget {
+            return true;
+        }
+        now.duration_since(self.queue[0].submitted_at) >= self.cfg.deadline
+    }
+
+    /// Run batches while one is ready at time `now`; returns the outcomes
+    /// (possibly empty). Jobs left queued are waiting for more work or
+    /// their deadline.
+    pub fn poll(&mut self, dev: &Device, now: Instant) -> Vec<JobOutcome> {
+        let mut out = Vec::new();
+        while self.batch_ready(now) {
+            let jobs = self.form_batch();
+            out.extend(self.run_batch(dev, jobs));
+        }
+        out
+    }
+
+    /// Flush the queue completely, deadline or not.
+    pub fn drain(&mut self, dev: &Device) -> Vec<JobOutcome> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            let jobs = self.form_batch();
+            out.extend(self.run_batch(dev, jobs));
+        }
+        out
+    }
+
+    /// Pop the next batch off the queue: jobs in submission order until
+    /// the count cap, or until adding one more would blow the nnz budget
+    /// (the first job always fits, so oversized jobs still run).
+    fn form_batch(&mut self) -> Vec<Job> {
+        let mut batch = Vec::new();
+        let mut nnz = 0usize;
+        while let Some(next) = self.queue.front() {
+            if !batch.is_empty()
+                && (batch.len() >= self.cfg.max_batch_jobs
+                    || nnz + next.nnz() > self.cfg.nnz_budget)
+            {
+                break;
+            }
+            nnz += next.nnz();
+            batch.push(self.queue.pop_front().unwrap());
+        }
+        batch
+    }
+
+    fn run_batch(&mut self, dev: &Device, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        self.batch_seq += 1;
+        let batch = self.batch_seq;
+        let tracer = dev.tracer().clone();
+        let _span = tracer.span_dyn(|| format!("batch_{batch}"));
+
+        // Jobs that failed validation at submit time fail alone here.
+        let (valid, invalid): (Vec<Job>, Vec<Job>) =
+            jobs.into_iter().partition(|j| j.prepared.is_ok());
+        let mut outcomes: Vec<JobOutcome> = invalid
+            .into_iter()
+            .map(|j| {
+                let err = j.prepared.as_ref().unwrap_err().clone();
+                finish(j, batch, Err(JobError::Pipeline(err)))
+            })
+            .collect();
+
+        // Fuse, ejecting any part the fused index space cannot hold.
+        let mut valid = valid;
+        let mut ws = self.pool.acquire();
+        let fused = loop {
+            if valid.is_empty() {
+                self.pool.release(ws);
+                return outcomes;
+            }
+            let parts: Vec<&Csr<f64>> = valid
+                .iter()
+                .map(|j| j.prepared.as_ref().unwrap().as_ref())
+                .collect();
+            let salts: Vec<u32> = valid.iter().map(|j| j.salt).collect();
+            match FusedBatch::fuse_reusing(&parts, &salts, std::mem::take(&mut ws.keys)) {
+                Ok(f) => break f,
+                Err(e) => {
+                    let at = match e {
+                        UnionError::ColumnOverflow { part } => part,
+                        UnionError::SizeOverflow { part } => part,
+                    };
+                    let j = valid.remove(at);
+                    outcomes.push(finish(j, batch, Err(JobError::Union(e))));
+                }
+            }
+        };
+
+        stats::batch_run(valid.len(), fused.graph.nnz());
+        if tracer.is_active() {
+            tracer.metric("batch_jobs", valid.len() as f64);
+            tracer.metric("fused_nnz", fused.graph.nnz() as f64);
+            tracer.metric("fused_vertices", fused.graph.nrows() as f64);
+            tracer.metric(
+                "batch_occupancy",
+                fused.graph.nnz() as f64 / self.cfg.nnz_budget as f64,
+            );
+            tracer.metric("queue_depth", self.queue.len() as f64);
+            let c = stats::counters();
+            tracer.metric("cache_hit_rate", c.cache_hit_rate());
+        }
+
+        let extraction = extract_linear_forest_with(
+            dev,
+            &fused.graph,
+            &self.cfg.factor,
+            Some(&fused.charge_keys),
+            &mut ws.factor,
+        );
+
+        match extraction {
+            Ok((forest, _timings)) => {
+                let scattered = scatter_forests(&forest, &fused.offsets);
+                for (j, f) in valid.into_iter().zip(scattered) {
+                    outcomes.push(self.finish_extracted(j, batch, f));
+                }
+            }
+            Err(fused_err) => {
+                // The fused run failed as a whole; re-run each member solo
+                // so only the culpable graph reports the error.
+                let _s = tracer.span("batch_solo_fallback");
+                let _ = fused_err;
+                for j in valid {
+                    let prepared = j.prepared.as_ref().unwrap().clone();
+                    let cfg = self.cfg.factor.with_charge_salt(j.salt);
+                    match extract_linear_forest_with(dev, &prepared, &cfg, None, &mut ws.factor)
+                    {
+                        Ok((forest, _)) => outcomes.push(self.finish_extracted(j, batch, forest)),
+                        Err(e) => {
+                            outcomes.push(finish(j, batch, Err(JobError::Pipeline(e))))
+                        }
+                    }
+                }
+            }
+        }
+
+        // Hand the charge-key buffer back to the pooled workspace.
+        ws.keys = fused.charge_keys;
+        self.pool.release(ws);
+        outcomes
+    }
+
+    fn finish_extracted(&self, j: Job, batch: u64, forest: LinearForest<f64>) -> JobOutcome {
+        if self.cfg.check {
+            let prepared = j.prepared.as_ref().unwrap();
+            let mut violations = audit_input(prepared.as_ref());
+            // Per-block maximality is not certified by the fused run (the
+            // global flag covers all blocks only when every block
+            // converged), so the factor audit checks invariants 1–2 only.
+            violations.extend(audit_factor(&forest.factor, prepared, 2, false));
+            violations.extend(audit_paths(&forest.factor, &forest.paths));
+            violations.extend(audit_permutation(&forest.factor, &forest.paths, &forest.perm));
+            if !violations.is_empty() {
+                stats::audit_violations(violations.len());
+                return finish(j, batch, Err(JobError::Audit { violations }));
+            }
+        }
+        let quality = forest.quality_report(&j.a, None);
+        finish(j, batch, Ok(JobResult { forest, quality }))
+    }
+}
+
+/// Scan a prepared graph for non-finite weights (NaN poisons every weight
+/// comparison downstream; better a typed error at the door).
+fn validate_finite(p: Csr<f64>) -> Result<Csr<f64>, PipelineError> {
+    for (i, j, w) in p.iter() {
+        if !w.is_finite() {
+            return Err(PipelineError::NonFiniteWeight {
+                row: i as usize,
+                col: j as usize,
+            });
+        }
+    }
+    Ok(p)
+}
+
+fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome {
+    match &result {
+        Ok(_) => stats::completed(),
+        Err(_) => stats::failed(),
+    }
+    let nnz = j.nnz();
+    JobOutcome {
+        id: j.id,
+        name: j.name,
+        salt: j.salt,
+        cache_hit: j.cache_hit,
+        batch,
+        nnz,
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_core::extract_linear_forest;
+    use lf_sparse::random::random_symmetric;
+    use lf_sparse::Coo;
+
+    fn svc(cfg: BatchConfig) -> ExtractionService {
+        ExtractionService::new(cfg).unwrap()
+    }
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn rejects_non_path_factor_config() {
+        let cfg = BatchConfig {
+            factor: FactorConfig::paper_default(3),
+            ..BatchConfig::default()
+        };
+        let err = match ExtractionService::new(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("n = 3 must be rejected"),
+        };
+        assert_eq!(err, PipelineError::NotPathFactor { n: 3 });
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let _g = crate::stats::test_guard();
+        let mut s = svc(BatchConfig {
+            queue_capacity: 2,
+            ..BatchConfig::default()
+        });
+        let now = t0();
+        s.submit("a", random_symmetric(10, 2.0, 0.1, 1.0, 1), now).unwrap();
+        s.submit("b", random_symmetric(10, 2.0, 0.1, 1.0, 2), now).unwrap();
+        assert_eq!(
+            s.submit("c", random_symmetric(10, 2.0, 0.1, 1.0, 3), now),
+            Err(SubmitError::QueueFull { capacity: 2 })
+        );
+        assert_eq!(s.queue_depth(), 2);
+    }
+
+    #[test]
+    fn poisoned_jobs_fail_alone() {
+        let _g = crate::stats::test_guard();
+        crate::stats::reset_stats();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let now = t0();
+        s.submit("good1", random_symmetric(40, 3.0, 0.1, 1.0, 5), now).unwrap();
+        s.submit("rect", Csr::zeros(3, 4), now).unwrap();
+        let mut nan = Coo::<f64>::new(4, 4);
+        nan.push_sym(0, 1, f64::NAN);
+        s.submit("nan", Csr::from_coo(nan), now).unwrap();
+        s.submit("good2", random_symmetric(30, 3.0, 0.1, 1.0, 6), now).unwrap();
+        let out = s.drain(&dev);
+        assert_eq!(out.len(), 4);
+        let by_name = |n: &str| out.iter().find(|o| o.name == n).unwrap();
+        assert!(by_name("good1").result.is_ok());
+        assert!(by_name("good2").result.is_ok());
+        assert!(matches!(
+            by_name("rect").result,
+            Err(JobError::Pipeline(PipelineError::NonSquareMatrix { nrows: 3, ncols: 4 }))
+        ));
+        assert!(matches!(
+            by_name("nan").result,
+            Err(JobError::Pipeline(PipelineError::NonFiniteWeight { .. }))
+        ));
+        let c = stats::counters();
+        assert_eq!(c.jobs_submitted, 4);
+        assert_eq!(c.jobs_completed, 2);
+        assert_eq!(c.jobs_failed, 2);
+        assert_eq!(c.batches_run, 1);
+        assert_eq!(c.graphs_fused, 2);
+    }
+
+    #[test]
+    fn batch_forms_on_budget_count_and_deadline() {
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let now = t0();
+
+        // Count cap: 3 jobs, max 2 per batch → two batches.
+        let mut s = svc(BatchConfig {
+            max_batch_jobs: 2,
+            ..BatchConfig::default()
+        });
+        for i in 0..3 {
+            s.submit(format!("j{i}"), random_symmetric(20, 2.0, 0.1, 1.0, i), now)
+                .unwrap();
+        }
+        let out = s.drain(&dev);
+        assert_eq!(out.iter().filter(|o| o.batch == out[0].batch).count(), 2);
+        assert_eq!(out.len(), 3);
+
+        // nnz budget: each graph ~20 edges ≈ 40+ nnz; a tiny budget forms
+        // singleton batches (the first job always fits).
+        let mut s = svc(BatchConfig {
+            nnz_budget: 1,
+            ..BatchConfig::default()
+        });
+        s.submit("a", random_symmetric(20, 2.0, 0.1, 1.0, 1), now).unwrap();
+        s.submit("b", random_symmetric(20, 2.0, 0.1, 1.0, 2), now).unwrap();
+        let out = s.drain(&dev);
+        assert_ne!(out[0].batch, out[1].batch, "budget split into batches");
+
+        // Deadline: below budget and count, nothing runs until time passes.
+        let mut s = svc(BatchConfig {
+            deadline: Duration::from_secs(3600),
+            ..BatchConfig::default()
+        });
+        s.submit("w", random_symmetric(20, 2.0, 0.1, 1.0, 3), now).unwrap();
+        assert!(s.poll(&dev, now).is_empty());
+        assert_eq!(s.queue_depth(), 1);
+        let later = now + Duration::from_secs(3601);
+        let out = s.poll(&dev, later);
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    fn repeated_submissions_hit_cache_and_match() {
+        let _g = crate::stats::test_guard();
+        crate::stats::reset_stats();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let g = random_symmetric(50, 3.0, 0.1, 1.0, 9);
+        let now = t0();
+        s.submit("first", g.clone(), now).unwrap();
+        let first = s.drain(&dev).pop().unwrap();
+        assert!(!first.cache_hit);
+        s.submit("again", g, now).unwrap();
+        let again = s.drain(&dev).pop().unwrap();
+        assert!(again.cache_hit, "same content must hit the cache");
+        assert!(stats::counters().cache_hits >= 1);
+        let (a, b) = (first.result.unwrap(), again.result.unwrap());
+        assert_eq!(a.forest.factor, b.forest.factor);
+        assert_eq!(a.forest.perm, b.forest.perm);
+        assert_eq!(a.quality, b.quality);
+    }
+
+    #[test]
+    fn batched_results_equal_solo_runs() {
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let graphs: Vec<Csr<f64>> = (0..4)
+            .map(|i| random_symmetric(35 + 7 * i, 3.0, 0.1, 1.0, 100 + i as u64))
+            .collect();
+        let now = t0();
+        for (i, g) in graphs.iter().enumerate() {
+            s.submit(format!("g{i}"), g.clone(), now).unwrap();
+        }
+        let out = s.drain(&dev);
+        assert_eq!(out.len(), graphs.len());
+        for (o, g) in out.iter().zip(&graphs) {
+            let prepared = prepare_undirected(g);
+            let cfg = s.config().factor.with_charge_salt(o.salt);
+            let (solo, _) = extract_linear_forest(&dev, &prepared, &cfg).unwrap();
+            let got = o.result.as_ref().unwrap();
+            assert_eq!(got.forest.factor, solo.factor);
+            assert_eq!(got.forest.paths, solo.paths);
+            assert_eq!(got.forest.perm, solo.perm);
+            assert_eq!(got.quality, solo.quality_report(g, None));
+        }
+    }
+
+    #[test]
+    fn check_mode_audits_scattered_results() {
+        let _g = crate::stats::test_guard();
+        crate::stats::reset_stats();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig {
+            check: true,
+            ..BatchConfig::default()
+        });
+        let now = t0();
+        for i in 0..3 {
+            s.submit(format!("g{i}"), random_symmetric(40, 3.0, 0.1, 1.0, 40 + i), now)
+                .unwrap();
+        }
+        let out = s.drain(&dev);
+        assert!(out.iter().all(|o| o.result.is_ok()), "clean graphs audit clean");
+        assert_eq!(stats::counters().audit_violations, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Process-wide service counters.
+//!
+//! One atomic registry rather than per-service fields, for the same reason
+//! the device keeps global launch statistics: the CLI (`lf stats --json`,
+//! `lf batch --json`) and the bench harness read one consistent snapshot
+//! without threading a handle through every layer. [`reset_stats`] zeroes
+//! the registry; the bench harness calls it between batches so per-batch
+//! numbers are not cumulative.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident / $bump:ident),+ $(,)?) => {
+        $(static $name: AtomicU64 = AtomicU64::new(0);)+
+
+        /// A point-in-time snapshot of the service counters.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        #[allow(non_snake_case)]
+        pub struct ServiceCounters {
+            $($(#[$doc])* pub $bump: u64,)+
+        }
+
+        /// Snapshot all counters.
+        pub fn counters() -> ServiceCounters {
+            ServiceCounters {
+                $($bump: $name.load(Ordering::Relaxed),)+
+            }
+        }
+
+        /// Zero all counters (bench harnesses call this between batches).
+        pub fn reset_stats() {
+            $($name.store(0, Ordering::Relaxed);)+
+        }
+    };
+}
+
+counters! {
+    /// Jobs accepted into the submission queue.
+    SUBMITTED / jobs_submitted,
+    /// Jobs completed successfully.
+    COMPLETED / jobs_completed,
+    /// Jobs that failed (typed error in their outcome).
+    FAILED / jobs_failed,
+    /// Batches executed.
+    BATCHES / batches_run,
+    /// Graphs fused across all batches.
+    FUSED_GRAPHS / graphs_fused,
+    /// Total nnz of fused extraction inputs.
+    FUSED_NNZ / fused_nnz,
+    /// High-water mark of the submission queue depth.
+    QUEUE_HIGHWATER / queue_highwater,
+    /// Workspace-pool checkouts served from the pool.
+    POOL_HITS / pool_hits,
+    /// Workspace-pool checkouts that had to allocate.
+    POOL_MISSES / pool_misses,
+    /// Prepared-graph cache hits.
+    CACHE_HITS / cache_hits,
+    /// Prepared-graph cache misses.
+    CACHE_MISSES / cache_misses,
+    /// Audit violations found by `--check` batch runs.
+    AUDIT_VIOLATIONS / audit_violations,
+}
+
+#[inline]
+pub(crate) fn submitted(queue_depth: usize) {
+    SUBMITTED.fetch_add(1, Ordering::Relaxed);
+    QUEUE_HIGHWATER.fetch_max(queue_depth as u64, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn completed() {
+    COMPLETED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn failed() {
+    FAILED.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn batch_run(graphs: usize, nnz: usize) {
+    BATCHES.fetch_add(1, Ordering::Relaxed);
+    FUSED_GRAPHS.fetch_add(graphs as u64, Ordering::Relaxed);
+    FUSED_NNZ.fetch_add(nnz as u64, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn pool_hit() {
+    POOL_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn pool_miss() {
+    POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn cache_hit() {
+    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn cache_miss() {
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[inline]
+pub(crate) fn audit_violations(n: usize) {
+    AUDIT_VIOLATIONS.fetch_add(n as u64, Ordering::Relaxed);
+}
+
+impl ServiceCounters {
+    /// Cache hit rate in `[0, 1]`, `0` before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Render as a JSON object (same hand-rolled style as the rest of the
+    /// repo's machine-readable output; all fields are exact integers
+    /// except the derived hit rate).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_failed\":{},",
+                "\"batches_run\":{},\"graphs_fused\":{},\"fused_nnz\":{},",
+                "\"queue_highwater\":{},\"pool_hits\":{},\"pool_misses\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{:.6},",
+                "\"audit_violations\":{}}}"
+            ),
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_failed,
+            self.batches_run,
+            self.graphs_fused,
+            self.fused_nnz,
+            self.queue_highwater,
+            self.pool_hits,
+            self.pool_misses,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_hit_rate(),
+            self.audit_violations,
+        )
+    }
+}
+
+/// Serializes tests (across this crate's modules) that read or write the
+/// global counters; everything else may run in parallel.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _g = test_guard();
+        reset_stats();
+        submitted(3);
+        submitted(1); // highwater keeps the max
+        completed();
+        failed();
+        batch_run(4, 1000);
+        pool_hit();
+        pool_miss();
+        cache_hit();
+        cache_hit();
+        cache_miss();
+        audit_violations(2);
+        let c = counters();
+        assert_eq!(c.jobs_submitted, 2);
+        assert_eq!(c.queue_highwater, 3);
+        assert_eq!(c.jobs_completed, 1);
+        assert_eq!(c.jobs_failed, 1);
+        assert_eq!((c.batches_run, c.graphs_fused, c.fused_nnz), (1, 4, 1000));
+        assert_eq!((c.pool_hits, c.pool_misses), (1, 1));
+        assert_eq!((c.cache_hits, c.cache_misses), (2, 1));
+        assert!((c.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.audit_violations, 2);
+        let json = c.to_json();
+        assert!(json.contains("\"cache_hits\":2"));
+        assert!(json.contains("\"audit_violations\":2"));
+        reset_stats();
+        assert_eq!(counters(), ServiceCounters::default());
+        assert_eq!(counters().cache_hit_rate(), 0.0);
+    }
+}

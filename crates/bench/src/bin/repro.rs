@@ -4,7 +4,7 @@
 //! cargo run --release -p lf-bench --bin repro -- [options] <exp>...
 //!
 //!   <exp>       table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 fig6
-//!               tables figures all
+//!               ablation solvers convergence batch tables figures all
 //!   --scale N   stand-in matrix size (default 20000)
 //!   --full      paper-published sizes (hours of runtime!)
 //!   --out DIR   CSV output directory (default results/)
@@ -22,7 +22,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--check] \
-         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|tables|figures|all>..."
+         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|tables|figures|all>..."
     );
     std::process::exit(2);
 }
@@ -75,13 +75,14 @@ fn main() {
             "fig5" => vec!["fig5"],
             "fig6" => vec!["fig6"],
             "ablation" => vec!["ablation"],
+            "batch" => vec!["batch"],
             "solvers" => vec!["solvers"],
             "convergence" => vec!["convergence"],
             "tables" => vec!["table2", "table3", "table4", "table5"],
             "figures" => vec!["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"],
             "all" => vec![
                 "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
-                "fig5", "fig6", "ablation", "solvers", "convergence",
+                "fig5", "fig6", "ablation", "solvers", "convergence", "batch",
             ],
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -114,6 +115,7 @@ fn main() {
             "fig5" => lf_bench::fig5::run(&opts),
             "fig6" => lf_bench::fig6::run(&opts),
             "ablation" => lf_bench::ablation::run(&opts),
+            "batch" => lf_bench::batch::run(&opts),
             "solvers" => lf_bench::solvers::run(&opts),
             "convergence" => lf_bench::convergence::run(&opts),
             _ => unreachable!(),

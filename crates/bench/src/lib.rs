@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod batch;
 pub mod convergence;
 pub mod solvers;
 pub mod fig1;

@@ -64,6 +64,25 @@ pub fn charge(v: u32, k_iter: u32, p: f64) -> bool {
     (md5_mix(v, k_iter) as f64) < p * (u32::MAX as f64 + 1.0)
 }
 
+/// Per-graph charge key of vertex `v` under `salt`. Salt `0` is the
+/// identity — the key *is* the vertex ID, reproducing the paper's charge
+/// derivation exactly — while a nonzero salt re-keys the vertex through an
+/// extra MD5 mix so independent graphs draw decorrelated charge streams.
+///
+/// This is the hook block-diagonal batching hangs off: a fused run that
+/// charges global vertex `off_i + v` with key `salted_key(v, salt_i)` sees
+/// bit-for-bit the charges a solo run of graph `i` sees under
+/// `FactorConfig::with_charge_salt(salt_i)`, which makes fused and solo
+/// extraction results identical.
+#[inline]
+pub fn salted_key(v: u32, salt: u32) -> u32 {
+    if salt == 0 {
+        v
+    } else {
+        md5_mix(v, salt)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,6 +124,38 @@ mod tests {
     fn extreme_p() {
         assert!((0..100).all(|v| charge(v, 0, 1.0)));
         assert!((0..100).all(|v| !charge(v, 0, 0.0)));
+    }
+
+    #[test]
+    fn salted_key_zero_is_identity() {
+        // Regression: salt 0 must preserve the paper's charge derivation
+        // bit-for-bit, or every pre-batching result changes.
+        for v in [0u32, 1, 7, 4096, u32::MAX] {
+            assert_eq!(salted_key(v, 0), v);
+        }
+        for v in 0..256 {
+            assert_eq!(
+                charge(salted_key(v, 0), 3, 0.5),
+                charge(v, 3, 0.5)
+            );
+        }
+    }
+
+    #[test]
+    fn salted_key_decorrelates() {
+        let plain: Vec<bool> = (0..2048).map(|v| charge(v, 0, 0.5)).collect();
+        for salt in [1u32, 0xdead_beef, 12345] {
+            let salted: Vec<bool> = (0..2048)
+                .map(|v| charge(salted_key(v, salt), 0, 0.5))
+                .collect();
+            let agree = plain.iter().zip(&salted).filter(|(a, b)| a == b).count();
+            // Independent fair coins agree about half the time.
+            assert!((700..1350).contains(&agree), "salt {salt}: {agree}/2048");
+            let pos = salted.iter().filter(|&&c| c).count();
+            assert!((700..1350).contains(&pos), "salt {salt} biased: {pos}/2048");
+        }
+        // Distinct salts give distinct keys (no accidental fixed point).
+        assert_ne!(salted_key(10, 1), salted_key(10, 2));
     }
 
     #[test]

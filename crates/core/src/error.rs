@@ -49,6 +49,14 @@ pub enum PipelineError {
         /// A vertex on the residual cycle.
         vertex: u32,
     },
+    /// An explicit per-vertex charge-key array (fused block-diagonal runs)
+    /// does not have exactly one key per vertex.
+    ChargeKeyCount {
+        /// Number of vertices in the graph.
+        expected: usize,
+        /// Number of keys supplied.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for PipelineError {
@@ -72,6 +80,9 @@ impl std::fmt::Display for PipelineError {
                     "internal invariant violated: vertex {vertex} still lies on a \
                      cycle after cycle breaking"
                 )
+            }
+            PipelineError::ChargeKeyCount { expected, got } => {
+                write!(f, "charge-key array must have one key per vertex: expected {expected}, got {got}")
             }
         }
     }
@@ -103,6 +114,8 @@ mod tests {
         assert!(e.to_string().contains("(1, 2)"));
         let e = PipelineError::ResidualCycle { vertex: 7 };
         assert!(e.to_string().contains("vertex 7"));
+        let e = PipelineError::ChargeKeyCount { expected: 10, got: 9 };
+        assert!(e.to_string().contains("expected 10, got 9"));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::cycles::{break_cycles, CycleReport};
 use crate::error::PipelineError;
 use crate::extract::{extract_tridiagonal, Tridiag};
 use crate::factor::Factor;
-use crate::parallel::{try_parallel_factor, FactorConfig};
+use crate::parallel::FactorConfig;
 use crate::paths::{identify_paths, PathInfo};
 use crate::permute::forest_permutation;
 use lf_kernel::{Device, DeviceStats};
@@ -147,13 +147,40 @@ impl PipelineTimings {
 /// # Errors
 ///
 /// [`PipelineError::NotPathFactor`] if `cfg.n != 2`, plus any error of
-/// [`try_parallel_factor`]; [`PipelineError::ResidualCycle`] if path
+/// [`crate::parallel::try_parallel_factor`]; [`PipelineError::ResidualCycle`] if path
 /// identification still finds a cycle after cycle breaking (an internal
 /// invariant violation, not bad input).
 pub fn extract_linear_forest<T: Scalar>(
     dev: &Device,
     aprime: &Csr<T>,
     cfg: &FactorConfig,
+) -> Result<(LinearForest<T>, PipelineTimings), PipelineError> {
+    extract_linear_forest_with(
+        dev,
+        aprime,
+        cfg,
+        None,
+        &mut crate::parallel::FactorWorkspace::new(),
+    )
+}
+
+/// [`extract_linear_forest`] with full control over the factor stage:
+/// optional explicit per-vertex charge keys (fused block-diagonal runs;
+/// see [`crate::parallel::try_parallel_factor_keyed`]) and a caller-owned
+/// [`crate::parallel::FactorWorkspace`] so repeated extractions — the
+/// batching service's steady state — reuse every scratch buffer.
+///
+/// # Errors
+///
+/// Everything [`extract_linear_forest`] reports, plus
+/// [`PipelineError::ChargeKeyCount`] when `keys` does not have one key per
+/// vertex.
+pub fn extract_linear_forest_with<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+    keys: Option<&[u32]>,
+    ws: &mut crate::parallel::FactorWorkspace<T, 2>,
 ) -> Result<(LinearForest<T>, PipelineTimings), PipelineError> {
     if cfg.n != 2 {
         return Err(PipelineError::NotPathFactor { n: cfg.n });
@@ -165,7 +192,9 @@ pub fn extract_linear_forest<T: Scalar>(
     // The factor stage opens its own "factor" span inside Algorithm 2 (so
     // standalone factor runs are traced too); the remaining stages get
     // their spans here.
-    let (outcome, t_factor) = dev.scoped(|| try_parallel_factor(dev, aprime, cfg));
+    let (outcome, t_factor) = dev.scoped(|| {
+        crate::parallel::try_parallel_factor_with_workspace(dev, aprime, cfg, keys, ws)
+    });
     let outcome = outcome?;
     timings.factor = t_factor;
     let mut factor = outcome.factor;

@@ -55,11 +55,13 @@ pub mod topk;
 pub use error::PipelineError;
 pub use factor::{graph_weight, identity_coverage, weight_coverage, Factor, INVALID};
 pub use forest::{
-    extract_linear_forest, tridiagonal_from_matrix, LinearForest, PipelineTimings, QualityReport,
+    extract_linear_forest, extract_linear_forest_with, tridiagonal_from_matrix, LinearForest,
+    PipelineTimings, QualityReport,
 };
 pub use parallel::{
-    parallel_factor, parallel_factor_with_workspace, try_parallel_factor, FactorConfig,
-    FactorOutcome, FactorWorkspace,
+    parallel_factor, parallel_factor_with_workspace, try_parallel_factor,
+    try_parallel_factor_keyed, try_parallel_factor_with_workspace, FactorConfig, FactorOutcome,
+    FactorWorkspace,
 };
 
 use lf_sparse::{Csr, Scalar};

@@ -16,7 +16,7 @@
 //! Confirmed edges persist across iterations, so `|π(V)|` grows
 //! monotonically toward a maximal factor.
 
-use crate::charge::charge;
+use crate::charge::{charge, salted_key};
 use crate::error::PipelineError;
 use crate::factor::Factor;
 use crate::topk::TopK;
@@ -50,6 +50,16 @@ pub struct FactorConfig {
     /// the dense mode — confirmed rows cannot change — but the proposition
     /// traffic shrinks with the frontier. Orthogonal to [`Self::engine`].
     pub frontier: bool,
+    /// Per-graph charge salt. `0` (the default everywhere) charges on the
+    /// raw vertex ID — the paper's derivation, bit-for-bit. A nonzero salt
+    /// re-keys every vertex through [`crate::charge::salted_key`] before
+    /// charging, giving this graph its own charge stream. Block-diagonal
+    /// batching relies on this: a fused run passes explicit per-vertex
+    /// keys (see [`try_parallel_factor_keyed`]) built from each member
+    /// graph's salt, and each member's solo run under
+    /// [`Self::with_charge_salt`] then charges — and therefore factors —
+    /// identically.
+    pub charge_salt: u32,
 }
 
 impl FactorConfig {
@@ -64,6 +74,7 @@ impl FactorConfig {
             p: 0.5,
             engine: SpmvEngine::SrCsr,
             frontier: false,
+            charge_salt: 0,
         }
     }
 
@@ -104,6 +115,13 @@ impl FactorConfig {
     /// Same configuration with active-frontier execution on or off.
     pub fn with_frontier(mut self, frontier: bool) -> Self {
         self.frontier = frontier;
+        self
+    }
+
+    /// Same configuration with a per-graph charge salt (`0` = the paper's
+    /// unsalted derivation).
+    pub fn with_charge_salt(mut self, charge_salt: u32) -> Self {
+        self.charge_salt = charge_salt;
         self
     }
 }
@@ -366,6 +384,7 @@ fn run<T: Scalar, const K: usize>(
     dev: &Device,
     aprime: &Csr<T>,
     cfg: &FactorConfig,
+    keys: Option<&[u32]>,
     ws: &mut FactorWorkspace<T, K>,
 ) -> FactorOutcome<T> {
     let nv = aprime.nrows();
@@ -402,7 +421,21 @@ fn run<T: Scalar, const K: usize>(
         let charging = k % cfg.m != cfg.k_m;
         if charging {
             let p = cfg.p;
-            launch::map1(dev, "charge", charges, 0, |v| charge(v as u32, k as u32, p));
+            match keys {
+                // Explicit per-vertex keys (fused block-diagonal run):
+                // one extra u32 read per vertex.
+                Some(keys) => {
+                    launch::map1(dev, "charge", charges, keys.len() * 4, |v| {
+                        charge(keys[v], k as u32, p)
+                    });
+                }
+                None => {
+                    let salt = cfg.charge_salt;
+                    launch::map1(dev, "charge", charges, 0, |v| {
+                        charge(salted_key(v as u32, salt), k as u32, p)
+                    });
+                }
+            }
         }
         {
             // |π'(w)| = n lookup table (line 15)
@@ -518,7 +551,7 @@ fn proposition_stats_impl<T: Scalar, const K: usize>(
     let nv = aprime.nrows();
     // Warm-up iterations produce the k > 0 confirmed-edge state.
     let mut ws = FactorWorkspace::<T, K>::new();
-    let warm = run::<T, K>(dev, aprime, &cfg.with_max_iters(warmup), &mut ws);
+    let warm = run::<T, K>(dev, aprime, &cfg.with_max_iters(warmup), None, &mut ws);
     let mut confirmed: Vec<TopK<T, K>> = vec![TopK::empty(); nv];
     for (v, slot) in confirmed.iter_mut().enumerate() {
         for (c, w) in warm.factor.partners(v) {
@@ -597,23 +630,81 @@ pub fn try_parallel_factor<T: Scalar>(
     aprime: &Csr<T>,
     cfg: &FactorConfig,
 ) -> Result<FactorOutcome<T>, PipelineError> {
+    try_parallel_factor_keyed(dev, aprime, cfg, None)
+}
+
+/// [`try_parallel_factor`] with explicit per-vertex charge keys, the fused
+/// block-diagonal entry point: `keys[v]` replaces the vertex ID in the
+/// charge hash, so a disjoint-union graph whose keys are
+/// `salted_key(local_v, salt_of_block)` charges every block exactly as the
+/// blocks' solo runs would.
+///
+/// # Errors
+///
+/// Everything [`try_parallel_factor`] reports, plus
+/// [`PipelineError::ChargeKeyCount`] when `keys` is present but does not
+/// have one key per vertex.
+pub fn try_parallel_factor_keyed<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+    keys: Option<&[u32]>,
+) -> Result<FactorOutcome<T>, PipelineError> {
     if aprime.nrows() != aprime.ncols() {
         return Err(PipelineError::NonSquareMatrix {
             nrows: aprime.nrows(),
             ncols: aprime.ncols(),
         });
     }
+    if let Some(k) = keys {
+        if k.len() != aprime.nrows() {
+            return Err(PipelineError::ChargeKeyCount {
+                expected: aprime.nrows(),
+                got: k.len(),
+            });
+        }
+    }
     Ok(match cfg.n {
-        1 => run::<T, 1>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        2 => run::<T, 2>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        3 => run::<T, 3>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        4 => run::<T, 4>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        5 => run::<T, 5>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        6 => run::<T, 6>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        7 => run::<T, 7>(dev, aprime, cfg, &mut FactorWorkspace::new()),
-        8 => run::<T, 8>(dev, aprime, cfg, &mut FactorWorkspace::new()),
+        1 => run::<T, 1>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        2 => run::<T, 2>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        3 => run::<T, 3>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        4 => run::<T, 4>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        5 => run::<T, 5>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        6 => run::<T, 6>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        7 => run::<T, 7>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
+        8 => run::<T, 8>(dev, aprime, cfg, keys, &mut FactorWorkspace::new()),
         n => return Err(PipelineError::UnsupportedDegreeBound { n }),
     })
+}
+
+/// [`try_parallel_factor_keyed`] with a caller-owned workspace whose degree
+/// bound `K` is checked against `cfg.n` — the batching service's factor
+/// entry: keys, workspace reuse, and typed errors in one call.
+pub fn try_parallel_factor_with_workspace<T: Scalar, const K: usize>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+    keys: Option<&[u32]>,
+    ws: &mut FactorWorkspace<T, K>,
+) -> Result<FactorOutcome<T>, PipelineError> {
+    if aprime.nrows() != aprime.ncols() {
+        return Err(PipelineError::NonSquareMatrix {
+            nrows: aprime.nrows(),
+            ncols: aprime.ncols(),
+        });
+    }
+    if cfg.n != K {
+        return Err(PipelineError::UnsupportedDegreeBound { n: cfg.n });
+    }
+    if let Some(k) = keys {
+        if k.len() != aprime.nrows() {
+            return Err(PipelineError::ChargeKeyCount {
+                expected: aprime.nrows(),
+                got: k.len(),
+            });
+        }
+    }
+    Ok(run::<T, K>(dev, aprime, cfg, keys, ws))
 }
 
 /// [`try_parallel_factor`] for call sites with statically valid
@@ -645,7 +736,7 @@ pub fn parallel_factor_with_workspace<T: Scalar, const K: usize>(
         "workspace degree bound K = {K} must equal cfg.n = {}",
         cfg.n
     );
-    run::<T, K>(dev, aprime, cfg, ws)
+    run::<T, K>(dev, aprime, cfg, None, ws)
 }
 
 #[cfg(test)]
@@ -657,6 +748,45 @@ mod tests {
     use lf_sparse::random::random_symmetric;
     use lf_sparse::stencil::{grid2d, ANISO1, FIVE_POINT};
     use lf_sparse::Coo;
+
+    #[test]
+    fn charge_salt_zero_is_legacy_and_keys_match_salt() {
+        // Regression for the per-graph charge salt: salt 0 must reproduce
+        // the pre-salt pipeline bit-for-bit, and explicit per-vertex keys
+        // built with `salted_key` must reproduce the salted solo run —
+        // the identity block-diagonal fusion is built on.
+        let a = prepare_undirected(&random_symmetric::<f64>(400, 5.0, 0.1, 1.0, 11));
+        let dev = Device::default();
+        let cfg = FactorConfig::paper_default(2);
+        let legacy = parallel_factor(&dev, &a, &cfg);
+        assert_eq!(cfg.charge_salt, 0, "default salt is the identity");
+        let salt0 = parallel_factor(&dev, &a, &cfg.with_charge_salt(0));
+        assert_eq!(legacy.factor, salt0.factor);
+
+        let salt = 0x00c0_ffee;
+        let salted = parallel_factor(&dev, &a, &cfg.with_charge_salt(salt));
+        let keys: Vec<u32> = (0..400).map(|v| crate::charge::salted_key(v, salt)).collect();
+        let keyed = try_parallel_factor_keyed(&dev, &a, &cfg, Some(&keys)).unwrap();
+        assert_eq!(salted.factor, keyed.factor);
+        assert_eq!(salted.iterations, keyed.iterations);
+        // A different salt draws a different charge stream: on a random
+        // graph with this many tie-less weights the factor changes.
+        assert_ne!(salted.factor, legacy.factor, "salt had no effect");
+    }
+
+    #[test]
+    fn keyed_factor_rejects_bad_key_count() {
+        let a = prepare_undirected(&random_symmetric::<f64>(50, 3.0, 0.1, 1.0, 3));
+        let keys = vec![0u32; 49];
+        let err = try_parallel_factor_keyed(
+            &Device::default(),
+            &a,
+            &FactorConfig::paper_default(2),
+            Some(&keys),
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::ChargeKeyCount { expected: 50, got: 49 });
+    }
 
     #[test]
     fn fig1_worked_example() {

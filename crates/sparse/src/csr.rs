@@ -34,6 +34,46 @@ impl std::fmt::Display for CsrError {
 
 impl std::error::Error for CsrError {}
 
+/// Why a block-diagonal disjoint union of CSR matrices could not be formed.
+///
+/// Index arithmetic in [`Csr::disjoint_union`] is overflow-checked: a fused
+/// batch whose combined shape no longer fits the CSR index types is rejected
+/// with a typed error rather than a wrap-around or a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UnionError {
+    /// The fused column count would exceed `u32::MAX`, the largest column
+    /// index representable in [`Csr`]'s `u32` index arrays. `part` is the
+    /// index of the matrix whose columns first pushed the running total
+    /// over the limit.
+    ColumnOverflow {
+        /// Index (into the input slice) of the overflowing part.
+        part: usize,
+    },
+    /// The fused row count or entry count overflowed `usize`. `part` is
+    /// the index of the matrix that overflowed the running total.
+    SizeOverflow {
+        /// Index (into the input slice) of the overflowing part.
+        part: usize,
+    },
+}
+
+impl std::fmt::Display for UnionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnionError::ColumnOverflow { part } => write!(
+                f,
+                "disjoint union: fused column count exceeds u32 index space at part {part}"
+            ),
+            UnionError::SizeOverflow { part } => write!(
+                f,
+                "disjoint union: fused row or entry count overflows usize at part {part}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnionError {}
+
 /// Sparse matrix in CSR format with 0-based `u32` column indices.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Csr<T> {
@@ -103,6 +143,47 @@ impl<T: Scalar> Csr<T> {
             col_idx: Vec::new(),
             vals: Vec::new(),
         }
+    }
+
+    /// Block-diagonal disjoint union: stack `parts` along the diagonal,
+    /// offsetting each part's column indices by the columns before it.
+    /// No cross-block entries are created, so the result is the adjacency
+    /// matrix of the disjoint union of the parts' graphs — the fused form
+    /// used to batch many small extractions through one kernel pipeline.
+    ///
+    /// Index arithmetic is overflow-checked; see [`UnionError`].
+    pub fn disjoint_union(parts: &[&Csr<T>]) -> Result<Csr<T>, UnionError> {
+        let mut nrows = 0usize;
+        let mut ncols = 0usize;
+        let mut nnz = 0usize;
+        for (part, p) in parts.iter().enumerate() {
+            nrows = nrows
+                .checked_add(p.nrows)
+                .ok_or(UnionError::SizeOverflow { part })?;
+            nnz = nnz
+                .checked_add(p.nnz())
+                .ok_or(UnionError::SizeOverflow { part })?;
+            ncols = ncols
+                .checked_add(p.ncols)
+                .ok_or(UnionError::SizeOverflow { part })?;
+            if ncols > u32::MAX as usize {
+                return Err(UnionError::ColumnOverflow { part });
+            }
+        }
+        let mut row_ptr = Vec::with_capacity(nrows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut vals = Vec::with_capacity(nnz);
+        let mut entry_base = 0usize;
+        let mut col_off = 0u32;
+        for p in parts {
+            row_ptr.extend(p.row_ptr[1..].iter().map(|&e| entry_base + e));
+            col_idx.extend(p.col_idx.iter().map(|&c| c + col_off));
+            vals.extend_from_slice(&p.vals);
+            entry_base += p.nnz();
+            col_off += p.ncols as u32;
+        }
+        Ok(Csr { nrows, ncols, row_ptr, col_idx, vals })
     }
 
     /// Number of rows.
@@ -484,6 +565,55 @@ mod tests {
         coo.push_sym(0, 1, -1.0);
         coo.push_sym(1, 2, -1.0);
         Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn disjoint_union_block_diagonal() {
+        let a = small();
+        let mut coo = Coo::new(2, 2);
+        coo.push_sym(0, 1, 5.0);
+        let b = Csr::from_coo(coo);
+        let u = Csr::<f64>::disjoint_union(&[&a, &b]).unwrap();
+        assert_eq!(u.nrows(), 5);
+        assert_eq!(u.ncols(), 5);
+        assert_eq!(u.nnz(), a.nnz() + b.nnz());
+        // Block A is untouched, block B's indices are shifted by 3.
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(u.get(i, j), a.get(i, j));
+            }
+        }
+        assert_eq!(u.get(3, 4), 5.0);
+        assert_eq!(u.get(4, 3), 5.0);
+        // No cross-block entries.
+        assert!(u.iter().all(|(i, j, _)| (i < 3) == (j < 3)));
+        assert!(u.is_symmetric());
+    }
+
+    #[test]
+    fn disjoint_union_empty_and_identity() {
+        let a = small();
+        let empty = Csr::<f64>::disjoint_union(&[]).unwrap();
+        assert_eq!((empty.nrows(), empty.ncols(), empty.nnz()), (0, 0, 0));
+        let one = Csr::<f64>::disjoint_union(&[&a]).unwrap();
+        assert_eq!(one, a);
+        let z = Csr::<f64>::zeros(2, 2);
+        let u = Csr::<f64>::disjoint_union(&[&z, &a, &z]).unwrap();
+        assert_eq!(u.nrows(), 7);
+        assert_eq!(u.nnz(), a.nnz());
+        assert_eq!(u.get(2, 3), a.get(0, 1));
+    }
+
+    #[test]
+    fn disjoint_union_rejects_u32_column_overflow() {
+        // Two halves that individually fit but whose fused column count
+        // exceeds the u32 column-index space. Zero-entry matrices keep
+        // the test cheap: only the index bookkeeping is exercised.
+        let big = Csr::<f64>::zeros(0, 3_000_000_000);
+        assert_eq!(
+            Csr::<f64>::disjoint_union(&[&big, &big]).unwrap_err(),
+            UnionError::ColumnOverflow { part: 1 }
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod stencil;
 
 pub use collection::{Collection, PaperStats};
 pub use coo::Coo;
-pub use csr::{subset_row_ptr, Csr, CsrError, CsrRowView};
+pub use csr::{subset_row_ptr, Csr, CsrError, CsrRowView, UnionError};
 pub use mm::{read_coo, read_csr_path, MmError};
 pub use gespmv::{
     gespmv, gespmv_rowpar, gespmv_srcsr, gespmv_srcsr_with, gespmv_with, AxpyOps, GeSpmvMatrix,

@@ -9,6 +9,8 @@
 //!               [--solver bicgstab|gmres|cg] [--tol T] [--max-iters K]
 //! lf check      <input>                      # checked end-to-end extraction
 //! lf check      --suite [--cases N] [--size N]   # differential oracle suite
+//! lf batch      <dir | in1,in2,...> [--repeat R] [--nnz-budget B]
+//!               [--max-jobs J] [--json]      # fused multi-graph extraction
 //! ```
 //!
 //! Every subcommand additionally accepts the global `--trace <out.json>`
@@ -31,7 +33,8 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf <stats|factor|forest|tridiag|solve|check> <input.mtx|gen:NAME[:N]> [options]\n\
+        "usage: lf <stats|factor|forest|tridiag|solve|check|batch> <input.mtx|gen:NAME[:N]> [options]\n\
+         batch input: a directory of .mtx files or a comma-separated input list\n\
          global flags: --trace <out.json>, --check\n\
          run `lf help` for details"
     );
@@ -120,6 +123,155 @@ fn write_trace(path: &str, sink: &RecordingSink) {
     eprintln!("trace written to {path} (summary: {spath}); open the trace in https://ui.perfetto.dev");
 }
 
+/// Resolve `lf batch`'s input spec: a directory (all `.mtx` files inside,
+/// sorted by name) or a comma-separated list of inputs (each a path or a
+/// `gen:NAME[:N]` spec).
+fn batch_inputs(spec: &str) -> Vec<String> {
+    let dir = std::path::Path::new(spec);
+    if dir.is_dir() {
+        let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| fail(format!("cannot read directory {spec}: {e}")))
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "mtx"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            fail(format!("no .mtx files in {spec}"));
+        }
+        paths
+            .into_iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect()
+    } else {
+        spec.split(',')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+/// `lf batch`: submit every input to the extraction service, drain it, and
+/// report per-job outcomes plus the service counters. Returns whether all
+/// jobs succeeded.
+fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
+    use linear_forest::batch::{BatchConfig, ExtractionService};
+
+    let names = batch_inputs(spec);
+    let repeat: usize = flag_val(rest, "--repeat")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+        .max(1);
+    let mut cfg = BatchConfig {
+        check: checked,
+        ..BatchConfig::default()
+    };
+    if let Some(b) = flag_val(rest, "--nnz-budget").and_then(|s| s.parse().ok()) {
+        cfg.nnz_budget = b;
+    }
+    if let Some(j) = flag_val(rest, "--max-jobs").and_then(|s| s.parse().ok()) {
+        cfg.max_batch_jobs = j;
+    }
+    cfg.factor = parse_cfg(rest, 2).with_frontier(cfg.factor.frontier);
+    let mut svc = ExtractionService::new(cfg).unwrap_or_else(|e| fail(e));
+
+    let graphs: Vec<(String, Csr<f64>)> =
+        names.iter().map(|n| (n.clone(), load(n))).collect();
+    let now = std::time::Instant::now();
+    let mut outcomes = Vec::new();
+    for round in 0..repeat {
+        for (name, g) in &graphs {
+            let label = if repeat > 1 {
+                format!("{name}#{round}")
+            } else {
+                name.clone()
+            };
+            if let Err(e) = svc.submit(label.clone(), g.clone(), now) {
+                // Bounded queue: make room, then the submission must fit.
+                outcomes.extend(svc.drain(dev));
+                let _ = e;
+                svc.submit(label, g.clone(), now).unwrap_or_else(|e| fail(e));
+            }
+        }
+        // Drain per round so round 2+ resubmissions hit the CSR cache.
+        outcomes.extend(svc.drain(dev));
+    }
+
+    let counters = linear_forest::batch::counters();
+    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+    if has_flag(rest, "--json") {
+        let jobs: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                let common = format!(
+                    "\"id\":{},\"name\":\"{}\",\"batch\":{},\"salt\":{},\
+                     \"cache_hit\":{},\"nnz\":{}",
+                    o.id,
+                    json::escape(&o.name),
+                    o.batch,
+                    o.salt,
+                    o.cache_hit,
+                    o.nnz,
+                );
+                match &o.result {
+                    Ok(r) => format!(
+                        "{{{common},\"ok\":true,\"paths\":{},\"coverage\":{},\
+                         \"cycles_broken\":{},\"mean_path_len\":{}}}",
+                        r.quality.num_paths,
+                        json::number(r.quality.coverage),
+                        r.quality.cycles_broken,
+                        json::number(r.quality.mean_path_len),
+                    ),
+                    Err(e) => format!(
+                        "{{{common},\"ok\":false,\"error\":\"{}\"}}",
+                        json::escape(&e.to_string())
+                    ),
+                }
+            })
+            .collect();
+        println!(
+            "{{\"jobs\":[{}],\"service\":{}}}",
+            jobs.join(","),
+            counters.to_json()
+        );
+    } else {
+        for o in &outcomes {
+            match &o.result {
+                Ok(r) => println!(
+                    "  [batch {}] {}: {} paths, coverage {:.4}, {} cycles broken{}",
+                    o.batch,
+                    o.name,
+                    r.quality.num_paths,
+                    r.quality.coverage,
+                    r.quality.cycles_broken,
+                    if o.cache_hit { " (cached)" } else { "" },
+                ),
+                Err(e) => println!("  [batch {}] {}: FAILED: {e}", o.batch, o.name),
+            }
+        }
+        println!(
+            "{} job(s) in {} batch(es): {} ok, {} failed; fused nnz {}, \
+             queue high-water {}, pool {}/{} hit/miss, cache {}/{} hit/miss",
+            outcomes.len(),
+            counters.batches_run,
+            outcomes.len() - failed,
+            failed,
+            counters.fused_nnz,
+            counters.queue_highwater,
+            counters.pool_hits,
+            counters.pool_misses,
+            counters.cache_hits,
+            counters.cache_misses,
+        );
+        if checked {
+            println!(
+                "check: {} audit violation(s) across scattered results",
+                counters.audit_violations
+            );
+        }
+    }
+    failed == 0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
@@ -155,6 +307,18 @@ fn main() {
         return;
     }
 
+    // `lf batch` takes a directory or input list, not a single matrix.
+    if cmd == "batch" {
+        let ok = run_batch(&dev, input, rest, checked);
+        if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+            write_trace(path, sink);
+        }
+        if !ok {
+            exit(1);
+        }
+        return;
+    }
+
     let a = load(input);
 
     match cmd {
@@ -177,7 +341,7 @@ fn main() {
                      \"pattern_symmetric\":{},\"bandwidth\":{},\
                      \"min_weight\":{},\"max_weight\":{},\
                      \"distinct_weights\":{},\"top_2n_weight_fraction\":{},\
-                     \"identity_coverage\":{}}}",
+                     \"identity_coverage\":{},\"service\":{}}}",
                     json::escape(input),
                     s.n,
                     s.nnz,
@@ -192,6 +356,10 @@ fn main() {
                     s.distinct_weights,
                     json::number(s.top_2n_weight_fraction),
                     json::number(identity_coverage(&a)),
+                    // Batch-service queue/pool/cache counters: zeros in a
+                    // fresh process, live numbers when embedded in a
+                    // service (`lf batch --json` reports the same object).
+                    linear_forest::batch::counters().to_json(),
                 );
             } else {
                 println!("matrix: {input}");

@@ -23,6 +23,7 @@
 //! | [`core`] | [0,n]-factors, bidirectional scan, linear-forest pipeline |
 //! | [`solver`] | BiCGStab/CG, tridiagonal & 2×2 block solves, preconditioners |
 //! | [`check`] | stage invariant audits, checked pipeline, differential oracles |
+//! | [`batch`] | block-diagonal multi-graph fusion, job scheduler, workspace/CSR pools |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 //! assert!(stats.converged);
 //! ```
 
+pub use lf_batch as batch;
 pub use lf_check as check;
 pub use lf_core as core;
 pub use lf_kernel as kernel;

@@ -1,0 +1,124 @@
+//! Batched extraction must be invisible: submitting K graphs to the
+//! [`ExtractionService`] and fusing them into one block-diagonal run has
+//! to produce exactly the forests K solo pipelines produce — same factor
+//! slots, paths, permutations, removed cycle edges, and quality report —
+//! on random tie-heavy graphs where any offset slip in a tie-break would
+//! surface. (`factor_iterations` is the one deliberate exception: the
+//! fused run detects maximality globally, so it reports the fused count.)
+
+use linear_forest::batch::{reset_stats, BatchConfig, ExtractionService, FusedBatch};
+use linear_forest::prelude::*;
+use linear_forest::sparse::Coo;
+use proptest::prelude::*;
+use std::time::Instant;
+
+/// Random symmetric graph with deliberate degeneracy: isolated vertices
+/// and weights quantized to one decimal (many exact duplicates).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..20),
+            0..(n * 3),
+        )
+        .prop_map(|es| {
+            es.into_iter()
+                .map(|(u, v, w)| (u, v, w as f64 * 0.1))
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for &(u, v, w) in edges {
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            coo.push_sym(u, v, w);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// End to end through the service: K submissions drained as one batch
+    /// equal K solo pipelines run with each job's content salt.
+    #[test]
+    fn service_batch_equals_solo_runs(
+        graphs in proptest::collection::vec(graph_strategy(), 2..6),
+        frontier_bit in 0u32..2,
+    ) {
+        let frontier = frontier_bit == 1;
+        reset_stats();
+        let graphs: Vec<Csr<f64>> =
+            graphs.iter().map(|(n, es)| build(*n, es)).collect();
+        let dev = Device::default();
+        let cfg = FactorConfig::paper_default(2).with_frontier(frontier);
+        let mut svc = ExtractionService::new(BatchConfig {
+            max_batch_jobs: graphs.len(),
+            factor: cfg,
+            ..BatchConfig::default()
+        })
+        .unwrap();
+        let now = Instant::now();
+        for (i, g) in graphs.iter().enumerate() {
+            svc.submit(format!("g{i}"), g.clone(), now).unwrap();
+        }
+        let outcomes = svc.drain(&dev);
+        prop_assert_eq!(outcomes.len(), graphs.len());
+
+        for (o, g) in outcomes.iter().zip(&graphs) {
+            let got = o.result.as_ref().expect("valid job succeeds");
+            // the solo equivalent: same preparation, the job's own salt
+            let ap = prepare_undirected(g);
+            let (solo, _) = extract_linear_forest(
+                &dev,
+                &ap,
+                &cfg.with_charge_salt(o.salt),
+            )
+            .unwrap();
+            prop_assert_eq!(&got.forest.factor, &solo.factor);
+            prop_assert_eq!(&got.forest.paths, &solo.paths);
+            prop_assert_eq!(&got.forest.perm, &solo.perm);
+            prop_assert_eq!(&got.forest.cycles.removed, &solo.cycles.removed);
+            prop_assert_eq!(&got.quality, &solo.quality_report(g, None));
+        }
+    }
+
+    /// The fusion layer alone: fuse + one extraction + scatter equals solo
+    /// extractions of the prepared parts under the same salts.
+    #[test]
+    fn fused_scatter_equals_solo_extractions(
+        graphs in proptest::collection::vec(graph_strategy(), 2..5),
+    ) {
+        let prepared: Vec<Csr<f64>> = graphs
+            .iter()
+            .map(|(n, es)| prepare_undirected(&build(*n, es)))
+            .collect();
+        let parts: Vec<&Csr<f64>> = prepared.iter().collect();
+        let salts = FusedBatch::content_salts(&parts);
+        let fused = FusedBatch::fuse(&parts, &salts).unwrap();
+        let dev = Device::default();
+        let cfg = FactorConfig::paper_default(2);
+        let (forest, _) = linear_forest::core::extract_linear_forest_with(
+            &dev,
+            &fused.graph,
+            &cfg,
+            Some(&fused.charge_keys),
+            &mut linear_forest::core::FactorWorkspace::new(),
+        )
+        .unwrap();
+        let scattered = linear_forest::batch::scatter_forests(&forest, &fused.offsets);
+        prop_assert_eq!(scattered.len(), prepared.len());
+        for ((got, p), &salt) in scattered.iter().zip(&prepared).zip(&salts) {
+            let (solo, _) =
+                extract_linear_forest(&dev, p, &cfg.with_charge_salt(salt)).unwrap();
+            prop_assert_eq!(&got.factor, &solo.factor);
+            prop_assert_eq!(&got.paths, &solo.paths);
+            prop_assert_eq!(&got.perm, &solo.perm);
+            prop_assert_eq!(&got.cycles.removed, &solo.cycles.removed);
+        }
+    }
+}
