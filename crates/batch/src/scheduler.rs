@@ -275,22 +275,32 @@ impl ExtractionService {
             submitted_at: now,
         });
         stats::submitted(self.queue.len());
+        record_queue_depth(self.queue.len());
         Ok(id)
     }
 
     /// Whether a batch would close right now (budget, count, or deadline).
     pub fn batch_ready(&self, now: Instant) -> bool {
+        self.close_reason(now).is_some()
+    }
+
+    /// Why a batch would close right now: `"count"` (job cap), `"nnz"`
+    /// (budget full), or `"deadline"` (oldest job waited too long) — the
+    /// first matching rule, in that priority order. `None` means the queue
+    /// keeps accumulating.
+    pub fn close_reason(&self, now: Instant) -> Option<&'static str> {
         if self.queue.is_empty() {
-            return false;
+            return None;
         }
         if self.queue.len() >= self.cfg.max_batch_jobs {
-            return true;
+            return Some("count");
         }
         let nnz: usize = self.queue.iter().map(Job::nnz).sum();
         if nnz >= self.cfg.nnz_budget {
-            return true;
+            return Some("nnz");
         }
-        now.duration_since(self.queue[0].submitted_at) >= self.cfg.deadline
+        (now.duration_since(self.queue[0].submitted_at) >= self.cfg.deadline)
+            .then_some("deadline")
     }
 
     /// Run batches while one is ready at time `now`; returns the outcomes
@@ -298,7 +308,8 @@ impl ExtractionService {
     /// their deadline.
     pub fn poll(&mut self, dev: &Device, now: Instant) -> Vec<JobOutcome> {
         let mut out = Vec::new();
-        while self.batch_ready(now) {
+        while let Some(reason) = self.close_reason(now) {
+            record_close(reason);
             let jobs = self.form_batch();
             out.extend(self.run_batch(dev, jobs));
         }
@@ -309,6 +320,7 @@ impl ExtractionService {
     pub fn drain(&mut self, dev: &Device) -> Vec<JobOutcome> {
         let mut out = Vec::new();
         while !self.queue.is_empty() {
+            record_close("drain");
             let jobs = self.form_batch();
             out.extend(self.run_batch(dev, jobs));
         }
@@ -378,6 +390,23 @@ impl ExtractionService {
         };
 
         stats::batch_run(valid.len(), fused.graph.nnz());
+        record_queue_depth(self.queue.len());
+        if lf_metrics::enabled() {
+            use lf_metrics::Unit;
+            let m = lf_metrics::global();
+            m.histogram(
+                "lf_batch_jobs_per_batch",
+                "Jobs fused into each executed batch.",
+                Unit::Count,
+            )
+            .record(valid.len() as u64);
+            m.histogram(
+                "lf_batch_fused_nnz",
+                "nnz of the fused block-diagonal graph per batch.",
+                Unit::Count,
+            )
+            .record(fused.graph.nnz() as u64);
+        }
         if tracer.is_active() {
             tracer.metric("batch_jobs", valid.len() as f64);
             tracer.metric("fused_nnz", fused.graph.nnz() as f64);
@@ -451,6 +480,28 @@ impl ExtractionService {
     }
 }
 
+/// Count one batch close in the metrics registry, by reason.
+fn record_close(reason: &'static str) {
+    if lf_metrics::enabled() {
+        lf_metrics::global()
+            .counter_with(
+                "lf_batch_close_total",
+                "Batches closed, by trigger (count cap, nnz budget, deadline, drain).",
+                ("reason", reason),
+            )
+            .inc();
+    }
+}
+
+/// Publish the current queue depth gauge.
+fn record_queue_depth(depth: usize) {
+    if lf_metrics::enabled() {
+        lf_metrics::global()
+            .gauge("lf_batch_queue_depth", "Jobs waiting in the submission queue.")
+            .set(depth as f64);
+    }
+}
+
 /// Scan a prepared graph for non-finite weights (NaN poisons every weight
 /// comparison downstream; better a typed error at the door).
 fn validate_finite(p: Csr<f64>) -> Result<Csr<f64>, PipelineError> {
@@ -469,6 +520,27 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome
     match &result {
         Ok(_) => stats::completed(),
         Err(_) => stats::failed(),
+    }
+    if lf_metrics::enabled() {
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(JobError::Pipeline(_)) => "pipeline",
+            Err(JobError::Union(_)) => "union",
+            Err(JobError::Audit { .. }) => "audit",
+        };
+        let m = lf_metrics::global();
+        m.counter_with(
+            "lf_batch_jobs_total",
+            "Finished jobs, by outcome (ok or the job's error kind).",
+            ("outcome", outcome),
+        )
+        .inc();
+        m.histogram(
+            "lf_batch_job_seconds",
+            "Submit-to-outcome latency per job.",
+            lf_metrics::Unit::Nanos,
+        )
+        .record_f64(j.submitted_at.elapsed().as_nanos() as f64);
     }
     let nnz = j.nnz();
     JobOutcome {
@@ -649,6 +721,43 @@ mod tests {
             assert_eq!(got.forest.paths, solo.paths);
             assert_eq!(got.forest.perm, solo.perm);
             assert_eq!(got.quality, solo.quality_report(g, None));
+        }
+    }
+
+    #[test]
+    fn service_feeds_metrics_registry_when_enabled() {
+        let _g = crate::stats::test_guard();
+        crate::stats::reset_stats(); // also clears the metrics registry
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let now = t0();
+        lf_metrics::enable();
+        s.submit("ok1", random_symmetric(30, 3.0, 0.1, 1.0, 70), now).unwrap();
+        s.submit("bad", Csr::zeros(2, 3), now).unwrap();
+        let out = s.drain(&dev);
+        lf_metrics::disable();
+        assert_eq!(out.len(), 2);
+        let snap = lf_metrics::global().snapshot();
+        let family = |n: &str| snap.families.iter().find(|f| f.name == n);
+        let jobs = family("lf_batch_jobs_total").expect("job outcome counters");
+        let count_of = |label: &str| {
+            jobs.series
+                .iter()
+                .find(|x| x.label.as_deref() == Some(label))
+                .map(|x| match x.value {
+                    lf_metrics::ValueSnapshot::Counter(n) => n,
+                    _ => 0,
+                })
+        };
+        assert_eq!(count_of("ok"), Some(1));
+        assert_eq!(count_of("pipeline"), Some(1));
+        let closes = family("lf_batch_close_total").expect("close reason counters");
+        assert!(closes
+            .series
+            .iter()
+            .any(|x| x.label.as_deref() == Some("drain")));
+        for n in ["lf_batch_queue_depth", "lf_batch_jobs_per_batch", "lf_batch_job_seconds"] {
+            assert!(family(n).is_some(), "missing family {n}");
         }
     }
 

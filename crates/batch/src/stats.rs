@@ -27,9 +27,12 @@ macro_rules! counters {
             }
         }
 
-        /// Zero all counters (bench harnesses call this between batches).
+        /// Zero all counters and drop every family in the process-wide
+        /// lf-metrics registry (bench harnesses call this between batches
+        /// so neither view is cumulative across reps).
         pub fn reset_stats() {
             $($name.store(0, Ordering::Relaxed);)+
+            lf_metrics::global().reset();
         }
     };
 }
@@ -192,5 +195,23 @@ mod tests {
         reset_stats();
         assert_eq!(counters(), ServiceCounters::default());
         assert_eq!(counters().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn reset_stats_clears_metrics_registry() {
+        let _g = test_guard();
+        lf_metrics::global()
+            .counter("lf_batch_reset_probe_total", "probe")
+            .inc();
+        assert!(!lf_metrics::global().snapshot().families.is_empty());
+        reset_stats();
+        assert!(
+            !lf_metrics::global()
+                .snapshot()
+                .families
+                .iter()
+                .any(|f| f.name == "lf_batch_reset_probe_total"),
+            "reset_stats must clear the lf-metrics registry"
+        );
     }
 }

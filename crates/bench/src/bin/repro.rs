@@ -4,15 +4,22 @@
 //! cargo run --release -p lf-bench --bin repro -- [options] <exp>...
 //!
 //!   <exp>       table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 fig6
-//!               ablation solvers convergence batch tables figures all
+//!               ablation solvers convergence batch gate tables figures all
 //!   --scale N   stand-in matrix size (default 20000)
 //!   --full      paper-published sizes (hours of runtime!)
 //!   --out DIR   CSV output directory (default results/)
 //!   --json      also emit machine-readable BENCH_<exp>.json files
 //!   --trace F   record all experiments into Chrome trace F
 //!               (+ per-phase rollup F with .summary.json suffix)
+//!   --metrics F enable the lf-metrics registry and write its final
+//!               snapshot to F (Prometheus text; JSON if F ends in .json)
 //!   --check     audited preflight: run the checked pipeline on
 //!               representative matrices before any experiment
+//!
+//! gate options (see lf_bench::gate):
+//!   --compare F    compare against baseline F instead of writing one
+//!   --tolerance T  relative regression tolerance (default 0.05)
+//!   --inject S     synthetic model-time slowdown (CI negative test)
 //! ```
 
 use lf_bench::Opts;
@@ -21,16 +28,19 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--check] \
-         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|tables|figures|all>..."
+        "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--metrics F] \
+         [--check] [--compare F] [--tolerance T] [--inject S] \
+         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|gate|tables|figures|all>..."
     );
     std::process::exit(2);
 }
 
 fn main() {
     let mut opts = Opts::default();
+    let mut gate = lf_bench::gate::GateOpts::default();
     let mut cmds: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -49,10 +59,31 @@ fn main() {
             "--trace" => {
                 trace_path = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--metrics" => {
+                metrics_path = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--compare" => {
+                gate.compare = Some(args.next().map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--tolerance" => {
+                gate.tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--inject" => {
+                gate.inject = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--help" | "-h" => usage(),
             c if !c.starts_with('-') => cmds.push(c.to_string()),
             _ => usage(),
         }
+    }
+    if metrics_path.is_some() {
+        lf_metrics::enable();
     }
     if cmds.is_empty() {
         usage();
@@ -76,6 +107,7 @@ fn main() {
             "fig6" => vec!["fig6"],
             "ablation" => vec!["ablation"],
             "batch" => vec!["batch"],
+            "gate" => vec!["gate"],
             "solvers" => vec!["solvers"],
             "convergence" => vec!["convergence"],
             "tables" => vec!["table2", "table3", "table4", "table5"],
@@ -97,6 +129,7 @@ fn main() {
             std::process::exit(1);
         }
     }
+    let mut gate_failed = false;
     for (i, exp) in list.iter().enumerate() {
         if i > 0 {
             println!("\n{}\n", "=".repeat(78));
@@ -116,6 +149,7 @@ fn main() {
             "fig6" => lf_bench::fig6::run(&opts),
             "ablation" => lf_bench::ablation::run(&opts),
             "batch" => lf_bench::batch::run(&opts),
+            "gate" => gate_failed |= !lf_bench::gate::run(&opts, &gate),
             "solvers" => lf_bench::solvers::run(&opts),
             "convergence" => lf_bench::convergence::run(&opts),
             _ => unreachable!(),
@@ -141,5 +175,23 @@ fn main() {
             "trace written to {path} (summary: {spath}); open the trace in \
              https://ui.perfetto.dev"
         );
+    }
+
+    if let Some(path) = metrics_path.as_deref() {
+        let snap = lf_metrics::global().snapshot();
+        let body = if path.ends_with(".json") {
+            snap.to_json()
+        } else {
+            snap.to_prometheus()
+        };
+        std::fs::write(path, body).unwrap_or_else(|e| {
+            eprintln!("failed to write metrics {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics written to {path}");
+    }
+
+    if gate_failed {
+        std::process::exit(1);
     }
 }

@@ -102,6 +102,11 @@ pub fn run(opts: &Opts) {
         // aggregate counters cover exactly the timed kernels below.
         let warm = parallel_factor(&dev, &ap, &FactorConfig::paper_default(2));
         dev.reset_stats();
+        // Keep the lf-metrics registry aligned with the device counters:
+        // a `repro --metrics` scrape should describe the timed kernels,
+        // not the warm-up (Device::reset_stats deliberately leaves the
+        // process-global registry alone).
+        lf_metrics::global().reset();
         let row = spmv_stats(&dev, &ap, SpmvEngine::RowParallel);
         let srcsr = spmv_stats(&dev, &ap, SpmvEngine::SrCsr);
         let mut props = Vec::new();

@@ -1,0 +1,270 @@
+//! Performance-regression gate: a deterministic, machine-independent
+//! baseline for the factor pipeline.
+//!
+//! Wall-clock time is useless as a CI gate (runner hardware varies and
+//! shared runners are noisy), so the gate measures what the simulated
+//! device models deterministically instead: bandwidth-model time, global
+//! memory traffic, and launch counts of the full
+//! `tridiagonal_from_matrix` pipeline on a fixed set of stand-in matrices
+//! at a fixed scale. Those numbers change only when the *algorithm*
+//! changes — more iterations, more traffic, more launches — which is
+//! exactly what a perf gate should trip on.
+//!
+//! * `repro gate` writes the baseline to `<out>/BENCH_gate.json`
+//!   (schema [`SCHEMA`], a flat name → number map).
+//! * `repro gate --compare results/BENCH_gate.json [--tolerance T]`
+//!   re-measures and fails (process exit 1 via the caller) when any
+//!   metric exceeds its baseline by more than `T` (relative), or when a
+//!   baseline metric disappeared.
+//! * `--inject S` multiplies the fresh model-time metrics by `S` — a
+//!   synthetic regression used by CI to prove the gate actually trips.
+//!
+//! The committed baseline must be produced by the same build flavour that
+//! CI compares against (the offline stub overlay): the stub `rand` draws
+//! a different — but equally deterministic — stream than the real crate,
+//! so generated matrices differ between flavours.
+
+use crate::Opts;
+use lf_core::forest::tridiagonal_from_matrix;
+use lf_core::parallel::FactorConfig;
+use lf_sparse::Collection;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Schema tag of `BENCH_gate.json`; bump on any layout change.
+pub const SCHEMA: &str = "lf-gate/1";
+
+/// Fixed stand-in size: small enough for a sub-minute CI step, large
+/// enough that iteration counts and traffic are not dominated by
+/// boundary effects.
+pub const GATE_SCALE: usize = 4_000;
+
+/// The gated workload: one matrix per degree class of Table 3.
+pub const GATE_MATRICES: [Collection; 3] = [
+    Collection::Atmosmodm,
+    Collection::Ecology1,
+    Collection::Thermal2,
+];
+
+/// Options of the `repro gate` subcommand.
+#[derive(Clone, Debug)]
+pub struct GateOpts {
+    /// Baseline to compare against; `None` writes a fresh baseline.
+    pub compare: Option<PathBuf>,
+    /// Relative regression tolerance per metric (0.05 = +5 %).
+    pub tolerance: f64,
+    /// Synthetic slowdown multiplier applied to the fresh model-time
+    /// metrics (CI negative test); 1.0 = measure honestly.
+    pub inject: f64,
+}
+
+impl Default for GateOpts {
+    fn default() -> Self {
+        Self {
+            compare: None,
+            tolerance: 0.05,
+            inject: 1.0,
+        }
+    }
+}
+
+/// Measure the gated workload: for every matrix in [`GATE_MATRICES`] run
+/// the full pipeline on a fresh device and record model time, traffic,
+/// and launch count. All metrics are "higher is worse".
+pub fn measure(opts: &Opts) -> BTreeMap<String, f64> {
+    let cfg = FactorConfig::paper_default(2);
+    let mut out = BTreeMap::new();
+    for m in GATE_MATRICES {
+        let a = m.generate(GATE_SCALE);
+        let dev = opts.device();
+        let (tri, _, _) =
+            tridiagonal_from_matrix(&dev, &a, &cfg).expect("gate pipeline failed");
+        assert_eq!(tri.len(), a.nrows(), "gate workload must cover the matrix");
+        let s = dev.stats();
+        let name = m.name();
+        out.insert(format!("{name}.model_ms"), s.model_time_s * 1e3);
+        out.insert(format!("{name}.traffic_mb"), s.traffic.total() as f64 / 1e6);
+        out.insert(format!("{name}.launches"), s.launches as f64);
+    }
+    out
+}
+
+/// Render a measurement as the `BENCH_gate.json` document.
+pub fn to_json(metrics: &BTreeMap<String, f64>) -> String {
+    let body: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\":{v:.6}"))
+        .collect();
+    format!(
+        "{{\"schema\":\"{SCHEMA}\",\"scale\":{GATE_SCALE},\"metrics\":{{{}}}}}\n",
+        body.join(",")
+    )
+}
+
+/// Parse a `BENCH_gate.json` document (the exact flat shape written by
+/// [`to_json`] — a hand-rolled parser keeps the harness dependency-free).
+pub fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    if !text.contains(&format!("\"schema\":\"{SCHEMA}\"")) {
+        return Err(format!("baseline is not {SCHEMA}"));
+    }
+    let start = text
+        .find("\"metrics\":{")
+        .ok_or("baseline has no metrics object")?
+        + "\"metrics\":{".len();
+    let end = text[start..]
+        .find('}')
+        .ok_or("unterminated metrics object")?
+        + start;
+    let mut out = BTreeMap::new();
+    for pair in text[start..end].split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("malformed metric entry {pair:?}"))?;
+        let key = k.trim().trim_matches('"').to_string();
+        let val: f64 = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad value for {key}: {e}"))?;
+        out.insert(key, val);
+    }
+    if out.is_empty() {
+        return Err("baseline has no metrics".into());
+    }
+    Ok(out)
+}
+
+/// Compare a fresh measurement against a baseline. Returns the list of
+/// failures (empty = gate passes); improvements and new metrics are fine.
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, &base) in baseline {
+        match fresh.get(key) {
+            None => failures.push(format!("{key}: present in baseline, missing from run")),
+            Some(&now) => {
+                // Absolute epsilon so zero-valued baselines don't trip on
+                // float noise.
+                if now > base * (1.0 + tolerance) + 1e-9 {
+                    failures.push(format!(
+                        "{key}: {now:.4} vs baseline {base:.4} (+{:.1} % > {:.1} % tolerance)",
+                        (now / base - 1.0) * 100.0,
+                        tolerance * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// `repro gate`: measure, then either write the baseline (no `--compare`)
+/// or compare against one. Returns whether the gate passed.
+pub fn run(opts: &Opts, gate: &GateOpts) -> bool {
+    println!(
+        "Perf gate — deterministic model metrics, {} matrices at scale {GATE_SCALE}:\n",
+        GATE_MATRICES.len()
+    );
+    let mut fresh = measure(opts);
+    if gate.inject != 1.0 {
+        println!("  [injecting synthetic x{} model-time slowdown]", gate.inject);
+        for (k, v) in fresh.iter_mut() {
+            if k.ends_with(".model_ms") {
+                *v *= gate.inject;
+            }
+        }
+    }
+    for (k, v) in &fresh {
+        println!("  {k:<28} {v:.4}");
+    }
+    match &gate.compare {
+        None => {
+            std::fs::create_dir_all(&opts.out_dir).expect("results dir");
+            let path = opts.out_dir.join("BENCH_gate.json");
+            std::fs::write(&path, to_json(&fresh)).expect("write baseline");
+            println!("\nbaseline written to {}", path.display());
+            true
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let baseline = parse_baseline(&text).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let failures = compare(&baseline, &fresh, gate.tolerance);
+            if failures.is_empty() {
+                println!(
+                    "\ngate PASSED: {} metrics within {:.1} % of {}",
+                    baseline.len(),
+                    gate.tolerance * 100.0,
+                    path.display()
+                );
+                true
+            } else {
+                eprintln!("\ngate FAILED ({} regression(s)):", failures.len());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let m = map(&[("a.model_ms", 1.25), ("a.launches", 42.0)]);
+        let parsed = parse_baseline(&to_json(&m)).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!((parsed["a.model_ms"] - 1.25).abs() < 1e-9);
+        assert_eq!(parsed["a.launches"], 42.0);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        assert!(parse_baseline("{\"schema\":\"lf-gate/0\",\"metrics\":{}}").is_err());
+        assert!(parse_baseline(&format!("{{\"schema\":\"{SCHEMA}\",\"metrics\":{{}}}}")).is_err());
+    }
+
+    #[test]
+    fn compare_trips_only_on_regression() {
+        let base = map(&[("m.model_ms", 100.0), ("m.launches", 50.0)]);
+        // Within tolerance and an improvement: pass.
+        let ok = map(&[("m.model_ms", 104.0), ("m.launches", 40.0)]);
+        assert!(compare(&base, &ok, 0.05).is_empty());
+        // Past tolerance: fail, naming the metric.
+        let slow = map(&[("m.model_ms", 106.0), ("m.launches", 50.0)]);
+        let fails = compare(&base, &slow, 0.05);
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].starts_with("m.model_ms"), "{fails:?}");
+        // Missing metric: fail even if everything else matches.
+        let missing = map(&[("m.model_ms", 100.0)]);
+        assert_eq!(compare(&base, &missing, 0.05).len(), 1);
+        // New metrics in the fresh run are not failures.
+        let extra = map(&[("m.model_ms", 100.0), ("m.launches", 50.0), ("new", 1.0)]);
+        assert!(compare(&base, &extra, 0.05).is_empty());
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let opts = Opts::default();
+        let a = measure(&opts);
+        let b = measure(&opts);
+        assert_eq!(a, b, "model metrics must be run-to-run deterministic");
+        assert_eq!(a.len(), 3 * GATE_MATRICES.len());
+        assert!(a.values().all(|v| v.is_finite() && *v > 0.0), "{a:?}");
+    }
+}

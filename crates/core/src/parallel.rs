@@ -380,6 +380,54 @@ fn confirm_frontier<T: Scalar, const K: usize>(
     })
 }
 
+/// Handles into the process-wide metrics registry for the factor loop,
+/// fetched once per [`run`] so the per-iteration hot path records through
+/// `Arc`s instead of re-looking families up by name.
+struct FactorMetrics {
+    frontier: std::sync::Arc<lf_metrics::Histogram>,
+    proposed: std::sync::Arc<lf_metrics::Histogram>,
+    confirmed: std::sync::Arc<lf_metrics::Histogram>,
+    rounds: std::sync::Arc<lf_metrics::Histogram>,
+    runs: std::sync::Arc<lf_metrics::Counter>,
+    maximal_runs: std::sync::Arc<lf_metrics::Counter>,
+    iterations: std::sync::Arc<lf_metrics::Counter>,
+}
+
+impl FactorMetrics {
+    fn fetch() -> Self {
+        use lf_metrics::Unit;
+        let m = lf_metrics::global();
+        Self {
+            frontier: m.histogram(
+                "lf_factor_frontier",
+                "Active (non-full) vertices per factor iteration.",
+                Unit::Count,
+            ),
+            proposed: m.histogram(
+                "lf_factor_proposed_slots",
+                "Proposed slots per factor iteration.",
+                Unit::Count,
+            ),
+            confirmed: m.histogram(
+                "lf_factor_confirmed_slots",
+                "Confirmed slots after each confirmation kernel.",
+                Unit::Count,
+            ),
+            rounds: m.histogram(
+                "lf_factor_rounds",
+                "Iterations executed per factor run (rounds to maximality when maximal).",
+                Unit::Count,
+            ),
+            runs: m.counter("lf_factor_runs_total", "Factor runs."),
+            maximal_runs: m.counter(
+                "lf_factor_maximal_runs_total",
+                "Factor runs that proved maximality before the iteration limit.",
+            ),
+            iterations: m.counter("lf_factor_iterations_total", "Factor iterations executed."),
+        }
+    }
+}
+
 fn run<T: Scalar, const K: usize>(
     dev: &Device,
     aprime: &Csr<T>,
@@ -415,6 +463,9 @@ fn run<T: Scalar, const K: usize>(
     // is installed, so the device traffic model is unperturbed.
     let tracer = dev.tracer().clone();
     let _factor_span = tracer.span("factor");
+    // Like the tracer, the metrics gate is one relaxed load; handles are
+    // fetched once so iterations don't pay registry lookups.
+    let metrics = lf_metrics::enabled().then(FactorMetrics::fetch);
 
     for k in 0..cfg.max_iters {
         let _iter_span = tracer.span_dyn(|| format!("iter_{k}"));
@@ -469,14 +520,20 @@ fn run<T: Scalar, const K: usize>(
                 scratch,
             )
         };
-        if tracer.is_active() {
-            tracer.metric("frontier", flen as f64);
+        if tracer.is_active() || metrics.is_some() {
             let proposed: usize = if cfg.frontier {
                 fout.as_slice().iter().map(|t| t.len()).sum::<usize>() + (nv - flen) * K
             } else {
                 proposals.iter().map(|t| t.len()).sum()
             };
-            tracer.metric("proposed_slots", proposed as f64);
+            if tracer.is_active() {
+                tracer.metric("frontier", flen as f64);
+                tracer.metric("proposed_slots", proposed as f64);
+            }
+            if let Some(m) = &metrics {
+                m.frontier.record(flen as u64);
+                m.proposed.record(proposed as u64);
+            }
         }
 
         if !charging {
@@ -513,16 +570,29 @@ fn run<T: Scalar, const K: usize>(
         } else {
             confirm_dense(dev, confirmed, proposals)
         };
+        if let Some(m) = &metrics {
+            m.confirmed.record(slots as u64);
+        }
         if tracer.is_active() {
             tracer.metric("confirmed_slots", slots as f64);
             tracer.metric("edges_confirmed", (slots / 2) as f64);
             // Σ over confirmed slots of |a_vw|, halved because each edge
-            // appears in both endpoints' slots.
+            // appears in both endpoints' slots. Host-side O(nv) sum —
+            // deliberately tracer-only, not a registry metric.
             let covered: f64 = confirmed
                 .iter()
                 .flat_map(|t| t.iter().map(|(w, _)| w.to_f64()))
                 .sum();
             tracer.metric("covered_weight", covered / 2.0);
+        }
+    }
+
+    if let Some(m) = &metrics {
+        m.runs.inc();
+        m.iterations.add(iterations as u64);
+        m.rounds.record(iterations as u64);
+        if maximal {
+            m.maximal_runs.inc();
         }
     }
 
@@ -748,6 +818,37 @@ mod tests {
     use lf_sparse::random::random_symmetric;
     use lf_sparse::stencil::{grid2d, ANISO1, FIVE_POINT};
     use lf_sparse::Coo;
+
+    #[test]
+    fn factor_loop_feeds_metrics_registry_when_enabled() {
+        // The registry is process-global and tests run concurrently, so
+        // assert only lower bounds caused by this run.
+        let a = prepare_undirected(&grid2d::<f64>(16, 16, &FIVE_POINT));
+        let dev = Device::default();
+        let m = lf_metrics::global();
+        let runs_before = m.counter("lf_factor_runs_total", "Factor runs.").get();
+        let rounds_before = m
+            .histogram("lf_factor_rounds", "", lf_metrics::Unit::Count)
+            .count();
+        lf_metrics::enable();
+        let out = parallel_factor(&dev, &a, &FactorConfig::paper_default(2));
+        lf_metrics::disable();
+        let runs_after = m.counter("lf_factor_runs_total", "Factor runs.").get();
+        assert!(runs_after > runs_before, "run counter did not advance");
+        assert!(
+            m.histogram("lf_factor_rounds", "", lf_metrics::Unit::Count).count() > rounds_before,
+            "rounds histogram did not record"
+        );
+        assert!(out.iterations >= 1);
+        // Frontier/proposal histograms recorded at least one iteration.
+        let snap = m.snapshot();
+        for name in ["lf_factor_frontier", "lf_factor_proposed_slots", "lf_factor_confirmed_slots"] {
+            assert!(
+                snap.families.iter().any(|f| f.name == name),
+                "missing family {name}"
+            );
+        }
+    }
 
     #[test]
     fn charge_salt_zero_is_legacy_and_keys_match_salt() {

@@ -244,6 +244,53 @@ impl DeviceStats {
     }
 }
 
+/// Feed one launch into the process-wide metrics registry (per-kernel
+/// latency/traffic histograms plus the running effective-throughput
+/// gauge). Only called when `lf_metrics::enabled()` — the disabled path
+/// of [`Device::launch`] pays a single relaxed atomic load.
+fn record_launch_metrics(name: &str, traffic: Traffic, model_s: f64, wall_s: f64) {
+    use lf_metrics::{global, Unit};
+    let m = global();
+    m.counter_with("lf_kernel_launches_total", "Kernel launches.", ("kernel", name))
+        .inc();
+    m.histogram_with(
+        "lf_kernel_model_seconds",
+        "Modeled kernel execution time (launch overhead + traffic / bandwidth).",
+        Unit::Nanos,
+        ("kernel", name),
+    )
+    .record_f64(model_s * 1e9);
+    m.histogram_with(
+        "lf_kernel_wall_seconds",
+        "Wall-clock time of the parallel CPU execution of a kernel.",
+        Unit::Nanos,
+        ("kernel", name),
+    )
+    .record_f64(wall_s * 1e9);
+    m.histogram_with(
+        "lf_kernel_traffic_bytes",
+        "Declared global-memory traffic per kernel launch.",
+        Unit::Bytes,
+        ("kernel", name),
+    )
+    .record(traffic.total());
+    // Running totals, from which the effective device throughput is
+    // derived: bytes / nanos is dimensionally GB/s.
+    let nanos = m
+        .counter("lf_kernel_model_nanos_total", "Total modeled kernel time.")
+        .add((model_s * 1e9) as u64);
+    let bytes = m
+        .counter("lf_kernel_traffic_bytes_total", "Total declared kernel traffic.")
+        .add(traffic.total());
+    if nanos > 0 {
+        m.gauge(
+            "lf_kernel_effective_gbps",
+            "Effective model throughput over all launches so far (GB/s).",
+        )
+        .set(bytes as f64 / nanos as f64);
+    }
+}
+
 /// The simulated GPU device.
 ///
 /// Cheap to clone (shared stats). All kernels in this workspace take a
@@ -331,6 +378,9 @@ impl Device {
         if self.tracer.is_active() {
             self.tracer
                 .launch(name, traffic.read, traffic.written, model, wall);
+        }
+        if lf_metrics::enabled() {
+            record_launch_metrics(name, traffic, model, wall);
         }
         out
     }
@@ -510,6 +560,48 @@ mod tests {
         // tracer-reported model time matches the device model
         let model = dev.config().model_time(Traffic::bytes(100, 50));
         assert!((data.launches[0].model_s - model).abs() < 1e-15);
+    }
+
+    #[test]
+    fn launch_feeds_metrics_registry_when_enabled() {
+        // The registry is process-global and other tests in this binary
+        // run concurrently, so use unique kernel names and only assert on
+        // our own series.
+        let dev = Device::default();
+        let find = |kernel: &str| {
+            lf_metrics::global()
+                .snapshot()
+                .families
+                .iter()
+                .find(|f| f.name == "lf_kernel_launches_total")
+                .and_then(|f| {
+                    f.series
+                        .iter()
+                        .find(|s| s.label.as_deref() == Some(kernel))
+                        .map(|s| s.value.clone())
+                })
+        };
+        dev.launch("metrics_gate_off_k", Traffic::bytes(1, 1), || ());
+        assert!(find("metrics_gate_off_k").is_none(), "recorded while disabled");
+        lf_metrics::enable();
+        dev.launch("metrics_gate_on_k", Traffic::bytes(100, 50), || ());
+        dev.launch("metrics_gate_on_k", Traffic::bytes(10, 0), || ());
+        lf_metrics::disable();
+        match find("metrics_gate_on_k") {
+            Some(lf_metrics::ValueSnapshot::Counter(n)) => assert!(n >= 2),
+            other => panic!("missing launch counter: {other:?}"),
+        }
+        let s = lf_metrics::global().snapshot();
+        let hist = s
+            .families
+            .iter()
+            .find(|f| f.name == "lf_kernel_model_seconds")
+            .expect("latency histogram family");
+        assert_eq!(hist.label_key.as_deref(), Some("kernel"));
+        assert!(hist
+            .series
+            .iter()
+            .any(|x| x.label.as_deref() == Some("metrics_gate_on_k")));
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Exposition formats: Prometheus text format and JSON.
+//!
+//! Both render a [`MetricsSnapshot`], so a scrape is: snapshot (no locks
+//! held by writers), then format. Histograms recorded in nanoseconds are
+//! exposed in seconds ([`crate::registry::Unit::scale`]); bucket bounds become cumulative
+//! Prometheus `le` buckets (non-empty buckets only, plus `+Inf`). The JSON
+//! document reuses the hand-rolled [`lf_trace::json`] writer helpers and
+//! is validated well-formed by the same crate's parser in tests.
+
+use crate::histogram::{bucket_bounds, HistogramSnapshot};
+use crate::registry::{FamilySnapshot, MetricsSnapshot, ValueSnapshot};
+use lf_trace::json;
+use std::fmt::Write;
+
+/// Sanitize a metric or label name to Prometheus `[a-zA-Z_:][a-zA-Z0-9_:]*`
+/// (invalid characters become `_`, a leading digit gets a `_` prefix).
+pub fn sanitize_name(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 1);
+    for (i, c) in s.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a Prometheus label value (backslash, quote, newline).
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float for the Prometheus text format (which, unlike JSON,
+/// spells out non-finite values).
+fn prom_f64(x: f64) -> String {
+    if x.is_nan() {
+        "NaN".to_string()
+    } else if x == f64::INFINITY {
+        "+Inf".to_string()
+    } else if x == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{x}")
+    }
+}
+
+fn label_part(family: &FamilySnapshot, label: &Option<String>, extra: Option<&str>) -> String {
+    let mut parts = Vec::new();
+    if let (Some(k), Some(v)) = (&family.label_key, label) {
+        parts.push(format!("{}=\"{}\"", sanitize_name(k), escape_label(v)));
+    }
+    if let Some(le) = extra {
+        parts.push(format!("le=\"{le}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn prom_histogram(
+    out: &mut String,
+    family: &FamilySnapshot,
+    label: &Option<String>,
+    h: &HistogramSnapshot,
+    name: &str,
+) {
+    let scale = family.unit.scale();
+    let mut cum = 0u64;
+    for &(i, c) in &h.buckets {
+        cum += c;
+        let le = prom_f64(bucket_bounds(i as usize).1 as f64 * scale);
+        let labels = label_part(family, label, Some(&le));
+        let _ = writeln!(out, "{name}_bucket{labels} {cum}");
+    }
+    let labels = label_part(family, label, Some("+Inf"));
+    let _ = writeln!(out, "{name}_bucket{labels} {}", h.count);
+    let labels = label_part(family, label, None);
+    let _ = writeln!(out, "{name}_sum{labels} {}", prom_f64(h.sum as f64 * scale));
+    let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+}
+
+impl MetricsSnapshot {
+    /// Render as Prometheus text exposition format (version 0.0.4): one
+    /// `# HELP` / `# TYPE` pair per family followed by its samples.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let name = sanitize_name(&family.name);
+            let _ = writeln!(out, "# HELP {name} {}", family.help.replace('\n', " "));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for s in &family.series {
+                match &s.value {
+                    ValueSnapshot::Counter(v) => {
+                        let labels = label_part(family, &s.label, None);
+                        let _ = writeln!(out, "{name}{labels} {v}");
+                    }
+                    ValueSnapshot::Gauge(v) => {
+                        let labels = label_part(family, &s.label, None);
+                        let _ = writeln!(out, "{name}{labels} {}", prom_f64(*v));
+                    }
+                    ValueSnapshot::Histogram(h) => {
+                        prom_histogram(&mut out, family, &s.label, h, &name);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Render as a JSON document:
+    ///
+    /// ```json
+    /// {"families":[{"name":"...","kind":"histogram","unit":"seconds",
+    ///   "help":"...","label_key":"kernel","series":[
+    ///     {"label":"charge","count":3,"sum":1.2e-5,"min":...,"max":...,
+    ///      "mean":...,"p50":...,"p90":...,"p99":...}]}]}
+    /// ```
+    ///
+    /// Counter/gauge series carry `"value"` instead of the distribution
+    /// fields; histogram values are scaled to the family's exposed unit.
+    pub fn to_json(&self) -> String {
+        let families: Vec<String> = self
+            .families
+            .iter()
+            .map(|f| {
+                let series: Vec<String> = f
+                    .series
+                    .iter()
+                    .map(|s| {
+                        let label = match &s.label {
+                            Some(v) => format!("\"label\":\"{}\",", json::escape(v)),
+                            None => "\"label\":null,".to_string(),
+                        };
+                        match &s.value {
+                            ValueSnapshot::Counter(v) => format!("{{{label}\"value\":{v}}}"),
+                            ValueSnapshot::Gauge(v) => {
+                                format!("{{{label}\"value\":{}}}", json::number(*v))
+                            }
+                            ValueSnapshot::Histogram(h) => {
+                                let scale = f.unit.scale();
+                                let q = |p: f64| json::number(h.quantile(p) as f64 * scale);
+                                format!(
+                                    "{{{label}\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                                     \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                                    h.count,
+                                    json::number(h.sum as f64 * scale),
+                                    json::number(h.min as f64 * scale),
+                                    json::number(h.max as f64 * scale),
+                                    json::number(h.mean() * scale),
+                                    q(0.5),
+                                    q(0.9),
+                                    q(0.99),
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                let label_key = match &f.label_key {
+                    Some(k) => format!("\"{}\"", json::escape(k)),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"name\":\"{}\",\"kind\":\"{}\",\"unit\":\"{}\",\"help\":\"{}\",\
+                     \"label_key\":{label_key},\"series\":[{}]}}",
+                    json::escape(&f.name),
+                    f.kind.as_str(),
+                    f.unit.as_str(),
+                    json::escape(f.help),
+                    series.join(",")
+                )
+            })
+            .collect();
+        format!("{{\"families\":[{}]}}", families.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Registry, Unit};
+
+    #[test]
+    fn sanitize_names() {
+        assert_eq!(sanitize_name("lf_kernel_model_seconds"), "lf_kernel_model_seconds");
+        assert_eq!(sanitize_name("a-b.c"), "a_b_c");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn label_values_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let r = Registry::new();
+        r.counter("jobs_total", "Jobs processed.").add(3);
+        r.gauge("queue_depth", "Queue depth.").set(2.0);
+        let h = r.histogram_with(
+            "model_seconds",
+            "Model time.",
+            Unit::Nanos,
+            ("kernel", "spmv"),
+        );
+        h.record(1_000); // 1 µs
+        h.record(2_000);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE jobs_total counter"));
+        assert!(text.contains("jobs_total 3"));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 2"));
+        assert!(text.contains("# TYPE model_seconds histogram"));
+        assert!(text.contains("model_seconds_bucket{kernel=\"spmv\",le=\"+Inf\"} 2"));
+        assert!(text.contains("model_seconds_count{kernel=\"spmv\"} 2"));
+        // sum = 3000 ns = 3e-6 s
+        assert!(text.contains("model_seconds_sum{kernel=\"spmv\"} 0.000003"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_ascending() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "h", Unit::Count);
+        for v in [1u64, 1, 5, 100, 10_000] {
+            h.record(v);
+        }
+        let text = r.snapshot().to_prometheus();
+        let mut last_cum = 0u64;
+        let mut last_le = f64::NEG_INFINITY;
+        let mut buckets = 0;
+        for line in text.lines().filter(|l| l.starts_with("lat_bucket")) {
+            let le: f64 = if line.contains("le=\"+Inf\"") {
+                f64::INFINITY
+            } else {
+                let s = line.split("le=\"").nth(1).unwrap();
+                s.split('"').next().unwrap().parse().unwrap()
+            };
+            let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(le > last_le, "le not ascending: {line}");
+            assert!(cum >= last_cum, "count not cumulative: {line}");
+            last_le = le;
+            last_cum = cum;
+            buckets += 1;
+        }
+        assert!(buckets >= 5); // 4 distinct value buckets + +Inf
+        assert_eq!(last_cum, 5);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let r = Registry::new();
+        r.counter_with("jobs_total", "Jobs.", ("outcome", "ok")).inc();
+        r.gauge("g", "Gauge with \"quotes\".").set(f64::NAN);
+        r.histogram("lat_seconds", "Latency.", Unit::Nanos).record(1_500);
+        let doc = r.snapshot().to_json();
+        lf_trace::json::validate(&doc).unwrap();
+        assert!(doc.contains("\"label\":\"ok\""));
+        assert!(doc.contains("\"unit\":\"seconds\""));
+        // NaN gauge renders as null, not invalid JSON
+        assert!(doc.contains("\"value\":null"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let s = Registry::new().snapshot();
+        assert_eq!(s.to_prometheus(), "");
+        assert_eq!(s.to_json(), "{\"families\":[]}");
+        lf_trace::json::validate(&s.to_json()).unwrap();
+    }
+}

@@ -1,0 +1,312 @@
+//! Mergeable log-linear (HDR-style) histograms over `u64` values.
+//!
+//! The bucket layout has a *linear* region for values below
+//! [`SUB_BUCKETS`] (one bucket per value, zero error) and a *log-linear*
+//! region above it: every power-of-two octave is split into
+//! [`SUB_BUCKETS`] equal sub-buckets, so a bucket's width is at most
+//! `1/SUB_BUCKETS` of its lower bound. Any recorded value therefore lies
+//! within a relative error of `1/SUB_BUCKETS` (3.125 %) of its bucket
+//! bounds — precise enough for latency/traffic quantiles while keeping the
+//! whole `u64` range in [`NUM_BUCKETS`] fixed slots, so recording is one
+//! index computation plus a handful of relaxed atomic adds and snapshots
+//! never stop writers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of [`SUB_BUCKETS`].
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-two octave; also the size of the linear
+/// region. The relative error bound of the histogram is `1/SUB_BUCKETS`.
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+/// Total number of buckets covering all of `u64`: the linear region plus
+/// one group of [`SUB_BUCKETS`] for each shift `0..=63-SUB_BITS`.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) << SUB_BITS;
+
+/// Bucket index of `v` (see the module docs for the layout).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (((shift as usize) + 1) << SUB_BITS) | ((v >> shift) as usize & (SUB_BUCKETS as usize - 1))
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    debug_assert!(i < NUM_BUCKETS);
+    if i < SUB_BUCKETS as usize {
+        (i as u64, i as u64)
+    } else {
+        let shift = (i >> SUB_BITS) as u32 - 1;
+        let sub = (i as u64) & (SUB_BUCKETS - 1);
+        let lower = (SUB_BUCKETS + sub) << shift;
+        // `((1 << shift) - 1)` first: the top bucket's `lower + 2^shift`
+        // would overflow u64 before the `- 1`.
+        (lower, lower + ((1u64 << shift) - 1))
+    }
+}
+
+/// Midpoint of bucket `i` — the representative value quantile queries
+/// report (exact in the linear region).
+pub fn bucket_mid(i: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(i);
+    lo + (hi - lo) / 2
+}
+
+/// A concurrent log-linear histogram. All operations are relaxed atomics;
+/// a snapshot taken while writers are active is a consistent-enough view
+/// (each atomic is read once, no locks, no torn buckets — only the
+/// cross-field totals may lag by in-flight recordings).
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a float value (negative and non-finite values clamp to 0,
+    /// everything past `u64::MAX` saturates).
+    pub fn record_f64(&self, v: f64) {
+        if v.is_finite() && v > 0.0 {
+            self.record(v.min(u64::MAX as f64) as u64);
+        } else {
+            self.record(0);
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot; writers are not stopped.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((i as u32, c));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An owned, mergeable snapshot of a [`Histogram`]: the total count/sum
+/// plus the non-empty `(bucket index, count)` pairs in index order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (raw units).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(index, count)`, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`): the midpoint of the
+    /// bucket holding the value of rank `⌈q·count⌉`. Exact in the linear
+    /// region, within the histogram's relative-error bound above it;
+    /// monotone in `q`. Returns 0 for an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return bucket_mid(i as usize);
+            }
+        }
+        bucket_mid(self.buckets.last().map_or(0, |&(i, _)| i as usize))
+    }
+
+    /// Merge two snapshots (bucket-wise sum; min/max/count/sum combine).
+    /// Associative and commutative: merging histograms of disjoint
+    /// recordings in any order or grouping yields the same snapshot.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut buckets = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (self.buckets.iter().peekable(), other.buckets.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        buckets.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        buckets.push((ib, cb));
+                        b.next();
+                    } else {
+                        buckets.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    buckets.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    buckets.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        let count = self.count + other.count;
+        Self {
+            count,
+            sum: self.sum + other.sum,
+            min: if count == 0 {
+                0
+            } else if self.count == 0 {
+                other.min
+            } else if other.count == 0 {
+                self.min
+            } else {
+                self.min.min(other.min)
+            },
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..SUB_BUCKETS {
+            let i = bucket_index(v);
+            assert_eq!(bucket_bounds(i), (v, v));
+            assert_eq!(bucket_mid(i), v);
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_contiguous() {
+        // Every bucket's upper bound + 1 is the next bucket's lower bound.
+        for i in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+        assert_eq!(bucket_bounds(NUM_BUCKETS - 1).1, u64::MAX);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.sum, 5050);
+        assert_eq!(s.quantile(0.0), 1);
+        // p50 = rank 50 ⇒ value 50, within the 1/32 relative error bound
+        let p50 = s.quantile(0.5) as f64;
+        assert!((p50 - 50.0).abs() / 50.0 <= 1.0 / 32.0 + 1e-9, "p50 {p50}");
+        let p100 = s.quantile(1.0) as f64;
+        assert!((p100 - 100.0).abs() / 100.0 <= 1.0 / 32.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.sum), (0, 0, 0, 0));
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_f64_clamps() {
+        let h = Histogram::new();
+        h.record_f64(-1.0);
+        h.record_f64(f64::NAN);
+        h.record_f64(2.5);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let h = Histogram::new();
+        h.record(7);
+        h.record(70_000);
+        let s = h.snapshot();
+        let empty = Histogram::new().snapshot();
+        assert_eq!(s.merge(&empty), s);
+        assert_eq!(empty.merge(&s), s);
+    }
+}

@@ -1,0 +1,99 @@
+//! # lf-metrics — process-wide metrics for the linear-forest pipeline
+//!
+//! A low-overhead metrics registry: named [`Counter`]s, [`Gauge`]s and
+//! mergeable log-linear [`Histogram`]s with quantile queries, snapshotable
+//! without stopping writers, rendered as Prometheus text exposition or
+//! JSON. The process-wide instance lives behind [`global()`]; recording is
+//! gated by [`enabled()`] — a single relaxed atomic load, mirroring the
+//! lf-trace `Tracer::is_active` design — so instrumentation left in hot
+//! loops costs one branch when metrics are off.
+//!
+//! Instrumentation sites follow one pattern: check the gate, fetch handles
+//! by name (hoisted out of loops where it matters), record:
+//!
+//! ```
+//! use lf_metrics::{enabled, global, Unit};
+//!
+//! lf_metrics::enable();
+//! if enabled() {
+//!     let lat = global().histogram_with(
+//!         "lf_kernel_model_seconds",
+//!         "Modeled kernel execution time.",
+//!         Unit::Nanos,
+//!         ("kernel", "spmv"),
+//!     );
+//!     lat.record(1_250); // nanoseconds; exposed as seconds
+//! }
+//! let text = global().snapshot().to_prometheus();
+//! assert!(text.contains("lf_kernel_model_seconds_count{kernel=\"spmv\"}"));
+//! # lf_metrics::disable();
+//! # lf_metrics::global().reset();
+//! ```
+//!
+//! Families are get-or-create and never panic on shape collisions (a
+//! mismatched re-registration returns a detached instance); see
+//! [`registry`] for the policy and [`histogram`] for the bucket layout and
+//! error bounds.
+
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod histogram;
+pub mod registry;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{
+    Counter, FamilySnapshot, Gauge, MetricKind, MetricsSnapshot, Registry, SeriesSnapshot, Unit,
+    ValueSnapshot,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static GLOBAL: Registry = Registry::new();
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide registry. Always usable; whether the instrumentation
+/// layers feed it is governed by [`enable`]/[`disable`].
+pub fn global() -> &'static Registry {
+    &GLOBAL
+}
+
+/// Whether instrumentation sites should record. One relaxed atomic load —
+/// this is the entire overhead of the disabled path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn instrumentation on (e.g. when a `--metrics` flag is present).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn instrumentation off. Already-collected data stays in the registry
+/// until [`Registry::reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_toggles() {
+        // Don't assume the initial state: the doctest and other tests in
+        // this binary share the process-wide flag.
+        enable();
+        assert!(enabled());
+        disable();
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn global_is_shared() {
+        let name = "lf_metrics_selftest_total";
+        global().counter(name, "Self test.").add(2);
+        assert!(global().counter(name, "Self test.").get() >= 2);
+    }
+}

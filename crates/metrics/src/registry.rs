@@ -1,0 +1,493 @@
+//! The metrics registry: named counter/gauge/histogram families, each
+//! optionally fanned out over one label dimension (e.g. per kernel name),
+//! snapshotable into [`MetricsSnapshot`] for the exposition formats.
+//!
+//! Metrics are get-or-create: the first call for a family fixes its kind,
+//! help text, unit and label key; later calls with a matching shape return
+//! the same instance. A *mismatched* re-registration (same name, different
+//! kind or label key) never panics — it returns a detached instance that
+//! records into nowhere, so a naming collision degrades to a missing
+//! series instead of taking the process down.
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add 1; returns the new value.
+    pub fn inc(&self) -> u64 {
+        self.add(1)
+    }
+
+    /// Add `n`; returns the new value.
+    pub fn add(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins float gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge reading 0.
+    pub fn new() -> Self {
+        Self(AtomicU64::new(0f64.to_bits()))
+    }
+
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// What a family measures; decides the Prometheus `# TYPE` line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic count.
+    Counter,
+    /// Last-value-wins scalar.
+    Gauge,
+    /// Log-linear distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus type name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Raw unit histogram values are recorded in; fixes the scale factor the
+/// exposition formats apply. Counters and gauges always expose raw values
+/// ([`Unit::Count`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Unit {
+    /// Dimensionless (sizes, iterations); exposed as-is.
+    Count,
+    /// Bytes; exposed as-is.
+    Bytes,
+    /// Nanoseconds; exposed as *seconds* (×1e-9), the Prometheus
+    /// convention for time.
+    Nanos,
+}
+
+impl Unit {
+    /// Multiplier from raw recorded values to exposed values.
+    pub fn scale(self) -> f64 {
+        match self {
+            Unit::Nanos => 1e-9,
+            Unit::Count | Unit::Bytes => 1.0,
+        }
+    }
+
+    /// Human-readable exposed-unit name (for the JSON exposition).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Count => "count",
+            Unit::Bytes => "bytes",
+            Unit::Nanos => "seconds",
+        }
+    }
+}
+
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: &'static str,
+    kind: MetricKind,
+    unit: Unit,
+    /// Label key shared by all series of the family; `None` = one
+    /// unlabeled series (stored under the empty label value).
+    label_key: Option<String>,
+    series: BTreeMap<String, Series>,
+}
+
+/// A metrics registry. [`Registry::new`] is `const`, so a registry can be
+/// a `static`; the process-wide instance is [`crate::global`]. Recording
+/// through a registry is unconditional — the cheap on/off gate
+/// ([`crate::enabled`]) lives at the instrumentation sites.
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("families", &self.lock().len())
+            .finish()
+    }
+}
+
+/// Full shape of a metric family as seen at a get-or-create site; an
+/// existing family must match `kind` and the label key or the caller
+/// gets a detached instance.
+struct Spec<'a> {
+    name: &'a str,
+    help: &'static str,
+    kind: MetricKind,
+    unit: Unit,
+    label: Option<(&'a str, &'a str)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Self {
+        Self {
+            inner: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        // A panic while holding the lock leaves plain data; recover.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn get_or_create<T, F: FnOnce() -> Series>(
+        &self,
+        spec: Spec<'_>,
+        make: F,
+        extract: impl Fn(&Series) -> Option<Arc<T>>,
+        detached: impl FnOnce() -> Arc<T>,
+    ) -> Arc<T> {
+        let mut map = self.lock();
+        let family = map.entry(spec.name.to_string()).or_insert_with(|| Family {
+            help: spec.help,
+            kind: spec.kind,
+            unit: spec.unit,
+            label_key: spec.label.map(|(k, _)| k.to_string()),
+            series: BTreeMap::new(),
+        });
+        let shape_ok = family.kind == spec.kind
+            && family.label_key.as_deref() == spec.label.map(|(k, _)| k);
+        if !shape_ok {
+            return detached();
+        }
+        let value = spec.label.map_or("", |(_, v)| v);
+        if let Some(s) = family.series.get(value) {
+            return extract(s).unwrap_or_else(detached);
+        }
+        let s = make();
+        let out = extract(&s).unwrap_or_else(detached);
+        family.series.insert(value.to_string(), s);
+        out
+    }
+
+    /// Get or create the unlabeled counter `name`.
+    pub fn counter(&self, name: &str, help: &'static str) -> Arc<Counter> {
+        self.counter_impl(name, help, None)
+    }
+
+    /// Get or create the counter series `name{label.0=label.1}`.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        label: (&str, &str),
+    ) -> Arc<Counter> {
+        self.counter_impl(name, help, Some(label))
+    }
+
+    fn counter_impl(
+        &self,
+        name: &str,
+        help: &'static str,
+        label: Option<(&str, &str)>,
+    ) -> Arc<Counter> {
+        self.get_or_create(
+            Spec {
+                name,
+                help,
+                kind: MetricKind::Counter,
+                unit: Unit::Count,
+                label,
+            },
+            || Series::Counter(Arc::new(Counter::new())),
+            |s| match s {
+                Series::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            || Arc::new(Counter::new()),
+        )
+    }
+
+    /// Get or create the unlabeled gauge `name`.
+    pub fn gauge(&self, name: &str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_impl(name, help, None)
+    }
+
+    /// Get or create the gauge series `name{label.0=label.1}`.
+    pub fn gauge_with(&self, name: &str, help: &'static str, label: (&str, &str)) -> Arc<Gauge> {
+        self.gauge_impl(name, help, Some(label))
+    }
+
+    fn gauge_impl(&self, name: &str, help: &'static str, label: Option<(&str, &str)>) -> Arc<Gauge> {
+        self.get_or_create(
+            Spec {
+                name,
+                help,
+                kind: MetricKind::Gauge,
+                unit: Unit::Count,
+                label,
+            },
+            || Series::Gauge(Arc::new(Gauge::new())),
+            |s| match s {
+                Series::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            || Arc::new(Gauge::new()),
+        )
+    }
+
+    /// Get or create the unlabeled histogram `name` recording raw values
+    /// in `unit`.
+    pub fn histogram(&self, name: &str, help: &'static str, unit: Unit) -> Arc<Histogram> {
+        self.histogram_impl(name, help, unit, None)
+    }
+
+    /// Get or create the histogram series `name{label.0=label.1}`.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &'static str,
+        unit: Unit,
+        label: (&str, &str),
+    ) -> Arc<Histogram> {
+        self.histogram_impl(name, help, unit, Some(label))
+    }
+
+    fn histogram_impl(
+        &self,
+        name: &str,
+        help: &'static str,
+        unit: Unit,
+        label: Option<(&str, &str)>,
+    ) -> Arc<Histogram> {
+        self.get_or_create(
+            Spec {
+                name,
+                help,
+                kind: MetricKind::Histogram,
+                unit,
+                label,
+            },
+            || Series::Histogram(Arc::new(Histogram::new())),
+            |s| match s {
+                Series::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            || Arc::new(Histogram::new()),
+        )
+    }
+
+    /// Drop every registered family. Handles held by callers keep working
+    /// but record into detached metrics that no longer appear in
+    /// snapshots; instrumentation sites re-fetch by name, so the next
+    /// recording re-registers a zeroed family. Bench harnesses call this
+    /// between reps so per-rep snapshots are not cumulative.
+    pub fn reset(&self) {
+        self.lock().clear();
+    }
+
+    /// Point-in-time snapshot of every family, ordered by name (and label
+    /// value within a family). Writers are not stopped.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.lock();
+        let families = map
+            .iter()
+            .map(|(name, f)| FamilySnapshot {
+                name: name.clone(),
+                help: f.help,
+                kind: f.kind,
+                unit: f.unit,
+                label_key: f.label_key.clone(),
+                series: f
+                    .series
+                    .iter()
+                    .map(|(value, s)| SeriesSnapshot {
+                        label: f.label_key.as_ref().map(|_| value.clone()),
+                        value: match s {
+                            Series::Counter(c) => ValueSnapshot::Counter(c.get()),
+                            Series::Gauge(g) => ValueSnapshot::Gauge(g.get()),
+                            Series::Histogram(h) => ValueSnapshot::Histogram(h.snapshot()),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        MetricsSnapshot { families }
+    }
+}
+
+/// A point-in-time copy of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All families, ordered by name.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// One metric family and all its label series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FamilySnapshot {
+    /// Family name (sanitized for Prometheus at exposition time).
+    pub name: String,
+    /// Help text from the first registration.
+    pub help: &'static str,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Raw recording unit (fixes the exposition scale).
+    pub unit: Unit,
+    /// The label key shared by the series, if the family is labeled.
+    pub label_key: Option<String>,
+    /// Series ordered by label value (a single unlabeled one otherwise).
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series (one label value) of a family.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Label value (`None` on unlabeled families).
+    pub label: Option<String>,
+    /// The captured value.
+    pub value: ValueSnapshot,
+}
+
+/// Captured value of one series.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValueSnapshot {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Full histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_same_instance() {
+        let r = Registry::new();
+        let a = r.counter("c_total", "help");
+        let b = r.counter("c_total", "help");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        r.counter_with("k_total", "h", ("kernel", "a")).inc();
+        r.counter_with("k_total", "h", ("kernel", "b")).add(5);
+        let s = r.snapshot();
+        assert_eq!(s.families.len(), 1);
+        let f = &s.families[0];
+        assert_eq!(f.label_key.as_deref(), Some("kernel"));
+        assert_eq!(f.series.len(), 2);
+        assert_eq!(f.series[0].label.as_deref(), Some("a"));
+        assert_eq!(f.series[0].value, ValueSnapshot::Counter(1));
+        assert_eq!(f.series[1].value, ValueSnapshot::Counter(5));
+    }
+
+    #[test]
+    fn kind_mismatch_detaches_instead_of_panicking() {
+        let r = Registry::new();
+        r.counter("m", "h").inc();
+        // Same name, different kind: records into a detached gauge.
+        r.gauge("m", "h").set(9.0);
+        let s = r.snapshot();
+        assert_eq!(s.families.len(), 1);
+        assert_eq!(s.families[0].kind, MetricKind::Counter);
+        assert_eq!(s.families[0].series[0].value, ValueSnapshot::Counter(1));
+        // Different label key on an existing family: also detached.
+        r.counter_with("m2", "h", ("a", "x")).inc();
+        let d = r.counter_with("m2", "h", ("b", "x"));
+        d.inc();
+        let s = r.snapshot();
+        let f = s.families.iter().find(|f| f.name == "m2").unwrap();
+        assert_eq!(f.series.len(), 1);
+        assert_eq!(f.series[0].value, ValueSnapshot::Counter(1));
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let r = Registry::new();
+        let g = r.gauge("g", "h");
+        g.set(1.5);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn reset_clears_families() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "h");
+        c.inc();
+        r.histogram("h", "h", Unit::Nanos).record(10);
+        assert_eq!(r.snapshot().families.len(), 2);
+        r.reset();
+        assert!(r.snapshot().families.is_empty());
+        // The held handle still works but is detached...
+        c.inc();
+        assert!(r.snapshot().families.is_empty());
+        // ...and re-fetching by name registers a fresh zeroed counter.
+        assert_eq!(r.counter("c_total", "h").get(), 0);
+    }
+
+    #[test]
+    fn snapshot_orders_families_and_series() {
+        let r = Registry::new();
+        r.counter("z_total", "h").inc();
+        r.counter("a_total", "h").inc();
+        r.histogram_with("lat", "h", Unit::Nanos, ("k", "b")).record(1);
+        r.histogram_with("lat", "h", Unit::Nanos, ("k", "a")).record(2);
+        let s = r.snapshot();
+        let names: Vec<&str> = s.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a_total", "lat", "z_total"]);
+        let labels: Vec<&str> = s.families[1]
+            .series
+            .iter()
+            .map(|x| x.label.as_deref().unwrap())
+            .collect();
+        assert_eq!(labels, vec!["a", "b"]);
+    }
+}

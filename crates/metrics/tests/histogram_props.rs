@@ -1,0 +1,87 @@
+//! Property tests for the log-linear histogram: bucket error bounds,
+//! merge algebra, and quantile monotonicity.
+
+use lf_metrics::histogram::{
+    bucket_bounds, bucket_index, bucket_mid, Histogram, HistogramSnapshot, SUB_BUCKETS,
+};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket that contains it, and the bucket's
+    /// midpoint is within the advertised relative-error bound
+    /// (`1/SUB_BUCKETS`) of the value.
+    #[test]
+    fn bucket_contains_value_within_error_bound(v in 0u64..=u64::MAX) {
+        let i = bucket_index(v);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "value {v} outside bucket {i} = [{lo}, {hi}]");
+        let err = (bucket_mid(i) as f64 - v as f64).abs();
+        let bound = if v < SUB_BUCKETS { 0.0 } else { v as f64 / SUB_BUCKETS as f64 };
+        prop_assert!(err <= bound + 1e-9, "mid error {err} exceeds {bound} for value {v}");
+    }
+
+    /// Merging per-shard histograms equals one histogram of all values,
+    /// independent of how values are split into shards (order independence).
+    #[test]
+    fn merge_is_shard_independent(
+        values in proptest::collection::vec(0u64..1u64 << 48, 0..300),
+        split in 0usize..300,
+    ) {
+        let split = split.min(values.len());
+        let (a, b) = values.split_at(split);
+        let whole = snapshot_of(&values);
+        prop_assert_eq!(snapshot_of(a).merge(&snapshot_of(b)), whole.clone());
+        prop_assert_eq!(snapshot_of(b).merge(&snapshot_of(a)), whole);
+    }
+
+    /// Merge is associative: (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(0u64..1u64 << 48, 0..100),
+        b in proptest::collection::vec(0u64..1u64 << 48, 0..100),
+        c in proptest::collection::vec(0u64..1u64 << 48, 0..100),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+    }
+
+    /// Quantiles are monotone in q and bracketed by min/max midpoints.
+    #[test]
+    fn quantiles_are_monotone(
+        values in proptest::collection::vec(0u64..1u64 << 48, 1..300),
+    ) {
+        let s = snapshot_of(&values);
+        let qs: Vec<u64> = (0..=20).map(|k| s.quantile(k as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles not monotone: {qs:?}");
+        }
+        prop_assert!(qs[0] >= bucket_mid(bucket_index(s.min)).min(s.min));
+        prop_assert!(*qs.last().unwrap() <= bucket_mid(bucket_index(s.max)).max(s.max));
+    }
+
+    /// count/sum survive any merge tree exactly (they are exact fields,
+    /// not derived from buckets).
+    #[test]
+    fn merged_totals_are_exact(
+        a in proptest::collection::vec(0u64..1u64 << 32, 0..200),
+        b in proptest::collection::vec(0u64..1u64 << 32, 0..200),
+    ) {
+        let m = snapshot_of(&a).merge(&snapshot_of(&b));
+        prop_assert_eq!(m.count, (a.len() + b.len()) as u64);
+        prop_assert_eq!(m.sum, a.iter().sum::<u64>() + b.iter().sum::<u64>());
+        let all_min = a.iter().chain(&b).min().copied().unwrap_or(0);
+        let all_max = a.iter().chain(&b).max().copied().unwrap_or(0);
+        prop_assert_eq!(m.min, all_min);
+        prop_assert_eq!(m.max, all_max);
+    }
+}

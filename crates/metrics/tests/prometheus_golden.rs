@@ -1,0 +1,186 @@
+//! Golden test for the Prometheus text exposition: build a registry that
+//! exercises every metric kind, then parse the output line-by-line with a
+//! strict grammar check (HELP/TYPE comments, sample lines, label syntax,
+//! histogram suffix discipline) — the kind of validation a real scraper
+//! performs.
+
+use lf_metrics::{Registry, Unit};
+use std::collections::HashMap;
+
+fn is_valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_' || c == ':') == Some(true)
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parse `{k="v",...}` returning the label map; panics on malformed syntax.
+fn parse_labels(s: &str) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("bad label block: {s}"));
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let eq = rest.find('=').unwrap_or_else(|| panic!("label missing '=': {rest}"));
+        let key = &rest[..eq];
+        assert!(is_valid_name(key), "bad label name: {key}");
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .unwrap_or_else(|| panic!("label value not quoted: {rest}"));
+        // Find the closing quote, honoring backslash escapes.
+        let mut val = String::new();
+        let mut chars = rest.char_indices();
+        let end = loop {
+            let (i, c) = chars.next().unwrap_or_else(|| panic!("unterminated label value"));
+            match c {
+                '\\' => {
+                    let (_, e) = chars.next().expect("dangling escape");
+                    assert!(matches!(e, '\\' | '"' | 'n'), "bad escape: \\{e}");
+                    val.push(e);
+                }
+                '"' => break i,
+                c => val.push(c),
+            }
+        };
+        out.insert(key.to_string(), val);
+        rest = &rest[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    out
+}
+
+struct Sample {
+    name: String,
+    labels: HashMap<String, String>,
+    value: f64,
+}
+
+fn parse_sample(line: &str) -> Sample {
+    let (name_part, value_part) = line.rsplit_once(' ').unwrap_or_else(|| panic!("no value: {line}"));
+    let value = match value_part {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        v => v.parse().unwrap_or_else(|_| panic!("bad sample value {v:?} in: {line}")),
+    };
+    let (name, labels) = match name_part.find('{') {
+        Some(i) => (&name_part[..i], parse_labels(&name_part[i..])),
+        None => (name_part, HashMap::new()),
+    };
+    assert!(is_valid_name(name), "bad metric name: {name}");
+    Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    }
+}
+
+#[test]
+fn exposition_parses_line_by_line() {
+    let r = Registry::new();
+    r.counter("lf_jobs_total", "Jobs processed by the service.").add(7);
+    r.counter_with("lf_batch_close_total", "Batch close reasons.", ("reason", "deadline"))
+        .add(2);
+    r.counter_with("lf_batch_close_total", "Batch close reasons.", ("reason", "count"))
+        .add(3);
+    r.gauge("lf_queue_depth", "Jobs waiting in the queue.").set(4.5);
+    let h = r.histogram_with(
+        "lf_kernel_model_seconds",
+        "Modeled kernel time with a \"quoted\" help.",
+        Unit::Nanos,
+        ("kernel", "propose\\scan"),
+    );
+    for v in [100u64, 1_000, 1_000, 50_000, 2_000_000] {
+        h.record(v);
+    }
+    let text = r.snapshot().to_prometheus();
+
+    // --- line-by-line grammar walk ---
+    let mut helped: HashMap<String, String> = HashMap::new(); // family -> TYPE
+    let mut current: Option<String> = None;
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut pending_help: Option<String> = None;
+    for line in text.lines() {
+        assert!(!line.is_empty(), "blank line in exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP without text");
+            assert!(is_valid_name(name));
+            assert!(!help.contains('\n'));
+            assert!(pending_help.is_none(), "two HELP lines in a row");
+            pending_help = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, ty) = rest.split_once(' ').expect("TYPE without kind");
+            assert!(matches!(ty, "counter" | "gauge" | "histogram"), "bad TYPE {ty}");
+            assert_eq!(pending_help.take().as_deref(), Some(name), "TYPE not preceded by its HELP");
+            assert!(!helped.contains_key(name), "family {name} emitted twice");
+            helped.insert(name.to_string(), ty.to_string());
+            current = Some(name.to_string());
+        } else {
+            let s = parse_sample(line);
+            let family = current.as_deref().expect("sample before any TYPE");
+            let ty = &helped[family];
+            let base = s
+                .name
+                .strip_suffix("_bucket")
+                .or_else(|| s.name.strip_suffix("_sum"))
+                .or_else(|| s.name.strip_suffix("_count"))
+                .filter(|_| ty == "histogram")
+                .unwrap_or(&s.name);
+            assert_eq!(base, family, "sample {} outside its family block", s.name);
+            if ty != "histogram" {
+                assert_eq!(base, s.name, "suffixed sample in non-histogram family");
+            }
+            if s.name.ends_with("_bucket") {
+                assert!(s.labels.contains_key("le"), "bucket without le: {line}");
+            } else {
+                assert!(!s.labels.contains_key("le"), "le outside _bucket: {line}");
+            }
+            samples.push(s);
+        }
+    }
+    assert!(pending_help.is_none(), "dangling HELP at end");
+
+    // --- semantic spot-checks ---
+    assert_eq!(helped["lf_jobs_total"], "counter");
+    assert_eq!(helped["lf_kernel_model_seconds"], "histogram");
+    let find = |n: &str, key: Option<(&str, &str)>| -> &Sample {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == n && key.is_none_or(|(k, v)| s.labels.get(k).map(String::as_str) == Some(v))
+            })
+            .unwrap_or_else(|| panic!("missing sample {n} {key:?}"))
+    };
+    assert_eq!(find("lf_jobs_total", None).value, 7.0);
+    assert_eq!(find("lf_queue_depth", None).value, 4.5);
+    assert_eq!(find("lf_batch_close_total", Some(("reason", "deadline"))).value, 2.0);
+    assert_eq!(find("lf_batch_close_total", Some(("reason", "count"))).value, 3.0);
+    // Label value with a backslash survives the escape round-trip.
+    let c = find("lf_kernel_model_seconds_count", Some(("kernel", "propose\\scan")));
+    assert_eq!(c.value, 5.0);
+    // Histogram invariants: +Inf bucket equals _count; nanos exposed as seconds.
+    let inf = samples
+        .iter()
+        .find(|s| s.name == "lf_kernel_model_seconds_bucket" && s.labels["le"] == "+Inf")
+        .unwrap();
+    assert_eq!(inf.value, 5.0);
+    let sum = find("lf_kernel_model_seconds_sum", None);
+    let raw_ns = 100.0 + 1_000.0 + 1_000.0 + 50_000.0 + 2_000_000.0;
+    assert!((sum.value - raw_ns * 1e-9).abs() < 1e-15, "sum {} not in seconds", sum.value);
+    // Cumulative bucket counts are non-decreasing with ascending le.
+    let buckets: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == "lf_kernel_model_seconds_bucket")
+        .map(|s| {
+            let le = if s.labels["le"] == "+Inf" {
+                f64::INFINITY
+            } else {
+                s.labels["le"].parse().unwrap()
+            };
+            (le, s.value)
+        })
+        .collect();
+    let sorted = buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1);
+    assert!(sorted, "buckets not ascending/cumulative: {buckets:?}");
+}

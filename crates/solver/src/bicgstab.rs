@@ -77,10 +77,50 @@ fn fre<T: Scalar>(dev: &Device, x: &[T], xt: &[T]) -> f64 {
     }
 }
 
+/// Record a finished Krylov solve into the process-wide metrics registry
+/// (iterations-to-termination histogram plus solve/convergence counters,
+/// all labeled by solver name). One relaxed load when metrics are off.
+pub(crate) fn record_solve(solver: &'static str, stats: &SolveStats) {
+    if !lf_metrics::enabled() {
+        return;
+    }
+    let m = lf_metrics::global();
+    m.counter_with("lf_solver_solves_total", "Krylov solves run.", ("solver", solver))
+        .inc();
+    if stats.converged {
+        m.counter_with(
+            "lf_solver_converged_total",
+            "Krylov solves that met the residual tolerance.",
+            ("solver", solver),
+        )
+        .inc();
+    }
+    m.histogram_with(
+        "lf_solver_iterations",
+        "Iterations to termination per Krylov solve.",
+        lf_metrics::Unit::Count,
+        ("solver", solver),
+    )
+    .record(stats.iterations as u64);
+}
+
 /// Solve `A x = b` with preconditioned BiCGStab starting from `x = 0`.
 /// When `x_true` is given, the FRE is recorded each iteration (Fig. 4's
 /// second metric).
 pub fn bicgstab<T: Scalar, P: Preconditioner<T> + ?Sized>(
+    dev: &Device,
+    a: &Csr<T>,
+    b: &[T],
+    precond: &P,
+    opts: &SolveOpts,
+    x_true: Option<&[T]>,
+) -> (Vec<T>, SolveStats) {
+    let out = bicgstab_impl(dev, a, b, precond, opts, x_true);
+    record_solve("bicgstab", &out.1);
+    out
+}
+
+fn bicgstab_impl<T: Scalar, P: Preconditioner<T> + ?Sized>(
     dev: &Device,
     a: &Csr<T>,
     b: &[T],
@@ -213,6 +253,31 @@ mod tests {
     };
     use lf_core::parallel::FactorConfig;
     use lf_sparse::stencil::{grid2d, ANISO2, FIVE_POINT};
+
+    #[test]
+    fn solves_feed_metrics_registry_when_enabled() {
+        // Process-global registry: assert only deltas our own solve caused
+        // on the bicgstab-labeled series.
+        let dev = Device::default();
+        let a = grid2d::<f64>(12, 12, &FIVE_POINT);
+        let (b, xt) = manufactured_problem(&dev, &a);
+        let m = lf_metrics::global();
+        let solves = m.counter_with("lf_solver_solves_total", "Krylov solves run.", ("solver", "bicgstab"));
+        let before = solves.get();
+        lf_metrics::enable();
+        let (_, st) = bicgstab(&dev, &a, &b, &IdentityPrecond, &SolveOpts::default(), Some(&xt));
+        lf_metrics::disable();
+        assert!(st.converged);
+        assert!(solves.get() > before, "solve counter did not advance");
+        let snap = m.snapshot();
+        let iters = snap
+            .families
+            .iter()
+            .find(|f| f.name == "lf_solver_iterations")
+            .expect("iterations histogram");
+        assert_eq!(iters.label_key.as_deref(), Some("solver"));
+        assert!(iters.series.iter().any(|s| s.label.as_deref() == Some("bicgstab")));
+    }
 
     #[test]
     fn unpreconditioned_converges_on_laplacian() {

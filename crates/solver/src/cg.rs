@@ -2,7 +2,7 @@
 //! BiCGStab experiments for the SPD members of the collection (the
 //! tridiagonal preconditioners are symmetric, so PCG applies directly).
 
-use crate::bicgstab::{SolveOpts, SolveStats, StopReason};
+use crate::bicgstab::{record_solve, SolveOpts, SolveStats, StopReason};
 use crate::precond::Preconditioner;
 use crate::vec_ops::{axpy, dot, norm2, spmv, sub_scaled, xpby};
 use lf_kernel::Device;
@@ -10,6 +10,19 @@ use lf_sparse::{Csr, Scalar};
 
 /// Solve SPD `A x = b` with preconditioned CG from `x = 0`.
 pub fn pcg<T: Scalar, P: Preconditioner<T> + ?Sized>(
+    dev: &Device,
+    a: &Csr<T>,
+    b: &[T],
+    precond: &P,
+    opts: &SolveOpts,
+    x_true: Option<&[T]>,
+) -> (Vec<T>, SolveStats) {
+    let out = pcg_impl(dev, a, b, precond, opts, x_true);
+    record_solve("pcg", &out.1);
+    out
+}
+
+fn pcg_impl<T: Scalar, P: Preconditioner<T> + ?Sized>(
     dev: &Device,
     a: &Csr<T>,
     b: &[T],

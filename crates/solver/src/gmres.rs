@@ -3,7 +3,7 @@
 //! Right-preconditioned GMRES(m) with Arnoldi (modified Gram–Schmidt) and
 //! Givens-rotation least squares, after Saad [34] Alg. 9.5.
 
-use crate::bicgstab::{SolveOpts, SolveStats, StopReason};
+use crate::bicgstab::{record_solve, SolveOpts, SolveStats, StopReason};
 use crate::precond::Preconditioner;
 use crate::vec_ops::{axpy, dot, norm2, spmv};
 use lf_kernel::Device;
@@ -12,6 +12,20 @@ use lf_sparse::{Csr, Scalar};
 /// Solve `A x = b` with right-preconditioned restarted GMRES(m) from
 /// `x = 0`. `restart` is the Krylov dimension between restarts.
 pub fn gmres<T: Scalar, P: Preconditioner<T> + ?Sized>(
+    dev: &Device,
+    a: &Csr<T>,
+    b: &[T],
+    precond: &P,
+    restart: usize,
+    opts: &SolveOpts,
+    x_true: Option<&[T]>,
+) -> (Vec<T>, SolveStats) {
+    let out = gmres_impl(dev, a, b, precond, restart, opts, x_true);
+    record_solve("gmres", &out.1);
+    out
+}
+
+fn gmres_impl<T: Scalar, P: Preconditioner<T> + ?Sized>(
     dev: &Device,
     a: &Csr<T>,
     b: &[T],

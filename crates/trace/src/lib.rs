@@ -11,7 +11,10 @@
 //!   solve);
 //! * a [`TraceSink`] trait receiving span begin/end, kernel-launch, and
 //!   metric events — [`NoopSink`] discards everything, [`RecordingSink`]
-//!   records a [`TraceData`] behind a mutex;
+//!   records a [`TraceData`] behind a mutex, bounded by an event capacity
+//!   (events past the cap are dropped and counted via
+//!   [`RecordingSink::dropped`], so a long service run cannot grow memory
+//!   without limit);
 //! * two exporters: [`chrome_trace`] (Chrome Trace Event JSON, loadable in
 //!   `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)) and
 //!   [`summary`] (a flat per-phase rollup of launches, read/written bytes,
@@ -61,5 +64,8 @@ pub mod sink;
 pub mod tracer;
 
 pub use export::{chrome_trace, summary, PhaseRollup, PhaseTotals, Summary};
-pub use sink::{LaunchEvent, MetricEvent, NoopSink, RecordingSink, SpanNode, TraceData, TraceSink};
+pub use sink::{
+    LaunchEvent, MetricEvent, NoopSink, RecordingSink, SpanNode, TraceData, TraceSink,
+    DEFAULT_SINK_CAPACITY,
+};
 pub use tracer::{SpanGuard, Tracer};

@@ -129,22 +129,61 @@ impl TraceSink for NoopSink {
     fn metric(&self, _ev: &MetricEvent) {}
 }
 
-/// A sink that records every event into a [`TraceData`] behind a mutex.
-#[derive(Default)]
+/// Default event capacity of a [`RecordingSink`] (spans + launches +
+/// metrics). Generous for interactive runs; long-lived services should
+/// size the cap explicitly with [`RecordingSink::with_capacity`].
+pub const DEFAULT_SINK_CAPACITY: usize = 1 << 22;
+
+/// A sink that records events into a [`TraceData`] behind a mutex, bounded
+/// by an event capacity so a long service run cannot grow memory without
+/// limit. Once `spans + launches + metrics` reaches the cap, new events
+/// are counted in [`RecordingSink::dropped`] and discarded (span *ends*
+/// still close already-recorded spans — they mutate in place).
 pub struct RecordingSink {
     data: Mutex<TraceData>,
+    capacity: usize,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SINK_CAPACITY)
+    }
 }
 
 impl std::fmt::Debug for RecordingSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecordingSink").finish_non_exhaustive()
+        f.debug_struct("RecordingSink")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
     }
 }
 
 impl RecordingSink {
-    /// An empty recording sink.
+    /// An empty recording sink with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty recording sink holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Mutex::new(TraceData::default()),
+            capacity,
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The configured event capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events discarded because the sink was full (cumulative — not reset
+    /// by [`RecordingSink::take`]). Exporters surface this as the
+    /// `lf_trace_dropped_events` metric so a truncated trace is visible.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Clone of everything recorded so far.
@@ -152,15 +191,29 @@ impl RecordingSink {
         self.data.lock().clone()
     }
 
-    /// Move the recorded data out, leaving the sink empty.
+    /// Move the recorded data out, leaving the sink empty (and its
+    /// capacity available again).
     pub fn take(&self) -> TraceData {
         std::mem::take(&mut *self.data.lock())
+    }
+
+    fn full(&self, data: &TraceData) -> bool {
+        let n = data.spans.len() + data.launches.len() + data.metrics.len();
+        if n >= self.capacity {
+            self.dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return true;
+        }
+        false
     }
 }
 
 impl TraceSink for RecordingSink {
     fn begin_span(&self, id: u64, parent: Option<u64>, name: &str, start_s: f64) {
-        self.data.lock().spans.push(SpanNode {
+        let mut data = self.data.lock();
+        if self.full(&data) {
+            return;
+        }
+        data.spans.push(SpanNode {
             id,
             parent,
             name: name.to_string(),
@@ -172,18 +225,27 @@ impl TraceSink for RecordingSink {
     fn end_span(&self, id: u64, end_s: f64) {
         let mut data = self.data.lock();
         // Reverse search: spans close innermost-first, so the match is
-        // almost always near the end.
+        // almost always near the end. (Not capacity-checked: this mutates
+        // an existing span; a dropped begin simply finds no match.)
         if let Some(s) = data.spans.iter_mut().rev().find(|s| s.id == id) {
             s.end_s = end_s;
         }
     }
 
     fn launch(&self, ev: &LaunchEvent) {
-        self.data.lock().launches.push(ev.clone());
+        let mut data = self.data.lock();
+        if self.full(&data) {
+            return;
+        }
+        data.launches.push(ev.clone());
     }
 
     fn metric(&self, ev: &MetricEvent) {
-        self.data.lock().metrics.push(ev.clone());
+        let mut data = self.data.lock();
+        if self.full(&data) {
+            return;
+        }
+        data.metrics.push(ev.clone());
     }
 }
 
@@ -241,6 +303,42 @@ mod tests {
             end_s: f64::NAN,
         };
         assert_eq!(s.duration_s(), 0.0);
+    }
+
+    #[test]
+    fn bounded_sink_drops_and_counts_past_capacity() {
+        let sink = RecordingSink::with_capacity(3);
+        assert_eq!(sink.capacity(), 3);
+        sink.begin_span(1, None, "a", 0.0);
+        sink.metric(&MetricEvent {
+            span: Some(1),
+            key: "m".into(),
+            value: 1.0,
+            t_s: 0.1,
+        });
+        sink.begin_span(2, Some(1), "b", 0.2);
+        // Sink is now full: further events are dropped and counted...
+        sink.begin_span(3, Some(2), "dropped", 0.3);
+        sink.metric(&MetricEvent {
+            span: Some(2),
+            key: "dropped".into(),
+            value: 2.0,
+            t_s: 0.4,
+        });
+        assert_eq!(sink.dropped(), 2);
+        // ...but span *ends* still close recorded spans (and a dropped
+        // begin's end is a silent no-op).
+        sink.end_span(3, 0.5);
+        sink.end_span(2, 0.6);
+        let d = sink.snapshot();
+        assert_eq!(d.spans.len() + d.launches.len() + d.metrics.len(), 3);
+        assert_eq!(d.span(2).unwrap().end_s, 0.6);
+        assert!(d.span(3).is_none());
+        // take() frees the capacity; the dropped counter stays cumulative.
+        sink.take();
+        sink.begin_span(4, None, "fits again", 0.7);
+        assert_eq!(sink.snapshot().spans.len(), 1);
+        assert_eq!(sink.dropped(), 2);
     }
 
     #[test]

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Performance-regression gate: re-measure the deterministic model metrics
+# (bandwidth-model time, traffic, launch counts — never wall clock) and
+# compare them against the committed baseline.
+#
+#   scripts/perf_gate.sh             compare against results/BENCH_gate.json
+#   scripts/perf_gate.sh --update    regenerate the committed baseline
+#
+# Environment:
+#   REPRO_BIN            pre-built repro binary (skips the cargo build);
+#                        CI points this at the offline-overlay build so the
+#                        run matches the flavour the baseline was made with
+#   PERF_GATE_TOLERANCE  relative tolerance per metric (default 0.05)
+#   PERF_GATE_INJECT     synthetic model-time slowdown multiplier — used by
+#                        CI's negative test to prove the gate trips
+#
+# Exits nonzero on any regression past tolerance or a missing metric.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+baseline="results/BENCH_gate.json"
+tolerance="${PERF_GATE_TOLERANCE:-0.05}"
+inject="${PERF_GATE_INJECT:-1.0}"
+
+if [ -n "${REPRO_BIN:-}" ]; then
+    repro="$REPRO_BIN"
+else
+    cargo build --release -p lf-bench --bin repro
+    repro="target/release/repro"
+fi
+
+if [ "${1:-}" = "--update" ]; then
+    "$repro" --out results gate
+    echo "perf gate baseline updated: $baseline"
+    exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+    echo "error: no baseline at $baseline (run scripts/perf_gate.sh --update" \
+         "with the same build flavour as CI)" >&2
+    exit 1
+fi
+
+"$repro" --out /tmp/lf-perf-gate gate \
+    --compare "$baseline" --tolerance "$tolerance" --inject "$inject"

@@ -13,13 +13,19 @@
 //!               [--max-jobs J] [--json]      # fused multi-graph extraction
 //! ```
 //!
-//! Every subcommand additionally accepts the global `--trace <out.json>`
-//! flag: the run is recorded through the device's tracer and exported as
-//! Chrome Trace Event JSON (load `out.json` in <https://ui.perfetto.dev>)
-//! plus a flat per-phase rollup next to it (`out.summary.json`) — and the
-//! global `--check` flag, which installs the invariant auditors of
-//! `lf-check` between pipeline stages and fails (exit code 1, structured
-//! message, no backtrace) on the first violated invariant.
+//! Every subcommand additionally accepts three global flags:
+//!
+//! * `--trace <out.json>` — the run is recorded through the device's
+//!   tracer and exported as Chrome Trace Event JSON (load `out.json` in
+//!   <https://ui.perfetto.dev>) plus a flat per-phase rollup next to it
+//!   (`out.summary.json`);
+//! * `--metrics <out.prom>` — enables the process-wide `lf-metrics`
+//!   registry and writes its final snapshot on exit: Prometheus text
+//!   exposition by default, or the JSON document when the path ends in
+//!   `.json`;
+//! * `--check` — installs the invariant auditors of `lf-check` between
+//!   pipeline stages and fails (exit code 1, structured message, no
+//!   backtrace) on the first violated invariant.
 //!
 //! Inputs are MatrixMarket files, or `gen:NAME[:N]` for a collection
 //! stand-in (e.g. `gen:atmosmodm:50000`).
@@ -35,7 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: lf <stats|factor|forest|tridiag|solve|check|batch> <input.mtx|gen:NAME[:N]> [options]\n\
          batch input: a directory of .mtx files or a comma-separated input list\n\
-         global flags: --trace <out.json>, --check\n\
+         global flags: --trace <out.json>, --metrics <out.prom>, --check\n\
          run `lf help` for details"
     );
     exit(2);
@@ -110,6 +116,17 @@ fn summary_path(trace_path: &str) -> String {
 /// Export the recorded trace: Chrome Trace Event JSON at `path`, the
 /// per-phase rollup at [`summary_path`].
 fn write_trace(path: &str, sink: &RecordingSink) {
+    // lf-trace cannot depend on lf-metrics, so the exporter bridges the
+    // sink's drop counter into the registry: a truncated trace is visible
+    // in the same scrape that describes the run.
+    if linear_forest::metrics::enabled() {
+        linear_forest::metrics::global()
+            .gauge(
+                "lf_trace_dropped_events",
+                "Trace events dropped because the recording sink was full",
+            )
+            .set(sink.dropped() as f64);
+    }
     let data = sink.snapshot();
     std::fs::write(path, chrome_trace(&data)).unwrap_or_else(|e| {
         eprintln!("failed to write trace {path}: {e}");
@@ -121,6 +138,23 @@ fn write_trace(path: &str, sink: &RecordingSink) {
         exit(1);
     });
     eprintln!("trace written to {path} (summary: {spath}); open the trace in https://ui.perfetto.dev");
+}
+
+/// Export the final snapshot of the process-wide metrics registry:
+/// Prometheus text exposition, or the JSON document when `path` ends in
+/// `.json`.
+fn write_metrics(path: &str) {
+    let snap = linear_forest::metrics::global().snapshot();
+    let body = if path.ends_with(".json") {
+        snap.to_json()
+    } else {
+        snap.to_prometheus()
+    };
+    std::fs::write(path, body).unwrap_or_else(|e| {
+        eprintln!("failed to write metrics {path}: {e}");
+        exit(1);
+    });
+    eprintln!("metrics written to {path}");
 }
 
 /// Resolve `lf batch`'s input spec: a directory (all `.mtx` files inside,
@@ -289,6 +323,12 @@ fn main() {
         dev.tracer().install(sink.clone());
         sink
     });
+    // Global --metrics flag: turn on the process-wide registry (otherwise
+    // every instrumentation site stays a single relaxed atomic load).
+    let metrics_path = flag_val(&args, "--metrics").map(str::to_string);
+    if metrics_path.is_some() {
+        linear_forest::metrics::enable();
+    }
     // Global --check flag: audit pipeline invariants between stages.
     let checked = has_flag(&args, "--check");
 
@@ -301,6 +341,9 @@ fn main() {
         if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
             write_trace(path, sink);
         }
+        if let Some(path) = metrics_path.as_deref() {
+            write_metrics(path);
+        }
         if !report.passed() {
             exit(1);
         }
@@ -312,6 +355,9 @@ fn main() {
         let ok = run_batch(&dev, input, rest, checked);
         if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
             write_trace(path, sink);
+        }
+        if let Some(path) = metrics_path.as_deref() {
+            write_metrics(path);
         }
         if !ok {
             exit(1);
@@ -341,7 +387,7 @@ fn main() {
                      \"pattern_symmetric\":{},\"bandwidth\":{},\
                      \"min_weight\":{},\"max_weight\":{},\
                      \"distinct_weights\":{},\"top_2n_weight_fraction\":{},\
-                     \"identity_coverage\":{},\"service\":{}}}",
+                     \"identity_coverage\":{},\"service\":{},\"metrics\":{}}}",
                     json::escape(input),
                     s.n,
                     s.nnz,
@@ -360,6 +406,9 @@ fn main() {
                     // fresh process, live numbers when embedded in a
                     // service (`lf batch --json` reports the same object).
                     linear_forest::batch::counters().to_json(),
+                    // lf-metrics snapshot: empty families unless --metrics
+                    // (or an embedding process) enabled the registry.
+                    linear_forest::metrics::global().snapshot().to_json(),
                 );
             } else {
                 println!("matrix: {input}");
@@ -548,5 +597,8 @@ fn main() {
 
     if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
         write_trace(path, sink);
+    }
+    if let Some(path) = metrics_path.as_deref() {
+        write_metrics(path);
     }
 }

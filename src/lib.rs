@@ -24,6 +24,7 @@
 //! | [`solver`] | BiCGStab/CG, tridiagonal & 2×2 block solves, preconditioners |
 //! | [`check`] | stage invariant audits, checked pipeline, differential oracles |
 //! | [`batch`] | block-diagonal multi-graph fusion, job scheduler, workspace/CSR pools |
+//! | [`metrics`] | process-wide counters/gauges/histograms, Prometheus & JSON exposition |
 //!
 //! ## Quickstart
 //!
@@ -60,6 +61,7 @@ pub use lf_check as check;
 pub use lf_core as core;
 pub use lf_kernel as kernel;
 pub use lf_kernel::trace;
+pub use lf_metrics as metrics;
 pub use lf_solver as solver;
 pub use lf_sparse as sparse;
 
