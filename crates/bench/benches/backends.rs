@@ -1,0 +1,73 @@
+//! Backend/fusion microbenchmarks: the full pipeline under the peephole
+//! fusion pass on and off (`fused_vs_unfused`) and under the model vs the
+//! tuned CPU execution backend (`model_vs_cpu`), on the Fig. 3 degree-class
+//! stand-ins. Forests are bit-identical across all four combinations (see
+//! `tests/backend_equivalence.rs`); these benches measure only the wall
+//! clock the backend and the fusion pass control.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use lf_core::prelude::*;
+use lf_kernel::{backend, BackendKind, Device, DeviceConfig};
+use lf_sparse::Collection;
+use std::time::Duration;
+
+const SCALE: usize = 40_000;
+
+const MATRICES: [Collection; 3] = [
+    Collection::Atmosmodm,
+    Collection::Ecology1,
+    Collection::Thermal2,
+];
+
+fn device(kind: BackendKind, fuse: bool) -> Device {
+    let dev = Device::with_backend(DeviceConfig::default(), backend::make(kind));
+    dev.set_fusion(fuse);
+    dev
+}
+
+fn bench_fused_vs_unfused(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fused_vs_unfused");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let cfg = FactorConfig::paper_default(2);
+    for m in MATRICES {
+        let a = m.generate(SCALE);
+        for (label, fuse) in [("fused", true), ("unfused", false)] {
+            g.bench_with_input(BenchmarkId::new(label, m.name()), &a, |b, a| {
+                let dev = device(BackendKind::Cpu, fuse);
+                b.iter_batched(
+                    || dev.reset_stats(),
+                    |()| tridiagonal_from_matrix(&dev, a, &cfg).unwrap(),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_model_vs_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_vs_cpu");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    let cfg = FactorConfig::paper_default(2);
+    for m in MATRICES {
+        let a = m.generate(SCALE);
+        for kind in [BackendKind::Model, BackendKind::Cpu] {
+            g.bench_with_input(BenchmarkId::new(kind.as_str(), m.name()), &a, |b, a| {
+                let dev = device(kind, true);
+                b.iter_batched(
+                    || dev.reset_stats(),
+                    |()| tridiagonal_from_matrix(&dev, a, &cfg).unwrap(),
+                    BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_unfused, bench_model_vs_cpu);
+criterion_main!(benches);

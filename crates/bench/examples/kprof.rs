@@ -1,0 +1,73 @@
+//! Per-kernel wall-clock profiler: model vs cpu backend, interleaved reps.
+//!
+//! A tuning aid, not part of the shipped harness — where `repro backends`
+//! reports the headline cross, this prints the top kernels by per-kernel
+//! minimum wall time with the cpu/model delta, so threshold or blocking
+//! changes can be attributed to the specific kernels they affect:
+//!
+//! ```sh
+//! cargo run --release -p lf-bench --example kprof -- 40000
+//! ```
+
+use lf_bench::gate::GATE_MATRICES;
+use lf_core::forest::tridiagonal_from_matrix;
+use lf_core::parallel::FactorConfig;
+use lf_kernel::{backend, BackendKind, Device, DeviceConfig};
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40_000);
+    let reps = 7;
+    let cfg = FactorConfig::paper_default(2);
+    for m in GATE_MATRICES {
+        let a = m.generate(scale);
+        let devs: Vec<(BackendKind, Device)> = [BackendKind::Model, BackendKind::Cpu]
+            .iter()
+            .map(|&k| {
+                let dev = Device::with_backend(DeviceConfig::default(), backend::make(k));
+                tridiagonal_from_matrix(&dev, &a, &cfg).unwrap();
+                (k, dev)
+            })
+            .collect();
+        // per backend: kernel -> min-over-reps of per-rep total wall
+        let mut best: Vec<BTreeMap<String, f64>> = vec![BTreeMap::new(), BTreeMap::new()];
+        let mut total: Vec<f64> = vec![f64::INFINITY; 2];
+        for _ in 0..reps {
+            for (i, (_, dev)) in devs.iter().enumerate() {
+                dev.reset_stats();
+                tridiagonal_from_matrix(dev, &a, &cfg).unwrap();
+                let s = dev.stats();
+                total[i] = total[i].min(s.wall_time_s * 1e3);
+                for (name, k) in &s.kernels {
+                    let e = best[i].entry(name.clone()).or_insert(f64::INFINITY);
+                    *e = e.min(k.wall_time_s * 1e3);
+                }
+            }
+        }
+        println!(
+            "\n=== {} scale {scale}: model {:.2} ms vs cpu {:.2} ms ===",
+            m.name(),
+            total[0],
+            total[1]
+        );
+        let mut rows: Vec<(String, f64, f64)> = best[0]
+            .iter()
+            .map(|(n, &mw)| (n.clone(), mw, best[1].get(n).copied().unwrap_or(0.0)))
+            .collect();
+        for (n, _, c) in best[1]
+            .iter()
+            .filter(|(n, _)| !best[0].contains_key(*n))
+            .map(|(n, &c)| (n.clone(), 0.0f64, c))
+        {
+            rows.push((n, 0.0, c));
+        }
+        rows.sort_by(|a, b| (b.1.max(b.2)).total_cmp(&(a.1.max(a.2))));
+        println!("{:<28} {:>9} {:>9} {:>8}", "kernel", "model ms", "cpu ms", "delta");
+        for (n, mw, cw) in rows.iter().take(15) {
+            println!("{n:<28} {mw:>9.3} {cw:>9.3} {:>7.1}%", (cw / mw - 1.0) * 100.0);
+        }
+    }
+}

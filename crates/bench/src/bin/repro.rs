@@ -4,11 +4,15 @@
 //! cargo run --release -p lf-bench --bin repro -- [options] <exp>...
 //!
 //!   <exp>       table2 table3 table4 table5 fig1 fig2 fig3 fig4 fig5 fig6
-//!               ablation solvers convergence batch gate tables figures all
+//!               ablation solvers convergence batch backends gate tables
+//!               figures all
 //!   --scale N   stand-in matrix size (default 20000)
 //!   --full      paper-published sizes (hours of runtime!)
 //!   --out DIR   CSV output directory (default results/)
 //!   --json      also emit machine-readable BENCH_<exp>.json files
+//!   --backend B execution backend: model (default) or cpu; the perf
+//!               gate always measures the model backend regardless
+//!   --no-fuse   disable the peephole kernel-fusion pass (gate unaffected)
 //!   --trace F   record all experiments into Chrome trace F
 //!               (+ per-phase rollup F with .summary.json suffix)
 //!   --metrics F enable the lf-metrics registry and write its final
@@ -29,8 +33,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--metrics F] \
-         [--check] [--compare F] [--tolerance T] [--inject S] \
-         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|gate|tables|figures|all>..."
+         [--check] [--backend model|cpu] [--no-fuse] [--compare F] [--tolerance T] [--inject S] \
+         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|backends|gate|tables|figures|all>..."
     );
     std::process::exit(2);
 }
@@ -53,6 +57,13 @@ fn main() {
             "--full" => opts.full = true,
             "--json" => opts.json = true,
             "--check" => opts.check = true,
+            "--backend" => {
+                opts.backend = args
+                    .next()
+                    .and_then(|s| lf_kernel::BackendKind::parse(&s))
+                    .unwrap_or_else(|| usage());
+            }
+            "--no-fuse" => opts.fuse = false,
             "--out" => {
                 opts.out_dir = args.next().map(Into::into).unwrap_or_else(|| usage());
             }
@@ -106,6 +117,7 @@ fn main() {
             "fig5" => vec!["fig5"],
             "fig6" => vec!["fig6"],
             "ablation" => vec!["ablation"],
+            "backends" => vec!["backends"],
             "batch" => vec!["batch"],
             "gate" => vec!["gate"],
             "solvers" => vec!["solvers"],
@@ -114,7 +126,7 @@ fn main() {
             "figures" => vec!["fig1", "fig2", "fig3", "fig4", "fig5", "fig6"],
             "all" => vec![
                 "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
-                "fig5", "fig6", "ablation", "solvers", "convergence", "batch",
+                "fig5", "fig6", "ablation", "solvers", "convergence", "batch", "backends",
             ],
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -148,6 +160,7 @@ fn main() {
             "fig5" => lf_bench::fig5::run(&opts),
             "fig6" => lf_bench::fig6::run(&opts),
             "ablation" => lf_bench::ablation::run(&opts),
+            "backends" => lf_bench::backends::run(&opts),
             "batch" => lf_bench::batch::run(&opts),
             "gate" => gate_failed |= !lf_bench::gate::run(&opts, &gate),
             "solvers" => lf_bench::solvers::run(&opts),

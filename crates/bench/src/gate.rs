@@ -27,6 +27,7 @@
 use crate::Opts;
 use lf_core::forest::tridiagonal_from_matrix;
 use lf_core::parallel::FactorConfig;
+use lf_kernel::{backend, BackendKind, Device, DeviceConfig};
 use lf_sparse::Collection;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -76,7 +77,15 @@ pub fn measure(opts: &Opts) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     for m in GATE_MATRICES {
         let a = m.generate(GATE_SCALE);
-        let dev = opts.device();
+        // The baseline is defined on the model backend with the fusion
+        // pass on — the historical launch stream. A `--backend cpu` or
+        // `--no-fuse` harness run must not skew the gate, so the device
+        // is constructed explicitly rather than via `opts.device()`.
+        let dev = Device::with_backend_tracer(
+            DeviceConfig::default(),
+            backend::make(BackendKind::Model),
+            opts.tracer.clone(),
+        );
         let (tri, _, _) =
             tridiagonal_from_matrix(&dev, &a, &cfg).expect("gate pipeline failed");
         assert_eq!(tri.len(), a.nrows(), "gate workload must cover the matrix");
@@ -266,5 +275,18 @@ mod tests {
         assert_eq!(a, b, "model metrics must be run-to-run deterministic");
         assert_eq!(a.len(), 3 * GATE_MATRICES.len());
         assert!(a.values().all(|v| v.is_finite() && *v > 0.0), "{a:?}");
+    }
+
+    #[test]
+    fn gate_ignores_backend_and_fusion_overrides() {
+        // `repro --backend cpu --no-fuse gate` must still measure the
+        // model-backend fused baseline.
+        let base = measure(&Opts::default());
+        let overridden = Opts {
+            backend: lf_kernel::BackendKind::Cpu,
+            fuse: false,
+            ..Opts::default()
+        };
+        assert_eq!(base, measure(&overridden));
     }
 }

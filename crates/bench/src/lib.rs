@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod backends;
 pub mod batch;
 pub mod convergence;
 pub mod solvers;
@@ -27,7 +28,7 @@ pub mod table4;
 pub mod table5;
 
 use lf_kernel::trace::Tracer;
-use lf_kernel::{Device, DeviceConfig};
+use lf_kernel::{backend, BackendKind, Device, DeviceConfig};
 use std::path::PathBuf;
 
 /// Experiment options shared by all harness commands.
@@ -49,6 +50,12 @@ pub struct Opts {
     /// experiments in one trace. Inactive (free) unless a sink is
     /// installed.
     pub tracer: Tracer,
+    /// Execution backend for harness-created devices (`--backend`).
+    /// The perf gate ignores this and always measures the model backend.
+    pub backend: BackendKind,
+    /// Peephole kernel fusion on harness-created devices; `--no-fuse`
+    /// clears it (the gate likewise pins fusion on).
+    pub fuse: bool,
 }
 
 impl Default for Opts {
@@ -60,16 +67,25 @@ impl Default for Opts {
             json: false,
             check: false,
             tracer: Tracer::new(),
+            backend: BackendKind::Model,
+            fuse: true,
         }
     }
 }
 
 impl Opts {
-    /// A fresh default-configured simulated device wired to the harness
+    /// A fresh simulated device on the selected backend (`--backend`),
+    /// with the fusion pass set per `--no-fuse`, wired to the harness
     /// tracer. Experiments create one per matrix so stats don't bleed
     /// across measurements, while all of them share one trace timeline.
     pub fn device(&self) -> Device {
-        Device::with_tracer(DeviceConfig::default(), self.tracer.clone())
+        let dev = Device::with_backend_tracer(
+            DeviceConfig::default(),
+            backend::make(self.backend),
+            self.tracer.clone(),
+        );
+        dev.set_fusion(self.fuse);
+        dev
     }
 
     /// Checked-mode preflight (`repro --check`): run the fully audited

@@ -49,7 +49,7 @@ pub mod oracle;
 pub mod pipeline;
 
 pub use audit::{Stage, Violation};
-pub use oracle::{differential_case, differential_suite, OracleCase, OracleReport};
+pub use oracle::{backend_case, differential_case, differential_suite, OracleCase, OracleReport};
 pub use pipeline::{
     extract_linear_forest_checked, tridiagonal_from_matrix_checked, CheckError, CheckOptions,
     CheckReport, Fault,

@@ -161,9 +161,67 @@ pub fn differential_case<T: Scalar>(dev: &Device, aprime: &Csr<T>, label: &str) 
     OracleCase { label: label.into(), failures }
 }
 
+/// Cross-backend, cross-fusion differential: the model device and the
+/// tuned CPU backend, each with the peephole fusion pass on and off, must
+/// produce **bit-identical** forests (factor, removed cycle edges, path
+/// IDs/positions, permutation), and the two backends must agree on the
+/// `DeviceStats`-visible launch counts — the launch stream is a property
+/// of the algorithm and fusion setting, never of the execution backend.
+/// Fused runs must launch strictly fewer kernels than unfused ones.
+///
+/// Builds its own four devices (backend × fusion), so it takes no `dev`.
+pub fn backend_case<T: Scalar>(aprime: &Csr<T>, label: &str) -> OracleCase {
+    use lf_core::forest::extract_linear_forest;
+    use lf_kernel::{backend, BackendKind, DeviceConfig};
+    let cfg = FactorConfig::paper_default(2);
+    let mut failures = Vec::new();
+    let mut runs = Vec::new();
+    for kind in [BackendKind::Model, BackendKind::Cpu] {
+        for fuse in [true, false] {
+            let dev = Device::with_backend(DeviceConfig::default(), backend::make(kind));
+            dev.set_fusion(fuse);
+            match extract_linear_forest(&dev, aprime, &cfg) {
+                Ok((forest, _)) => runs.push((kind, fuse, forest, dev.stats())),
+                Err(e) => failures.push(format!("{kind}/fuse={fuse}: pipeline failed: {e}")),
+            }
+        }
+    }
+    if failures.is_empty() {
+        let (_, _, base, _) = &runs[0];
+        for (kind, fuse, forest, _) in &runs[1..] {
+            if forest.factor != base.factor {
+                failures.push(format!("{kind}/fuse={fuse}: factor differs from model/fused"));
+            }
+            if forest.paths != base.paths {
+                failures.push(format!("{kind}/fuse={fuse}: paths differ from model/fused"));
+            }
+            if forest.perm != base.perm {
+                failures.push(format!("{kind}/fuse={fuse}: permutation differs from model/fused"));
+            }
+            if forest.cycles.removed != base.cycles.removed {
+                failures.push(format!("{kind}/fuse={fuse}: removed cycle edges differ"));
+            }
+        }
+        // runs order: (Model,fused) (Model,unfused) (Cpu,fused) (Cpu,unfused)
+        let l: Vec<u64> = runs.iter().map(|(_, _, _, s)| s.launches).collect();
+        if l[0] != l[2] {
+            failures.push(format!("fused launch counts differ across backends: {} vs {}", l[0], l[2]));
+        }
+        if l[1] != l[3] {
+            failures.push(format!("unfused launch counts differ across backends: {} vs {}", l[1], l[3]));
+        }
+        if l[0] >= l[1] {
+            failures.push(format!("fused run did not launch fewer kernels: {} vs {}", l[0], l[1]));
+        }
+    }
+    OracleCase { label: label.into(), failures }
+}
+
 /// Run the differential suite: `random_cases` seeded random graphs of
 /// `n` vertices (varying density), plus the paper's 2D/3D model-problem
-/// stencils. Returns one [`OracleCase`] per input.
+/// stencils, plus cross-backend/fusion equivalence cases
+/// ([`backend_case`]) on one random and one stencil input. Returns one
+/// [`OracleCase`] per input.
 pub fn differential_suite(dev: &Device, random_cases: usize, n: usize) -> OracleReport {
     let mut cases = Vec::new();
     for seed in 0..random_cases as u64 {
@@ -191,6 +249,18 @@ pub fn differential_suite(dev: &Device, random_cases: usize, n: usize) -> Oracle
     let a3: Csr<f64> = grid3d(s3, s3, s3, &Stencil7::symmetric(6.0, -1.0, -1.0, -1.0));
     let ap3 = lf_core::prepare_undirected(&a3);
     cases.push(differential_case(dev, &ap3, "grid3d/poisson"));
+    // Cross-backend/fusion equivalence on one random and one stencil input
+    // (these build their own model/cpu × fused/unfused devices).
+    let ar: Csr<f64> = random_symmetric(n, 4.0, 0.1, 10.0, 1234);
+    cases.push(backend_case(
+        &lf_core::prepare_undirected(&ar),
+        &format!("backends(random, n={n})"),
+    ));
+    let astencil: Csr<f64> = grid2d(side, side, &ANISO2);
+    cases.push(backend_case(
+        &lf_core::prepare_undirected(&astencil),
+        "backends(grid2d/ANISO2)",
+    ));
     OracleReport { cases }
 }
 
@@ -203,8 +273,15 @@ mod tests {
         let dev = Device::default();
         let report = differential_suite(&dev, 4, 120);
         assert!(report.passed(), "{report}");
-        assert_eq!(report.cases.len(), 9);
-        assert!(report.to_string().contains("9/9 cases agree"));
+        assert_eq!(report.cases.len(), 11);
+        assert!(report.to_string().contains("11/11 cases agree"));
+    }
+
+    #[test]
+    fn backend_case_catches_nothing_on_good_pipeline() {
+        let a: Csr<f64> = grid2d(10, 10, &ANISO1);
+        let case = backend_case(&lf_core::prepare_undirected(&a), "backends/test");
+        assert!(case.passed(), "{:?}", case.failures);
     }
 
     #[test]

@@ -74,6 +74,32 @@ impl<T: Scalar> MinEdge<T> {
         }
     }
 
+    /// `total_cmp`-free fast path of [`MinEdge::min`] for **pre-sanitized
+    /// keys**: weights stored by [`MinEdge::new`] pass through `abs()`, so
+    /// on inputs whose weights are finite (enforced at ingestion by
+    /// `lf-sparse`) every key is a non-negative, non-NaN float — plus the
+    /// `+∞` combine identity. On that domain a plain `PartialOrd` compare
+    /// decides exactly like IEEE `totalOrder` (no NaNs to order, no `-0.0`
+    /// after `abs()`).
+    ///
+    /// Written branch-free on purpose: both the weight compares and the
+    /// packed endpoint tie-break are evaluated unconditionally (`|`/`&`,
+    /// not `||`/`&&`), so the only data-dependent select is the final one
+    /// and meshes with many duplicate weights don't stall on tie-break
+    /// mispredictions the way `total_cmp`'s `Ordering` chain does.
+    /// Bit-identical to [`MinEdge::min`] on the sanitized domain; backends
+    /// advertise eligibility via `Backend::sanitized_keys()`.
+    #[inline]
+    pub fn min_sanitized(self, other: Self) -> Self {
+        let pack = |e: &Self| ((e.u as u64) << 32) | e.v as u64;
+        let better = (other.w < self.w) | ((other.w == self.w) & (pack(&other) < pack(&self)));
+        if better {
+            other
+        } else {
+            self
+        }
+    }
+
     /// Whether `x` is an endpoint.
     pub fn touches(&self, x: u32) -> bool {
         self.u == x || self.v == x
@@ -97,6 +123,10 @@ pub struct CycleReport {
 /// removal kernel.
 pub fn break_cycles<T: Scalar>(dev: &Device, factor: &mut Factor<T>) -> CycleReport {
     let nv = factor.num_vertices();
+    // Backends that guarantee pre-sanitized keys (weights are `abs()`'d by
+    // `MinEdge::new` and finite by `lf-sparse` ingestion) may take the
+    // `total_cmp`-free combine; the result is bit-identical on that domain.
+    let sanitized = dev.backend().sanitized_keys();
     let res: BidirResult<MinEdge<T>> = bidirectional_scan(
         dev,
         factor,
@@ -105,7 +135,13 @@ pub fn break_cycles<T: Scalar>(dev: &Device, factor: &mut Factor<T>) -> CycleRep
             Some((w, x)) => MinEdge::new(x, v as u32, w),
             None => MinEdge::infinity(),
         },
-        |a, b| a.min(b),
+        move |a, b| {
+            if sanitized {
+                a.min_sanitized(b)
+            } else {
+                a.min(b)
+            }
+        },
     );
 
     // Collect the removed edges: the min edge of each cycle, reported by
@@ -280,6 +316,56 @@ mod tests {
         // beats it: a NaN edge can never be selected for removal.
         assert!(nan.min(MinEdge::infinity()).w.is_infinite());
         assert!(MinEdge::infinity().min(nan).w.is_infinite());
+    }
+
+    #[test]
+    fn min_sanitized_matches_min_on_sanitized_domain() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut pool: Vec<MinEdge<f32>> = (0..200)
+            .map(|_| {
+                MinEdge::new(
+                    rng.random_range(-100.0f32..100.0),
+                    rng.random_range(0..50),
+                    rng.random_range(0..50),
+                )
+            })
+            .collect();
+        pool.push(MinEdge::infinity());
+        pool.push(MinEdge::new(0.0, 1, 2));
+        pool.push(MinEdge::new(-0.0, 1, 2)); // abs() folds to +0.0
+        for a in &pool {
+            for b in &pool {
+                assert_eq!(a.min(*b), a.min_sanitized(*b), "a={a:?} b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn break_cycles_agrees_across_backends() {
+        use lf_kernel::{BackendKind, Device, DeviceConfig};
+        let cpu = Device::with_backend(
+            DeviceConfig::default(),
+            lf_kernel::backend::make(BackendKind::Cpu),
+        );
+        let model = Device::default();
+        let edges = [
+            (0, 1, 0.5f32),
+            (1, 2, 0.4),
+            (2, 0, 0.6),
+            (3, 4, 1.0),
+            (4, 5, 0.9),
+            (5, 6, 0.8),
+            (6, 3, 0.7),
+            (7, 8, 0.2),
+        ];
+        let f0 = factor_from_edges(9, &edges);
+        let mut fa = f0.clone();
+        let mut fb = f0.clone();
+        let ra = break_cycles(&model, &mut fa);
+        let rb = break_cycles(&cpu, &mut fb);
+        assert_eq!(ra.removed, rb.removed);
+        assert_eq!(fa, fb);
     }
 
     #[test]

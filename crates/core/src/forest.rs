@@ -222,6 +222,12 @@ pub fn extract_linear_forest_with<T: Scalar>(
         tracer.metric("cycles_broken", cycles.cycles as f64);
         tracer.metric("num_paths", paths.num_paths() as f64);
         tracer.metric("forest_weight", factor.weight());
+        // Fusion-pass observability: how many adjacent kernel pairs the
+        // peephole rewrote into single launches (process-cumulative until
+        // `Device::reset_stats`). Lets traced runs verify the pass fires.
+        let fs = dev.fusion_stats();
+        tracer.metric("fused_launches", fs.fused() as f64);
+        tracer.metric("fusion_attempts", fs.attempted as f64);
     }
 
     Ok((

@@ -20,7 +20,8 @@ use crate::charge::{charge, salted_key};
 use crate::error::PipelineError;
 use crate::factor::Factor;
 use crate::topk::TopK;
-use lf_kernel::{compact, launch, reduce, Device, Reusable, ScatterSlice, Traffic, PAR_THRESHOLD};
+use lf_kernel::plan::{BufId, OpClass, PlanOp};
+use lf_kernel::{compact, launch, reduce, Device, KernelClass, Reusable, ScatterSlice, Traffic};
 use lf_sparse::{
     gespmv_with, subset_row_ptr, Csr, CsrRowView, GeSpmvOps, Scalar, SpmvEngine, SrcsrScratch,
 };
@@ -300,45 +301,91 @@ fn propose_into<T: Scalar, const K: usize>(
     flen
 }
 
-/// Mutual-proposal confirmation over every row (Alg. 2 line 26), fused with
-/// the confirmed-slot count so the maximality check needs no separate
-/// `before` reduce. Returns the new Σ_v |π(v)|.
+/// Mutual-proposal confirmation over every row (Alg. 2 line 26), a
+/// confirm→count pair under the fusion pass: fused (the default, and the
+/// PR-1 hand-fusion this rule generalizes), the confirm kernel carries an
+/// `atomicAdd`-style slot counter so the maximality check needs no
+/// separate reduce; unfused, a plain confirm launch is followed by a
+/// `count_confirmed` reduction over the slot table. Returns the new
+/// Σ_v |π(v)| either way, bit-identically.
 fn confirm_dense<T: Scalar, const K: usize>(
     dev: &Device,
     confirmed: &mut [TopK<T, K>],
     proposals: &[TopK<T, K>],
 ) -> usize {
     let nv = confirmed.len();
-    let traffic = Traffic::new()
-        .read_bytes((2 * nv * std::mem::size_of::<TopK<T, K>>()) as u64)
-        .writes::<TopK<T, K>>(nv)
-        .writes::<usize>(1); // the fused slot counter (atomicAdd analog)
-    dev.launch("confirm", traffic, || {
-        let body = |v: usize, slot: &mut TopK<T, K>| {
-            let mut out = TopK::empty();
-            for (w, c) in proposals[v].iter() {
-                if proposals[c as usize].contains(v as u32) {
-                    out.insert(w, c);
-                }
+    let confirm_op = PlanOp::new(
+        "confirm",
+        OpClass::Confirm,
+        vec![BufId::of(proposals)],
+        vec![BufId::of(confirmed)],
+        Traffic::new()
+            .read_bytes((2 * nv * std::mem::size_of::<TopK<T, K>>()) as u64)
+            .writes::<TopK<T, K>>(nv),
+    );
+    let count_op = PlanOp::new(
+        "count_confirmed",
+        OpClass::Count,
+        vec![BufId::of(confirmed)],
+        vec![BufId::raw(0)],
+        Traffic::new().reads::<TopK<T, K>>(nv),
+    );
+    let thr = dev.par_threshold(KernelClass::Confirm);
+    let body = |v: usize, slot: &mut TopK<T, K>| {
+        let mut out = TopK::empty();
+        for (w, c) in proposals[v].iter() {
+            if proposals[c as usize].contains(v as u32) {
+                out.insert(w, c);
             }
-            let n = out.len();
-            *slot = out;
-            n
-        };
-        if nv < PAR_THRESHOLD {
-            confirmed
-                .iter_mut()
-                .enumerate()
-                .map(|(v, s)| body(v, s))
-                .sum()
+        }
+        let n = out.len();
+        *slot = out;
+        n
+    };
+    if dev.plan_fuse(confirm_op.clone(), count_op.clone()) {
+        // The confirmed table is a real output (not an elided
+        // intermediate), so the fused traffic is the confirm launch plus
+        // the fused slot counter (atomicAdd analog) — the count's re-read
+        // of the table is what fusion saves.
+        let traffic = confirm_op.traffic.writes::<usize>(1);
+        return dev.launch("confirm", traffic, || {
+            if nv < thr {
+                confirmed
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(v, s)| body(v, s))
+                    .sum()
+            } else {
+                confirmed
+                    .par_iter_mut()
+                    .enumerate()
+                    .map(|(v, s)| body(v, s))
+                    .sum()
+            }
+        });
+    }
+    dev.launch("confirm", confirm_op.traffic, || {
+        if nv < thr {
+            for (v, s) in confirmed.iter_mut().enumerate() {
+                body(v, s);
+            }
         } else {
             confirmed
                 .par_iter_mut()
                 .enumerate()
-                .map(|(v, s)| body(v, s))
-                .sum()
+                .for_each(|(v, s)| {
+                    body(v, s);
+                });
         }
-    })
+    });
+    reduce::reduce(
+        dev,
+        "count_confirmed",
+        confirmed,
+        0usize,
+        |t| t.len(),
+        |a, b| a + b,
+    )
 }
 
 /// Frontier-restricted confirmation: only non-full rows can change, so only
@@ -352,32 +399,74 @@ fn confirm_frontier<T: Scalar, const K: usize>(
     frontier: &[u32],
 ) -> usize {
     let flen = frontier.len();
-    let traffic = Traffic::new()
-        .reads::<u32>(flen)
-        .read_bytes((2 * flen * std::mem::size_of::<TopK<T, K>>()) as u64)
-        .writes::<TopK<T, K>>(flen)
-        .writes::<usize>(1);
-    dev.launch("confirm", traffic, || {
+    let confirm_op = PlanOp::new(
+        "confirm",
+        OpClass::Confirm,
+        vec![BufId::of(frontier), BufId::of(proposals)],
+        vec![BufId::of(confirmed)],
+        Traffic::new()
+            .reads::<u32>(flen)
+            .read_bytes((2 * flen * std::mem::size_of::<TopK<T, K>>()) as u64)
+            .writes::<TopK<T, K>>(flen),
+    );
+    let count_op = PlanOp::new(
+        "count_confirmed",
+        OpClass::Count,
+        vec![BufId::of(confirmed), BufId::of(frontier)],
+        vec![BufId::raw(0)],
+        Traffic::new().reads::<u32>(flen),
+    );
+    let thr = dev.par_threshold(KernelClass::Confirm);
+    let make_slot = |v: usize| {
+        let mut out = TopK::empty();
+        for (w, c) in proposals[v].iter() {
+            if proposals[c as usize].contains(v as u32) {
+                out.insert(w, c);
+            }
+        }
+        out
+    };
+    if dev.plan_fuse(confirm_op.clone(), count_op.clone()) {
+        let traffic = confirm_op.traffic.writes::<usize>(1);
+        return dev.launch("confirm", traffic, || {
+            let sc = ScatterSlice::new(confirmed);
+            let body = |&v: &u32| {
+                let v = v as usize;
+                let out = make_slot(v);
+                let n = out.len();
+                // SAFETY: frontier indices are strictly ascending, so disjoint.
+                unsafe { sc.write(v, out) };
+                n
+            };
+            if flen < thr {
+                frontier.iter().map(body).sum()
+            } else {
+                frontier.par_iter().map(body).sum()
+            }
+        });
+    }
+    dev.launch("confirm", confirm_op.traffic, || {
         let sc = ScatterSlice::new(confirmed);
         let body = |&v: &u32| {
             let v = v as usize;
-            let mut out = TopK::empty();
-            for (w, c) in proposals[v].iter() {
-                if proposals[c as usize].contains(v as u32) {
-                    out.insert(w, c);
-                }
-            }
-            let n = out.len();
             // SAFETY: frontier indices are strictly ascending, so disjoint.
-            unsafe { sc.write(v, out) };
-            n
+            unsafe { sc.write(v, make_slot(v)) };
         };
-        if flen < PAR_THRESHOLD {
-            frontier.iter().map(body).sum()
+        if flen < thr {
+            frontier.iter().for_each(body);
         } else {
-            frontier.par_iter().map(body).sum()
+            frontier.par_iter().for_each(body);
         }
-    })
+    });
+    let confirmed: &[TopK<T, K>] = confirmed;
+    reduce::reduce(
+        dev,
+        "count_confirmed",
+        frontier,
+        0usize,
+        |&v| confirmed[v as usize].len(),
+        |a, b| a + b,
+    )
 }
 
 /// Handles into the process-wide metrics registry for the factor loop,
@@ -541,9 +630,14 @@ fn run<T: Scalar, const K: usize>(
             // (line 23). Full rows contribute exactly K slots to both
             // sides, so in frontier mode the count runs over the frontier
             // outputs only and the full rows are added back in closed form.
+            // A map→reduce pair under the fusion pass: fused (default) the
+            // slot-count map stays in registers and this is the historical
+            // single `count_slots` launch; unfused a `count_slots_map`
+            // launch materializes the per-row counts first.
             let after = if cfg.frontier {
-                let af = reduce::reduce(
+                let af = reduce::map_reduce(
                     dev,
+                    "count_slots_map",
                     "count_slots",
                     fout.as_slice(),
                     0usize,
@@ -552,9 +646,15 @@ fn run<T: Scalar, const K: usize>(
                 );
                 af + (nv - flen) * K
             } else {
-                reduce::reduce(dev, "count_slots", proposals, 0usize, |t| t.len(), |a, b| {
-                    a + b
-                })
+                reduce::map_reduce(
+                    dev,
+                    "count_slots_map",
+                    "count_slots",
+                    proposals,
+                    0usize,
+                    |t| t.len(),
+                    |a, b| a + b,
+                )
             };
             if slots == after {
                 iterations = k + 1;

@@ -114,7 +114,10 @@ pub fn identify_paths<T: Scalar>(
 
     // Cycle check: a positive (non-end) stride-q_max link after all steps
     // means the vertex never reached a path end (Sec. 4.2).
-    let cyc = reduce::max_by_key(dev, "cycle_check", &res.links, |l| {
+    // A map→reduce pair under the fusion pass: fused (default) the 0/1
+    // cycle flag is computed inside the max-reduction; unfused a
+    // `cycle_check_map` launch materializes the flags first.
+    let cyc = reduce::map_max_by_key(dev, "cycle_check_map", "cycle_check", &res.links, |l| {
         u32::from(!l[0].is_end() || !l[1].is_end())
     });
     if let Some(v) = cyc {

@@ -1,0 +1,350 @@
+//! Execution backends: how kernel bodies are *scheduled* on the host.
+//!
+//! A [`Backend`] does not change what a kernel computes — bodies live with
+//! the primitives ([`crate::launch`], [`crate::reduce`], …) and are shared
+//! by all backends. It changes *how* the body runs: the sequential/parallel
+//! cutoff per kernel class, cache blocking of row traversals, and whether
+//! lane-chunked (auto-vectorizable) inner loops are used. Two backends
+//! exist:
+//!
+//! * [`ModelBackend`] — the historical behavior, bit-for-bit: the single
+//!   global [`crate::PAR_THRESHOLD`] family of constants the primitives
+//!   used before the trait existed. The deterministic perf gate
+//!   (`results/BENCH_gate.json`) is defined against this backend.
+//! * [`CpuBackend`] — tuned for real wall clock on the host CPU:
+//!   per-class thresholds derived from the rayon thread count (a 1-thread
+//!   pool never forks), cache-blocked CSR traversal, chunked lanes, and
+//!   `total_cmp`-free comparison fast paths where keys are pre-sanitized.
+//!
+//! Per-class thresholds are overridable via `LF_PAR_THRESHOLD_<CLASS>`
+//! environment variables (e.g. `LF_PAR_THRESHOLD_SCAN=100000`), read once
+//! when [`CpuBackend::tuned`] is constructed. Unset classes fall back to
+//! the tuned default, which itself falls back to the legacy
+//! [`crate::PAR_THRESHOLD`] scale.
+
+use crate::PAR_THRESHOLD;
+use std::sync::Arc;
+
+/// The scheduling class of a kernel. Every launch site in the workspace
+/// maps to exactly one class; the backend supplies one parallel threshold
+/// per class (replacing the single global `PAR_THRESHOLD`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Elementwise maps, fills, copies, gathers, for-each loops.
+    Map,
+    /// Monoid reductions (including fused map→reduce and argmax).
+    Reduce,
+    /// Blocked prefix scans.
+    Scan,
+    /// Stream compaction (flag scan + scatter).
+    Compact,
+    /// Segmented reductions / sorts (threshold applies to segment count).
+    Segmented,
+    /// Radix sorts (threshold selects single-launch host sort).
+    Sort,
+    /// Generalized SpMV row traversals (threshold applies to row count).
+    GeSpmv,
+    /// Mutual-confirmation kernels of the [0,n]-factor pipeline.
+    Confirm,
+}
+
+impl KernelClass {
+    /// All classes, in a fixed order (indexes the threshold tables).
+    pub const ALL: [KernelClass; 8] = [
+        KernelClass::Map,
+        KernelClass::Reduce,
+        KernelClass::Scan,
+        KernelClass::Compact,
+        KernelClass::Segmented,
+        KernelClass::Sort,
+        KernelClass::GeSpmv,
+        KernelClass::Confirm,
+    ];
+
+    /// Suffix of the `LF_PAR_THRESHOLD_<CLASS>` override variable.
+    pub fn env_suffix(self) -> &'static str {
+        match self {
+            KernelClass::Map => "MAP",
+            KernelClass::Reduce => "REDUCE",
+            KernelClass::Scan => "SCAN",
+            KernelClass::Compact => "COMPACT",
+            KernelClass::Segmented => "SEGMENTED",
+            KernelClass::Sort => "SORT",
+            KernelClass::GeSpmv => "GESPMV",
+            KernelClass::Confirm => "CONFIRM",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            KernelClass::Map => 0,
+            KernelClass::Reduce => 1,
+            KernelClass::Scan => 2,
+            KernelClass::Compact => 3,
+            KernelClass::Segmented => 4,
+            KernelClass::Sort => 5,
+            KernelClass::GeSpmv => 6,
+            KernelClass::Confirm => 7,
+        }
+    }
+}
+
+/// Identifies a backend implementation (CLI `--backend` values).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The historical model device (perf-gate reference).
+    #[default]
+    Model,
+    /// The tuned host-CPU backend.
+    Cpu,
+}
+
+impl BackendKind {
+    /// Parse a CLI `--backend` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "model" => Some(BackendKind::Model),
+            "cpu" => Some(BackendKind::Cpu),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this backend.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendKind::Model => "model",
+            BackendKind::Cpu => "cpu",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// How kernel bodies are scheduled on the host. Implementations must be
+/// pure configuration: two calls with the same argument return the same
+/// value for the lifetime of the backend (bodies may be re-executed and
+/// must make identical seq/par decisions).
+pub trait Backend: Send + Sync + std::fmt::Debug {
+    /// Which backend this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Minimum element count at which a kernel of `class` runs its
+    /// rayon-parallel path instead of the sequential one. `usize::MAX`
+    /// means "always sequential".
+    fn par_threshold(&self, class: KernelClass) -> usize;
+
+    /// Row-block size for cache-blocked CSR/SRCSR traversal, or `None`
+    /// for the unblocked (per-element) historical traversal.
+    fn row_block(&self) -> Option<usize> {
+        None
+    }
+
+    /// Lane-chunk width for branch-free chunked inner loops (reductions
+    /// keep `lane_chunk` independent accumulators), or `None` for the
+    /// plain fold. Chunking reassociates: exact for the integer/min/max
+    /// monoids the factor pipeline relies on, not for `f64` sums.
+    fn lane_chunk(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether comparison keys reaching this backend's min/max combines
+    /// are pre-sanitized (no NaN, no `-0.0`), allowing a `total_cmp`-free
+    /// `<` fast path. The factor pipeline guarantees this by construction
+    /// (proposal weights pass through `abs()`); the model backend still
+    /// uses the NaN-lawful `total_cmp` ordering as the reference.
+    fn sanitized_keys(&self) -> bool {
+        false
+    }
+}
+
+/// The historical model device scheduling, bit-for-bit: the same
+/// thresholds the primitives used when they read global constants.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModelBackend;
+
+impl Backend for ModelBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Model
+    }
+
+    fn par_threshold(&self, class: KernelClass) -> usize {
+        // Exactly the pre-trait constants: global PAR_THRESHOLD (2048),
+        // reduce.rs 4096, scan.rs/compact.rs SEQ_THRESHOLD 8192, and
+        // sort.rs 1 << 14. Do not "tune" these — the deterministic perf
+        // gate and every recorded launch stream depend on them.
+        match class {
+            KernelClass::Map
+            | KernelClass::Segmented
+            | KernelClass::GeSpmv
+            | KernelClass::Confirm => PAR_THRESHOLD,
+            KernelClass::Reduce => 2 * PAR_THRESHOLD,
+            KernelClass::Scan | KernelClass::Compact => 4 * PAR_THRESHOLD,
+            KernelClass::Sort => 8 * PAR_THRESHOLD,
+        }
+    }
+}
+
+/// Tuned host-CPU scheduling: thresholds derived from the rayon pool
+/// size at construction, env-overridable per class; cache-blocked rows
+/// and chunked lanes on.
+#[derive(Clone, Debug)]
+pub struct CpuBackend {
+    thresholds: [usize; 8],
+    row_block: usize,
+    lane_chunk: usize,
+}
+
+impl CpuBackend {
+    /// Rows per cache block. 1024 rows of row-pointer + slot data stay
+    /// within L1/L2 while the gathered `x` entries retain locality.
+    pub const ROW_BLOCK: usize = 1024;
+
+    /// Accumulator lanes of chunked reductions — wide enough for one
+    /// AVX2 register of `u32`/`f32`.
+    pub const LANE_CHUNK: usize = 8;
+
+    /// Construct with thresholds tuned for the current rayon pool and
+    /// `LF_PAR_THRESHOLD_<CLASS>` overrides applied.
+    pub fn tuned() -> Self {
+        Self::for_threads(rayon::current_num_threads())
+    }
+
+    /// Construct for an explicit thread count (tests).
+    pub fn for_threads(threads: usize) -> Self {
+        let mut thresholds = [0usize; 8];
+        for class in KernelClass::ALL {
+            let var = format!("LF_PAR_THRESHOLD_{}", class.env_suffix());
+            thresholds[class.index()] = std::env::var(&var)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .unwrap_or_else(|| Self::default_threshold(class, threads));
+        }
+        Self {
+            thresholds,
+            row_block: Self::ROW_BLOCK,
+            lane_chunk: Self::LANE_CHUNK,
+        }
+    }
+
+    /// Tuned default threshold for `class` on a `threads`-wide pool.
+    ///
+    /// With one thread rayon's fork-join machinery is pure overhead, so
+    /// every class is pinned sequential. With more threads the cutoff is
+    /// a per-class multiple of the legacy [`PAR_THRESHOLD`] scale — the
+    /// fallback the satellite contract requires — grown with the pool so
+    /// each worker gets enough elements to amortize a steal: memory-bound
+    /// streaming classes (scan, reduce, sort) need larger grains than the
+    /// compute-heavier gather/SpMV classes.
+    pub fn default_threshold(class: KernelClass, threads: usize) -> usize {
+        if threads <= 1 {
+            return usize::MAX;
+        }
+        let mult = match class {
+            KernelClass::Map | KernelClass::Confirm => 4,
+            KernelClass::Reduce | KernelClass::Scan | KernelClass::Compact => 8,
+            KernelClass::Sort => 4,
+            KernelClass::Segmented | KernelClass::GeSpmv => 2,
+        };
+        mult * PAR_THRESHOLD.saturating_mul(threads.max(1))
+    }
+}
+
+impl Default for CpuBackend {
+    fn default() -> Self {
+        Self::tuned()
+    }
+}
+
+impl Backend for CpuBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Cpu
+    }
+
+    fn par_threshold(&self, class: KernelClass) -> usize {
+        self.thresholds[class.index()]
+    }
+
+    fn row_block(&self) -> Option<usize> {
+        Some(self.row_block)
+    }
+
+    fn lane_chunk(&self) -> Option<usize> {
+        Some(self.lane_chunk)
+    }
+
+    fn sanitized_keys(&self) -> bool {
+        true
+    }
+}
+
+/// Construct the backend for a [`BackendKind`].
+pub fn make(kind: BackendKind) -> Arc<dyn Backend> {
+    match kind {
+        BackendKind::Model => Arc::new(ModelBackend),
+        BackendKind::Cpu => Arc::new(CpuBackend::tuned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_thresholds_are_the_legacy_constants() {
+        let b = ModelBackend;
+        assert_eq!(b.par_threshold(KernelClass::Map), 2048);
+        assert_eq!(b.par_threshold(KernelClass::Segmented), 2048);
+        assert_eq!(b.par_threshold(KernelClass::GeSpmv), 2048);
+        assert_eq!(b.par_threshold(KernelClass::Confirm), 2048);
+        assert_eq!(b.par_threshold(KernelClass::Reduce), 4096);
+        assert_eq!(b.par_threshold(KernelClass::Scan), 8192);
+        assert_eq!(b.par_threshold(KernelClass::Compact), 8192);
+        assert_eq!(b.par_threshold(KernelClass::Sort), 1 << 14);
+        assert!(b.row_block().is_none());
+        assert!(b.lane_chunk().is_none());
+        assert!(!b.sanitized_keys());
+    }
+
+    #[test]
+    fn single_thread_cpu_backend_never_forks() {
+        let b = CpuBackend::for_threads(1);
+        for class in KernelClass::ALL {
+            assert_eq!(b.par_threshold(class), usize::MAX, "{class:?}");
+        }
+    }
+
+    #[test]
+    fn multi_thread_cpu_backend_scales_with_pool() {
+        let b2 = CpuBackend::default_threshold(KernelClass::Map, 2);
+        let b8 = CpuBackend::default_threshold(KernelClass::Map, 8);
+        assert!(b8 > b2);
+        assert_eq!(b2, 4 * 2048 * 2);
+    }
+
+    #[test]
+    fn env_override_wins() {
+        // Env mutation: unique variable per test binary run; restore after.
+        std::env::set_var("LF_PAR_THRESHOLD_SCAN", "12345");
+        let b = CpuBackend::for_threads(4);
+        assert_eq!(b.par_threshold(KernelClass::Scan), 12345);
+        assert_eq!(
+            b.par_threshold(KernelClass::Reduce),
+            CpuBackend::default_threshold(KernelClass::Reduce, 4)
+        );
+        std::env::remove_var("LF_PAR_THRESHOLD_SCAN");
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [BackendKind::Model, BackendKind::Cpu] {
+            assert_eq!(BackendKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(make(BackendKind::Cpu).kind(), BackendKind::Cpu);
+        assert_eq!(make(BackendKind::Model).kind(), BackendKind::Model);
+    }
+}

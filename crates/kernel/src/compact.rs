@@ -1,11 +1,18 @@
 //! Stream compaction and histograms — the `DeviceSelect` / `DeviceHistogram`
 //! equivalents of CUB, built on the blocked scan from [`crate::scan`].
+//!
+//! [`compact_indices_into`] is a scan→scatter pair under the peephole
+//! fusion pass: fused (the default) it is one launch that keeps the
+//! scanned flags in registers per chunk; unfused it materializes the
+//! scanned-flag buffer in a first launch and scatters from it in a
+//! second, exactly like a textbook two-kernel GPU compaction. Both forms
+//! produce bit-identical output.
 
+use crate::backend::KernelClass;
 use crate::buffer::ScatterSlice;
 use crate::device::{Device, Traffic};
+use crate::plan::{BufId, LaunchPlan, OpClass, PlanOp};
 use rayon::prelude::*;
-
-const SEQ_THRESHOLD: usize = 8192;
 
 /// Keep the elements satisfying `pred`, preserving order.
 pub fn compact<T: Copy + Send + Sync>(
@@ -16,8 +23,9 @@ pub fn compact<T: Copy + Send + Sync>(
 ) -> Vec<T> {
     let n = data.len();
     let traffic = Traffic::new().reads::<T>(n).writes::<T>(n);
+    let thr = dev.par_threshold(KernelClass::Compact);
     dev.launch(name, traffic, || {
-        if n < SEQ_THRESHOLD {
+        if n < thr {
             return data.iter().copied().filter(|x| pred(x)).collect();
         }
         let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
@@ -74,8 +82,12 @@ pub fn compact_indices<T: Sync>(
 /// Like [`compact_indices`], but writes into a caller-owned vector so hot
 /// loops can reuse one allocation across iterations. `out` is cleared
 /// first; on return it holds the ascending indices of elements satisfying
-/// `pred`. No identity-index buffer is materialized: the flag scan runs
-/// directly over the index space.
+/// `pred`.
+///
+/// A scan→scatter pair under the fusion pass: fused, the flag scan runs
+/// directly over the index space and no identity/flag buffer is
+/// materialized; unfused, a first launch writes the exclusively-scanned
+/// flags and a second launch scatters the surviving indices from them.
 pub fn compact_indices_into<T: Sync>(
     dev: &Device,
     name: &str,
@@ -84,44 +96,130 @@ pub fn compact_indices_into<T: Sync>(
     out: &mut Vec<u32>,
 ) {
     let n = data.len();
-    let traffic = Traffic::new().reads::<T>(n).writes::<u32>(n);
-    dev.launch(name, traffic, || {
-        out.clear();
-        if n < SEQ_THRESHOLD {
-            out.extend((0..n as u32).filter(|&i| pred(&data[i as usize])));
-            return;
-        }
-        let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
-        let chunk = n.div_ceil(nchunks);
-        let mut counts: Vec<usize> = (0..nchunks)
-            .into_par_iter()
-            .map(|c| {
+    let scan_op = PlanOp::new(
+        name,
+        OpClass::Scan,
+        vec![BufId::of(data)],
+        vec![BufId::virtual_of(data)],
+        Traffic::new().reads::<T>(n).writes::<u32>(n),
+    );
+    let scatter_op = PlanOp::new(
+        format!("{name}_scatter"),
+        OpClass::Scatter,
+        vec![BufId::virtual_of(data)],
+        vec![BufId::raw(out.as_ptr() as usize)],
+        Traffic::new().reads::<u32>(n).writes::<u32>(n),
+    );
+    let thr = dev.par_threshold(KernelClass::Compact);
+    if dev.plan_fuse(scan_op.clone(), scatter_op.clone()) {
+        let traffic = LaunchPlan::fused_traffic(&scan_op, &scatter_op);
+        dev.launch(name, traffic, || {
+            out.clear();
+            if n < thr {
+                out.extend((0..n as u32).filter(|&i| pred(&data[i as usize])));
+                return;
+            }
+            let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
+            let chunk = n.div_ceil(nchunks);
+            let mut counts: Vec<usize> = (0..nchunks)
+                .into_par_iter()
+                .map(|c| {
+                    let lo = c * chunk;
+                    let hi = ((c + 1) * chunk).min(n);
+                    data[lo..hi].iter().filter(|x| pred(x)).count()
+                })
+                .collect();
+            let mut acc = 0usize;
+            for c in counts.iter_mut() {
+                let x = *c;
+                *c = acc;
+                acc += x;
+            }
+            out.resize(acc, 0);
+            let view = ScatterSlice::new(out);
+            counts.par_iter().enumerate().for_each(|(c, &start)| {
                 let lo = c * chunk;
                 let hi = ((c + 1) * chunk).min(n);
-                data[lo..hi].iter().filter(|x| pred(x)).count()
-            })
-            .collect();
-        let mut acc = 0usize;
-        for c in counts.iter_mut() {
-            let x = *c;
-            *c = acc;
-            acc += x;
+                let mut pos = start;
+                for (i, x) in data.iter().enumerate().take(hi).skip(lo) {
+                    if pred(x) {
+                        // SAFETY: disjoint ranges per chunk; `pos` walks
+                        // [start, start+count) without overlap.
+                        unsafe { view.write(pos, i as u32) };
+                        pos += 1;
+                    }
+                }
+            });
+        });
+        return;
+    }
+    // Unfused: launch 1 materializes the exclusive scan of the 0/1 flags,
+    // launch 2 scatters index i to `flags[i]` wherever the scan stepped.
+    let mut flags: Vec<u32> = vec![0; n];
+    let total = dev.launch(&scan_op.name, scan_op.traffic, || {
+        if n < thr {
+            let mut acc = 0u32;
+            for (i, fl) in flags.iter_mut().enumerate() {
+                *fl = acc;
+                acc += u32::from(pred(&data[i]));
+            }
+            acc
+        } else {
+            let nchunks = (rayon::current_num_threads().max(1) * 4).min(n);
+            let chunk = n.div_ceil(nchunks);
+            let mut counts: Vec<u32> = flags
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .map(|(c, fl)| {
+                    let lo = c * chunk;
+                    let mut acc = 0u32;
+                    for (j, fl) in fl.iter_mut().enumerate() {
+                        *fl = acc;
+                        acc += u32::from(pred(&data[lo + j]));
+                    }
+                    acc
+                })
+                .collect();
+            let mut acc = 0u32;
+            for c in counts.iter_mut() {
+                let x = *c;
+                *c = acc;
+                acc += x;
+            }
+            flags
+                .par_chunks_mut(chunk)
+                .zip(counts.par_iter())
+                .for_each(|(fl, &off)| {
+                    for v in fl.iter_mut() {
+                        *v += off;
+                    }
+                });
+            acc
         }
-        out.resize(acc, 0);
-        let view = ScatterSlice::new(out);
-        counts.par_iter().enumerate().for_each(|(c, &start)| {
-            let lo = c * chunk;
-            let hi = ((c + 1) * chunk).min(n);
-            let mut pos = start;
-            for (i, x) in data.iter().enumerate().take(hi).skip(lo) {
-                if pred(x) {
-                    // SAFETY: disjoint ranges per chunk; `pos` walks
-                    // [start, start+count) without overlap.
-                    unsafe { view.write(pos, i as u32) };
-                    pos += 1;
+    });
+    dev.launch(&scatter_op.name, scatter_op.traffic, || {
+        out.clear();
+        out.resize(total as usize, 0);
+        let kept = |i: usize| {
+            let next = if i + 1 < n { flags[i + 1] } else { total };
+            next > flags[i]
+        };
+        if n < thr {
+            for i in 0..n {
+                if kept(i) {
+                    out[flags[i] as usize] = i as u32;
                 }
             }
-        });
+        } else {
+            let view = ScatterSlice::new(out);
+            (0..n).into_par_iter().for_each(|i| {
+                if kept(i) {
+                    // SAFETY: scan offsets are strictly increasing over the
+                    // kept elements, so every target slot is written once.
+                    unsafe { view.write(flags[i] as usize, i as u32) };
+                }
+            });
+        }
     });
 }
 
@@ -136,8 +234,9 @@ pub fn histogram<T: Sync>(
     let traffic = Traffic::new()
         .reads::<T>(data.len())
         .writes::<u64>(nbins);
+    let thr = dev.par_threshold(KernelClass::Compact);
     dev.launch(name, traffic, || {
-        if data.len() < SEQ_THRESHOLD {
+        if data.len() < thr {
             let mut h = vec![0u64; nbins];
             for x in data {
                 h[key(x)] += 1;
@@ -207,6 +306,35 @@ mod tests {
         }
         compact_indices_into(&dev, "ci", &[] as &[u32], |_| true, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unfused_compact_is_bit_identical_and_two_launches() {
+        let dev = Device::default();
+        for n in [100usize, 50_000] {
+            let v: Vec<u32> = (0..n as u32).collect();
+            let fused = compact_indices(&dev, "ci", &v, |&x| x % 7 == 0);
+            assert_eq!(dev.scoped(|| ()).1.launches, 0);
+            dev.set_fusion(false);
+            let (unfused, d) = dev.scoped(|| {
+                compact_indices(&dev, "ci", &v, |&x| x % 7 == 0)
+            });
+            dev.set_fusion(true);
+            assert_eq!(d.launches, 2, "n={n}: scan + scatter");
+            assert_eq!(d.kernels["ci"].launches, 1);
+            assert_eq!(d.kernels["ci_scatter"].launches, 1);
+            assert_eq!(fused, unfused, "n={n}");
+        }
+        // fused traffic equals the historical single-launch declaration,
+        // and the pass recorded the scan→scatter rule firing
+        let dev = Device::default();
+        let v: Vec<u32> = (0..1000).collect();
+        compact_indices(&dev, "ci", &v, |&x| x % 2 == 0);
+        let s = dev.stats();
+        assert_eq!(s.launches, 1);
+        assert_eq!(s.traffic.read, 4000);
+        assert_eq!(s.traffic.written, 4000);
+        assert_eq!(dev.fusion_stats().scan_scatter, 1);
     }
 
     #[test]

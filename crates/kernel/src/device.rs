@@ -17,9 +17,12 @@
 //! throughput figures (Fig. 3, Fig. 5, Fig. 6); wall time gives the real
 //! parallel-CPU numbers.
 
+use crate::backend::{self, Backend, BackendKind, KernelClass};
+use crate::plan::{FusionCounters, FusionStats, LaunchPlan, PlanOp, Rule};
 use lf_trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -300,6 +303,9 @@ pub struct Device {
     config: Arc<DeviceConfig>,
     stats: Arc<Mutex<DeviceStats>>,
     tracer: Tracer,
+    backend: Arc<dyn Backend>,
+    fusion_enabled: Arc<AtomicBool>,
+    fusion: Arc<FusionCounters>,
 }
 
 impl Default for Device {
@@ -312,12 +318,14 @@ impl std::fmt::Debug for Device {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Device")
             .field("config", &*self.config)
+            .field("backend", &self.backend.kind())
             .finish_non_exhaustive()
     }
 }
 
 impl Device {
-    /// Create a device with the given configuration.
+    /// Create a device with the given configuration, on the model backend
+    /// with fusion enabled (the historical launch stream, bit-for-bit).
     pub fn new(config: DeviceConfig) -> Self {
         Self::with_tracer(config, Tracer::new())
     }
@@ -327,16 +335,74 @@ impl Device {
     /// either way it can be (de)activated later via [`Device::tracer`]
     /// (tracers use interior mutability and clones share state).
     pub fn with_tracer(config: DeviceConfig, tracer: Tracer) -> Self {
+        Self::with_backend_tracer(config, backend::make(BackendKind::Model), tracer)
+    }
+
+    /// Create a device on an explicit execution [`Backend`].
+    pub fn with_backend(config: DeviceConfig, backend: Arc<dyn Backend>) -> Self {
+        Self::with_backend_tracer(config, backend, Tracer::new())
+    }
+
+    /// Create a device on an explicit backend with a tracing handle.
+    pub fn with_backend_tracer(
+        config: DeviceConfig,
+        backend: Arc<dyn Backend>,
+        tracer: Tracer,
+    ) -> Self {
         Self {
             config: Arc::new(config),
             stats: Arc::new(Mutex::new(DeviceStats::default())),
             tracer,
+            backend,
+            fusion_enabled: Arc::new(AtomicBool::new(true)),
+            fusion: Arc::new(FusionCounters::default()),
         }
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// The execution backend scheduling kernel bodies on this device.
+    pub fn backend(&self) -> &dyn Backend {
+        &*self.backend
+    }
+
+    /// Parallel threshold for a kernel class on the current backend:
+    /// bodies run their rayon path only for at least this many elements.
+    pub fn par_threshold(&self, class: KernelClass) -> usize {
+        self.backend.par_threshold(class)
+    }
+
+    /// Whether the peephole fusion pass rewrites planned pairs (on by
+    /// default; the CLI's `--no-fuse` turns it off).
+    pub fn fusion_enabled(&self) -> bool {
+        self.fusion_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable/disable the fusion pass. Shared by clones.
+    pub fn set_fusion(&self, enabled: bool) {
+        self.fusion_enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Fusion-pass counters since the last [`Device::reset_stats`].
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion.snapshot()
+    }
+
+    /// Submit the adjacent pair `(a, b)` to the peephole pass and return
+    /// whether the call site should execute the fused form. Records the
+    /// attempt (and the rule fired, when fusion is enabled) in
+    /// [`Device::fusion_stats`].
+    pub fn plan_fuse(&self, a: PlanOp, b: PlanOp) -> bool {
+        let mut plan = LaunchPlan::new();
+        plan.push(a);
+        plan.push(b);
+        let rule: Option<Rule> = plan.peephole().first().map(|&(_, r)| r);
+        let fuse = self.fusion_enabled() && rule.is_some();
+        self.fusion.record(if fuse { rule } else { None });
+        fuse
     }
 
     /// The device's tracing handle. Inactive (zero overhead) until a sink
@@ -353,8 +419,12 @@ impl Device {
     }
 
     /// Reset all accumulated statistics (e.g. between benchmark phases).
+    /// Also clears the backend-local fusion counters so warm-up fusions
+    /// never leak into measured reps (fig3 warm-up boundary, `repro`
+    /// reps); the fusion *enabled* flag is configuration and survives.
     pub fn reset_stats(&self) {
         *self.stats.lock() = DeviceStats::default();
+        self.fusion.reset();
     }
 
     /// Run `body` as one kernel launch named `name` with the declared
@@ -610,5 +680,74 @@ mod tests {
         let dev2 = dev.clone();
         dev2.launch("k", Traffic::new(), || ());
         assert_eq!(dev.stats().launches, 1);
+    }
+
+    #[test]
+    fn default_device_is_model_backend_with_fusion_on() {
+        let dev = Device::default();
+        assert_eq!(dev.backend().kind(), BackendKind::Model);
+        assert!(dev.fusion_enabled());
+        assert_eq!(dev.par_threshold(KernelClass::Map), crate::PAR_THRESHOLD);
+    }
+
+    fn fusable_pair() -> (PlanOp, PlanOp) {
+        use crate::plan::{BufId, OpClass};
+        let a = PlanOp::new(
+            "m",
+            OpClass::Map,
+            vec![BufId::raw(1)],
+            vec![BufId::raw(2)],
+            Traffic::bytes(8, 8),
+        );
+        let b = PlanOp::new(
+            "r",
+            OpClass::Reduce,
+            vec![BufId::raw(2)],
+            vec![BufId::raw(3)],
+            Traffic::bytes(8, 8),
+        );
+        (a, b)
+    }
+
+    #[test]
+    fn plan_fuse_fires_and_respects_no_fuse() {
+        let dev = Device::default();
+        let (a, b) = fusable_pair();
+        assert!(dev.plan_fuse(a.clone(), b.clone()));
+        assert_eq!(dev.fusion_stats().map_reduce, 1);
+        dev.set_fusion(false);
+        assert!(!dev.plan_fuse(a, b));
+        let s = dev.fusion_stats();
+        assert_eq!(s.attempted, 2, "attempts counted either way");
+        assert_eq!(s.fused(), 1, "disabled pass fuses nothing");
+    }
+
+    #[test]
+    fn reset_stats_clears_fusion_counters_but_not_the_flag() {
+        // Regression test (PR-5 pattern): backend-local counters must be
+        // cleared at the fig3 warm-up boundary / between repro reps.
+        let dev = Device::default();
+        dev.set_fusion(false);
+        let (a, b) = fusable_pair();
+        dev.plan_fuse(a, b);
+        assert_eq!(dev.fusion_stats().attempted, 1);
+        dev.reset_stats();
+        assert_eq!(dev.fusion_stats(), crate::plan::FusionStats::default());
+        assert!(!dev.fusion_enabled(), "enabled flag is config, not stats");
+    }
+
+    #[test]
+    fn backend_device_shares_fusion_state_across_clones() {
+        let dev = Device::with_backend(
+            DeviceConfig::default(),
+            crate::backend::make(BackendKind::Cpu),
+        );
+        assert_eq!(dev.backend().kind(), BackendKind::Cpu);
+        let dev2 = dev.clone();
+        dev2.set_fusion(false);
+        assert!(!dev.fusion_enabled());
+        let (a, b) = fusable_pair();
+        dev2.plan_fuse(a, b);
+        assert_eq!(dev.fusion_stats().attempted, 1);
     }
 }

@@ -8,13 +8,13 @@
 //! declared by the caller in bytes (kernels know what they read — exactly
 //! like the paper's Table 2 enumerates read buffers).
 
+use crate::backend::KernelClass;
 use crate::device::{Device, Traffic};
-use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
 
 #[inline]
-fn run_indexed<O: Send + Sync>(out: &mut [O], f: impl Fn(usize) -> O + Sync) {
-    if out.len() < PAR_THRESHOLD {
+fn run_indexed<O: Send + Sync>(out: &mut [O], par_threshold: usize, f: impl Fn(usize) -> O + Sync) {
+    if out.len() < par_threshold {
         for (i, o) in out.iter_mut().enumerate() {
             *o = f(i);
         }
@@ -37,7 +37,8 @@ pub fn map1<O: Send + Sync>(
     let traffic = Traffic::new()
         .read_bytes(read_bytes as u64)
         .writes::<O>(out.len());
-    dev.launch(name, traffic, || run_indexed(out, f));
+    let thr = dev.par_threshold(KernelClass::Map);
+    dev.launch(name, traffic, || run_indexed(out, thr, f));
 }
 
 /// Launch a kernel writing two output slices of equal length:
@@ -55,8 +56,9 @@ pub fn map2<A: Send + Sync, B: Send + Sync>(
         .read_bytes(read_bytes as u64)
         .writes::<A>(a.len())
         .writes::<B>(b.len());
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if a.len() < PAR_THRESHOLD {
+        if a.len() < thr {
             for (i, (ai, bi)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
                 let (x, y) = f(i);
                 *ai = x;
@@ -92,8 +94,9 @@ pub fn map3<A: Send + Sync, B: Send + Sync, C: Send + Sync>(
         .writes::<A>(a.len())
         .writes::<B>(b.len())
         .writes::<C>(c.len());
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if a.len() < PAR_THRESHOLD {
+        if a.len() < thr {
             for i in 0..a.len() {
                 let (x, y, z) = f(i);
                 a[i] = x;
@@ -128,8 +131,9 @@ pub fn update1<T: Send + Sync + Copy>(
         .reads::<T>(inout.len())
         .read_bytes(extra_read_bytes as u64)
         .writes::<T>(inout.len());
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if inout.len() < PAR_THRESHOLD {
+        if inout.len() < thr {
             for (i, v) in inout.iter_mut().enumerate() {
                 *v = f(i, *v);
             }
@@ -152,8 +156,9 @@ pub fn for_each_index(
     traffic: Traffic,
     f: impl Fn(usize) + Sync + Send,
 ) {
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if n < PAR_THRESHOLD {
+        if n < thr {
             for i in 0..n {
                 f(i);
             }
@@ -166,8 +171,9 @@ pub fn for_each_index(
 /// Fill kernel: `out[i] = value`.
 pub fn fill<T: Send + Sync + Clone>(dev: &Device, name: &str, out: &mut [T], value: T) {
     let traffic = Traffic::new().writes::<T>(out.len());
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if out.len() < PAR_THRESHOLD {
+        if out.len() < thr {
             out.fill(value);
         } else {
             out.par_iter_mut().for_each(|o| *o = value.clone());
@@ -179,8 +185,9 @@ pub fn fill<T: Send + Sync + Clone>(dev: &Device, name: &str, out: &mut [T], val
 pub fn copy<T: Send + Sync + Copy>(dev: &Device, name: &str, dst: &mut [T], src: &[T]) {
     assert_eq!(dst.len(), src.len(), "copy length mismatch");
     let traffic = Traffic::new().reads::<T>(src.len()).writes::<T>(dst.len());
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if dst.len() < PAR_THRESHOLD {
+        if dst.len() < thr {
             dst.copy_from_slice(src);
         } else {
             dst.par_iter_mut()
@@ -203,8 +210,9 @@ pub fn gather<T: Send + Sync + Copy>(
         .reads::<u32>(idx.len())
         .reads::<T>(out.len())
         .writes::<T>(out.len());
+    let thr = dev.par_threshold(KernelClass::Map);
     dev.launch(name, traffic, || {
-        if out.len() < PAR_THRESHOLD {
+        if out.len() < thr {
             for (o, &j) in out.iter_mut().zip(idx) {
                 *o = src[j as usize];
             }

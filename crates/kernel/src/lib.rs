@@ -33,31 +33,43 @@
 //! assert_eq!(dev.stats().launches, 1);
 //! ```
 
+pub mod backend;
 pub mod buffer;
 pub mod compact;
 pub mod device;
 pub mod launch;
+pub mod plan;
 pub mod reduce;
 pub mod scan;
 pub mod segmented;
 pub mod sort;
 
+pub use backend::{Backend, BackendKind, CpuBackend, KernelClass, ModelBackend};
 pub use buffer::{PingPong, Reusable, ScatterSlice};
 pub use device::{Device, DeviceConfig, DeviceStats, KernelStats, LaunchSample, Traffic};
+pub use plan::{FusionStats, LaunchPlan, PlanOp};
 
 /// Re-export of the [`lf_trace`] telemetry crate, so downstream crates can
 /// open spans and install sinks (`dev.tracer()`, `lf_kernel::trace::…`)
 /// without a manifest dependency of their own.
 pub use lf_trace as trace;
 
-/// Sequential fallback threshold shared by the data-parallel primitives:
-/// below this many elements the rayon fork-join overhead dominates, so
-/// kernel bodies run serially. The launch is still recorded. (GPU analog:
-/// tiny grids don't fill the device either.)
+/// Legacy sequential fallback scale: below this many elements the rayon
+/// fork-join overhead dominates, so kernel bodies run serially. The
+/// launch is still recorded. (GPU analog: tiny grids don't fill the
+/// device either.)
+///
+/// Kept as the documented fallback for the per-kernel-class thresholds in
+/// [`backend`]: [`ModelBackend`] reproduces the historical per-primitive
+/// constants as fixed multiples of this value, and [`CpuBackend`] scales
+/// it by the rayon pool size (env-overridable per class via
+/// `LF_PAR_THRESHOLD_<CLASS>`). Primitives now consult
+/// [`Device::par_threshold`] instead of reading this directly.
 pub const PAR_THRESHOLD: usize = 2048;
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::backend::{Backend, BackendKind, KernelClass};
     pub use crate::buffer::{PingPong, ScatterSlice};
     pub use crate::device::{Device, DeviceConfig, Traffic};
     pub use crate::{compact, launch, reduce, scan, segmented, sort};

@@ -1,0 +1,358 @@
+//! The peephole kernel-fusion pass over the launch stream.
+//!
+//! Call sites that conceptually perform *two* primitives describe both as
+//! [`PlanOp`]s — kernel id, input/output buffer ids, and the traffic each
+//! half would declare — and ask the device whether the pair fuses
+//! ([`crate::Device::plan_fuse`]). The rewrite rules generalize the PR-1
+//! hand-fusion of confirmed-slot counting into the confirm kernel:
+//!
+//! * **map→reduce** — a map whose output buffer feeds only the following
+//!   reduction keeps its values in registers; the intermediate buffer is
+//!   never materialized (`count_slots`, `cycle_check`).
+//! * **scan→scatter** — a flag scan whose offsets feed only the following
+//!   scatter re-derives offsets per chunk instead of writing them out
+//!   (stream compaction, radix-sort passes).
+//! * **confirm→count** — the confirm kernel accumulates the confirmed-slot
+//!   count with an `atomicAdd`-style side counter instead of a follow-up
+//!   reduction over the slot table (the PR-1 instance).
+//!
+//! **Legality.** A pair `(a, b)` fuses only when `b` reads a buffer `a`
+//! writes (true producer→consumer adjacency, checked by buffer id) *and*
+//! the intermediate is local to the pair — the call sites that emit plans
+//! guarantee nothing else observes the intermediate, which is why the
+//! pass is a peephole over adjacent pairs rather than a global dataflow
+//! analysis. Fused and unfused executions are bit-identical by
+//! construction (the differential suite enforces this on both backends);
+//! only launch count and declared traffic differ.
+
+use crate::device::Traffic;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Opaque identity of a device buffer, derived from its host address.
+/// Used only for producer→consumer adjacency checks within one plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BufId(usize);
+
+impl BufId {
+    /// Identity of an existing slice.
+    pub fn of<T>(s: &[T]) -> Self {
+        BufId(s.as_ptr() as usize)
+    }
+
+    /// Identity of the intermediate buffer an *unfused* execution would
+    /// materialize (fused executions never allocate it). Derived from the
+    /// producer's input so the id is stable whether or not fusion fires;
+    /// tagged to never collide with a real [`BufId::of`] base address
+    /// (slices are at least element-aligned).
+    pub fn virtual_of<T>(s: &[T]) -> Self {
+        BufId((s.as_ptr() as usize) | 1)
+    }
+
+    /// An explicit raw id (tests, scalar outputs).
+    pub fn raw(id: usize) -> Self {
+        BufId(id)
+    }
+}
+
+/// Dataflow class of a planned op — what the rewrite rules match on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Elementwise producer.
+    Map,
+    /// Monoid reduction consumer.
+    Reduce,
+    /// Prefix scan producing offsets.
+    Scan,
+    /// Scatter consuming offsets.
+    Scatter,
+    /// Mutual-confirmation producer.
+    Confirm,
+    /// Slot-count consumer.
+    Count,
+    /// Anything the pass leaves alone.
+    Other,
+}
+
+/// One op of a [`LaunchPlan`]: what a kernel launch would be, described
+/// before it runs.
+#[derive(Clone, Debug)]
+pub struct PlanOp {
+    /// Kernel name the launch would record.
+    pub name: String,
+    /// Rewrite class.
+    pub class: OpClass,
+    /// Buffers the op reads.
+    pub reads: Vec<BufId>,
+    /// Buffers the op writes.
+    pub writes: Vec<BufId>,
+    /// Traffic the op would declare if launched on its own.
+    pub traffic: Traffic,
+}
+
+impl PlanOp {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        class: OpClass,
+        reads: Vec<BufId>,
+        writes: Vec<BufId>,
+        traffic: Traffic,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            class,
+            reads,
+            writes,
+            traffic,
+        }
+    }
+}
+
+/// A fusion rewrite rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// map→reduce.
+    MapReduce,
+    /// scan→scatter.
+    ScanScatter,
+    /// confirm→count.
+    ConfirmCount,
+}
+
+/// Which rule (if any) rewrites the adjacent pair `(a, b)`.
+fn rule_for(a: &PlanOp, b: &PlanOp) -> Option<Rule> {
+    let rule = match (a.class, b.class) {
+        (OpClass::Map, OpClass::Reduce) => Rule::MapReduce,
+        (OpClass::Scan, OpClass::Scatter) => Rule::ScanScatter,
+        (OpClass::Confirm, OpClass::Count) => Rule::ConfirmCount,
+        _ => return None,
+    };
+    // Producer→consumer adjacency: the consumer must read something the
+    // producer writes, otherwise the pair is merely textually adjacent.
+    let adjacent = b.reads.iter().any(|r| a.writes.contains(r));
+    adjacent.then_some(rule)
+}
+
+/// A short sequence of planned ops (the IR the peephole pass runs over).
+#[derive(Clone, Debug, Default)]
+pub struct LaunchPlan {
+    ops: Vec<PlanOp>,
+}
+
+impl LaunchPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an op.
+    pub fn push(&mut self, op: PlanOp) {
+        self.ops.push(op);
+    }
+
+    /// The planned ops.
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// Run the peephole pass: return `(i, rule)` for every adjacent pair
+    /// `(ops[i], ops[i+1])` a rule rewrites. A greedy left-to-right scan;
+    /// an op consumed by a fusion does not start another one.
+    pub fn peephole(&self) -> Vec<(usize, Rule)> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i + 1 < self.ops.len() {
+            if let Some(rule) = rule_for(&self.ops[i], &self.ops[i + 1]) {
+                out.push((i, rule));
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Traffic of the fused pair `(a, b)`: each buffer of the pair is
+    /// counted once, minus the intermediate the fusion eliminates (its
+    /// write in `a` and its read in `b`).
+    pub fn fused_traffic(a: &PlanOp, b: &PlanOp) -> Traffic {
+        let mut t = a.traffic + b.traffic;
+        for w in &a.writes {
+            if b.reads.contains(w) {
+                // The eliminated intermediate: symmetric by construction
+                // (unfused write bytes == unfused read bytes).
+                let elided = a.traffic.written.min(b.traffic.read);
+                t.written -= elided;
+                t.read -= elided;
+                break;
+            }
+        }
+        t
+    }
+}
+
+/// Per-rule fusion counters of one device, cleared by
+/// [`crate::Device::reset_stats`] alongside `DeviceStats` (the fig3
+/// warm-up boundary and `repro` reps must not leak warm-up fusions into
+/// measured reps).
+#[derive(Debug, Default)]
+pub struct FusionCounters {
+    attempted: AtomicU64,
+    map_reduce: AtomicU64,
+    scan_scatter: AtomicU64,
+    confirm_count: AtomicU64,
+}
+
+impl FusionCounters {
+    /// Record one planned pair and whether/by which rule it fused.
+    pub fn record(&self, fired: Option<Rule>) {
+        self.attempted.fetch_add(1, Ordering::Relaxed);
+        match fired {
+            Some(Rule::MapReduce) => self.map_reduce.fetch_add(1, Ordering::Relaxed),
+            Some(Rule::ScanScatter) => self.scan_scatter.fetch_add(1, Ordering::Relaxed),
+            Some(Rule::ConfirmCount) => self.confirm_count.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+    }
+
+    /// Zero all counters.
+    pub fn reset(&self) {
+        self.attempted.store(0, Ordering::Relaxed);
+        self.map_reduce.store(0, Ordering::Relaxed);
+        self.scan_scatter.store(0, Ordering::Relaxed);
+        self.confirm_count.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot.
+    pub fn snapshot(&self) -> FusionStats {
+        FusionStats {
+            attempted: self.attempted.load(Ordering::Relaxed),
+            map_reduce: self.map_reduce.load(Ordering::Relaxed),
+            scan_scatter: self.scan_scatter.load(Ordering::Relaxed),
+            confirm_count: self.confirm_count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Snapshot of a device's fusion activity since the last
+/// [`crate::Device::reset_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Pairs submitted to the pass.
+    pub attempted: u64,
+    /// Pairs fused by map→reduce.
+    pub map_reduce: u64,
+    /// Pairs fused by scan→scatter.
+    pub scan_scatter: u64,
+    /// Pairs fused by confirm→count.
+    pub confirm_count: u64,
+}
+
+impl FusionStats {
+    /// Total pairs fused (launches saved vs the unfused stream).
+    pub fn fused(&self) -> u64 {
+        self.map_reduce + self.scan_scatter + self.confirm_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(name: &str, class: OpClass, reads: Vec<BufId>, writes: Vec<BufId>) -> PlanOp {
+        PlanOp::new(name, class, reads, writes, Traffic::bytes(64, 64))
+    }
+
+    #[test]
+    fn adjacent_map_reduce_fuses() {
+        let data = BufId::raw(0x1000);
+        let tmp = BufId::raw(0x2000);
+        let mut plan = LaunchPlan::new();
+        plan.push(op("m", OpClass::Map, vec![data], vec![tmp]));
+        plan.push(op("r", OpClass::Reduce, vec![tmp], vec![BufId::raw(0x3000)]));
+        assert_eq!(plan.peephole(), vec![(0, Rule::MapReduce)]);
+    }
+
+    #[test]
+    fn non_adjacent_buffers_do_not_fuse() {
+        let mut plan = LaunchPlan::new();
+        plan.push(op("m", OpClass::Map, vec![BufId::raw(1)], vec![BufId::raw(2)]));
+        // reduce reads an unrelated buffer: classes match, dataflow doesn't
+        plan.push(op("r", OpClass::Reduce, vec![BufId::raw(9)], vec![BufId::raw(3)]));
+        assert!(plan.peephole().is_empty());
+    }
+
+    #[test]
+    fn greedy_scan_does_not_reuse_consumed_ops() {
+        // map → reduce → scatter: the reduce is consumed by the first
+        // pair and cannot also be the producer of a second one.
+        let a = BufId::raw(1);
+        let b = BufId::raw(2);
+        let c = BufId::raw(3);
+        let mut plan = LaunchPlan::new();
+        plan.push(op("m", OpClass::Map, vec![a], vec![b]));
+        plan.push(op("r", OpClass::Reduce, vec![b], vec![c]));
+        plan.push(op("s", OpClass::Scatter, vec![c], vec![BufId::raw(4)]));
+        assert_eq!(plan.peephole(), vec![(0, Rule::MapReduce)]);
+    }
+
+    #[test]
+    fn all_three_rules_match() {
+        let x = BufId::raw(10);
+        let y = BufId::raw(20);
+        for (ca, cb, rule) in [
+            (OpClass::Map, OpClass::Reduce, Rule::MapReduce),
+            (OpClass::Scan, OpClass::Scatter, Rule::ScanScatter),
+            (OpClass::Confirm, OpClass::Count, Rule::ConfirmCount),
+        ] {
+            let mut plan = LaunchPlan::new();
+            plan.push(op("a", ca, vec![x], vec![y]));
+            plan.push(op("b", cb, vec![y], vec![BufId::raw(30)]));
+            assert_eq!(plan.peephole(), vec![(0, rule)], "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn fused_traffic_elides_the_intermediate() {
+        let data = BufId::raw(1);
+        let tmp = BufId::raw(2);
+        let a = PlanOp::new(
+            "m",
+            OpClass::Map,
+            vec![data],
+            vec![tmp],
+            Traffic::bytes(1000, 400),
+        );
+        let b = PlanOp::new(
+            "r",
+            OpClass::Reduce,
+            vec![tmp],
+            vec![BufId::raw(3)],
+            Traffic::bytes(400, 8),
+        );
+        let t = LaunchPlan::fused_traffic(&a, &b);
+        assert_eq!(t, Traffic::bytes(1000, 8));
+    }
+
+    #[test]
+    fn counters_record_and_reset() {
+        let c = FusionCounters::default();
+        c.record(Some(Rule::MapReduce));
+        c.record(Some(Rule::ConfirmCount));
+        c.record(None);
+        let s = c.snapshot();
+        assert_eq!(s.attempted, 3);
+        assert_eq!(s.fused(), 2);
+        assert_eq!(s.map_reduce, 1);
+        assert_eq!(s.confirm_count, 1);
+        assert_eq!(s.scan_scatter, 0);
+        c.reset();
+        assert_eq!(c.snapshot(), FusionStats::default());
+    }
+
+    #[test]
+    fn virtual_ids_do_not_collide_with_real_ones() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_ne!(BufId::of(&v), BufId::virtual_of(&v));
+    }
+}

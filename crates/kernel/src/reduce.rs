@@ -4,11 +4,59 @@
 //! writes O(1) output; we account traffic accordingly. Operators must be
 //! associative and commutative monoids with an explicit identity (the same
 //! contract CUB's `DeviceReduce` imposes).
+//!
+//! [`map_reduce`] and [`map_max_by_key`] are map→reduce pairs under the
+//! peephole fusion pass: fused (the default) the mapped values never
+//! touch memory and the pair is one launch; unfused, a first launch
+//! materializes the mapped buffer and a second reduces it. Both forms
+//! return bit-identical results for the exact (integer / min / max)
+//! monoids the pipeline uses.
 
+use crate::backend::KernelClass;
 use crate::device::{Device, Traffic};
+use crate::plan::{BufId, LaunchPlan, OpClass, PlanOp};
 use rayon::prelude::*;
 
-const PAR_THRESHOLD: usize = 4096;
+/// Sequential monoid fold, lane-chunked when the backend asks for it:
+/// `lanes` independent accumulators make the inner loop branch-free and
+/// auto-vectorizable. Chunking reassociates, which is exact for the
+/// integer/min/max monoids; backends only enable it knowing that
+/// (`f64` sums go through [`sum_f64`], documented as
+/// reassociation-sensitive like any parallel GPU reduction).
+fn fold_seq<T, A>(
+    data: &[T],
+    lanes: Option<usize>,
+    identity: &A,
+    map: &(impl Fn(&T) -> A + Sync),
+    combine: &(impl Fn(A, A) -> A + Sync),
+) -> A
+where
+    A: Clone,
+{
+    match lanes {
+        Some(c) if c > 1 && data.len() >= 2 * c => {
+            let mut accs: Vec<A> = vec![identity.clone(); c];
+            let mut chunks = data.chunks_exact(c);
+            for chunk in chunks.by_ref() {
+                for (a, x) in accs.iter_mut().zip(chunk) {
+                    let prev = a.clone();
+                    *a = combine(prev, map(x));
+                }
+            }
+            let mut acc = accs
+                .into_iter()
+                .reduce(combine)
+                .expect("c > 1 accumulators");
+            for x in chunks.remainder() {
+                acc = combine(acc, map(x));
+            }
+            acc
+        }
+        _ => data
+            .iter()
+            .fold(identity.clone(), |acc, x| combine(acc, map(x))),
+    }
+}
 
 /// Generic monoid reduction: `identity ⊕ data[0] ⊕ ... ⊕ data[n-1]`.
 pub fn reduce<T, A>(
@@ -24,10 +72,11 @@ where
     A: Send + Sync + Clone,
 {
     let traffic = Traffic::new().reads::<T>(data.len());
+    let thr = dev.par_threshold(KernelClass::Reduce);
+    let lanes = dev.backend().lane_chunk();
     dev.launch(name, traffic, || {
-        if data.len() < PAR_THRESHOLD {
-            data.iter()
-                .fold(identity.clone(), |acc, x| combine(acc, map(x)))
+        if data.len() < thr {
+            fold_seq(data, lanes, &identity, &map, &combine)
         } else {
             data.par_iter()
                 .fold(
@@ -37,6 +86,63 @@ where
                 .reduce(|| identity.clone(), &combine)
         }
     })
+}
+
+/// Fused-by-default map→reduce pair: semantically a `map_name` kernel
+/// writing `map(x)` per element followed by a `reduce_name` reduction of
+/// that buffer. Under the fusion pass (the default) the intermediate is
+/// never materialized and the pair is the single `reduce_name` launch the
+/// pipeline always had; with fusion disabled both kernels launch.
+pub fn map_reduce<T, A>(
+    dev: &Device,
+    map_name: &str,
+    reduce_name: &str,
+    data: &[T],
+    identity: A,
+    map: impl Fn(&T) -> A + Sync,
+    combine: impl Fn(A, A) -> A + Sync,
+) -> A
+where
+    T: Sync,
+    A: Send + Sync + Clone,
+{
+    let n = data.len();
+    let map_op = PlanOp::new(
+        map_name,
+        OpClass::Map,
+        vec![BufId::of(data)],
+        vec![BufId::virtual_of(data)],
+        Traffic::new().reads::<T>(n).writes::<A>(n),
+    );
+    let reduce_op = PlanOp::new(
+        reduce_name,
+        OpClass::Reduce,
+        vec![BufId::virtual_of(data)],
+        vec![BufId::raw(0)],
+        Traffic::new().reads::<A>(n),
+    );
+    if dev.plan_fuse(map_op.clone(), reduce_op.clone()) {
+        debug_assert_eq!(
+            LaunchPlan::fused_traffic(&map_op, &reduce_op),
+            Traffic::new().reads::<T>(n),
+            "fused map→reduce must match the historical single-launch traffic"
+        );
+        return reduce(dev, reduce_name, data, identity, map, combine);
+    }
+    let mut tmp: Vec<A> = vec![identity.clone(); n];
+    let thr = dev.par_threshold(KernelClass::Map);
+    dev.launch(&map_op.name, map_op.traffic, || {
+        if n < thr {
+            for (t, x) in tmp.iter_mut().zip(data) {
+                *t = map(x);
+            }
+        } else {
+            tmp.par_iter_mut()
+                .zip_eq(data.par_iter())
+                .for_each(|(t, x)| *t = map(x));
+        }
+    });
+    reduce(dev, reduce_name, &tmp, identity, |x| x.clone(), combine)
 }
 
 /// Sum of an `f64`-convertible slice. Deterministic only up to floating
@@ -103,8 +209,9 @@ where
         return None;
     }
     let traffic = Traffic::new().reads::<T>(data.len());
+    let thr = dev.par_threshold(KernelClass::Reduce);
     Some(dev.launch(name, traffic, || {
-        if data.len() < PAR_THRESHOLD {
+        if data.len() < thr {
             let mut bi = 0usize;
             let mut bk = key(&data[0]);
             for (i, x) in data.iter().enumerate().skip(1) {
@@ -124,6 +231,58 @@ where
                 .unwrap()
         }
     }))
+}
+
+/// Fused-by-default map→argmax pair (the `cycle_check` shape): a
+/// `map_name` kernel computing the key per element feeding a
+/// `reduce_name` argmax. Fused it is the single [`max_by_key`] launch;
+/// unfused the key buffer is materialized first.
+pub fn map_max_by_key<T, K>(
+    dev: &Device,
+    map_name: &str,
+    reduce_name: &str,
+    data: &[T],
+    key: impl Fn(&T) -> K + Sync,
+) -> Option<usize>
+where
+    T: Sync,
+    K: PartialOrd + Send + Sync + Copy + Default,
+{
+    if data.is_empty() {
+        return None;
+    }
+    let n = data.len();
+    let map_op = PlanOp::new(
+        map_name,
+        OpClass::Map,
+        vec![BufId::of(data)],
+        vec![BufId::virtual_of(data)],
+        Traffic::new().reads::<T>(n).writes::<K>(n),
+    );
+    let reduce_op = PlanOp::new(
+        reduce_name,
+        OpClass::Reduce,
+        vec![BufId::virtual_of(data)],
+        vec![BufId::raw(0)],
+        Traffic::new().reads::<K>(n),
+    );
+    if dev.plan_fuse(map_op.clone(), reduce_op.clone()) {
+        return max_by_key(dev, reduce_name, data, key);
+    }
+    let mut keys: Vec<K> = vec![K::default(); n];
+    let thr = dev.par_threshold(KernelClass::Map);
+    dev.launch(&map_op.name, map_op.traffic, || {
+        if n < thr {
+            for (k, x) in keys.iter_mut().zip(data) {
+                *k = key(x);
+            }
+        } else {
+            keys.par_iter_mut()
+                .zip_eq(data.par_iter())
+                .for_each(|(k, x)| *k = key(x));
+        }
+    });
+    max_by_key(dev, reduce_name, &keys, |k| *k)
 }
 
 #[cfg(test)]
@@ -175,5 +334,62 @@ mod tests {
         // min-monoid
         let m = reduce(&dev, "min", &v, u32::MAX, |&x| x, |a, b| a.min(b));
         assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn lane_chunked_fold_matches_plain_fold() {
+        let v: Vec<u64> = (0..1003).map(|i| (i * 31) % 257).collect();
+        let map = |x: &u64| *x;
+        let combine = |a: u64, b: u64| a + b;
+        let plain = fold_seq(&v, None, &0u64, &map, &combine);
+        for lanes in [2usize, 4, 8, 16] {
+            assert_eq!(fold_seq(&v, Some(lanes), &0u64, &map, &combine), plain);
+        }
+        // min monoid, short input falls back to the plain fold
+        let short = vec![9u64, 3];
+        assert_eq!(
+            fold_seq(&short, Some(8), &u64::MAX, &map, &|a, b| a.min(b)),
+            3
+        );
+    }
+
+    #[test]
+    fn map_reduce_fused_is_one_launch_unfused_two_and_equal() {
+        let dev = Device::default();
+        let v: Vec<u32> = (0..30_000).collect();
+        let (fused, df) = dev.scoped(|| {
+            map_reduce(&dev, "len_map", "count_slots", &v, 0usize, |&x| {
+                (x % 3) as usize
+            }, |a, b| a + b)
+        });
+        assert_eq!(df.launches, 1, "fused pair is one launch");
+        assert_eq!(df.traffic.read, 30_000 * 4, "historical reduce traffic");
+        assert_eq!(df.traffic.written, 0);
+        dev.set_fusion(false);
+        let (unfused, du) = dev.scoped(|| {
+            map_reduce(&dev, "len_map", "count_slots", &v, 0usize, |&x| {
+                (x % 3) as usize
+            }, |a, b| a + b)
+        });
+        assert_eq!(du.launches, 2, "unfused pair launches both kernels");
+        assert_eq!(du.kernels["len_map"].launches, 1);
+        assert_eq!(du.kernels["count_slots"].launches, 1);
+        assert_eq!(fused, unfused);
+        assert_eq!(dev.fusion_stats().map_reduce, 1);
+        assert_eq!(dev.fusion_stats().attempted, 2);
+    }
+
+    #[test]
+    fn map_max_by_key_agrees_fused_and_unfused() {
+        let dev = Device::default();
+        let mut v: Vec<i64> = (0..9000).map(|i| (i * 37) % 1000).collect();
+        v[4567] = 100_000;
+        let fused = map_max_by_key(&dev, "key_map", "cycle_check", &v, |&x| x);
+        dev.set_fusion(false);
+        let unfused = map_max_by_key(&dev, "key_map", "cycle_check", &v, |&x| x);
+        assert_eq!(fused, Some(4567));
+        assert_eq!(fused, unfused);
+        let empty: Vec<i64> = vec![];
+        assert_eq!(map_max_by_key(&dev, "k", "m", &empty, |&x| x), None);
     }
 }

@@ -11,10 +11,9 @@
 //! i.e. work-efficient O(N), matching a single-pass GPU scan in traffic:
 //! one read + one write of the data.
 
+use crate::backend::KernelClass;
 use crate::device::{Device, Traffic};
 use rayon::prelude::*;
-
-const SEQ_THRESHOLD: usize = 8192;
 
 /// In-place **exclusive** scan with a custom associative operator and
 /// identity. Returns the total (the "carry-out").
@@ -32,11 +31,12 @@ where
 {
     let n = data.len();
     let traffic = Traffic::new().reads::<T>(n).writes::<T>(n);
+    let thr = dev.par_threshold(KernelClass::Scan);
     dev.launch(name, traffic, || {
         if n == 0 {
             return identity;
         }
-        if n < SEQ_THRESHOLD {
+        if n < thr {
             let mut acc = identity;
             for v in data.iter_mut() {
                 let x = *v;
@@ -93,11 +93,12 @@ pub fn inclusive_scan_in_place<T>(
 {
     let n = data.len();
     let traffic = Traffic::new().reads::<T>(n).writes::<T>(n);
+    let thr = dev.par_threshold(KernelClass::Scan);
     dev.launch(name, traffic, || {
         if n == 0 {
             return;
         }
-        if n < SEQ_THRESHOLD {
+        if n < thr {
             let mut acc = identity;
             for v in data.iter_mut() {
                 acc = op(acc, *v);

@@ -3,8 +3,8 @@
 //! Segments are given CSR-style as an offsets array of length
 //! `num_segments + 1`.
 
+use crate::backend::KernelClass;
 use crate::device::{Device, Traffic};
-use crate::PAR_THRESHOLD;
 use rayon::prelude::*;
 
 /// Reduce every segment independently:
@@ -30,13 +30,14 @@ where
         .reads::<usize>(offsets.len())
         .read_bytes(0)
         .writes::<A>(nseg);
+    let thr = dev.par_threshold(KernelClass::Segmented);
     dev.launch(name, traffic, || {
         let body = |s: usize| {
             data[offsets[s]..offsets[s + 1]]
                 .iter()
                 .fold(identity.clone(), |acc, x| combine(acc, map(x)))
         };
-        if nseg < PAR_THRESHOLD {
+        if nseg < thr {
             (0..nseg).map(body).collect()
         } else {
             (0..nseg).into_par_iter().map(body).collect()
@@ -72,6 +73,7 @@ pub fn segmented_sort_pairs_u64(
         .writes::<u64>(keys.len())
         .read_bytes(if with_vals { (vals.len() * 4) as u64 } else { 0 })
         .written_bytes(if with_vals { (vals.len() * 4) as u64 } else { 0 });
+    let thr = dev.par_threshold(KernelClass::Segmented);
     dev.launch(name, traffic, || {
         // Parallelize across segments; within a segment sort sequentially
         // (the CUB scheme assigns segments to blocks the same way). Slices
@@ -105,7 +107,7 @@ pub fn segmented_sort_pairs_u64(
             }
         };
         if with_vals {
-            if nseg < PAR_THRESHOLD {
+            if nseg < thr {
                 for (k, v) in key_slices.into_iter().zip(val_slices) {
                     sort_one(k, Some(v));
                 }
@@ -115,7 +117,7 @@ pub fn segmented_sort_pairs_u64(
                     .zip(val_slices.into_par_iter())
                     .for_each(|(k, v)| sort_one(k, Some(v)));
             }
-        } else if nseg < PAR_THRESHOLD {
+        } else if nseg < thr {
             for k in key_slices {
                 sort_one(k, None);
             }

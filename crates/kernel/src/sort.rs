@@ -7,13 +7,13 @@
 //! a disjoint scatter — the standard GPU formulation executed on the
 //! simulated device.
 
+use crate::backend::KernelClass;
 use crate::buffer::ScatterSlice;
 use crate::device::{Device, Traffic};
 use rayon::prelude::*;
 
 const RADIX_BITS: u32 = 8;
 const RADIX: usize = 1 << RADIX_BITS;
-const SEQ_THRESHOLD: usize = 1 << 14;
 
 /// Number of 8-bit digit passes needed to cover `max_key`.
 fn passes_for(max_key: u64) -> u32 {
@@ -35,20 +35,46 @@ pub fn sort_pairs_u64(dev: &Device, keys: &mut Vec<u64>, vals: &mut Vec<u32>) {
     if n <= 1 {
         return;
     }
-    if n < SEQ_THRESHOLD {
-        // Small problems: one launch, sequential stable sort by key.
+    if n < dev.par_threshold(KernelClass::Sort) {
+        // Small problems: one launch, sequential LSD radix sort. A direct
+        // digit sort beats a comparison sort through an index permutation
+        // here — counting passes are linear, branch-light, and gather-free.
         let traffic = Traffic::new()
             .reads::<u64>(n)
             .reads::<u32>(n)
             .writes::<u64>(n)
             .writes::<u32>(n);
         dev.launch("radix_sort_small", traffic, || {
-            let mut idx: Vec<u32> = (0..n as u32).collect();
-            idx.sort_by_key(|&i| keys[i as usize]);
-            let ks: Vec<u64> = idx.iter().map(|&i| keys[i as usize]).collect();
-            let vs: Vec<u32> = idx.iter().map(|&i| vals[i as usize]).collect();
-            keys.copy_from_slice(&ks);
-            vals.copy_from_slice(&vs);
+            let max_key = keys.iter().copied().max().unwrap_or(0);
+            let passes = passes_for(max_key);
+            let mut kin = std::mem::take(keys);
+            let mut vin = std::mem::take(vals);
+            let mut kout = vec![0u64; n];
+            let mut vout = vec![0u32; n];
+            for pass in 0..passes {
+                let shift = pass * RADIX_BITS;
+                let mut hist = [0u32; RADIX];
+                for &k in &kin {
+                    hist[((k >> shift) as usize) & (RADIX - 1)] += 1;
+                }
+                let mut acc = 0u32;
+                for h in hist.iter_mut() {
+                    let c = *h;
+                    *h = acc;
+                    acc += c;
+                }
+                for (&k, &v) in kin.iter().zip(&vin) {
+                    let d = ((k >> shift) as usize) & (RADIX - 1);
+                    let pos = hist[d] as usize;
+                    hist[d] += 1;
+                    kout[pos] = k;
+                    vout[pos] = v;
+                }
+                std::mem::swap(&mut kin, &mut kout);
+                std::mem::swap(&mut vin, &mut vout);
+            }
+            *keys = kin;
+            *vals = vin;
         });
         return;
     }

@@ -13,8 +13,16 @@
 //!               [--max-jobs J] [--json]      # fused multi-graph extraction
 //! ```
 //!
-//! Every subcommand additionally accepts three global flags:
+//! Every subcommand additionally accepts these global flags:
 //!
+//! * `--backend <model|cpu>` — execution backend for every kernel launch:
+//!   `model` (default) is the deterministic simulated device the perf
+//!   figures are defined on; `cpu` is the tuned CPU backend (per-kernel
+//!   parallel thresholds sized to the rayon pool, cache-blocked CSR
+//!   traversal, lane-chunked reductions). Outputs are bit-identical;
+//! * `--no-fuse` — disable the peephole kernel-fusion pass, splitting
+//!   map→reduce, scan→scatter and confirm→count pairs into separate
+//!   launches (a debugging/measurement aid; outputs are bit-identical);
 //! * `--trace <out.json>` — the run is recorded through the device's
 //!   tracer and exported as Chrome Trace Event JSON (load `out.json` in
 //!   <https://ui.perfetto.dev>) plus a flat per-phase rollup next to it
@@ -41,7 +49,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: lf <stats|factor|forest|tridiag|solve|check|batch> <input.mtx|gen:NAME[:N]> [options]\n\
          batch input: a directory of .mtx files or a comma-separated input list\n\
-         global flags: --trace <out.json>, --metrics <out.prom>, --check\n\
+         global flags: --backend <model|cpu>, --no-fuse, --trace <out.json>,\n\
+                       --metrics <out.prom>, --check\n\
          run `lf help` for details"
     );
     exit(2);
@@ -313,7 +322,20 @@ fn main() {
         usage();
     }
     let input = args.get(1).unwrap_or_else(|| usage());
-    let dev = Device::default();
+    // Global --backend/--no-fuse flags: every launch in the process goes
+    // through this one device, so backend selection is a single point.
+    let backend_kind = match flag_val(&args, "--backend") {
+        None => BackendKind::Model,
+        Some(s) => BackendKind::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown --backend value '{s}' (valid values: model, cpu)");
+            exit(2);
+        }),
+    };
+    let dev = Device::with_backend(
+        DeviceConfig::default(),
+        linear_forest::kernel::backend::make(backend_kind),
+    );
+    dev.set_fusion(!has_flag(&args, "--no-fuse"));
     let rest = &args[2..];
 
     // Global --trace flag: record the whole run through the device tracer.

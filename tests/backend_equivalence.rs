@@ -1,0 +1,150 @@
+//! Backend/fusion equivalence: the model device and the tuned CPU backend,
+//! each with the peephole fusion pass on and off, must be observationally
+//! indistinguishable — bit-identical forests on random and stencil graphs,
+//! and identical `DeviceStats`-visible launch counts across backends (the
+//! launch stream is a property of the algorithm and the fusion setting,
+//! never of the execution backend). Fused runs must launch strictly fewer
+//! kernels, and the fusion counters must show the peephole rules firing.
+
+use linear_forest::kernel::backend;
+use linear_forest::prelude::*;
+use linear_forest::sparse::Coo;
+use proptest::prelude::*;
+
+fn device(kind: BackendKind, fuse: bool) -> Device {
+    let dev = Device::with_backend(DeviceConfig::default(), backend::make(kind));
+    dev.set_fusion(fuse);
+    dev
+}
+
+/// Random undirected weighted graph with isolated vertices and duplicate
+/// weights (the tie-heavy case; any combine-order slip would surface).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1u32..20),
+            0..(n * 3),
+        )
+        .prop_map(|es| {
+            es.into_iter()
+                .map(|(u, v, w)| (u, v, w as f64 * 0.1))
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for &(u, v, w) in edges {
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            coo.push_sym(u, v, w);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn backends_and_fusion_bit_identical_on_random_graphs(
+        (n, edges) in graph_strategy(),
+    ) {
+        let ap = prepare_undirected(&build(n, &edges));
+        let cfg = FactorConfig::paper_default(2);
+        let mut launches = Vec::new();
+        let mut reference = None;
+        for kind in [BackendKind::Model, BackendKind::Cpu] {
+            for fuse in [true, false] {
+                let dev = device(kind, fuse);
+                let (forest, _) = extract_linear_forest(&dev, &ap, &cfg)
+                    .unwrap_or_else(|e| panic!("{kind}/fuse={fuse}: {e}"));
+                launches.push(dev.stats().launches);
+                match &reference {
+                    None => reference = Some(forest),
+                    Some(base) => {
+                        prop_assert_eq!(&base.factor, &forest.factor,
+                            "{}/fuse={}: factor diverged", kind, fuse);
+                        prop_assert_eq!(&base.paths, &forest.paths,
+                            "{}/fuse={}: paths diverged", kind, fuse);
+                        prop_assert_eq!(&base.perm, &forest.perm,
+                            "{}/fuse={}: permutation diverged", kind, fuse);
+                        prop_assert_eq!(&base.cycles.removed, &forest.cycles.removed,
+                            "{}/fuse={}: removed edges diverged", kind, fuse);
+                    }
+                }
+            }
+        }
+        // order: (model,fused) (model,unfused) (cpu,fused) (cpu,unfused)
+        prop_assert_eq!(launches[0], launches[2], "fused launch counts differ across backends");
+        prop_assert_eq!(launches[1], launches[3], "unfused launch counts differ across backends");
+        prop_assert!(launches[0] < launches[1], "fusion saved no launches: {:?}", launches);
+    }
+}
+
+#[test]
+fn stencil_suite_fusion_fires_and_forests_agree() {
+    let cfg = FactorConfig::paper_default(2);
+    let cases: Vec<(&str, Csr<f64>)> = vec![
+        ("grid2d/ANISO1", grid2d(20, 20, &ANISO1)),
+        ("grid2d/ANISO2", grid2d(20, 20, &ANISO2)),
+        ("grid2d/FIVE_POINT", grid2d(20, 20, &FIVE_POINT)),
+        ("aniso3", aniso3(16, 16)),
+        ("grid3d", grid3d(8, 8, 8, &Stencil7::symmetric(6.0, -1.0, -2.0, -0.5))),
+    ];
+    for (name, a) in cases {
+        let ap = prepare_undirected(&a);
+        let fused_dev = device(BackendKind::Cpu, true);
+        let (ffused, _) = extract_linear_forest(&fused_dev, &ap, &cfg).unwrap();
+        let unfused_dev = device(BackendKind::Cpu, false);
+        let (funfused, _) = extract_linear_forest(&unfused_dev, &ap, &cfg).unwrap();
+
+        assert_eq!(ffused.factor, funfused.factor, "{name}");
+        assert_eq!(ffused.paths, funfused.paths, "{name}");
+        assert_eq!(ffused.perm, funfused.perm, "{name}");
+
+        let (lf, lu) = (fused_dev.stats().launches, unfused_dev.stats().launches);
+        assert!(lf < lu, "{name}: fused {lf} launches, unfused {lu}");
+
+        // The peephole pass demonstrably fired, and the launch savings
+        // equal the number of fused pairs.
+        let fs = fused_dev.fusion_stats();
+        assert!(fs.fused() > 0, "{name}: no rules fired");
+        assert_eq!(lu - lf, fs.fused(), "{name}: savings ≠ fused pairs");
+        // The unfused device attempted the same pairs but fused none.
+        let fsu = unfused_dev.fusion_stats();
+        assert_eq!(fsu.fused(), 0, "{name}");
+        assert_eq!(fsu.attempted, fs.attempted, "{name}");
+    }
+}
+
+#[test]
+fn per_kernel_launch_stats_agree_across_backends() {
+    // Not just totals: the per-kernel launch multiset must match, so a
+    // backend can never silently reroute work through different kernels.
+    let a: Csr<f64> = grid2d(16, 16, &ANISO2);
+    let ap = prepare_undirected(&a);
+    let cfg = FactorConfig::paper_default(2);
+    for fuse in [true, false] {
+        let dm = device(BackendKind::Model, fuse);
+        let dc = device(BackendKind::Cpu, fuse);
+        extract_linear_forest(&dm, &ap, &cfg).unwrap();
+        extract_linear_forest(&dc, &ap, &cfg).unwrap();
+        let (sm, sc) = (dm.stats(), dc.stats());
+        let mut km: Vec<(String, u64)> = sm
+            .kernels
+            .iter()
+            .map(|(k, v)| (k.clone(), v.launches))
+            .collect();
+        let mut kc: Vec<(String, u64)> = sc
+            .kernels
+            .iter()
+            .map(|(k, v)| (k.clone(), v.launches))
+            .collect();
+        km.sort();
+        kc.sort();
+        assert_eq!(km, kc, "fuse={fuse}");
+    }
+}
