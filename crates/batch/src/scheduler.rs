@@ -276,6 +276,16 @@ impl ExtractionService {
         });
         stats::submitted(self.queue.len());
         record_queue_depth(self.queue.len());
+        if lf_flight::enabled() {
+            if let Some(j) = self.queue.back() {
+                lf_flight::record(lf_flight::FlightEvent::JobSubmit {
+                    id,
+                    name: j.name.clone(),
+                    nnz: j.nnz() as u64,
+                    cache_hit: j.cache_hit,
+                });
+            }
+        }
         Ok(id)
     }
 
@@ -480,8 +490,14 @@ impl ExtractionService {
     }
 }
 
-/// Count one batch close in the metrics registry, by reason.
+/// Count one batch close in the metrics registry (by reason) and in the
+/// flight ring.
 fn record_close(reason: &'static str) {
+    if lf_flight::enabled() {
+        lf_flight::record(lf_flight::FlightEvent::BatchClose {
+            reason: reason.to_string(),
+        });
+    }
     if lf_metrics::enabled() {
         lf_metrics::global()
             .counter_with(
@@ -520,6 +536,25 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome
     match &result {
         Ok(_) => stats::completed(),
         Err(_) => stats::failed(),
+    }
+    if lf_flight::enabled() {
+        let outcome = match &result {
+            Ok(_) => "ok",
+            Err(JobError::Pipeline(_)) => "pipeline",
+            Err(JobError::Union(_)) => "union",
+            Err(JobError::Audit { .. }) => "audit",
+        };
+        lf_flight::record(lf_flight::FlightEvent::JobOutcome {
+            id: j.id,
+            batch,
+            outcome: outcome.to_string(),
+        });
+        if let Err(e) = &result {
+            lf_flight::record(lf_flight::FlightEvent::Error {
+                kind: "job".to_string(),
+                message: format!("job #{} '{}': {e}", j.id, j.name),
+            });
+        }
     }
     if lf_metrics::enabled() {
         let outcome = match &result {

@@ -182,9 +182,10 @@ pub fn run(opts: &Opts) {
          same graphs: all preparation comes from the content-hash cache \
          and the batch workspace comes from the pool."
     );
-    opts.write_json(
+    opts.write_json_with(
         "BENCH_batch.json",
         &format!("{{\"rows\":[{}]}}\n", json_rows.join(",")),
+        "\"rounds\":2",
     )
     .expect("results dir");
 }

@@ -19,6 +19,8 @@
 //!               snapshot to F (Prometheus text; JSON if F ends in .json)
 //!   --check     audited preflight: run the checked pipeline on
 //!               representative matrices before any experiment
+//!   --flight-dir D  arm the always-on lf-flight recorder; a failed
+//!               preflight (or a panic) dumps a postmortem bundle into D
 //!
 //! gate options (see lf_bench::gate):
 //!   --compare F    compare against baseline F instead of writing one
@@ -33,10 +35,24 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--metrics F] \
-         [--check] [--backend model|cpu] [--no-fuse] [--compare F] [--tolerance T] [--inject S] \
+         [--check] [--backend model|cpu] [--no-fuse] [--flight-dir D] \
+         [--compare F] [--tolerance T] [--inject S] \
          <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|backends|gate|tables|figures|all>..."
     );
     std::process::exit(2);
+}
+
+/// The effective configuration a bench-harness bundle records: backend and
+/// fusion from the CLI, factor parameters at the preflight's paper
+/// defaults. Bench bundles carry no embedded input, so they document the
+/// failure rather than support replay.
+fn bench_config(opts: &Opts) -> lf_flight::EffectiveConfig {
+    lf_flight::EffectiveConfig {
+        pipeline: "bench".to_string(),
+        backend: opts.backend.as_str().to_string(),
+        fusion: opts.fuse,
+        ..lf_flight::EffectiveConfig::default()
+    }
 }
 
 fn main() {
@@ -45,6 +61,7 @@ fn main() {
     let mut cmds: Vec<String> = Vec::new();
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut flight_dir: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -73,6 +90,9 @@ fn main() {
             "--metrics" => {
                 metrics_path = Some(args.next().unwrap_or_else(|| usage()));
             }
+            "--flight-dir" => {
+                flight_dir = Some(args.next().map(Into::into).unwrap_or_else(|| usage()));
+            }
             "--compare" => {
                 gate.compare = Some(args.next().map(Into::into).unwrap_or_else(|| usage()));
             }
@@ -95,6 +115,17 @@ fn main() {
     }
     if metrics_path.is_some() {
         lf_metrics::enable();
+    }
+    // Arm the flight recorder: events stream into the global ring and any
+    // failure below dumps a postmortem bundle into the directory.
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            eprintln!("cannot create flight dir {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        lf_flight::enable();
+        lf_flight::set_bundle_dir(dir.clone());
+        lf_flight::install_panic_hook(bench_config(&opts));
     }
     if cmds.is_empty() {
         usage();
@@ -137,6 +168,21 @@ fn main() {
     let list: Vec<&str> = cmds.iter().flat_map(|c| expand(c)).collect();
     if opts.check {
         if let Err(e) = opts.preflight_check() {
+            if lf_flight::bundle_dir().is_some() {
+                let msg = e.to_string();
+                let mut b = lf_flight::Bundle::capture("check", &msg, bench_config(&opts));
+                b.outcome = Some(lf_flight::Outcome::Error {
+                    kind: "check".to_string(),
+                    message: msg,
+                });
+                match lf_flight::bundle_dir().map(|d| b.write_to(&d)) {
+                    Some(Ok(bdir)) => {
+                        eprintln!("postmortem bundle written to {}", bdir.display())
+                    }
+                    Some(Err(we)) => eprintln!("warning: failed to write postmortem bundle: {we}"),
+                    None => {}
+                }
+            }
             eprintln!("error: checked-mode preflight failed:\n{e}");
             std::process::exit(1);
         }
@@ -180,7 +226,14 @@ fn main() {
             Some(stem) => format!("{stem}.summary.json"),
             None => format!("{path}.summary.json"),
         };
-        std::fs::write(&spath, summary(&data).to_json()).unwrap_or_else(|e| {
+        let dropped = sink.dropped();
+        if dropped > 0 {
+            eprintln!(
+                "warning: trace truncated — {dropped} event(s) dropped by the \
+                 recording sink (raise its capacity or shorten the run)"
+            );
+        }
+        std::fs::write(&spath, summary(&data).with_dropped(dropped).to_json()).unwrap_or_else(|e| {
             eprintln!("failed to write trace summary {spath}: {e}");
             std::process::exit(1);
         });

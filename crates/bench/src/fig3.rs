@@ -191,7 +191,7 @@ pub fn run(opts: &Opts) {
          dense one on warm state; CSV in {}",
         opts.out_dir.join("fig3.csv").display()
     );
-    opts.write_json(
+    opts.write_json_with(
         "BENCH_fig3.json",
         &format!(
             "{{\"figure\":\"fig3\",\"scale\":{},\"full\":{},\"matrices\":[{}]}}\n",
@@ -199,6 +199,8 @@ pub fn run(opts: &Opts) {
             opts.full,
             json_matrices.join(",")
         ),
+        // The model device is deterministic, so one rep per kernel.
+        "\"reps\":1",
     )
     .expect("results dir");
 }

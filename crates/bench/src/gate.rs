@@ -192,7 +192,16 @@ pub fn run(opts: &Opts, gate: &GateOpts) -> bool {
         None => {
             std::fs::create_dir_all(&opts.out_dir).expect("results dir");
             let path = opts.out_dir.join("BENCH_gate.json");
-            std::fs::write(&path, to_json(&fresh)).expect("write baseline");
+            // Record provenance alongside the numbers. Spliced before the
+            // metrics object so `parse_baseline`'s flat slice still lands
+            // on `"metrics":{...}`.
+            let manifest = opts.manifest_json(&format!("\"reps\":1,\"gate_scale\":{GATE_SCALE}"));
+            let doc = to_json(&fresh).replacen(
+                "\"metrics\":",
+                &format!("\"manifest\":{manifest},\"metrics\":"),
+                1,
+            );
+            std::fs::write(&path, doc).expect("write baseline");
             println!("\nbaseline written to {}", path.display());
             true
         }
@@ -240,6 +249,22 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert!((parsed["a.model_ms"] - 1.25).abs() < 1e-9);
         assert_eq!(parsed["a.launches"], 42.0);
+    }
+
+    #[test]
+    fn parse_accepts_manifest_bearing_baseline() {
+        // What `repro gate` writes since the manifest landed: provenance
+        // object spliced before the metrics, which the flat slice ignores.
+        let m = map(&[("a.model_ms", 1.25)]);
+        let manifest = Opts::default().manifest_json("\"reps\":1");
+        let doc = to_json(&m).replacen(
+            "\"metrics\":",
+            &format!("\"manifest\":{manifest},\"metrics\":"),
+            1,
+        );
+        let parsed = parse_baseline(&doc).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!((parsed["a.model_ms"] - 1.25).abs() < 1e-9);
     }
 
     #[test]

@@ -131,17 +131,68 @@ impl Opts {
         Ok(std::io::BufWriter::new(f))
     }
 
+    /// Provenance manifest injected into every `BENCH_*.json`: what built
+    /// the numbers (git revision, backend, fusion state, scales) plus any
+    /// experiment-specific `extra` fields, pre-rendered as `"key":value`
+    /// pairs (empty for none).
+    pub fn manifest_json(&self, extra: &str) -> String {
+        let mut m = format!(
+            "{{\"git\":\"{}\",\"backend\":\"{}\",\"fusion\":{},\"scale\":{},\"full\":{}",
+            lf_kernel::trace::json::escape(&git_describe()),
+            self.backend.as_str(),
+            self.fuse,
+            self.scale,
+            self.full,
+        );
+        if !extra.is_empty() {
+            m.push(',');
+            m.push_str(extra);
+        }
+        m.push('}');
+        m
+    }
+
     /// Write a pre-rendered JSON document under the output directory
-    /// (only when `--json` was requested).
+    /// (only when `--json` was requested). A `manifest` field recording
+    /// the run's provenance ([`Opts::manifest_json`]) is spliced into the
+    /// document's top-level object.
     pub fn write_json(&self, name: &str, body: &str) -> std::io::Result<()> {
+        self.write_json_with(name, body, "")
+    }
+
+    /// [`Opts::write_json`] with experiment-specific manifest fields
+    /// (`extra` as in [`Opts::manifest_json`]).
+    pub fn write_json_with(&self, name: &str, body: &str, extra: &str) -> std::io::Result<()> {
         if !self.json {
             return Ok(());
         }
+        let manifest = format!("\"manifest\":{}", self.manifest_json(extra));
+        let body = match body.split_once('{') {
+            // `{}`-style empty document: manifest is the only field.
+            Some(("", rest)) if rest.trim_start().starts_with('}') => {
+                format!("{{{manifest}{rest}")
+            }
+            Some(("", rest)) => format!("{{{manifest},{rest}"),
+            _ => body.to_string(),
+        };
         std::fs::create_dir_all(&self.out_dir)?;
         std::fs::write(self.out_dir.join(name), body)?;
         println!("  JSON written to {}", self.out_dir.join(name).display());
         Ok(())
     }
+}
+
+/// `git describe --always --dirty` of the working tree, or `"unknown"`
+/// when git (or the repository) is unavailable.
+fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Minimal fixed-width text-table printer for paper-style output.
@@ -229,10 +280,32 @@ mod tests {
         assert!(!dir.join("BENCH_t.json").exists(), "no file without --json");
         let on = Opts { json: true, ..off };
         on.write_json("BENCH_t.json", "{}").unwrap();
-        assert_eq!(
-            std::fs::read_to_string(dir.join("BENCH_t.json")).unwrap(),
-            "{}"
-        );
+        let text = std::fs::read_to_string(dir.join("BENCH_t.json")).unwrap();
+        // The provenance manifest is spliced into the (empty) document.
+        assert!(text.starts_with("{\"manifest\":{\"git\":"), "got: {text}");
+        assert!(text.contains("\"backend\":\"model\""));
+        assert!(text.contains("\"fusion\":true"));
+        assert!(text.contains("\"scale\":20000"));
+        lf_kernel::trace::json::validate(&text).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_splices_into_populated_documents() {
+        let dir = std::env::temp_dir().join("lf_bench_manifest_splice_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let o = Opts {
+            json: true,
+            out_dir: dir.clone(),
+            ..Opts::default()
+        };
+        o.write_json_with("BENCH_x.json", "{\"rows\":[1,2]}\n", "\"reps\":3")
+            .unwrap();
+        let text = std::fs::read_to_string(dir.join("BENCH_x.json")).unwrap();
+        assert!(text.starts_with("{\"manifest\":{\"git\":"), "got: {text}");
+        assert!(text.contains("\"reps\":3"));
+        assert!(text.contains("\"rows\":[1,2]"));
+        lf_kernel::trace::json::validate(&text).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

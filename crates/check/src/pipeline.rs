@@ -111,13 +111,33 @@ impl From<PipelineError> for CheckError {
     }
 }
 
+/// Records a checked-pipeline failure in the flight ring (one `audit` or
+/// `pipeline` typed-error event) before handing it back to the caller.
+/// The disabled path is one relaxed load, same contract as the tracer.
+fn flight_err(e: CheckError) -> CheckError {
+    if lf_flight::enabled() {
+        let kind = match &e {
+            CheckError::Pipeline(_) => "pipeline",
+            CheckError::Audit { .. } => "audit",
+        };
+        lf_flight::record(lf_flight::FlightEvent::Error {
+            kind: kind.to_string(),
+            message: e.to_string(),
+        });
+    }
+    e
+}
+
 /// Runs one auditor inside a tracer span and turns its findings into a
-/// [`CheckError::Audit`].
+/// [`CheckError::Audit`]. `state_hash` fingerprints the pipeline state
+/// under audit and is evaluated only when violations are found and the
+/// flight recorder is on (it hashes O(N) state).
 fn gate(
     dev: &Device,
     report: &mut CheckReport,
     stage: Stage,
     violations: Vec<Violation>,
+    state_hash: impl FnOnce() -> u64,
 ) -> Result<(), CheckError> {
     let tracer = dev.tracer();
     if tracer.is_active() {
@@ -127,7 +147,14 @@ fn gate(
         report.stages.push(stage);
         Ok(())
     } else {
-        Err(CheckError::Audit { stage, violations })
+        if lf_flight::enabled() {
+            lf_flight::record(lf_flight::FlightEvent::Audit {
+                stage: stage.name().to_string(),
+                violations: violations.len() as u64,
+                state_hash: state_hash(),
+            });
+        }
+        Err(flight_err(CheckError::Audit { stage, violations }))
     }
 }
 
@@ -160,7 +187,7 @@ pub fn extract_linear_forest_checked<T: Scalar>(
     opts: &CheckOptions,
 ) -> Result<(LinearForest<T>, PipelineTimings, CheckReport), CheckError> {
     if cfg.n != 2 {
-        return Err(PipelineError::NotPathFactor { n: cfg.n }.into());
+        return Err(flight_err(PipelineError::NotPathFactor { n: cfg.n }.into()));
     }
     let mut report = CheckReport::default();
     let mut timings = PipelineTimings::default();
@@ -170,11 +197,11 @@ pub fn extract_linear_forest_checked<T: Scalar>(
     {
         let _s = tracer.span("audit_input");
         let v = audit::audit_input(aprime);
-        gate(dev, &mut report, Stage::Input, v)?;
+        gate(dev, &mut report, Stage::Input, v, || 0)?;
     }
 
     let (outcome, t_factor) = dev.scoped(|| try_parallel_factor(dev, aprime, cfg));
-    let outcome = outcome?;
+    let outcome = outcome.map_err(|e| flight_err(e.into()))?;
     timings.factor = t_factor;
     let mut factor = outcome.factor;
     if matches!(opts.fault, Some(Fault::BreakMutuality | Fault::CorruptWeight)) {
@@ -183,7 +210,7 @@ pub fn extract_linear_forest_checked<T: Scalar>(
     {
         let _s = tracer.span("audit_factor");
         let v = audit::audit_factor(&factor, aprime, cfg.n, outcome.maximal);
-        gate(dev, &mut report, Stage::Factor, v)?;
+        gate(dev, &mut report, Stage::Factor, v, || factor.fingerprint())?;
     }
 
     let pre_break = factor.clone();
@@ -195,7 +222,7 @@ pub fn extract_linear_forest_checked<T: Scalar>(
     {
         let _s = tracer.span("audit_cycle_break");
         let v = audit::audit_cycle_break(&pre_break, &factor, &cycles);
-        gate(dev, &mut report, Stage::CycleBreak, v)?;
+        gate(dev, &mut report, Stage::CycleBreak, v, || factor.fingerprint())?;
     }
 
     let (paths, t_paths) = dev.scoped(|| {
@@ -203,11 +230,11 @@ pub fn extract_linear_forest_checked<T: Scalar>(
         identify_paths(dev, &factor)
     });
     timings.identify_paths = t_paths;
-    let paths = paths.map_err(PipelineError::from)?;
+    let paths = paths.map_err(|e| flight_err(PipelineError::from(e).into()))?;
     {
         let _s = tracer.span("audit_paths");
         let v = audit::audit_paths(&factor, &paths);
-        gate(dev, &mut report, Stage::Paths, v)?;
+        gate(dev, &mut report, Stage::Paths, v, || factor.fingerprint())?;
     }
 
     let (mut perm, t_perm) = dev.scoped(|| {
@@ -222,7 +249,7 @@ pub fn extract_linear_forest_checked<T: Scalar>(
     {
         let _s = tracer.span("audit_permutation");
         let v = audit::audit_permutation(&factor, &paths, &perm);
-        gate(dev, &mut report, Stage::Permutation, v)?;
+        gate(dev, &mut report, Stage::Permutation, v, || factor.fingerprint())?;
     }
 
     if tracer.is_active() {
@@ -267,7 +294,7 @@ pub fn tridiagonal_from_matrix_checked<T: Scalar>(
     {
         let _s = dev.tracer().span("audit_extraction");
         let v = audit::audit_extraction(a, &forest.factor, &forest.perm, &tri);
-        gate(dev, &mut report, Stage::Extraction, v)?;
+        gate(dev, &mut report, Stage::Extraction, v, || forest.factor.fingerprint())?;
     }
     Ok((tri, forest, timings, report))
 }

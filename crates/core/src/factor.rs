@@ -18,6 +18,17 @@ use lf_sparse::{Csr, Scalar};
 /// Sentinel for an empty factor slot.
 pub const INVALID: u32 = u32::MAX;
 
+/// FNV-1a offset basis (structural fingerprints for postmortem replay).
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Fold `bytes` into an FNV-1a running hash.
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// A [0,n]-factor stored as `n` (column, weight) slots per vertex.
 ///
 /// Weights are the `A'` weights of the partner edges (used later to break
@@ -67,6 +78,21 @@ impl<T: Scalar> Factor<T> {
     /// Raw slot weights.
     pub fn slot_weights(&self) -> &[T] {
         &self.ws
+    }
+
+    /// FNV-1a structural fingerprint over the exact bit patterns of the
+    /// slot arrays. Two factors fingerprint equal iff they are
+    /// bit-identical, which is what the flight-recorder replay compares.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, &(self.nv as u64).to_le_bytes());
+        h = fnv1a(h, &(self.n as u64).to_le_bytes());
+        for c in &self.cols {
+            h = fnv1a(h, &c.to_le_bytes());
+        }
+        for w in &self.ws {
+            h = fnv1a(h, &w.to_f64().to_bits().to_le_bytes());
+        }
+        h
     }
 
     /// Mutable access to the raw slot arrays (columns, weights) for

@@ -49,6 +49,27 @@ impl<T: Scalar> LinearForest<T> {
         self.factor.weight()
     }
 
+    /// FNV-1a fingerprint over the entire forest — factor slots, path
+    /// IDs/positions, permutation, cycle report, and iteration count.
+    /// Equal fingerprints mean bit-identical forests; the postmortem
+    /// replay (`lf postmortem --replay`) uses this as its oracle.
+    pub fn fingerprint(&self) -> u64 {
+        use crate::factor::fnv1a;
+        let mut h = self.factor.fingerprint();
+        h = fnv1a(h, &(self.factor_iterations as u64).to_le_bytes());
+        h = fnv1a(h, &(self.cycles.cycles as u64).to_le_bytes());
+        for &(u, v) in &self.cycles.removed {
+            h = fnv1a(h, &u.to_le_bytes());
+            h = fnv1a(h, &v.to_le_bytes());
+        }
+        for chunk in [&self.paths.path_id, &self.paths.position, &self.perm] {
+            for x in chunk.iter() {
+                h = fnv1a(h, &x.to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// One-stop quality report against the original matrix `a` (and,
     /// optionally, a sequential-greedy reference factor for the PAR/SEQ
     /// ratio of Table 5).

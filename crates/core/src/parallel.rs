@@ -555,6 +555,9 @@ fn run<T: Scalar, const K: usize>(
     // Like the tracer, the metrics gate is one relaxed load; handles are
     // fetched once so iterations don't pay registry lookups.
     let metrics = lf_metrics::enabled().then(FactorMetrics::fetch);
+    // Hoisted like the metrics gate; per-iteration flight events carry
+    // only deterministic counts so a replay's stream compares bit-exactly.
+    let flight = lf_flight::enabled();
 
     for k in 0..cfg.max_iters {
         let _iter_span = tracer.span_dyn(|| format!("iter_{k}"));
@@ -609,8 +612,9 @@ fn run<T: Scalar, const K: usize>(
                 scratch,
             )
         };
-        if tracer.is_active() || metrics.is_some() {
-            let proposed: usize = if cfg.frontier {
+        let mut proposed: usize = 0;
+        if tracer.is_active() || metrics.is_some() || flight {
+            proposed = if cfg.frontier {
                 fout.as_slice().iter().map(|t| t.len()).sum::<usize>() + (nv - flen) * K
             } else {
                 proposals.iter().map(|t| t.len()).sum()
@@ -657,6 +661,14 @@ fn run<T: Scalar, const K: usize>(
                 )
             };
             if slots == after {
+                if flight {
+                    lf_flight::record(lf_flight::FlightEvent::FactorIter {
+                        iter: k as u64,
+                        frontier: flen as u64,
+                        proposed: proposed as u64,
+                        confirmed: after as u64,
+                    });
+                }
                 iterations = k + 1;
                 maximal = true;
                 break;
@@ -672,6 +684,14 @@ fn run<T: Scalar, const K: usize>(
         };
         if let Some(m) = &metrics {
             m.confirmed.record(slots as u64);
+        }
+        if flight {
+            lf_flight::record(lf_flight::FlightEvent::FactorIter {
+                iter: k as u64,
+                frontier: flen as u64,
+                proposed: proposed as u64,
+                confirmed: slots as u64,
+            });
         }
         if tracer.is_active() {
             tracer.metric("confirmed_slots", slots as f64);

@@ -1,0 +1,563 @@
+//! Postmortem bundles (schema `lf-flight/1`).
+//!
+//! A bundle is a self-contained directory dumped at the moment of
+//! failure: `bundle.json` holds the failure reason, the effective
+//! pipeline configuration, the input's content hash, the final outcome,
+//! deterministic device-model totals, the last-N flight events, and a
+//! full metrics snapshot; the raw input matrix rides along as
+//! `input.mtx` when it is under the caller's size cap. Everything a
+//! replay needs is inside the directory — no reference back to the
+//! original environment survives except the git-tracked binaries.
+//!
+//! All 64-bit hashes are serialized as `"0x…"` hex strings so they
+//! survive the f64 number model of JSON bit-exactly (see [`crate::value`]).
+
+use crate::event::FlightEvent;
+use crate::value::{hex, parse_hex, Value};
+use lf_trace::json::escape;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema tag of `bundle.json`; bump on any layout change.
+pub const BUNDLE_SCHEMA: &str = "lf-flight/1";
+
+/// Name of the optional raw-input file inside a bundle directory.
+pub const INPUT_FILE: &str = "input.mtx";
+
+/// The effective configuration of the failed run — everything replay
+/// needs to reconstruct the device and factor configuration bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EffectiveConfig {
+    /// Which pipeline ran (`forest`, `tridiag`, `factor`, `batch-solo`,
+    /// `bench`, or a CLI subcommand name for panic bundles).
+    pub pipeline: String,
+    /// Backend kind (`model`, `cpu`).
+    pub backend: String,
+    /// Whether the peephole fusion pass was enabled.
+    pub fusion: bool,
+    /// Factor cap `n` of the `[0,n]`-factor.
+    pub n: u64,
+    /// Outer iteration cap `M`.
+    pub max_iters: u64,
+    /// Proposal rounds `m` per iteration.
+    pub m: u64,
+    /// Extra confirmation rounds `k_m`.
+    pub k_m: u64,
+    /// Proposal acceptance probability `p`.
+    pub p: f64,
+    /// Whether frontier compaction was enabled.
+    pub frontier: bool,
+    /// Deterministic tie-breaking salt (the per-job salt in service runs).
+    pub charge_salt: u32,
+    /// SpMV engine (`SrCsr`, `RowParallel`).
+    pub engine: String,
+    /// Injected fault, if any (`break-mutuality`, `corrupt-weight`,
+    /// `swap-permutation`).
+    pub fault: Option<String>,
+    /// Input provenance spec (e.g. `gen:aniso1:4000`) when known; the
+    /// replay input is `input.mtx`, this is documentation.
+    pub input: Option<String>,
+}
+
+impl Default for EffectiveConfig {
+    fn default() -> Self {
+        // Mirrors `FactorConfig::paper_default(2)` on the model backend;
+        // lf-flight sits below lf-core so the values are restated here.
+        Self {
+            pipeline: "unknown".into(),
+            backend: "model".into(),
+            fusion: true,
+            n: 2,
+            max_iters: 5,
+            m: 5,
+            k_m: 0,
+            p: 0.5,
+            frontier: false,
+            charge_salt: 0,
+            engine: "SrCsr".into(),
+            fault: None,
+            input: None,
+        }
+    }
+}
+
+impl EffectiveConfig {
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"pipeline\":\"{}\",\"backend\":\"{}\",\"fusion\":{},\"n\":{},\
+             \"max_iters\":{},\"m\":{},\"k_m\":{},\"p\":{},\"frontier\":{},\
+             \"charge_salt\":{},\"engine\":\"{}\"",
+            escape(&self.pipeline),
+            escape(&self.backend),
+            self.fusion,
+            self.n,
+            self.max_iters,
+            self.m,
+            self.k_m,
+            lf_trace::json::number(self.p),
+            self.frontier,
+            self.charge_salt,
+            escape(&self.engine),
+        );
+        if let Some(f) = &self.fault {
+            out.push_str(&format!(",\"fault\":\"{}\"", escape(f)));
+        }
+        if let Some(i) = &self.input {
+            out.push_str(&format!(",\"input\":\"{}\"", escape(i)));
+        }
+        out.push('}');
+        out
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("config field {k} missing or not a string"))
+        };
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("config field {k} missing or not an integer"))
+        };
+        let b = |k: &str| -> Result<bool, String> {
+            v.get(k)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("config field {k} missing or not a bool"))
+        };
+        Ok(Self {
+            pipeline: s("pipeline")?,
+            backend: s("backend")?,
+            fusion: b("fusion")?,
+            n: u("n")?,
+            max_iters: u("max_iters")?,
+            m: u("m")?,
+            k_m: u("k_m")?,
+            p: v
+                .get("p")
+                .and_then(Value::as_f64)
+                .ok_or("config field p missing or not a number")?,
+            frontier: b("frontier")?,
+            charge_salt: u("charge_salt")? as u32,
+            engine: s("engine")?,
+            fault: v.get("fault").and_then(Value::as_str).map(str::to_string),
+            input: v.get("input").and_then(Value::as_str).map(str::to_string),
+        })
+    }
+}
+
+/// Deterministic device-model totals at dump time (never wall clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelTotals {
+    /// Total kernel launches.
+    pub launches: u64,
+    /// Total modeled bytes read.
+    pub read: u64,
+    /// Total modeled bytes written.
+    pub written: u64,
+    /// Total bandwidth-model time in nanoseconds.
+    pub model_ns: u64,
+}
+
+impl ModelTotals {
+    /// Serialize as a JSON object.
+    pub fn to_json(self) -> String {
+        format!(
+            "{{\"launches\":{},\"read\":{},\"written\":{},\"model_ns\":{}}}",
+            self.launches, self.read, self.written, self.model_ns
+        )
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("model field {k} missing or not an integer"))
+        };
+        Ok(Self {
+            launches: u("launches")?,
+            read: u("read")?,
+            written: u("written")?,
+            model_ns: u("model_ns")?,
+        })
+    }
+}
+
+/// The recorded (or replayed) end state of the run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The run failed with a typed error.
+    Error {
+        /// Error class (`pipeline`, `audit`, `check`, `job`, `panic`).
+        kind: String,
+        /// Rendered error message.
+        message: String,
+    },
+    /// The run produced a forest (or bare factor) successfully.
+    Forest {
+        /// Structural fingerprint of the result (FNV-1a).
+        hash: u64,
+        /// Number of extracted paths (0 for bare-factor pipelines).
+        num_paths: u64,
+        /// Factor iterations used.
+        iterations: u64,
+        /// Whether the factor loop reached a maximal factor early.
+        maximal: bool,
+    },
+}
+
+impl Outcome {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        match self {
+            Outcome::Error { kind, message } => format!(
+                "{{\"kind\":\"error\",\"error_kind\":\"{}\",\"message\":\"{}\"}}",
+                escape(kind),
+                escape(message)
+            ),
+            Outcome::Forest {
+                hash,
+                num_paths,
+                iterations,
+                maximal,
+            } => format!(
+                "{{\"kind\":\"forest\",\"hash\":\"{}\",\"num_paths\":{num_paths},\
+                 \"iterations\":{iterations},\"maximal\":{maximal}}}",
+                hex(*hash)
+            ),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v.get("kind").and_then(Value::as_str) {
+            Some("error") => Ok(Outcome::Error {
+                kind: v
+                    .get("error_kind")
+                    .and_then(Value::as_str)
+                    .ok_or("outcome error_kind missing")?
+                    .to_string(),
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .ok_or("outcome message missing")?
+                    .to_string(),
+            }),
+            Some("forest") => Ok(Outcome::Forest {
+                hash: v
+                    .get("hash")
+                    .and_then(Value::as_str)
+                    .and_then(parse_hex)
+                    .ok_or("outcome hash missing or not hex")?,
+                num_paths: v
+                    .get("num_paths")
+                    .and_then(Value::as_u64)
+                    .ok_or("outcome num_paths missing")?,
+                iterations: v
+                    .get("iterations")
+                    .and_then(Value::as_u64)
+                    .ok_or("outcome iterations missing")?,
+                maximal: v
+                    .get("maximal")
+                    .and_then(Value::as_bool)
+                    .ok_or("outcome maximal missing")?,
+            }),
+            _ => Err("outcome kind missing or unknown".into()),
+        }
+    }
+}
+
+/// A fully assembled postmortem bundle (the in-memory form of
+/// `bundle.json`).
+#[derive(Clone, Debug)]
+pub struct Bundle {
+    /// Failure class that triggered the dump (`pipeline`, `audit`,
+    /// `check`, `job`, `panic`).
+    pub reason_kind: String,
+    /// Human-readable failure description.
+    pub reason: String,
+    /// Effective configuration of the failed run.
+    pub config: EffectiveConfig,
+    /// FNV-1a content hash of the input matrix, when the caller had it.
+    pub input_hash: Option<u64>,
+    /// Bundle-relative raw-input filename ([`INPUT_FILE`]) when the
+    /// input was small enough to embed.
+    pub input_file: Option<String>,
+    /// Recorded end state of the run.
+    pub outcome: Option<Outcome>,
+    /// Deterministic device totals at dump time.
+    pub model: Option<ModelTotals>,
+    /// Total events ever recorded (may exceed `events.len()` when the
+    /// ring wrapped).
+    pub events_recorded: u64,
+    /// Retained flight events, oldest first, with sequence numbers.
+    pub events: Vec<(u64, FlightEvent)>,
+    /// Embedded metrics snapshot (a complete `lf-metrics` JSON document).
+    pub metrics_json: String,
+}
+
+impl Bundle {
+    /// Assemble a bundle from the global recorder state: the retained
+    /// events of [`crate::recorder`] plus a fresh metrics snapshot.
+    /// Input hash, outcome, and model totals start empty — the dump site
+    /// fills in what it has.
+    pub fn capture(reason_kind: &str, reason: impl Into<String>, config: EffectiveConfig) -> Self {
+        let ring = crate::recorder();
+        Self {
+            reason_kind: reason_kind.to_string(),
+            reason: reason.into(),
+            config,
+            input_hash: None,
+            input_file: None,
+            outcome: None,
+            model: None,
+            events_recorded: ring.recorded(),
+            events: ring.snapshot(),
+            metrics_json: lf_metrics::global().snapshot().to_json(),
+        }
+    }
+
+    /// Serialize as the `bundle.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":\"{BUNDLE_SCHEMA}\",\"reason\":{{\"kind\":\"{}\",\"message\":\"{}\"}},\
+             \"config\":{}",
+            escape(&self.reason_kind),
+            escape(&self.reason),
+            self.config.to_json()
+        );
+        if let Some(h) = self.input_hash {
+            out.push_str(&format!(",\"input_hash\":\"{}\"", hex(h)));
+        }
+        if let Some(f) = &self.input_file {
+            out.push_str(&format!(",\"input_file\":\"{}\"", escape(f)));
+        }
+        if let Some(o) = &self.outcome {
+            out.push_str(&format!(",\"outcome\":{}", o.to_json()));
+        }
+        if let Some(m) = &self.model {
+            out.push_str(&format!(",\"model\":{}", m.to_json()));
+        }
+        let entries: Vec<String> = self
+            .events
+            .iter()
+            .map(|(seq, ev)| format!("{{\"seq\":{seq},\"event\":{}}}", ev.to_json()))
+            .collect();
+        out.push_str(&format!(
+            ",\"events\":{{\"recorded\":{},\"entries\":[{}]}}",
+            self.events_recorded,
+            entries.join(",")
+        ));
+        let metrics = self.metrics_json.trim();
+        out.push_str(&format!(
+            ",\"metrics\":{}}}\n",
+            if metrics.is_empty() { "null" } else { metrics }
+        ));
+        out
+    }
+
+    /// Parse a `bundle.json` document.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = Value::parse(text)?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(BUNDLE_SCHEMA) => {}
+            Some(other) => return Err(format!("bundle schema {other:?} is not {BUNDLE_SCHEMA}")),
+            None => return Err("bundle has no schema tag".into()),
+        }
+        let reason = v.get("reason").ok_or("bundle has no reason")?;
+        let events = v.get("events").ok_or("bundle has no events")?;
+        let entries = events
+            .get("entries")
+            .and_then(Value::as_arr)
+            .ok_or("bundle events.entries missing")?;
+        let mut parsed_events = Vec::with_capacity(entries.len());
+        for e in entries {
+            let seq = e
+                .get("seq")
+                .and_then(Value::as_u64)
+                .ok_or("event entry has no seq")?;
+            let ev = FlightEvent::from_value(e.get("event").ok_or("event entry has no event")?)?;
+            parsed_events.push((seq, ev));
+        }
+        Ok(Self {
+            reason_kind: reason
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or("reason kind missing")?
+                .to_string(),
+            reason: reason
+                .get("message")
+                .and_then(Value::as_str)
+                .ok_or("reason message missing")?
+                .to_string(),
+            config: EffectiveConfig::from_value(v.get("config").ok_or("bundle has no config")?)?,
+            input_hash: v
+                .get("input_hash")
+                .and_then(Value::as_str)
+                .and_then(parse_hex),
+            input_file: v
+                .get("input_file")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            outcome: v.get("outcome").map(Outcome::from_value).transpose()?,
+            model: v.get("model").map(ModelTotals::from_value).transpose()?,
+            events_recorded: events
+                .get("recorded")
+                .and_then(Value::as_u64)
+                .ok_or("bundle events.recorded missing")?,
+            events: parsed_events,
+            metrics_json: v
+                .get("metrics")
+                .map(Value::to_json)
+                .unwrap_or_else(|| "null".into()),
+        })
+    }
+
+    /// Write the bundle to a fresh `bundle-<pid>-<seq>/` directory under
+    /// `dir` and return the bundle directory path.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::fs::create_dir_all(dir)?;
+        let pid = std::process::id();
+        let bundle_dir = loop {
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let candidate = dir.join(format!("bundle-{pid}-{n}"));
+            match std::fs::create_dir(&candidate) {
+                Ok(()) => break candidate,
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        std::fs::write(bundle_dir.join("bundle.json"), self.to_json())?;
+        Ok(bundle_dir)
+    }
+
+    /// Load a bundle from a bundle directory or a direct `bundle.json`
+    /// path. Returns the bundle and its directory (for `input.mtx`).
+    pub fn read(path: &Path) -> Result<(Self, PathBuf), String> {
+        let (file, dir) = if path.is_dir() {
+            (path.join("bundle.json"), path.to_path_buf())
+        } else {
+            (
+                path.to_path_buf(),
+                path.parent()
+                    .map(Path::to_path_buf)
+                    .unwrap_or_else(|| PathBuf::from(".")),
+            )
+        };
+        let text = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        Ok((Self::parse(&text)?, dir))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bundle {
+        Bundle {
+            reason_kind: "audit".into(),
+            reason: "invariant audit failed after stage 'factor'".into(),
+            config: EffectiveConfig {
+                pipeline: "forest".into(),
+                fault: Some("corrupt-weight".into()),
+                input: Some("gen:aniso1:1500".into()),
+                charge_salt: 7,
+                ..EffectiveConfig::default()
+            },
+            input_hash: Some(0xdead_beef_0000_00ff),
+            input_file: Some(INPUT_FILE.into()),
+            outcome: Some(Outcome::Error {
+                kind: "audit".into(),
+                message: "2 violation(s)".into(),
+            }),
+            model: Some(ModelTotals {
+                launches: 42,
+                read: 1000,
+                written: 500,
+                model_ns: 123_456,
+            }),
+            events_recorded: 99,
+            events: vec![
+                (
+                    97,
+                    FlightEvent::FactorIter {
+                        iter: 0,
+                        frontier: 10,
+                        proposed: 5,
+                        confirmed: 4,
+                    },
+                ),
+                (
+                    98,
+                    FlightEvent::Audit {
+                        stage: "factor".into(),
+                        violations: 2,
+                        state_hash: 0xabc,
+                    },
+                ),
+            ],
+            metrics_json: "{\"families\":[]}".into(),
+        }
+    }
+
+    #[test]
+    fn bundle_json_round_trips() {
+        let b = sample();
+        let text = b.to_json();
+        lf_trace::json::validate(&text).expect("bundle JSON must be well-formed");
+        let parsed = Bundle::parse(&text).unwrap();
+        assert_eq!(parsed.reason_kind, b.reason_kind);
+        assert_eq!(parsed.reason, b.reason);
+        assert_eq!(parsed.config, b.config);
+        assert_eq!(parsed.input_hash, b.input_hash);
+        assert_eq!(parsed.input_file, b.input_file);
+        assert_eq!(parsed.outcome, b.outcome);
+        assert_eq!(parsed.model, b.model);
+        assert_eq!(parsed.events_recorded, b.events_recorded);
+        assert_eq!(parsed.events, b.events);
+        assert_eq!(
+            Value::parse(&parsed.metrics_json).unwrap(),
+            Value::parse(&b.metrics_json).unwrap()
+        );
+    }
+
+    #[test]
+    fn forest_outcome_round_trips() {
+        let o = Outcome::Forest {
+            hash: u64::MAX - 3,
+            num_paths: 12,
+            iterations: 5,
+            maximal: true,
+        };
+        assert_eq!(
+            Outcome::from_value(&Value::parse(&o.to_json()).unwrap()).unwrap(),
+            o
+        );
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema() {
+        let text = sample().to_json().replace("lf-flight/1", "lf-flight/0");
+        assert!(Bundle::parse(&text).is_err());
+        assert!(Bundle::parse("{}").is_err());
+    }
+
+    #[test]
+    fn write_read_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join(format!("lf-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let b = sample();
+        let d1 = b.write_to(&dir).unwrap();
+        let d2 = b.write_to(&dir).unwrap();
+        assert_ne!(d1, d2, "each dump gets a fresh directory");
+        let (read_back, read_dir) = Bundle::read(&d1).unwrap();
+        assert_eq!(read_dir, d1);
+        assert_eq!(read_back.reason, b.reason);
+        let (from_file, _) = Bundle::read(&d1.join("bundle.json")).unwrap();
+        assert_eq!(from_file.config, b.config);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

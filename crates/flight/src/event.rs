@@ -1,0 +1,374 @@
+//! The flight-event taxonomy.
+//!
+//! One enum covers the entire pipeline because the paper's formulation
+//! keeps every stage expressible through a handful of primitives: kernel
+//! launches, factor-loop iterations, service job lifecycle, audit
+//! violations, and typed errors. Every field is **deterministic** under
+//! the simulated device — model time, traffic, counts, hashes — and wall
+//! times / timestamps are deliberately excluded, so the event stream of a
+//! replay run can be compared bit-for-bit against the recorded one.
+
+use crate::value::{hex, parse_hex, Value};
+use lf_trace::json::{escape, number};
+
+/// One structured event in the flight ring.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FlightEvent {
+    /// One device kernel launch ([`Device::launch`]).
+    Launch {
+        /// Kernel name (post-fusion name for fused launches).
+        kernel: String,
+        /// Executing backend kind (`model`, `cpu`, …).
+        backend: String,
+        /// Whether the peephole fusion pass was enabled on the device.
+        fused: bool,
+        /// Modeled bytes read from global memory.
+        read: u64,
+        /// Modeled bytes written to global memory.
+        written: u64,
+        /// Bandwidth-model execution time in nanoseconds (deterministic;
+        /// wall time is deliberately not recorded).
+        model_ns: u64,
+    },
+    /// One iteration of the parallel `[0,2]`-factor loop.
+    FactorIter {
+        /// Iteration index (0-based).
+        iter: u64,
+        /// Active frontier size entering the proposal kernel.
+        frontier: u64,
+        /// Proposals emitted this iteration.
+        proposed: u64,
+        /// Total confirmed slots after conflict resolution.
+        confirmed: u64,
+    },
+    /// A job entered the extraction service queue.
+    JobSubmit {
+        /// Service-assigned job id.
+        id: u64,
+        /// Caller-supplied job name.
+        name: String,
+        /// Nonzeros of the submitted matrix.
+        nnz: u64,
+        /// Whether the content-hash cache already held the result.
+        cache_hit: bool,
+    },
+    /// A batch closed and was handed to the fused pipeline.
+    BatchClose {
+        /// Why the batch closed (`count`, `nnz`, `deadline`, `drain`).
+        reason: String,
+    },
+    /// A service job finished.
+    JobOutcome {
+        /// Service-assigned job id.
+        id: u64,
+        /// Batch sequence number the job ran in.
+        batch: u64,
+        /// Outcome class (`ok`, `pipeline`, `union`, `audit`).
+        outcome: String,
+    },
+    /// A stage audit found invariant violations.
+    Audit {
+        /// Audited stage name (`input`, `factor`, …).
+        stage: String,
+        /// Number of violations found.
+        violations: u64,
+        /// Fingerprint of the factor state at audit time (0 when no
+        /// factor is in scope yet).
+        state_hash: u64,
+    },
+    /// A typed error crossed an API boundary.
+    Error {
+        /// Error class (`pipeline`, `audit`, `check`, `job`, `panic`).
+        kind: String,
+        /// Rendered error message.
+        message: String,
+    },
+}
+
+impl FlightEvent {
+    /// Short tag naming the variant (the JSON discriminator).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FlightEvent::Launch { .. } => "launch",
+            FlightEvent::FactorIter { .. } => "factor_iter",
+            FlightEvent::JobSubmit { .. } => "job_submit",
+            FlightEvent::BatchClose { .. } => "batch_close",
+            FlightEvent::JobOutcome { .. } => "job_outcome",
+            FlightEvent::Audit { .. } => "audit",
+            FlightEvent::Error { .. } => "error",
+        }
+    }
+
+    /// Whether the event is deterministic under replay on the same input
+    /// and config. Service lifecycle events depend on queue timing
+    /// (deadline-based batch closure), so they are excluded from the
+    /// bit-exact event-stream comparison.
+    pub fn deterministic(&self) -> bool {
+        !matches!(
+            self,
+            FlightEvent::JobSubmit { .. }
+                | FlightEvent::BatchClose { .. }
+                | FlightEvent::JobOutcome { .. }
+        )
+    }
+
+    /// Serialize as one compact JSON object (`{"type":tag,…}`).
+    pub fn to_json(&self) -> String {
+        match self {
+            FlightEvent::Launch {
+                kernel,
+                backend,
+                fused,
+                read,
+                written,
+                model_ns,
+            } => format!(
+                "{{\"type\":\"launch\",\"kernel\":\"{}\",\"backend\":\"{}\",\"fused\":{fused},\
+                 \"read\":{read},\"written\":{written},\"model_ns\":{model_ns}}}",
+                escape(kernel),
+                escape(backend)
+            ),
+            FlightEvent::FactorIter {
+                iter,
+                frontier,
+                proposed,
+                confirmed,
+            } => format!(
+                "{{\"type\":\"factor_iter\",\"iter\":{iter},\"frontier\":{frontier},\
+                 \"proposed\":{proposed},\"confirmed\":{confirmed}}}"
+            ),
+            FlightEvent::JobSubmit {
+                id,
+                name,
+                nnz,
+                cache_hit,
+            } => format!(
+                "{{\"type\":\"job_submit\",\"id\":{id},\"name\":\"{}\",\"nnz\":{nnz},\
+                 \"cache_hit\":{cache_hit}}}",
+                escape(name)
+            ),
+            FlightEvent::BatchClose { reason } => format!(
+                "{{\"type\":\"batch_close\",\"reason\":\"{}\"}}",
+                escape(reason)
+            ),
+            FlightEvent::JobOutcome { id, batch, outcome } => format!(
+                "{{\"type\":\"job_outcome\",\"id\":{id},\"batch\":{batch},\"outcome\":\"{}\"}}",
+                escape(outcome)
+            ),
+            FlightEvent::Audit {
+                stage,
+                violations,
+                state_hash,
+            } => format!(
+                "{{\"type\":\"audit\",\"stage\":\"{}\",\"violations\":{violations},\
+                 \"state_hash\":\"{}\"}}",
+                escape(stage),
+                hex(*state_hash)
+            ),
+            FlightEvent::Error { kind, message } => format!(
+                "{{\"type\":\"error\",\"kind\":\"{}\",\"message\":\"{}\"}}",
+                escape(kind),
+                escape(message)
+            ),
+        }
+    }
+
+    /// Deserialize from a parsed JSON object (inverse of [`to_json`]).
+    pub fn from_value(v: &Value) -> Result<FlightEvent, String> {
+        let tag = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or("event has no type tag")?;
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("event field {k} missing or not a string"))
+        };
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("event field {k} missing or not an integer"))
+        };
+        let b = |k: &str| -> Result<bool, String> {
+            v.get(k)
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("event field {k} missing or not a bool"))
+        };
+        match tag {
+            "launch" => Ok(FlightEvent::Launch {
+                kernel: s("kernel")?,
+                backend: s("backend")?,
+                fused: b("fused")?,
+                read: u("read")?,
+                written: u("written")?,
+                model_ns: u("model_ns")?,
+            }),
+            "factor_iter" => Ok(FlightEvent::FactorIter {
+                iter: u("iter")?,
+                frontier: u("frontier")?,
+                proposed: u("proposed")?,
+                confirmed: u("confirmed")?,
+            }),
+            "job_submit" => Ok(FlightEvent::JobSubmit {
+                id: u("id")?,
+                name: s("name")?,
+                nnz: u("nnz")?,
+                cache_hit: b("cache_hit")?,
+            }),
+            "batch_close" => Ok(FlightEvent::BatchClose {
+                reason: s("reason")?,
+            }),
+            "job_outcome" => Ok(FlightEvent::JobOutcome {
+                id: u("id")?,
+                batch: u("batch")?,
+                outcome: s("outcome")?,
+            }),
+            "audit" => Ok(FlightEvent::Audit {
+                stage: s("stage")?,
+                violations: u("violations")?,
+                state_hash: parse_hex(&s("state_hash")?)
+                    .ok_or("audit state_hash is not a hex string")?,
+            }),
+            "error" => Ok(FlightEvent::Error {
+                kind: s("kind")?,
+                message: s("message")?,
+            }),
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+
+    /// One-line human rendering for `lf postmortem`.
+    pub fn pretty(&self) -> String {
+        match self {
+            FlightEvent::Launch {
+                kernel,
+                backend,
+                fused,
+                read,
+                written,
+                model_ns,
+            } => format!(
+                "launch      {kernel} [{backend}{}] read {read} B, wrote {written} B, model {}",
+                if *fused { ", fused" } else { "" },
+                fmt_ns(*model_ns)
+            ),
+            FlightEvent::FactorIter {
+                iter,
+                frontier,
+                proposed,
+                confirmed,
+            } => format!(
+                "factor_iter k={iter} frontier {frontier}, proposed {proposed}, \
+                 confirmed {confirmed}"
+            ),
+            FlightEvent::JobSubmit {
+                id,
+                name,
+                nnz,
+                cache_hit,
+            } => format!(
+                "job_submit  #{id} {name} ({nnz} nnz{})",
+                if *cache_hit { ", cache hit" } else { "" }
+            ),
+            FlightEvent::BatchClose { reason } => format!("batch_close reason={reason}"),
+            FlightEvent::JobOutcome { id, batch, outcome } => {
+                format!("job_outcome #{id} batch {batch}: {outcome}")
+            }
+            FlightEvent::Audit {
+                stage,
+                violations,
+                state_hash,
+            } => format!(
+                "audit       stage '{stage}': {violations} violation(s), state {}",
+                hex(*state_hash)
+            ),
+            FlightEvent::Error { kind, message } => format!("error       [{kind}] {message}"),
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    let s = ns as f64 / 1e9;
+    if s >= 1e-3 {
+        format!("{} ms", number(s * 1e3))
+    } else {
+        format!("{} us", number(s * 1e6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<FlightEvent> {
+        vec![
+            FlightEvent::Launch {
+                kernel: "gespmm+scan \"q\"".into(),
+                backend: "model".into(),
+                fused: true,
+                read: 123,
+                written: 45,
+                model_ns: 6789,
+            },
+            FlightEvent::FactorIter {
+                iter: 3,
+                frontier: 100,
+                proposed: 42,
+                confirmed: 37,
+            },
+            FlightEvent::JobSubmit {
+                id: 7,
+                name: "aniso1\n".into(),
+                nnz: 500,
+                cache_hit: false,
+            },
+            FlightEvent::BatchClose {
+                reason: "deadline".into(),
+            },
+            FlightEvent::JobOutcome {
+                id: 7,
+                batch: 2,
+                outcome: "audit".into(),
+            },
+            FlightEvent::Audit {
+                stage: "factor".into(),
+                violations: 2,
+                state_hash: u64::MAX,
+            },
+            FlightEvent::Error {
+                kind: "pipeline".into(),
+                message: "weight w(3,4) not finite".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips_every_variant() {
+        for ev in all_variants() {
+            let text = ev.to_json();
+            lf_trace::json::validate(&text).expect("event JSON must be well-formed");
+            let back = FlightEvent::from_value(&Value::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, ev);
+        }
+    }
+
+    #[test]
+    fn determinism_classification() {
+        let det: Vec<bool> = all_variants().iter().map(FlightEvent::deterministic).collect();
+        assert_eq!(det, vec![true, true, false, false, false, true, true]);
+    }
+
+    #[test]
+    fn from_value_rejects_bad_documents() {
+        for bad in [
+            "{}",
+            "{\"type\":\"warp\"}",
+            "{\"type\":\"launch\",\"kernel\":\"k\"}",
+            "{\"type\":\"audit\",\"stage\":\"s\",\"violations\":1,\"state_hash\":\"zz\"}",
+        ] {
+            let v = Value::parse(bad).unwrap();
+            assert!(FlightEvent::from_value(&v).is_err(), "{bad} should fail");
+        }
+    }
+}

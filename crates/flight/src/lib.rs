@@ -1,0 +1,152 @@
+//! lf-flight: an always-on flight recorder for the linear-forest
+//! pipeline.
+//!
+//! The recorder is a process-wide, fixed-capacity ring of recent
+//! structured events ([`FlightEvent`]): kernel launches, factor-loop
+//! iterations, service job lifecycle, audit violations, and typed
+//! errors. It follows the same enablement contract as `lf-trace` and
+//! `lf-metrics`: the disabled path is **one relaxed atomic load** and
+//! instrumentation sites construct events only behind that gate, so the
+//! recorder is cheap enough to leave on unconditionally in production.
+//!
+//! When something goes wrong — a `PipelineError`, a `JobError`, an audit
+//! violation, or a panic (see [`install_panic_hook`]) — the driver dumps
+//! a [`bundle::Bundle`]: a self-contained postmortem directory holding
+//! the last-N events, a metrics snapshot, the effective config, the
+//! input's content hash, and (under a size cap) the raw input itself.
+//! `lf postmortem <bundle>` pretty-prints a bundle and
+//! `lf postmortem <bundle> --replay` re-runs it deterministically and
+//! bit-compares the result against the recorded outcome.
+//!
+//! Layering: this crate sits between `lf-metrics` and `lf-kernel`, so it
+//! knows nothing about matrices or devices — hooks construct events from
+//! plain integers and strings, and the replay driver lives in the CLI
+//! crate where the whole pipeline is in scope.
+
+#![warn(missing_docs)]
+
+pub mod bundle;
+pub mod event;
+pub mod ring;
+pub mod value;
+
+pub use bundle::{Bundle, EffectiveConfig, ModelTotals, Outcome, BUNDLE_SCHEMA, INPUT_FILE};
+pub use event::FlightEvent;
+pub use ring::FlightRing;
+
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Capacity of the process-wide ring: enough to hold every launch and
+/// factor iteration of several full extractions at gate scale while
+/// keeping the resident footprint small.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RING: OnceLock<FlightRing> = OnceLock::new();
+static BUNDLE_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Whether the recorder is on. This is the *only* cost instrumented code
+/// pays when recording is off: one relaxed atomic load. Event
+/// construction (allocation included) must stay behind this gate.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the recorder on (idempotent).
+pub fn enable() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the recorder off. Already-retained events stay in the ring.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// The process-wide ring, created at [`DEFAULT_CAPACITY`] on first use.
+pub fn recorder() -> &'static FlightRing {
+    RING.get_or_init(|| FlightRing::new(DEFAULT_CAPACITY))
+}
+
+/// Record one event into the process-wide ring. Callers on hot paths
+/// must gate on [`enabled`] *before* constructing the event:
+///
+/// ```ignore
+/// if lf_flight::enabled() {
+///     lf_flight::record(FlightEvent::BatchClose { reason: reason.into() });
+/// }
+/// ```
+pub fn record(event: FlightEvent) {
+    recorder().push(event);
+}
+
+/// Set the directory postmortem bundles are dumped into (the CLI's
+/// `--flight-dir`). Also consulted by the panic hook.
+pub fn set_bundle_dir(dir: PathBuf) {
+    *BUNDLE_DIR.lock() = Some(dir);
+}
+
+/// The configured bundle directory, if any.
+pub fn bundle_dir() -> Option<PathBuf> {
+    BUNDLE_DIR.lock().clone()
+}
+
+/// Install a panic hook that dumps a postmortem bundle (reason kind
+/// `panic`) into the configured bundle directory before delegating to
+/// the previous hook. A no-op at panic time when no bundle directory is
+/// set. `config` describes the run as far as the caller knows it at
+/// install time.
+pub fn install_panic_hook(config: EffectiveConfig) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(dir) = bundle_dir() {
+            let bundle = Bundle::capture("panic", info.to_string(), config.clone());
+            match bundle.write_to(&dir) {
+                Ok(path) => eprintln!("postmortem bundle written to {}", path.display()),
+                Err(e) => eprintln!("failed to write postmortem bundle: {e}"),
+            }
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test owns all global-recorder state: unit tests in the same
+    // binary must not race on the ENABLED flag or the shared ring.
+    #[test]
+    fn global_recorder_lifecycle() {
+        assert!(!enabled(), "recorder must start disabled");
+        recorder().clear();
+        enable();
+        assert!(enabled());
+        if enabled() {
+            record(FlightEvent::BatchClose {
+                reason: "count".into(),
+            });
+        }
+        let snap = recorder().snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap[0].1,
+            FlightEvent::BatchClose {
+                reason: "count".into()
+            }
+        );
+        assert_eq!(recorder().capacity(), DEFAULT_CAPACITY);
+
+        assert_eq!(bundle_dir(), None);
+        set_bundle_dir(PathBuf::from("/tmp/flight"));
+        assert_eq!(bundle_dir(), Some(PathBuf::from("/tmp/flight")));
+        *super::BUNDLE_DIR.lock() = None;
+
+        disable();
+        assert!(!enabled());
+        recorder().clear();
+    }
+}

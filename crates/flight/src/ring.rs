@@ -1,0 +1,154 @@
+//! Fixed-capacity ring of recent flight events.
+//!
+//! The ring is built for an always-on recorder: writers must never block
+//! each other on a shared lock, and a reader taking a snapshot must see
+//! exactly the most recent `capacity` events once concurrent writers have
+//! drained. The design is a wait-free ticket counter plus one tiny mutex
+//! per slot:
+//!
+//! * A writer claims a monotonically increasing *ticket* with one
+//!   `fetch_add` — this is the only shared write, so writers never
+//!   contend on a global lock.
+//! * Ticket `t` maps to slot `t % capacity`. The slot mutex is contended
+//!   only when the ring wraps onto a writer that claimed the same residue
+//!   class `capacity` events earlier and is still mid-store — vanishingly
+//!   rare in practice and bounded to a single event copy when it happens.
+//! * A slot only ever moves *forward*: a writer stores its event only if
+//!   its ticket exceeds the ticket already in the slot. A slow writer
+//!   that was lapped by the ring therefore discards its own stale event
+//!   instead of clobbering a newer one, which is what makes the
+//!   "snapshot = exactly the top `capacity` tickets" property hold under
+//!   arbitrary writer interleavings (see `tests/ring_retention.rs`).
+
+use crate::event::FlightEvent;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded event tagged with the ticket (global sequence number)
+/// under which it was stored.
+type Slot = Option<(u64, FlightEvent)>;
+
+/// Lossy, fixed-capacity, multi-writer ring of [`FlightEvent`]s.
+pub struct FlightRing {
+    /// Next ticket to hand out == number of events ever recorded.
+    head: AtomicU64,
+    slots: Box<[Mutex<Slot>]>,
+}
+
+impl FlightRing {
+    /// Create a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            head: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Number of slots (the retention window).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of events ever pushed (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event, overwriting the oldest when full. Returns the
+    /// ticket (global sequence number) the event was stored under.
+    pub fn push(&self, event: FlightEvent) -> u64 {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let mut slot = self.slots[(ticket % self.slots.len() as u64) as usize].lock();
+        // Forward-only: never replace a newer event with an older one.
+        if slot.as_ref().is_none_or(|(t, _)| *t <= ticket) {
+            *slot = Some((ticket, event));
+        }
+        ticket
+    }
+
+    /// The retained events, oldest first, each with its sequence number.
+    pub fn snapshot(&self) -> Vec<(u64, FlightEvent)> {
+        let mut out: Vec<(u64, FlightEvent)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().clone())
+            .collect();
+        out.sort_unstable_by_key(|(t, _)| *t);
+        out
+    }
+
+    /// Drop all retained events and reset the sequence counter. Not
+    /// linearizable against concurrent pushes; intended for the start of
+    /// a replay run or between tests.
+    pub fn clear(&self) {
+        for s in self.slots.iter() {
+            *s.lock() = None;
+        }
+        self.head.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> FlightEvent {
+        FlightEvent::BatchClose {
+            reason: format!("e{i}"),
+        }
+    }
+
+    #[test]
+    fn retains_all_events_under_capacity() {
+        let r = FlightRing::new(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(r.recorded(), 5);
+        assert_eq!(
+            snap.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wraps_to_most_recent_capacity_events() {
+        let r = FlightRing::new(4);
+        for i in 0..11 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(r.recorded(), 11);
+        assert_eq!(
+            snap.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        assert_eq!(snap[0].1, ev(7));
+        assert_eq!(snap[3].1, ev(10));
+    }
+
+    #[test]
+    fn clear_resets_sequence_and_contents() {
+        let r = FlightRing::new(4);
+        for i in 0..9 {
+            r.push(ev(i));
+        }
+        r.clear();
+        assert_eq!(r.recorded(), 0);
+        assert!(r.snapshot().is_empty());
+        r.push(ev(42));
+        assert_eq!(r.snapshot(), vec![(0, ev(42))]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let r = FlightRing::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.snapshot(), vec![(1, ev(2))]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Disabled-path overhead contract: with the recorder off, the gated
+//! instrumentation pattern performs no allocation and records no events.
+//! This is what makes lf-flight safe to compile into every hot path
+//! unconditionally — the off cost is one relaxed atomic load per site.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator wrapper that counts allocation calls.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_recorder_allocates_nothing_and_records_nothing() {
+    // Fresh process (integration tests run in their own binary), so the
+    // recorder starts disabled and the ring is not yet materialized.
+    assert!(!lf_flight::enabled());
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        // The canonical instrumentation pattern: event construction —
+        // including its String allocations — stays behind the gate.
+        if lf_flight::enabled() {
+            lf_flight::record(lf_flight::FlightEvent::Error {
+                kind: format!("k{i}"),
+                message: format!("m{i}"),
+            });
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled path must not allocate (gate must precede event construction)"
+    );
+
+    // Nothing was recorded either: the ring materializes here, empty.
+    assert_eq!(lf_flight::recorder().recorded(), 0);
+    assert!(lf_flight::recorder().snapshot().is_empty());
+}

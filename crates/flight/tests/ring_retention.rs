@@ -1,0 +1,67 @@
+//! Property test: under arbitrary concurrent writer interleavings, the
+//! flight ring retains *exactly* the most recent `capacity` events —
+//! nothing older survives a wrap, nothing newer is lost, and every
+//! retained event sits under the ticket it was pushed with.
+
+use lf_flight::{FlightEvent, FlightRing};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn marker(writer: usize, i: usize) -> FlightEvent {
+    FlightEvent::JobSubmit {
+        id: (writer * 1_000_000 + i) as u64,
+        name: format!("w{writer}"),
+        nnz: i as u64,
+        cache_hit: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn retains_exactly_the_most_recent_capacity_events(
+        capacity in 1usize..40,
+        writers in 1usize..6,
+        per_writer in 0usize..80,
+    ) {
+        let ring = Arc::new(FlightRing::new(capacity));
+        let handles: Vec<_> = (0..writers)
+            .map(|w| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    (0..per_writer)
+                        .map(|i| {
+                            let ev = marker(w, i);
+                            (ring.push(ev.clone()), ev)
+                        })
+                        .collect::<Vec<(u64, FlightEvent)>>()
+                })
+            })
+            .collect();
+        let mut by_ticket: BTreeMap<u64, FlightEvent> = BTreeMap::new();
+        for h in handles {
+            for (ticket, ev) in h.join().unwrap() {
+                prop_assert!(
+                    by_ticket.insert(ticket, ev).is_none(),
+                    "tickets must be unique"
+                );
+            }
+        }
+
+        let total = (writers * per_writer) as u64;
+        prop_assert_eq!(ring.recorded(), total);
+
+        let snap = ring.snapshot();
+        let expect_len = (total as usize).min(capacity);
+        prop_assert_eq!(snap.len(), expect_len, "retention window size");
+        let oldest = total - expect_len as u64;
+        for (i, (seq, ev)) in snap.iter().enumerate() {
+            // Exactly the contiguous top-`capacity` tickets, oldest first…
+            prop_assert_eq!(*seq, oldest + i as u64);
+            // …and each slot holds the event pushed under that ticket.
+            prop_assert_eq!(ev, &by_ticket[seq]);
+        }
+    }
+}

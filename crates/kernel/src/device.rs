@@ -452,6 +452,18 @@ impl Device {
         if lf_metrics::enabled() {
             record_launch_metrics(name, traffic, model, wall);
         }
+        if lf_flight::enabled() {
+            // Deterministic fields only (no wall time): the flight event
+            // stream of a replay run must compare bit-exactly.
+            lf_flight::record(lf_flight::FlightEvent::Launch {
+                kernel: name.to_string(),
+                backend: self.backend.kind().as_str().to_string(),
+                fused: self.fusion_enabled(),
+                read: traffic.read,
+                written: traffic.written,
+                model_ns: (model * 1e9).round() as u64,
+            });
+        }
         out
     }
 

@@ -61,13 +61,17 @@ fn prom_f64(x: f64) -> String {
     }
 }
 
-fn label_part(family: &FamilySnapshot, label: &Option<String>, extra: Option<&str>) -> String {
+fn label_part(
+    family: &FamilySnapshot,
+    label: &Option<String>,
+    extra: Option<(&str, &str)>,
+) -> String {
     let mut parts = Vec::new();
     if let (Some(k), Some(v)) = (&family.label_key, label) {
         parts.push(format!("{}=\"{}\"", sanitize_name(k), escape_label(v)));
     }
-    if let Some(le) = extra {
-        parts.push(format!("le=\"{le}\""));
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
     }
     if parts.is_empty() {
         String::new()
@@ -88,14 +92,26 @@ fn prom_histogram(
     for &(i, c) in &h.buckets {
         cum += c;
         let le = prom_f64(bucket_bounds(i as usize).1 as f64 * scale);
-        let labels = label_part(family, label, Some(&le));
+        let labels = label_part(family, label, Some(("le", &le)));
         let _ = writeln!(out, "{name}_bucket{labels} {cum}");
     }
-    let labels = label_part(family, label, Some("+Inf"));
+    let labels = label_part(family, label, Some(("le", "+Inf")));
     let _ = writeln!(out, "{name}_bucket{labels} {}", h.count);
     let labels = label_part(family, label, None);
     let _ = writeln!(out, "{name}_sum{labels} {}", prom_f64(h.sum as f64 * scale));
     let _ = writeln!(out, "{name}_count{labels} {}", h.count);
+    // Summary-style quantile samples estimated from the log-linear
+    // buckets, matching the p50/p90/p99 the JSON document reports. They
+    // are base-name samples with a `quantile` label (never `le`), so
+    // bucket-walking consumers are unaffected.
+    for (q, p) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+        let labels = label_part(family, label, Some(("quantile", q)));
+        let _ = writeln!(
+            out,
+            "{name}{labels} {}",
+            prom_f64(h.quantile(p) as f64 * scale)
+        );
+    }
 }
 
 impl MetricsSnapshot {

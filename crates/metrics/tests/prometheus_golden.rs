@@ -136,6 +136,13 @@ fn exposition_parses_line_by_line() {
             } else {
                 assert!(!s.labels.contains_key("le"), "le outside _bucket: {line}");
             }
+            // Quantile estimates are base-name samples of histogram
+            // families only, with a known quantile value.
+            if let Some(q) = s.labels.get("quantile") {
+                assert_eq!(ty, "histogram", "quantile label outside a histogram: {line}");
+                assert_eq!(base, s.name.as_str(), "quantile label on a suffixed sample: {line}");
+                assert!(matches!(q.as_str(), "0.5" | "0.9" | "0.99"), "unexpected quantile {q}");
+            }
             samples.push(s);
         }
     }
@@ -183,4 +190,40 @@ fn exposition_parses_line_by_line() {
         .collect();
     let sorted = buckets.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1);
     assert!(sorted, "buckets not ascending/cumulative: {buckets:?}");
+    // Quantile estimates exist, are ordered, and stay within [min, max].
+    let q = |p: &str| find("lf_kernel_model_seconds", Some(("quantile", p))).value;
+    let (p50, p90, p99) = (q("0.5"), q("0.9"), q("0.99"));
+    assert!(p50 <= p90 && p90 <= p99, "quantiles out of order: {p50} {p90} {p99}");
+    assert!(p50 >= 100.0 * 1e-9 * 0.5, "p50 {p50} below scaled min");
+    assert!(p99 <= 2_000_000.0 * 1e-9 * 2.0, "p99 {p99} above scaled max");
+}
+
+/// Byte-exact golden rendering of a deterministic registry. The fixture
+/// (`tests/fixtures/exposition.prom`) is committed; regenerate it by
+/// running this test with `UPDATE_GOLDEN=1` and committing the diff.
+#[test]
+fn exposition_matches_golden_file() {
+    let r = Registry::new();
+    r.counter("lf_jobs_total", "Jobs processed by the service.").add(42);
+    r.gauge("lf_queue_depth", "Jobs waiting in the queue.").set(3.0);
+    let h = r.histogram_with(
+        "lf_kernel_model_seconds",
+        "Modeled kernel time.",
+        Unit::Nanos,
+        ("kernel", "spmv"),
+    );
+    for v in [100u64, 1_000, 1_000, 50_000, 2_000_000] {
+        h.record(v);
+    }
+    let text = r.snapshot().to_prometheus();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/exposition.prom");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &text).unwrap();
+    }
+    let golden = std::fs::read_to_string(path).expect("committed golden fixture");
+    assert_eq!(
+        text, golden,
+        "exposition drifted from tests/fixtures/exposition.prom \
+         (rerun with UPDATE_GOLDEN=1 if intentional)"
+    );
 }

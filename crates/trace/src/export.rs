@@ -91,9 +91,19 @@ pub struct Summary {
     /// Grand totals over every recorded launch
     /// (= Σ direct over phases + untraced).
     pub totals: PhaseTotals,
+    /// Events the recording sink discarded because its buffer was full;
+    /// nonzero means the rollup above undercounts the run.
+    pub dropped_events: u64,
 }
 
 impl Summary {
+    /// Attach the recording sink's drop counter (see
+    /// [`RecordingSink::dropped`](crate::RecordingSink::dropped)).
+    #[must_use]
+    pub fn with_dropped(mut self, dropped: u64) -> Self {
+        self.dropped_events = dropped;
+        self
+    }
     /// Serialize as a JSON document. The flat per-phase fields are the
     /// *direct* attribution; the nested `"total"` object includes
     /// descendants.
@@ -128,10 +138,12 @@ impl Summary {
             ));
         }
         format!(
-            "{{\"phases\":[{}],\"untraced\":{},\"totals\":{}}}\n",
+            "{{\"phases\":[{}],\"untraced\":{},\"totals\":{},\
+             \"dropped_events\":{}}}\n",
             phases.join(","),
             self.untraced.to_json(),
-            self.totals.to_json()
+            self.totals.to_json(),
+            self.dropped_events
         )
     }
 }
@@ -226,6 +238,7 @@ pub fn summary(data: &TraceData) -> Summary {
         phases,
         untraced,
         totals,
+        dropped_events: 0,
     }
 }
 
@@ -415,6 +428,16 @@ mod tests {
             ]
         );
         validate(&sum.to_json()).unwrap();
+    }
+
+    #[test]
+    fn summary_reports_dropped_events() {
+        let data = sample_trace();
+        let clean = summary(&data).to_json();
+        assert!(clean.contains("\"dropped_events\":0"));
+        let truncated = summary(&data).with_dropped(42).to_json();
+        assert!(truncated.contains("\"dropped_events\":42"));
+        validate(&truncated).unwrap();
     }
 
     #[test]

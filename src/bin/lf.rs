@@ -11,6 +11,7 @@
 //! lf check      --suite [--cases N] [--size N]   # differential oracle suite
 //! lf batch      <dir | in1,in2,...> [--repeat R] [--nnz-budget B]
 //!               [--max-jobs J] [--json]      # fused multi-graph extraction
+//! lf postmortem <bundle-dir> [--replay]      # inspect / replay a bundle
 //! ```
 //!
 //! Every subcommand additionally accepts these global flags:
@@ -33,7 +34,16 @@
 //!   `.json`;
 //! * `--check` — installs the invariant auditors of `lf-check` between
 //!   pipeline stages and fails (exit code 1, structured message, no
-//!   backtrace) on the first violated invariant.
+//!   backtrace) on the first violated invariant;
+//! * `--flight-dir <DIR>` — arms the always-on `lf-flight` recorder and,
+//!   on any failure (pipeline error, audit violation, failed batch job,
+//!   or panic), writes a self-contained postmortem bundle into `DIR`:
+//!   the last flight events, metrics snapshot, effective configuration,
+//!   input hash, and (under a size cap) the raw input matrix. Inspect or
+//!   deterministically re-run a bundle with `lf postmortem`;
+//! * `--inject-fault <break-mutuality|corrupt-weight|swap-permutation>` —
+//!   corrupts one stage output of checked pipelines (testing aid for the
+//!   audit + postmortem path; requires `--check`).
 //!
 //! Inputs are MatrixMarket files, or `gen:NAME[:N]` for a collection
 //! stand-in (e.g. `gen:atmosmodm:50000`).
@@ -47,10 +57,11 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf <stats|factor|forest|tridiag|solve|check|batch> <input.mtx|gen:NAME[:N]> [options]\n\
+        "usage: lf <stats|factor|forest|tridiag|solve|check|batch|postmortem> <input.mtx|gen:NAME[:N]> [options]\n\
          batch input: a directory of .mtx files or a comma-separated input list\n\
+         postmortem input: a bundle directory written by --flight-dir (add --replay to re-run it)\n\
          global flags: --backend <model|cpu>, --no-fuse, --trace <out.json>,\n\
-                       --metrics <out.prom>, --check\n\
+                       --metrics <out.prom>, --check, --flight-dir <dir>, --inject-fault <fault>\n\
          run `lf help` for details"
     );
     exit(2);
@@ -62,6 +73,33 @@ fn fail(e: impl std::fmt::Display) -> ! {
     let msg = e.to_string();
     eprintln!("error: {}", msg.trim_end());
     exit(1);
+}
+
+/// [`fail`], but first dump a postmortem bundle when `--flight-dir` is
+/// armed (a no-op otherwise). `bundle_msg` is the normalized message the
+/// bundle records (what a replay must reproduce); `display` is what the
+/// user sees on stderr.
+#[allow(clippy::too_many_arguments)]
+fn fail_dump(
+    dev: &Device,
+    pipeline: &str,
+    input: &str,
+    a: Option<&Csr<f64>>,
+    cfg: Option<&FactorConfig>,
+    fault: Option<linear_forest::check::Fault>,
+    kind: &str,
+    bundle_msg: &str,
+    display: impl std::fmt::Display,
+) -> ! {
+    use linear_forest::postmortem as pm;
+    pm::dump_error_bundle(
+        kind,
+        bundle_msg,
+        pm::effective_config(pipeline, dev, cfg, fault, Some(input)),
+        a,
+        Some(pm::model_totals(&dev.stats())),
+    );
+    fail(display)
 }
 
 fn load(input: &str) -> Csr<f64> {
@@ -128,13 +166,20 @@ fn write_trace(path: &str, sink: &RecordingSink) {
     // lf-trace cannot depend on lf-metrics, so the exporter bridges the
     // sink's drop counter into the registry: a truncated trace is visible
     // in the same scrape that describes the run.
+    let dropped = sink.dropped();
+    if dropped > 0 {
+        eprintln!(
+            "warning: trace truncated — {dropped} event(s) dropped by the \
+             recording sink (raise its capacity or shorten the run)"
+        );
+    }
     if linear_forest::metrics::enabled() {
         linear_forest::metrics::global()
             .gauge(
                 "lf_trace_dropped_events",
                 "Trace events dropped because the recording sink was full",
             )
-            .set(sink.dropped() as f64);
+            .set(dropped as f64);
     }
     let data = sink.snapshot();
     std::fs::write(path, chrome_trace(&data)).unwrap_or_else(|e| {
@@ -142,7 +187,7 @@ fn write_trace(path: &str, sink: &RecordingSink) {
         exit(1);
     });
     let spath = summary_path(path);
-    std::fs::write(&spath, summary(&data).to_json()).unwrap_or_else(|e| {
+    std::fs::write(&spath, summary(&data).with_dropped(dropped).to_json()).unwrap_or_else(|e| {
         eprintln!("failed to write trace summary {spath}: {e}");
         exit(1);
     });
@@ -215,6 +260,7 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
         cfg.max_batch_jobs = j;
     }
     cfg.factor = parse_cfg(rest, 2).with_frontier(cfg.factor.frontier);
+    let factor_cfg = cfg.factor;
     let mut svc = ExtractionService::new(cfg).unwrap_or_else(|e| fail(e));
 
     let graphs: Vec<(String, Csr<f64>)> =
@@ -237,6 +283,24 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
         }
         // Drain per round so round 2+ resubmissions hit the CSR cache.
         outcomes.extend(svc.drain(dev));
+    }
+
+    // One postmortem bundle per failed job. The job's graph and charge
+    // salt pin down an equivalent solo run (`batch-solo`), which is what
+    // `lf postmortem --replay` re-executes; model totals are omitted
+    // because the recorded device ran fused batches.
+    if linear_forest::flight::bundle_dir().is_some() {
+        use linear_forest::postmortem as pm;
+        for o in outcomes.iter().filter(|o| o.result.is_err()) {
+            let e = o.result.as_ref().err().unwrap();
+            let g = graphs
+                .iter()
+                .find(|(n, _)| *n == o.name || o.name.starts_with(&format!("{n}#")))
+                .map(|(_, g)| g);
+            let mut ec = pm::effective_config("batch-solo", dev, Some(&factor_cfg), None, Some(&o.name));
+            ec.charge_salt = o.salt;
+            pm::dump_error_bundle("job", &e.to_string(), ec, g, None);
+        }
     }
 
     let counters = linear_forest::batch::counters();
@@ -322,6 +386,14 @@ fn main() {
         usage();
     }
     let input = args.get(1).unwrap_or_else(|| usage());
+    // `lf postmortem` inspects or replays a bundle directory; it needs no
+    // device or input matrix of its own.
+    if cmd == "postmortem" {
+        exit(linear_forest::postmortem::run_postmortem(
+            input,
+            has_flag(&args, "--replay"),
+        ));
+    }
     // Global --backend/--no-fuse flags: every launch in the process goes
     // through this one device, so backend selection is a single point.
     let backend_kind = match flag_val(&args, "--backend") {
@@ -353,6 +425,37 @@ fn main() {
     }
     // Global --check flag: audit pipeline invariants between stages.
     let checked = has_flag(&args, "--check");
+
+    // Global --flight-dir flag: arm the always-on flight recorder and dump
+    // a postmortem bundle into DIR on any failure (pipeline error, audit
+    // violation, failed batch job, or panic).
+    let flight_dir = flag_val(&args, "--flight-dir").map(std::path::PathBuf::from);
+    if let Some(dir) = &flight_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(format!("cannot create flight dir {}: {e}", dir.display())));
+        linear_forest::flight::enable();
+        linear_forest::flight::set_bundle_dir(dir.clone());
+    }
+    // Global --inject-fault flag (checked pipelines only): corrupt one
+    // stage output to exercise the audit + postmortem path.
+    let fault = flag_val(&args, "--inject-fault").map(|s| {
+        linear_forest::postmortem::parse_fault(s).unwrap_or_else(|| {
+            eprintln!(
+                "unknown --inject-fault value '{s}' (valid values: \
+                 break-mutuality, corrupt-weight, swap-permutation)"
+            );
+            exit(2);
+        })
+    });
+    if flight_dir.is_some() {
+        linear_forest::flight::install_panic_hook(linear_forest::postmortem::effective_config(
+            cmd,
+            &dev,
+            None,
+            fault,
+            Some(input),
+        ));
+    }
 
     // `lf check --suite` runs on generated inputs, no file to load.
     if cmd == "check" && input == "--suite" {
@@ -397,7 +500,8 @@ fn main() {
                     for x in &v {
                         eprintln!("  {x}");
                     }
-                    fail(format!("{} input invariant violation(s)", v.len()));
+                    let msg = format!("{} input invariant violation(s)", v.len());
+                    fail_dump(&dev, "stats", input, Some(&a), None, fault, "audit", &msg, &msg);
                 }
                 eprintln!("check: prepared A' passes the input audit");
             }
@@ -452,9 +556,13 @@ fn main() {
             let n: usize = flag_val(rest, "-n").and_then(|s| s.parse().ok()).unwrap_or(2);
             let cfg = parse_cfg(rest, n);
             let ap = prepare_undirected(&a);
-            let out = try_parallel_factor(&dev, &ap, &cfg).unwrap_or_else(|e| fail(e));
+            let out = try_parallel_factor(&dev, &ap, &cfg).unwrap_or_else(|e| {
+                let m = e.to_string();
+                fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+            });
             if let Err(msg) = out.factor.validate(&ap) {
-                fail(format!("factor invariants violated: {msg}"));
+                let m = format!("factor invariants violated: {msg}");
+                fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
             }
             if checked {
                 let v = linear_forest::check::audit::audit_factor(&out.factor, &ap, n, out.maximal);
@@ -462,7 +570,8 @@ fn main() {
                     for x in &v {
                         eprintln!("  {x}");
                     }
-                    fail(format!("{} factor invariant violation(s)", v.len()));
+                    let m = format!("{} factor invariant violation(s)", v.len());
+                    fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
                 }
                 eprintln!("check: factor passes mutuality/degree/weight/maximality audits");
             }
@@ -480,12 +589,19 @@ fn main() {
             let ap = prepare_undirected(&a);
             let (forest, timings) = if checked {
                 let (forest, timings, report) =
-                    extract_linear_forest_checked(&dev, &ap, &cfg, &CheckOptions::default())
-                        .unwrap_or_else(|e| fail(e));
+                    extract_linear_forest_checked(&dev, &ap, &cfg, &CheckOptions { fault })
+                        .unwrap_or_else(|e| {
+                            let m = linear_forest::postmortem::check_error_message(&e);
+                            let k = linear_forest::postmortem::check_error_kind(&e);
+                            fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, k, &m, &e)
+                        });
                 eprintln!("check: {report}");
                 (forest, timings)
             } else {
-                extract_linear_forest(&dev, &ap, &cfg).unwrap_or_else(|e| fail(e))
+                extract_linear_forest(&dev, &ap, &cfg).unwrap_or_else(|e| {
+                    let m = e.to_string();
+                    fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                })
             };
             let q = forest.quality_report(&a, None);
             println!(
@@ -522,13 +638,20 @@ fn main() {
             let cfg = parse_cfg(rest, 2);
             let (tri, forest) = if checked {
                 let (tri, forest, _, report) =
-                    tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
-                        .unwrap_or_else(|e| fail(e));
+                    tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions { fault })
+                        .unwrap_or_else(|e| {
+                            let m = linear_forest::postmortem::check_error_message(&e);
+                            let k = linear_forest::postmortem::check_error_kind(&e);
+                            fail_dump(&dev, "tridiag", input, Some(&a), Some(&cfg), fault, k, &m, &e)
+                        });
                 eprintln!("check: {report}");
                 (tri, forest)
             } else {
                 let (tri, forest, _) =
-                    tridiagonal_from_matrix(&dev, &a, &cfg).unwrap_or_else(|e| fail(e));
+                    tridiagonal_from_matrix(&dev, &a, &cfg).unwrap_or_else(|e| {
+                        let m = e.to_string();
+                        fail_dump(&dev, "tridiag", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                    });
                 (tri, forest)
             };
             let prefix = flag_val(rest, "--out").unwrap_or("tridiag");
@@ -561,20 +684,30 @@ fn main() {
                 // Preflight: audit the forest pipeline the preconditioner
                 // is about to run on this matrix.
                 let (_, _, _, report) =
-                    tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
-                        .unwrap_or_else(|e| fail(e));
+                    tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions { fault })
+                        .unwrap_or_else(|e| {
+                            let m = linear_forest::postmortem::check_error_message(&e);
+                            let k = linear_forest::postmortem::check_error_kind(&e);
+                            fail_dump(&dev, "solve", input, Some(&a), Some(&cfg), fault, k, &m, &e)
+                        });
                 eprintln!("check (preflight): {report}");
             }
             let precond: Box<dyn Preconditioner<f64>> = match which {
                 "none" => Box::new(IdentityPrecond),
                 "jacobi" => Box::new(JacobiPrecond::new(&a)),
                 "triscal" => Box::new(TriScalPrecond::new(&a)),
-                "algtriscal" => {
-                    Box::new(AlgTriScalPrecond::try_new(&dev, &a, &cfg).unwrap_or_else(|e| fail(e)))
-                }
-                "algtriblock" => {
-                    Box::new(AlgTriBlockPrecond::try_new(&dev, &a, &cfg).unwrap_or_else(|e| fail(e)))
-                }
+                "algtriscal" => Box::new(
+                    AlgTriScalPrecond::try_new(&dev, &a, &cfg).unwrap_or_else(|e| {
+                        let m = e.to_string();
+                        fail_dump(&dev, "solve", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                    }),
+                ),
+                "algtriblock" => Box::new(
+                    AlgTriBlockPrecond::try_new(&dev, &a, &cfg).unwrap_or_else(|e| {
+                        let m = e.to_string();
+                        fail_dump(&dev, "solve", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                    }),
+                ),
                 "amg" => Box::new(AmgPrecond::new(&dev, &a, AmgConfig::default())),
                 other => {
                     eprintln!("unknown preconditioner '{other}'");
@@ -601,8 +734,12 @@ fn main() {
         "check" => {
             let cfg = parse_cfg(rest, 2);
             let (tri, forest, timings, report) =
-                tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions::default())
-                    .unwrap_or_else(|e| fail(e));
+                tridiagonal_from_matrix_checked(&dev, &a, &cfg, &CheckOptions { fault })
+                    .unwrap_or_else(|e| {
+                        let m = linear_forest::postmortem::check_error_message(&e);
+                        let k = linear_forest::postmortem::check_error_kind(&e);
+                        fail_dump(&dev, "check", input, Some(&a), Some(&cfg), fault, k, &m, &e)
+                    });
             println!("check passed: {report}");
             println!(
                 "  {} rows, {} paths, {} cycles broken, coverage {:.4}, \

@@ -25,6 +25,7 @@
 //! | [`check`] | stage invariant audits, checked pipeline, differential oracles |
 //! | [`batch`] | block-diagonal multi-graph fusion, job scheduler, workspace/CSR pools |
 //! | [`metrics`] | process-wide counters/gauges/histograms, Prometheus & JSON exposition |
+//! | [`flight`] | always-on flight recorder, postmortem bundles, bit-exact replay |
 //!
 //! ## Quickstart
 //!
@@ -59,11 +60,14 @@
 pub use lf_batch as batch;
 pub use lf_check as check;
 pub use lf_core as core;
+pub use lf_flight as flight;
 pub use lf_kernel as kernel;
 pub use lf_kernel::trace;
 pub use lf_metrics as metrics;
 pub use lf_solver as solver;
 pub use lf_sparse as sparse;
+
+pub mod postmortem;
 
 /// One-stop prelude re-exporting the common API of all five crates.
 pub mod prelude {
