@@ -112,6 +112,14 @@ pub enum JobError {
         /// per stage.
         violations: Vec<Violation>,
     },
+    /// A scheduler invariant was violated for this job (e.g. it reached
+    /// extraction without a prepared graph). These used to be `unwrap`
+    /// panics that took the whole service down; now the one job fails
+    /// and its batch peers complete normally.
+    Internal {
+        /// Which invariant broke, for the job's error report.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -125,6 +133,9 @@ impl std::fmt::Display for JobError {
                     write!(f, "\n  {v}")?;
                 }
                 Ok(())
+            }
+            JobError::Internal { detail } => {
+                write!(f, "internal scheduler invariant violated: {detail}")
             }
         }
     }
@@ -174,6 +185,42 @@ struct Job {
 impl Job {
     fn nnz(&self) -> usize {
         self.prepared.as_ref().map_or(0, |p| p.nnz())
+    }
+
+    /// The job's prepared graph, or a typed [`JobError::Internal`] when
+    /// the batch-partition invariant ("jobs past the validity split have
+    /// one") does not hold. Resolving it through this method instead of
+    /// `unwrap()` keeps a scheduler bug contained to the affected job.
+    fn resolve_prepared(&self) -> Result<Arc<Csr<f64>>, JobError> {
+        #[cfg(test)]
+        if fault::loses_prepared(&self.name) {
+            return Err(JobError::Internal {
+                detail: format!("prepared graph for job '{}' is gone (injected fault)", self.name),
+            });
+        }
+        match &self.prepared {
+            Ok(p) => Ok(Arc::clone(p)),
+            Err(e) => Err(JobError::Internal {
+                detail: format!("job '{}' crossed the validity split unprepared: {e}", self.name),
+            }),
+        }
+    }
+}
+
+/// Test-only fault injection: report one named job's prepared graph as
+/// missing at use time, exercising the [`JobError::Internal`] path.
+#[cfg(test)]
+pub(crate) mod fault {
+    use std::sync::Mutex;
+
+    static LOSE_PREPARED: Mutex<Option<String>> = Mutex::new(None);
+
+    pub(crate) fn lose_prepared_for(name: Option<&str>) {
+        *LOSE_PREPARED.lock().unwrap() = name.map(String::from);
+    }
+
+    pub(crate) fn loses_prepared(name: &str) -> bool {
+        LOSE_PREPARED.lock().unwrap().as_deref() == Some(name)
     }
 }
 
@@ -362,30 +409,34 @@ impl ExtractionService {
         let tracer = dev.tracer().clone();
         let _span = tracer.span_dyn(|| format!("batch_{batch}"));
 
-        // Jobs that failed validation at submit time fail alone here.
-        let (valid, invalid): (Vec<Job>, Vec<Job>) =
-            jobs.into_iter().partition(|j| j.prepared.is_ok());
-        let mut outcomes: Vec<JobOutcome> = invalid
-            .into_iter()
-            .map(|j| {
-                let err = j.prepared.as_ref().unwrap_err().clone();
-                finish(j, batch, Err(JobError::Pipeline(err)))
-            })
-            .collect();
+        // Jobs that failed validation at submit time fail alone here;
+        // every other job resolves its prepared graph exactly once, and a
+        // job that cannot (a scheduler bug, or the test-only fault hook)
+        // fails with a typed `JobError::Internal` instead of panicking
+        // the whole service.
+        let mut outcomes: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+        let mut ready: Vec<(Job, Arc<Csr<f64>>)> = Vec::with_capacity(jobs.len());
+        for j in jobs {
+            if let Err(e) = &j.prepared {
+                let err = JobError::Pipeline(e.clone());
+                outcomes.push(finish(j, batch, Err(err)));
+                continue;
+            }
+            match j.resolve_prepared() {
+                Ok(p) => ready.push((j, p)),
+                Err(e) => outcomes.push(finish(j, batch, Err(e))),
+            }
+        }
 
         // Fuse, ejecting any part the fused index space cannot hold.
-        let mut valid = valid;
         let mut ws = self.pool.acquire();
         let fused = loop {
-            if valid.is_empty() {
+            if ready.is_empty() {
                 self.pool.release(ws);
                 return outcomes;
             }
-            let parts: Vec<&Csr<f64>> = valid
-                .iter()
-                .map(|j| j.prepared.as_ref().unwrap().as_ref())
-                .collect();
-            let salts: Vec<u32> = valid.iter().map(|j| j.salt).collect();
+            let parts: Vec<&Csr<f64>> = ready.iter().map(|(_, p)| p.as_ref()).collect();
+            let salts: Vec<u32> = ready.iter().map(|(j, _)| j.salt).collect();
             match FusedBatch::fuse_reusing(&parts, &salts, std::mem::take(&mut ws.keys)) {
                 Ok(f) => break f,
                 Err(e) => {
@@ -393,13 +444,13 @@ impl ExtractionService {
                         UnionError::ColumnOverflow { part } => part,
                         UnionError::SizeOverflow { part } => part,
                     };
-                    let j = valid.remove(at);
+                    let (j, _) = ready.remove(at);
                     outcomes.push(finish(j, batch, Err(JobError::Union(e))));
                 }
             }
         };
 
-        stats::batch_run(valid.len(), fused.graph.nnz());
+        stats::batch_run(ready.len(), fused.graph.nnz());
         record_queue_depth(self.queue.len());
         if lf_metrics::enabled() {
             use lf_metrics::Unit;
@@ -409,7 +460,7 @@ impl ExtractionService {
                 "Jobs fused into each executed batch.",
                 Unit::Count,
             )
-            .record(valid.len() as u64);
+            .record(ready.len() as u64);
             m.histogram(
                 "lf_batch_fused_nnz",
                 "nnz of the fused block-diagonal graph per batch.",
@@ -418,7 +469,7 @@ impl ExtractionService {
             .record(fused.graph.nnz() as u64);
         }
         if tracer.is_active() {
-            tracer.metric("batch_jobs", valid.len() as f64);
+            tracer.metric("batch_jobs", ready.len() as f64);
             tracer.metric("fused_nnz", fused.graph.nnz() as f64);
             tracer.metric("fused_vertices", fused.graph.nrows() as f64);
             tracer.metric(
@@ -441,8 +492,8 @@ impl ExtractionService {
         match extraction {
             Ok((forest, _timings)) => {
                 let scattered = scatter_forests(&forest, &fused.offsets);
-                for (j, f) in valid.into_iter().zip(scattered) {
-                    outcomes.push(self.finish_extracted(j, batch, f));
+                for ((j, p), f) in ready.into_iter().zip(scattered) {
+                    outcomes.push(self.finish_extracted(j, &p, batch, f));
                 }
             }
             Err(fused_err) => {
@@ -450,12 +501,13 @@ impl ExtractionService {
                 // so only the culpable graph reports the error.
                 let _s = tracer.span("batch_solo_fallback");
                 let _ = fused_err;
-                for j in valid {
-                    let prepared = j.prepared.as_ref().unwrap().clone();
+                for (j, prepared) in ready {
                     let cfg = self.cfg.factor.with_charge_salt(j.salt);
                     match extract_linear_forest_with(dev, &prepared, &cfg, None, &mut ws.factor)
                     {
-                        Ok((forest, _)) => outcomes.push(self.finish_extracted(j, batch, forest)),
+                        Ok((forest, _)) => {
+                            outcomes.push(self.finish_extracted(j, &prepared, batch, forest))
+                        }
                         Err(e) => {
                             outcomes.push(finish(j, batch, Err(JobError::Pipeline(e))))
                         }
@@ -470,10 +522,15 @@ impl ExtractionService {
         outcomes
     }
 
-    fn finish_extracted(&self, j: Job, batch: u64, forest: LinearForest<f64>) -> JobOutcome {
+    fn finish_extracted(
+        &self,
+        j: Job,
+        prepared: &Csr<f64>,
+        batch: u64,
+        forest: LinearForest<f64>,
+    ) -> JobOutcome {
         if self.cfg.check {
-            let prepared = j.prepared.as_ref().unwrap();
-            let mut violations = audit_input(prepared.as_ref());
+            let mut violations = audit_input(prepared);
             // Per-block maximality is not certified by the fused run (the
             // global flag covers all blocks only when every block
             // converged), so the factor audit checks invariants 1–2 only.
@@ -543,6 +600,7 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome
             Err(JobError::Pipeline(_)) => "pipeline",
             Err(JobError::Union(_)) => "union",
             Err(JobError::Audit { .. }) => "audit",
+            Err(JobError::Internal { .. }) => "internal",
         };
         lf_flight::record(lf_flight::FlightEvent::JobOutcome {
             id: j.id,
@@ -562,6 +620,7 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome
             Err(JobError::Pipeline(_)) => "pipeline",
             Err(JobError::Union(_)) => "union",
             Err(JobError::Audit { .. }) => "audit",
+            Err(JobError::Internal { .. }) => "internal",
         };
         let m = lf_metrics::global();
         m.counter_with(
@@ -666,6 +725,40 @@ mod tests {
         assert_eq!(c.jobs_failed, 2);
         assert_eq!(c.batches_run, 1);
         assert_eq!(c.graphs_fused, 2);
+    }
+
+    #[test]
+    fn injected_internal_fault_fails_one_job_not_the_service() {
+        // Regression: the four `j.prepared.as_ref().unwrap()` sites in
+        // run_batch turned a broken partition invariant into a process
+        // panic. With the typed JobError::Internal path, the faulted job
+        // fails alone, its peers complete, and the service keeps
+        // draining afterwards.
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let now = t0();
+        s.submit("peer1", random_symmetric(30, 3.0, 0.1, 1.0, 21), now).unwrap();
+        s.submit("doomed-by-fault", random_symmetric(30, 3.0, 0.1, 1.0, 22), now).unwrap();
+        s.submit("peer2", random_symmetric(30, 3.0, 0.1, 1.0, 23), now).unwrap();
+        fault::lose_prepared_for(Some("doomed-by-fault"));
+        let out = s.drain(&dev);
+        fault::lose_prepared_for(None);
+        assert_eq!(out.len(), 3);
+        let by_name = |n: &str| out.iter().find(|o| o.name == n).unwrap();
+        assert!(by_name("peer1").result.is_ok());
+        assert!(by_name("peer2").result.is_ok());
+        match &by_name("doomed-by-fault").result {
+            Err(JobError::Internal { detail }) => {
+                assert!(detail.contains("injected fault"), "{detail}");
+            }
+            other => panic!("expected JobError::Internal, got {other:?}"),
+        }
+        // The service is still healthy after the internal failure.
+        s.submit("after", random_symmetric(20, 2.0, 0.1, 1.0, 24), now).unwrap();
+        let out = s.drain(&dev);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].result.is_ok());
     }
 
     #[test]

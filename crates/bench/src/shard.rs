@@ -1,0 +1,159 @@
+//! Sharded extraction — whole-graph pipeline vs K-way boundary-reconciled
+//! shards (the `lf-shard` subsystem; our extension beyond the paper).
+//!
+//! For each stencil stand-in the experiment extracts the linear forest
+//! once on the whole graph, then again through [`extract_sharded`] at
+//! K ∈ {1, 2, 4, 8}. The sharded side's cost model is the *critical
+//! path*: the slowest block pipeline (blocks run concurrently on
+//! independent devices) plus the serial boundary-reconciliation rounds.
+//! Three invariants are asserted on every row, mirroring the lf-check
+//! differential suite:
+//!
+//! * K = 1 is bit-identical to the whole-graph run (same fingerprint);
+//! * reconciliation converges and the factor validates;
+//! * the c_π quality ratio holds [`MIN_SHARD_QUALITY_RATIO`].
+
+use crate::{f2, Opts, Table};
+use lf_core::prelude::*;
+use lf_shard::check::MIN_SHARD_QUALITY_RATIO;
+use lf_shard::{extract_sharded, ShardConfig};
+use lf_sparse::stencil::{grid2d, ANISO1, ANISO2, FIVE_POINT};
+use lf_sparse::Csr;
+use std::io::Write;
+
+/// Shard counts measured (the acceptance bar is critical-path < whole
+/// at K ≥ 4).
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Run the sharded-vs-whole extraction experiment.
+pub fn run(opts: &Opts) {
+    let nx = (opts.scale as f64).sqrt().round().max(8.0) as usize;
+    println!(
+        "Sharded extraction — whole-graph pipeline vs K-way boundary \
+         reconciliation ({nx}x{nx} stencils, quality bound {MIN_SHARD_QUALITY_RATIO}):\n"
+    );
+    let suite: [(&str, Csr<f64>); 3] = [
+        ("aniso1", grid2d(nx, nx, &ANISO1)),
+        ("aniso2", grid2d(nx, nx, &ANISO2)),
+        ("five_point", grid2d(nx, nx, &FIVE_POINT)),
+    ];
+    let mut t = Table::new(&[
+        "GRAPH",
+        "K",
+        "whole model ms",
+        "shard crit ms",
+        "speedup",
+        "cut edges",
+        "rounds",
+        "c ratio",
+    ]);
+    let mut csv = opts.csv("shard.csv").expect("results dir");
+    writeln!(
+        csv,
+        "graph,n,nnz,shards,whole_model_ms,critical_path_ms,max_block_ms,\
+         global_ms,cut_edges,rounds,c_whole,c_sharded,quality_ratio,bit_identical"
+    )
+    .unwrap();
+    let mut json_rows: Vec<String> = Vec::new();
+    let cfg = FactorConfig::paper_default(2);
+
+    for (name, a) in &suite {
+        let ap = prepare_undirected(a);
+        let dev = opts.device();
+        let ((whole, _), whole_stats) = dev.scoped(|| {
+            extract_linear_forest(&dev, &ap, &cfg).expect("whole-graph extraction")
+        });
+        let c_whole = weight_coverage(&whole.factor, &ap);
+        let whole_ms = whole_stats.model_time_s * 1e3;
+
+        for &k in &SHARDS {
+            let dev = opts.device();
+            let (sharded, rep) =
+                extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(k)).expect("sharded extraction");
+            sharded.factor.validate(&ap).expect("sharded factor validates");
+            assert!(rep.reconcile.converged, "{name} K={k}: reconciliation diverged");
+            let bit_identical = sharded.fingerprint() == whole.fingerprint();
+            if k == 1 {
+                assert!(bit_identical, "{name}: K=1 must be bit-identical to whole");
+            }
+            let c_sharded = weight_coverage(&sharded.factor, &ap);
+            let ratio = if c_whole == 0.0 { 1.0 } else { c_sharded / c_whole };
+            assert!(
+                ratio >= MIN_SHARD_QUALITY_RATIO,
+                "{name} K={k}: quality ratio {ratio:.4} below bound"
+            );
+            let crit_ms = rep.critical_path_model_s() * 1e3;
+            let max_block_ms =
+                rep.block_model_s.iter().copied().fold(0.0, f64::max) * 1e3;
+            let global_ms = rep.global_model_s * 1e3;
+            t.row(vec![
+                name.to_string(),
+                k.to_string(),
+                format!("{whole_ms:.3}"),
+                format!("{crit_ms:.3}"),
+                format!("{}x", f2(whole_ms / crit_ms)),
+                rep.cut_edges.to_string(),
+                rep.reconcile.rounds.to_string(),
+                format!("{ratio:.4}"),
+            ]);
+            writeln!(
+                csv,
+                "{name},{},{},{k},{whole_ms:.4},{crit_ms:.4},{max_block_ms:.4},\
+                 {global_ms:.4},{},{},{c_whole:.6},{c_sharded:.6},{ratio:.6},{bit_identical}",
+                ap.nrows(),
+                ap.nnz(),
+                rep.cut_edges,
+                rep.reconcile.rounds,
+            )
+            .unwrap();
+            json_rows.push(format!(
+                concat!(
+                    "{{\"graph\":\"{}\",\"n\":{},\"nnz\":{},\"shards\":{},",
+                    "\"whole_model_ms\":{:.4},\"critical_path_ms\":{:.4},",
+                    "\"max_block_ms\":{:.4},\"global_ms\":{:.4},",
+                    "\"speedup\":{:.4},\"cut_edges\":{},\"rounds\":{},",
+                    "\"c_whole\":{:.6},\"c_sharded\":{:.6},",
+                    "\"quality_ratio\":{:.6},\"bit_identical\":{}}}"
+                ),
+                name,
+                ap.nrows(),
+                ap.nnz(),
+                k,
+                whole_ms,
+                crit_ms,
+                max_block_ms,
+                global_ms,
+                whole_ms / crit_ms,
+                rep.cut_edges,
+                rep.reconcile.rounds,
+                c_whole,
+                c_sharded,
+                ratio,
+                bit_identical,
+            ));
+            // the acceptance criterion: once blocks run concurrently the
+            // critical path must beat the whole-graph pipeline
+            if k >= 4 {
+                assert!(
+                    crit_ms < whole_ms,
+                    "{name} K={k}: critical path {crit_ms:.3} ms not below \
+                     whole-graph {whole_ms:.3} ms"
+                );
+            }
+        }
+    }
+    t.print();
+    println!(
+        "\n  shard crit ms = max per-block model time + serial boundary \
+         reconciliation (blocks are independent pipelines). K = 1 rows are \
+         asserted bit-identical to the whole-graph run; every row's c_π \
+         ratio is asserted against the {MIN_SHARD_QUALITY_RATIO} bound, \
+         and K ≥ 4 critical paths are asserted below the whole-graph time."
+    );
+    opts.write_json_with(
+        "BENCH_shard.json",
+        &format!("{{\"rows\":[{}]}}\n", json_rows.join(",")),
+        &format!("\"quality_bound\":{MIN_SHARD_QUALITY_RATIO}"),
+    )
+    .expect("results dir");
+}

@@ -28,13 +28,12 @@ pub fn greedy_factor<T: Scalar>(a: &Csr<T>, n: usize) -> Factor<T> {
             edges.push((w, r, c));
         }
     }
-    // decreasing |ω|, ties by (v, w) ascending — deterministic
-    edges.sort_by(|x, y| {
-        y.0.partial_cmp(&x.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(x.1.cmp(&y.1))
-            .then(x.2.cmp(&y.2))
-    });
+    // decreasing |ω| under the IEEE total order (NaN sorts above every
+    // finite weight, -0.0 below +0.0), ties by (v, w) ascending. The
+    // previous `partial_cmp(..).unwrap_or(Equal)` comparator was not
+    // transitive in the presence of NaN, which `sort_by` is allowed to
+    // reject at runtime.
+    edges.sort_by(|x, y| y.0.total_cmp(x.0).then(x.1.cmp(&y.1)).then(x.2.cmp(&y.2)));
     let mut f = Factor::new(nv, n);
     let mut deg = vec![0u32; nv];
     for (w, u, v) in edges {
@@ -113,6 +112,32 @@ mod tests {
                 assert!(f.is_maximal(&a), "seed={seed} n={n}");
             }
         }
+    }
+
+    #[test]
+    fn nan_and_negative_zero_weights_stay_deterministic() {
+        // Regression: NaN weights fed the old `partial_cmp(..)
+        // .unwrap_or(Equal)` comparator, which is not a total order —
+        // sort_by may panic on it, and even when it does not the edge
+        // order (hence the factor) was implementation-defined. Under
+        // total_cmp NaN ranks above every finite weight and the result
+        // is stable across calls.
+        let mut coo = Coo::<f64>::new(6, 6);
+        coo.push_sym(0, 1, f64::NAN);
+        coo.push_sym(1, 2, 5.0);
+        coo.push_sym(2, 3, -0.0);
+        coo.push_sym(3, 4, 0.0);
+        coo.push_sym(4, 5, 2.0);
+        let a = Csr::from_coo(coo);
+        let f = greedy_factor(&a, 1);
+        assert_eq!(f.fingerprint(), greedy_factor(&a, 1).fingerprint());
+        // NaN |w| sorts heaviest: (0,1) matches first and blocks (1,2).
+        assert!(f.contains(0, 1));
+        assert!(!f.contains(1, 2));
+        assert!(f.contains(4, 5));
+        // Explicit zeros (either sign) are skipped as non-edges.
+        assert!(!f.contains(2, 3));
+        assert!(!f.contains(3, 4));
     }
 
     #[test]

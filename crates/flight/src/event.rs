@@ -83,6 +83,16 @@ pub enum FlightEvent {
         /// Rendered error message.
         message: String,
     },
+    /// One boundary-reconciliation round of a sharded extraction
+    /// (lf-shard): proposals and confirmations over the cut edges.
+    ShardRound {
+        /// Round index (0-based).
+        round: u64,
+        /// Cut-edge proposals emitted by boundary vertices this round.
+        proposals: u64,
+        /// Mutual proposals confirmed into the stitched factor.
+        confirmed: u64,
+    },
 }
 
 impl FlightEvent {
@@ -96,6 +106,7 @@ impl FlightEvent {
             FlightEvent::JobOutcome { .. } => "job_outcome",
             FlightEvent::Audit { .. } => "audit",
             FlightEvent::Error { .. } => "error",
+            FlightEvent::ShardRound { .. } => "shard_round",
         }
     }
 
@@ -170,6 +181,14 @@ impl FlightEvent {
                 escape(kind),
                 escape(message)
             ),
+            FlightEvent::ShardRound {
+                round,
+                proposals,
+                confirmed,
+            } => format!(
+                "{{\"type\":\"shard_round\",\"round\":{round},\"proposals\":{proposals},\
+                 \"confirmed\":{confirmed}}}"
+            ),
         }
     }
 
@@ -234,6 +253,11 @@ impl FlightEvent {
                 kind: s("kind")?,
                 message: s("message")?,
             }),
+            "shard_round" => Ok(FlightEvent::ShardRound {
+                round: u("round")?,
+                proposals: u("proposals")?,
+                confirmed: u("confirmed")?,
+            }),
             other => Err(format!("unknown event type {other:?}")),
         }
     }
@@ -284,6 +308,13 @@ impl FlightEvent {
                 hex(*state_hash)
             ),
             FlightEvent::Error { kind, message } => format!("error       [{kind}] {message}"),
+            FlightEvent::ShardRound {
+                round,
+                proposals,
+                confirmed,
+            } => format!(
+                "shard_round r={round} proposed {proposals}, confirmed {confirmed}"
+            ),
         }
     }
 }
@@ -340,6 +371,11 @@ mod tests {
                 kind: "pipeline".into(),
                 message: "weight w(3,4) not finite".into(),
             },
+            FlightEvent::ShardRound {
+                round: 1,
+                proposals: 12,
+                confirmed: 5,
+            },
         ]
     }
 
@@ -356,7 +392,7 @@ mod tests {
     #[test]
     fn determinism_classification() {
         let det: Vec<bool> = all_variants().iter().map(FlightEvent::deterministic).collect();
-        assert_eq!(det, vec![true, true, false, false, false, true, true]);
+        assert_eq!(det, vec![true, true, false, false, false, true, true, true]);
     }
 
     #[test]

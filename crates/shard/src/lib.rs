@@ -1,0 +1,385 @@
+//! # lf-shard — sharded linear-forest extraction
+//!
+//! The paper's pipeline is single-device: every kernel sees the whole
+//! graph, so the largest extractable graph is bounded by one worker's
+//! memory. This crate removes that bound with a dual-decomposition
+//! scheme in the spirit of Strandmark & Kahl's distributed graph cuts:
+//!
+//! 1. **Partition** — [`Partition::bfs_bands`] splits the vertex set into
+//!    K contiguous BFS bands with an explicit cut-edge set
+//!    ([`Partition::cut_edges`]).
+//! 2. **Per-block factor** — each block's principal submatrix runs
+//!    through the unmodified Algorithm-2 factor kernel. The runs are
+//!    *offset-invariant*: every block vertex is charged under its
+//!    **global** id key (`salted_key(global_v, cfg.charge_salt)`), the
+//!    same mechanism lf-batch uses for fused/solo bit-equality, so block
+//!    decisions do not depend on where the block sits in the numbering.
+//! 3. **Reconcile** — [`reconcile::reconcile`] iterates propose/confirm
+//!    rounds over the shared boundary only, committing mutual cut-edge
+//!    proposals until no cut edge is addable, then the stitched factor
+//!    goes through the ordinary global stages (cycle breaking, path
+//!    identification, permutation).
+//!
+//! With K = 1 the partition is the identity, the cut is empty, and the
+//! result is **bit-identical** to [`lf_core::extract_linear_forest`]
+//! (asserted by tests and the `repro shard` experiment). For K > 1 the
+//! result is still a valid *maximal* [0,2]-factor — per-block maximality
+//! covers intra-block edges, the reconciliation fixed point covers the
+//! cut — and its quality ratio against the whole-graph run is bounded by
+//! [`check::MIN_SHARD_QUALITY_RATIO`] on the supported graph classes.
+
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod partition;
+pub mod reconcile;
+
+pub use partition::Partition;
+pub use reconcile::ReconcileReport;
+
+use lf_core::charge::salted_key;
+use lf_core::parallel::try_parallel_factor_keyed;
+use lf_core::prelude::{break_cycles, forest_permutation, identify_paths};
+use lf_core::{FactorConfig, LinearForest, PipelineError};
+use lf_kernel::Device;
+use lf_sparse::{Csr, Scalar};
+
+/// Sharding parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Number of vertex blocks K (clamped to `1..=N`).
+    pub shards: usize,
+    /// Safety cap on boundary-reconciliation rounds. Each round commits
+    /// at least one cut edge, so `2 × boundary vertices` rounds always
+    /// suffice for a [0,2]-factor; the default is generous.
+    pub max_rounds: usize,
+}
+
+impl ShardConfig {
+    /// A configuration with `shards` blocks and the default round cap.
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            max_rounds: 1 << 20,
+        }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// Everything a sharded run reports beyond the forest itself.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Blocks actually used (after clamping).
+    pub shards: usize,
+    /// Prepared-graph nnz per block submatrix.
+    pub block_nnz: Vec<usize>,
+    /// Factor iterations per block.
+    pub block_iterations: Vec<usize>,
+    /// Model seconds of each block's factor stage (the per-worker cost a
+    /// real multi-device run would pay in parallel).
+    pub block_model_s: Vec<f64>,
+    /// Model seconds of the shared stages: reconciliation bookkeeping is
+    /// host-side, so this covers cycle breaking, path identification and
+    /// the permutation on the stitched factor.
+    pub global_model_s: f64,
+    /// Edges crossing block boundaries.
+    pub cut_edges: usize,
+    /// Vertices incident to a cut edge.
+    pub boundary_vertices: usize,
+    /// Boundary-reconciliation outcome.
+    pub reconcile: ReconcileReport,
+    /// Whether the factor is certifiably maximal: every block converged
+    /// within its iteration budget and reconciliation reached its fixed
+    /// point.
+    pub maximal: bool,
+}
+
+impl ShardReport {
+    /// The critical-path model time: slowest block factor plus the shared
+    /// stages (blocks run concurrently on independent workers).
+    pub fn critical_path_model_s(&self) -> f64 {
+        self.block_model_s.iter().copied().fold(0.0, f64::max) + self.global_model_s
+    }
+}
+
+/// Extract a linear forest from `aprime` (the prepared undirected weight
+/// matrix, see [`lf_core::prepare_undirected`]) through `shard.shards`
+/// per-block factor runs plus boundary reconciliation.
+///
+/// # Errors
+///
+/// [`PipelineError::NotPathFactor`] when `cfg.n != 2`, plus anything the
+/// per-block factor runs or the global stages report.
+pub fn extract_sharded<T: Scalar>(
+    dev: &Device,
+    aprime: &Csr<T>,
+    cfg: &FactorConfig,
+    shard: &ShardConfig,
+) -> Result<(LinearForest<T>, ShardReport), PipelineError> {
+    if cfg.n != 2 {
+        return Err(PipelineError::NotPathFactor { n: cfg.n });
+    }
+    let tracer = dev.tracer().clone();
+    let _span = tracer.span("shard");
+
+    let partition = Partition::bfs_bands(aprime, shard.shards);
+    let k = partition.num_blocks();
+    let cut = partition.cut_edges(aprime);
+    let boundary = partition.boundary_vertices(aprime);
+
+    // Per-block factor runs. Charging under the *global* vertex ids makes
+    // each run independent of the block's position in the numbering: for
+    // K = 1 the key stream is exactly the whole-graph run's.
+    let mut block_factors = Vec::with_capacity(k);
+    let mut report = ShardReport {
+        shards: k,
+        block_nnz: Vec::with_capacity(k),
+        block_iterations: Vec::with_capacity(k),
+        block_model_s: Vec::with_capacity(k),
+        global_model_s: 0.0,
+        cut_edges: cut.len(),
+        boundary_vertices: boundary.len(),
+        reconcile: ReconcileReport::default(),
+        maximal: true,
+    };
+    let mut max_iterations = 0usize;
+    for (b, ids) in partition.blocks.iter().enumerate() {
+        let _block_span = tracer.span_dyn(|| format!("block_{b}"));
+        let sub = aprime.principal_submatrix(ids);
+        let keys: Vec<u32> = ids.iter().map(|&g| salted_key(g, cfg.charge_salt)).collect();
+        report.block_nnz.push(sub.nnz());
+        let (outcome, stats) =
+            dev.scoped(|| try_parallel_factor_keyed(dev, &sub, cfg, Some(&keys)));
+        let outcome = outcome?;
+        report.block_iterations.push(outcome.iterations);
+        report.block_model_s.push(stats.model_time_s);
+        report.maximal &= outcome.maximal;
+        max_iterations = max_iterations.max(outcome.iterations);
+        block_factors.push(outcome.factor);
+    }
+
+    // Stitch and reconcile the boundary.
+    let mut factor = reconcile::stitch(aprime.nrows(), cfg.n, &partition, &block_factors);
+    report.reconcile = reconcile::reconcile(&mut factor, cfg.n, &cut, shard.max_rounds, |r| {
+        if lf_flight::enabled() {
+            lf_flight::record(lf_flight::FlightEvent::ShardRound {
+                round: r.round as u64,
+                proposals: r.proposals as u64,
+                confirmed: r.confirmed as u64,
+            });
+        }
+    });
+    report.maximal &= report.reconcile.converged;
+
+    if lf_metrics::enabled() {
+        use lf_metrics::Unit;
+        let m = lf_metrics::global();
+        m.counter(
+            "lf_shard_rounds_total",
+            "Boundary-reconciliation rounds across sharded extractions.",
+        )
+        .add(report.reconcile.rounds as u64);
+        m.counter(
+            "lf_shard_cut_edges_total",
+            "Edges crossing block boundaries across sharded extractions.",
+        )
+        .add(cut.len() as u64);
+        let h = m.histogram(
+            "lf_shard_block_nnz",
+            "Prepared nnz per block submatrix.",
+            Unit::Count,
+        );
+        for &nnz in &report.block_nnz {
+            h.record(nnz as u64);
+        }
+    }
+    if tracer.is_active() {
+        tracer.metric("shard_cut_edges", cut.len() as f64);
+        tracer.metric("shard_rounds", report.reconcile.rounds as f64);
+        tracer.metric("shard_boundary_vertices", boundary.len() as f64);
+    }
+
+    // The stitched factor goes through the unmodified global stages, same
+    // order and spans as `extract_linear_forest`.
+    let (rest, t_global) = dev.scoped(|| {
+        let cycles = {
+            let _s = tracer.span("identify_cycles");
+            break_cycles(dev, &mut factor)
+        };
+        let paths = {
+            let _s = tracer.span("identify_paths");
+            identify_paths(dev, &factor)
+        }?;
+        let perm = {
+            let _s = tracer.span("permutation");
+            forest_permutation(dev, &paths)
+        };
+        Ok::<_, PipelineError>((cycles, paths, perm))
+    });
+    let (cycles, paths, perm) = rest?;
+    report.global_model_s = t_global.model_time_s;
+
+    Ok((
+        LinearForest {
+            factor,
+            paths,
+            perm,
+            cycles,
+            factor_iterations: max_iterations,
+        },
+        report,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_core::prelude::{extract_linear_forest, prepare_undirected, weight_coverage};
+    use lf_sparse::random::random_symmetric;
+    use lf_sparse::stencil::{grid2d, ANISO1, ANISO2, FIVE_POINT};
+
+    #[test]
+    fn rejects_non_path_factor_config() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(4, 4, &FIVE_POINT);
+        let err = extract_sharded(
+            &dev,
+            &prepare_undirected(&a),
+            &FactorConfig::paper_default(3),
+            &ShardConfig::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PipelineError::NotPathFactor { n: 3 });
+    }
+
+    #[test]
+    fn k1_is_bit_identical_to_whole_graph_extraction() {
+        let dev = Device::default();
+        let cases: [(&str, Csr<f64>); 3] = [
+            ("aniso1", grid2d(17, 17, &ANISO1)),
+            ("five_point", grid2d(12, 19, &FIVE_POINT)),
+            ("random", random_symmetric(300, 5.0, 0.1, 1.0, 7)),
+        ];
+        for (name, a) in cases {
+            let ap = prepare_undirected(&a);
+            let cfg = FactorConfig::paper_default(2);
+            let (whole, _) = extract_linear_forest(&dev, &ap, &cfg).unwrap();
+            let (sharded, rep) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(1)).unwrap();
+            assert_eq!(rep.shards, 1);
+            assert_eq!(rep.cut_edges, 0);
+            assert_eq!(rep.reconcile.rounds, 0);
+            assert_eq!(
+                sharded.fingerprint(),
+                whole.fingerprint(),
+                "{name}: K=1 shard must bit-match the whole-graph run"
+            );
+        }
+    }
+
+    #[test]
+    fn k1_bit_equality_survives_a_nonzero_charge_salt() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(14, 14, &ANISO2);
+        let ap = prepare_undirected(&a);
+        let cfg = FactorConfig::paper_default(2).with_charge_salt(0xBEEF);
+        let (whole, _) = extract_linear_forest(&dev, &ap, &cfg).unwrap();
+        let (sharded, _) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(1)).unwrap();
+        assert_eq!(sharded.fingerprint(), whole.fingerprint());
+    }
+
+    #[test]
+    fn sharded_factors_are_valid_and_maximal() {
+        let dev = Device::default();
+        for k in [2, 3, 4, 8] {
+            let cases: [(&str, Csr<f64>); 2] = [
+                ("aniso1", grid2d(16, 16, &ANISO1)),
+                ("random", random_symmetric(400, 6.0, 0.1, 1.0, k as u64)),
+            ];
+            for (name, a) in cases {
+                let ap = prepare_undirected(&a);
+                let cfg = FactorConfig::paper_default(2);
+                let (forest, rep) =
+                    extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(k)).unwrap();
+                forest.factor.validate(&ap).unwrap_or_else(|e| {
+                    panic!("{name} K={k}: invalid factor: {e}");
+                });
+                assert!(rep.reconcile.converged, "{name} K={k}");
+                if rep.maximal {
+                    assert!(forest.factor.is_maximal(&ap), "{name} K={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quality_stays_close_to_the_whole_graph_run() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(20, 20, &ANISO1);
+        let ap = prepare_undirected(&a);
+        let cfg = FactorConfig::paper_default(2);
+        let (whole, _) = extract_linear_forest(&dev, &ap, &cfg).unwrap();
+        let c_whole = weight_coverage(&whole.factor, &a);
+        for k in [2, 4, 8] {
+            let (sharded, _) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(k)).unwrap();
+            let c_sharded = weight_coverage(&sharded.factor, &a);
+            assert!(
+                c_sharded >= crate::check::MIN_SHARD_QUALITY_RATIO * c_whole,
+                "K={k}: c_sharded {c_sharded:.4} vs c_whole {c_whole:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_accounts_for_every_block() {
+        let dev = Device::default();
+        let a: Csr<f64> = grid2d(18, 18, &FIVE_POINT);
+        let ap = prepare_undirected(&a);
+        let cfg = FactorConfig::paper_default(2);
+        let (_, rep) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(4)).unwrap();
+        assert_eq!(rep.shards, 4);
+        assert_eq!(rep.block_nnz.len(), 4);
+        assert_eq!(rep.block_iterations.len(), 4);
+        assert_eq!(rep.block_model_s.len(), 4);
+        assert!(rep.cut_edges > 0, "a connected grid must have cut edges");
+        assert!(rep.boundary_vertices > 0);
+        assert!(rep.critical_path_model_s() > 0.0);
+        // every block strictly smaller than the whole graph
+        assert!(rep.block_nnz.iter().all(|&nnz| nnz < ap.nnz()));
+    }
+
+    #[test]
+    fn shard_rounds_reach_the_flight_ring() {
+        let dev = Device::default();
+        // A uniform path split in two: the lone cut edge joins two
+        // degree-1 boundary vertices, so reconciliation must commit it
+        // in exactly one round.
+        let mut coo = lf_sparse::Coo::<f64>::new(32, 32);
+        for i in 0..31u32 {
+            coo.push_sym(i, i + 1, 1.0);
+        }
+        let ap = prepare_undirected(&Csr::from_coo(coo));
+        lf_flight::enable();
+        let (_, rep) = extract_sharded(
+            &dev,
+            &ap,
+            &FactorConfig::paper_default(2),
+            &ShardConfig::new(2),
+        )
+        .unwrap();
+        let events = lf_flight::recorder().snapshot();
+        lf_flight::disable();
+        // Other tests may run sharded extractions concurrently while the
+        // global recorder is on, so only a lower bound is exact here.
+        let rounds = events
+            .iter()
+            .filter(|(_, e)| matches!(e, lf_flight::FlightEvent::ShardRound { .. }))
+            .count();
+        assert!(rep.reconcile.rounds > 0, "a cut grid reconciles in rounds");
+        assert!(rounds >= rep.reconcile.rounds, "{rounds} events recorded");
+    }
+}

@@ -1,0 +1,254 @@
+//! Boundary reconciliation: stitching block factors and closing the cut.
+//!
+//! Per-block factor runs never see the cut edges, so the stitched factor
+//! is maximal on every intra-block edge but may leave cut edges addable.
+//! Reconciliation iterates a propose/confirm protocol — the same
+//! mutuality shape as the paper's Algorithm 2, restricted to the shared
+//! boundary: each unsaturated boundary vertex proposes its best eligible
+//! cut edge under a global total order on edges (weight by `total_cmp`,
+//! ties toward the smaller partner id), and mutual proposals are
+//! committed. The globally best eligible edge is always mutual under a
+//! consistent order, so every round commits at least one edge while any
+//! remains eligible; when the proposal set is empty the factor is maximal
+//! over the cut, and — combined with per-block maximality — globally
+//! maximal.
+
+use crate::partition::Partition;
+use lf_core::{Factor, INVALID};
+use lf_sparse::Scalar;
+
+/// What boundary reconciliation did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReconcileReport {
+    /// Propose/confirm rounds executed (0 when the cut is empty).
+    pub rounds: usize,
+    /// Total proposals emitted across rounds.
+    pub proposals: usize,
+    /// Cut edges committed into the stitched factor.
+    pub committed: usize,
+    /// Whether the loop reached the no-eligible-edges fixed point (false
+    /// only when the `max_rounds` safety cap was hit first).
+    pub converged: bool,
+}
+
+/// Merge per-block factors (in block-local vertex numbering) into one
+/// factor over the global vertex space.
+///
+/// Slots are copied *positionally*, not re-inserted: the factor kernel's
+/// slot layout is part of the bit-exact contract (fingerprints hash the
+/// raw slot arrays), so for K = 1 the stitched factor must be
+/// byte-for-byte the block factor with columns renamed by the identity.
+pub fn stitch<T: Scalar>(
+    nv: usize,
+    n: usize,
+    partition: &Partition,
+    block_factors: &[Factor<T>],
+) -> Factor<T> {
+    let mut cols = vec![INVALID; nv * n];
+    let mut ws = vec![T::ZERO; nv * n];
+    for (ids, bf) in partition.blocks.iter().zip(block_factors) {
+        let (bcols, bws) = (bf.slot_cols(), bf.slot_weights());
+        for (lu, &g) in ids.iter().enumerate() {
+            for s in 0..n {
+                let c = bcols[lu * n + s];
+                let gbase = g as usize * n + s;
+                cols[gbase] = if c == INVALID { INVALID } else { ids[c as usize] };
+                ws[gbase] = bws[lu * n + s];
+            }
+        }
+    }
+    Factor::from_slots(nv, n, cols, ws)
+}
+
+/// One reconciliation round's outcome, passed to the caller's observer
+/// (flight events, metrics) after the round is applied.
+#[derive(Clone, Copy, Debug)]
+pub struct Round {
+    /// 0-based round index.
+    pub round: usize,
+    /// Proposals emitted this round.
+    pub proposals: usize,
+    /// Mutual proposals committed this round.
+    pub confirmed: usize,
+}
+
+/// Run the boundary-reconciliation loop over `cut` (edges `(u, v, w)`
+/// with `u < v`), mutating `factor` in place. `observe` is called once
+/// per executed round.
+pub fn reconcile<T: Scalar>(
+    factor: &mut Factor<T>,
+    n: usize,
+    cut: &[(u32, u32, T)],
+    max_rounds: usize,
+    mut observe: impl FnMut(Round),
+) -> ReconcileReport {
+    let mut report = ReconcileReport {
+        converged: true,
+        ..ReconcileReport::default()
+    };
+    if cut.is_empty() {
+        return report;
+    }
+    // Cut adjacency, boundary vertices only (dense maps over the global
+    // id space would waste O(N) per shard on large graphs).
+    let mut adj: std::collections::HashMap<u32, Vec<(u32, T)>> = std::collections::HashMap::new();
+    for &(u, v, w) in cut {
+        adj.entry(u).or_default().push((v, w));
+        adj.entry(v).or_default().push((u, w));
+    }
+    let mut boundary: Vec<u32> = adj.keys().copied().collect();
+    boundary.sort_unstable();
+
+    report.converged = false;
+    for round in 0..max_rounds {
+        // Propose: every unsaturated boundary vertex picks its best
+        // eligible partner — heaviest |w| under total_cmp, ties toward
+        // the smaller id. The order is a restriction of one global total
+        // order on edges, which guarantees a mutual pair exists whenever
+        // any edge is eligible.
+        let mut proposal: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for &v in &boundary {
+            if factor.degree(v as usize) >= n {
+                continue;
+            }
+            let mut best: Option<(T, u32)> = None;
+            for &(u, w) in &adj[&v] {
+                if factor.degree(u as usize) >= n || factor.contains(v as usize, u) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bw, bu)) => match w.abs().total_cmp(bw.abs()) {
+                        std::cmp::Ordering::Greater => true,
+                        std::cmp::Ordering::Less => false,
+                        std::cmp::Ordering::Equal => u < bu,
+                    },
+                };
+                if better {
+                    best = Some((w, u));
+                }
+            }
+            if let Some((_, u)) = best {
+                proposal.insert(v, u);
+            }
+        }
+        if proposal.is_empty() {
+            report.converged = true;
+            break;
+        }
+        // Confirm mutual proposals and commit them in ascending (u, v)
+        // order. Mutual pairs are vertex-disjoint (one proposal per
+        // vertex), so no commit invalidates another within the round.
+        let mut confirmed: Vec<(u32, u32, T)> = Vec::new();
+        for &v in &boundary {
+            if let Some(&u) = proposal.get(&v) {
+                if v < u && proposal.get(&u) == Some(&v) {
+                    let w = adj[&v].iter().find(|&&(x, _)| x == u).unwrap().1;
+                    confirmed.push((v, u, w));
+                }
+            }
+        }
+        for &(u, v, w) in &confirmed {
+            factor.insert(u as usize, v, w);
+            factor.insert(v as usize, u, w);
+        }
+        report.rounds += 1;
+        report.proposals += proposal.len();
+        report.committed += confirmed.len();
+        observe(Round {
+            round,
+            proposals: proposal.len(),
+            confirmed: confirmed.len(),
+        });
+        debug_assert!(
+            !confirmed.is_empty(),
+            "a non-empty proposal set must confirm at least one edge"
+        );
+        if confirmed.is_empty() {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::{Coo, Csr};
+
+    fn path_graph(weights: &[f64]) -> Csr<f64> {
+        let n = weights.len() + 1;
+        let mut coo = Coo::<f64>::new(n, n);
+        for (i, &w) in weights.iter().enumerate() {
+            coo.push_sym(i as u32, i as u32 + 1, w);
+        }
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn empty_cut_is_a_noop() {
+        let mut f = Factor::<f64>::new(4, 2);
+        let r = reconcile(&mut f, 2, &[], 8, |_| panic!("no rounds expected"));
+        assert_eq!(r, ReconcileReport { converged: true, ..Default::default() });
+    }
+
+    #[test]
+    fn reconciliation_saturates_the_cut() {
+        // Path 0-1-2-3-4-5 split as {0,1,2} | {3,4,5}: the only cut edge
+        // (2,3) must be committed, making the stitched factor the whole
+        // path.
+        let a = path_graph(&[1.0, 2.0, 3.0, 2.0, 1.0]);
+        let mut f = Factor::<f64>::new(6, 2);
+        for (u, v, w) in [(0, 1, 1.0), (1, 2, 2.0), (3, 4, 2.0), (4, 5, 1.0)] {
+            f.insert(u, v, w);
+            f.insert(v as usize, u as u32, w);
+        }
+        let cut = [(2u32, 3u32, 3.0f64)];
+        let mut rounds_seen = 0;
+        let r = reconcile(&mut f, 2, &cut, 16, |_| rounds_seen += 1);
+        assert!(r.converged);
+        assert_eq!(r.committed, 1);
+        assert_eq!(rounds_seen, r.rounds);
+        assert!(f.contains(2, 3));
+        assert!(f.is_maximal(&a));
+        f.validate(&a).unwrap();
+    }
+
+    #[test]
+    fn saturated_endpoints_block_cut_edges() {
+        // Vertex 1 already has degree 2; the cut edge (1,2) is not
+        // eligible and reconciliation converges without adding it.
+        let mut f = Factor::<f64>::new(4, 2);
+        for (u, v) in [(0, 1), (1, 3)] {
+            f.insert(u, v, 1.0);
+            f.insert(v as usize, u as u32, 1.0);
+        }
+        let cut = [(1u32, 2u32, 9.0f64)];
+        let r = reconcile(&mut f, 2, &cut, 16, |_| {});
+        assert!(r.converged);
+        assert_eq!(r.committed, 0);
+        assert!(!f.contains(1, 2));
+    }
+
+    #[test]
+    fn heaviest_mutual_edge_wins_ties_deterministically() {
+        // Star cut: 0 connects to 1, 2, 3 with equal weights; degree
+        // bound 2 admits exactly two, and the smaller-id tie-break picks
+        // 1 then 2.
+        let cut = [(0u32, 1u32, 1.0f64), (0, 2, 1.0), (0, 3, 1.0)];
+        let mut f = Factor::<f64>::new(4, 2);
+        let r = reconcile(&mut f, 2, &cut, 16, |_| {});
+        assert!(r.converged);
+        assert_eq!(r.committed, 2);
+        assert!(f.contains(0, 1) && f.contains(0, 2) && !f.contains(0, 3));
+    }
+
+    #[test]
+    fn max_rounds_cap_reports_non_convergence() {
+        let cut = [(0u32, 1u32, 1.0f64), (2, 3, 1.0)];
+        let mut f = Factor::<f64>::new(4, 2);
+        let r = reconcile(&mut f, 2, &cut, 0, |_| {});
+        assert!(!r.converged);
+        assert_eq!(r.rounds, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for sharded extraction.
+//!
+//! * K = 1 must be bit-identical to the whole-graph pipeline on arbitrary
+//!   graphs, including disconnected ones and tie-heavy quantized weights.
+//! * K > 1 must always produce a valid factor that is maximal whenever
+//!   the run certifies maximality, with a converged reconciliation.
+//! * On seeded `random_symmetric` graphs (a supported class), the K > 1
+//!   quality ratio must hold the documented bound.
+
+use lf_core::prelude::{extract_linear_forest, prepare_undirected, weight_coverage};
+use lf_core::FactorConfig;
+use lf_kernel::Device;
+use lf_shard::check::{differential_shard_suite, MIN_SHARD_QUALITY_RATIO};
+use lf_shard::{extract_sharded, ShardConfig};
+use lf_sparse::random::random_symmetric;
+use lf_sparse::{Coo, Csr};
+use proptest::prelude::*;
+
+/// Random undirected weighted graph with deliberate degenerate structure:
+/// isolated vertices, disconnected components, and weights quantized to
+/// one decimal (many exact ties).
+fn graph_strategy() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
+    (4usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1u32..20), 0..(n * 3))
+            .prop_map(|es| {
+                es.into_iter()
+                    .map(|(u, v, w)| (u, v, w as f64 * 0.1))
+                    .collect::<Vec<_>>()
+            });
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32, f64)]) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    let mut seen = std::collections::HashSet::new();
+    for &(u, v, w) in edges {
+        if u != v && seen.insert((u.min(v), u.max(v))) {
+            coo.push_sym(u, v, w);
+        }
+    }
+    Csr::from_coo(coo)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn k1_shard_bit_identical_on_arbitrary_graphs(
+        (n, edges) in graph_strategy(),
+        salt in 0u32..u32::MAX,
+    ) {
+        let a = build(n, &edges);
+        let ap = prepare_undirected(&a);
+        // salt 0 is the identity charging of the plain pipeline; any
+        // other value exercises the salted key stream.
+        let cfg = FactorConfig::paper_default(2).with_charge_salt(salt);
+        let dev = Device::default();
+        let (whole, _) = extract_linear_forest(&dev, &ap, &cfg).unwrap();
+        let (sharded, rep) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(1)).unwrap();
+        prop_assert_eq!(rep.shards, 1);
+        prop_assert_eq!(rep.cut_edges, 0);
+        prop_assert_eq!(sharded.fingerprint(), whole.fingerprint());
+    }
+
+    #[test]
+    fn sharded_factor_valid_and_maximal_on_arbitrary_graphs(
+        (n, edges) in graph_strategy(),
+        k in 2usize..=6,
+    ) {
+        let a = build(n, &edges);
+        let ap = prepare_undirected(&a);
+        let dev = Device::default();
+        let (forest, rep) =
+            extract_sharded(&dev, &ap, &FactorConfig::paper_default(2), &ShardConfig::new(k))
+                .unwrap();
+        prop_assert!(forest.factor.validate(&ap).is_ok());
+        prop_assert!(rep.reconcile.converged);
+        if rep.maximal {
+            prop_assert!(forest.factor.is_maximal(&ap), "certified-maximal factor is not");
+        }
+    }
+
+    #[test]
+    fn quality_bound_holds_on_seeded_random_graphs(
+        n in 150usize..400,
+        seed in 0u64..1000,
+        k in 2usize..=6,
+    ) {
+        let a: Csr<f64> = random_symmetric(n, 5.0, 0.1, 1.0, seed);
+        let ap = prepare_undirected(&a);
+        let cfg = FactorConfig::paper_default(2);
+        let dev = Device::default();
+        let (whole, _) = extract_linear_forest(&dev, &ap, &cfg).unwrap();
+        let (sharded, _) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(k)).unwrap();
+        let (c_whole, c_sharded) =
+            (weight_coverage(&whole.factor, &a), weight_coverage(&sharded.factor, &a));
+        prop_assert!(
+            c_sharded >= MIN_SHARD_QUALITY_RATIO * c_whole,
+            "n={} seed={} K={}: c_sharded {:.4} vs c_whole {:.4}",
+            n, seed, k, c_sharded, c_whole
+        );
+    }
+}
+
+#[test]
+fn stencil_suite_meets_the_documented_bound() {
+    let dev = Device::default();
+    let report = differential_shard_suite(&dev, 2, 300, 4);
+    assert!(report.passed(), "{report}");
+}

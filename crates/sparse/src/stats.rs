@@ -33,6 +33,11 @@ pub struct GraphStats {
     /// Number of distinct |off-diagonal weight| values, capped at 1000 —
     /// small counts signal the tied-weight classes that need charging.
     pub distinct_weights: usize,
+    /// Off-diagonal entries whose weight is NaN. These are excluded from
+    /// every weight statistic above; a non-zero count means the input
+    /// needs cleaning before extraction (the pipeline's input audit
+    /// rejects non-finite weights).
+    pub nan_weights: usize,
 }
 
 /// Compute [`GraphStats`] (O(nnz log nnz) for the top-2N fraction).
@@ -48,12 +53,21 @@ pub fn graph_stats<T: Scalar>(a: &Csr<T>) -> GraphStats {
     if n == 0 {
         min_degree = 0;
     }
+    let mut nan_weights = 0usize;
     let mut weights: Vec<f64> = a
         .iter()
         .filter(|&(r, c, _)| r != c)
         .map(|(_, _, v)| v.to_f64().abs())
+        .filter(|w| {
+            let ok = !w.is_nan();
+            nan_weights += usize::from(!ok);
+            ok
+        })
         .collect();
-    weights.sort_unstable_by(|x, y| y.partial_cmp(x).expect("finite weights"));
+    // total_cmp, not partial_cmp: NaNs are filtered above, but a panicking
+    // comparator on a CLI stats path turned bad inputs into aborts instead
+    // of reports.
+    weights.sort_unstable_by(|x, y| y.total_cmp(x));
     let total: f64 = weights.iter().sum();
     let top: f64 = weights.iter().take(2 * n).sum();
     let mut distinct = 0usize;
@@ -79,6 +93,7 @@ pub fn graph_stats<T: Scalar>(a: &Csr<T>) -> GraphStats {
         max_weight: weights.first().copied().unwrap_or(0.0),
         top_2n_weight_fraction: if total == 0.0 { 0.0 } else { top / total },
         distinct_weights: distinct,
+        nan_weights,
     }
 }
 
@@ -139,6 +154,25 @@ mod tests {
         assert!(hi.top_2n_weight_fraction > 0.9);
         assert!(lo.top_2n_weight_fraction < 0.45);
         assert!(!hi.symmetric && hi.pattern_symmetric);
+    }
+
+    #[test]
+    fn nan_weights_are_counted_not_fatal() {
+        // Regression: `graph_stats` used to sort with `partial_cmp(..)
+        // .expect("finite weights")`, so one NaN entry aborted the whole
+        // stats path. NaNs are now excluded from the weight statistics
+        // and surfaced as a count instead.
+        let mut coo = crate::Coo::<f64>::new(4, 4);
+        coo.push_sym(0, 1, f64::NAN);
+        coo.push_sym(1, 2, 3.0);
+        coo.push_sym(2, 3, 0.5);
+        let a = Csr::from_coo(coo);
+        let s = graph_stats(&a);
+        assert_eq!(s.nan_weights, 2, "both directed NaN entries counted");
+        assert_eq!(s.max_weight, 3.0);
+        assert_eq!(s.min_weight, 0.5);
+        assert_eq!(s.distinct_weights, 2);
+        assert!(s.top_2n_weight_fraction.is_finite());
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! ```text
 //! lf stats      <input.mtx | gen:NAME[:N]> [--json]
 //! lf factor     <input> [-n N] [-M ITERS] [--config 1|2|3]
-//! lf forest     <input> [--perm out.txt] [--paths]
+//! lf forest     <input> [--perm out.txt] [--paths] [--shards K]
+//! lf shard      <input> [--shards K] [--json]   # sharded vs whole-graph differential
 //! lf tridiag    <input> [--out prefix]       # writes prefix.{dl,d,du}.txt
 //! lf solve      <input> [--precond jacobi|triscal|algtriscal|algtriblock|amg|none]
 //!               [--solver bicgstab|gmres|cg] [--tol T] [--max-iters K]
@@ -57,7 +58,9 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf <stats|factor|forest|tridiag|solve|check|batch|postmortem> <input.mtx|gen:NAME[:N]> [options]\n\
+        "usage: lf <stats|factor|forest|shard|tridiag|solve|check|batch|postmortem> <input.mtx|gen:NAME[:N]> [options]\n\
+         forest --shards K runs the partitioned pipeline (per-block factors + boundary reconciliation)\n\
+         shard compares a sharded run against the whole-graph run (quality ratio, K=1 bit-equality)\n\
          batch input: a directory of .mtx files or a comma-separated input list\n\
          postmortem input: a bundle directory written by --flight-dir (add --replay to re-run it)\n\
          global flags: --backend <model|cpu>, --no-fuse, --trace <out.json>,\n\
@@ -272,366 +275,432 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
             let label = if repeat > 1 {
                 format!("{name}#{round}")
             } else {
-                name.clone()
-            };
-            if let Err(e) = svc.submit(label.clone(), g.clone(), now) {
-                // Bounded queue: make room, then the submission must fit.
-                outcomes.extend(svc.drain(dev));
-                let _ = e;
-                svc.submit(label, g.clone(), now).unwrap_or_else(|e| fail(e));
+                    name.clone()
+                };
+                if let Err(e) = svc.submit(label.clone(), g.clone(), now) {
+                    // Bounded queue: make room, then the submission must fit.
+                    outcomes.extend(svc.drain(dev));
+                    let _ = e;
+                    svc.submit(label, g.clone(), now).unwrap_or_else(|e| fail(e));
+                }
+            }
+            // Drain per round so round 2+ resubmissions hit the CSR cache.
+            outcomes.extend(svc.drain(dev));
+        }
+
+        // One postmortem bundle per failed job. The job's graph and charge
+        // salt pin down an equivalent solo run (`batch-solo`), which is what
+        // `lf postmortem --replay` re-executes; model totals are omitted
+        // because the recorded device ran fused batches.
+        if linear_forest::flight::bundle_dir().is_some() {
+            use linear_forest::postmortem as pm;
+            for o in outcomes.iter().filter(|o| o.result.is_err()) {
+                let e = o.result.as_ref().err().unwrap();
+                let g = graphs
+                    .iter()
+                    .find(|(n, _)| *n == o.name || o.name.starts_with(&format!("{n}#")))
+                    .map(|(_, g)| g);
+                let mut ec = pm::effective_config("batch-solo", dev, Some(&factor_cfg), None, Some(&o.name));
+                ec.charge_salt = o.salt;
+                pm::dump_error_bundle("job", &e.to_string(), ec, g, None);
             }
         }
-        // Drain per round so round 2+ resubmissions hit the CSR cache.
-        outcomes.extend(svc.drain(dev));
-    }
 
-    // One postmortem bundle per failed job. The job's graph and charge
-    // salt pin down an equivalent solo run (`batch-solo`), which is what
-    // `lf postmortem --replay` re-executes; model totals are omitted
-    // because the recorded device ran fused batches.
-    if linear_forest::flight::bundle_dir().is_some() {
-        use linear_forest::postmortem as pm;
-        for o in outcomes.iter().filter(|o| o.result.is_err()) {
-            let e = o.result.as_ref().err().unwrap();
-            let g = graphs
+        let counters = linear_forest::batch::counters();
+        let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
+        if has_flag(rest, "--json") {
+            let jobs: Vec<String> = outcomes
                 .iter()
-                .find(|(n, _)| *n == o.name || o.name.starts_with(&format!("{n}#")))
-                .map(|(_, g)| g);
-            let mut ec = pm::effective_config("batch-solo", dev, Some(&factor_cfg), None, Some(&o.name));
-            ec.charge_salt = o.salt;
-            pm::dump_error_bundle("job", &e.to_string(), ec, g, None);
-        }
-    }
-
-    let counters = linear_forest::batch::counters();
-    let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
-    if has_flag(rest, "--json") {
-        let jobs: Vec<String> = outcomes
-            .iter()
-            .map(|o| {
-                let common = format!(
-                    "\"id\":{},\"name\":\"{}\",\"batch\":{},\"salt\":{},\
-                     \"cache_hit\":{},\"nnz\":{}",
-                    o.id,
-                    json::escape(&o.name),
-                    o.batch,
-                    o.salt,
-                    o.cache_hit,
-                    o.nnz,
-                );
-                match &o.result {
-                    Ok(r) => format!(
-                        "{{{common},\"ok\":true,\"paths\":{},\"coverage\":{},\
-                         \"cycles_broken\":{},\"mean_path_len\":{}}}",
-                        r.quality.num_paths,
-                        json::number(r.quality.coverage),
-                        r.quality.cycles_broken,
-                        json::number(r.quality.mean_path_len),
-                    ),
-                    Err(e) => format!(
-                        "{{{common},\"ok\":false,\"error\":\"{}\"}}",
-                        json::escape(&e.to_string())
-                    ),
-                }
-            })
-            .collect();
-        println!(
-            "{{\"jobs\":[{}],\"service\":{}}}",
-            jobs.join(","),
-            counters.to_json()
-        );
-    } else {
-        for o in &outcomes {
-            match &o.result {
-                Ok(r) => println!(
-                    "  [batch {}] {}: {} paths, coverage {:.4}, {} cycles broken{}",
-                    o.batch,
-                    o.name,
-                    r.quality.num_paths,
-                    r.quality.coverage,
-                    r.quality.cycles_broken,
-                    if o.cache_hit { " (cached)" } else { "" },
-                ),
-                Err(e) => println!("  [batch {}] {}: FAILED: {e}", o.batch, o.name),
-            }
-        }
-        println!(
-            "{} job(s) in {} batch(es): {} ok, {} failed; fused nnz {}, \
-             queue high-water {}, pool {}/{} hit/miss, cache {}/{} hit/miss",
-            outcomes.len(),
-            counters.batches_run,
-            outcomes.len() - failed,
-            failed,
-            counters.fused_nnz,
-            counters.queue_highwater,
-            counters.pool_hits,
-            counters.pool_misses,
-            counters.cache_hits,
-            counters.cache_misses,
-        );
-        if checked {
+                .map(|o| {
+                    let common = format!(
+                        "\"id\":{},\"name\":\"{}\",\"batch\":{},\"salt\":{},\
+                         \"cache_hit\":{},\"nnz\":{}",
+                        o.id,
+                        json::escape(&o.name),
+                        o.batch,
+                        o.salt,
+                        o.cache_hit,
+                        o.nnz,
+                    );
+                    match &o.result {
+                        Ok(r) => format!(
+                            "{{{common},\"ok\":true,\"paths\":{},\"coverage\":{},\
+                             \"cycles_broken\":{},\"mean_path_len\":{}}}",
+                            r.quality.num_paths,
+                            json::number(r.quality.coverage),
+                            r.quality.cycles_broken,
+                            json::number(r.quality.mean_path_len),
+                        ),
+                        Err(e) => format!(
+                            "{{{common},\"ok\":false,\"error\":\"{}\"}}",
+                            json::escape(&e.to_string())
+                        ),
+                    }
+                })
+                .collect();
             println!(
-                "check: {} audit violation(s) across scattered results",
-                counters.audit_violations
+                "{{\"jobs\":[{}],\"service\":{}}}",
+                jobs.join(","),
+                counters.to_json()
             );
-        }
-    }
-    failed == 0
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
-    if cmd == "help" || cmd == "--help" || cmd == "-h" {
-        usage();
-    }
-    let input = args.get(1).unwrap_or_else(|| usage());
-    // `lf postmortem` inspects or replays a bundle directory; it needs no
-    // device or input matrix of its own.
-    if cmd == "postmortem" {
-        exit(linear_forest::postmortem::run_postmortem(
-            input,
-            has_flag(&args, "--replay"),
-        ));
-    }
-    // Global --backend/--no-fuse flags: every launch in the process goes
-    // through this one device, so backend selection is a single point.
-    let backend_kind = match flag_val(&args, "--backend") {
-        None => BackendKind::Model,
-        Some(s) => BackendKind::parse(s).unwrap_or_else(|| {
-            eprintln!("unknown --backend value '{s}' (valid values: model, cpu)");
-            exit(2);
-        }),
-    };
-    let dev = Device::with_backend(
-        DeviceConfig::default(),
-        linear_forest::kernel::backend::make(backend_kind),
-    );
-    dev.set_fusion(!has_flag(&args, "--no-fuse"));
-    let rest = &args[2..];
-
-    // Global --trace flag: record the whole run through the device tracer.
-    let trace_path = flag_val(&args, "--trace").map(str::to_string);
-    let trace_sink = trace_path.as_deref().map(|_| {
-        let sink = Arc::new(RecordingSink::new());
-        dev.tracer().install(sink.clone());
-        sink
-    });
-    // Global --metrics flag: turn on the process-wide registry (otherwise
-    // every instrumentation site stays a single relaxed atomic load).
-    let metrics_path = flag_val(&args, "--metrics").map(str::to_string);
-    if metrics_path.is_some() {
-        linear_forest::metrics::enable();
-    }
-    // Global --check flag: audit pipeline invariants between stages.
-    let checked = has_flag(&args, "--check");
-
-    // Global --flight-dir flag: arm the always-on flight recorder and dump
-    // a postmortem bundle into DIR on any failure (pipeline error, audit
-    // violation, failed batch job, or panic).
-    let flight_dir = flag_val(&args, "--flight-dir").map(std::path::PathBuf::from);
-    if let Some(dir) = &flight_dir {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| fail(format!("cannot create flight dir {}: {e}", dir.display())));
-        linear_forest::flight::enable();
-        linear_forest::flight::set_bundle_dir(dir.clone());
-    }
-    // Global --inject-fault flag (checked pipelines only): corrupt one
-    // stage output to exercise the audit + postmortem path.
-    let fault = flag_val(&args, "--inject-fault").map(|s| {
-        linear_forest::postmortem::parse_fault(s).unwrap_or_else(|| {
-            eprintln!(
-                "unknown --inject-fault value '{s}' (valid values: \
-                 break-mutuality, corrupt-weight, swap-permutation)"
-            );
-            exit(2);
-        })
-    });
-    if flight_dir.is_some() {
-        linear_forest::flight::install_panic_hook(linear_forest::postmortem::effective_config(
-            cmd,
-            &dev,
-            None,
-            fault,
-            Some(input),
-        ));
-    }
-
-    // `lf check --suite` runs on generated inputs, no file to load.
-    if cmd == "check" && input == "--suite" {
-        let cases: usize = flag_val(rest, "--cases").and_then(|s| s.parse().ok()).unwrap_or(20);
-        let size: usize = flag_val(rest, "--size").and_then(|s| s.parse().ok()).unwrap_or(300);
-        let report = differential_suite(&dev, cases, size);
-        print!("{report}");
-        if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
-            write_trace(path, sink);
-        }
-        if let Some(path) = metrics_path.as_deref() {
-            write_metrics(path);
-        }
-        if !report.passed() {
-            exit(1);
-        }
-        return;
-    }
-
-    // `lf batch` takes a directory or input list, not a single matrix.
-    if cmd == "batch" {
-        let ok = run_batch(&dev, input, rest, checked);
-        if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
-            write_trace(path, sink);
-        }
-        if let Some(path) = metrics_path.as_deref() {
-            write_metrics(path);
-        }
-        if !ok {
-            exit(1);
-        }
-        return;
-    }
-
-    let a = load(input);
-
-    match cmd {
-        "stats" => {
-            if checked {
-                let v = linear_forest::check::audit::audit_input(&prepare_undirected(&a));
-                if !v.is_empty() {
-                    for x in &v {
-                        eprintln!("  {x}");
-                    }
-                    let msg = format!("{} input invariant violation(s)", v.len());
-                    fail_dump(&dev, "stats", input, Some(&a), None, fault, "audit", &msg, &msg);
+        } else {
+            for o in &outcomes {
+                match &o.result {
+                    Ok(r) => println!(
+                        "  [batch {}] {}: {} paths, coverage {:.4}, {} cycles broken{}",
+                        o.batch,
+                        o.name,
+                        r.quality.num_paths,
+                        r.quality.coverage,
+                        r.quality.cycles_broken,
+                        if o.cache_hit { " (cached)" } else { "" },
+                    ),
+                    Err(e) => println!("  [batch {}] {}: FAILED: {e}", o.batch, o.name),
                 }
-                eprintln!("check: prepared A' passes the input audit");
             }
-            let s = linear_forest::sparse::graph_stats(&a);
-            if has_flag(rest, "--json") {
+            println!(
+                "{} job(s) in {} batch(es): {} ok, {} failed; fused nnz {}, \
+                 queue high-water {}, pool {}/{} hit/miss, cache {}/{} hit/miss",
+                outcomes.len(),
+                counters.batches_run,
+                outcomes.len() - failed,
+                failed,
+                counters.fused_nnz,
+                counters.queue_highwater,
+                counters.pool_hits,
+                counters.pool_misses,
+                counters.cache_hits,
+                counters.cache_misses,
+            );
+            if checked {
                 println!(
-                    "{{\"input\":\"{}\",\"n\":{},\"nnz\":{},\"min_degree\":{},\
-                     \"max_degree\":{},\"mean_degree\":{},\"symmetric\":{},\
-                     \"pattern_symmetric\":{},\"bandwidth\":{},\
-                     \"min_weight\":{},\"max_weight\":{},\
-                     \"distinct_weights\":{},\"top_2n_weight_fraction\":{},\
-                     \"identity_coverage\":{},\"service\":{},\"metrics\":{}}}",
-                    json::escape(input),
-                    s.n,
-                    s.nnz,
-                    s.min_degree,
-                    s.max_degree,
-                    json::number(s.mean_degree),
-                    s.symmetric,
-                    s.pattern_symmetric,
-                    a.bandwidth(),
-                    json::number(s.min_weight),
-                    json::number(s.max_weight),
-                    s.distinct_weights,
-                    json::number(s.top_2n_weight_fraction),
-                    json::number(identity_coverage(&a)),
-                    // Batch-service queue/pool/cache counters: zeros in a
-                    // fresh process, live numbers when embedded in a
-                    // service (`lf batch --json` reports the same object).
-                    linear_forest::batch::counters().to_json(),
-                    // lf-metrics snapshot: empty families unless --metrics
-                    // (or an embedding process) enabled the registry.
-                    linear_forest::metrics::global().snapshot().to_json(),
+                    "check: {} audit violation(s) across scattered results",
+                    counters.audit_violations
                 );
-            } else {
-                println!("matrix: {input}");
-                println!("  N               = {}", s.n);
-                println!("  nnz             = {}", s.nnz);
-                println!("  degree          = {} .. {} (mean {:.2})", s.min_degree, s.max_degree, s.mean_degree);
-                println!("  symmetric       = {} (pattern: {})", s.symmetric, s.pattern_symmetric);
-                println!("  bandwidth       = {}", a.bandwidth());
-                println!("  |w| range       = {:.3e} .. {:.3e}", s.min_weight, s.max_weight);
-                println!("  distinct |w|    = {}{}", s.distinct_weights, if s.distinct_weights >= 1000 { "+" } else { "" });
-                println!("  top-2N weight   = {:.3} (upper bound on c_pi, n=2)", s.top_2n_weight_fraction);
-                println!("  c_id            = {:.4}", identity_coverage(&a));
-                if s.distinct_weights < 10 {
-                    println!("  note: heavily tied weights — expect charging (config 2) to matter");
-                }
             }
         }
-        "factor" => {
-            let n: usize = flag_val(rest, "-n").and_then(|s| s.parse().ok()).unwrap_or(2);
-            let cfg = parse_cfg(rest, n);
-            let ap = prepare_undirected(&a);
-            let out = try_parallel_factor(&dev, &ap, &cfg).unwrap_or_else(|e| {
-                let m = e.to_string();
-                fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
-            });
-            if let Err(msg) = out.factor.validate(&ap) {
-                let m = format!("factor invariants violated: {msg}");
-                fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
+        failed == 0
+    }
+
+    fn main() {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
+        if cmd == "help" || cmd == "--help" || cmd == "-h" {
+            usage();
+        }
+        let input = args.get(1).unwrap_or_else(|| usage());
+        // `lf postmortem` inspects or replays a bundle directory; it needs no
+        // device or input matrix of its own.
+        if cmd == "postmortem" {
+            exit(linear_forest::postmortem::run_postmortem(
+                input,
+                has_flag(&args, "--replay"),
+            ));
+        }
+        // Global --backend/--no-fuse flags: every launch in the process goes
+        // through this one device, so backend selection is a single point.
+        let backend_kind = match flag_val(&args, "--backend") {
+            None => BackendKind::Model,
+            Some(s) => BackendKind::parse(s).unwrap_or_else(|| {
+                eprintln!("unknown --backend value '{s}' (valid values: model, cpu)");
+                exit(2);
+            }),
+        };
+        let dev = Device::with_backend(
+            DeviceConfig::default(),
+            linear_forest::kernel::backend::make(backend_kind),
+        );
+        dev.set_fusion(!has_flag(&args, "--no-fuse"));
+        let rest = &args[2..];
+
+        // Global --trace flag: record the whole run through the device tracer.
+        let trace_path = flag_val(&args, "--trace").map(str::to_string);
+        let trace_sink = trace_path.as_deref().map(|_| {
+            let sink = Arc::new(RecordingSink::new());
+            dev.tracer().install(sink.clone());
+            sink
+        });
+        // Global --metrics flag: turn on the process-wide registry (otherwise
+        // every instrumentation site stays a single relaxed atomic load).
+        let metrics_path = flag_val(&args, "--metrics").map(str::to_string);
+        if metrics_path.is_some() {
+            linear_forest::metrics::enable();
+        }
+        // Global --check flag: audit pipeline invariants between stages.
+        let checked = has_flag(&args, "--check");
+
+        // Global --flight-dir flag: arm the always-on flight recorder and dump
+        // a postmortem bundle into DIR on any failure (pipeline error, audit
+        // violation, failed batch job, or panic).
+        let flight_dir = flag_val(&args, "--flight-dir").map(std::path::PathBuf::from);
+        if let Some(dir) = &flight_dir {
+            std::fs::create_dir_all(dir)
+                .unwrap_or_else(|e| fail(format!("cannot create flight dir {}: {e}", dir.display())));
+            linear_forest::flight::enable();
+            linear_forest::flight::set_bundle_dir(dir.clone());
+        }
+        // Global --inject-fault flag (checked pipelines only): corrupt one
+        // stage output to exercise the audit + postmortem path.
+        let fault = flag_val(&args, "--inject-fault").map(|s| {
+            linear_forest::postmortem::parse_fault(s).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown --inject-fault value '{s}' (valid values: \
+                     break-mutuality, corrupt-weight, swap-permutation)"
+                );
+                exit(2);
+            })
+        });
+        if flight_dir.is_some() {
+            linear_forest::flight::install_panic_hook(linear_forest::postmortem::effective_config(
+                cmd,
+                &dev,
+                None,
+                fault,
+                Some(input),
+            ));
+        }
+
+        // `lf check --suite` runs on generated inputs, no file to load.
+        if cmd == "check" && input == "--suite" {
+            let cases: usize = flag_val(rest, "--cases").and_then(|s| s.parse().ok()).unwrap_or(20);
+            let size: usize = flag_val(rest, "--size").and_then(|s| s.parse().ok()).unwrap_or(300);
+            let report = differential_suite(&dev, cases, size);
+            print!("{report}");
+            if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+                write_trace(path, sink);
             }
-            if checked {
-                let v = linear_forest::check::audit::audit_factor(&out.factor, &ap, n, out.maximal);
-                if !v.is_empty() {
-                    for x in &v {
-                        eprintln!("  {x}");
+            if let Some(path) = metrics_path.as_deref() {
+                write_metrics(path);
+            }
+            if !report.passed() {
+                exit(1);
+            }
+            return;
+        }
+
+        // `lf batch` takes a directory or input list, not a single matrix.
+        if cmd == "batch" {
+            let ok = run_batch(&dev, input, rest, checked);
+            if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+                write_trace(path, sink);
+            }
+            if let Some(path) = metrics_path.as_deref() {
+                write_metrics(path);
+            }
+            if !ok {
+                exit(1);
+            }
+            return;
+        }
+
+        let a = load(input);
+
+        match cmd {
+            "stats" => {
+                if checked {
+                    let v = linear_forest::check::audit::audit_input(&prepare_undirected(&a));
+                    if !v.is_empty() {
+                        for x in &v {
+                            eprintln!("  {x}");
+                        }
+                        let msg = format!("{} input invariant violation(s)", v.len());
+                        fail_dump(&dev, "stats", input, Some(&a), None, fault, "audit", &msg, &msg);
                     }
-                    let m = format!("{} factor invariant violation(s)", v.len());
+                    eprintln!("check: prepared A' passes the input audit");
+                }
+                let s = linear_forest::sparse::graph_stats(&a);
+                if has_flag(rest, "--json") {
+                    println!(
+                        "{{\"input\":\"{}\",\"n\":{},\"nnz\":{},\"min_degree\":{},\
+                         \"max_degree\":{},\"mean_degree\":{},\"symmetric\":{},\
+                         \"pattern_symmetric\":{},\"bandwidth\":{},\
+                         \"min_weight\":{},\"max_weight\":{},\
+                         \"distinct_weights\":{},\"nan_weights\":{},\
+                         \"top_2n_weight_fraction\":{},\
+                         \"identity_coverage\":{},\"service\":{},\"metrics\":{}}}",
+                        json::escape(input),
+                        s.n,
+                        s.nnz,
+                        s.min_degree,
+                        s.max_degree,
+                        json::number(s.mean_degree),
+                        s.symmetric,
+                        s.pattern_symmetric,
+                        a.bandwidth(),
+                        json::number(s.min_weight),
+                        json::number(s.max_weight),
+                        s.distinct_weights,
+                        s.nan_weights,
+                        json::number(s.top_2n_weight_fraction),
+                        json::number(identity_coverage(&a)),
+                        // Batch-service queue/pool/cache counters: zeros in a
+                        // fresh process, live numbers when embedded in a
+                        // service (`lf batch --json` reports the same object).
+                        linear_forest::batch::counters().to_json(),
+                        // lf-metrics snapshot: empty families unless --metrics
+                        // (or an embedding process) enabled the registry.
+                        linear_forest::metrics::global().snapshot().to_json(),
+                    );
+                } else {
+                    println!("matrix: {input}");
+                    println!("  N               = {}", s.n);
+                    println!("  nnz             = {}", s.nnz);
+                    println!("  degree          = {} .. {} (mean {:.2})", s.min_degree, s.max_degree, s.mean_degree);
+                    println!("  symmetric       = {} (pattern: {})", s.symmetric, s.pattern_symmetric);
+                    println!("  bandwidth       = {}", a.bandwidth());
+                    println!("  |w| range       = {:.3e} .. {:.3e}", s.min_weight, s.max_weight);
+                    println!("  distinct |w|    = {}{}", s.distinct_weights, if s.distinct_weights >= 1000 { "+" } else { "" });
+                    if s.nan_weights > 0 {
+                        println!("  NaN weights     = {} (excluded from |w| stats; extraction will reject this input)", s.nan_weights);
+                    }
+                    println!("  top-2N weight   = {:.3} (upper bound on c_pi, n=2)", s.top_2n_weight_fraction);
+                    println!("  c_id            = {:.4}", identity_coverage(&a));
+                    if s.distinct_weights < 10 {
+                        println!("  note: heavily tied weights — expect charging (config 2) to matter");
+                    }
+                }
+            }
+            "factor" => {
+                let n: usize = flag_val(rest, "-n").and_then(|s| s.parse().ok()).unwrap_or(2);
+                let cfg = parse_cfg(rest, n);
+                let ap = prepare_undirected(&a);
+                let out = try_parallel_factor(&dev, &ap, &cfg).unwrap_or_else(|e| {
+                    let m = e.to_string();
+                    fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                });
+                if let Err(msg) = out.factor.validate(&ap) {
+                    let m = format!("factor invariants violated: {msg}");
                     fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
                 }
-                eprintln!("check: factor passes mutuality/degree/weight/maximality audits");
-            }
-            println!(
-                "[0,{n}]-factor: {} edges, coverage c_pi = {:.4}, \
-                 {} iterations, maximal = {}",
-                out.factor.edges().len(),
-                weight_coverage(&out.factor, &a),
-                out.iterations,
-                out.maximal
-            );
-        }
-        "forest" => {
-            let cfg = parse_cfg(rest, 2);
-            let ap = prepare_undirected(&a);
-            let (forest, timings) = if checked {
-                let (forest, timings, report) =
-                    extract_linear_forest_checked(&dev, &ap, &cfg, &CheckOptions { fault })
-                        .unwrap_or_else(|e| {
-                            let m = linear_forest::postmortem::check_error_message(&e);
-                            let k = linear_forest::postmortem::check_error_kind(&e);
-                            fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, k, &m, &e)
-                        });
-                eprintln!("check: {report}");
-                (forest, timings)
-            } else {
-                extract_linear_forest(&dev, &ap, &cfg).unwrap_or_else(|e| {
-                    let m = e.to_string();
-                    fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
-                })
-            };
-            let q = forest.quality_report(&a, None);
-            println!(
-                "linear forest: {} paths (mean len {:.1}, max {}), {} cycles \
-                 broken, coverage {:.4} (c_id {:.4}), setup {:.3} ms model / \
-                 {:.3} ms wall",
-                q.num_paths,
-                q.mean_path_len,
-                q.max_path_len,
-                q.cycles_broken,
-                q.coverage,
-                q.identity_coverage,
-                timings.total_model_s() * 1e3,
-                timings.total_wall_s() * 1e3,
-            );
-            if has_flag(rest, "--paths") {
-                for p in forest.paths.to_paths().iter().take(50) {
-                    let ids: Vec<String> = p.iter().map(|v| v.to_string()).collect();
-                    println!("  {}", ids.join("-"));
+                if checked {
+                    let v = linear_forest::check::audit::audit_factor(&out.factor, &ap, n, out.maximal);
+                    if !v.is_empty() {
+                        for x in &v {
+                            eprintln!("  {x}");
+                        }
+                        let m = format!("{} factor invariant violation(s)", v.len());
+                        fail_dump(&dev, "factor", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
+                    }
+                    eprintln!("check: factor passes mutuality/degree/weight/maximality audits");
                 }
-            }
-            if let Some(path) = flag_val(rest, "--perm") {
-                let mut f = std::io::BufWriter::new(
-                    std::fs::File::create(path)
-                        .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}"))),
+                println!(
+                    "[0,{n}]-factor: {} edges, coverage c_pi = {:.4}, \
+                     {} iterations, maximal = {}",
+                    out.factor.edges().len(),
+                    weight_coverage(&out.factor, &a),
+                    out.iterations,
+                    out.maximal
                 );
-                for &v in &forest.perm {
-                    writeln!(f, "{v}").unwrap();
+            }
+            "forest" => {
+                let cfg = parse_cfg(rest, 2);
+                let ap = prepare_undirected(&a);
+                let shards: usize = flag_val(rest, "--shards")
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(1);
+                if shards > 1 {
+                    use linear_forest::check::audit::{
+                        audit_factor, audit_input, audit_paths, audit_permutation,
+                    };
+                    use linear_forest::shard::{extract_sharded, ShardConfig};
+                    let (forest, rep) = extract_sharded(&dev, &ap, &cfg, &ShardConfig::new(shards))
+                        .unwrap_or_else(|e| {
+                            let m = e.to_string();
+                            fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                        });
+                    if checked {
+                        let mut v = audit_input(&ap);
+                        v.extend(audit_factor(&forest.factor, &ap, 2, rep.maximal));
+                        v.extend(audit_paths(&forest.factor, &forest.paths));
+                        v.extend(audit_permutation(&forest.factor, &forest.paths, &forest.perm));
+                        if !v.is_empty() {
+                            for x in &v {
+                                eprintln!("  {x}");
+                            }
+                            let m = format!("{} stage-audit violation(s) on the sharded forest", v.len());
+                            fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
+                        }
+                        eprintln!("check: sharded forest passes the stage audits");
+                    }
+                    let q = forest.quality_report(&a, None);
+                    println!(
+                        "linear forest ({} shards): {} paths (mean len {:.1}, max {}), \
+                         {} cycles broken, coverage {:.4} (c_id {:.4}), cut {} edges, \
+                         {} reconcile rounds, critical path {:.3} ms model",
+                        rep.shards,
+                        q.num_paths,
+                        q.mean_path_len,
+                        q.max_path_len,
+                        q.cycles_broken,
+                        q.coverage,
+                        q.identity_coverage,
+                        rep.cut_edges,
+                        rep.reconcile.rounds,
+                        rep.critical_path_model_s() * 1e3,
+                    );
+                    if has_flag(rest, "--paths") {
+                        for p in forest.paths.to_paths().iter().take(50) {
+                            let ids: Vec<String> = p.iter().map(|v| v.to_string()).collect();
+                            println!("  {}", ids.join("-"));
+                        }
+                    }
+                    if let Some(path) = flag_val(rest, "--perm") {
+                        let mut f = std::io::BufWriter::new(
+                            std::fs::File::create(path)
+                                .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}"))),
+                        );
+                        for &v in &forest.perm {
+                            writeln!(f, "{v}").unwrap();
+                        }
+                        println!("permutation written to {path}");
+                    }
+                } else {
+                let (forest, timings) = if checked {
+                    let (forest, timings, report) =
+                        extract_linear_forest_checked(&dev, &ap, &cfg, &CheckOptions { fault })
+                            .unwrap_or_else(|e| {
+                                let m = linear_forest::postmortem::check_error_message(&e);
+                                let k = linear_forest::postmortem::check_error_kind(&e);
+                                fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, k, &m, &e)
+                            });
+                    eprintln!("check: {report}");
+                    (forest, timings)
+                } else {
+                    extract_linear_forest(&dev, &ap, &cfg).unwrap_or_else(|e| {
+                        let m = e.to_string();
+                        fail_dump(&dev, "forest", input, Some(&a), Some(&cfg), fault, "pipeline", &m, &m)
+                    })
+                };
+                let q = forest.quality_report(&a, None);
+                println!(
+                    "linear forest: {} paths (mean len {:.1}, max {}), {} cycles \
+                     broken, coverage {:.4} (c_id {:.4}), setup {:.3} ms model / \
+                     {:.3} ms wall",
+                    q.num_paths,
+                    q.mean_path_len,
+                    q.max_path_len,
+                    q.cycles_broken,
+                    q.coverage,
+                    q.identity_coverage,
+                    timings.total_model_s() * 1e3,
+                    timings.total_wall_s() * 1e3,
+                );
+                if has_flag(rest, "--paths") {
+                    for p in forest.paths.to_paths().iter().take(50) {
+                        let ids: Vec<String> = p.iter().map(|v| v.to_string()).collect();
+                        println!("  {}", ids.join("-"));
+                    }
                 }
-                println!("permutation written to {path}");
+                if let Some(path) = flag_val(rest, "--perm") {
+                    let mut f = std::io::BufWriter::new(
+                        std::fs::File::create(path)
+                            .unwrap_or_else(|e| fail(format!("cannot create {path}: {e}"))),
+                    );
+                    for &v in &forest.perm {
+                        writeln!(f, "{v}").unwrap();
+                    }
+                    println!("permutation written to {path}");
+                }
             }
         }
         "tridiag" => {
@@ -750,6 +819,70 @@ fn main() {
                 weight_coverage(&forest.factor, &a),
                 timings.total_model_s() * 1e3,
             );
+        }
+        "shard" => {
+            use linear_forest::shard::check::{differential_shard_case, MIN_SHARD_QUALITY_RATIO};
+            let shards: usize = flag_val(rest, "--shards")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(4);
+            let cfg = parse_cfg(rest, 2);
+            let case = differential_shard_case(&dev, input, &a, &cfg, shards);
+            if has_flag(rest, "--json") {
+                println!(
+                    "{{\"input\":\"{}\",\"n\":{},\"shards\":{},\"cut_edges\":{},\
+                     \"rounds\":{},\"whole_coverage\":{},\"sharded_coverage\":{},\
+                     \"quality_ratio\":{},\"quality_bound\":{},\"bit_identical\":{},\
+                     \"violations\":{},\"passed\":{}}}",
+                    json::escape(input),
+                    case.n,
+                    case.shards,
+                    case.cut_edges,
+                    case.rounds,
+                    json::number(case.whole_coverage),
+                    json::number(case.sharded_coverage),
+                    json::number(case.quality_ratio()),
+                    json::number(MIN_SHARD_QUALITY_RATIO),
+                    case.bit_identical,
+                    case.violations.len(),
+                    case.passed(),
+                );
+            } else {
+                println!(
+                    "sharded vs whole-graph on {input} (N = {}, K = {}):",
+                    case.n, case.shards
+                );
+                println!(
+                    "  cut {} edges, {} reconcile rounds",
+                    case.cut_edges, case.rounds
+                );
+                println!(
+                    "  coverage {:.4} sharded / {:.4} whole (ratio {:.4}, bound {MIN_SHARD_QUALITY_RATIO})",
+                    case.sharded_coverage,
+                    case.whole_coverage,
+                    case.quality_ratio(),
+                );
+                if case.shards == 1 {
+                    println!(
+                        "  K = 1 bit-identical: {}",
+                        if case.bit_identical { "yes" } else { "NO (bug)" }
+                    );
+                }
+                for v in &case.violations {
+                    eprintln!("  violation: {v}");
+                }
+            }
+            if !case.passed() {
+                let m = if case.violations.is_empty() {
+                    format!(
+                        "sharded quality ratio {:.4} below bound {MIN_SHARD_QUALITY_RATIO} \
+                         (or K=1 divergence)",
+                        case.quality_ratio()
+                    )
+                } else {
+                    format!("{} stage-audit violation(s) on the sharded forest", case.violations.len())
+                };
+                fail_dump(&dev, "shard", input, Some(&a), Some(&cfg), fault, "audit", &m, &m);
+            }
         }
         _ => usage(),
     }

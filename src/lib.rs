@@ -24,6 +24,7 @@
 //! | [`solver`] | BiCGStab/CG, tridiagonal & 2×2 block solves, preconditioners |
 //! | [`check`] | stage invariant audits, checked pipeline, differential oracles |
 //! | [`batch`] | block-diagonal multi-graph fusion, job scheduler, workspace/CSR pools |
+//! | [`shard`] | BFS-band partitioning, per-block factor runs, boundary reconciliation |
 //! | [`metrics`] | process-wide counters/gauges/histograms, Prometheus & JSON exposition |
 //! | [`flight`] | always-on flight recorder, postmortem bundles, bit-exact replay |
 //!
@@ -64,6 +65,7 @@ pub use lf_flight as flight;
 pub use lf_kernel as kernel;
 pub use lf_kernel::trace;
 pub use lf_metrics as metrics;
+pub use lf_shard as shard;
 pub use lf_solver as solver;
 pub use lf_sparse as sparse;
 
