@@ -14,6 +14,8 @@ pub struct CsrCache {
     /// Most-recently-used last; tiny capacities make a Vec the right
     /// structure (no hashing, no pointer chasing).
     entries: Vec<(u64, Arc<Csr<f64>>)>,
+    hits: u64,
+    misses: u64,
 }
 
 impl CsrCache {
@@ -22,6 +24,8 @@ impl CsrCache {
         Self {
             capacity,
             entries: Vec::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -32,10 +36,12 @@ impl CsrCache {
                 let e = self.entries.remove(i);
                 let v = e.1.clone();
                 self.entries.push(e);
+                self.hits += 1;
                 crate::stats::cache_hit();
                 Some(v)
             }
             None => {
+                self.misses += 1;
                 crate::stats::cache_miss();
                 None
             }
@@ -65,6 +71,23 @@ impl CsrCache {
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups served by this cache instance (the process-wide counter in
+    /// [`crate::stats`] aggregates across instances; worker shards report
+    /// these per-instance numbers so per-shard effectiveness is visible).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups this cache instance missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 

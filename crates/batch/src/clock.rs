@@ -1,0 +1,126 @@
+//! Time sources for the scheduler.
+//!
+//! The deadline rule in [`crate::ExtractionService`] needs a notion of
+//! "now", but the service itself must stay a deterministic state machine:
+//! `repro gate` and the lf-batch tests drive it with explicit instants and
+//! expect bit-stable output. The [`Clock`] trait separates the two uses:
+//!
+//! * [`MonotonicClock`] reads [`Instant::now`] — the real-time source for
+//!   the long-running serve path, where deadline-aware batch closing has
+//!   to fire without anyone handing the scheduler a timestamp.
+//! * [`ModelClock`] is a manually advanced counter over a fixed base
+//!   instant — deterministic mode. Two runs that advance it identically
+//!   observe identical times, so batch formation (and therefore fusion
+//!   order, salts, and every downstream bit) replays exactly.
+//!
+//! The synchronous entry points ([`crate::ExtractionService::submit`],
+//! [`crate::ExtractionService::poll`]) still take an explicit `Instant`
+//! and never consult the clock, so existing deterministic callers are
+//! byte-for-byte unaffected; the clocked convenience methods
+//! (`submit_now`/`poll_now`) are the only readers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic time source the scheduler can poll.
+pub trait Clock: Send + Sync {
+    /// The current instant. Must be monotonic per clock instance.
+    fn now(&self) -> Instant;
+}
+
+/// Real time: every call reads [`Instant::now`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MonotonicClock;
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// Deterministic model time: a nanosecond offset over a base instant,
+/// advanced explicitly. Reads never observe real time passing.
+#[derive(Debug)]
+pub struct ModelClock {
+    base: Instant,
+    offset_ns: AtomicU64,
+}
+
+impl Default for ModelClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelClock {
+    /// A model clock at offset zero. The base instant is captured once at
+    /// construction; only the offset ever changes.
+    pub fn new() -> Self {
+        Self {
+            base: Instant::now(),
+            offset_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Advance model time by `d`.
+    pub fn advance(&self, d: Duration) {
+        self.advance_ns(d.as_nanos() as u64);
+    }
+
+    /// Advance model time by `ns` nanoseconds.
+    pub fn advance_ns(&self, ns: u64) {
+        self.offset_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Nanoseconds of model time elapsed since construction.
+    pub fn elapsed_ns(&self) -> u64 {
+        self.offset_ns.load(Ordering::Relaxed)
+    }
+
+    /// A shared handle, for handing one clock to a service and a driver.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+}
+
+impl Clock for ModelClock {
+    fn now(&self) -> Instant {
+        self.base + Duration::from_nanos(self.offset_ns.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_clock_advances_only_on_demand() {
+        let c = ModelClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert_eq!(a, b, "model time must not move between reads");
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now() - a, Duration::from_millis(5));
+        c.advance_ns(1_000);
+        assert_eq!(c.elapsed_ns(), 5_000_000 + 1_000);
+    }
+
+    #[test]
+    fn model_clock_is_shareable_across_threads() {
+        let c = ModelClock::shared();
+        let t = {
+            let c = Arc::clone(&c);
+            std::thread::spawn(move || c.advance(Duration::from_secs(1)))
+        };
+        t.join().unwrap();
+        assert_eq!(c.elapsed_ns(), 1_000_000_000);
+    }
+
+    #[test]
+    fn monotonic_clock_moves_forward() {
+        let c = MonotonicClock;
+        let a = c.now();
+        assert!(c.now() >= a);
+    }
+}

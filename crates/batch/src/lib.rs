@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod clock;
 pub mod fuse;
 pub mod hash;
 pub mod pool;
@@ -33,10 +34,11 @@ pub mod scheduler;
 pub mod stats;
 
 pub use cache::CsrCache;
+pub use clock::{Clock, ModelClock, MonotonicClock};
 pub use fuse::{scatter_forests, FusedBatch};
 pub use hash::{content_hash, salt_from_hash};
 pub use pool::{BatchWorkspace, WorkspacePool};
 pub use scheduler::{
-    BatchConfig, ExtractionService, JobError, JobOutcome, JobResult, SubmitError,
+    BatchConfig, ExtractionService, JobError, JobOutcome, JobResult, SaltPolicy, SubmitError,
 };
 pub use stats::{counters, reset_stats, ServiceCounters};

@@ -24,6 +24,8 @@ pub struct BatchWorkspace {
 pub struct WorkspacePool {
     capacity: usize,
     free: Vec<BatchWorkspace>,
+    hits: u64,
+    misses: u64,
 }
 
 impl WorkspacePool {
@@ -32,6 +34,8 @@ impl WorkspacePool {
         Self {
             capacity,
             free: Vec::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -39,10 +43,12 @@ impl WorkspacePool {
     pub fn acquire(&mut self) -> BatchWorkspace {
         match self.free.pop() {
             Some(ws) => {
+                self.hits += 1;
                 crate::stats::pool_hit();
                 ws
             }
             None => {
+                self.misses += 1;
                 crate::stats::pool_miss();
                 BatchWorkspace::default()
             }
@@ -64,6 +70,16 @@ impl WorkspacePool {
     /// Retention capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Checkouts this pool instance served from its free list.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Checkouts this pool instance satisfied by allocating fresh.
+    pub fn misses(&self) -> u64 {
+        self.misses
     }
 }
 

@@ -16,6 +16,7 @@
 //! culpable graph carries the error.
 
 use crate::cache::CsrCache;
+use crate::clock::{Clock, MonotonicClock};
 use crate::fuse::{scatter_forests, FusedBatch};
 use crate::hash::{content_hash, salt_from_hash};
 use crate::pool::WorkspacePool;
@@ -32,6 +33,24 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// How the service assigns per-job charge salts (see [`crate::fuse`] for
+/// why salts exist at all).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SaltPolicy {
+    /// Content-derived salt per graph ([`salt_from_hash`]): fused results
+    /// are bit-identical to solo runs *under the same salt*, and distinct
+    /// graphs get decorrelated tie-breaks. The service default.
+    #[default]
+    Content,
+    /// Salt 0 for every job. `salted_key(v, 0) == v`, so results are
+    /// bit-identical to a plain unsalted solo extraction (`lf forest`) —
+    /// the mode the HTTP serve path uses so a POSTed graph returns exactly
+    /// what the one-shot CLI would print. The fusion determinism argument
+    /// is salt-agnostic (blocks of the disjoint union never interact), so
+    /// batching remains exact.
+    Solo,
+}
+
 /// Service configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BatchConfig {
@@ -47,9 +66,11 @@ pub struct BatchConfig {
     /// even if the budget is not met.
     pub deadline: Duration,
     /// Factor configuration for every extraction; `n` must be 2. The
-    /// per-graph charge salt is managed by the service (content-derived),
-    /// so `charge_salt` here is ignored.
+    /// per-graph charge salt is managed by the service (see
+    /// [`BatchConfig::salt_policy`]), so `charge_salt` here is ignored.
     pub factor: FactorConfig,
+    /// How per-job charge salts are assigned.
+    pub salt_policy: SaltPolicy,
     /// Audit every scattered result with lf-check stage audits; failures
     /// become [`JobError::Audit`] on the affected job.
     pub check: bool,
@@ -70,6 +91,7 @@ impl Default for BatchConfig {
             // early drop out of the proposition traffic instead of being
             // re-scanned until the slowest block converges.
             factor: FactorConfig::paper_default(2).with_frontier(true),
+            salt_policy: SaltPolicy::Content,
             check: false,
             pool_capacity: 4,
             cache_capacity: 64,
@@ -85,6 +107,22 @@ pub enum SubmitError {
         /// The configured queue capacity.
         capacity: usize,
     },
+    /// The submitting tenant's bounded admission queue is at capacity
+    /// (other tenants may still be admitted). Raised by the serve-layer
+    /// admission controller, not the core scheduler.
+    TenantQueueFull {
+        /// The tenant whose queue is full.
+        tenant: String,
+        /// That tenant's configured queue capacity.
+        capacity: usize,
+    },
+    /// The service is shedding load and this tenant's priority class is
+    /// being refused outright (lowest priority sheds first). Retry later
+    /// or with a higher-priority tenant.
+    Shedding {
+        /// The tenant being shed.
+        tenant: String,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -92,6 +130,12 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { capacity } => {
                 write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::TenantQueueFull { tenant, capacity } => {
+                write!(f, "tenant '{tenant}' queue full (capacity {capacity})")
+            }
+            SubmitError::Shedding { tenant } => {
+                write!(f, "overloaded: shedding tenant '{tenant}'")
             }
         }
     }
@@ -160,7 +204,8 @@ pub struct JobOutcome {
     pub id: u64,
     /// Caller-supplied job name.
     pub name: String,
-    /// Content-derived charge salt the extraction ran under.
+    /// Charge salt the extraction ran under (content-derived, or 0 under
+    /// [`SaltPolicy::Solo`]).
     pub salt: u32,
     /// Whether the prepared graph came from the LRU cache.
     pub cache_hit: bool,
@@ -231,6 +276,7 @@ pub struct ExtractionService {
     queue: VecDeque<Job>,
     pool: WorkspacePool,
     cache: CsrCache,
+    clock: Arc<dyn Clock>,
     next_id: u64,
     batch_seq: u64,
 }
@@ -244,6 +290,19 @@ impl ExtractionService {
     /// forests are [0,2]-factors, and rejecting the configuration here is
     /// cheaper than failing every job.
     pub fn new(cfg: BatchConfig) -> Result<Self, PipelineError> {
+        Self::with_clock(cfg, Arc::new(MonotonicClock))
+    }
+
+    /// Create a service reading "now" from `clock` when driven through the
+    /// clocked entry points ([`Self::submit_now`], [`Self::poll_now`]).
+    /// The explicit-instant methods never consult the clock, so a service
+    /// driven synchronously behaves identically whatever clock it holds.
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::NotPathFactor`] when `cfg.factor.n != 2` (see
+    /// [`Self::new`]).
+    pub fn with_clock(cfg: BatchConfig, clock: Arc<dyn Clock>) -> Result<Self, PipelineError> {
         if cfg.factor.n != 2 {
             return Err(PipelineError::NotPathFactor { n: cfg.factor.n });
         }
@@ -251,6 +310,7 @@ impl ExtractionService {
             queue: VecDeque::new(),
             pool: WorkspacePool::new(cfg.pool_capacity),
             cache: CsrCache::new(cfg.cache_capacity),
+            clock,
             next_id: 0,
             batch_seq: 0,
             cfg,
@@ -260,6 +320,11 @@ impl ExtractionService {
     /// Service configuration.
     pub fn config(&self) -> &BatchConfig {
         &self.cfg
+    }
+
+    /// The service's time source (only the `*_now` entry points read it).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Number of queued jobs.
@@ -289,7 +354,10 @@ impl ExtractionService {
             });
         }
         let hash = content_hash(&a);
-        let salt = salt_from_hash(hash);
+        let salt = match self.cfg.salt_policy {
+            SaltPolicy::Content => salt_from_hash(hash),
+            SaltPolicy::Solo => 0,
+        };
         let a = Arc::new(a);
         let mut cache_hit = false;
         let prepared = if a.nrows() != a.ncols() {
@@ -368,18 +436,35 @@ impl ExtractionService {
         while let Some(reason) = self.close_reason(now) {
             record_close(reason);
             let jobs = self.form_batch();
-            out.extend(self.run_batch(dev, jobs));
+            out.extend(self.run_batch(dev, jobs, now));
         }
         out
     }
 
+    /// [`Self::submit`] at the service clock's current time.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::submit`].
+    pub fn submit_now(&mut self, name: impl Into<String>, a: Csr<f64>) -> Result<u64, SubmitError> {
+        let now = self.clock.now();
+        self.submit(name, a, now)
+    }
+
+    /// [`Self::poll`] at the service clock's current time.
+    pub fn poll_now(&mut self, dev: &Device) -> Vec<JobOutcome> {
+        let now = self.clock.now();
+        self.poll(dev, now)
+    }
+
     /// Flush the queue completely, deadline or not.
     pub fn drain(&mut self, dev: &Device) -> Vec<JobOutcome> {
+        let now = self.clock.now();
         let mut out = Vec::new();
         while !self.queue.is_empty() {
             record_close("drain");
             let jobs = self.form_batch();
-            out.extend(self.run_batch(dev, jobs));
+            out.extend(self.run_batch(dev, jobs, now));
         }
         out
     }
@@ -403,7 +488,7 @@ impl ExtractionService {
         batch
     }
 
-    fn run_batch(&mut self, dev: &Device, jobs: Vec<Job>) -> Vec<JobOutcome> {
+    fn run_batch(&mut self, dev: &Device, jobs: Vec<Job>, now: Instant) -> Vec<JobOutcome> {
         self.batch_seq += 1;
         let batch = self.batch_seq;
         let tracer = dev.tracer().clone();
@@ -419,12 +504,12 @@ impl ExtractionService {
         for j in jobs {
             if let Err(e) = &j.prepared {
                 let err = JobError::Pipeline(e.clone());
-                outcomes.push(finish(j, batch, Err(err)));
+                outcomes.push(finish(j, batch, Err(err), now));
                 continue;
             }
             match j.resolve_prepared() {
                 Ok(p) => ready.push((j, p)),
-                Err(e) => outcomes.push(finish(j, batch, Err(e))),
+                Err(e) => outcomes.push(finish(j, batch, Err(e), now)),
             }
         }
 
@@ -445,7 +530,7 @@ impl ExtractionService {
                         UnionError::SizeOverflow { part } => part,
                     };
                     let (j, _) = ready.remove(at);
-                    outcomes.push(finish(j, batch, Err(JobError::Union(e))));
+                    outcomes.push(finish(j, batch, Err(JobError::Union(e)), now));
                 }
             }
         };
@@ -493,7 +578,7 @@ impl ExtractionService {
             Ok((forest, _timings)) => {
                 let scattered = scatter_forests(&forest, &fused.offsets);
                 for ((j, p), f) in ready.into_iter().zip(scattered) {
-                    outcomes.push(self.finish_extracted(j, &p, batch, f));
+                    outcomes.push(self.finish_extracted(j, &p, batch, f, now));
                 }
             }
             Err(fused_err) => {
@@ -506,10 +591,10 @@ impl ExtractionService {
                     match extract_linear_forest_with(dev, &prepared, &cfg, None, &mut ws.factor)
                     {
                         Ok((forest, _)) => {
-                            outcomes.push(self.finish_extracted(j, &prepared, batch, forest))
+                            outcomes.push(self.finish_extracted(j, &prepared, batch, forest, now))
                         }
                         Err(e) => {
-                            outcomes.push(finish(j, batch, Err(JobError::Pipeline(e))))
+                            outcomes.push(finish(j, batch, Err(JobError::Pipeline(e)), now))
                         }
                     }
                 }
@@ -528,6 +613,7 @@ impl ExtractionService {
         prepared: &Csr<f64>,
         batch: u64,
         forest: LinearForest<f64>,
+        now: Instant,
     ) -> JobOutcome {
         if self.cfg.check {
             let mut violations = audit_input(prepared);
@@ -539,11 +625,83 @@ impl ExtractionService {
             violations.extend(audit_permutation(&forest.factor, &forest.paths, &forest.perm));
             if !violations.is_empty() {
                 stats::audit_violations(violations.len());
-                return finish(j, batch, Err(JobError::Audit { violations }));
+                return finish(j, batch, Err(JobError::Audit { violations }), now);
             }
         }
         let quality = forest.quality_report(&j.a, None);
-        finish(j, batch, Ok(JobResult { forest, quality }))
+        finish(j, batch, Ok(JobResult { forest, quality }), now)
+    }
+
+    /// Publish this service's workspace-pool and prepared-graph-cache
+    /// occupancy as `shard`-labeled gauges in the lf-metrics registry.
+    /// Worker shards call it after each scheduling step so cache
+    /// effectiveness under multi-tenant traffic is visible per shard on
+    /// the Prometheus surface.
+    pub fn publish_occupancy(&self, shard: &str) {
+        if !lf_metrics::enabled() {
+            return;
+        }
+        let m = lf_metrics::global();
+        let series: [(&str, &str, f64); 6] = [
+            (
+                "lf_batch_pool_idle",
+                "Idle workspaces pooled, per worker shard.",
+                self.pool.idle() as f64,
+            ),
+            (
+                "lf_batch_pool_occupancy",
+                "Fraction of pool slots holding a warm workspace, per worker shard.",
+                if self.pool.capacity() == 0 {
+                    0.0
+                } else {
+                    self.pool.idle() as f64 / self.pool.capacity() as f64
+                },
+            ),
+            (
+                "lf_batch_shard_pool_hits",
+                "Workspace checkouts served from the pool, per worker shard.",
+                self.pool.hits() as f64,
+            ),
+            (
+                "lf_batch_shard_cache_entries",
+                "Prepared graphs resident in the LRU cache, per worker shard.",
+                self.cache.len() as f64,
+            ),
+            (
+                "lf_batch_shard_cache_hits",
+                "Prepared-graph cache hits, per worker shard.",
+                self.cache.hits() as f64,
+            ),
+            (
+                "lf_batch_shard_cache_misses",
+                "Prepared-graph cache misses, per worker shard.",
+                self.cache.misses() as f64,
+            ),
+        ];
+        for (name, help, v) in series {
+            m.gauge_with(name, help, ("shard", shard)).set(v);
+        }
+    }
+
+    /// Point-in-time pool/cache occupancy of this service instance, as a
+    /// JSON object (the per-shard view `lf stats --json` and
+    /// `lf batch --json` embed next to the process-wide counters).
+    pub fn occupancy_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"pool_idle\":{},\"pool_capacity\":{},\"pool_hits\":{},",
+                "\"pool_misses\":{},\"cache_entries\":{},\"cache_capacity\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{}}}"
+            ),
+            self.pool.idle(),
+            self.pool.capacity(),
+            self.pool.hits(),
+            self.pool.misses(),
+            self.cache.len(),
+            self.cache.capacity(),
+            self.cache.hits(),
+            self.cache.misses(),
+        )
     }
 }
 
@@ -589,7 +747,7 @@ fn validate_finite(p: Csr<f64>) -> Result<Csr<f64>, PipelineError> {
     Ok(p)
 }
 
-fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome {
+fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>, now: Instant) -> JobOutcome {
     match &result {
         Ok(_) => stats::completed(),
         Err(_) => stats::failed(),
@@ -629,12 +787,15 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>) -> JobOutcome
             ("outcome", outcome),
         )
         .inc();
+        // Latency is measured against the scheduling clock's "now", not
+        // wall time, so model-clock runs observe deterministic waits.
+        let waited = now.saturating_duration_since(j.submitted_at);
         m.histogram(
             "lf_batch_job_seconds",
             "Submit-to-outcome latency per job.",
             lf_metrics::Unit::Nanos,
         )
-        .record_f64(j.submitted_at.elapsed().as_nanos() as f64);
+        .record_f64(waited.as_nanos() as f64);
     }
     let nnz = j.nnz();
     JobOutcome {
@@ -886,6 +1047,116 @@ mod tests {
             .any(|x| x.label.as_deref() == Some("drain")));
         for n in ["lf_batch_queue_depth", "lf_batch_jobs_per_batch", "lf_batch_job_seconds"] {
             assert!(family(n).is_some(), "missing family {n}");
+        }
+    }
+
+    #[test]
+    fn model_clock_drives_deadline_closing() {
+        // The latent issue this PR fixes: deadline-aware closing had no
+        // real-time source. Under a ModelClock the clocked entry points
+        // observe exactly the advanced model time — nothing runs before
+        // the deadline, everything runs after, with no wall-clock races.
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let clock = crate::clock::ModelClock::shared();
+        let mut s = ExtractionService::with_clock(
+            BatchConfig {
+                deadline: Duration::from_millis(50),
+                ..BatchConfig::default()
+            },
+            clock.clone(),
+        )
+        .unwrap();
+        s.submit_now("j", random_symmetric(25, 2.0, 0.1, 1.0, 11)).unwrap();
+        clock.advance(Duration::from_millis(49));
+        assert!(s.poll_now(&dev).is_empty(), "deadline not reached yet");
+        clock.advance(Duration::from_millis(1));
+        let out = s.poll_now(&dev);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].result.is_ok());
+    }
+
+    #[test]
+    fn solo_salt_policy_matches_unsalted_solo_run() {
+        // SaltPolicy::Solo pins every job's salt to 0; salted_key(v, 0)
+        // is the identity, so a fused batch result must be bit-identical
+        // to a plain (unsalted) solo extraction — the guarantee the HTTP
+        // serve path relies on for POST-vs-CLI bit-equality.
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig {
+            salt_policy: SaltPolicy::Solo,
+            ..BatchConfig::default()
+        });
+        let graphs: Vec<Csr<f64>> = (0..3)
+            .map(|i| random_symmetric(30 + 5 * i, 3.0, 0.1, 1.0, 200 + i as u64))
+            .collect();
+        let now = t0();
+        for (i, g) in graphs.iter().enumerate() {
+            s.submit(format!("g{i}"), g.clone(), now).unwrap();
+        }
+        let out = s.drain(&dev);
+        assert_eq!(out.len(), graphs.len());
+        for (o, g) in out.iter().zip(&graphs) {
+            assert_eq!(o.salt, 0);
+            let prepared = prepare_undirected(g);
+            let cfg = s.config().factor; // charge_salt stays at its 0 default
+            let (solo, _) = extract_linear_forest(&dev, &prepared, &cfg).unwrap();
+            let got = o.result.as_ref().unwrap();
+            assert_eq!(got.forest.factor, solo.factor);
+            assert_eq!(got.forest.paths, solo.paths);
+            assert_eq!(got.forest.perm, solo.perm);
+        }
+    }
+
+    #[test]
+    fn occupancy_json_reflects_pool_and_cache() {
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let g = random_symmetric(30, 2.0, 0.1, 1.0, 77);
+        let now = t0();
+        s.submit("a", g.clone(), now).unwrap();
+        s.drain(&dev);
+        s.submit("b", g, now).unwrap();
+        s.drain(&dev);
+        let j = s.occupancy_json();
+        assert!(j.contains("\"cache_hits\":1"), "{j}");
+        assert!(j.contains("\"cache_entries\":1"), "{j}");
+        assert!(j.contains("\"pool_idle\":1"), "{j}");
+        assert!(j.contains("\"pool_misses\":1"), "{j}");
+    }
+
+    #[test]
+    fn publish_occupancy_exports_shard_labeled_gauges() {
+        let _g = crate::stats::test_guard();
+        crate::stats::reset_stats();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let now = t0();
+        s.submit("a", random_symmetric(30, 2.0, 0.1, 1.0, 78), now).unwrap();
+        s.drain(&dev);
+        lf_metrics::enable();
+        s.publish_occupancy("w0");
+        lf_metrics::disable();
+        let snap = lf_metrics::global().snapshot();
+        for name in ["lf_batch_pool_idle", "lf_batch_shard_cache_entries"] {
+            let f = snap
+                .families
+                .iter()
+                .find(|f| f.name == name)
+                .unwrap_or_else(|| panic!("missing family {name}"));
+            let x = f
+                .series
+                .iter()
+                .find(|x| x.label.as_deref() == Some("w0"))
+                .unwrap_or_else(|| panic!("missing shard series in {name}"));
+            match x.value {
+                lf_metrics::ValueSnapshot::Gauge(v) => {
+                    assert!((v - 1.0).abs() < 1e-12, "{name} = {v}")
+                }
+                _ => panic!("{name} must be a gauge"),
+            }
         }
     }
 

@@ -37,7 +37,7 @@ fn usage() -> ! {
         "usage: repro [--scale N] [--full] [--out DIR] [--json] [--trace F] [--metrics F] \
          [--check] [--backend model|cpu] [--no-fuse] [--flight-dir D] \
          [--compare F] [--tolerance T] [--inject S] \
-         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|shard|backends|gate|tables|figures|all>..."
+         <table2|table3|table4|table5|fig1..fig6|ablation|solvers|convergence|batch|shard|serve|backends|gate|tables|figures|all>..."
     );
     std::process::exit(2);
 }
@@ -151,6 +151,7 @@ fn main() {
             "backends" => vec!["backends"],
             "batch" => vec!["batch"],
             "gate" => vec!["gate"],
+            "serve" => vec!["serve"],
             "shard" => vec!["shard"],
             "solvers" => vec!["solvers"],
             "convergence" => vec!["convergence"],
@@ -159,7 +160,7 @@ fn main() {
             "all" => vec![
                 "table2", "table3", "table4", "table5", "fig1", "fig2", "fig3", "fig4",
                 "fig5", "fig6", "ablation", "solvers", "convergence", "batch", "backends",
-                "shard",
+                "shard", "serve",
             ],
             other => {
                 eprintln!("unknown experiment: {other}");
@@ -211,6 +212,7 @@ fn main() {
             "backends" => lf_bench::backends::run(&opts),
             "batch" => lf_bench::batch::run(&opts),
             "gate" => gate_failed |= !lf_bench::gate::run(&opts, &gate),
+            "serve" => lf_bench::serve::run(&opts),
             "shard" => lf_bench::shard::run(&opts),
             "solvers" => lf_bench::solvers::run(&opts),
             "convergence" => lf_bench::convergence::run(&opts),

@@ -22,6 +22,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod gate;
+pub mod serve;
 pub mod shard;
 pub mod table2;
 pub mod table3;

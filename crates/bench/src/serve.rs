@@ -1,0 +1,102 @@
+//! `repro serve` — the deterministic closed-loop multi-tenant serving
+//! experiment (the `lf-serve` subsystem; our extension beyond the paper).
+//!
+//! The experiment runs [`lf_serve::sim`]'s overload scenario: two polite
+//! priority-1 tenants submit stencil graphs at steady model-time rates
+//! for the whole run, and partway through a priority-0 flooder submits an
+//! order of magnitude past the shed watermark. Job cost is the device's
+//! deterministic model time, the clock is an `lf_batch::ModelClock`, and
+//! the admission/worker code is byte-for-byte the code behind `lf serve`
+//! — so `BENCH_serve.json` reproduces bit-identically on any machine.
+//!
+//! Two invariants are asserted on every run:
+//!
+//! * fairness: overload shedding lands only on the flooder — zero
+//!   non-flooder jobs shed or refused;
+//! * completeness: every submitted job ends in a terminal state
+//!   (completed + shed = submitted, failed = 0).
+
+use crate::{Opts, Table};
+use lf_serve::sim::{self, SimConfig};
+
+/// Run the closed-loop serving experiment.
+pub fn run(opts: &Opts) {
+    let cfg = SimConfig::overload_scenario();
+    println!(
+        "Multi-tenant serving — closed-loop overload experiment \
+         ({} workers, batch {}, shed watermark {}):\n",
+        cfg.workers, cfg.worker.batch_jobs, cfg.shed_watermark
+    );
+    let report = sim::run(&cfg);
+
+    let mut t = Table::new(&[
+        "TENANT",
+        "prio",
+        "submitted",
+        "completed",
+        "failed",
+        "shed",
+        "mean lat ms",
+        "max lat ms",
+    ]);
+    for (name, o) in &report.tenants {
+        let spec = cfg
+            .tenants
+            .iter()
+            .find(|s| &s.name == name)
+            .expect("reported tenant is configured");
+        let mean_ms = if o.completed > 0 {
+            o.latency_sum_ns as f64 / o.completed as f64 / 1e6
+        } else {
+            0.0
+        };
+        t.row(vec![
+            name.clone(),
+            spec.priority.to_string(),
+            o.submitted.to_string(),
+            o.completed.to_string(),
+            o.failed.to_string(),
+            o.shed.to_string(),
+            format!("{mean_ms:.3}"),
+            format!("{:.3}", o.latency_max_ns as f64 / 1e6),
+        ]);
+        assert_eq!(
+            o.completed + o.shed,
+            o.submitted,
+            "{name}: every job must end terminal"
+        );
+        assert_eq!(o.failed, 0, "{name}: no job may fail in the scenario");
+    }
+    t.print();
+
+    assert!(
+        report.fairness_holds(),
+        "overload shedding hit a non-flooding tenant: {:?}",
+        report.tenants
+    );
+    let flood_shed: usize = report
+        .flooders
+        .iter()
+        .map(|f| report.tenants[f].shed)
+        .sum();
+    assert!(flood_shed > 0, "the flooder never overloaded the service");
+
+    println!(
+        "\n  model time {:.1} ms, throughput {:.0} jobs/s; the flooder \
+         (priority 0) lost {flood_shed} job(s) to shedding while every \
+         non-flooder job completed — the fair-admission invariant \
+         `repro serve` gates on.",
+        report.model_ns as f64 / 1e6,
+        report.throughput,
+    );
+
+    opts.write_json_with(
+        "BENCH_serve.json",
+        &format!("{}\n", report.to_json()),
+        &format!(
+            "\"workers\":{},\"batch_jobs\":{},\"shed_watermark\":{}",
+            cfg.workers, cfg.worker.batch_jobs, cfg.shed_watermark
+        ),
+    )
+    .expect("results dir");
+}

@@ -1,0 +1,353 @@
+//! Fair admission: per-tenant bounded queues, deficit-round-robin
+//! scheduling, and priority-ordered overload shedding.
+//!
+//! Admission is a pure, lock-free-of-I/O state machine over explicit
+//! instants — the same discipline as the lf-batch scheduler — so the
+//! HTTP server drives it under a mutex with the monotonic clock while
+//! `repro serve` and the tests drive the identical code under a
+//! [`lf_batch::ModelClock`], bit-stably.
+//!
+//! **Queues.** Each *known* tenant owns a bounded FIFO; unknown tenants
+//! share the `default` queue (per-name queues for unauthenticated callers
+//! would let one client evade its bound by inventing names). A submission
+//! to a full queue fails with [`SubmitError::TenantQueueFull`].
+//!
+//! **Scheduling.** Workers pull batches by deficit round robin: tenants
+//! are visited in deterministic name order, each visit grants the
+//! tenant's weight in credits, and every dequeued job costs one credit —
+//! a weight-4 tenant drains 4× faster than a weight-1 tenant under
+//! contention, and an idle tenant's credit resets so it cannot hoard.
+//!
+//! **Shedding.** When total queued work reaches the watermark, the
+//! lowest-priority class pays first: submissions from the lowest active
+//! priority are refused with [`SubmitError::Shedding`], and a submission
+//! from a strictly higher class evicts the newest queued job of the
+//! lowest-priority backlogged tenant to make room. Higher classes only
+//! shed once no lower class has work left to give back.
+
+use crate::tenant::TenantTable;
+use lf_batch::SubmitError;
+use lf_sparse::Csr;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// A parsed, admitted job waiting for a worker shard.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Server-global job ID.
+    pub id: u64,
+    /// The submitting tenant (as named by the client, for reporting; the
+    /// governing queue may be `default`).
+    pub tenant: String,
+    /// The parsed input graph (pre-validated at the HTTP door).
+    pub graph: Csr<f64>,
+    /// Admission time, for deadline-aware batch closing and wait metrics.
+    pub enqueued_at: Instant,
+}
+
+/// The admission state machine. All methods take explicit instants.
+pub struct Admission {
+    table: TenantTable,
+    queues: BTreeMap<String, VecDeque<QueuedJob>>,
+    deficit: BTreeMap<String, u64>,
+    /// Name of the queue served last; the next pull resumes after it.
+    cursor: Option<String>,
+    shed_watermark: usize,
+    total: usize,
+}
+
+impl Admission {
+    /// An empty admission controller. `shed_watermark` is the total
+    /// queued-job count at which overload shedding engages (0 is clamped
+    /// to 1: a watermark of 0 would shed the first job ever submitted).
+    pub fn new(table: TenantTable, shed_watermark: usize) -> Self {
+        Self {
+            table,
+            queues: BTreeMap::new(),
+            deficit: BTreeMap::new(),
+            cursor: None,
+            shed_watermark: shed_watermark.max(1),
+            total: 0,
+        }
+    }
+
+    /// The tenant table this controller enforces.
+    pub fn table(&self) -> &TenantTable {
+        &self.table
+    }
+
+    /// Total queued jobs across all tenants.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Queue key governing `tenant`: its own name when configured,
+    /// otherwise `default`.
+    pub fn queue_key<'a>(&self, tenant: &'a str) -> &'a str {
+        if self.table.is_known(tenant) {
+            tenant
+        } else {
+            "default"
+        }
+    }
+
+    /// Per-queue depths, in deterministic name order.
+    pub fn depths(&self) -> Vec<(&str, usize)> {
+        self.queues.iter().map(|(k, q)| (k.as_str(), q.len())).collect()
+    }
+
+    /// Admit `job`, possibly evicting lower-priority queued work; evicted
+    /// jobs are returned so the caller can mark them shed.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::TenantQueueFull`] when the governing queue is at
+    /// its capacity, [`SubmitError::Shedding`] when the service is
+    /// overloaded and the submitter's priority class is the one being
+    /// shed. In both cases `job` is dropped (never queued).
+    pub fn submit(&mut self, job: QueuedJob) -> Result<Vec<QueuedJob>, SubmitError> {
+        let key = self.queue_key(&job.tenant).to_string();
+        let spec = self.table.spec(&key).clone();
+        if self.queues.get(&key).map_or(0, VecDeque::len) >= spec.queue_capacity {
+            return Err(SubmitError::TenantQueueFull {
+                tenant: key,
+                capacity: spec.queue_capacity,
+            });
+        }
+        let mut evicted = Vec::new();
+        if self.total >= self.shed_watermark {
+            // Overloaded. Find the lowest-priority tenant with queued work.
+            let victim = self
+                .queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(k, _)| (self.table.spec(k).priority, k.clone()))
+                .min(); // (priority, name): lowest class, name-tiebroken
+            match victim {
+                Some((vprio, vkey)) if spec.priority > vprio => {
+                    // The submitter outranks the victim class: evict the
+                    // newest queued job of the victim tenant to stay at
+                    // the watermark, then admit.
+                    if let Some(q) = self.queues.get_mut(&vkey) {
+                        if let Some(e) = q.pop_back() {
+                            self.total -= 1;
+                            evicted.push(e);
+                        }
+                    }
+                }
+                _ => {
+                    // The submitter is in (or below) the lowest active
+                    // class — it is the one being shed.
+                    return Err(SubmitError::Shedding { tenant: key });
+                }
+            }
+        }
+        self.queues.entry(key).or_default().push_back(job);
+        self.total += 1;
+        Ok(evicted)
+    }
+
+    /// Whether a worker should pull a batch at `now`: the queued total
+    /// reaches the batch size, the oldest queued job has waited past
+    /// `deadline`, or the server is draining. Mirrors the lf-batch
+    /// count/deadline close rules one level up, where cross-tenant
+    /// fairness is decided.
+    pub fn ready(&self, now: Instant, batch_jobs: usize, deadline: Duration, draining: bool) -> bool {
+        if self.total == 0 {
+            return false;
+        }
+        if draining || self.total >= batch_jobs {
+            return true;
+        }
+        self.oldest(now) >= deadline
+    }
+
+    /// How long the oldest queued job has waited as of `now` (zero when
+    /// idle).
+    pub fn oldest(&self, now: Instant) -> Duration {
+        self.queues
+            .values()
+            .filter_map(|q| q.front())
+            .map(|j| now.saturating_duration_since(j.enqueued_at))
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Dequeue up to `max` jobs by deficit round robin.
+    pub fn pull(&mut self, max: usize) -> Vec<QueuedJob> {
+        let mut out = Vec::new();
+        while out.len() < max && self.total > 0 {
+            let active: Vec<String> = self
+                .queues
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(k, _)| k.clone())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            let start = match &self.cursor {
+                Some(c) => active.iter().position(|n| n > c).unwrap_or(0),
+                None => 0,
+            };
+            let mut progressed = false;
+            for i in 0..active.len() {
+                let name = &active[(start + i) % active.len()];
+                let credit = self.deficit.entry(name.clone()).or_insert(0);
+                *credit += u64::from(self.table.spec(name).weight);
+                let q = self.queues.get_mut(name).expect("active queue");
+                while *credit >= 1 && out.len() < max {
+                    match q.pop_front() {
+                        Some(j) => {
+                            *credit -= 1;
+                            self.total -= 1;
+                            out.push(j);
+                            progressed = true;
+                        }
+                        None => break,
+                    }
+                }
+                if q.is_empty() {
+                    // Standard DRR: an emptied queue forfeits its credit,
+                    // so idle tenants cannot bank a burst.
+                    *credit = 0;
+                }
+                self.cursor = Some(name.clone());
+                if out.len() >= max {
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u64, tenant: &str, at: Instant) -> QueuedJob {
+        QueuedJob {
+            id,
+            tenant: tenant.to_string(),
+            graph: Csr::zeros(2, 2),
+            enqueued_at: at,
+        }
+    }
+
+    fn table() -> TenantTable {
+        TenantTable::parse("a 1 2 8\nb 1 1 8\nflood 0 1 8\n").unwrap()
+    }
+
+    #[test]
+    fn drr_respects_weights_deterministically() {
+        let mut adm = Admission::new(table(), 1000);
+        let t = Instant::now();
+        let mut id = 0;
+        for _ in 0..6 {
+            for tn in ["a", "b"] {
+                adm.submit(job(id, tn, t)).unwrap();
+                id += 1;
+            }
+        }
+        // a has weight 2, b weight 1: each round serves a,a,b.
+        let order: Vec<String> = adm.pull(6).into_iter().map(|j| j.tenant).collect();
+        assert_eq!(order, ["a", "a", "b", "a", "a", "b"]);
+        assert_eq!(adm.total(), 6);
+    }
+
+    #[test]
+    fn unknown_tenants_share_the_default_queue() {
+        let mut adm = Admission::new(table(), 1000);
+        let t = Instant::now();
+        // default capacity is 64; two unknown names land in one queue.
+        adm.submit(job(0, "ghost1", t)).unwrap();
+        adm.submit(job(1, "ghost2", t)).unwrap();
+        let depths = adm.depths();
+        assert_eq!(depths, vec![("default", 2)]);
+        assert_eq!(adm.queue_key("ghost1"), "default");
+    }
+
+    #[test]
+    fn tenant_queue_full_is_per_tenant() {
+        let mut adm = Admission::new(table(), 1000);
+        let t = Instant::now();
+        for i in 0..8 {
+            adm.submit(job(i, "b", t)).unwrap();
+        }
+        let e = adm.submit(job(9, "b", t)).unwrap_err();
+        assert_eq!(
+            e,
+            SubmitError::TenantQueueFull {
+                tenant: "b".into(),
+                capacity: 8
+            }
+        );
+        // Other tenants are unaffected.
+        adm.submit(job(10, "a", t)).unwrap();
+    }
+
+    #[test]
+    fn overload_sheds_lowest_priority_first() {
+        // Watermark 4. flood (priority 0) fills it; its own submissions
+        // then shed, while priority-1 tenants evict flood's queued work.
+        let mut adm = Admission::new(table(), 4);
+        let t = Instant::now();
+        for i in 0..4 {
+            adm.submit(job(i, "flood", t)).unwrap();
+        }
+        assert_eq!(
+            adm.submit(job(4, "flood", t)).unwrap_err(),
+            SubmitError::Shedding {
+                tenant: "flood".into()
+            }
+        );
+        let evicted = adm.submit(job(5, "a", t)).unwrap();
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].tenant, "flood");
+        assert_eq!(evicted[0].id, 3, "newest flood job evicted first");
+        assert_eq!(adm.total(), 4, "eviction keeps the total at the watermark");
+        // Once only priority-1 work remains, that class sheds too.
+        for i in 6..9 {
+            let ev = adm.submit(job(i, "a", t)).unwrap();
+            assert_eq!(ev.len(), 1, "job {i} evicts one flood job");
+        }
+        assert_eq!(
+            adm.submit(job(9, "b", t)).unwrap_err(),
+            SubmitError::Shedding { tenant: "b".into() }
+        );
+    }
+
+    #[test]
+    fn ready_on_count_deadline_and_drain() {
+        let mut adm = Admission::new(table(), 1000);
+        let t = Instant::now();
+        assert!(!adm.ready(t, 4, Duration::from_millis(10), false), "empty");
+        adm.submit(job(0, "a", t)).unwrap();
+        assert!(!adm.ready(t, 4, Duration::from_millis(10), false));
+        assert!(adm.ready(t, 1, Duration::from_millis(10), false), "count");
+        assert!(adm.ready(t, 4, Duration::from_millis(10), true), "drain");
+        let later = t + Duration::from_millis(11);
+        assert!(adm.ready(later, 4, Duration::from_millis(10), false), "deadline");
+        assert_eq!(adm.oldest(later), Duration::from_millis(11));
+    }
+
+    #[test]
+    fn pull_resumes_after_the_cursor() {
+        let mut adm = Admission::new(table(), 1000);
+        let t = Instant::now();
+        for i in 0..4 {
+            adm.submit(job(i, "a", t)).unwrap();
+            adm.submit(job(100 + i, "b", t)).unwrap();
+        }
+        // First pull of 2 serves a (weight 2). The next pull must resume
+        // at b, not restart at a — otherwise b starves under small pulls.
+        let first: Vec<String> = adm.pull(2).into_iter().map(|j| j.tenant).collect();
+        assert_eq!(first, ["a", "a"]);
+        let second: Vec<String> = adm.pull(1).into_iter().map(|j| j.tenant).collect();
+        assert_eq!(second, ["b"]);
+    }
+}

@@ -1,0 +1,352 @@
+//! A minimal HTTP/1.1 request/response layer over blocking streams.
+//!
+//! The offline container cannot reach crates.io, so the protocol is
+//! hand-rolled the same way lf-trace hand-rolls Chrome Trace JSON: the
+//! subset the service needs, written carefully, nothing more. One request
+//! per connection (`Connection: close` semantics), request bodies bounded
+//! by an explicit `Content-Length` cap, and every malformed input mapped
+//! to a typed one-line error the router turns into a 400/411/413 — never
+//! a panic, never an unbounded read.
+//!
+//! The reader is generic over [`Read`] so the parser is unit- and
+//! proptest-testable without sockets; the server hands it `TcpStream`s
+//! with read/write timeouts already set, so a stalled or truncated peer
+//! surfaces as an I/O error rather than a hung connection.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+
+/// Hard cap on the request head (request line + headers), independent of
+/// the configurable body cap.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, percent-decoding deliberately not applied (the
+    /// routes this server exposes are plain ASCII).
+    pub path: String,
+    /// Query-string key/value pairs (`?tenant=a&x=y`), later keys win.
+    pub query: HashMap<String, String>,
+    /// Header fields, names lowercased.
+    pub headers: HashMap<String, String>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A header value, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+}
+
+/// Why a request could not be read. The router maps each variant to one
+/// response status; the `Display` text is the one-line error body.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Syntactically invalid request head or body framing → 400.
+    Malformed(String),
+    /// A body-bearing request without `Content-Length` → 411.
+    LengthRequired,
+    /// Declared `Content-Length` exceeds the configured cap → 413. The
+    /// body is never read, so an oversized upload costs nothing.
+    TooLarge {
+        /// Declared body length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The peer closed or stalled mid-request (read timeout) → drop the
+    /// connection without a response.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::TooLarge { declared, limit } => {
+                write!(f, "body of {declared} bytes exceeds the {limit}-byte cap")
+            }
+            HttpError::Io(e) => write!(f, "I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Read one request from `r`, reading the body only when a valid
+/// `Content-Length` within `max_body` is declared.
+///
+/// # Errors
+///
+/// See [`HttpError`]; `Malformed` covers every syntax violation
+/// (non-UTF-8 head, missing tokens, bad header syntax, bad
+/// `Content-Length`), and I/O errors — including read timeouts from a
+/// stalled peer — surface as `Io`.
+pub fn read_request(r: &mut impl Read) -> Result<Request, HttpError> {
+    read_request_capped(r, usize::MAX)
+}
+
+/// [`read_request`] with an explicit body cap.
+///
+/// # Errors
+///
+/// See [`read_request`].
+pub fn read_request_capped(r: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    // Read byte-at-a-time until the blank line. The head is tiny (capped)
+    // and the body must not be consumed past its Content-Length, so this
+    // beats a BufReader whose lookahead would swallow body bytes.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !(head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n")) {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        match r.read(&mut byte)? {
+            0 => {
+                return Err(HttpError::Malformed(
+                    "connection closed before end of headers".into(),
+                ))
+            }
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n')).filter(|l| !l.is_empty());
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("expected HTTP/1.x version".into())),
+    }
+    let (path, query) = parse_target(target);
+
+    let mut headers = HashMap::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without ':': {line:?}")))?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+
+    let mut body = Vec::new();
+    if let Some(cl) = headers.get("content-length") {
+        let declared: usize = cl
+            .parse()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {cl:?}")))?;
+        if declared > max_body {
+            return Err(HttpError::TooLarge {
+                declared,
+                limit: max_body,
+            });
+        }
+        body.resize(declared, 0);
+        r.read_exact(&mut body)?;
+    } else if method == "POST" || method == "PUT" {
+        return Err(HttpError::LengthRequired);
+    }
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+fn parse_target(target: &str) -> (String, HashMap<String, String>) {
+    let (path, qs) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let mut query = HashMap::new();
+    for pair in qs.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some((k, v)) => query.insert(k.to_string(), v.to_string()),
+            None => query.insert(pair.to_string(), String::new()),
+        };
+    }
+    (path.to_string(), query)
+}
+
+/// Standard reason phrase for the handful of statuses the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        410 => "Gone",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete response (status line, minimal headers, body) and
+/// flush. `Connection: close` is always sent — the server handles one
+/// request per connection.
+///
+/// # Errors
+///
+/// Propagates any write/flush error (including write timeouts).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// [`write_response`] for the JSON error shape every failure path uses:
+/// `{"error":"<one line>"}`.
+///
+/// # Errors
+///
+/// Propagates any write/flush error.
+pub fn write_error(w: &mut impl Write, status: u16, msg: &str) -> std::io::Result<()> {
+    let one_line = msg.replace('\n', " ");
+    let body = format!("{{\"error\":\"{}\"}}\n", lf_trace::json::escape(&one_line));
+    write_response(w, status, "application/json", body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(bytes: &[u8]) -> Result<Request, HttpError> {
+        read_request_capped(&mut &bytes[..], 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let r = req(b"GET /v1/jobs/7?tenant=acme&x HTTP/1.1\r\nHost: h\r\nX-Tenant: acme\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/v1/jobs/7");
+        assert_eq!(r.query.get("tenant").map(String::as_str), Some("acme"));
+        assert_eq!(r.query.get("x").map(String::as_str), Some(""));
+        assert_eq!(r.header("x-tenant"), Some("acme"));
+        assert_eq!(r.header("X-TENANT"), Some("acme"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_body_exactly_content_length() {
+        let r = req(b"POST /v1/forest HTTP/1.1\r\nContent-Length: 5\r\n\r\nhellotrailing").unwrap();
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        assert!(matches!(
+            req(b"POST /v1/forest HTTP/1.1\r\n\r\n"),
+            Err(HttpError::LengthRequired)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_reading_it() {
+        let e = req(b"POST /x HTTP/1.1\r\nContent-Length: 4096\r\n\r\n");
+        match e {
+            Err(HttpError::TooLarge { declared, limit }) => {
+                assert_eq!((declared, limit), (4096, 1024));
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_heads_are_typed_errors() {
+        for bad in [
+            b"\r\n\r\n".as_slice(),
+            b"GET\r\n\r\n",
+            b"GET /x\r\n\r\n",
+            b"GET /x SMTP/1.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: -2\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+        ] {
+            match req(bad) {
+                Err(HttpError::Malformed(_)) => {}
+                other => panic!("{:?} must be Malformed, got {other:?}", bad),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_head_and_body_fail_typed() {
+        assert!(matches!(
+            req(b"GET /x HTTP/1.1\r\nHost:"),
+            Err(HttpError::Malformed(_))
+        ));
+        // Declared 10 bytes, supplied 3: read_exact reports an I/O error.
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn unbounded_head_is_rejected() {
+        let mut giant = Vec::from(&b"GET /x HTTP/1.1\r\n"[..]);
+        giant.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        assert!(matches!(req(&giant), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", b"hi\n").unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
+        assert!(s.contains("Content-Length: 3\r\n"), "{s}");
+        assert!(s.ends_with("\r\n\r\nhi\n"), "{s}");
+        let mut err = Vec::new();
+        write_error(&mut err, 400, "bad \"thing\"\nsecond line").unwrap();
+        let s = String::from_utf8(err).unwrap();
+        assert!(s.contains("{\"error\":\"bad \\\"thing\\\" second line\"}"), "{s}");
+    }
+
+    #[test]
+    fn lf_only_line_endings_accepted() {
+        let r = req(b"GET /healthz HTTP/1.1\nHost: h\n\n").unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+}

@@ -1,0 +1,50 @@
+//! lf-serve: a long-running, multi-tenant extraction server.
+//!
+//! This crate turns the one-shot extraction pipeline into a service:
+//! clients `POST` a graph (MatrixMarket or raw CSR) to `/v1/forest`, poll
+//! `GET /v1/jobs/<id>`, and fetch the finished permutation from
+//! `GET /v1/jobs/<id>/forest` — byte-identical to `lf forest --perm` on
+//! the same input, because worker shards run their batch services under
+//! [`lf_batch::SaltPolicy::Solo`].
+//!
+//! The stack, bottom-up:
+//!
+//! * [`http`] — a hand-rolled, bounded HTTP/1.1 reader/writer over
+//!   `std::net` (this workspace takes no new dependencies; the protocol
+//!   subset here is the same spirit as lf-trace's hand-rolled JSON);
+//! * [`payload`] — untrusted-body parsing into a validated `Csr<f64>`,
+//!   every failure a one-line 400;
+//! * [`tenant`] / [`admission`] — per-tenant bounded queues, deficit
+//!   round-robin fairness, priority-ordered overload shedding;
+//! * [`state`] — the queryable job table;
+//! * [`worker`] — shards owning a `Device` + `ExtractionService` each;
+//! * [`server`] — accept loop, connection pool, drain-on-SIGTERM;
+//! * [`sim`] — the deterministic model-time load loop behind
+//!   `repro serve`.
+//!
+//! Determinism boundary: the HTTP server runs on the monotonic clock and
+//! real threads; everything below [`server`] takes explicit instants and
+//! is also driven, unchanged, by the single-threaded [`sim`] under a
+//! [`lf_batch::ModelClock`] — which is why the served results and the
+//! benchmark are reproducible while the transport stays concurrent.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod http;
+pub mod payload;
+pub mod server;
+pub mod sim;
+pub mod state;
+pub mod tenant;
+pub mod worker;
+
+pub use admission::{Admission, QueuedJob};
+pub use payload::{parse_graph, to_raw_csr, PayloadKind};
+pub use server::{
+    clear_signal, install_signal_handlers, signalled, DrainReport, ServeConfig, Server, StopHandle,
+};
+pub use sim::{SimConfig, SimReport};
+pub use state::{JobRecord, JobState, JobTable};
+pub use tenant::{TenantSpec, TenantTable};
+pub use worker::{WorkerConfig, WorkerShard};

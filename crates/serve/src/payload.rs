@@ -1,0 +1,260 @@
+//! Request-body parsing: MatrixMarket or raw-CSR text → a validated
+//! [`Csr<f64>`].
+//!
+//! Every failure is a typed one-line message the router turns into a 400;
+//! nothing here panics on untrusted input. MatrixMarket goes through the
+//! proptest-hardened `lf_sparse::mm` reader (typed `MmError` with 1-based
+//! line numbers, non-finite values rejected). The raw-CSR path cannot use
+//! [`Csr::from_raw`] directly — that constructor *asserts* its invariants
+//! — so this module re-validates everything (lengths, monotone `row_ptr`,
+//! column bounds, finite values) before handing the arrays over.
+//!
+//! Raw-CSR wire format (whitespace-separated ASCII, any line breaks):
+//!
+//! ```text
+//! csr <nrows> <ncols> <nnz>
+//! <row_ptr: nrows+1 integers>
+//! <col_idx: nnz integers>
+//! <vals:    nnz floats>
+//! ```
+
+use lf_sparse::{Csr, MmError};
+
+/// Which wire format a successfully parsed body used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// A `%%MatrixMarket` coordinate file.
+    MatrixMarket,
+    /// The `csr …` raw format above.
+    RawCsr,
+}
+
+impl PayloadKind {
+    /// Stable tag for metrics and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PayloadKind::MatrixMarket => "matrixmarket",
+            PayloadKind::RawCsr => "rawcsr",
+        }
+    }
+}
+
+/// Parse a request body into a square, finite-weight graph.
+///
+/// # Errors
+///
+/// A one-line description of the first problem found: unrecognized
+/// format, any `MmError`, raw-CSR structural violations, non-finite
+/// values, or a non-square matrix.
+pub fn parse_graph(body: &[u8]) -> Result<(Csr<f64>, PayloadKind), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8 text".to_string())?;
+    let trimmed = text.trim_start();
+    let (m, kind) = if trimmed.starts_with("%%MatrixMarket") {
+        let coo = lf_sparse::mm::read_coo::<f64>(trimmed.as_bytes()).map_err(|e| match e {
+            MmError::Io(e) => format!("MatrixMarket read: {e}"),
+            e => e.to_string(),
+        })?;
+        let m = Csr::try_from_coo(coo).map_err(|e| e.to_string())?;
+        (m, PayloadKind::MatrixMarket)
+    } else if trimmed.starts_with("csr") {
+        (parse_raw_csr(trimmed)?, PayloadKind::RawCsr)
+    } else {
+        return Err(
+            "unrecognized payload: expected a '%%MatrixMarket' header or a 'csr <nrows> \
+             <ncols> <nnz>' raw-CSR header"
+                .to_string(),
+        );
+    };
+    if m.nrows() != m.ncols() {
+        return Err(format!(
+            "matrix is {}x{}, not square",
+            m.nrows(),
+            m.ncols()
+        ));
+    }
+    Ok((m, kind))
+}
+
+/// Hard cap on declared raw-CSR dimensions, so a tiny header cannot make
+/// the parser attempt a huge allocation before the token count check.
+const MAX_RAW_DIM: usize = 1 << 28;
+
+fn parse_raw_csr(text: &str) -> Result<Csr<f64>, String> {
+    let mut tok = text.split_ascii_whitespace();
+    match tok.next() {
+        Some("csr") => {}
+        _ => return Err("raw CSR must start with the token 'csr'".to_string()),
+    }
+    let mut dim = |what: &str| -> Result<usize, String> {
+        let t = tok
+            .next()
+            .ok_or_else(|| format!("raw CSR header truncated before {what}"))?;
+        let v: usize = t
+            .parse()
+            .map_err(|_| format!("raw CSR {what}: bad integer {t:?}"))?;
+        if v > MAX_RAW_DIM {
+            return Err(format!("raw CSR {what} {v} exceeds the {MAX_RAW_DIM} cap"));
+        }
+        Ok(v)
+    };
+    let nrows = dim("nrows")?;
+    let ncols = dim("ncols")?;
+    let nnz = dim("nnz")?;
+
+    // Token counts are known up front, so every shortfall is a typed
+    // truncation error rather than a misaligned parse of the next array.
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    for i in 0..=nrows {
+        let t = tok
+            .next()
+            .ok_or_else(|| format!("raw CSR truncated: row_ptr has {i} of {} entries", nrows + 1))?;
+        let v: usize = t
+            .parse()
+            .map_err(|_| format!("raw CSR row_ptr[{i}]: bad integer {t:?}"))?;
+        row_ptr.push(v);
+    }
+    if row_ptr[0] != 0 {
+        return Err(format!("raw CSR row_ptr[0] must be 0, got {}", row_ptr[0]));
+    }
+    if let Some(i) = (1..row_ptr.len()).find(|&i| row_ptr[i] < row_ptr[i - 1]) {
+        return Err(format!(
+            "raw CSR row_ptr not monotone at index {i}: {} < {}",
+            row_ptr[i],
+            row_ptr[i - 1]
+        ));
+    }
+    if row_ptr[nrows] != nnz {
+        return Err(format!(
+            "raw CSR row_ptr[{nrows}] = {} disagrees with nnz = {nnz}",
+            row_ptr[nrows]
+        ));
+    }
+
+    let mut col_idx = Vec::with_capacity(nnz);
+    for i in 0..nnz {
+        let t = tok
+            .next()
+            .ok_or_else(|| format!("raw CSR truncated: col_idx has {i} of {nnz} entries"))?;
+        let v: u32 = t
+            .parse()
+            .map_err(|_| format!("raw CSR col_idx[{i}]: bad integer {t:?}"))?;
+        if (v as usize) >= ncols {
+            return Err(format!(
+                "raw CSR col_idx[{i}] = {v} out of bounds for {ncols} columns"
+            ));
+        }
+        col_idx.push(v);
+    }
+
+    let mut vals = Vec::with_capacity(nnz);
+    for i in 0..nnz {
+        let t = tok
+            .next()
+            .ok_or_else(|| format!("raw CSR truncated: vals has {i} of {nnz} entries"))?;
+        let v: f64 = t
+            .parse()
+            .map_err(|_| format!("raw CSR vals[{i}]: bad float {t:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("raw CSR vals[{i}] = {v} is not finite"));
+        }
+        vals.push(v);
+    }
+    if let Some(extra) = tok.next() {
+        return Err(format!(
+            "raw CSR has trailing data after {nnz} values (first extra token {extra:?})"
+        ));
+    }
+
+    // Every from_raw assertion re-checked above; this cannot panic.
+    Ok(Csr::from_raw(nrows, ncols, row_ptr, col_idx, vals))
+}
+
+/// Render a graph in the raw-CSR wire format (the inverse of
+/// [`parse_graph`]'s `csr` branch; tests and the walkthrough use it).
+pub fn to_raw_csr(m: &Csr<f64>) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("csr {} {} {}\n", m.nrows(), m.ncols(), m.nnz());
+    for (i, p) in m.row_ptr().iter().enumerate() {
+        s.push_str(if i == 0 { "" } else { " " });
+        let _ = write!(s, "{p}");
+    }
+    s.push('\n');
+    for (i, c) in m.col_idx().iter().enumerate() {
+        s.push_str(if i == 0 { "" } else { " " });
+        let _ = write!(s, "{c}");
+    }
+    s.push('\n');
+    for (i, v) in m.vals().iter().enumerate() {
+        s.push_str(if i == 0 { "" } else { " " });
+        let _ = write!(s, "{v}");
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lf_sparse::Coo;
+
+    const MM: &str = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 1.5\n2 3 2.5\n";
+
+    fn graph() -> Csr<f64> {
+        let mut coo = Coo::<f64>::new(3, 3);
+        coo.push_sym(0, 1, 1.5);
+        coo.push_sym(1, 2, 2.5);
+        Csr::from_coo(coo)
+    }
+
+    #[test]
+    fn parses_matrixmarket() {
+        let (m, kind) = parse_graph(MM.as_bytes()).unwrap();
+        assert_eq!(kind, PayloadKind::MatrixMarket);
+        assert_eq!((m.nrows(), m.nnz()), (3, 4));
+    }
+
+    #[test]
+    fn raw_csr_roundtrips() {
+        let g = graph();
+        let wire = to_raw_csr(&g);
+        let (m, kind) = parse_graph(wire.as_bytes()).unwrap();
+        assert_eq!(kind, PayloadKind::RawCsr);
+        assert_eq!(m.row_ptr(), g.row_ptr());
+        assert_eq!(m.col_idx(), g.col_idx());
+        assert_eq!(m.vals(), g.vals());
+    }
+
+    #[test]
+    fn every_raw_csr_violation_is_a_typed_line() {
+        let cases: &[(&str, &str)] = &[
+            ("garbage", "unrecognized payload"),
+            ("csr 2 2", "truncated before nnz"),
+            ("csr 2 2 1\n0 1", "row_ptr has 2 of 3"),
+            ("csr 2 2 1\n0 x 1\n0\n1.0", "bad integer"),
+            ("csr 2 2 1\n1 1 1\n0\n1.0", "row_ptr[0] must be 0"),
+            ("csr 2 2 2\n0 2 1\n0 1\n1.0 2.0", "not monotone"),
+            ("csr 2 2 3\n0 1 2\n0 1\n1.0 2.0", "disagrees with nnz"),
+            ("csr 2 2 1\n0 1 1\n5\n1.0", "out of bounds"),
+            ("csr 2 2 1\n0 1 1\n0\nNaN", "not finite"),
+            ("csr 2 2 1\n0 1 1\n0\ninf", "not finite"),
+            ("csr 2 2 1\n0 1 1\n0\nbanana", "bad float"),
+            ("csr 2 2 1\n0 1 1\n0\n1.0 9.9", "trailing data"),
+            ("csr 2 3 0\n0 0 0\n\n", "not square"),
+            ("csr 999999999999 2 1", "exceeds"),
+        ];
+        for (body, want) in cases {
+            let e = parse_graph(body.as_bytes()).expect_err(body);
+            assert!(e.contains(want), "{body:?}: {e:?} lacks {want:?}");
+            assert!(!e.contains('\n'), "one-line error: {e:?}");
+        }
+    }
+
+    #[test]
+    fn mm_errors_carry_line_numbers() {
+        let e = parse_graph(b"%%MatrixMarket matrix coordinate real general\n2 2 1\nbad line\n")
+            .unwrap_err();
+        assert!(e.contains("line"), "{e}");
+        let e = parse_graph(b"\xff\xfe").unwrap_err();
+        assert!(e.contains("UTF-8"), "{e}");
+    }
+}

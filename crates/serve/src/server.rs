@@ -1,0 +1,533 @@
+//! The long-running HTTP server: accept loop, bounded connection-handler
+//! pool, worker shard threads, and graceful drain.
+//!
+//! Thread model (all plain `std::thread`, no async runtime):
+//!
+//! * the caller's thread runs the non-blocking accept loop;
+//! * `conn_threads` handlers pull accepted sockets off an `mpsc` channel
+//!   and serve exactly one request each (`Connection: close`), with read
+//!   and write timeouts so a stalled peer cannot pin a handler;
+//! * `workers` shard threads each own a `Device` + `ExtractionService`
+//!   and pull fair batches from the shared admission controller.
+//!
+//! Shutdown: SIGTERM/SIGINT (or [`Server::stop_handle`]) flips the stop
+//! flag. The accept loop exits and closes the connection channel; POSTs
+//! that race the drain get `503 shedding`; workers keep pulling until the
+//! admission queues are empty, then exit; the caller gets a
+//! [`DrainReport`] and maps `abandoned == 0` to exit code 0.
+
+use crate::admission::{Admission, QueuedJob};
+use crate::http::{self, HttpError, Request};
+use crate::payload;
+use crate::state::{JobState, JobTable};
+use crate::tenant::TenantTable;
+use crate::worker::{WorkerConfig, WorkerShard};
+use lf_batch::clock::{Clock, MonotonicClock};
+use lf_batch::SubmitError;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server configuration (`lf serve` flags map 1:1 onto this).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7471` (port 0 picks a free port).
+    pub addr: String,
+    /// Number of worker shards.
+    pub workers: usize,
+    /// Connection-handler threads.
+    pub conn_threads: usize,
+    /// Tenant table (admission policy).
+    pub tenants: TenantTable,
+    /// Per-shard batching and execution parameters.
+    pub worker: WorkerConfig,
+    /// Request-body cap in bytes (`413` beyond it, body never read).
+    pub max_body: usize,
+    /// Total queued jobs at which overload shedding engages.
+    pub shed_watermark: usize,
+    /// Socket read/write timeout.
+    pub io_timeout: Duration,
+    /// How long the drain may take after shutdown before remaining jobs
+    /// are abandoned.
+    pub drain_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7471".to_string(),
+            workers: 2,
+            conn_threads: 4,
+            tenants: TenantTable::default(),
+            worker: WorkerConfig::default(),
+            max_body: 8 << 20,
+            shed_watermark: 64,
+            io_timeout: Duration::from_secs(5),
+            drain_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// What the drain left behind; the CLI turns this into the exit code.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DrainReport {
+    /// Jobs completed over the server's lifetime.
+    pub completed: usize,
+    /// Jobs failed (typed per-job errors).
+    pub failed: usize,
+    /// Jobs shed (evicted or refused after admission).
+    pub shed: usize,
+    /// Jobs still queued or running when the drain deadline expired
+    /// (0 on a clean drain).
+    pub abandoned: usize,
+}
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    // Only async-signal-safe work here: flip the flag.
+    SIGNALLED.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGTERM/SIGINT handlers that request a graceful drain. (Raw
+/// `signal(2)` through the libc std already links — no new dependency.)
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Whether a drain has been requested by signal.
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::SeqCst)
+}
+
+/// Clear the signal flag (tests that run several servers in one process).
+pub fn clear_signal() {
+    SIGNALLED.store(false, Ordering::SeqCst);
+}
+
+struct Shared {
+    adm: Mutex<Admission>,
+    jobs: JobTable,
+    next_id: AtomicU64,
+    stop: AtomicBool,
+    max_body: usize,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Shared {
+    fn draining(&self) -> bool {
+        self.stop.load(Ordering::SeqCst) || signalled()
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    cfg: ServeConfig,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A handle that asks a running [`Server`] to drain and stop.
+#[derive(Clone)]
+pub struct StopHandle(Arc<Shared>);
+
+impl StopHandle {
+    /// Request a graceful drain (idempotent).
+    pub fn stop(&self) {
+        self.0.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl Server {
+    /// Bind the listener (the port is open, but nothing is served until
+    /// [`Server::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure (address in use, permission denied, …).
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let shared = Arc::new(Shared {
+            adm: Mutex::new(Admission::new(cfg.tenants.clone(), cfg.shed_watermark)),
+            jobs: JobTable::default(),
+            next_id: AtomicU64::new(1),
+            stop: AtomicBool::new(false),
+            max_body: cfg.max_body,
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        });
+        Ok(Self {
+            cfg,
+            listener,
+            shared,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error if the local address cannot be read.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for requesting a stop from another thread.
+    pub fn stop_handle(&self) -> StopHandle {
+        StopHandle(Arc::clone(&self.shared))
+    }
+
+    /// Serve until a stop is requested, then drain and report. Blocks the
+    /// calling thread for the server's whole lifetime.
+    pub fn run(self) -> DrainReport {
+        let clock: Arc<dyn Clock> = Arc::new(MonotonicClock);
+        self.listener
+            .set_nonblocking(true)
+            .expect("set_nonblocking on a fresh listener");
+
+        // Connection handlers.
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handler_threads = Vec::new();
+        for _ in 0..self.cfg.conn_threads.max(1) {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&self.shared);
+            let clock = Arc::clone(&clock);
+            handler_threads.push(std::thread::spawn(move || loop {
+                let next = rx.lock().unwrap().recv();
+                match next {
+                    Ok(stream) => handle_connection(stream, &shared, clock.as_ref()),
+                    Err(_) => break, // channel closed: server stopping
+                }
+            }));
+        }
+
+        // Worker shards.
+        let mut worker_threads = Vec::new();
+        for w in 0..self.cfg.workers.max(1) {
+            let shared = Arc::clone(&self.shared);
+            let wcfg = self.cfg.worker.clone();
+            let clock = Arc::clone(&clock);
+            worker_threads.push(std::thread::spawn(move || {
+                let mut shard = WorkerShard::new(w, &wcfg, clock);
+                loop {
+                    let draining = shared.draining();
+                    let done = shard.step(&shared.adm, &shared.jobs, draining);
+                    for o in &done {
+                        let ctr = if o.ok { &shared.completed } else { &shared.failed };
+                        ctr.fetch_add(1, Ordering::Relaxed);
+                    }
+                    publish_queue_depths(&shared);
+                    if done.is_empty() {
+                        if draining && shared.adm.lock().unwrap().total() == 0 {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }));
+        }
+
+        // Accept loop.
+        while !self.shared.draining() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+                    let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => {
+                    eprintln!("lf serve: accept: {e}");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+
+        // Drain: close the connection channel, let handlers finish their
+        // in-flight request, wait for workers up to the deadline.
+        drop(tx);
+        for t in handler_threads {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + self.cfg.drain_deadline;
+        let mut worker_threads: Vec<_> = worker_threads.into_iter().collect();
+        while !worker_threads.is_empty() && Instant::now() < deadline {
+            worker_threads.retain(|t| !t.is_finished());
+            if !worker_threads.is_empty() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let abandoned = if worker_threads.is_empty() {
+            self.shared.jobs.unfinished()
+        } else {
+            // Deadline expired with workers still busy; leave them
+            // detached (the process is about to exit) and count what
+            // never finished.
+            self.shared.adm.lock().unwrap().total() + self.shared.jobs.unfinished()
+        };
+        DrainReport {
+            completed: self.shared.completed.load(Ordering::Relaxed) as usize,
+            failed: self.shared.failed.load(Ordering::Relaxed) as usize,
+            shed: self.shared.shed.load(Ordering::Relaxed) as usize,
+            abandoned,
+        }
+    }
+}
+
+fn publish_queue_depths(shared: &Shared) {
+    if !lf_metrics::enabled() {
+        return;
+    }
+    let depths: Vec<(String, usize)> = {
+        let a = shared.adm.lock().unwrap();
+        a.depths().into_iter().map(|(k, d)| (k.to_string(), d)).collect()
+    };
+    let m = lf_metrics::global();
+    for (tenant, depth) in depths {
+        m.gauge_with(
+            "lf_serve_queue_depth",
+            "Jobs waiting in each tenant's admission queue.",
+            ("tenant", &tenant),
+        )
+        .set(depth as f64);
+    }
+}
+
+fn count_request(route: &'static str) {
+    if lf_metrics::enabled() {
+        lf_metrics::global()
+            .counter_with(
+                "lf_serve_requests_total",
+                "HTTP requests received, by route.",
+                ("route", route),
+            )
+            .inc();
+    }
+}
+
+fn count_response(status: u16) {
+    if lf_metrics::enabled() {
+        lf_metrics::global()
+            .counter_with(
+                "lf_serve_responses_total",
+                "HTTP responses sent, by status code.",
+                ("status", &status.to_string()),
+            )
+            .inc();
+    }
+}
+
+fn count_tenant(family: &'static str, help: &'static str, tenant: &str) {
+    if lf_metrics::enabled() {
+        lf_metrics::global()
+            .counter_with(family, help, ("tenant", tenant))
+            .inc();
+    }
+}
+
+/// Serve exactly one request on `stream`. All errors are answered (or the
+/// connection dropped, for I/O errors) — never panicked on.
+fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: &dyn Clock) {
+    let req = match http::read_request_capped(&mut stream, shared.max_body) {
+        Ok(r) => r,
+        Err(e) => {
+            let status = match &e {
+                HttpError::Malformed(_) => 400,
+                HttpError::LengthRequired => 411,
+                HttpError::TooLarge { .. } => 413,
+                HttpError::Io(_) => {
+                    // Stalled or vanished peer: nothing to answer.
+                    count_request("unreadable");
+                    return;
+                }
+            };
+            count_request("malformed");
+            respond_error(&mut stream, status, &e.to_string());
+            return;
+        }
+    };
+    route(&mut stream, &req, shared, clock);
+}
+
+fn route(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &dyn Clock) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/forest") => {
+            count_request("forest");
+            post_forest(stream, req, shared, clock);
+        }
+        ("GET", "/healthz") => {
+            count_request("healthz");
+            if shared.draining() {
+                respond(stream, 503, "text/plain", b"draining\n");
+            } else {
+                respond(stream, 200, "text/plain", b"ok\n");
+            }
+        }
+        ("GET", "/metrics") => {
+            count_request("metrics");
+            let body = lf_metrics::global().snapshot().to_prometheus();
+            respond(stream, 200, "text/plain; version=0.0.4", body.as_bytes());
+        }
+        ("GET", p) if p.starts_with("/v1/jobs/") => {
+            count_request("jobs");
+            get_job(stream, p, shared);
+        }
+        (m, "/v1/forest") | (m, "/healthz") | (m, "/metrics") => {
+            count_request("other");
+            respond_error(stream, 405, &format!("method {m} not allowed here"));
+        }
+        _ => {
+            count_request("other");
+            respond_error(stream, 404, &format!("no route for {}", req.path));
+        }
+    }
+}
+
+fn post_forest(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &dyn Clock) {
+    if shared.draining() {
+        respond_error(stream, 503, "shedding: server is draining");
+        return;
+    }
+    let tenant = req
+        .header("x-tenant")
+        .map(str::to_string)
+        .or_else(|| req.query.get("tenant").cloned())
+        .unwrap_or_else(|| "default".to_string());
+    let (graph, kind) = match payload::parse_graph(&req.body) {
+        Ok(g) => g,
+        Err(msg) => {
+            respond_error(stream, 400, &msg);
+            return;
+        }
+    };
+    let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let job = QueuedJob {
+        id,
+        tenant: tenant.clone(),
+        graph,
+        enqueued_at: clock.now(),
+    };
+    // Insert the table record BEFORE admission: once the job is queued a
+    // worker may pull and finish it immediately, and a late insert would
+    // overwrite that terminal state with Queued, stranding the job.
+    shared.jobs.admit(id, &tenant);
+    let admitted = shared.adm.lock().unwrap().submit(job);
+    match admitted {
+        Ok(evicted) => {
+            for e in evicted {
+                shared.jobs.set_state(e.id, JobState::Shed);
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                count_tenant(
+                    "lf_serve_shed_total",
+                    "Jobs shed under overload (evicted or refused), by tenant.",
+                    &e.tenant,
+                );
+            }
+            count_tenant(
+                "lf_serve_submitted_total",
+                "Jobs admitted, by tenant.",
+                &tenant,
+            );
+            publish_queue_depths(shared);
+            let body = format!(
+                "{{\"job\":{id},\"tenant\":\"{}\",\"format\":\"{}\"}}\n",
+                lf_trace::json::escape(&tenant),
+                kind.as_str()
+            );
+            respond(stream, 202, "application/json", body.as_bytes());
+        }
+        Err(e @ SubmitError::TenantQueueFull { .. }) => {
+            shared.jobs.set_state(id, JobState::Shed);
+            respond_error(stream, 429, &e.to_string());
+        }
+        Err(e @ SubmitError::Shedding { .. }) => {
+            shared.jobs.set_state(id, JobState::Shed);
+            shared.shed.fetch_add(1, Ordering::Relaxed);
+            count_tenant(
+                "lf_serve_shed_total",
+                "Jobs shed under overload (evicted or refused), by tenant.",
+                &tenant,
+            );
+            respond_error(stream, 503, &e.to_string());
+        }
+        Err(e) => {
+            shared.jobs.set_state(id, JobState::Shed);
+            respond_error(stream, 500, &e.to_string());
+        }
+    }
+}
+
+fn get_job(stream: &mut TcpStream, path: &str, shared: &Shared) {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_str, want_forest) = match rest.strip_suffix("/forest") {
+        Some(prefix) => (prefix, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_str.parse::<u64>() else {
+        respond_error(stream, 400, &format!("bad job id {id_str:?}"));
+        return;
+    };
+    let Some(rec) = shared.jobs.get(id) else {
+        respond_error(stream, 404, &format!("no such job {id}"));
+        return;
+    };
+    if !want_forest {
+        let mut body = rec.to_json();
+        body.push('\n');
+        respond(stream, 200, "application/json", body.as_bytes());
+        return;
+    }
+    match &rec.state {
+        JobState::Done { perm, .. } => {
+            // One vertex per line: byte-identical to `lf forest --perm`.
+            let mut body = String::with_capacity(perm.len() * 7);
+            for v in perm {
+                body.push_str(&v.to_string());
+                body.push('\n');
+            }
+            respond(stream, 200, "text/plain", body.as_bytes());
+        }
+        JobState::Queued | JobState::Running => {
+            let mut body = rec.to_json();
+            body.push('\n');
+            respond(stream, 202, "application/json", body.as_bytes());
+        }
+        JobState::Shed => respond_error(stream, 410, &format!("job {id} was shed")),
+        JobState::Failed { kind, message } => {
+            respond_error(stream, 500, &format!("job {id} failed ({kind}): {message}"));
+        }
+    }
+}
+
+fn respond(stream: &mut impl Write, status: u16, content_type: &str, body: &[u8]) {
+    count_response(status);
+    if let Err(e) = http::write_response(stream, status, content_type, body) {
+        eprintln!("lf serve: write response: {e}");
+    }
+}
+
+fn respond_error(stream: &mut impl Write, status: u16, msg: &str) {
+    count_response(status);
+    if let Err(e) = http::write_error(stream, status, msg) {
+        eprintln!("lf serve: write error response: {e}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Deterministic closed-loop load simulation for `repro serve`.
+//!
+//! The real server is wall-clock multi-threaded; a benchmark on it would
+//! never be bit-stable. This simulation drives the *identical* admission
+//! controller and worker-shard code single-threaded under a
+//! [`ModelClock`], with job cost taken from the device's deterministic
+//! model time — so `repro serve` reproduces byte-for-byte on any machine,
+//! like every other `BENCH_*.json`.
+//!
+//! The built-in scenario has two phases: a sustained phase where two
+//! well-behaved tenants submit at steady rates, then an overload phase
+//! where a low-priority flooder submits far past the shed watermark. The
+//! headline invariant — checked by [`SimReport::fairness_holds`] and a
+//! unit test — is that overload shedding lands **only** on the flooder:
+//! zero non-flooder jobs are shed or refused.
+
+use crate::admission::{Admission, QueuedJob};
+use crate::state::{JobState, JobTable};
+use crate::tenant::TenantTable;
+use crate::worker::{WorkerConfig, WorkerShard};
+use lf_batch::clock::Clock;
+use lf_batch::{ModelClock, SubmitError};
+use lf_sparse::stencil::{self, Stencil3x3};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One simulated tenant's traffic model.
+#[derive(Clone, Debug)]
+pub struct SimTenant {
+    /// Tenant name (also its queue, all sim tenants are configured).
+    pub name: String,
+    /// Admission priority class (higher sheds later).
+    pub priority: u8,
+    /// DRR weight.
+    pub weight: u32,
+    /// Queue capacity.
+    pub queue_capacity: usize,
+    /// Model time between submissions, in nanoseconds.
+    pub period_ns: u64,
+    /// Model time of the first submission, in nanoseconds.
+    pub start_ns: u64,
+    /// Total jobs this tenant submits.
+    pub jobs: usize,
+    /// Stencil grid side; graphs rotate over the three stencils.
+    pub grid: usize,
+}
+
+/// Simulation parameters.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Worker shards (stepped round-robin, single-threaded).
+    pub workers: usize,
+    /// Per-shard batching/execution parameters.
+    pub worker: WorkerConfig,
+    /// Overload shed watermark (total queued jobs).
+    pub shed_watermark: usize,
+    /// The tenant population.
+    pub tenants: Vec<SimTenant>,
+}
+
+impl SimConfig {
+    /// The standard `repro serve` scenario: two polite priority-1 tenants
+    /// for the whole run, plus a priority-0 flooder that floods an order
+    /// of magnitude past the watermark partway through.
+    pub fn overload_scenario() -> Self {
+        let ms = 1_000_000u64;
+        Self {
+            workers: 2,
+            worker: WorkerConfig {
+                batch_jobs: 8,
+                deadline: Duration::from_millis(5),
+                ..WorkerConfig::default()
+            },
+            shed_watermark: 24,
+            tenants: vec![
+                SimTenant {
+                    name: "alpha".into(),
+                    priority: 1,
+                    weight: 2,
+                    queue_capacity: 64,
+                    period_ns: 2 * ms,
+                    start_ns: 0,
+                    jobs: 60,
+                    grid: 24,
+                },
+                SimTenant {
+                    name: "beta".into(),
+                    priority: 1,
+                    weight: 1,
+                    queue_capacity: 64,
+                    period_ns: 3 * ms,
+                    start_ns: ms,
+                    jobs: 40,
+                    grid: 20,
+                },
+                SimTenant {
+                    name: "flood".into(),
+                    priority: 0,
+                    weight: 1,
+                    queue_capacity: 256,
+                    period_ns: ms / 50,
+                    start_ns: 40 * ms,
+                    jobs: 300,
+                    grid: 16,
+                },
+            ],
+        }
+    }
+
+    fn table(&self) -> TenantTable {
+        let mut text = String::new();
+        for t in &self.tenants {
+            text.push_str(&format!(
+                "{} {} {} {}\n",
+                t.name, t.priority, t.weight, t.queue_capacity
+            ));
+        }
+        TenantTable::parse(&text).expect("sim tenant specs are well-formed")
+    }
+}
+
+/// Per-tenant outcome counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TenantOutcome {
+    /// Jobs the tenant attempted to submit.
+    pub submitted: usize,
+    /// Jobs extracted successfully.
+    pub completed: usize,
+    /// Jobs that failed in the pipeline.
+    pub failed: usize,
+    /// Jobs shed: refused at the door or evicted after admission.
+    pub shed: usize,
+    /// Sum of completed-job latencies, model nanoseconds.
+    pub latency_sum_ns: u64,
+    /// Max completed-job latency, model nanoseconds.
+    pub latency_max_ns: u64,
+}
+
+/// What one simulation run produced.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Per-tenant outcomes, in name order.
+    pub tenants: BTreeMap<String, TenantOutcome>,
+    /// Names of flooding (priority-0) tenants in the scenario.
+    pub flooders: Vec<String>,
+    /// Total model time elapsed, nanoseconds.
+    pub model_ns: u64,
+    /// Completed jobs per model second.
+    pub throughput: f64,
+    /// Worker shards used.
+    pub workers: usize,
+    /// Shed watermark used.
+    pub shed_watermark: usize,
+}
+
+impl SimReport {
+    /// True iff every shed job belonged to a flooding (priority-0)
+    /// tenant — the fairness invariant `repro serve` gates on.
+    pub fn fairness_holds(&self) -> bool {
+        self.tenants
+            .iter()
+            .filter(|(name, _)| !self.flooders.contains(name))
+            .all(|(_, o)| o.shed == 0)
+    }
+
+    /// Render the `BENCH_serve.json` body (everything but the manifest).
+    pub fn to_json(&self) -> String {
+        use lf_trace::json::{escape, number};
+        let mut s = String::from("{\n  \"tenants\": {\n");
+        let last = self.tenants.len().saturating_sub(1);
+        for (i, (name, o)) in self.tenants.iter().enumerate() {
+            let mean_ms = if o.completed > 0 {
+                o.latency_sum_ns as f64 / o.completed as f64 / 1e6
+            } else {
+                0.0
+            };
+            s.push_str(&format!(
+                "    \"{}\": {{\"submitted\": {}, \"completed\": {}, \"failed\": {}, \
+                 \"shed\": {}, \"latency_mean_ms\": {}, \"latency_max_ms\": {}}}{}\n",
+                escape(name),
+                o.submitted,
+                o.completed,
+                o.failed,
+                o.shed,
+                number(mean_ms),
+                number(o.latency_max_ns as f64 / 1e6),
+                if i == last { "" } else { "," }
+            ));
+        }
+        s.push_str(&format!(
+            "  }},\n  \"model_time_s\": {},\n  \"throughput_jobs_per_s\": {},\n  \
+             \"workers\": {},\n  \"shed_watermark\": {},\n  \"fairness_holds\": {}\n}}",
+            number(self.model_ns as f64 / 1e9),
+            number(self.throughput),
+            self.workers,
+            self.shed_watermark,
+            self.fairness_holds()
+        ));
+        s
+    }
+}
+
+const STENCILS: [&Stencil3x3; 3] = [&stencil::ANISO1, &stencil::ANISO2, &stencil::FIVE_POINT];
+
+/// Run the closed-loop simulation to completion (all submissions made,
+/// all queues drained, every job in a terminal state).
+pub fn run(cfg: &SimConfig) -> SimReport {
+    let clock = ModelClock::shared();
+    let adm = Mutex::new(Admission::new(cfg.table(), cfg.shed_watermark));
+    let jobs = JobTable::default();
+    let mut shards: Vec<WorkerShard> = (0..cfg.workers.max(1))
+        .map(|i| WorkerShard::new(i, &cfg.worker, clock.clone()))
+        .collect();
+    let mut prev_cost_s = vec![0.0f64; shards.len()];
+
+    let mut outcomes: BTreeMap<String, TenantOutcome> = cfg
+        .tenants
+        .iter()
+        .map(|t| (t.name.clone(), TenantOutcome::default()))
+        .collect();
+    let mut next_submit: Vec<u64> = cfg.tenants.iter().map(|t| t.start_ns).collect();
+    let mut sent: Vec<usize> = vec![0; cfg.tenants.len()];
+    let mut enqueue_ns: HashMap<u64, u64> = HashMap::new();
+    let mut job_tenant: HashMap<u64, String> = HashMap::new();
+    let mut next_id = 1u64;
+    let deadline_ns = cfg.worker.deadline.as_nanos() as u64;
+
+    loop {
+        let now_ns = clock.elapsed_ns();
+
+        // Submissions due at this model instant, in tenant order.
+        for (ti, t) in cfg.tenants.iter().enumerate() {
+            while sent[ti] < t.jobs && next_submit[ti] <= now_ns {
+                sent[ti] += 1;
+                next_submit[ti] += t.period_ns;
+                let o = outcomes.get_mut(&t.name).expect("known tenant");
+                o.submitted += 1;
+                let id = next_id;
+                next_id += 1;
+                let side = t.grid + (sent[ti] % 3); // rotate sizes: exercises the CSR cache without rand
+                let graph = stencil::grid2d::<f64>(side, side, STENCILS[sent[ti] % 3]);
+                let job = QueuedJob {
+                    id,
+                    tenant: t.name.clone(),
+                    graph,
+                    enqueued_at: clock.now(),
+                };
+                match adm.lock().unwrap().submit(job) {
+                    Ok(evicted) => {
+                        jobs.admit(id, &t.name);
+                        enqueue_ns.insert(id, now_ns);
+                        job_tenant.insert(id, t.name.clone());
+                        for e in evicted {
+                            jobs.set_state(e.id, JobState::Shed);
+                            enqueue_ns.remove(&e.id);
+                            job_tenant.remove(&e.id);
+                            outcomes
+                                .get_mut(&e.tenant)
+                                .expect("known tenant")
+                                .shed += 1;
+                        }
+                    }
+                    Err(SubmitError::TenantQueueFull { .. } | SubmitError::Shedding { .. }) => {
+                        outcomes.get_mut(&t.name).expect("known tenant").shed += 1;
+                    }
+                    Err(e) => unreachable!("admission never returns {e}"),
+                }
+            }
+        }
+
+        let all_sent = sent
+            .iter()
+            .zip(&cfg.tenants)
+            .all(|(&s, t)| s >= t.jobs);
+        // Once the last submission is in, drain: partial batches close
+        // immediately, exactly like the server's SIGTERM path.
+        let draining = all_sent;
+
+        let mut progressed = false;
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let done = shard.step(&adm, &jobs, draining);
+            if done.is_empty() {
+                continue;
+            }
+            progressed = true;
+            // Charge the batch's deterministic device cost to the clock.
+            let total_s = shard.model_time_s();
+            let cost_s = total_s - prev_cost_s[i];
+            prev_cost_s[i] = total_s;
+            clock.advance_ns((cost_s * 1e9).round() as u64);
+            let done_ns = clock.elapsed_ns();
+            for o in done {
+                let tenant = job_tenant.remove(&o.id).expect("tracked job");
+                let started = enqueue_ns.remove(&o.id).expect("tracked job");
+                let out = outcomes.get_mut(&tenant).expect("known tenant");
+                if o.ok {
+                    out.completed += 1;
+                    let lat = done_ns.saturating_sub(started);
+                    out.latency_sum_ns += lat;
+                    out.latency_max_ns = out.latency_max_ns.max(lat);
+                } else {
+                    out.failed += 1;
+                }
+            }
+        }
+        if progressed {
+            continue;
+        }
+
+        if all_sent && adm.lock().unwrap().total() == 0 {
+            break;
+        }
+
+        // Stalled: jump model time to the next event — the next scheduled
+        // submission or the oldest queued job's deadline expiry.
+        let next_sub = next_submit
+            .iter()
+            .zip(&cfg.tenants)
+            .zip(&sent)
+            .filter(|((_, t), &s)| s < t.jobs)
+            .map(|((&ns, _), _)| ns)
+            .min();
+        let next_deadline = {
+            let a = adm.lock().unwrap();
+            if a.total() > 0 {
+                let waited = a.oldest(clock.now()).as_nanos() as u64;
+                Some(now_ns + deadline_ns.saturating_sub(waited))
+            } else {
+                None
+            }
+        };
+        let wake = [next_sub, next_deadline]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(now_ns);
+        // Floor of 1µs guarantees progress even at a deadline boundary.
+        clock.advance_ns(wake.saturating_sub(now_ns).max(1_000));
+    }
+
+    let model_ns = clock.elapsed_ns();
+    let completed: usize = outcomes.values().map(|o| o.completed).sum();
+    let throughput = if model_ns > 0 {
+        completed as f64 / (model_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    SimReport {
+        tenants: outcomes,
+        flooders: cfg
+            .tenants
+            .iter()
+            .filter(|t| t.priority == 0)
+            .map(|t| t.name.clone())
+            .collect(),
+        model_ns,
+        throughput,
+        workers: cfg.workers.max(1),
+        shed_watermark: cfg.shed_watermark,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overload_scenario_sheds_only_the_flooder() {
+        let report = run(&SimConfig::overload_scenario());
+        let alpha = report.tenants["alpha"];
+        let beta = report.tenants["beta"];
+        let flood = report.tenants["flood"];
+        assert_eq!(alpha.completed, 60, "{alpha:?}");
+        assert_eq!(beta.completed, 40, "{beta:?}");
+        assert_eq!(alpha.shed + beta.shed, 0);
+        assert!(flood.shed > 0, "the flooder must actually overload: {flood:?}");
+        assert_eq!(flood.completed + flood.shed, 300, "{flood:?}");
+        assert!(report.fairness_holds());
+        assert_eq!(alpha.failed + beta.failed + flood.failed, 0);
+        assert!(report.model_ns > 0 && report.throughput > 0.0);
+    }
+
+    #[test]
+    fn simulation_is_bit_stable() {
+        let a = run(&SimConfig::overload_scenario()).to_json();
+        let b = run(&SimConfig::overload_scenario()).to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"fairness_holds\": true"), "{a}");
+    }
+}

@@ -1,0 +1,184 @@
+//! The server-global job table: every submitted job's lifecycle, queryable
+//! over `GET /v1/jobs/<id>` while the job is anywhere between admission
+//! and its final outcome.
+
+use lf_core::QualityReport;
+use lf_trace::json::{escape, number};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Where a job is in its lifecycle.
+#[derive(Clone, Debug)]
+pub enum JobState {
+    /// Admitted, waiting in its tenant queue.
+    Queued,
+    /// Pulled by a worker shard; extraction in flight.
+    Running,
+    /// Finished successfully.
+    Done {
+        /// The forest's path-order permutation — the byte-comparison
+        /// artifact: rendered one vertex per line, identical to
+        /// `lf forest --perm`.
+        perm: Vec<u32>,
+        /// Quality statistics against the submitted matrix.
+        quality: QualityReport,
+        /// nnz of the prepared graph.
+        nnz: usize,
+        /// Whether preparation was served from the shard's CSR cache.
+        cache_hit: bool,
+    },
+    /// Finished with a typed per-job error.
+    Failed {
+        /// Error kind tag (`pipeline`, `union`, `audit`, `internal`).
+        kind: &'static str,
+        /// One-line error message.
+        message: String,
+    },
+    /// Evicted by overload shedding before reaching a worker.
+    Shed,
+}
+
+impl JobState {
+    /// Short state tag used in JSON and metrics labels.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done { .. } => "done",
+            JobState::Failed { .. } => "failed",
+            JobState::Shed => "shed",
+        }
+    }
+}
+
+/// One job's record.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Server-global job ID.
+    pub id: u64,
+    /// Submitting tenant (as named by the client).
+    pub tenant: String,
+    /// Lifecycle state.
+    pub state: JobState,
+}
+
+impl JobRecord {
+    /// Render for `GET /v1/jobs/<id>`.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"job\":{},\"tenant\":\"{}\",\"state\":\"{}\"",
+            self.id,
+            escape(&self.tenant),
+            self.state.tag()
+        );
+        match &self.state {
+            JobState::Done {
+                perm,
+                quality,
+                nnz,
+                cache_hit,
+            } => {
+                s.push_str(&format!(
+                    ",\"vertices\":{},\"nnz\":{nnz},\"cache_hit\":{cache_hit},\
+                     \"num_paths\":{},\"coverage\":{},\"mean_path_len\":{}",
+                    perm.len(),
+                    quality.num_paths,
+                    number(quality.coverage),
+                    number(quality.mean_path_len),
+                ));
+            }
+            JobState::Failed { kind, message } => {
+                s.push_str(&format!(
+                    ",\"error_kind\":\"{kind}\",\"error\":\"{}\"",
+                    escape(message)
+                ));
+            }
+            _ => {}
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Thread-shared map of all jobs the server has seen.
+#[derive(Default)]
+pub struct JobTable {
+    inner: Mutex<HashMap<u64, JobRecord>>,
+}
+
+impl JobTable {
+    /// Record a newly admitted job as queued.
+    pub fn admit(&self, id: u64, tenant: &str) {
+        self.inner.lock().unwrap().insert(
+            id,
+            JobRecord {
+                id,
+                tenant: tenant.to_string(),
+                state: JobState::Queued,
+            },
+        );
+    }
+
+    /// Transition a job to `state` (no-op for unknown IDs).
+    pub fn set_state(&self, id: u64, state: JobState) {
+        if let Some(r) = self.inner.lock().unwrap().get_mut(&id) {
+            r.state = state;
+        }
+    }
+
+    /// A job's record, cloned.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.inner.lock().unwrap().get(&id).cloned()
+    }
+
+    /// Number of jobs not yet in a terminal state.
+    pub fn unfinished(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|r| matches!(r.state, JobState::Queued | JobState::Running))
+            .count()
+    }
+
+    /// Count of jobs per final/current state tag, in tag-sorted order.
+    pub fn counts(&self) -> Vec<(&'static str, usize)> {
+        let mut m: HashMap<&'static str, usize> = HashMap::new();
+        for r in self.inner.lock().unwrap().values() {
+            *m.entry(r.state.tag()).or_insert(0) += 1;
+        }
+        let mut v: Vec<_> = m.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_json() {
+        let t = JobTable::default();
+        t.admit(7, "acme \"inc\"");
+        assert_eq!(t.unfinished(), 1);
+        let j = t.get(7).unwrap().to_json();
+        assert!(j.contains("\"state\":\"queued\""), "{j}");
+        assert!(j.contains("\"tenant\":\"acme \\\"inc\\\"\""), "{j}");
+        t.set_state(7, JobState::Running);
+        assert_eq!(t.get(7).unwrap().state.tag(), "running");
+        t.set_state(
+            7,
+            JobState::Failed {
+                kind: "pipeline",
+                message: "matrix is 3x4, not square".into(),
+            },
+        );
+        assert_eq!(t.unfinished(), 0);
+        let j = t.get(7).unwrap().to_json();
+        assert!(j.contains("\"error_kind\":\"pipeline\""), "{j}");
+        assert!(t.get(8).is_none());
+        t.set_state(8, JobState::Shed); // unknown id: no-op, no panic
+        assert_eq!(t.counts(), vec![("failed", 1)]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Tenant identities and policy: priority, DRR weight, queue capacity.
+//!
+//! The tenant table is static for a server's lifetime, loaded from a
+//! plain-text config (`--tenant-config`) of one tenant per line:
+//!
+//! ```text
+//! # name  priority  weight  queue_capacity
+//! acme    2         4       64
+//! free    0         1       16
+//! ```
+//!
+//! Higher `priority` is better: under overload the *lowest* priority
+//! class is shed first. `weight` is the deficit-round-robin share —
+//! a weight-4 tenant gets 4 jobs scheduled for every 1 of a weight-1
+//! tenant when both have work queued. Unknown tenants map to the
+//! `default` entry (always present; the built-in default is priority 1,
+//! weight 1, capacity 64).
+
+use std::collections::BTreeMap;
+
+/// One tenant's admission policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name (the `X-Tenant` header / `?tenant=` value).
+    pub name: String,
+    /// Shedding class; lowest sheds first.
+    pub priority: u8,
+    /// Deficit-round-robin weight (≥ 1).
+    pub weight: u32,
+    /// Bounded per-tenant admission queue length.
+    pub queue_capacity: usize,
+}
+
+impl TenantSpec {
+    /// The built-in policy for unknown tenants.
+    pub fn default_spec() -> Self {
+        Self {
+            name: "default".to_string(),
+            priority: 1,
+            weight: 1,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// The immutable tenant table.
+#[derive(Clone, Debug)]
+pub struct TenantTable {
+    // BTreeMap so iteration (and therefore DRR visiting order) is
+    // deterministic by name.
+    specs: BTreeMap<String, TenantSpec>,
+}
+
+impl Default for TenantTable {
+    fn default() -> Self {
+        let mut specs = BTreeMap::new();
+        let d = TenantSpec::default_spec();
+        specs.insert(d.name.clone(), d);
+        Self { specs }
+    }
+}
+
+impl TenantTable {
+    /// Parse the `--tenant-config` format: whitespace-separated
+    /// `name priority weight capacity` per line; `#` starts a comment;
+    /// blank lines ignored. A `default` entry is added if absent.
+    ///
+    /// # Errors
+    ///
+    /// A one-line message naming the offending line: wrong field count,
+    /// unparsable numbers, zero weight, zero capacity, or a duplicate
+    /// tenant name.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut specs = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let f: Vec<&str> = line.split_ascii_whitespace().collect();
+            if f.len() != 4 {
+                return Err(format!(
+                    "tenant config line {}: expected 'name priority weight capacity', got {raw:?}",
+                    i + 1
+                ));
+            }
+            let bad = |what: &str| {
+                format!("tenant config line {}: bad {what} in {raw:?}", i + 1)
+            };
+            let spec = TenantSpec {
+                name: f[0].to_string(),
+                priority: f[1].parse().map_err(|_| bad("priority"))?,
+                weight: f[2].parse().map_err(|_| bad("weight"))?,
+                queue_capacity: f[3].parse().map_err(|_| bad("capacity"))?,
+            };
+            if spec.weight == 0 {
+                return Err(bad("weight (must be >= 1)"));
+            }
+            if spec.queue_capacity == 0 {
+                return Err(bad("capacity (must be >= 1)"));
+            }
+            if specs.insert(spec.name.clone(), spec).is_some() {
+                return Err(format!(
+                    "tenant config line {}: duplicate tenant {:?}",
+                    i + 1,
+                    f[0]
+                ));
+            }
+        }
+        if !specs.contains_key("default") {
+            let d = TenantSpec::default_spec();
+            specs.insert(d.name.clone(), d);
+        }
+        Ok(Self { specs })
+    }
+
+    /// The spec governing `name`: its own entry, or the `default` entry
+    /// for unknown tenants.
+    pub fn spec(&self, name: &str) -> &TenantSpec {
+        self.specs
+            .get(name)
+            .unwrap_or_else(|| &self.specs["default"])
+    }
+
+    /// Whether `name` has its own entry (vs falling through to default).
+    pub fn is_known(&self, name: &str) -> bool {
+        self.specs.contains_key(name)
+    }
+
+    /// All specs, in deterministic (name) order.
+    pub fn iter(&self) -> impl Iterator<Item = &TenantSpec> {
+        self.specs.values()
+    }
+
+    /// Number of configured tenants (including `default`).
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the table is empty (never true: `default` always exists).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_config_with_comments_and_default_fallback() {
+        let t = TenantTable::parse(
+            "# fleet\nacme 2 4 64\nfree 0 1 16  # throwaway tier\n\n",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3, "default is added");
+        assert_eq!(t.spec("acme").weight, 4);
+        assert_eq!(t.spec("free").priority, 0);
+        assert_eq!(t.spec("nobody").name, "default");
+        assert!(t.is_known("acme"));
+        assert!(!t.is_known("nobody"));
+    }
+
+    #[test]
+    fn explicit_default_wins() {
+        let t = TenantTable::parse("default 3 9 128\n").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.spec("anyone").priority, 3);
+        assert_eq!(t.spec("anyone").weight, 9);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "acme 2 4",
+            "acme two 4 64",
+            "acme 2 four 64",
+            "acme 2 4 sixty",
+            "acme 2 0 64",
+            "acme 2 4 0",
+            "acme 1 1 8\nacme 2 2 8",
+            "acme 999 1 8",
+        ] {
+            let e = TenantTable::parse(bad).expect_err(bad);
+            assert!(e.contains("line"), "{e}");
+        }
+    }
+
+    #[test]
+    fn iteration_order_is_name_sorted() {
+        let t = TenantTable::parse("zeta 1 1 8\nalpha 1 1 8\n").unwrap();
+        let names: Vec<&str> = t.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "default", "zeta"]);
+    }
+}

@@ -1,0 +1,321 @@
+//! Worker shards: each owns a `Device` and an `ExtractionService` (with
+//! its own `WorkspacePool` and `CsrCache`), pulls fair batches from the
+//! shared admission controller, executes them, and publishes results and
+//! per-shard occupancy gauges.
+//!
+//! A shard never holds the admission lock while extracting — it pulls a
+//! batch under the lock, releases it, and runs the batch on its private
+//! service. The service runs under [`lf_batch::SaltPolicy::Solo`], so a
+//! served forest is bit-identical to a one-shot `lf forest` run on the
+//! same input (see the salt-policy docs for the argument).
+
+use crate::admission::Admission;
+use crate::state::{JobState, JobTable};
+use lf_batch::clock::Clock;
+use lf_batch::{BatchConfig, ExtractionService, JobError, SaltPolicy};
+use lf_kernel::{backend, BackendKind, Device, DeviceConfig};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Configuration one worker shard needs (a slice of the server config).
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Jobs per pulled batch (also the shard service's queue/batch cap).
+    pub batch_jobs: usize,
+    /// Deadline-aware close: pull even a partial batch once the oldest
+    /// queued job has waited this long.
+    pub deadline: Duration,
+    /// Audit every result with lf-check stage audits.
+    pub check: bool,
+    /// Execution backend for the shard's device.
+    pub backend: BackendKind,
+    /// Whether the peephole kernel-fusion pass is enabled.
+    pub fuse: bool,
+    /// Idle workspaces retained by the shard's pool.
+    pub pool_capacity: usize,
+    /// Prepared graphs retained by the shard's LRU cache.
+    pub cache_capacity: usize,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        Self {
+            batch_jobs: 8,
+            deadline: Duration::from_millis(20),
+            check: false,
+            backend: BackendKind::Model,
+            fuse: true,
+            pool_capacity: 2,
+            cache_capacity: 32,
+        }
+    }
+}
+
+/// The outcome a single step reports per finished job (the sim's latency
+/// accounting and the tests consume these; the HTTP path reads the job
+/// table instead).
+#[derive(Clone, Debug)]
+pub struct StepOutcome {
+    /// Server-global job ID.
+    pub id: u64,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Whether the job succeeded.
+    pub ok: bool,
+}
+
+/// One worker shard.
+pub struct WorkerShard {
+    /// Shard index (label value in per-shard metric families).
+    pub id: usize,
+    label: String,
+    dev: Device,
+    svc: ExtractionService,
+    clock: Arc<dyn Clock>,
+}
+
+impl WorkerShard {
+    /// Build shard `id` with its own device and extraction service, both
+    /// clocked by `clock`.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the service constructor only rejects
+    /// `factor.n != 2`, and the config built here always uses the [0,2]
+    /// default.
+    pub fn new(id: usize, cfg: &WorkerConfig, clock: Arc<dyn Clock>) -> Self {
+        let dev = Device::with_backend(DeviceConfig::default(), backend::make(cfg.backend));
+        dev.set_fusion(cfg.fuse);
+        let bc = BatchConfig {
+            queue_capacity: cfg.batch_jobs.max(1),
+            max_batch_jobs: cfg.batch_jobs.max(1),
+            deadline: cfg.deadline,
+            salt_policy: SaltPolicy::Solo,
+            check: cfg.check,
+            pool_capacity: cfg.pool_capacity,
+            cache_capacity: cfg.cache_capacity,
+            ..BatchConfig::default()
+        };
+        let svc = ExtractionService::with_clock(bc, Arc::clone(&clock))
+            .expect("default [0,2]-factor config is always valid");
+        Self {
+            id,
+            label: format!("w{id}"),
+            dev,
+            svc,
+            clock,
+        }
+    }
+
+    /// Cumulative device model time, in seconds (the sim's cost model).
+    pub fn model_time_s(&self) -> f64 {
+        self.dev.stats().model_time_s
+    }
+
+    /// Pull one fair batch if the admission controller says one is ready,
+    /// execute it, publish outcomes into `jobs`, and return the per-job
+    /// outcomes. Returns an empty vec when nothing was ready.
+    pub fn step(
+        &mut self,
+        adm: &Mutex<Admission>,
+        jobs: &JobTable,
+        draining: bool,
+    ) -> Vec<StepOutcome> {
+        let cfg = self.svc.config();
+        let (batch_jobs, deadline) = (cfg.max_batch_jobs, cfg.deadline);
+        let now = self.clock.now();
+        let pulled = {
+            let mut a = adm.lock().unwrap();
+            if a.ready(now, batch_jobs, deadline, draining) {
+                a.pull(batch_jobs)
+            } else {
+                Vec::new()
+            }
+        };
+        if pulled.is_empty() {
+            return Vec::new();
+        }
+
+        let metrics = lf_metrics::enabled();
+        let mut ids: HashMap<u64, (u64, String)> = HashMap::new();
+        for qj in pulled {
+            jobs.set_state(qj.id, JobState::Running);
+            if metrics {
+                let waited = now.saturating_duration_since(qj.enqueued_at);
+                lf_metrics::global()
+                    .histogram_with(
+                        "lf_serve_admission_wait_seconds",
+                        "Admission-to-worker wait per job, by tenant.",
+                        lf_metrics::Unit::Nanos,
+                        ("tenant", qj.tenant.as_str()),
+                    )
+                    .record_f64(waited.as_nanos() as f64);
+            }
+            match self.svc.submit(format!("job-{}", qj.id), qj.graph, now) {
+                Ok(svc_id) => {
+                    ids.insert(svc_id, (qj.id, qj.tenant));
+                }
+                Err(e) => {
+                    // Unreachable by construction (pull size == service
+                    // queue capacity), but never silently lose a job.
+                    jobs.set_state(
+                        qj.id,
+                        JobState::Failed {
+                            kind: "internal",
+                            message: format!("shard submit: {e}"),
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        for o in self.svc.drain(&self.dev) {
+            let Some((gid, tenant)) = ids.remove(&o.id) else {
+                continue;
+            };
+            let ok = o.result.is_ok();
+            let state = match o.result {
+                Ok(r) => JobState::Done {
+                    perm: r.forest.perm,
+                    quality: r.quality,
+                    nnz: o.nnz,
+                    cache_hit: o.cache_hit,
+                },
+                Err(e) => {
+                    let kind = match &e {
+                        JobError::Pipeline(_) => "pipeline",
+                        JobError::Union(_) => "union",
+                        JobError::Audit { .. } => "audit",
+                        JobError::Internal { .. } => "internal",
+                    };
+                    JobState::Failed {
+                        kind,
+                        message: e.to_string().replace('\n', "; "),
+                    }
+                }
+            };
+            jobs.set_state(gid, state);
+            if metrics {
+                let family = if ok {
+                    ("lf_serve_completed_total", "Jobs completed, by tenant.")
+                } else {
+                    ("lf_serve_failed_total", "Jobs failed, by tenant.")
+                };
+                lf_metrics::global()
+                    .counter_with(family.0, family.1, ("tenant", tenant.as_str()))
+                    .inc();
+            }
+            out.push(StepOutcome {
+                id: gid,
+                tenant,
+                ok,
+            });
+        }
+        self.svc.publish_occupancy(&self.label);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::QueuedJob;
+    use crate::tenant::TenantTable;
+    use lf_batch::ModelClock;
+    use lf_sparse::random::random_symmetric;
+
+    #[test]
+    fn step_executes_a_fair_batch_and_updates_the_table() {
+        let clock = ModelClock::shared();
+        let adm = Mutex::new(Admission::new(
+            TenantTable::parse("a 1 2 16\nb 1 1 16\n").unwrap(),
+            1000,
+        ));
+        let jobs = JobTable::default();
+        let t = clock.now();
+        for i in 0..4u64 {
+            let tn = if i % 2 == 0 { "a" } else { "b" };
+            jobs.admit(i, tn);
+            adm.lock()
+                .unwrap()
+                .submit(QueuedJob {
+                    id: i,
+                    tenant: tn.to_string(),
+                    graph: random_symmetric(30, 3.0, 0.1, 1.0, 50 + i),
+                    enqueued_at: t,
+                })
+                .unwrap();
+        }
+        let mut w = WorkerShard::new(
+            0,
+            &WorkerConfig {
+                batch_jobs: 4,
+                ..WorkerConfig::default()
+            },
+            clock,
+        );
+        let out = w.step(&adm, &jobs, false);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o.ok), "{out:?}");
+        assert_eq!(jobs.unfinished(), 0);
+        for i in 0..4 {
+            assert_eq!(jobs.get(i).unwrap().state.tag(), "done");
+        }
+        assert!(w.model_time_s() > 0.0);
+        // Nothing queued: the next step is a no-op.
+        assert!(w.step(&adm, &jobs, false).is_empty());
+    }
+
+    #[test]
+    fn deadline_holds_partial_batches_until_the_clock_says_so() {
+        let clock = ModelClock::shared();
+        let adm = Mutex::new(Admission::new(TenantTable::default(), 1000));
+        let jobs = JobTable::default();
+        jobs.admit(0, "default");
+        adm.lock()
+            .unwrap()
+            .submit(QueuedJob {
+                id: 0,
+                tenant: "default".into(),
+                graph: random_symmetric(20, 2.0, 0.1, 1.0, 9),
+                enqueued_at: clock.now(),
+            })
+            .unwrap();
+        let cfg = WorkerConfig {
+            batch_jobs: 8,
+            deadline: Duration::from_millis(20),
+            ..WorkerConfig::default()
+        };
+        let mut w = WorkerShard::new(1, &cfg, clock.clone());
+        assert!(w.step(&adm, &jobs, false).is_empty(), "deadline not reached");
+        clock.advance(Duration::from_millis(20));
+        assert_eq!(w.step(&adm, &jobs, false).len(), 1);
+    }
+
+    #[test]
+    fn failed_jobs_surface_typed_in_the_table() {
+        let clock = ModelClock::shared();
+        let adm = Mutex::new(Admission::new(TenantTable::default(), 1000));
+        let jobs = JobTable::default();
+        jobs.admit(0, "default");
+        adm.lock()
+            .unwrap()
+            .submit(QueuedJob {
+                id: 0,
+                tenant: "default".into(),
+                graph: lf_sparse::Csr::zeros(3, 4), // non-square
+                enqueued_at: clock.now(),
+            })
+            .unwrap();
+        let mut w = WorkerShard::new(2, &WorkerConfig::default(), clock);
+        let out = w.step(&adm, &jobs, true);
+        assert_eq!(out.len(), 1);
+        assert!(!out[0].ok);
+        match jobs.get(0).unwrap().state {
+            JobState::Failed { kind, .. } => assert_eq!(kind, "pipeline"),
+            ref s => panic!("expected failed, got {}", s.tag()),
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Concurrent fair admission under overload — satellite of the lf-serve
+//! PR: multi-threaded submitters against the shared admission controller
+//! and real worker shards, with one tenant flooding far past the shed
+//! watermark.
+//!
+//! Asserts the full fairness story end-to-end on real threads:
+//!
+//! * the flooder (priority 0) is shed first and loses work;
+//! * both polite tenants complete **every** job — zero shed;
+//! * the `lf_batch_jobs_total{outcome}` counters reconcile exactly with
+//!   the per-submitter response accounting (admitted − evicted = ok).
+
+use lf_serve::admission::{Admission, QueuedJob};
+use lf_serve::state::{JobState, JobTable};
+use lf_serve::tenant::TenantTable;
+use lf_serve::worker::{WorkerConfig, WorkerShard};
+use lf_batch::clock::{Clock, MonotonicClock};
+use lf_batch::SubmitError;
+use lf_metrics::ValueSnapshot;
+use lf_sparse::stencil::{grid2d, ANISO1, ANISO2, FIVE_POINT};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Default)]
+struct TenantLedger {
+    admitted: AtomicUsize,
+    shed: AtomicUsize, // refused at the door + evicted after admission
+}
+
+fn counter_sum(family: &str, label: Option<&str>) -> u64 {
+    let snap = lf_metrics::global().snapshot();
+    snap.families
+        .iter()
+        .filter(|f| f.name == family)
+        .flat_map(|f| &f.series)
+        .filter(|s| label.is_none_or(|l| s.label.as_deref() == Some(l)))
+        .map(|s| match &s.value {
+            ValueSnapshot::Counter(v) => *v,
+            _ => 0,
+        })
+        .sum()
+}
+
+#[test]
+fn flooder_is_shed_first_and_counters_reconcile() {
+    lf_metrics::enable();
+    let base_ok = counter_sum("lf_batch_jobs_total", Some("ok"));
+
+    let table = TenantTable::parse("alpha 1 2 32\nbeta 1 1 32\nflood 0 1 128\n").unwrap();
+    // Watermark strictly above the polite tenants' maximum combined
+    // backlog (30 + 20): even if the workers stall completely, only the
+    // flooder (queue cap 128) can push the total over it.
+    let adm = Arc::new(Mutex::new(Admission::new(table, 64)));
+    let jobs = Arc::new(JobTable::default());
+    let clock: Arc<dyn Clock> = Arc::new(MonotonicClock);
+    let next_id = Arc::new(AtomicU64::new(1));
+    let draining = Arc::new(AtomicBool::new(false));
+
+    // Two worker shards, the server's loop shape (step until drained).
+    let mut workers = Vec::new();
+    for w in 0..2 {
+        let adm = Arc::clone(&adm);
+        let jobs = Arc::clone(&jobs);
+        let clock = Arc::clone(&clock);
+        let draining = Arc::clone(&draining);
+        workers.push(std::thread::spawn(move || {
+            let cfg = WorkerConfig {
+                batch_jobs: 8,
+                deadline: Duration::from_millis(5),
+                ..WorkerConfig::default()
+            };
+            let mut shard = WorkerShard::new(w, &cfg, clock);
+            loop {
+                let drain = draining.load(Ordering::SeqCst);
+                let done = shard.step(&adm, &jobs, drain);
+                if done.is_empty() {
+                    if drain && adm.lock().unwrap().total() == 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }));
+    }
+
+    // Three submitter threads: two polite, one flooding.
+    let ledgers: Arc<std::collections::BTreeMap<String, TenantLedger>> = Arc::new(
+        ["alpha", "beta", "flood"]
+            .into_iter()
+            .map(|n| (n.to_string(), TenantLedger::default()))
+            .collect(),
+    );
+    let evicted_total = Arc::new(AtomicUsize::new(0));
+    let plan: [(&str, usize, u64); 3] = [("alpha", 30, 2000), ("beta", 20, 3000), ("flood", 300, 0)];
+    let mut submitters = Vec::new();
+    for (tenant, count, pace_us) in plan {
+        let adm = Arc::clone(&adm);
+        let jobs = Arc::clone(&jobs);
+        let clock = Arc::clone(&clock);
+        let next_id = Arc::clone(&next_id);
+        let ledgers = Arc::clone(&ledgers);
+        let evicted_total = Arc::clone(&evicted_total);
+        submitters.push(std::thread::spawn(move || {
+            let stencils = [&ANISO1, &ANISO2, &FIVE_POINT];
+            for i in 0..count {
+                let id = next_id.fetch_add(1, Ordering::Relaxed);
+                let side = 12 + i % 3;
+                let graph = grid2d::<f64>(side, side, stencils[i % 3]);
+                let job = QueuedJob {
+                    id,
+                    tenant: tenant.to_string(),
+                    graph,
+                    enqueued_at: clock.now(),
+                };
+                // Table record first — a worker may finish the job the
+                // instant it is queued (same discipline as the server).
+                jobs.admit(id, tenant);
+                let outcome = adm.lock().unwrap().submit(job);
+                match outcome {
+                    Ok(evicted) => {
+                        ledgers[tenant].admitted.fetch_add(1, Ordering::Relaxed);
+                        for e in evicted {
+                            jobs.set_state(e.id, JobState::Shed);
+                            evicted_total.fetch_add(1, Ordering::Relaxed);
+                            ledgers[e.tenant.as_str()].shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(SubmitError::TenantQueueFull { .. } | SubmitError::Shedding { .. }) => {
+                        jobs.set_state(id, JobState::Shed);
+                        ledgers[tenant].shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("unexpected submit error: {e}"),
+                }
+                if pace_us > 0 {
+                    std::thread::sleep(Duration::from_micros(pace_us));
+                }
+            }
+        }));
+    }
+    for s in submitters {
+        s.join().expect("submitter completes");
+    }
+    draining.store(true, Ordering::SeqCst);
+    for w in workers {
+        w.join().expect("worker drains and exits");
+    }
+
+    // Fairness: polite tenants complete everything, the flooder pays.
+    let led = |n: &str| {
+        (
+            ledgers[n].admitted.load(Ordering::Relaxed),
+            ledgers[n].shed.load(Ordering::Relaxed),
+        )
+    };
+    let (alpha_adm, alpha_shed) = led("alpha");
+    let (beta_adm, beta_shed) = led("beta");
+    let (flood_adm, flood_shed) = led("flood");
+    let evicted = evicted_total.load(Ordering::Relaxed);
+    assert_eq!((alpha_adm, alpha_shed), (30, 0), "alpha must not be shed");
+    assert_eq!((beta_adm, beta_shed), (20, 0), "beta must not be shed");
+    assert!(flood_shed > 0, "the flooder must actually be shed");
+    // Flood's ledger: every submission was admitted or refused; evictions
+    // additionally shed already-admitted jobs.
+    assert_eq!(flood_adm + flood_shed, 300 + evicted);
+
+    // Every admitted-and-not-evicted job finished; nothing is stuck.
+    assert_eq!(jobs.unfinished(), 0, "{:?}", jobs.counts());
+    let done = jobs
+        .counts()
+        .iter()
+        .find(|(t, _)| *t == "done")
+        .map_or(0, |(_, c)| *c);
+    let executed = alpha_adm + beta_adm + flood_adm - evicted;
+    assert_eq!(done, executed, "{:?}", jobs.counts());
+
+    // Metrics reconcile with the response-side ledger: every executed job
+    // passed through a shard's ExtractionService exactly once, as ok.
+    let ok_jobs = counter_sum("lf_batch_jobs_total", Some("ok")) - base_ok;
+    assert_eq!(ok_jobs as usize, done, "lf_batch_jobs_total{{ok}} reconciles");
+    let served = counter_sum("lf_serve_completed_total", None);
+    assert_eq!(served as usize, done, "lf_serve_completed_total reconciles");
+    assert_eq!(counter_sum("lf_serve_failed_total", None), 0);
+}

@@ -1,0 +1,229 @@
+//! Robustness of the HTTP body-parsing path against hostile payloads —
+//! the serving analogue of the workspace's `mm_robustness` suite, and
+//! built from the same corpus: a well-formed file plus byte-level
+//! mutation, truncation, and garbage. Two layers:
+//!
+//! * [`lf_serve::parse_graph`] directly under proptest: any corruption is
+//!   a one-line `Err`, never a panic;
+//! * a real loopback server with short socket timeouts: every hostile
+//!   request gets a typed 4xx response or a clean connection close,
+//!   never a panicked worker or a hung connection.
+
+use lf_serve::{parse_graph, to_raw_csr, ServeConfig, Server, StopHandle};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// The same well-formed MatrixMarket corpus `tests/mm_robustness.rs`
+/// mutates (general coordinate, comments, negative weights).
+const VALID_MM: &str = "%%MatrixMarket matrix coordinate real general\n\
+                        % comment line\n\
+                        4 4 6\n\
+                        1 1 1.5\n\
+                        2 1 -2.0\n\
+                        2 3 0.5\n\
+                        3 3 4.0\n\
+                        4 2 1.25\n\
+                        4 4 -0.75\n";
+
+fn valid_raw_csr() -> String {
+    let (g, _) = parse_graph(VALID_MM.as_bytes()).expect("corpus parses");
+    to_raw_csr(&g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Single-byte corruption of the MatrixMarket corpus: accept or
+    /// one-line reject, never panic.
+    #[test]
+    fn mm_single_byte_mutation_never_panics(
+        idx in 0usize..VALID_MM.len(),
+        byte in 0u8..=255u8,
+    ) {
+        let mut data = VALID_MM.as_bytes().to_vec();
+        data[idx] = byte;
+        if let Err(e) = parse_graph(&data) {
+            prop_assert!(!e.contains('\n'), "multi-line error: {e:?}");
+        }
+    }
+
+    /// Multi-byte corruption of the raw-CSR rendering of the same graph.
+    #[test]
+    fn raw_csr_mutation_never_panics(
+        muts in proptest::collection::vec((0usize..64, 0u8..=255u8), 1..16)
+    ) {
+        let wire = valid_raw_csr();
+        let mut data = wire.into_bytes();
+        for (idx, byte) in muts {
+            let i = idx % data.len();
+            data[i] = byte;
+        }
+        if let Err(e) = parse_graph(&data) {
+            prop_assert!(!e.contains('\n'), "multi-line error: {e:?}");
+        }
+    }
+
+    /// Truncation at every offset, both formats.
+    #[test]
+    fn truncation_never_panics(len in 0usize..VALID_MM.len()) {
+        let _ = parse_graph(&VALID_MM.as_bytes()[..len]);
+        let wire = valid_raw_csr();
+        let cut = len.min(wire.len());
+        let _ = parse_graph(&wire.as_bytes()[..cut]);
+    }
+
+    /// Arbitrary bytes (including invalid UTF-8).
+    #[test]
+    fn random_garbage_never_panics(data in proptest::collection::vec(0u8..=255u8, 0..256)) {
+        if let Err(e) = parse_graph(&data) {
+            prop_assert!(!e.contains('\n'), "multi-line error: {e:?}");
+        }
+    }
+}
+
+#[test]
+fn nan_and_inf_weights_are_rejected() {
+    let nan = VALID_MM.replace("1.5", "NaN");
+    assert!(parse_graph(nan.as_bytes()).is_err(), "NaN must be rejected");
+    let inf = VALID_MM.replace("1.5", "inf");
+    assert!(parse_graph(inf.as_bytes()).is_err(), "inf must be rejected");
+}
+
+// ---------------------------------------------------------------------
+// Socket layer: a live loopback server with short timeouts.
+// ---------------------------------------------------------------------
+
+fn spawn_server() -> (SocketAddr, StopHandle, std::thread::JoinHandle<lf_serve::DrainReport>) {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        max_body: 64 * 1024,
+        io_timeout: Duration::from_millis(300),
+        drain_deadline: Duration::from_secs(10),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, stop, handle)
+}
+
+/// Send raw bytes, read whatever comes back until the server closes the
+/// connection (or the client-side timeout trips). Returns the response
+/// text — empty when the server dropped the connection without replying.
+fn exchange(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(raw).expect("request write");
+    let _ = s.shutdown(Shutdown::Write);
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf); // timeout → partial read, not a hang
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn post(body: &[u8]) -> Vec<u8> {
+    let mut req = format!(
+        "POST /v1/forest HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    req
+}
+
+fn status_of(response: &str) -> Option<u16> {
+    response
+        .strip_prefix("HTTP/1.1 ")?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[test]
+fn hostile_requests_get_typed_responses_never_hangs() {
+    let (addr, stop, handle) = spawn_server();
+
+    // Mutations of the valid corpus over a real socket: every exchange
+    // completes with 202 (still parses) or 400 (rejected) — bounded time,
+    // no hang, no panic.
+    for i in (0..VALID_MM.len()).step_by(7) {
+        let mut data = VALID_MM.as_bytes().to_vec();
+        data[i] ^= 0xff;
+        let resp = exchange(addr, &post(&data));
+        let code = status_of(&resp).unwrap_or_else(|| panic!("no status line in {resp:?}"));
+        assert!(
+            code == 202 || code == 400,
+            "mutation at byte {i}: unexpected status {code}: {resp:?}"
+        );
+        if code == 400 {
+            assert!(resp.contains("{\"error\":\""), "typed error body: {resp:?}");
+        }
+    }
+
+    // Truncations over the socket (with a matching Content-Length).
+    for len in [0, 10, VALID_MM.len() / 2, VALID_MM.len() - 1] {
+        let resp = exchange(addr, &post(&VALID_MM.as_bytes()[..len]));
+        let code = status_of(&resp).expect("status line");
+        assert!(code == 202 || code == 400, "truncation {len}: {code}");
+    }
+
+    // Garbage request head → 400 Malformed.
+    let resp = exchange(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status_of(&resp), Some(400), "{resp:?}");
+
+    // Declared body larger than the cap → 413 before the body is read.
+    let resp = exchange(
+        addr,
+        b"POST /v1/forest HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), Some(413), "{resp:?}");
+    assert!(resp.contains("exceeds"), "{resp:?}");
+
+    // POST without Content-Length → 411.
+    let resp = exchange(addr, b"POST /v1/forest HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status_of(&resp), Some(411), "{resp:?}");
+
+    let report = finish(stop, handle);
+    assert_eq!(report.abandoned, 0);
+}
+
+#[test]
+fn truncated_body_times_out_and_frees_the_handler() {
+    let (addr, stop, handle) = spawn_server();
+
+    // Declare 100 bytes, send 10, keep the write side open: the server's
+    // read timeout (300 ms) must trip, close the connection, and free the
+    // handler — the client sees EOF well inside its own 5 s timeout.
+    let t0 = Instant::now();
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    s.write_all(b"POST /v1/forest HTTP/1.1\r\nContent-Length: 100\r\n\r\ncsr 2 2 0")
+        .unwrap();
+    let mut buf = Vec::new();
+    let _ = s.read_to_end(&mut buf);
+    assert!(
+        t0.elapsed() < Duration::from_secs(4),
+        "stalled-body connection was not torn down by the server timeout"
+    );
+    assert!(buf.is_empty(), "no response promised for a stalled body: {buf:?}");
+
+    // The handler pool is healthy afterwards: a normal request round-trips.
+    let resp = exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&resp), Some(200), "{resp:?}");
+    assert!(resp.ends_with("ok\n"), "{resp:?}");
+
+    let report = finish(stop, handle);
+    assert_eq!(report.abandoned, 0);
+}
+
+fn finish(
+    stop: StopHandle,
+    handle: std::thread::JoinHandle<lf_serve::DrainReport>,
+) -> lf_serve::DrainReport {
+    stop.stop();
+    handle.join().expect("server thread joins cleanly")
+}

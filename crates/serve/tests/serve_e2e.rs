@@ -1,0 +1,163 @@
+//! End-to-end loopback test of the HTTP server: POST a graph, poll the
+//! job, fetch the forest, and check it is **bit-identical** to a direct
+//! in-process extraction — the contract `SaltPolicy::Solo` exists for.
+//! Also exercises tenants, /metrics, /healthz, the 404/405 paths, and a
+//! clean drain via the stop handle.
+
+use lf_batch::BatchConfig;
+use lf_core::prelude::*;
+use lf_kernel::Device;
+use lf_serve::{to_raw_csr, DrainReport, ServeConfig, Server, StopHandle, TenantTable};
+use lf_sparse::stencil::{grid2d, ANISO1};
+use lf_sparse::Csr;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn spawn_server() -> (SocketAddr, StopHandle, std::thread::JoinHandle<DrainReport>) {
+    lf_metrics::enable();
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        tenants: TenantTable::parse("acme 2 2 32\nguest 1 1 8\n").unwrap(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(cfg).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let stop = server.stop_handle();
+    (addr, stop, std::thread::spawn(move || server.run()))
+}
+
+fn request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(raw).expect("write request");
+    let _ = s.shutdown(Shutdown::Write);
+    let mut buf = Vec::new();
+    s.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8_lossy(&buf).into_owned();
+    let status: u16 = text
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|c| c.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+}
+
+fn post(addr: SocketAddr, path: &str, headers: &str, body: &[u8]) -> (u16, String) {
+    let mut raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{headers}\r\n",
+        body.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(body);
+    request(addr, &raw)
+}
+
+fn job_id(body: &str) -> u64 {
+    body.split("\"job\":")
+        .nth(1)
+        .and_then(|r| r.split(&[',', '}'][..]).next())
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(|| panic!("no job id in {body:?}"))
+}
+
+fn poll_done(addr: SocketAddr, id: u64) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (code, body) = get(addr, &format!("/v1/jobs/{id}"));
+        assert!(code == 200 || code == 202, "poll: {code} {body:?}");
+        if body.contains("\"state\":\"done\"") {
+            return body;
+        }
+        assert!(
+            !body.contains("\"state\":\"failed\"") && !body.contains("\"state\":\"shed\""),
+            "job {id} reached a bad terminal state: {body:?}"
+        );
+        assert!(Instant::now() < deadline, "job {id} never finished: {body:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// The exact permutation a one-shot run produces — what the served bytes
+/// must equal (same default factor config as the worker shards).
+fn direct_perm(a: &Csr<f64>) -> String {
+    let dev = Device::default();
+    let cfg = BatchConfig::default().factor;
+    let (forest, _) = extract_linear_forest(&dev, &prepare_undirected(a), &cfg)
+        .expect("direct extraction");
+    let mut s = String::new();
+    for v in &forest.perm {
+        s.push_str(&v.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[test]
+fn post_poll_fetch_is_bit_identical_to_direct_extraction() {
+    let (addr, stop, handle) = spawn_server();
+    let a: Csr<f64> = grid2d(16, 16, &ANISO1);
+
+    // Raw-CSR submission under a configured tenant (header routing).
+    let (code, body) = post(addr, "/v1/forest", "X-Tenant: acme\r\n", to_raw_csr(&a).as_bytes());
+    assert_eq!(code, 202, "{body:?}");
+    assert!(body.contains("\"tenant\":\"acme\""), "{body:?}");
+    assert!(body.contains("\"format\":\"rawcsr\""), "{body:?}");
+    let id = job_id(&body);
+
+    let done = poll_done(addr, id);
+    assert!(done.contains("\"vertices\":256"), "{done:?}");
+
+    let (code, served) = get(addr, &format!("/v1/jobs/{id}/forest"));
+    assert_eq!(code, 200);
+    assert_eq!(served, direct_perm(&a), "served forest must be bit-identical");
+
+    // A MatrixMarket submission via query-string tenant routing completes
+    // too (unknown tenant → the shared default queue, name preserved).
+    let mm = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n1 2 1.5\n2 3 2.5\n";
+    let (code, body) = post(addr, "/v1/forest?tenant=walkin", "", mm.as_bytes());
+    assert_eq!(code, 202, "{body:?}");
+    assert!(body.contains("\"tenant\":\"walkin\""), "{body:?}");
+    assert!(body.contains("\"format\":\"matrixmarket\""), "{body:?}");
+    let id2 = job_id(&body);
+    poll_done(addr, id2);
+
+    // Routing edges.
+    let (code, _) = get(addr, "/v1/jobs/999999");
+    assert_eq!(code, 404);
+    let (code, body) = get(addr, "/healthz");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (code, _) = request(addr, b"DELETE /v1/forest HTTP/1.1\r\n\r\n");
+    assert_eq!(code, 405);
+    let (code, _) = get(addr, "/nope");
+    assert_eq!(code, 404);
+
+    // Metrics exposition: request counters and per-tenant families are
+    // live, and the per-shard occupancy gauges were published.
+    let (code, prom) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    for needle in [
+        "lf_serve_requests_total{route=\"forest\"}",
+        "lf_serve_completed_total{tenant=\"acme\"}",
+        "lf_serve_admission_wait_seconds",
+        "lf_batch_pool_occupancy",
+        "lf_batch_shard_cache_misses",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+    }
+
+    // Clean drain via the stop handle: everything terminal, 0 abandoned.
+    stop.stop();
+    let report = handle.join().expect("server joins");
+    assert!(report.completed >= 2, "{report:?}");
+    assert_eq!(report.abandoned, 0, "{report:?}");
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Curl walkthrough for the lf-serve HTTP API (DESIGN.md §15).
+#
+# Starts a server with a three-tenant config, submits graphs in both
+# wire formats, polls, fetches a forest, inspects /metrics, and drains
+# cleanly on SIGTERM. Requires: a release build (`cargo build --release`)
+# and curl.
+set -euo pipefail
+
+LF=${LF:-./target/release/lf}
+ADDR=${ADDR:-127.0.0.1:8080}
+BASE="http://$ADDR"
+
+# --- a tenant config: name priority weight queue_cap -----------------
+# Higher priority is shed later; weight is the deficit-round-robin
+# share; unknown tenants land in a shared "default" queue.
+cat > /tmp/tenants.conf <<'EOF'
+acme  2 2 64
+beta  1 1 32
+guest 0 1 16
+EOF
+
+# --- a small anisotropic grid in MatrixMarket format -----------------
+python3 - <<'EOF' > /tmp/grid.mtx
+n = 16
+edges = []
+for y in range(n):
+    for x in range(n):
+        v = y * n + x + 1
+        if x + 1 < n:
+            edges.append((v, v + 1, 2.0))   # heavy axis
+        if y + 1 < n:
+            edges.append((v, v + n, 1.0))   # light axis
+print("%%MatrixMarket matrix coordinate real symmetric")
+print(n * n, n * n, len(edges))
+for a, b, w in edges:
+    print(a, b, w)
+EOF
+
+"$LF" serve --addr "$ADDR" --workers 2 --tenant-config /tmp/tenants.conf &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+until curl -sf "$BASE/healthz" >/dev/null; do sleep 0.1; done
+
+echo "== submit (MatrixMarket, tenant via header) =="
+RESP=$(curl -sf -X POST --data-binary @/tmp/grid.mtx \
+  -H 'X-Tenant: acme' "$BASE/v1/forest")
+echo "$RESP"   # {"job":1,"tenant":"acme","format":"matrixmarket"}
+JOB=$(echo "$RESP" | grep -o '"job":[0-9]*' | cut -d: -f2)
+
+echo "== poll until done =="
+until curl -sf "$BASE/v1/jobs/$JOB" | grep -q '"state":"done"'; do
+  sleep 0.1
+done
+curl -sf "$BASE/v1/jobs/$JOB"
+echo
+
+echo "== fetch the forest (permutation, one vertex per line) =="
+curl -sf "$BASE/v1/jobs/$JOB/forest" | head -5
+echo "..."
+
+echo "== raw-CSR wire format, tenant via query string =="
+# csr <n> <n> <nnz>, then row_ptr, col_idx, and values lines.
+printf 'csr 3 3 4\n0 1 3 4\n1 0 2 1\n1.5 1.5 2.5 2.5\n' \
+  | curl -sf -X POST --data-binary @- "$BASE/v1/forest?tenant=walkin"
+echo
+
+echo "== a malformed body is a typed one-line 400 =="
+curl -s -X POST -d 'not a matrix' "$BASE/v1/forest" || true
+echo
+
+echo "== metrics (Prometheus text) =="
+curl -sf "$BASE/metrics" | grep -E 'lf_serve_(requests|completed)_total' | head -8
+
+echo "== drain: SIGTERM completes queued work, then exits 0 =="
+kill -TERM "$SRV"
+wait "$SRV"
+trap - EXIT
+echo "drained cleanly"

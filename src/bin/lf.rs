@@ -12,6 +12,9 @@
 //! lf check      --suite [--cases N] [--size N]   # differential oracle suite
 //! lf batch      <dir | in1,in2,...> [--repeat R] [--nnz-budget B]
 //!               [--max-jobs J] [--json]      # fused multi-graph extraction
+//! lf serve      [--addr HOST:PORT] [--workers N] [--tenant-config FILE]
+//!               [--deadline-ms MS] [--batch-jobs J] [--shed-watermark W]
+//!               [--max-body BYTES]           # multi-tenant HTTP extraction server
 //! lf postmortem <bundle-dir> [--replay]      # inspect / replay a bundle
 //! ```
 //!
@@ -58,10 +61,11 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lf <stats|factor|forest|shard|tridiag|solve|check|batch|postmortem> <input.mtx|gen:NAME[:N]> [options]\n\
+        "usage: lf <stats|factor|forest|shard|tridiag|solve|check|batch|serve|postmortem> <input.mtx|gen:NAME[:N]> [options]\n\
          forest --shards K runs the partitioned pipeline (per-block factors + boundary reconciliation)\n\
          shard compares a sharded run against the whole-graph run (quality ratio, K=1 bit-equality)\n\
          batch input: a directory of .mtx files or a comma-separated input list\n\
+         serve runs the multi-tenant HTTP server (POST /v1/forest, GET /v1/jobs/<id>, /metrics, /healthz)\n\
          postmortem input: a bundle directory written by --flight-dir (add --replay to re-run it)\n\
          global flags: --backend <model|cpu>, --no-fuse, --trace <out.json>,\n\
                        --metrics <out.prom>, --check, --flight-dir <dir>, --inject-fault <fault>\n\
@@ -307,6 +311,9 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
         }
 
         let counters = linear_forest::batch::counters();
+        // Per-shard occupancy gauges (the CLI is a single shard, "cli"):
+        // visible in --metrics exports and mirrored in the JSON below.
+        svc.publish_occupancy("cli");
         let failed = outcomes.iter().filter(|o| o.result.is_err()).count();
         if has_flag(rest, "--json") {
             let jobs: Vec<String> = outcomes
@@ -339,9 +346,10 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
                 })
                 .collect();
             println!(
-                "{{\"jobs\":[{}],\"service\":{}}}",
+                "{{\"jobs\":[{}],\"service\":{},\"occupancy\":{}}}",
                 jobs.join(","),
-                counters.to_json()
+                counters.to_json(),
+                svc.occupancy_json()
             );
         } else {
             for o in &outcomes {
@@ -382,11 +390,88 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
         failed == 0
     }
 
-    fn main() {
+    /// `lf serve`: run the multi-tenant HTTP extraction server until SIGTERM
+/// or SIGINT, then drain. Returns the process exit code (0 iff the drain
+/// abandoned nothing).
+fn run_serve(args: &[String]) -> i32 {
+    use linear_forest::serve::{self, ServeConfig, Server};
+
+    let mut cfg = ServeConfig::default();
+    if let Some(a) = flag_val(args, "--addr") {
+        cfg.addr = a.to_string();
+    }
+    if let Some(w) = flag_val(args, "--workers").and_then(|s| s.parse().ok()) {
+        cfg.workers = std::cmp::max(w, 1);
+    }
+    if let Some(path) = flag_val(args, "--tenant-config") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(format!("cannot read tenant config {path}: {e}")));
+        cfg.tenants = linear_forest::serve::TenantTable::parse(&text)
+            .unwrap_or_else(|e| fail(format!("tenant config {path}: {e}")));
+    }
+    if let Some(ms) = flag_val(args, "--deadline-ms").and_then(|s| s.parse().ok()) {
+        cfg.worker.deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(j) = flag_val(args, "--batch-jobs").and_then(|s| s.parse().ok()) {
+        cfg.worker.batch_jobs = std::cmp::max(j, 1);
+    }
+    if let Some(w) = flag_val(args, "--shed-watermark").and_then(|s| s.parse().ok()) {
+        cfg.shed_watermark = w;
+    }
+    if let Some(b) = flag_val(args, "--max-body").and_then(|s| s.parse().ok()) {
+        cfg.max_body = b;
+    }
+    cfg.worker.check = has_flag(args, "--check");
+    cfg.worker.fuse = !has_flag(args, "--no-fuse");
+    if let Some(s) = flag_val(args, "--backend") {
+        cfg.worker.backend = BackendKind::parse(s).unwrap_or_else(|| {
+            eprintln!("unknown --backend value '{s}' (valid values: model, cpu)");
+            exit(2);
+        });
+    }
+
+    // Arm the flight recorder like the one-shot subcommands do: a clean
+    // drain writes nothing; a panicked server thread dumps a bundle.
+    if let Some(dir) = flag_val(args, "--flight-dir") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| fail(format!("cannot create flight dir {}: {e}", dir.display())));
+        linear_forest::flight::enable();
+        linear_forest::flight::set_bundle_dir(dir);
+        linear_forest::flight::install_panic_hook(linear_forest::flight::EffectiveConfig {
+            pipeline: "serve".to_string(),
+            backend: cfg.worker.backend.as_str().to_string(),
+            fusion: cfg.worker.fuse,
+            ..linear_forest::flight::EffectiveConfig::default()
+        });
+    }
+
+    // The server is an observability surface by definition: the registry
+    // backs /metrics, so it is always on here (no --metrics flag needed).
+    linear_forest::metrics::enable();
+    serve::install_signal_handlers();
+    let server = Server::bind(cfg).unwrap_or_else(|e| fail(format!("bind: {e}")));
+    match server.local_addr() {
+        Ok(addr) => eprintln!("lf serve: listening on http://{addr}"),
+        Err(e) => eprintln!("lf serve: listening (local_addr: {e})"),
+    }
+    let report = server.run();
+    eprintln!(
+        "lf serve: drained — {} completed, {} failed, {} shed, {} abandoned",
+        report.completed, report.failed, report.shed, report.abandoned
+    );
+    i32::from(report.abandoned != 0)
+}
+
+fn main() {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let cmd = args.first().map(|s| s.as_str()).unwrap_or("help");
         if cmd == "help" || cmd == "--help" || cmd == "-h" {
             usage();
+        }
+        // `lf serve` takes flags only — no positional input matrix.
+        if cmd == "serve" {
+            exit(run_serve(&args[1..]));
         }
         let input = args.get(1).unwrap_or_else(|| usage());
         // `lf postmortem` inspects or replays a bundle directory; it needs no

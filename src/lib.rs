@@ -27,6 +27,7 @@
 //! | [`shard`] | BFS-band partitioning, per-block factor runs, boundary reconciliation |
 //! | [`metrics`] | process-wide counters/gauges/histograms, Prometheus & JSON exposition |
 //! | [`flight`] | always-on flight recorder, postmortem bundles, bit-exact replay |
+//! | [`serve`] | multi-tenant HTTP extraction server: fair admission, worker shards, shedding |
 //!
 //! ## Quickstart
 //!
@@ -65,6 +66,7 @@ pub use lf_flight as flight;
 pub use lf_kernel as kernel;
 pub use lf_kernel::trace;
 pub use lf_metrics as metrics;
+pub use lf_serve as serve;
 pub use lf_shard as shard;
 pub use lf_solver as solver;
 pub use lf_sparse as sparse;
