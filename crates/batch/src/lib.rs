@@ -32,6 +32,7 @@ pub mod hash;
 pub mod pool;
 pub mod scheduler;
 pub mod stats;
+pub mod timeline;
 
 pub use cache::CsrCache;
 pub use clock::{Clock, ModelClock, MonotonicClock};
@@ -42,3 +43,4 @@ pub use scheduler::{
     BatchConfig, ExtractionService, JobError, JobOutcome, JobResult, SaltPolicy, SubmitError,
 };
 pub use stats::{counters, reset_stats, ServiceCounters};
+pub use timeline::{attribute_stages, split_model_ns, JobTimeline, StageSlice};

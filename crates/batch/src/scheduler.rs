@@ -21,6 +21,7 @@ use crate::fuse::{scatter_forests, FusedBatch};
 use crate::hash::{content_hash, salt_from_hash};
 use crate::pool::WorkspacePool;
 use crate::stats;
+use crate::timeline::{attribute_stages, JobTimeline, StageSlice};
 use lf_check::audit::{audit_factor, audit_input, audit_paths, audit_permutation};
 use lf_check::Violation;
 use lf_core::{
@@ -29,6 +30,7 @@ use lf_core::{
 };
 use lf_kernel::Device;
 use lf_sparse::{Csr, UnionError};
+use lf_trace::TraceContext;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -213,6 +215,13 @@ pub struct JobOutcome {
     pub batch: u64,
     /// nnz of the prepared graph (0 if preparation failed).
     pub nnz: usize,
+    /// The job's correlation identity: caller-supplied via
+    /// [`ExtractionService::submit_traced`], or minted deterministically
+    /// from the scheduler job id under tenant `"cli"`.
+    pub ctx: TraceContext,
+    /// The job's assembled lifecycle timeline (queue wait, close reason,
+    /// per-stage modeled time attributed by nnz share).
+    pub timeline: JobTimeline,
     /// The extraction result or the job's own error.
     pub result: Result<JobResult, JobError>,
 }
@@ -225,6 +234,16 @@ struct Job {
     salt: u32,
     cache_hit: bool,
     submitted_at: Instant,
+    ctx: TraceContext,
+}
+
+/// Batch-level facts shared by every member's timeline.
+#[derive(Clone, Copy)]
+struct BatchMeta {
+    batch: u64,
+    reason: &'static str,
+    batch_jobs: usize,
+    batch_nnz: usize,
 }
 
 impl Job {
@@ -348,6 +367,34 @@ impl ExtractionService {
         a: Csr<f64>,
         now: Instant,
     ) -> Result<u64, SubmitError> {
+        self.submit_inner(name.into(), a, now, None)
+    }
+
+    /// [`Self::submit`] with a caller-supplied correlation identity (the
+    /// serve ingress mints one per HTTP request, possibly from an inbound
+    /// `traceparent` header, and threads it here). Without this entry
+    /// point the scheduler mints its own context under tenant `"cli"`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::submit`].
+    pub fn submit_traced(
+        &mut self,
+        name: impl Into<String>,
+        a: Csr<f64>,
+        now: Instant,
+        ctx: TraceContext,
+    ) -> Result<u64, SubmitError> {
+        self.submit_inner(name.into(), a, now, Some(ctx))
+    }
+
+    fn submit_inner(
+        &mut self,
+        name: String,
+        a: Csr<f64>,
+        now: Instant,
+        ctx: Option<TraceContext>,
+    ) -> Result<u64, SubmitError> {
         if self.queue.len() >= self.cfg.queue_capacity {
             return Err(SubmitError::QueueFull {
                 capacity: self.cfg.queue_capacity,
@@ -380,14 +427,16 @@ impl ExtractionService {
         };
         let id = self.next_id;
         self.next_id += 1;
+        let ctx = ctx.unwrap_or_else(|| TraceContext::minted(id, "cli"));
         self.queue.push_back(Job {
             id,
-            name: name.into(),
+            name,
             a,
             prepared,
             salt,
             cache_hit,
             submitted_at: now,
+            ctx,
         });
         stats::submitted(self.queue.len());
         record_queue_depth(self.queue.len());
@@ -398,6 +447,7 @@ impl ExtractionService {
                     name: j.name.clone(),
                     nnz: j.nnz() as u64,
                     cache_hit: j.cache_hit,
+                    trace: j.ctx.trace_id,
                 });
             }
         }
@@ -436,7 +486,7 @@ impl ExtractionService {
         while let Some(reason) = self.close_reason(now) {
             record_close(reason);
             let jobs = self.form_batch();
-            out.extend(self.run_batch(dev, jobs, now));
+            out.extend(self.run_batch(dev, jobs, now, reason));
         }
         out
     }
@@ -464,7 +514,7 @@ impl ExtractionService {
         while !self.queue.is_empty() {
             record_close("drain");
             let jobs = self.form_batch();
-            out.extend(self.run_batch(dev, jobs, now));
+            out.extend(self.run_batch(dev, jobs, now, "drain"));
         }
         out
     }
@@ -488,9 +538,25 @@ impl ExtractionService {
         batch
     }
 
-    fn run_batch(&mut self, dev: &Device, jobs: Vec<Job>, now: Instant) -> Vec<JobOutcome> {
+    fn run_batch(
+        &mut self,
+        dev: &Device,
+        jobs: Vec<Job>,
+        now: Instant,
+        reason: &'static str,
+    ) -> Vec<JobOutcome> {
         self.batch_seq += 1;
         let batch = self.batch_seq;
+        let batch_jobs = jobs.len();
+        // Jobs that never reach the fused graph (validation, union
+        // ejection, internal faults) carry this meta: no fused nnz, no
+        // device stages.
+        let failed = BatchMeta {
+            batch,
+            reason,
+            batch_jobs,
+            batch_nnz: 0,
+        };
         let tracer = dev.tracer().clone();
         let _span = tracer.span_dyn(|| format!("batch_{batch}"));
 
@@ -504,12 +570,12 @@ impl ExtractionService {
         for j in jobs {
             if let Err(e) = &j.prepared {
                 let err = JobError::Pipeline(e.clone());
-                outcomes.push(finish(j, batch, Err(err), now));
+                outcomes.push(finish(j, failed, Vec::new(), Err(err), now));
                 continue;
             }
             match j.resolve_prepared() {
                 Ok(p) => ready.push((j, p)),
-                Err(e) => outcomes.push(finish(j, batch, Err(e), now)),
+                Err(e) => outcomes.push(finish(j, failed, Vec::new(), Err(e), now)),
             }
         }
 
@@ -530,10 +596,26 @@ impl ExtractionService {
                         UnionError::SizeOverflow { part } => part,
                     };
                     let (j, _) = ready.remove(at);
-                    outcomes.push(finish(j, batch, Err(JobError::Union(e)), now));
+                    outcomes.push(finish(j, failed, Vec::new(), Err(JobError::Union(e)), now));
                 }
             }
         };
+        let meta = BatchMeta {
+            batch,
+            reason,
+            batch_jobs,
+            batch_nnz: fused.graph.nnz(),
+        };
+
+        // Correlation markers: one short-lived span per batch member,
+        // nested under the batch span, so the span tree joins each fused
+        // run back to the jobs it served. Kernel launches still attribute
+        // to the batch span (the markers close before extraction starts).
+        if tracer.is_active() {
+            for (j, _) in &ready {
+                let _marker = tracer.span_correlated(&format!("job_{}", j.ctx.job_id), &j.ctx);
+            }
+        }
 
         stats::batch_run(ready.len(), fused.graph.nnz());
         record_queue_depth(self.queue.len());
@@ -575,10 +657,16 @@ impl ExtractionService {
         );
 
         match extraction {
-            Ok((forest, _timings)) => {
+            Ok((forest, timings)) => {
+                // Split each stage's modeled time across the batch by
+                // prepared-nnz share (exact integer split; see
+                // [`crate::timeline`]).
+                let nnzs: Vec<usize> = ready.iter().map(|(_, p)| p.nnz()).collect();
+                let mut stages = attribute_stages(&timings, &nnzs).into_iter();
                 let scattered = scatter_forests(&forest, &fused.offsets);
                 for ((j, p), f) in ready.into_iter().zip(scattered) {
-                    outcomes.push(self.finish_extracted(j, &p, batch, f, now));
+                    let s = stages.next().unwrap_or_default();
+                    outcomes.push(self.finish_extracted(j, &p, meta, s, f, now));
                 }
             }
             Err(fused_err) => {
@@ -590,12 +678,22 @@ impl ExtractionService {
                     let cfg = self.cfg.factor.with_charge_salt(j.salt);
                     match extract_linear_forest_with(dev, &prepared, &cfg, None, &mut ws.factor)
                     {
-                        Ok((forest, _)) => {
-                            outcomes.push(self.finish_extracted(j, &prepared, batch, forest, now))
+                        Ok((forest, timings)) => {
+                            // Solo re-run: the job owns the whole stage.
+                            let stages = attribute_stages(&timings, &[prepared.nnz()])
+                                .pop()
+                                .unwrap_or_default();
+                            outcomes.push(
+                                self.finish_extracted(j, &prepared, meta, stages, forest, now),
+                            )
                         }
-                        Err(e) => {
-                            outcomes.push(finish(j, batch, Err(JobError::Pipeline(e)), now))
-                        }
+                        Err(e) => outcomes.push(finish(
+                            j,
+                            meta,
+                            Vec::new(),
+                            Err(JobError::Pipeline(e)),
+                            now,
+                        )),
                     }
                 }
             }
@@ -611,7 +709,8 @@ impl ExtractionService {
         &self,
         j: Job,
         prepared: &Csr<f64>,
-        batch: u64,
+        meta: BatchMeta,
+        stages: Vec<StageSlice>,
         forest: LinearForest<f64>,
         now: Instant,
     ) -> JobOutcome {
@@ -625,11 +724,11 @@ impl ExtractionService {
             violations.extend(audit_permutation(&forest.factor, &forest.paths, &forest.perm));
             if !violations.is_empty() {
                 stats::audit_violations(violations.len());
-                return finish(j, batch, Err(JobError::Audit { violations }), now);
+                return finish(j, meta, stages, Err(JobError::Audit { violations }), now);
             }
         }
         let quality = forest.quality_report(&j.a, None);
-        finish(j, batch, Ok(JobResult { forest, quality }), now)
+        finish(j, meta, stages, Ok(JobResult { forest, quality }), now)
     }
 
     /// Publish this service's workspace-pool and prepared-graph-cache
@@ -747,11 +846,32 @@ fn validate_finite(p: Csr<f64>) -> Result<Csr<f64>, PipelineError> {
     Ok(p)
 }
 
-fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>, now: Instant) -> JobOutcome {
+fn finish(
+    j: Job,
+    meta: BatchMeta,
+    stages: Vec<StageSlice>,
+    result: Result<JobResult, JobError>,
+    now: Instant,
+) -> JobOutcome {
     match &result {
         Ok(_) => stats::completed(),
         Err(_) => stats::failed(),
     }
+    let nnz = j.nnz();
+    // Queue wait is measured against the scheduling clock's "now", not
+    // wall time, so model-clock runs observe deterministic waits.
+    let waited = now.saturating_duration_since(j.submitted_at);
+    let timeline = JobTimeline {
+        ctx: j.ctx.clone(),
+        queue_wait_ns: waited.as_nanos() as u64,
+        close_reason: meta.reason,
+        batch: meta.batch,
+        batch_jobs: meta.batch_jobs,
+        cache_hit: j.cache_hit,
+        nnz,
+        batch_nnz: meta.batch_nnz,
+        stages,
+    };
     if lf_flight::enabled() {
         let outcome = match &result {
             Ok(_) => "ok",
@@ -762,8 +882,9 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>, now: Instant)
         };
         lf_flight::record(lf_flight::FlightEvent::JobOutcome {
             id: j.id,
-            batch,
+            batch: meta.batch,
             outcome: outcome.to_string(),
+            trace: j.ctx.trace_id,
         });
         if let Err(e) = &result {
             lf_flight::record(lf_flight::FlightEvent::Error {
@@ -787,24 +908,22 @@ fn finish(j: Job, batch: u64, result: Result<JobResult, JobError>, now: Instant)
             ("outcome", outcome),
         )
         .inc();
-        // Latency is measured against the scheduling clock's "now", not
-        // wall time, so model-clock runs observe deterministic waits.
-        let waited = now.saturating_duration_since(j.submitted_at);
         m.histogram(
             "lf_batch_job_seconds",
             "Submit-to-outcome latency per job.",
             lf_metrics::Unit::Nanos,
         )
-        .record_f64(waited.as_nanos() as f64);
+        .record_f64_traced(waited.as_nanos() as f64, j.ctx.trace_id);
     }
-    let nnz = j.nnz();
     JobOutcome {
         id: j.id,
         name: j.name,
         salt: j.salt,
         cache_hit: j.cache_hit,
-        batch,
+        batch: meta.batch,
         nnz,
+        ctx: j.ctx,
+        timeline,
         result,
     }
 }
@@ -1158,6 +1277,89 @@ mod tests {
                 _ => panic!("{name} must be a gauge"),
             }
         }
+    }
+
+    #[test]
+    fn outcomes_carry_minted_contexts_and_timelines() {
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let now = t0();
+        for i in 0..3 {
+            s.submit(format!("g{i}"), random_symmetric(30 + 5 * i, 3.0, 0.1, 1.0, 300 + i as u64), now)
+                .unwrap();
+        }
+        let out = s.drain(&dev);
+        assert_eq!(out.len(), 3);
+        for o in &out {
+            // Direct submissions mint under the "cli" tenant from the
+            // scheduler job id.
+            assert_eq!(o.ctx, TraceContext::minted(o.id, "cli"));
+            assert_ne!(o.ctx.trace_id, 0);
+            let t = &o.timeline;
+            assert_eq!(t.ctx, o.ctx);
+            assert_eq!(t.close_reason, "drain");
+            assert_eq!(t.batch, o.batch);
+            assert_eq!(t.batch_jobs, 3);
+            assert_eq!(t.nnz, o.nnz);
+            assert!(t.batch_nnz >= t.nnz);
+            let names: Vec<&str> = t.stages.iter().map(|s| s.stage).collect();
+            assert_eq!(
+                names,
+                ["factor", "identify_cycles", "identify_paths", "permutation", "extraction"]
+            );
+            assert!(t.total_model_ns() > 0, "fused model time attributed");
+            lf_trace::json::validate(&t.to_json()).unwrap();
+        }
+        // Distinct jobs, distinct trace ids.
+        assert_ne!(out[0].ctx.trace_id, out[1].ctx.trace_id);
+        // Per stage, member slices sum to one common batch total.
+        let batch_nnz = out[0].timeline.batch_nnz;
+        assert!(out.iter().all(|o| o.timeline.batch_nnz == batch_nnz));
+    }
+
+    #[test]
+    fn submit_traced_threads_the_callers_context() {
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let mut s = svc(BatchConfig::default());
+        let now = t0();
+        let ctx = TraceContext::new(0xdead_beef, 42, "acme");
+        s.submit_traced("traced", random_symmetric(25, 2.0, 0.1, 1.0, 31), now, ctx.clone())
+            .unwrap();
+        // A failing job keeps its context too (empty stages, no fused nnz).
+        s.submit_traced("bad", Csr::zeros(2, 3), now, TraceContext::new(0xbad, 43, "acme"))
+            .unwrap();
+        let out = s.drain(&dev);
+        let by_name = |n: &str| out.iter().find(|o| o.name == n).unwrap();
+        assert_eq!(by_name("traced").ctx, ctx);
+        assert_eq!(by_name("traced").timeline.ctx.tenant, "acme");
+        let bad = by_name("bad");
+        assert_eq!(bad.ctx.trace_id, 0xbad);
+        assert!(bad.timeline.stages.is_empty());
+        assert_eq!(bad.timeline.batch_nnz, 0);
+        assert_eq!(bad.timeline.total_model_ns(), 0);
+    }
+
+    #[test]
+    fn model_clock_queue_wait_is_deterministic() {
+        let _g = crate::stats::test_guard();
+        let dev = Device::default();
+        let clock = crate::clock::ModelClock::shared();
+        let mut s = ExtractionService::with_clock(
+            BatchConfig {
+                deadline: Duration::from_millis(5),
+                ..BatchConfig::default()
+            },
+            clock.clone(),
+        )
+        .unwrap();
+        s.submit_now("j", random_symmetric(25, 2.0, 0.1, 1.0, 12)).unwrap();
+        clock.advance(Duration::from_millis(7));
+        let out = s.poll_now(&dev);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].timeline.queue_wait_ns, 7_000_000);
+        assert_eq!(out[0].timeline.close_reason, "deadline");
     }
 
     #[test]

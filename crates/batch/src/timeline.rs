@@ -1,0 +1,234 @@
+//! Per-job lifecycle timelines: who waited how long, why the batch
+//! closed, and how much modeled kernel time each pipeline stage charged
+//! to the job.
+//!
+//! A fused batch runs the pipeline **once** over the disjoint union of K
+//! graphs, so per-stage device time is a shared cost. The attribution
+//! rule splits each stage's modeled nanoseconds across the batch members
+//! by **prepared-nnz share**, using integer arithmetic with a
+//! largest-remainder rounding pass so the per-job slices sum *exactly*
+//! to the stage total — no nanosecond is created or lost, and the split
+//! is deterministic (ties broken by batch position). Solo runs are the
+//! K = 1 case and receive the whole stage.
+//!
+//! Timelines carry only identity and modeled/scheduling time — never
+//! wall-clock readings — so a `ModelClock`-driven run produces
+//! bit-identical timeline JSON on every execution.
+
+use lf_core::PipelineTimings;
+use lf_trace::json::escape;
+use lf_trace::TraceContext;
+
+/// One pipeline stage's share of modeled device time for one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageSlice {
+    /// Stage name (matches [`PipelineTimings::phases`] order: `factor`,
+    /// `identify_cycles`, `identify_paths`, `permutation`, `extraction`).
+    pub stage: &'static str,
+    /// Modeled device nanoseconds attributed to this job for the stage.
+    pub model_ns: u64,
+}
+
+/// The assembled lifecycle timeline of one job: submit → queue wait →
+/// batch close → per-stage modeled kernel time → outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobTimeline {
+    /// The job's correlation identity (trace id, ingress job id, tenant).
+    pub ctx: TraceContext,
+    /// Nanoseconds between submission and batch execution, measured on
+    /// the scheduling clock (deterministic under `ModelClock`).
+    pub queue_wait_ns: u64,
+    /// Why the job's batch closed (`count`, `nnz`, `deadline`, `drain`).
+    pub close_reason: &'static str,
+    /// Sequence number of the batch that executed the job.
+    pub batch: u64,
+    /// How many jobs the batch held when it was formed.
+    pub batch_jobs: usize,
+    /// Whether the prepared graph came from the LRU cache.
+    pub cache_hit: bool,
+    /// nnz of this job's prepared graph (0 if preparation failed).
+    pub nnz: usize,
+    /// nnz of the fused graph the job ran inside (0 if it never fused).
+    pub batch_nnz: usize,
+    /// Per-stage modeled time attributed to this job (empty when the job
+    /// failed before reaching the device).
+    pub stages: Vec<StageSlice>,
+}
+
+impl JobTimeline {
+    /// Total modeled device nanoseconds attributed to this job.
+    pub fn total_model_ns(&self) -> u64 {
+        self.stages.iter().map(|s| s.model_ns).sum()
+    }
+
+    /// End-to-end modeled latency: queue wait plus attributed device
+    /// time. Both terms are deterministic, so this is too.
+    pub fn latency_ns(&self) -> u64 {
+        self.queue_wait_ns.saturating_add(self.total_model_ns())
+    }
+
+    /// Serialize the timeline as a JSON object (`trace_id` as hex so the
+    /// full 64 bits survive JSON's f64 number model).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| format!("{{\"stage\":\"{}\",\"model_ns\":{}}}", s.stage, s.model_ns))
+            .collect();
+        format!(
+            concat!(
+                "{{\"trace_id\":\"{}\",\"job\":{},\"tenant\":\"{}\",",
+                "\"queue_wait_ns\":{},\"close_reason\":\"{}\",\"batch\":{},",
+                "\"batch_jobs\":{},\"cache_hit\":{},\"nnz\":{},\"batch_nnz\":{},",
+                "\"stages\":[{}],\"total_model_ns\":{},\"latency_ns\":{}}}"
+            ),
+            self.ctx.trace_hex(),
+            self.ctx.job_id,
+            escape(&self.ctx.tenant),
+            self.queue_wait_ns,
+            self.close_reason,
+            self.batch,
+            self.batch_jobs,
+            self.cache_hit,
+            self.nnz,
+            self.batch_nnz,
+            stages.join(","),
+            self.total_model_ns(),
+            self.latency_ns(),
+        )
+    }
+}
+
+/// Convert modeled seconds to integer nanoseconds (round-to-nearest).
+pub fn model_ns(seconds: f64) -> u64 {
+    if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e9).round() as u64
+    } else {
+        0
+    }
+}
+
+/// Split `total_ns` across jobs proportionally to `shares`, exactly:
+/// the returned slices always sum to `total_ns`. Uses the largest-
+/// remainder method over u128 intermediates; ties break toward the
+/// earlier batch position, so the split is deterministic. An all-zero
+/// share vector (every member failed preparation — cannot happen for a
+/// fused batch, but the function is total) splits evenly.
+pub fn split_model_ns(total_ns: u64, shares: &[usize]) -> Vec<u64> {
+    if shares.is_empty() {
+        return Vec::new();
+    }
+    let even = vec![1usize; shares.len()];
+    let shares: &[usize] = if shares.iter().all(|&s| s == 0) {
+        &even
+    } else {
+        shares
+    };
+    let denom: u128 = shares.iter().map(|&s| s as u128).sum();
+    let total = total_ns as u128;
+    let mut out: Vec<u64> = Vec::with_capacity(shares.len());
+    let mut rems: Vec<(u128, usize)> = Vec::with_capacity(shares.len());
+    let mut assigned: u128 = 0;
+    for (i, &s) in shares.iter().enumerate() {
+        let num = total * s as u128;
+        out.push((num / denom) as u64);
+        assigned += num / denom;
+        rems.push((num % denom, i));
+    }
+    // Hand the leftover nanoseconds to the largest remainders, earliest
+    // batch position first on ties.
+    rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = (total - assigned) as usize;
+    for &(_, i) in &rems {
+        if leftover == 0 {
+            break;
+        }
+        out[i] += 1;
+        leftover -= 1;
+    }
+    out
+}
+
+/// Attribute a fused run's per-stage modeled time to its K batch members
+/// by prepared-nnz share. Returns one stage vector per job, in batch
+/// order; for every stage, the K slices sum exactly to that stage's
+/// modeled total (in rounded nanoseconds).
+pub fn attribute_stages(timings: &PipelineTimings, nnzs: &[usize]) -> Vec<Vec<StageSlice>> {
+    let mut per_job: Vec<Vec<StageSlice>> = vec![Vec::new(); nnzs.len()];
+    for (stage, stats) in timings.phases() {
+        let slices = split_model_ns(model_ns(stats.model_time_s), nnzs);
+        for (job, ns) in slices.into_iter().enumerate() {
+            per_job[job].push(StageSlice {
+                stage,
+                model_ns: ns,
+            });
+        }
+    }
+    per_job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_exact_and_proportional() {
+        let shares = [300usize, 100, 600];
+        let got = split_model_ns(1_000_003, &shares);
+        assert_eq!(got.iter().sum::<u64>(), 1_000_003);
+        // Proportionality within one nanosecond of the ideal share.
+        for (g, s) in got.iter().zip(&shares) {
+            let ideal = 1_000_003.0 * (*s as f64) / 1000.0;
+            assert!((*g as f64 - ideal).abs() <= 1.0, "{g} vs {ideal}");
+        }
+    }
+
+    #[test]
+    fn split_handles_degenerate_shares() {
+        assert_eq!(split_model_ns(100, &[]), Vec::<u64>::new());
+        let even = split_model_ns(10, &[0, 0, 0]);
+        assert_eq!(even.iter().sum::<u64>(), 10);
+        assert_eq!(even, vec![4, 3, 3], "even split, earliest gets leftovers");
+        assert_eq!(split_model_ns(0, &[5, 7]), vec![0, 0]);
+        assert_eq!(split_model_ns(7, &[1]), vec![7]);
+    }
+
+    #[test]
+    fn split_ties_break_by_batch_position() {
+        // Equal shares, 2 leftover ns: positions 0 and 1 get them.
+        assert_eq!(split_model_ns(6, &[1, 1, 1, 1]), vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn timeline_json_is_well_formed_and_sums() {
+        let t = JobTimeline {
+            ctx: TraceContext::new(0xabcd, 9, "acme"),
+            queue_wait_ns: 120,
+            close_reason: "count",
+            batch: 3,
+            batch_jobs: 2,
+            cache_hit: true,
+            nnz: 40,
+            batch_nnz: 100,
+            stages: vec![
+                StageSlice { stage: "factor", model_ns: 10 },
+                StageSlice { stage: "extraction", model_ns: 5 },
+            ],
+        };
+        assert_eq!(t.total_model_ns(), 15);
+        assert_eq!(t.latency_ns(), 135);
+        let j = t.to_json();
+        lf_trace::json::validate(&j).unwrap_or_else(|e| panic!("{j}: {e}"));
+        assert!(j.contains("\"trace_id\":\"000000000000abcd\""), "{j}");
+        assert!(j.contains("\"close_reason\":\"count\""), "{j}");
+        assert!(j.contains("\"total_model_ns\":15"), "{j}");
+        assert!(j.contains("\"latency_ns\":135"), "{j}");
+    }
+
+    #[test]
+    fn model_ns_clamps_non_finite() {
+        assert_eq!(model_ns(f64::NAN), 0);
+        assert_eq!(model_ns(-1.0), 0);
+        assert_eq!(model_ns(1.5e-9), 2);
+    }
+}

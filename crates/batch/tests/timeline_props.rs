@@ -1,0 +1,84 @@
+//! Property tests: per-job lifecycle timelines reconcile with the
+//! device's modeled-time totals — solo jobs own the whole cost, fused
+//! batches split it by nnz share with no nanosecond created or lost.
+
+use lf_batch::scheduler::{BatchConfig, ExtractionService};
+use lf_batch::timeline::{model_ns, split_model_ns};
+use lf_kernel::Device;
+use lf_sparse::random::random_symmetric;
+use lf_trace::TraceContext;
+use proptest::prelude::*;
+use std::time::Instant;
+
+const TENANTS: [&str; 4] = ["acme", "globex", "initech", "umbrella"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The largest-remainder split is exact for any total and shares:
+    /// slices always sum back to the input, whatever the proportions.
+    #[test]
+    fn split_is_exact_for_any_shares(
+        total in 0u64..1u64 << 40,
+        shares in proptest::collection::vec(0usize..10_000, 1..12),
+    ) {
+        let got = split_model_ns(total, &shares);
+        prop_assert_eq!(got.len(), shares.len());
+        prop_assert_eq!(got.iter().sum::<u64>(), total);
+    }
+
+    /// A solo job's timeline owns the device's whole modeled cost: the
+    /// per-stage slices sum to the `DeviceStats` total within per-stage
+    /// rounding (5 stages × 0.5 ns, plus the total's own rounding).
+    #[test]
+    fn solo_timeline_matches_device_stats(n in 20usize..40, seed in 0u64..1000) {
+        let dev = Device::default();
+        let mut s = ExtractionService::new(BatchConfig::default()).unwrap();
+        let now = Instant::now();
+        s.submit("solo", random_symmetric(n, 3.0, 0.1, 1.0, seed), now).unwrap();
+        let (out, stats) = dev.scoped(|| s.drain(&dev));
+        prop_assert_eq!(out.len(), 1);
+        let got = out[0].timeline.total_model_ns() as i64;
+        let want = model_ns(stats.model_time_s) as i64;
+        prop_assert!((got - want).abs() <= 8, "{got} vs {want}");
+    }
+
+    /// Fused batches over random graphs and tenants: every member keeps
+    /// its own correlation identity, and the nnz-share slices across the
+    /// batch sum back to the device's modeled total.
+    #[test]
+    fn fused_timelines_reconcile_with_device_stats(
+        sizes in proptest::collection::vec(20usize..45, 2..6),
+        seed in 0u64..500,
+    ) {
+        let dev = Device::default();
+        let mut s = ExtractionService::new(BatchConfig::default()).unwrap();
+        let now = Instant::now();
+        for (i, n) in sizes.iter().enumerate() {
+            let tenant = TENANTS[i % TENANTS.len()];
+            let ctx = TraceContext::minted(1000 + i as u64, tenant);
+            s.submit_traced(
+                format!("g{i}"),
+                random_symmetric(*n, 3.0, 0.1, 1.0, seed * 31 + i as u64),
+                now,
+                ctx,
+            )
+            .unwrap();
+        }
+        let (out, stats) = dev.scoped(|| s.drain(&dev));
+        prop_assert_eq!(out.len(), sizes.len());
+        for (i, o) in out.iter().enumerate() {
+            let tenant = TENANTS[i % TENANTS.len()];
+            prop_assert_eq!(o.ctx.tenant.as_str(), tenant);
+            prop_assert_eq!(o.ctx.trace_id, TraceContext::mint(1000 + i as u64, tenant));
+            prop_assert_eq!(&o.timeline.ctx, &o.ctx);
+            prop_assert!(o.timeline.nnz <= o.timeline.batch_nnz);
+            prop_assert!(o.timeline.latency_ns() >= o.timeline.total_model_ns());
+        }
+        let got: i64 = out.iter().map(|o| o.timeline.total_model_ns() as i64).sum();
+        let want = model_ns(stats.model_time_s) as i64;
+        // Each batch rounds five per-stage totals to integer ns before
+        // splitting (the split itself is exact); allow that slack.
+        prop_assert!((got - want).abs() <= 64, "{got} vs {want}");
+    }
+}

@@ -268,6 +268,59 @@ impl Outcome {
     }
 }
 
+/// Correlation identity (and assembled lifecycle timeline) of the job
+/// whose failure triggered the dump. lf-flight sits below the scheduler
+/// that builds timelines, so the timeline rides along as a raw embedded
+/// JSON document, like the metrics snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobCorrelation {
+    /// Request-scoped correlation id (0 = uncorrelated).
+    pub trace_id: u64,
+    /// Ingress/service-assigned job id.
+    pub job_id: u64,
+    /// Tenant the job was submitted under (`"cli"` for direct runs).
+    pub tenant: String,
+    /// Assembled lifecycle timeline as an embedded JSON object, when the
+    /// scheduler got far enough to build one (`"null"` otherwise).
+    pub timeline_json: String,
+}
+
+impl JobCorrelation {
+    fn to_json(&self) -> String {
+        let timeline = self.timeline_json.trim();
+        format!(
+            "{{\"trace_id\":\"{}\",\"id\":{},\"tenant\":\"{}\",\"timeline\":{}}}",
+            hex(self.trace_id),
+            self.job_id,
+            escape(&self.tenant),
+            if timeline.is_empty() { "null" } else { timeline }
+        )
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(Self {
+            trace_id: v
+                .get("trace_id")
+                .and_then(Value::as_str)
+                .and_then(parse_hex)
+                .ok_or("job trace_id missing or not hex")?,
+            job_id: v
+                .get("id")
+                .and_then(Value::as_u64)
+                .ok_or("job id missing")?,
+            tenant: v
+                .get("tenant")
+                .and_then(Value::as_str)
+                .ok_or("job tenant missing")?
+                .to_string(),
+            timeline_json: v
+                .get("timeline")
+                .map(Value::to_json)
+                .unwrap_or_else(|| "null".into()),
+        })
+    }
+}
+
 /// A fully assembled postmortem bundle (the in-memory form of
 /// `bundle.json`).
 #[derive(Clone, Debug)]
@@ -288,6 +341,9 @@ pub struct Bundle {
     pub outcome: Option<Outcome>,
     /// Deterministic device totals at dump time.
     pub model: Option<ModelTotals>,
+    /// Correlation identity + lifecycle timeline of the failing job,
+    /// when the failure was job-scoped.
+    pub job: Option<JobCorrelation>,
     /// Total events ever recorded (may exceed `events.len()` when the
     /// ring wrapped).
     pub events_recorded: u64,
@@ -312,6 +368,7 @@ impl Bundle {
             input_file: None,
             outcome: None,
             model: None,
+            job: None,
             events_recorded: ring.recorded(),
             events: ring.snapshot(),
             metrics_json: lf_metrics::global().snapshot().to_json(),
@@ -338,6 +395,9 @@ impl Bundle {
         }
         if let Some(m) = &self.model {
             out.push_str(&format!(",\"model\":{}", m.to_json()));
+        }
+        if let Some(j) = &self.job {
+            out.push_str(&format!(",\"job\":{}", j.to_json()));
         }
         let entries: Vec<String> = self
             .events
@@ -402,6 +462,7 @@ impl Bundle {
                 .map(str::to_string),
             outcome: v.get("outcome").map(Outcome::from_value).transpose()?,
             model: v.get("model").map(ModelTotals::from_value).transpose()?,
+            job: v.get("job").map(JobCorrelation::from_value).transpose()?,
             events_recorded: events
                 .get("recorded")
                 .and_then(Value::as_u64)
@@ -479,6 +540,12 @@ mod tests {
                 written: 500,
                 model_ns: 123_456,
             }),
+            job: Some(JobCorrelation {
+                trace_id: 0xdead_beef_cafe_1234,
+                job_id: 4812,
+                tenant: "tenant-b".into(),
+                timeline_json: "{\"queue_wait_ns\":120,\"close_reason\":\"count\"}".into(),
+            }),
             events_recorded: 99,
             events: vec![
                 (
@@ -516,6 +583,12 @@ mod tests {
         assert_eq!(parsed.input_file, b.input_file);
         assert_eq!(parsed.outcome, b.outcome);
         assert_eq!(parsed.model, b.model);
+        let (pj, bj) = (parsed.job.unwrap(), b.job.unwrap());
+        assert_eq!((pj.trace_id, pj.job_id, &pj.tenant), (bj.trace_id, bj.job_id, &bj.tenant));
+        assert_eq!(
+            Value::parse(&pj.timeline_json).unwrap(),
+            Value::parse(&bj.timeline_json).unwrap()
+        );
         assert_eq!(parsed.events_recorded, b.events_recorded);
         assert_eq!(parsed.events, b.events);
         assert_eq!(

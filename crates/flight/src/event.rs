@@ -51,6 +51,8 @@ pub enum FlightEvent {
         nnz: u64,
         /// Whether the content-hash cache already held the result.
         cache_hit: bool,
+        /// Request-scoped correlation id (0 = uncorrelated).
+        trace: u64,
     },
     /// A batch closed and was handed to the fused pipeline.
     BatchClose {
@@ -65,6 +67,19 @@ pub enum FlightEvent {
         batch: u64,
         /// Outcome class (`ok`, `pipeline`, `union`, `audit`).
         outcome: String,
+        /// Request-scoped correlation id (0 = uncorrelated).
+        trace: u64,
+    },
+    /// The serve front-end refused or evicted a job under overload.
+    Shed {
+        /// Ingress-assigned job id.
+        id: u64,
+        /// Tenant the job was submitted under.
+        tenant: String,
+        /// Why the job was shed (`refused`, `evicted`, `draining`).
+        reason: String,
+        /// Request-scoped correlation id (0 = uncorrelated).
+        trace: u64,
     },
     /// A stage audit found invariant violations.
     Audit {
@@ -104,6 +119,7 @@ impl FlightEvent {
             FlightEvent::JobSubmit { .. } => "job_submit",
             FlightEvent::BatchClose { .. } => "batch_close",
             FlightEvent::JobOutcome { .. } => "job_outcome",
+            FlightEvent::Shed { .. } => "shed",
             FlightEvent::Audit { .. } => "audit",
             FlightEvent::Error { .. } => "error",
             FlightEvent::ShardRound { .. } => "shard_round",
@@ -120,6 +136,7 @@ impl FlightEvent {
             FlightEvent::JobSubmit { .. }
                 | FlightEvent::BatchClose { .. }
                 | FlightEvent::JobOutcome { .. }
+                | FlightEvent::Shed { .. }
         )
     }
 
@@ -153,18 +170,39 @@ impl FlightEvent {
                 name,
                 nnz,
                 cache_hit,
+                trace,
             } => format!(
                 "{{\"type\":\"job_submit\",\"id\":{id},\"name\":\"{}\",\"nnz\":{nnz},\
-                 \"cache_hit\":{cache_hit}}}",
-                escape(name)
+                 \"cache_hit\":{cache_hit},\"trace\":\"{}\"}}",
+                escape(name),
+                hex(*trace)
             ),
             FlightEvent::BatchClose { reason } => format!(
                 "{{\"type\":\"batch_close\",\"reason\":\"{}\"}}",
                 escape(reason)
             ),
-            FlightEvent::JobOutcome { id, batch, outcome } => format!(
-                "{{\"type\":\"job_outcome\",\"id\":{id},\"batch\":{batch},\"outcome\":\"{}\"}}",
-                escape(outcome)
+            FlightEvent::JobOutcome {
+                id,
+                batch,
+                outcome,
+                trace,
+            } => format!(
+                "{{\"type\":\"job_outcome\",\"id\":{id},\"batch\":{batch},\"outcome\":\"{}\",\
+                 \"trace\":\"{}\"}}",
+                escape(outcome),
+                hex(*trace)
+            ),
+            FlightEvent::Shed {
+                id,
+                tenant,
+                reason,
+                trace,
+            } => format!(
+                "{{\"type\":\"shed\",\"id\":{id},\"tenant\":\"{}\",\"reason\":\"{}\",\
+                 \"trace\":\"{}\"}}",
+                escape(tenant),
+                escape(reason),
+                hex(*trace)
             ),
             FlightEvent::Audit {
                 stage,
@@ -214,6 +252,13 @@ impl FlightEvent {
                 .and_then(Value::as_bool)
                 .ok_or_else(|| format!("event field {k} missing or not a bool"))
         };
+        // Correlation id; optional so pre-correlation bundles still parse.
+        let trace = |v: &Value| -> u64 {
+            v.get("trace")
+                .and_then(Value::as_str)
+                .and_then(parse_hex)
+                .unwrap_or(0)
+        };
         match tag {
             "launch" => Ok(FlightEvent::Launch {
                 kernel: s("kernel")?,
@@ -234,6 +279,7 @@ impl FlightEvent {
                 name: s("name")?,
                 nnz: u("nnz")?,
                 cache_hit: b("cache_hit")?,
+                trace: trace(v),
             }),
             "batch_close" => Ok(FlightEvent::BatchClose {
                 reason: s("reason")?,
@@ -242,6 +288,13 @@ impl FlightEvent {
                 id: u("id")?,
                 batch: u("batch")?,
                 outcome: s("outcome")?,
+                trace: trace(v),
+            }),
+            "shed" => Ok(FlightEvent::Shed {
+                id: u("id")?,
+                tenant: s("tenant")?,
+                reason: s("reason")?,
+                trace: trace(v),
             }),
             "audit" => Ok(FlightEvent::Audit {
                 stage: s("stage")?,
@@ -291,14 +344,31 @@ impl FlightEvent {
                 name,
                 nnz,
                 cache_hit,
+                trace,
             } => format!(
-                "job_submit  #{id} {name} ({nnz} nnz{})",
-                if *cache_hit { ", cache hit" } else { "" }
+                "job_submit  #{id} {name} ({nnz} nnz{}){}",
+                if *cache_hit { ", cache hit" } else { "" },
+                fmt_trace(*trace)
             ),
             FlightEvent::BatchClose { reason } => format!("batch_close reason={reason}"),
-            FlightEvent::JobOutcome { id, batch, outcome } => {
-                format!("job_outcome #{id} batch {batch}: {outcome}")
-            }
+            FlightEvent::JobOutcome {
+                id,
+                batch,
+                outcome,
+                trace,
+            } => format!(
+                "job_outcome #{id} batch {batch}: {outcome}{}",
+                fmt_trace(*trace)
+            ),
+            FlightEvent::Shed {
+                id,
+                tenant,
+                reason,
+                trace,
+            } => format!(
+                "shed        #{id} tenant '{tenant}': {reason}{}",
+                fmt_trace(*trace)
+            ),
             FlightEvent::Audit {
                 stage,
                 violations,
@@ -316,6 +386,14 @@ impl FlightEvent {
                 "shard_round r={round} proposed {proposals}, confirmed {confirmed}"
             ),
         }
+    }
+}
+
+fn fmt_trace(trace: u64) -> String {
+    if trace == 0 {
+        String::new()
+    } else {
+        format!(" trace {:016x}", trace)
     }
 }
 
@@ -353,6 +431,7 @@ mod tests {
                 name: "aniso1\n".into(),
                 nnz: 500,
                 cache_hit: false,
+                trace: 0xdead_beef,
             },
             FlightEvent::BatchClose {
                 reason: "deadline".into(),
@@ -361,6 +440,13 @@ mod tests {
                 id: 7,
                 batch: 2,
                 outcome: "audit".into(),
+                trace: 0xdead_beef,
+            },
+            FlightEvent::Shed {
+                id: 9,
+                tenant: "flood".into(),
+                reason: "evicted".into(),
+                trace: 0xcafe,
             },
             FlightEvent::Audit {
                 stage: "factor".into(),
@@ -392,7 +478,23 @@ mod tests {
     #[test]
     fn determinism_classification() {
         let det: Vec<bool> = all_variants().iter().map(FlightEvent::deterministic).collect();
-        assert_eq!(det, vec![true, true, false, false, false, true, true, true]);
+        assert_eq!(
+            det,
+            vec![true, true, false, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn pre_correlation_documents_still_parse() {
+        // Bundles written before the `trace` field existed must load.
+        let v = Value::parse(
+            "{\"type\":\"job_submit\",\"id\":1,\"name\":\"n\",\"nnz\":9,\"cache_hit\":false}",
+        )
+        .unwrap();
+        match FlightEvent::from_value(&v).unwrap() {
+            FlightEvent::JobSubmit { trace, .. } => assert_eq!(trace, 0),
+            other => panic!("wrong variant {other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod event;
 pub mod ring;
 pub mod value;
 
-pub use bundle::{Bundle, EffectiveConfig, ModelTotals, Outcome, BUNDLE_SCHEMA, INPUT_FILE};
+pub use bundle::{
+    Bundle, EffectiveConfig, JobCorrelation, ModelTotals, Outcome, BUNDLE_SCHEMA, INPUT_FILE,
+};
 pub use event::FlightEvent;
 pub use ring::FlightRing;
 

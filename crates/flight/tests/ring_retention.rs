@@ -14,6 +14,7 @@ fn marker(writer: usize, i: usize) -> FlightEvent {
         name: format!("w{writer}"),
         nnz: i as u64,
         cache_hit: false,
+        trace: 0,
     }
 }
 

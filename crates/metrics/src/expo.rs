@@ -96,7 +96,17 @@ fn prom_histogram(
         let _ = writeln!(out, "{name}_bucket{labels} {cum}");
     }
     let labels = label_part(family, label, Some(("le", "+Inf")));
-    let _ = writeln!(out, "{name}_bucket{labels} {}", h.count);
+    // OpenMetrics-style exemplar on the +Inf bucket: the trace id of the
+    // worst traced observation, so a bad quantile links to its request.
+    let exemplar = match h.exemplar {
+        Some(e) => format!(
+            " # {{trace_id=\"{:016x}\"}} {}",
+            e.trace,
+            prom_f64(e.value as f64 * scale)
+        ),
+        None => String::new(),
+    };
+    let _ = writeln!(out, "{name}_bucket{labels} {}{exemplar}", h.count);
     let labels = label_part(family, label, None);
     let _ = writeln!(out, "{name}_sum{labels} {}", prom_f64(h.sum as f64 * scale));
     let _ = writeln!(out, "{name}_count{labels} {}", h.count);
@@ -174,9 +184,17 @@ impl MetricsSnapshot {
                             ValueSnapshot::Histogram(h) => {
                                 let scale = f.unit.scale();
                                 let q = |p: f64| json::number(h.quantile(p) as f64 * scale);
+                                let exemplar = match h.exemplar {
+                                    Some(e) => format!(
+                                        ",\"exemplar\":{{\"value\":{},\"trace_id\":\"{:016x}\"}}",
+                                        json::number(e.value as f64 * scale),
+                                        e.trace
+                                    ),
+                                    None => String::new(),
+                                };
                                 format!(
                                     "{{{label}\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
-                                     \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                                     \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}{exemplar}}}",
                                     h.count,
                                     json::number(h.sum as f64 * scale),
                                     json::number(h.min as f64 * scale),
@@ -279,6 +297,31 @@ mod tests {
         }
         assert!(buckets >= 5); // 4 distinct value buckets + +Inf
         assert_eq!(last_cum, 5);
+    }
+
+    #[test]
+    fn exemplars_render_in_both_formats() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "Latency.", Unit::Nanos);
+        h.record(500); // untraced
+        h.record_traced(2_000, 0xdead_beef_cafe_1234);
+        let text = r.snapshot().to_prometheus();
+        assert!(
+            text.contains("lat_seconds_bucket{le=\"+Inf\"} 2 # {trace_id=\"deadbeefcafe1234\"} "),
+            "missing exemplar in:\n{text}"
+        );
+        let doc = r.snapshot().to_json();
+        lf_trace::json::validate(&doc).unwrap();
+        assert!(
+            doc.contains("\"exemplar\":{\"value\":0.000002")
+                && doc.contains("\"trace_id\":\"deadbeefcafe1234\"}"),
+            "missing exemplar in:\n{doc}"
+        );
+        // Untraced histograms render without any exemplar artifacts.
+        let r2 = Registry::new();
+        r2.histogram("plain", "P.", Unit::Count).record(1);
+        assert!(!r2.snapshot().to_prometheus().contains("} # {"));
+        assert!(!r2.snapshot().to_json().contains("exemplar"));
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub fn bucket_mid(i: usize) -> u64 {
     lo + (hi - lo) / 2
 }
 
+/// An exemplar: the request-scoped trace id of the largest traced
+/// observation, so a bad quantile links directly to an offending trace.
+/// `trace` is never 0 (0 is the "no exemplar" sentinel in storage).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The recorded value (raw units, unscaled).
+    pub value: u64,
+    /// Correlation id of the request that recorded it.
+    pub trace: u64,
+}
+
 /// A concurrent log-linear histogram. All operations are relaxed atomics;
 /// a snapshot taken while writers are active is a consistent-enough view
 /// (each atomic is read once, no locks, no torn buckets — only the
@@ -65,6 +76,11 @@ pub struct Histogram {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    // Exemplar pair; ex_trace == 0 means "no exemplar yet". The pair is
+    // not updated atomically together — a torn read can pair a value with
+    // a neighboring trace, which is acceptable for an exemplar.
+    ex_value: AtomicU64,
+    ex_trace: AtomicU64,
     buckets: Box<[AtomicU64]>,
 }
 
@@ -90,6 +106,8 @@ impl Histogram {
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
             max: AtomicU64::new(0),
+            ex_value: AtomicU64::new(0),
+            ex_trace: AtomicU64::new(0),
             buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -113,6 +131,32 @@ impl Histogram {
         }
     }
 
+    /// [`Histogram::record`] plus an exemplar update: if `trace` is
+    /// nonzero and `v` is at least the current exemplar's value, the
+    /// exemplar becomes `(v, trace)`. The histogram thus always names a
+    /// trace id responsible for (approximately) its worst observation.
+    pub fn record_traced(&self, v: u64, trace: u64) {
+        self.record(v);
+        if trace == 0 {
+            return;
+        }
+        if self.ex_trace.load(Ordering::Relaxed) == 0
+            || v >= self.ex_value.load(Ordering::Relaxed)
+        {
+            self.ex_value.store(v, Ordering::Relaxed);
+            self.ex_trace.store(trace, Ordering::Relaxed);
+        }
+    }
+
+    /// [`Histogram::record_f64`] with an exemplar (same clamping rules).
+    pub fn record_f64_traced(&self, v: f64, trace: u64) {
+        if v.is_finite() && v > 0.0 {
+            self.record_traced(v.min(u64::MAX as f64) as u64, trace);
+        } else {
+            self.record_traced(0, trace);
+        }
+    }
+
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count.load(Ordering::Relaxed)
@@ -129,11 +173,16 @@ impl Histogram {
                 buckets.push((i as u32, c));
             }
         }
+        let ex_trace = self.ex_trace.load(Ordering::Relaxed);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
             min: if count == 0 { 0 } else { min },
             max: self.max.load(Ordering::Relaxed),
+            exemplar: (ex_trace != 0).then(|| Exemplar {
+                value: self.ex_value.load(Ordering::Relaxed),
+                trace: ex_trace,
+            }),
             buckets,
         }
     }
@@ -151,6 +200,9 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest recorded value (0 when empty).
     pub max: u64,
+    /// Exemplar of the largest traced observation, when any recording
+    /// carried a trace id (see [`Histogram::record_traced`]).
+    pub exemplar: Option<Exemplar>,
     /// Non-empty buckets as `(index, count)`, ascending by index.
     pub buckets: Vec<(u32, u64)>,
 }
@@ -230,6 +282,16 @@ impl HistogramSnapshot {
                 self.min.min(other.min)
             },
             max: self.max.max(other.max),
+            // Largest-value exemplar wins (trace id breaks ties), which
+            // keeps the merge associative and commutative.
+            exemplar: match (self.exemplar, other.exemplar) {
+                (Some(a), Some(b)) => Some(if (b.value, b.trace) > (a.value, a.trace) {
+                    b
+                } else {
+                    a
+                }),
+                (a, b) => a.or(b),
+            },
             buckets,
         }
     }
@@ -297,6 +359,37 @@ mod tests {
         assert_eq!(s.count, 3);
         assert_eq!(s.min, 0);
         assert_eq!(s.max, 2);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_worst_traced_observation() {
+        let h = Histogram::new();
+        h.record(1_000_000); // untraced recordings never become exemplars
+        assert_eq!(h.snapshot().exemplar, None);
+        h.record_traced(10, 0xaaa);
+        h.record_traced(500, 0xbbb);
+        h.record_traced(20, 0xccc); // smaller: exemplar unchanged
+        h.record_traced(7, 0); // trace 0 = untraced
+        let s = h.snapshot();
+        assert_eq!(s.exemplar, Some(Exemplar { value: 500, trace: 0xbbb }));
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn exemplar_merge_is_associative_and_keeps_the_max() {
+        let snap = |v: u64, trace: u64| {
+            let h = Histogram::new();
+            h.record_traced(v, trace);
+            h.snapshot()
+        };
+        let (a, b, c) = (snap(5, 1), snap(9, 2), snap(9, 3));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(
+            a.merge(&b).merge(&c).exemplar,
+            Some(Exemplar { value: 9, trace: 3 })
+        );
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.merge(&a).exemplar, a.exemplar);
     }
 
     #[test]

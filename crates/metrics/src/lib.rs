@@ -41,7 +41,7 @@ pub mod expo;
 pub mod histogram;
 pub mod registry;
 
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use histogram::{Exemplar, Histogram, HistogramSnapshot};
 pub use registry::{
     Counter, FamilySnapshot, Gauge, MetricKind, MetricsSnapshot, Registry, SeriesSnapshot, Unit,
     ValueSnapshot,

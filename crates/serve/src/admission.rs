@@ -28,6 +28,7 @@
 use crate::tenant::TenantTable;
 use lf_batch::SubmitError;
 use lf_sparse::Csr;
+use lf_trace::TraceContext;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -39,6 +40,10 @@ pub struct QueuedJob {
     /// The submitting tenant (as named by the client, for reporting; the
     /// governing queue may be `default`).
     pub tenant: String,
+    /// Request-scoped correlation identity, minted (or accepted from the
+    /// caller's `traceparent`) at the HTTP door and threaded through the
+    /// scheduler down to the device.
+    pub ctx: TraceContext,
     /// The parsed input graph (pre-validated at the HTTP door).
     pub graph: Csr<f64>,
     /// Admission time, for deadline-aware batch closing and wait metrics.
@@ -233,6 +238,7 @@ mod tests {
         QueuedJob {
             id,
             tenant: tenant.to_string(),
+            ctx: TraceContext::minted(id, tenant),
             graph: Csr::zeros(2, 2),
             enqueued_at: at,
         }

@@ -224,12 +224,32 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with(w, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (the server uses this to
+/// echo `X-Trace-Id` on every job-correlated response, refusals included).
+///
+/// # Errors
+///
+/// Propagates any write/flush error (including write timeouts).
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         reason(status),
         body.len()
     )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    w.write_all(b"Connection: close\r\n\r\n")?;
     w.write_all(body)?;
     w.flush()
 }
@@ -241,9 +261,23 @@ pub fn write_response(
 ///
 /// Propagates any write/flush error.
 pub fn write_error(w: &mut impl Write, status: u16, msg: &str) -> std::io::Result<()> {
+    write_error_with(w, status, msg, &[])
+}
+
+/// [`write_error`] with extra response headers.
+///
+/// # Errors
+///
+/// Propagates any write/flush error.
+pub fn write_error_with(
+    w: &mut impl Write,
+    status: u16,
+    msg: &str,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
     let one_line = msg.replace('\n', " ");
     let body = format!("{{\"error\":\"{}\"}}\n", lf_trace::json::escape(&one_line));
-    write_response(w, status, "application/json", body.as_bytes())
+    write_response_with(w, status, "application/json", extra_headers, body.as_bytes())
 }
 
 #[cfg(test)]
@@ -338,6 +372,18 @@ mod tests {
         assert!(s.starts_with("HTTP/1.1 200 OK\r\n"), "{s}");
         assert!(s.contains("Content-Length: 3\r\n"), "{s}");
         assert!(s.ends_with("\r\n\r\nhi\n"), "{s}");
+        let mut traced = Vec::new();
+        write_response_with(
+            &mut traced,
+            202,
+            "application/json",
+            &[("X-Trace-Id", "deadbeefcafe1234")],
+            b"{}\n",
+        )
+        .unwrap();
+        let s = String::from_utf8(traced).unwrap();
+        assert!(s.contains("X-Trace-Id: deadbeefcafe1234\r\n"), "{s}");
+        assert!(s.contains("Connection: close\r\n\r\n{}\n"), "{s}");
         let mut err = Vec::new();
         write_error(&mut err, 400, "bad \"thing\"\nsecond line").unwrap();
         let s = String::from_utf8(err).unwrap();

@@ -32,6 +32,7 @@
 
 pub mod admission;
 pub mod http;
+pub mod obs;
 pub mod payload;
 pub mod server;
 pub mod sim;
@@ -40,6 +41,7 @@ pub mod tenant;
 pub mod worker;
 
 pub use admission::{Admission, QueuedJob};
+pub use obs::AccessLog;
 pub use payload::{parse_graph, to_raw_csr, PayloadKind};
 pub use server::{
     clear_signal, install_signal_handlers, signalled, DrainReport, ServeConfig, Server, StopHandle,

@@ -1,0 +1,120 @@
+//! Serving-side observability shared by the HTTP server, the worker
+//! shards, and the deterministic simulation: the structured JSONL
+//! access/lifecycle log, the outcome-labeled admission-wait histogram,
+//! and shed flight events.
+//!
+//! Every log line is **identity-only** — trace id, job id, tenant, state,
+//! status — never a wall-clock reading. Under a [`lf_batch::ModelClock`]
+//! the same run therefore produces the same lines, which is what lets
+//! `repro serve` stay bit-stable with logging enabled.
+
+use lf_flight::FlightEvent;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// A line-oriented JSONL sink for access and job-lifecycle records
+/// (`lf serve --log out.jsonl`). One JSON object per line; writes are
+/// serialized and flushed per line so a crash loses at most the line in
+/// flight.
+pub struct AccessLog {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl AccessLog {
+    /// Wrap any writer (tests pass a `Vec<u8>` behind a mutex-friendly
+    /// adapter; the CLI passes a freshly created file).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Create (truncate) `path` and log into it.
+    ///
+    /// # Errors
+    ///
+    /// Any file-creation error.
+    pub fn open(path: &str) -> std::io::Result<Self> {
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Append one pre-rendered JSON object as a line. I/O errors are
+    /// reported to stderr, never propagated — logging must not take the
+    /// serving path down.
+    pub fn line(&self, json: &str) {
+        let mut out = self.out.lock().unwrap();
+        if let Err(e) = out.write_all(json.as_bytes()).and_then(|()| {
+            out.write_all(b"\n")?;
+            out.flush()
+        }) {
+            eprintln!("lf serve: access log write: {e}");
+        }
+    }
+}
+
+/// Record an admission-wait observation under the `outcome` label
+/// (`admitted`, `shed`, `evicted`), carrying the job's trace id as the
+/// histogram's exemplar. The tenant-labeled family only ever sees
+/// admitted jobs; this family is where refused and evicted work shows up.
+pub fn record_wait_outcome(outcome: &'static str, waited_ns: f64, trace: u64) {
+    if !lf_metrics::enabled() {
+        return;
+    }
+    lf_metrics::global()
+        .histogram_with(
+            "lf_serve_admission_wait_outcome_seconds",
+            "Admission wait per job by outcome (admitted, shed, evicted).",
+            lf_metrics::Unit::Nanos,
+            ("outcome", outcome),
+        )
+        .record_f64_traced(waited_ns, trace);
+}
+
+/// Record a shed decision in the flight ring, correlated to the request
+/// that caused it. `reason` is `refused` (turned away at the door),
+/// `evicted` (admitted, then displaced by higher-priority work), or
+/// `draining` (arrived during shutdown).
+pub fn shed_event(id: u64, tenant: &str, reason: &str, trace: u64) {
+    if !lf_flight::enabled() {
+        return;
+    }
+    lf_flight::record(FlightEvent::Shed {
+        id,
+        tenant: tenant.to_string(),
+        reason: reason.to_string(),
+        trace,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A shared Vec writer for asserting on emitted lines.
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn lines_are_appended_with_newlines() {
+        let buf = Buf::default();
+        let log = AccessLog::new(Box::new(buf.clone()));
+        log.line("{\"event\":\"request\",\"status\":200}");
+        log.line("{\"event\":\"job\",\"job\":7}");
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for l in text.lines() {
+            lf_trace::json::validate(l).unwrap_or_else(|e| panic!("{l}: {e}"));
+        }
+    }
+}

@@ -18,12 +18,14 @@
 
 use crate::admission::{Admission, QueuedJob};
 use crate::http::{self, HttpError, Request};
+use crate::obs::{self, AccessLog};
 use crate::payload;
 use crate::state::{JobState, JobTable};
 use crate::tenant::TenantTable;
 use crate::worker::{WorkerConfig, WorkerShard};
 use lf_batch::clock::{Clock, MonotonicClock};
 use lf_batch::SubmitError;
+use lf_trace::TraceContext;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,6 +54,9 @@ pub struct ServeConfig {
     /// How long the drain may take after shutdown before remaining jobs
     /// are abandoned.
     pub drain_deadline: Duration,
+    /// Structured JSONL access/lifecycle log path (`lf serve --log`);
+    /// `None` disables logging.
+    pub log: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +71,7 @@ impl Default for ServeConfig {
             shed_watermark: 64,
             io_timeout: Duration::from_secs(5),
             drain_deadline: Duration::from_secs(10),
+            log: None,
         }
     }
 }
@@ -125,11 +131,31 @@ struct Shared {
     completed: AtomicU64,
     failed: AtomicU64,
     shed: AtomicU64,
+    log: Option<Arc<AccessLog>>,
 }
 
 impl Shared {
     fn draining(&self) -> bool {
         self.stop.load(Ordering::SeqCst) || signalled()
+    }
+
+    /// One identity-only access-log line per answered request. Correlated
+    /// routes pass `(trace_id, job, tenant)`; the rest log route + status.
+    fn log_request(&self, method: &str, path: &str, status: u16, ident: Option<(u64, u64, &str)>) {
+        let Some(log) = &self.log else { return };
+        let mut line = format!(
+            "{{\"event\":\"request\",\"method\":\"{}\",\"path\":\"{}\",\"status\":{status}",
+            lf_trace::json::escape(method),
+            lf_trace::json::escape(path)
+        );
+        if let Some((trace, job, tenant)) = ident {
+            line.push_str(&format!(
+                ",\"trace_id\":\"{trace:016x}\",\"job\":{job},\"tenant\":\"{}\"",
+                lf_trace::json::escape(tenant)
+            ));
+        }
+        line.push('}');
+        log.line(&line);
     }
 }
 
@@ -160,15 +186,24 @@ impl Server {
     /// Any bind failure (address in use, permission denied, …).
     pub fn bind(cfg: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        let log = match &cfg.log {
+            Some(path) => Some(Arc::new(AccessLog::open(path)?)),
+            None => None,
+        };
+        let jobs = JobTable::default();
+        if let Some(log) = &log {
+            jobs.attach_log(Arc::clone(log));
+        }
         let shared = Arc::new(Shared {
             adm: Mutex::new(Admission::new(cfg.tenants.clone(), cfg.shed_watermark)),
-            jobs: JobTable::default(),
+            jobs,
             next_id: AtomicU64::new(1),
             stop: AtomicBool::new(false),
             max_body: cfg.max_body,
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            log,
         });
         Ok(Self {
             cfg,
@@ -361,6 +396,7 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared, clock: &dyn Clock) 
                 }
             };
             count_request("malformed");
+            shared.log_request("-", "-", status, None);
             respond_error(&mut stream, status, &e.to_string());
             return;
         }
@@ -376,15 +412,15 @@ fn route(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &dyn Clo
         }
         ("GET", "/healthz") => {
             count_request("healthz");
-            if shared.draining() {
-                respond(stream, 503, "text/plain", b"draining\n");
-            } else {
-                respond(stream, 200, "text/plain", b"ok\n");
-            }
+            let status = if shared.draining() { 503 } else { 200 };
+            let body: &[u8] = if status == 200 { b"ok\n" } else { b"draining\n" };
+            shared.log_request("GET", "/healthz", status, None);
+            respond(stream, status, "text/plain", body);
         }
         ("GET", "/metrics") => {
             count_request("metrics");
             let body = lf_metrics::global().snapshot().to_prometheus();
+            shared.log_request("GET", "/metrics", 200, None);
             respond(stream, 200, "text/plain; version=0.0.4", body.as_bytes());
         }
         ("GET", p) if p.starts_with("/v1/jobs/") => {
@@ -393,46 +429,71 @@ fn route(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &dyn Clo
         }
         (m, "/v1/forest") | (m, "/healthz") | (m, "/metrics") => {
             count_request("other");
+            shared.log_request(m, &req.path, 405, None);
             respond_error(stream, 405, &format!("method {m} not allowed here"));
         }
         _ => {
             count_request("other");
+            shared.log_request(&req.method, &req.path, 404, None);
             respond_error(stream, 404, &format!("no route for {}", req.path));
         }
     }
 }
 
+/// The correlation id the client asked for, if any: `X-Trace-Id` (bare
+/// hex) or a W3C `traceparent` header.
+fn inbound_trace(req: &Request) -> Option<u64> {
+    req.header("x-trace-id")
+        .and_then(TraceContext::parse_trace_id)
+        .or_else(|| req.header("traceparent").and_then(TraceContext::parse_trace_id))
+}
+
 fn post_forest(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &dyn Clock) {
-    if shared.draining() {
-        respond_error(stream, 503, "shedding: server is draining");
-        return;
-    }
     let tenant = req
         .header("x-tenant")
         .map(str::to_string)
         .or_else(|| req.query.get("tenant").cloned())
         .unwrap_or_else(|| "default".to_string());
+    let inbound = inbound_trace(req);
+    if shared.draining() {
+        // Refused at the door, but still correlated: the refusal gets an
+        // id, a trace, a flight event, and an echoed X-Trace-Id.
+        let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let trace = inbound.unwrap_or_else(|| TraceContext::mint(id, &tenant));
+        obs::shed_event(id, &tenant, "draining", trace);
+        obs::record_wait_outcome("shed", 0.0, trace);
+        shared.log_request("POST", "/v1/forest", 503, Some((trace, id, &tenant)));
+        respond_error_traced(stream, 503, "shedding: server is draining", trace);
+        return;
+    }
     let (graph, kind) = match payload::parse_graph(&req.body) {
         Ok(g) => g,
         Err(msg) => {
+            shared.log_request("POST", "/v1/forest", 400, None);
             respond_error(stream, 400, &msg);
             return;
         }
     };
     let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+    let ctx = match inbound {
+        Some(trace) => TraceContext::new(trace, id, tenant.clone()),
+        None => TraceContext::minted(id, tenant.clone()),
+    };
     let job = QueuedJob {
         id,
         tenant: tenant.clone(),
+        ctx: ctx.clone(),
         graph,
         enqueued_at: clock.now(),
     };
     // Insert the table record BEFORE admission: once the job is queued a
     // worker may pull and finish it immediately, and a late insert would
     // overwrite that terminal state with Queued, stranding the job.
-    shared.jobs.admit(id, &tenant);
+    shared.jobs.admit(id, &tenant, ctx.trace_id);
     let admitted = shared.adm.lock().unwrap().submit(job);
     match admitted {
         Ok(evicted) => {
+            let now = clock.now();
             for e in evicted {
                 shared.jobs.set_state(e.id, JobState::Shed);
                 shared.shed.fetch_add(1, Ordering::Relaxed);
@@ -441,6 +502,9 @@ fn post_forest(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &d
                     "Jobs shed under overload (evicted or refused), by tenant.",
                     &e.tenant,
                 );
+                let waited = now.saturating_duration_since(e.enqueued_at);
+                obs::record_wait_outcome("evicted", waited.as_nanos() as f64, e.ctx.trace_id);
+                obs::shed_event(e.id, &e.tenant, "evicted", e.ctx.trace_id);
             }
             count_tenant(
                 "lf_serve_submitted_total",
@@ -449,15 +513,20 @@ fn post_forest(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &d
             );
             publish_queue_depths(shared);
             let body = format!(
-                "{{\"job\":{id},\"tenant\":\"{}\",\"format\":\"{}\"}}\n",
+                "{{\"job\":{id},\"tenant\":\"{}\",\"format\":\"{}\",\"trace_id\":\"{}\"}}\n",
                 lf_trace::json::escape(&tenant),
-                kind.as_str()
+                kind.as_str(),
+                ctx.trace_hex()
             );
-            respond(stream, 202, "application/json", body.as_bytes());
+            shared.log_request("POST", "/v1/forest", 202, Some((ctx.trace_id, id, &tenant)));
+            respond_traced(stream, 202, "application/json", body.as_bytes(), ctx.trace_id);
         }
         Err(e @ SubmitError::TenantQueueFull { .. }) => {
             shared.jobs.set_state(id, JobState::Shed);
-            respond_error(stream, 429, &e.to_string());
+            obs::record_wait_outcome("shed", 0.0, ctx.trace_id);
+            obs::shed_event(id, &tenant, "refused", ctx.trace_id);
+            shared.log_request("POST", "/v1/forest", 429, Some((ctx.trace_id, id, &tenant)));
+            respond_error_traced(stream, 429, &e.to_string(), ctx.trace_id);
         }
         Err(e @ SubmitError::Shedding { .. }) => {
             shared.jobs.set_state(id, JobState::Shed);
@@ -467,33 +536,52 @@ fn post_forest(stream: &mut TcpStream, req: &Request, shared: &Shared, clock: &d
                 "Jobs shed under overload (evicted or refused), by tenant.",
                 &tenant,
             );
-            respond_error(stream, 503, &e.to_string());
+            obs::record_wait_outcome("shed", 0.0, ctx.trace_id);
+            obs::shed_event(id, &tenant, "refused", ctx.trace_id);
+            shared.log_request("POST", "/v1/forest", 503, Some((ctx.trace_id, id, &tenant)));
+            respond_error_traced(stream, 503, &e.to_string(), ctx.trace_id);
         }
         Err(e) => {
             shared.jobs.set_state(id, JobState::Shed);
-            respond_error(stream, 500, &e.to_string());
+            shared.log_request("POST", "/v1/forest", 500, Some((ctx.trace_id, id, &tenant)));
+            respond_error_traced(stream, 500, &e.to_string(), ctx.trace_id);
         }
     }
 }
 
 fn get_job(stream: &mut TcpStream, path: &str, shared: &Shared) {
     let rest = &path["/v1/jobs/".len()..];
-    let (id_str, want_forest) = match rest.strip_suffix("/forest") {
-        Some(prefix) => (prefix, true),
-        None => (rest, false),
+    let (id_str, mode) = if let Some(prefix) = rest.strip_suffix("/forest") {
+        (prefix, "forest")
+    } else if let Some(prefix) = rest.strip_suffix("/trace") {
+        (prefix, "trace")
+    } else {
+        (rest, "status")
     };
     let Ok(id) = id_str.parse::<u64>() else {
+        shared.log_request("GET", path, 400, None);
         respond_error(stream, 400, &format!("bad job id {id_str:?}"));
         return;
     };
     let Some(rec) = shared.jobs.get(id) else {
+        shared.log_request("GET", path, 404, None);
         respond_error(stream, 404, &format!("no such job {id}"));
         return;
     };
-    if !want_forest {
+    let trace = rec.trace_id;
+    let ident = Some((trace, id, rec.tenant.as_str()));
+    if mode == "trace" {
+        let mut body = rec.trace_json();
+        body.push('\n');
+        shared.log_request("GET", path, 200, ident);
+        respond_traced(stream, 200, "application/json", body.as_bytes(), trace);
+        return;
+    }
+    if mode == "status" {
         let mut body = rec.to_json();
         body.push('\n');
-        respond(stream, 200, "application/json", body.as_bytes());
+        shared.log_request("GET", path, 200, ident);
+        respond_traced(stream, 200, "application/json", body.as_bytes(), trace);
         return;
     }
     match &rec.state {
@@ -504,16 +592,27 @@ fn get_job(stream: &mut TcpStream, path: &str, shared: &Shared) {
                 body.push_str(&v.to_string());
                 body.push('\n');
             }
-            respond(stream, 200, "text/plain", body.as_bytes());
+            shared.log_request("GET", path, 200, ident);
+            respond_traced(stream, 200, "text/plain", body.as_bytes(), trace);
         }
         JobState::Queued | JobState::Running => {
             let mut body = rec.to_json();
             body.push('\n');
-            respond(stream, 202, "application/json", body.as_bytes());
+            shared.log_request("GET", path, 202, ident);
+            respond_traced(stream, 202, "application/json", body.as_bytes(), trace);
         }
-        JobState::Shed => respond_error(stream, 410, &format!("job {id} was shed")),
+        JobState::Shed => {
+            shared.log_request("GET", path, 410, ident);
+            respond_error_traced(stream, 410, &format!("job {id} was shed"), trace);
+        }
         JobState::Failed { kind, message } => {
-            respond_error(stream, 500, &format!("job {id} failed ({kind}): {message}"));
+            shared.log_request("GET", path, 500, ident);
+            respond_error_traced(
+                stream,
+                500,
+                &format!("job {id} failed ({kind}): {message}"),
+                trace,
+            );
         }
     }
 }
@@ -525,9 +624,30 @@ fn respond(stream: &mut impl Write, status: u16, content_type: &str, body: &[u8]
     }
 }
 
+/// [`respond`] echoing the request's correlation id as `X-Trace-Id`.
+fn respond_traced(stream: &mut impl Write, status: u16, content_type: &str, body: &[u8], trace: u64) {
+    count_response(status);
+    let hex = format!("{trace:016x}");
+    let headers = [("X-Trace-Id", hex.as_str())];
+    if let Err(e) = http::write_response_with(stream, status, content_type, &headers, body) {
+        eprintln!("lf serve: write response: {e}");
+    }
+}
+
 fn respond_error(stream: &mut impl Write, status: u16, msg: &str) {
     count_response(status);
     if let Err(e) = http::write_error(stream, status, msg) {
+        eprintln!("lf serve: write error response: {e}");
+    }
+}
+
+/// [`respond_error`] echoing the correlation id — refusals (429/503/410)
+/// stay traceable even though the job never ran.
+fn respond_error_traced(stream: &mut impl Write, status: u16, msg: &str, trace: u64) {
+    count_response(status);
+    let hex = format!("{trace:016x}");
+    let headers = [("X-Trace-Id", hex.as_str())];
+    if let Err(e) = http::write_error_with(stream, status, msg, &headers) {
         eprintln!("lf serve: write error response: {e}");
     }
 }

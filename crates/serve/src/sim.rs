@@ -20,6 +20,7 @@ use crate::tenant::TenantTable;
 use crate::worker::{WorkerConfig, WorkerShard};
 use lf_batch::clock::Clock;
 use lf_batch::{ModelClock, SubmitError};
+use lf_trace::TraceContext;
 use lf_sparse::stencil::{self, Stencil3x3};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
@@ -240,15 +241,18 @@ pub fn run(cfg: &SimConfig) -> SimReport {
                 next_id += 1;
                 let side = t.grid + (sent[ti] % 3); // rotate sizes: exercises the CSR cache without rand
                 let graph = stencil::grid2d::<f64>(side, side, STENCILS[sent[ti] % 3]);
+                let ctx = TraceContext::minted(id, t.name.as_str());
+                let trace = ctx.trace_id;
                 let job = QueuedJob {
                     id,
                     tenant: t.name.clone(),
+                    ctx,
                     graph,
                     enqueued_at: clock.now(),
                 };
                 match adm.lock().unwrap().submit(job) {
                     Ok(evicted) => {
-                        jobs.admit(id, &t.name);
+                        jobs.admit(id, &t.name, trace);
                         enqueue_ns.insert(id, now_ns);
                         job_tenant.insert(id, t.name.clone());
                         for e in evicted {
@@ -259,10 +263,12 @@ pub fn run(cfg: &SimConfig) -> SimReport {
                                 .get_mut(&e.tenant)
                                 .expect("known tenant")
                                 .shed += 1;
+                            crate::obs::shed_event(e.id, &e.tenant, "evicted", e.ctx.trace_id);
                         }
                     }
                     Err(SubmitError::TenantQueueFull { .. } | SubmitError::Shedding { .. }) => {
                         outcomes.get_mut(&t.name).expect("known tenant").shed += 1;
+                        crate::obs::shed_event(id, &t.name, "refused", trace);
                     }
                     Err(e) => unreachable!("admission never returns {e}"),
                 }

@@ -1,11 +1,18 @@
 //! The server-global job table: every submitted job's lifecycle, queryable
 //! over `GET /v1/jobs/<id>` while the job is anywhere between admission
 //! and its final outcome.
+//!
+//! The table is also where job-state transitions become observable: each
+//! record carries the job's trace id, terminal records keep the
+//! scheduler-assembled timeline JSON (served at `GET /v1/jobs/<id>/trace`),
+//! and an attached [`AccessLog`] receives one identity-only JSONL line per
+//! transition.
 
+use crate::obs::AccessLog;
 use lf_core::QualityReport;
 use lf_trace::json::{escape, number};
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Where a job is in its lifecycle.
 #[derive(Clone, Debug)]
@@ -58,17 +65,28 @@ pub struct JobRecord {
     pub id: u64,
     /// Submitting tenant (as named by the client).
     pub tenant: String,
+    /// Request-scoped correlation id (0 = uncorrelated).
+    pub trace_id: u64,
     /// Lifecycle state.
     pub state: JobState,
+    /// The scheduler-assembled lifecycle timeline as raw JSON, present
+    /// once the job reached a worker's terminal transition.
+    pub timeline: Option<String>,
 }
 
 impl JobRecord {
+    /// The trace id as 16 hex digits (the wire form everywhere).
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
     /// Render for `GET /v1/jobs/<id>`.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"job\":{},\"tenant\":\"{}\",\"state\":\"{}\"",
+            "{{\"job\":{},\"tenant\":\"{}\",\"trace_id\":\"{}\",\"state\":\"{}\"",
             self.id,
             escape(&self.tenant),
+            self.trace_hex(),
             self.state.tag()
         );
         match &self.state {
@@ -98,32 +116,90 @@ impl JobRecord {
         s.push('}');
         s
     }
+
+    /// Render for `GET /v1/jobs/<id>/trace`: the correlation identity plus
+    /// the embedded timeline (JSON `null` until the job reaches a worker's
+    /// terminal state).
+    pub fn trace_json(&self) -> String {
+        format!(
+            "{{\"job\":{},\"tenant\":\"{}\",\"trace_id\":\"{}\",\"state\":\"{}\",\"timeline\":{}}}",
+            self.id,
+            escape(&self.tenant),
+            self.trace_hex(),
+            self.state.tag(),
+            self.timeline.as_deref().unwrap_or("null")
+        )
+    }
+
+    fn log_line(&self) -> String {
+        format!(
+            "{{\"event\":\"job\",\"job\":{},\"tenant\":\"{}\",\"trace_id\":\"{}\",\"state\":\"{}\"}}",
+            self.id,
+            escape(&self.tenant),
+            self.trace_hex(),
+            self.state.tag()
+        )
+    }
 }
 
 /// Thread-shared map of all jobs the server has seen.
 #[derive(Default)]
 pub struct JobTable {
     inner: Mutex<HashMap<u64, JobRecord>>,
+    log: Mutex<Option<Arc<AccessLog>>>,
 }
 
 impl JobTable {
-    /// Record a newly admitted job as queued.
-    pub fn admit(&self, id: u64, tenant: &str) {
-        self.inner.lock().unwrap().insert(
+    /// Attach a JSONL lifecycle log: every subsequent state transition
+    /// emits one identity-only line.
+    pub fn attach_log(&self, log: Arc<AccessLog>) {
+        *self.log.lock().unwrap() = Some(log);
+    }
+
+    fn emit(&self, line: Option<String>) {
+        if let Some(line) = line {
+            if let Some(log) = self.log.lock().unwrap().clone() {
+                log.line(&line);
+            }
+        }
+    }
+
+    /// Record a newly admitted job as queued, under its correlation id.
+    pub fn admit(&self, id: u64, tenant: &str, trace_id: u64) {
+        let rec = JobRecord {
             id,
-            JobRecord {
-                id,
-                tenant: tenant.to_string(),
-                state: JobState::Queued,
-            },
-        );
+            tenant: tenant.to_string(),
+            trace_id,
+            state: JobState::Queued,
+            timeline: None,
+        };
+        let line = rec.log_line();
+        self.inner.lock().unwrap().insert(id, rec);
+        self.emit(Some(line));
     }
 
     /// Transition a job to `state` (no-op for unknown IDs).
     pub fn set_state(&self, id: u64, state: JobState) {
-        if let Some(r) = self.inner.lock().unwrap().get_mut(&id) {
-            r.state = state;
-        }
+        self.set_outcome(id, state, None);
+    }
+
+    /// Transition a job to `state`, attaching its assembled timeline JSON
+    /// when the worker produced one (no-op for unknown IDs).
+    pub fn set_outcome(&self, id: u64, state: JobState, timeline: Option<String>) {
+        let line = {
+            let mut inner = self.inner.lock().unwrap();
+            match inner.get_mut(&id) {
+                Some(r) => {
+                    r.state = state;
+                    if timeline.is_some() {
+                        r.timeline = timeline;
+                    }
+                    Some(r.log_line())
+                }
+                None => None,
+            }
+        };
+        self.emit(line);
     }
 
     /// A job's record, cloned.
@@ -156,15 +232,30 @@ impl JobTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
+
+    #[derive(Clone, Default)]
+    struct Buf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(b);
+            Ok(b.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
 
     #[test]
     fn lifecycle_and_json() {
         let t = JobTable::default();
-        t.admit(7, "acme \"inc\"");
+        t.admit(7, "acme \"inc\"", 0xabc);
         assert_eq!(t.unfinished(), 1);
         let j = t.get(7).unwrap().to_json();
         assert!(j.contains("\"state\":\"queued\""), "{j}");
         assert!(j.contains("\"tenant\":\"acme \\\"inc\\\"\""), "{j}");
+        assert!(j.contains("\"trace_id\":\"0000000000000abc\""), "{j}");
         t.set_state(7, JobState::Running);
         assert_eq!(t.get(7).unwrap().state.tag(), "running");
         t.set_state(
@@ -180,5 +271,45 @@ mod tests {
         assert!(t.get(8).is_none());
         t.set_state(8, JobState::Shed); // unknown id: no-op, no panic
         assert_eq!(t.counts(), vec![("failed", 1)]);
+    }
+
+    #[test]
+    fn trace_json_carries_the_timeline_once_set() {
+        let t = JobTable::default();
+        t.admit(3, "acme", 0x77);
+        let before = t.get(3).unwrap().trace_json();
+        assert!(before.ends_with("\"timeline\":null}"), "{before}");
+        t.set_outcome(3, JobState::Shed, None);
+        assert!(t.get(3).unwrap().timeline.is_none());
+        t.set_outcome(
+            3,
+            JobState::Failed {
+                kind: "pipeline",
+                message: "boom".into(),
+            },
+            Some("{\"queue_wait_ns\":5}".into()),
+        );
+        let after = t.get(3).unwrap().trace_json();
+        assert!(after.contains("\"timeline\":{\"queue_wait_ns\":5}"), "{after}");
+        lf_trace::json::validate(&after).unwrap_or_else(|e| panic!("{after}: {e}"));
+    }
+
+    #[test]
+    fn attached_log_sees_every_transition_identity_only() {
+        let buf = Buf::default();
+        let t = JobTable::default();
+        t.attach_log(Arc::new(AccessLog::new(Box::new(buf.clone()))));
+        t.admit(1, "acme", 0x5);
+        t.set_state(1, JobState::Running);
+        t.set_state(1, JobState::Shed);
+        t.set_state(99, JobState::Shed); // unknown: no line
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        for (l, state) in lines.iter().zip(["queued", "running", "shed"]) {
+            lf_trace::json::validate(l).unwrap_or_else(|e| panic!("{l}: {e}"));
+            assert!(l.contains(&format!("\"state\":\"{state}\"")), "{l}");
+            assert!(l.contains("\"trace_id\":\"0000000000000005\""), "{l}");
+        }
     }
 }

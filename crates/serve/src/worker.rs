@@ -10,16 +10,18 @@
 //! same input (see the salt-policy docs for the argument).
 
 use crate::admission::Admission;
+use crate::obs;
 use crate::state::{JobState, JobTable};
 use lf_batch::clock::Clock;
 use lf_batch::{BatchConfig, ExtractionService, JobError, SaltPolicy};
 use lf_kernel::{backend, BackendKind, Device, DeviceConfig};
+use lf_trace::{TraceSink, Tracer};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Configuration one worker shard needs (a slice of the server config).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct WorkerConfig {
     /// Jobs per pulled batch (also the shard service's queue/batch cap).
     pub batch_jobs: usize,
@@ -36,6 +38,25 @@ pub struct WorkerConfig {
     pub pool_capacity: usize,
     /// Prepared graphs retained by the shard's LRU cache.
     pub cache_capacity: usize,
+    /// Span sink every shard's device tracer records into; each shard
+    /// claims a disjoint span-id range so merged recordings stay unique.
+    /// `None` leaves device tracing off (the default).
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for WorkerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerConfig")
+            .field("batch_jobs", &self.batch_jobs)
+            .field("deadline", &self.deadline)
+            .field("check", &self.check)
+            .field("backend", &self.backend)
+            .field("fuse", &self.fuse)
+            .field("pool_capacity", &self.pool_capacity)
+            .field("cache_capacity", &self.cache_capacity)
+            .field("trace_sink", &self.trace_sink.is_some())
+            .finish()
+    }
 }
 
 impl Default for WorkerConfig {
@@ -48,6 +69,7 @@ impl Default for WorkerConfig {
             fuse: true,
             pool_capacity: 2,
             cache_capacity: 32,
+            trace_sink: None,
         }
     }
 }
@@ -85,7 +107,14 @@ impl WorkerShard {
     /// `factor.n != 2`, and the config built here always uses the [0,2]
     /// default.
     pub fn new(id: usize, cfg: &WorkerConfig, clock: Arc<dyn Clock>) -> Self {
-        let dev = Device::with_backend(DeviceConfig::default(), backend::make(cfg.backend));
+        let tracer = Tracer::new();
+        if let Some(sink) = &cfg.trace_sink {
+            // Disjoint per-shard span-id ranges keep ids unique when all
+            // shards record into one shared sink.
+            tracer.install_from(Arc::clone(sink), (id as u64 + 1) << 40);
+        }
+        let dev =
+            Device::with_backend_tracer(DeviceConfig::default(), backend::make(cfg.backend), tracer);
         dev.set_fusion(cfg.fuse);
         let bc = BatchConfig {
             queue_capacity: cfg.batch_jobs.max(1),
@@ -142,7 +171,7 @@ impl WorkerShard {
         for qj in pulled {
             jobs.set_state(qj.id, JobState::Running);
             if metrics {
-                let waited = now.saturating_duration_since(qj.enqueued_at);
+                let waited = now.saturating_duration_since(qj.enqueued_at).as_nanos() as f64;
                 lf_metrics::global()
                     .histogram_with(
                         "lf_serve_admission_wait_seconds",
@@ -150,9 +179,13 @@ impl WorkerShard {
                         lf_metrics::Unit::Nanos,
                         ("tenant", qj.tenant.as_str()),
                     )
-                    .record_f64(waited.as_nanos() as f64);
+                    .record_f64_traced(waited, qj.ctx.trace_id);
+                obs::record_wait_outcome("admitted", waited, qj.ctx.trace_id);
             }
-            match self.svc.submit(format!("job-{}", qj.id), qj.graph, now) {
+            match self
+                .svc
+                .submit_traced(format!("job-{}", qj.id), qj.graph, now, qj.ctx)
+            {
                 Ok(svc_id) => {
                     ids.insert(svc_id, (qj.id, qj.tenant));
                 }
@@ -196,7 +229,7 @@ impl WorkerShard {
                     }
                 }
             };
-            jobs.set_state(gid, state);
+            jobs.set_outcome(gid, state, Some(o.timeline.to_json()));
             if metrics {
                 let family = if ok {
                     ("lf_serve_completed_total", "Jobs completed, by tenant.")
@@ -224,6 +257,7 @@ mod tests {
     use crate::admission::QueuedJob;
     use crate::tenant::TenantTable;
     use lf_batch::ModelClock;
+    use lf_trace::TraceContext;
     use lf_sparse::random::random_symmetric;
 
     #[test]
@@ -237,12 +271,13 @@ mod tests {
         let t = clock.now();
         for i in 0..4u64 {
             let tn = if i % 2 == 0 { "a" } else { "b" };
-            jobs.admit(i, tn);
+            jobs.admit(i, tn, TraceContext::mint(i, tn));
             adm.lock()
                 .unwrap()
                 .submit(QueuedJob {
                     id: i,
                     tenant: tn.to_string(),
+                    ctx: TraceContext::minted(i, tn),
                     graph: random_symmetric(30, 3.0, 0.1, 1.0, 50 + i),
                     enqueued_at: t,
                 })
@@ -273,12 +308,13 @@ mod tests {
         let clock = ModelClock::shared();
         let adm = Mutex::new(Admission::new(TenantTable::default(), 1000));
         let jobs = JobTable::default();
-        jobs.admit(0, "default");
+        jobs.admit(0, "default", TraceContext::mint(0, "default"));
         adm.lock()
             .unwrap()
             .submit(QueuedJob {
                 id: 0,
                 tenant: "default".into(),
+                ctx: TraceContext::minted(0, "default"),
                 graph: random_symmetric(20, 2.0, 0.1, 1.0, 9),
                 enqueued_at: clock.now(),
             })
@@ -299,12 +335,13 @@ mod tests {
         let clock = ModelClock::shared();
         let adm = Mutex::new(Admission::new(TenantTable::default(), 1000));
         let jobs = JobTable::default();
-        jobs.admit(0, "default");
+        jobs.admit(0, "default", TraceContext::mint(0, "default"));
         adm.lock()
             .unwrap()
             .submit(QueuedJob {
                 id: 0,
                 tenant: "default".into(),
+                ctx: TraceContext::minted(0, "default"),
                 graph: lf_sparse::Csr::zeros(3, 4), // non-square
                 enqueued_at: clock.now(),
             })

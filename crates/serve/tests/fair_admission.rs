@@ -17,6 +17,7 @@ use lf_serve::worker::{WorkerConfig, WorkerShard};
 use lf_batch::clock::{Clock, MonotonicClock};
 use lf_batch::SubmitError;
 use lf_metrics::ValueSnapshot;
+use lf_trace::TraceContext;
 use lf_sparse::stencil::{grid2d, ANISO1, ANISO2, FIVE_POINT};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -110,12 +111,13 @@ fn flooder_is_shed_first_and_counters_reconcile() {
                 let job = QueuedJob {
                     id,
                     tenant: tenant.to_string(),
+                    ctx: TraceContext::minted(id, tenant),
                     graph,
                     enqueued_at: clock.now(),
                 };
                 // Table record first — a worker may finish the job the
                 // instant it is queued (same discipline as the server).
-                jobs.admit(id, tenant);
+                jobs.admit(id, tenant, TraceContext::mint(id, tenant));
                 let outcome = adm.lock().unwrap().submit(job);
                 match outcome {
                     Ok(evicted) => {

@@ -28,7 +28,7 @@ fn spawn_server() -> (SocketAddr, StopHandle, std::thread::JoinHandle<DrainRepor
     (addr, stop, std::thread::spawn(move || server.run()))
 }
 
-fn request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+fn request_full(addr: SocketAddr, raw: &[u8]) -> (u16, String, String) {
     let mut s = TcpStream::connect(addr).expect("connect");
     s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
     s.write_all(raw).expect("write request");
@@ -41,10 +41,15 @@ fn request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
         .and_then(|r| r.split_whitespace().next())
         .and_then(|c| c.parse().ok())
         .unwrap_or_else(|| panic!("no status line in {text:?}"));
-    let body = text
+    let (head, body) = text
         .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
+        .map(|(h, b)| (h.to_string(), b.to_string()))
         .unwrap_or_default();
+    (status, head, body)
+}
+
+fn request(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let (status, _, body) = request_full(addr, raw);
     (status, body)
 }
 
@@ -53,13 +58,27 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
 }
 
 fn post(addr: SocketAddr, path: &str, headers: &str, body: &[u8]) -> (u16, String) {
+    let (status, _, body) = post_full(addr, path, headers, body);
+    (status, body)
+}
+
+fn post_full(addr: SocketAddr, path: &str, headers: &str, body: &[u8]) -> (u16, String, String) {
     let mut raw = format!(
         "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n{headers}\r\n",
         body.len()
     )
     .into_bytes();
     raw.extend_from_slice(body);
-    request(addr, &raw)
+    request_full(addr, &raw)
+}
+
+/// Pull a `"name":123` integer field out of a JSON string.
+fn field_u64(json: &str, key: &str) -> u64 {
+    json.split(key)
+        .nth(1)
+        .and_then(|r| r.split(&[',', '}'][..]).next())
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no {key} in {json:?}"))
 }
 
 fn job_id(body: &str) -> u64 {
@@ -159,5 +178,84 @@ fn post_poll_fetch_is_bit_identical_to_direct_extraction() {
     stop.stop();
     let report = handle.join().expect("server joins");
     assert!(report.completed >= 2, "{report:?}");
+    assert_eq!(report.abandoned, 0, "{report:?}");
+}
+
+#[test]
+fn inbound_trace_id_propagates_to_every_surface() {
+    let (addr, stop, handle) = spawn_server();
+    let a: Csr<f64> = grid2d(12, 12, &ANISO1);
+
+    // Bare-hex inbound id: echoed in the response header, the 202 body,
+    // the job-status JSON, and the timeline endpoint.
+    let (code, head, body) = post_full(
+        addr,
+        "/v1/forest",
+        "X-Tenant: acme\r\nX-Trace-Id: deadbeefcafe1234\r\n",
+        to_raw_csr(&a).as_bytes(),
+    );
+    assert_eq!(code, 202, "{body:?}");
+    assert!(head.contains("X-Trace-Id: deadbeefcafe1234"), "{head:?}");
+    assert!(body.contains("\"trace_id\":\"deadbeefcafe1234\""), "{body:?}");
+    let id = job_id(&body);
+    let done = poll_done(addr, id);
+    assert!(done.contains("\"trace_id\":\"deadbeefcafe1234\""), "{done:?}");
+
+    // The timeline endpoint carries the id and reconciles exactly: stage
+    // slices sum to the total, and latency = queue wait + total.
+    let (code, head, tr) =
+        request_full(addr, format!("GET /v1/jobs/{id}/trace HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes());
+    assert_eq!(code, 200, "{tr:?}");
+    assert!(head.contains("X-Trace-Id: deadbeefcafe1234"), "{head:?}");
+    assert!(tr.contains("\"trace_id\":\"deadbeefcafe1234\""), "{tr:?}");
+    assert!(tr.contains("\"stage\":\"factor\""), "{tr:?}");
+    let total = field_u64(&tr, "\"total_model_ns\":");
+    let wait = field_u64(&tr, "\"queue_wait_ns\":");
+    let latency = field_u64(&tr, "\"latency_ns\":");
+    let stage_sum: u64 = tr
+        .split("\"model_ns\":")
+        .skip(1)
+        .map(|r| field_u64(&format!("\"x\":{r}"), "\"x\":"))
+        .sum();
+    assert_eq!(stage_sum, total, "stage slices must sum exactly: {tr:?}");
+    assert_eq!(wait + total, latency, "{tr:?}");
+
+    // A W3C traceparent works too: the 128-bit trace-id field is kept,
+    // truncated to its low 64 bits.
+    let tp = "traceparent: 00-0123456789abcdeffedcba9876543210-00f067aa0ba902b7-01\r\n";
+    let (code, head, body) = post_full(addr, "/v1/forest?tenant=walkin", tp, to_raw_csr(&a).as_bytes());
+    assert_eq!(code, 202, "{body:?}");
+    assert!(head.contains("X-Trace-Id: fedcba9876543210"), "{head:?}");
+    let id2 = job_id(&body);
+    let done2 = poll_done(addr, id2);
+    assert!(done2.contains("\"trace_id\":\"fedcba9876543210\""), "{done2:?}");
+
+    // Without an inbound header the server mints a deterministic id from
+    // (job id, tenant) — never the zero sentinel.
+    let (code, body) = post(addr, "/v1/forest", "X-Tenant: acme\r\n", to_raw_csr(&a).as_bytes());
+    assert_eq!(code, 202, "{body:?}");
+    let id3 = job_id(&body);
+    let minted = lf_trace::TraceContext::mint(id3, "acme");
+    assert!(
+        body.contains(&format!("\"trace_id\":\"{minted:016x}\"")),
+        "minted id must be the deterministic FNV pair hash: {body:?}"
+    );
+
+    // Exemplars: the admission-wait families expose *some* trace id (the
+    // exact id is racy across parallel tests sharing the global registry;
+    // the CI e2e pins it in a single-job process).
+    let (code, prom) = get(addr, "/metrics");
+    assert_eq!(code, 200);
+    for needle in [
+        "lf_serve_admission_wait_outcome_seconds",
+        "outcome=\"admitted\"",
+        "trace_id=\"",
+    ] {
+        assert!(prom.contains(needle), "missing {needle} in:\n{prom}");
+    }
+
+    stop.stop();
+    let report = handle.join().expect("server joins");
+    assert!(report.completed >= 3, "{report:?}");
     assert_eq!(report.abandoned, 0, "{report:?}");
 }

@@ -1,0 +1,161 @@
+//! Request-scoped correlation identity ([`TraceContext`]).
+//!
+//! A trace context is minted once at ingress (the serve front-end, or the
+//! batch scheduler for direct CLI submissions) and threaded through every
+//! layer a job touches — admission queue, scheduler, fused batch, device —
+//! so spans, flight events, lifecycle logs, and histogram exemplars can
+//! all be joined on one `trace_id`.
+//!
+//! Correlation is **identity-only**: a trace id is either taken verbatim
+//! from an inbound `traceparent`-style header or derived deterministically
+//! from `(job_id, tenant)` with FNV-1a. No wall clock, no randomness —
+//! two identical deterministic runs mint identical ids, which is what
+//! keeps `repro serve` bit-stable with tracing enabled.
+
+use crate::json::escape;
+
+/// Request-scoped correlation identity carried by a job through every
+/// layer of the pipeline.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// 64-bit correlation id, rendered as 16 lowercase hex digits.
+    pub trace_id: u64,
+    /// Ingress-assigned job id (globally unique per server process).
+    pub job_id: u64,
+    /// Tenant the job was submitted under (`"cli"` for direct runs).
+    pub tenant: String,
+}
+
+impl TraceContext {
+    /// A context with an explicit (e.g. inbound) trace id.
+    pub fn new(trace_id: u64, job_id: u64, tenant: impl Into<String>) -> Self {
+        Self {
+            trace_id,
+            job_id,
+            tenant: tenant.into(),
+        }
+    }
+
+    /// A context whose trace id is minted deterministically from the
+    /// identity pair via [`TraceContext::mint`].
+    pub fn minted(job_id: u64, tenant: impl Into<String>) -> Self {
+        let tenant = tenant.into();
+        Self {
+            trace_id: Self::mint(job_id, &tenant),
+            job_id,
+            tenant,
+        }
+    }
+
+    /// Deterministically derive a trace id from `(job_id, tenant)`
+    /// (FNV-1a over the tenant bytes then the job id bytes). Never zero:
+    /// zero is the "uncorrelated" sentinel everywhere.
+    pub fn mint(job_id: u64, tenant: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in tenant.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        for b in job_id.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h.max(1)
+    }
+
+    /// The trace id as 16 lowercase hex digits (the wire form used in
+    /// `X-Trace-Id` headers, JSONL logs, and exemplars).
+    pub fn trace_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Parse an inbound trace id: either bare hex (1–32 digits; the low
+    /// 64 bits are kept) or a W3C `traceparent`-style header
+    /// (`VV-<trace-id hex>-<parent-id hex>-<flags>`, the trace-id field
+    /// is kept). Returns `None` for malformed input or an all-zero id.
+    pub fn parse_trace_id(s: &str) -> Option<u64> {
+        let s = s.trim();
+        let hex = if s.contains('-') {
+            // traceparent: version - trace-id - parent-id - flags
+            let mut parts = s.split('-');
+            let _version = parts.next()?;
+            parts.next()?
+        } else {
+            s
+        };
+        if hex.is_empty() || hex.len() > 32 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        // Keep the low 64 bits (last 16 hex digits).
+        let low = &hex[hex.len().saturating_sub(16)..];
+        match u64::from_str_radix(low, 16) {
+            Ok(0) | Err(_) => None,
+            Ok(v) => Some(v),
+        }
+    }
+
+    /// Serialize as a JSON object (`trace_id` as a hex string so it
+    /// survives the f64 number model of JSON bit-exactly).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trace_id\":\"{}\",\"job\":{},\"tenant\":\"{}\"}}",
+            self.trace_hex(),
+            self.job_id,
+            escape(&self.tenant)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minting_is_deterministic_and_identity_only() {
+        let a = TraceContext::minted(7, "acme");
+        let b = TraceContext::minted(7, "acme");
+        assert_eq!(a, b);
+        assert_ne!(a.trace_id, TraceContext::minted(8, "acme").trace_id);
+        assert_ne!(a.trace_id, TraceContext::minted(7, "emca").trace_id);
+        assert_ne!(a.trace_id, 0, "zero is the uncorrelated sentinel");
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let c = TraceContext::new(0xdead_beef_cafe_1234, 3, "t");
+        assert_eq!(c.trace_hex(), "deadbeefcafe1234");
+        assert_eq!(
+            TraceContext::parse_trace_id(&c.trace_hex()),
+            Some(c.trace_id)
+        );
+    }
+
+    #[test]
+    fn parses_traceparent_style_headers() {
+        assert_eq!(
+            TraceContext::parse_trace_id("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"),
+            Some(0x8448_eb21_1c80_319c)
+        );
+        // Bare short hex works too.
+        assert_eq!(TraceContext::parse_trace_id("ff"), Some(0xff));
+        assert_eq!(TraceContext::parse_trace_id("  ff  "), Some(0xff));
+    }
+
+    #[test]
+    fn rejects_malformed_and_zero_ids() {
+        assert_eq!(TraceContext::parse_trace_id(""), None);
+        assert_eq!(TraceContext::parse_trace_id("xyz"), None);
+        assert_eq!(TraceContext::parse_trace_id("0"), None);
+        assert_eq!(TraceContext::parse_trace_id("00000000000000000000000000000000"), None);
+        assert_eq!(TraceContext::parse_trace_id("00-zz-aa-01"), None);
+        let long = "a".repeat(33);
+        assert_eq!(TraceContext::parse_trace_id(&long), None);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let c = TraceContext::minted(12, "a\"b");
+        crate::json::validate(&c.to_json()).unwrap();
+        assert!(c.to_json().contains("\"job\":12"));
+    }
+}

@@ -257,13 +257,23 @@ pub fn chrome_trace(data: &TraceData) -> String {
             .to_string(),
     );
     for s in &data.spans {
+        let correlation = match &s.correlation {
+            Some(c) => format!(
+                ",\"trace_id\":\"{}\",\"job\":{},\"tenant\":\"{}\"",
+                c.trace_hex(),
+                c.job_id,
+                escape(&c.tenant)
+            ),
+            None => String::new(),
+        };
         events.push(format!(
             "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-             \"pid\":1,\"tid\":1,\"args\":{{\"path\":\"{}\"}}}}",
+             \"pid\":1,\"tid\":1,\"args\":{{\"path\":\"{}\"{}}}}}",
             escape(&s.name),
             number(us(s.start_s)),
             number(us(s.duration_s())),
-            escape(&paths[&s.id].0)
+            escape(&paths[&s.id].0),
+            correlation
         ));
     }
     for l in &data.launches {
@@ -405,6 +415,22 @@ mod tests {
         assert!(ct.contains("\"cat\":\"metric\""));
         assert!(ct.contains("\"span\":\"forest/factor/iter_1\""));
         assert!(ct.contains("\"span\":\"(untraced)\""));
+    }
+
+    #[test]
+    fn chrome_trace_carries_span_correlation() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        let ctx = crate::TraceContext::new(0xdead_beef_cafe_1234, 9, "acme");
+        {
+            let _b = t.span("batch_0");
+            let _j = t.span_correlated("job_9", &ctx);
+        }
+        let ct = chrome_trace(&sink.snapshot());
+        validate(&ct).unwrap();
+        assert!(ct.contains("\"trace_id\":\"deadbeefcafe1234\""));
+        assert!(ct.contains("\"tenant\":\"acme\""));
     }
 
     #[test]

@@ -58,11 +58,13 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod export;
 pub mod json;
 pub mod sink;
 pub mod tracer;
 
+pub use context::TraceContext;
 pub use export::{chrome_trace, summary, PhaseRollup, PhaseTotals, Summary};
 pub use sink::{
     LaunchEvent, MetricEvent, NoopSink, RecordingSink, SpanNode, TraceData, TraceSink,

@@ -7,6 +7,7 @@
 //! appends to a [`TraceData`] behind a mutex, from which the exporters in
 //! [`crate::export`] build Chrome-trace and summary documents.
 
+use crate::context::TraceContext;
 use parking_lot::Mutex;
 
 /// One kernel launch attributed to the innermost open span.
@@ -59,6 +60,9 @@ pub struct SpanNode {
     pub start_s: f64,
     /// End time in seconds since the tracer epoch (`NAN` while open).
     pub end_s: f64,
+    /// Request-scoped correlation, when the span was opened on behalf of
+    /// a specific job (see [`crate::Tracer::span_correlated`]).
+    pub correlation: Option<TraceContext>,
 }
 
 impl SpanNode {
@@ -109,6 +113,9 @@ pub trait TraceSink: Send + Sync {
     fn begin_span(&self, id: u64, parent: Option<u64>, name: &str, start_s: f64);
     /// The span `id` was closed at `end_s` seconds since the epoch.
     fn end_span(&self, id: u64, end_s: f64);
+    /// Attach a request-scoped correlation to the open span `id`. Sinks
+    /// that don't track correlation can ignore this (the default).
+    fn correlate(&self, _id: u64, _ctx: &TraceContext) {}
     /// A kernel launch completed.
     fn launch(&self, ev: &LaunchEvent);
     /// A scalar metric was sampled.
@@ -219,6 +226,7 @@ impl TraceSink for RecordingSink {
             name: name.to_string(),
             start_s,
             end_s: f64::NAN,
+            correlation: None,
         });
     }
 
@@ -229,6 +237,14 @@ impl TraceSink for RecordingSink {
         // an existing span; a dropped begin simply finds no match.)
         if let Some(s) = data.spans.iter_mut().rev().find(|s| s.id == id) {
             s.end_s = end_s;
+        }
+    }
+
+    fn correlate(&self, id: u64, ctx: &TraceContext) {
+        let mut data = self.data.lock();
+        // Like end_span: mutates an existing span, never grows the buffer.
+        if let Some(s) = data.spans.iter_mut().rev().find(|s| s.id == id) {
+            s.correlation = Some(ctx.clone());
         }
     }
 
@@ -301,6 +317,7 @@ mod tests {
             name: "open".into(),
             start_s: 1.0,
             end_s: f64::NAN,
+            correlation: None,
         };
         assert_eq!(s.duration_s(), 0.0);
     }
@@ -339,6 +356,20 @@ mod tests {
         sink.begin_span(4, None, "fits again", 0.7);
         assert_eq!(sink.snapshot().spans.len(), 1);
         assert_eq!(sink.dropped(), 2);
+    }
+
+    #[test]
+    fn correlate_annotates_recorded_spans_in_place() {
+        let sink = RecordingSink::with_capacity(1);
+        sink.begin_span(1, None, "job", 0.0);
+        sink.begin_span(2, None, "dropped", 0.1); // over capacity
+        let ctx = TraceContext::minted(42, "acme");
+        sink.correlate(1, &ctx);
+        sink.correlate(2, &ctx); // silent no-op: span 2 was never recorded
+        sink.correlate(99, &ctx); // silent no-op: unknown id
+        let d = sink.snapshot();
+        assert_eq!(d.span(1).unwrap().correlation, Some(ctx));
+        assert!(d.span(2).is_none());
     }
 
     #[test]

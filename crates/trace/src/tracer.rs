@@ -12,6 +12,7 @@
 //! a launch body, which never opens spans). Guards tolerate out-of-order
 //! drops by removing their exact id from wherever it sits in the stack.
 
+use crate::context::TraceContext;
 use crate::sink::{LaunchEvent, MetricEvent, TraceSink};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -65,10 +66,18 @@ impl Tracer {
     /// reported times) is the moment of installation. Replaces any
     /// previously installed sink and clears the span stack.
     pub fn install(&self, sink: Arc<dyn TraceSink>) {
+        self.install_from(sink, 1);
+    }
+
+    /// [`Tracer::install`] with an explicit first span id. When several
+    /// independent tracers (one per worker shard) share one sink, giving
+    /// each a disjoint id range (e.g. `(shard + 1) << 40`) keeps span ids
+    /// unique across the merged recording.
+    pub fn install_from(&self, sink: Arc<dyn TraceSink>, first_id: u64) {
         *self.shared.lock() = Some(Arc::new(Shared {
             sink,
             epoch: Instant::now(),
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(first_id.max(1)),
             stack: Mutex::new(Vec::new()),
         }));
         self.active.store(true, Ordering::Relaxed);
@@ -104,6 +113,21 @@ impl Tracer {
         match self.current() {
             None => SpanGuard { shared: None, id: 0 },
             Some(shared) => Self::open(shared, &name()),
+        }
+    }
+
+    /// [`Tracer::span`] carrying a request-scoped correlation: the sink is
+    /// asked to annotate the new span with `ctx` (see
+    /// [`crate::TraceSink::correlate`]), so job-scoped spans in a shared
+    /// span tree can be joined on their `trace_id`.
+    pub fn span_correlated(&self, name: &str, ctx: &TraceContext) -> SpanGuard {
+        match self.current() {
+            None => SpanGuard { shared: None, id: 0 },
+            Some(shared) => {
+                let guard = Self::open(shared.clone(), name);
+                shared.sink.correlate(guard.id, ctx);
+                guard
+            }
         }
     }
 
@@ -280,6 +304,42 @@ mod tests {
         let d = sink.snapshot();
         // launch still attributes to the surviving open span b
         assert_eq!(d.launches[0].span, Some(d.spans[1].id));
+    }
+
+    #[test]
+    fn correlated_spans_carry_their_context() {
+        let t = Tracer::new();
+        let sink = Arc::new(RecordingSink::new());
+        t.install(sink.clone());
+        let ctx = TraceContext::minted(4812, "tenant-b");
+        {
+            let _batch = t.span("batch_0");
+            let _job = t.span_correlated("job_4812", &ctx);
+        }
+        let d = sink.snapshot();
+        assert_eq!(d.spans[0].correlation, None);
+        assert_eq!(d.spans[1].correlation, Some(ctx));
+        assert_eq!(d.spans[1].parent, Some(d.spans[0].id));
+        // Inactive tracers stay free: the guard is inert.
+        let cold = Tracer::new();
+        let _g = cold.span_correlated("x", &TraceContext::minted(1, "t"));
+    }
+
+    #[test]
+    fn install_from_gives_disjoint_id_ranges() {
+        let sink = Arc::new(RecordingSink::new());
+        let (a, b) = (Tracer::new(), Tracer::new());
+        a.install_from(sink.clone(), 1 << 40);
+        b.install_from(sink.clone(), 2 << 40);
+        {
+            let _x = a.span("shard0");
+            let _y = b.span("shard1");
+        }
+        let d = sink.snapshot();
+        assert_eq!(d.spans[0].id, 1 << 40);
+        assert_eq!(d.spans[1].id, 2 << 40);
+        // Separate tracers have separate span stacks: no false nesting.
+        assert_eq!(d.spans[1].parent, None);
     }
 
     #[test]

@@ -65,7 +65,8 @@ fn usage() -> ! {
          forest --shards K runs the partitioned pipeline (per-block factors + boundary reconciliation)\n\
          shard compares a sharded run against the whole-graph run (quality ratio, K=1 bit-equality)\n\
          batch input: a directory of .mtx files or a comma-separated input list\n\
-         serve runs the multi-tenant HTTP server (POST /v1/forest, GET /v1/jobs/<id>, /metrics, /healthz)\n\
+         serve runs the multi-tenant HTTP server (POST /v1/forest, GET /v1/jobs/<id>[/trace], /metrics, /healthz)\n\
+         serve-only flags: --log <out.jsonl> (JSONL access/lifecycle log), --trace <out.json> (all shards)\n\
          postmortem input: a bundle directory written by --flight-dir (add --replay to re-run it)\n\
          global flags: --backend <model|cpu>, --no-fuse, --trace <out.json>,\n\
                        --metrics <out.prom>, --check, --flight-dir <dir>, --inject-fault <fault>\n\
@@ -306,7 +307,15 @@ fn run_batch(dev: &Device, spec: &str, rest: &[String], checked: bool) -> bool {
                     .map(|(_, g)| g);
                 let mut ec = pm::effective_config("batch-solo", dev, Some(&factor_cfg), None, Some(&o.name));
                 ec.charge_salt = o.salt;
-                pm::dump_error_bundle("job", &e.to_string(), ec, g, None);
+                // The bundle names the request that failed: trace id, job
+                // id, tenant, and the assembled lifecycle timeline.
+                let job = linear_forest::flight::JobCorrelation {
+                    trace_id: o.ctx.trace_id,
+                    job_id: o.ctx.job_id,
+                    tenant: o.ctx.tenant.clone(),
+                    timeline_json: o.timeline.to_json(),
+                };
+                pm::dump_error_bundle_for("job", &e.to_string(), ec, g, None, Some(job));
             }
         }
 
@@ -429,6 +438,19 @@ fn run_serve(args: &[String]) -> i32 {
             exit(2);
         });
     }
+    // Structured JSONL access/lifecycle log: one line per request and per
+    // job-state transition, identity-only (trace id, job, tenant, state).
+    if let Some(path) = flag_val(args, "--log") {
+        cfg.log = Some(path.to_string());
+    }
+    // Span recording across every worker shard's device tracer; the merged
+    // recording (disjoint per-shard span-id ranges) is written on drain.
+    let trace_path = flag_val(args, "--trace").map(str::to_string);
+    let trace_sink = trace_path.as_deref().map(|_| {
+        let sink = Arc::new(RecordingSink::new());
+        cfg.worker.trace_sink = Some(sink.clone());
+        sink
+    });
 
     // Arm the flight recorder like the one-shot subcommands do: a clean
     // drain writes nothing; a panicked server thread dumps a bundle.
@@ -456,6 +478,9 @@ fn run_serve(args: &[String]) -> i32 {
         Err(e) => eprintln!("lf serve: listening (local_addr: {e})"),
     }
     let report = server.run();
+    if let (Some(path), Some(sink)) = (trace_path.as_deref(), trace_sink.as_deref()) {
+        write_trace(path, sink);
+    }
     eprintln!(
         "lf serve: drained — {} completed, {} failed, {} shed, {} abandoned",
         report.completed, report.failed, report.shed, report.abandoned

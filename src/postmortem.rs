@@ -140,6 +140,20 @@ pub fn dump_error_bundle(
     a: Option<&Csr<f64>>,
     model: Option<ModelTotals>,
 ) -> Option<PathBuf> {
+    dump_error_bundle_for(kind, message, config, a, model, None)
+}
+
+/// [`dump_error_bundle`] carrying the failing job's correlation identity
+/// and assembled lifecycle timeline, so the bundle alone answers "which
+/// request caused this, and where did its time go".
+pub fn dump_error_bundle_for(
+    kind: &str,
+    message: &str,
+    config: EffectiveConfig,
+    a: Option<&Csr<f64>>,
+    model: Option<ModelTotals>,
+    job: Option<lf_flight::JobCorrelation>,
+) -> Option<PathBuf> {
     let dir = lf_flight::bundle_dir()?;
     let mut b = Bundle::capture(kind, message, config);
     b.outcome = Some(Outcome::Error {
@@ -147,6 +161,7 @@ pub fn dump_error_bundle(
         message: message.to_string(),
     });
     b.model = model;
+    b.job = job;
     let embed = match a {
         Some(a) => {
             b.input_hash = Some(lf_batch::content_hash(a));
@@ -389,6 +404,16 @@ fn print_bundle(bundle: &Bundle, dir: &Path) {
             "  model totals: launches={} read={} written={} model_ns={}",
             m.launches, m.read, m.written, m.model_ns
         );
+    }
+    if let Some(j) = &bundle.job {
+        println!(
+            "  job:          trace {:016x} id {} tenant \"{}\"",
+            j.trace_id, j.job_id, j.tenant
+        );
+        let tl = j.timeline_json.trim();
+        if !tl.is_empty() && tl != "null" {
+            println!("  timeline:     {tl}");
+        }
     }
     println!(
         "  events:       {} retained of {} recorded",
